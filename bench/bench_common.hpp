@@ -1,0 +1,50 @@
+// Shared plumbing for the reproduction benches: evidence conversion, query
+// evaluation under a selected representation, and observed-error collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ac/low_precision_eval.hpp"
+#include "compile/ve_compiler.hpp"
+#include "datasets/benchmark_suite.hpp"
+#include "problp/framework.hpp"
+#include "problp/validation.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace problp::bench {
+
+inline std::vector<ac::PartialAssignment> to_assignments(
+    const std::vector<bn::Evidence>& evidence, std::size_t limit = SIZE_MAX) {
+  std::vector<ac::PartialAssignment> out;
+  out.reserve(std::min(evidence.size(), limit));
+  for (std::size_t i = 0; i < evidence.size() && i < limit; ++i) {
+    out.push_back(compile::to_assignment(evidence[i]));
+  }
+  return out;
+}
+
+/// "1, 15" / ">60, -" formatting for Table-2 representation columns.
+inline std::string fixed_repr_cell(const errormodel::FixedPlan& plan, double energy_nj) {
+  if (!plan.feasible) {
+    return str_format("1, >%d ( - )", plan.attempted_max_fraction_bits);
+  }
+  return str_format("%d, %d (%.2g)", plan.format.integer_bits, plan.format.fraction_bits,
+                    energy_nj);
+}
+
+inline std::string float_repr_cell(const errormodel::FloatPlan& plan, double energy_nj) {
+  if (!plan.feasible) {
+    return str_format("-, >%d ( - )", plan.attempted_max_mantissa_bits);
+  }
+  return str_format("%d, %d (%.2g)", plan.format.exponent_bits, plan.format.mantissa_bits,
+                    energy_nj);
+}
+
+inline const char* selection_cell(const AnalysisReport& report) {
+  if (!report.any_feasible) return "none";
+  return report.selected.kind == Representation::Kind::kFixed ? "FIXED" : "FLOAT";
+}
+
+}  // namespace problp::bench

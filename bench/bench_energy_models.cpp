@@ -1,0 +1,101 @@
+// Reproduces Table 1: the operator-level energy models, tabulated across
+// the widths the paper's experiments visit, plus google-benchmark micro
+// timings of the bit-exact emulated operators (the repository's substitute
+// for silicon: it shows the emulation itself is cheap enough to sweep).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "energy/op_models.hpp"
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace problp {
+namespace {
+
+void print_table1() {
+  std::printf("=== Table 1: energy models for arithmetic operators at 1V (TSMC 65nm fit) ===\n");
+  std::printf("Operator        Energy (fJ)\n");
+  std::printf("Fixed-pt add    7.8 N\n");
+  std::printf("Fixed-pt mult   1.9 N^2 log2 N\n");
+  std::printf("Float-pt add    44.74 (M+1)\n");
+  std::printf("Float-pt mul    2.9 (M+1)^2 log2 (M+1)\n\n");
+
+  TextTable table({"width", "fx add (fJ)", "fx mul (fJ)", "fl add (fJ, M=width)",
+                   "fl mul (fJ, M=width)"});
+  for (int w : {4, 8, 12, 14, 16, 23, 24, 32, 48}) {
+    table.add_row({str_format("%d", w), str_format("%.1f", energy::fixed_add_fj(w)),
+                   str_format("%.1f", energy::fixed_mul_fj(w)),
+                   str_format("%.1f", energy::float_add_fj(w)),
+                   str_format("%.1f", energy::float_mul_fj(w))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape checks (drive the fixed-vs-float selection in Table 2):\n");
+  std::printf("  16b fixed mul %.0f fJ  vs  (M=14) float mul %.0f fJ  -> fixed wins at "
+              "matching accuracy budgets\n",
+              energy::fixed_mul_fj(16), energy::float_mul_fj(14));
+  std::printf("  48b fixed mul %.0f fJ  vs  (M=14) float mul %.0f fJ  -> wide fixed loses: "
+              "relative-error queries prefer float\n\n",
+              energy::fixed_mul_fj(48), energy::float_mul_fj(14));
+}
+
+void BM_FixedMul(benchmark::State& state) {
+  const lowprec::FixedFormat fmt{1, static_cast<int>(state.range(0))};
+  lowprec::ArithFlags flags;
+  Rng rng(1);
+  const auto a = lowprec::FixedPoint::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  const auto b = lowprec::FixedPoint::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx_mul(a, b, flags));
+  }
+}
+BENCHMARK(BM_FixedMul)->Arg(8)->Arg(16)->Arg(32)->MinTime(0.05);
+
+void BM_FixedAdd(benchmark::State& state) {
+  const lowprec::FixedFormat fmt{2, static_cast<int>(state.range(0))};
+  lowprec::ArithFlags flags;
+  Rng rng(2);
+  const auto a = lowprec::FixedPoint::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  const auto b = lowprec::FixedPoint::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx_add(a, b, flags));
+  }
+}
+BENCHMARK(BM_FixedAdd)->Arg(8)->Arg(32)->MinTime(0.05);
+
+void BM_FloatMul(benchmark::State& state) {
+  const lowprec::FloatFormat fmt{8, static_cast<int>(state.range(0))};
+  lowprec::ArithFlags flags;
+  Rng rng(3);
+  const auto a = lowprec::SoftFloat::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  const auto b = lowprec::SoftFloat::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl_mul(a, b, flags));
+  }
+}
+BENCHMARK(BM_FloatMul)->Arg(8)->Arg(23)->Arg(52)->MinTime(0.05);
+
+void BM_FloatAdd(benchmark::State& state) {
+  const lowprec::FloatFormat fmt{8, static_cast<int>(state.range(0))};
+  lowprec::ArithFlags flags;
+  Rng rng(4);
+  const auto a = lowprec::SoftFloat::from_double(rng.uniform(0.1, 0.9), fmt, flags);
+  const auto b = lowprec::SoftFloat::from_double(rng.uniform(0.001, 0.01), fmt, flags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl_add(a, b, flags));
+  }
+}
+BENCHMARK(BM_FloatAdd)->Arg(8)->Arg(23)->Arg(52)->MinTime(0.05);
+
+}  // namespace
+}  // namespace problp
+
+int main(int argc, char** argv) {
+  problp::print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

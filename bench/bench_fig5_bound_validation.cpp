@@ -1,0 +1,128 @@
+// Reproduces Fig. 5: validation of the analytical error bounds on the AC
+// compiled from the ALARM network, over a 1000-instance sampled test set
+// (the paper's §4.1 setting).
+//
+//   (a) fixed point, marginal query: mean / max absolute error vs the
+//       propagated bound, fraction bits 8..40, integer bits from the max
+//       analysis (= 1, as in the paper);
+//   (b) float point, marginal query: mean / max relative error vs the
+//       (1+eps)^C - 1 bound, mantissa bits 8..40, exponent bits from the
+//       max/min analysis.
+//
+// Expected shape (paper): both observed curves decay exponentially and stay
+// 1-3 orders of magnitude below the analytical worst-case bound.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "ac/analysis.hpp"
+#include "bench_common.hpp"
+#include "errormodel/bitwidth_search.hpp"
+#include "util/int_math.hpp"
+
+namespace problp {
+namespace {
+
+struct Fig5Setup {
+  datasets::Benchmark benchmark = datasets::make_alarm_benchmark(1, 1000);
+  Framework framework{benchmark.circuit};
+  errormodel::CircuitErrorModel model =
+      errormodel::CircuitErrorModel::build(framework.binary_circuit());
+  std::vector<ac::PartialAssignment> assignments = bench::to_assignments(benchmark.test_evidence);
+};
+
+void run_fig5(const Fig5Setup& setup) {
+  const ac::Circuit& circuit = setup.framework.binary_circuit();
+  std::printf("ALARM AC (binarised): %s\n", circuit.stats().to_string().c_str());
+  std::printf("Test set: %zu sampled evidence instances (leaf sensors observed)\n\n",
+              setup.assignments.size());
+
+  // ---- (a) fixed point -----------------------------------------------------
+  const int integer_bits =
+      std::max(1, ceil_log2_double(setup.model.range.root_max + 1e-9));
+  std::printf("=== Fig. 5a: fixed point, marginal query, I=%d (max analysis) ===\n",
+              integer_bits);
+  TextTable fx_table({"F bits", "mean abs err", "max abs err", "analytical bound", "sound?"});
+  for (int f = 8; f <= 40; f += 2) {
+    const lowprec::FixedFormat fmt{integer_bits, f};
+    const double bound = errormodel::fixed_query_bound(
+        circuit, setup.model,
+        {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kAbsolute, 0.0}, fmt);
+    double max_err = 0.0;
+    double sum_err = 0.0;
+    lowprec::ArithFlags flags;
+    for (const auto& a : setup.assignments) {
+      const double exact = ac::evaluate(circuit, a);
+      const auto r = ac::evaluate_fixed(circuit, a, fmt);
+      flags.merge(r.flags);
+      const double err = std::abs(r.value - exact);
+      max_err = std::max(max_err, err);
+      sum_err += err;
+    }
+    fx_table.add_row({str_format("%d", f),
+                      sci(sum_err / static_cast<double>(setup.assignments.size())),
+                      sci(max_err), sci(bound),
+                      (max_err <= bound && !flags.any()) ? "yes" : "VIOLATION"});
+  }
+  std::printf("%s\n", fx_table.to_string().c_str());
+
+  // ---- (b) float point -----------------------------------------------------
+  // Exponent width from the max/min analysis at the widest mantissa swept.
+  const errormodel::FloatPlan eplan = errormodel::search_float_representation(
+      setup.model, {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.5});
+  const int exponent_bits = eplan.feasible ? eplan.format.exponent_bits : 9;
+  std::printf("=== Fig. 5b: float point, marginal query, E=%d (max/min analysis) ===\n",
+              exponent_bits);
+  TextTable fl_table({"M bits", "mean rel err", "max rel err", "analytical bound", "sound?"});
+  for (int m = 8; m <= 40; m += 2) {
+    const lowprec::FloatFormat fmt{exponent_bits, m};
+    const double bound = errormodel::float_query_bound(
+        setup.model, {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.0},
+        fmt);
+    double max_err = 0.0;
+    double sum_err = 0.0;
+    std::size_t counted = 0;
+    lowprec::ArithFlags flags;
+    for (const auto& a : setup.assignments) {
+      const double exact = ac::evaluate(circuit, a);
+      if (exact <= 0.0) continue;
+      const auto r = ac::evaluate_float(circuit, a, fmt);
+      flags.merge(r.flags);
+      const double err = std::abs(r.value - exact) / exact;
+      max_err = std::max(max_err, err);
+      sum_err += err;
+      ++counted;
+    }
+    fl_table.add_row({str_format("%d", m), sci(sum_err / static_cast<double>(counted)),
+                      sci(max_err), sci(bound),
+                      (max_err <= bound && !flags.any()) ? "yes" : "VIOLATION"});
+  }
+  std::printf("%s\n", fl_table.to_string().c_str());
+}
+
+// Micro benchmark: one full low-precision upward pass over the ALARM AC —
+// the unit of work every sweep point above repeats 1000x.
+void BM_AlarmFixedEvaluation(benchmark::State& state) {
+  static Fig5Setup* setup = new Fig5Setup();
+  const lowprec::FixedFormat fmt{1, static_cast<int>(state.range(0))};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac::evaluate_fixed(setup->framework.binary_circuit(),
+                                                setup->assignments[i % setup->assignments.size()],
+                                                fmt));
+    ++i;
+  }
+}
+BENCHMARK(BM_AlarmFixedEvaluation)->Arg(14)->Arg(32)->MinTime(0.05);
+
+}  // namespace
+}  // namespace problp
+
+int main(int argc, char** argv) {
+  problp::Fig5Setup setup;
+  problp::run_fig5(setup);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

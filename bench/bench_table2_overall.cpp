@@ -1,0 +1,143 @@
+// Reproduces Table 2: the complete ProbLP framework on all four benchmarks.
+//
+// For every (AC, query type, error tolerance) combination the paper reports,
+// this harness prints:
+//   * the optimal fixed-point representation I, F with predicted energy
+//     (nJ/AC evaluation), or "> max" when no width meets the tolerance;
+//   * the optimal float-point representation E, M with predicted energy;
+//   * which one ProbLP selects (lower predicted energy);
+//   * the max error observed on the held-out test set under the selected
+//     representation (must be below the tolerance);
+//   * the netlist-level "post-synthesis" energy estimate of the generated
+//     hardware;
+//   * the 32-bit-float (E=8, M=23) reference energy.
+//
+// Expected shape (paper): fixed wins marginal+absolute rows; float wins (or
+// is the only option for) relative/conditional rows; fixed needs > 60
+// fraction bits for relative bounds on the larger ACs; observed error <<
+// tolerance everywhere; selected representation beats the 32b float
+// reference by ~1.5-3x.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace problp {
+namespace {
+
+using errormodel::QuerySpec;
+using errormodel::QueryType;
+using errormodel::ToleranceKind;
+
+struct Row {
+  const char* benchmark;
+  QuerySpec spec;
+};
+
+std::string query_cell(const QuerySpec& spec) {
+  const char* q = spec.query == QueryType::kMarginal      ? "Marg. prob."
+                  : spec.query == QueryType::kConditional ? "Cond. prob."
+                                                          : "MPE";
+  const char* k = spec.kind == ToleranceKind::kAbsolute ? "abs" : "rel";
+  return str_format("%s %s err %.2g", q, k, spec.tolerance);
+}
+
+void run_table2() {
+  // The paper's row set: all four combinations for HAR, two for the rest.
+  const QuerySpec marg_abs{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01};
+  const QuerySpec marg_rel{QueryType::kMarginal, ToleranceKind::kRelative, 0.01};
+  const QuerySpec cond_abs{QueryType::kConditional, ToleranceKind::kAbsolute, 0.01};
+  const QuerySpec cond_rel{QueryType::kConditional, ToleranceKind::kRelative, 0.01};
+
+  const std::vector<std::pair<datasets::Benchmark, std::vector<QuerySpec>>> suites = [] {
+    std::vector<std::pair<datasets::Benchmark, std::vector<QuerySpec>>> out;
+    out.emplace_back(datasets::make_har_benchmark(1),
+                     std::vector<QuerySpec>{
+                         {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01},
+                         {QueryType::kMarginal, ToleranceKind::kRelative, 0.01},
+                         {QueryType::kConditional, ToleranceKind::kAbsolute, 0.01},
+                         {QueryType::kConditional, ToleranceKind::kRelative, 0.01}});
+    out.emplace_back(datasets::make_unimib_benchmark(1),
+                     std::vector<QuerySpec>{
+                         {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01},
+                         {QueryType::kConditional, ToleranceKind::kRelative, 0.01}});
+    out.emplace_back(datasets::make_uiwads_benchmark(1),
+                     std::vector<QuerySpec>{
+                         {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01},
+                         {QueryType::kMarginal, ToleranceKind::kRelative, 0.01}});
+    out.emplace_back(datasets::make_alarm_benchmark(1, 1000),
+                     std::vector<QuerySpec>{
+                         {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01},
+                         {QueryType::kConditional, ToleranceKind::kRelative, 0.01}});
+    return out;
+  }();
+
+  std::printf("=== Table 2: optimal representations, selection, observed error, energy ===\n");
+  std::printf("(energies in nJ per AC evaluation; selected representation in CAPS)\n\n");
+  TextTable table({"AC", "Type of query", "Opt Fx (I,F / pred nJ)", "Opt Fl (E,M / pred nJ)",
+                   "Selected", "Max err observed", "Post-synth nJ", "32b Fl-pt nJ"});
+
+  for (const auto& [benchmark, specs] : suites) {
+    const Framework framework(benchmark.circuit);
+    const auto assignments = bench::to_assignments(benchmark.test_evidence);
+    for (const QuerySpec& spec : specs) {
+      const AnalysisReport report = framework.analyze(spec);
+
+      std::string observed_cell = "-";
+      std::string postsynth_cell = "-";
+      if (report.any_feasible) {
+        const ObservedError observed =
+            (spec.query == QueryType::kConditional)
+                ? measure_conditional_error(framework.binary_circuit(), benchmark.query_var,
+                                            assignments, report.selected)
+                : (spec.query == QueryType::kMpe)
+                      ? measure_mpe_error(framework.binary_max_circuit(), assignments,
+                                          report.selected)
+                      : measure_marginal_error(framework.binary_circuit(), assignments,
+                                               report.selected);
+        const double max_err = observed.max_of(spec.kind);
+        observed_cell = sci(max_err);
+        if (max_err > spec.tolerance || observed.flags.any()) observed_cell += " (!)";
+
+        const HardwareReport hardware = framework.generate_hardware(report);
+        postsynth_cell = str_format("%.2g", hardware.netlist_energy_nj);
+      }
+      table.add_row({benchmark.name, query_cell(spec),
+                     bench::fixed_repr_cell(report.fixed_plan, report.fixed_energy_nj),
+                     bench::float_repr_cell(report.float_plan, report.float_energy_nj),
+                     bench::selection_cell(report), observed_cell, postsynth_cell,
+                     str_format("%.2g", report.float32_reference_nj)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Circuit inventory:\n");
+  for (const auto& [benchmark, specs] : suites) {
+    (void)specs;
+    std::printf("  %-8s %s\n", benchmark.name.c_str(), benchmark.circuit.stats().to_string().c_str());
+  }
+  std::printf("\n");
+}
+
+// Micro benchmark: full framework analysis on the smallest AC — the cost of
+// one ProbLP "compile-time" decision.
+void BM_FrameworkAnalyze(benchmark::State& state) {
+  static const datasets::Benchmark* benchmark =
+      new datasets::Benchmark(datasets::make_uiwads_benchmark(1));
+  static const Framework* framework = new Framework(benchmark->circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework->analyze(
+        {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01}));
+  }
+}
+BENCHMARK(BM_FrameworkAnalyze)->MinTime(0.05);
+
+}  // namespace
+}  // namespace problp
+
+int main(int argc, char** argv) {
+  problp::run_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

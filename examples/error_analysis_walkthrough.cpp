@@ -1,0 +1,81 @@
+// Error-analysis walkthrough — the paper's Fig. 3, reproduced numerically.
+//
+// Builds a small AC, propagates the fixed-point error models (eqs. 2-5)
+// node by node, prints the per-node (max value, error bound) pairs the
+// propagation maintains, then samples every indicator assignment to show
+// the observed error really stays below the analytical bound — and how both
+// change across fraction widths and rounding modes.
+//
+// Build & run:  ./build/examples/error_analysis_walkthrough
+#include <cmath>
+#include <cstdio>
+
+#include "ac/analysis.hpp"
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "errormodel/fixed_error.hpp"
+#include "errormodel/float_error.hpp"
+#include "helpers_example.hpp"
+
+int main() {
+  using namespace problp;
+
+  // A two-level AC like Fig. 3: root = (λ0·θa) * (λ1·θb + λ2·θc).
+  ac::Circuit circuit({2, 3});
+  const ac::NodeId p0 = circuit.add_prod(
+      {circuit.add_indicator(0, 0), circuit.add_parameter(0.8)});
+  const ac::NodeId p1 = circuit.add_prod(
+      {circuit.add_indicator(1, 0), circuit.add_parameter(0.35)});
+  const ac::NodeId p2 = circuit.add_prod(
+      {circuit.add_indicator(1, 1), circuit.add_parameter(0.55)});
+  const ac::NodeId s = circuit.add_sum({p1, p2});
+  circuit.set_root(circuit.add_prod({p0, s}));
+
+  const ac::Circuit binary = ac::binarize(circuit).circuit;
+  const auto maxima = ac::max_value_analysis(binary);
+
+  const lowprec::FixedFormat fmt{1, 8};
+  const auto fixed = errormodel::propagate_fixed_error(binary, fmt, maxima);
+  const auto counters = errormodel::propagate_float_error(binary);
+
+  std::printf("Per-node error propagation at %s (eqs. 2-5) and float counters "
+              "(eqs. 6-12):\n", fmt.to_string().c_str());
+  std::printf("  %-4s %-7s %-10s %-12s %-6s\n", "id", "kind", "max value", "fx bound",
+              "fl count");
+  for (std::size_t i = 0; i < binary.num_nodes(); ++i) {
+    std::printf("  %-4zu %-7s %-10.6f %-12.3e %lld\n", i,
+                ac::to_string(binary.node(static_cast<ac::NodeId>(i)).kind), maxima[i],
+                fixed.node_bound[i],
+                static_cast<long long>(counters.node_count[i]));
+  }
+
+  // Observed vs bound, across widths and rounding modes.
+  std::printf("\n%-6s %-22s %-12s %-12s %-12s\n", "F", "rounding", "bound", "max observed",
+              "mean observed");
+  for (const auto mode : {lowprec::RoundingMode::kNearestEven, lowprec::RoundingMode::kTruncate}) {
+    for (int f : {4, 8, 12, 16, 20}) {
+      const lowprec::FixedFormat sweep_fmt{1, f};
+      errormodel::FixedErrorOptions options;
+      options.rounding = mode;
+      const auto bounds = errormodel::propagate_fixed_error(binary, sweep_fmt, maxima, options);
+      double max_err = 0.0;
+      double sum_err = 0.0;
+      std::size_t count = 0;
+      for (const auto& a : example::all_partial_assignments(binary.cardinalities())) {
+        const double exact = ac::evaluate(binary, a);
+        const double approx = ac::evaluate_fixed(binary, a, sweep_fmt, mode).value;
+        max_err = std::max(max_err, std::abs(approx - exact));
+        sum_err += std::abs(approx - exact);
+        ++count;
+      }
+      std::printf("%-6d %-22s %-12.3e %-12.3e %-12.3e %s\n", f,
+                  mode == lowprec::RoundingMode::kNearestEven ? "round-to-nearest-even"
+                                                              : "truncate",
+                  bounds.root_bound, max_err, sum_err / static_cast<double>(count),
+                  max_err <= bounds.root_bound ? "(within bound)" : "(VIOLATION!)");
+    }
+  }
+  std::printf("\nNote how truncation needs ~1 extra fraction bit for the same bound, and\n"
+              "the analytical bound always dominates the observed worst case.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Hardware generation walkthrough — the paper's Fig. 4 scenario.
+//
+// Builds a toy AC containing a 5-input operator, decomposes it into 2-input
+// operators, pipelines it with path-balancing registers, prints the full
+// generated Verilog, and proves (via the cycle-accurate netlist simulator)
+// that the pipelined datapath computes exactly what the circuit-level
+// low-precision evaluation computes — at one result per clock cycle.
+//
+// Build & run:  ./build/examples/hardware_generation
+#include <cstdio>
+
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "hw/generator.hpp"
+#include "hw/netlist_energy.hpp"
+#include "hw/simulator.hpp"
+#include "hw/verilog.hpp"
+
+int main() {
+  using namespace problp;
+
+  // Fig. 4's left side: G = A + F(B, C, D, E, ...) with a 5-input product F.
+  ac::Circuit circuit(std::vector<int>(6, 2));
+  const ac::NodeId node_a = circuit.add_prod(
+      {circuit.add_indicator(0, 0), circuit.add_parameter(0.9)});
+  std::vector<ac::NodeId> f_inputs;
+  for (int v = 1; v <= 5; ++v) {
+    f_inputs.push_back(circuit.add_prod(
+        {circuit.add_indicator(v, 0), circuit.add_parameter(0.1 + 0.15 * v)}));
+  }
+  const ac::NodeId node_f = circuit.add_prod(f_inputs);  // the 5-ary F
+  circuit.set_root(circuit.add_sum({node_a, node_f}));   // G
+
+  std::printf("Input AC:        %s\n", circuit.stats().to_string().c_str());
+
+  // Stage 1 (§3.4): decompose operators with >2 inputs into 2-input trees.
+  const ac::Circuit binary = ac::binarize(circuit).circuit;
+  std::printf("After binarize:  %s\n", binary.stats().to_string().c_str());
+
+  // Stage 2: pipeline registers after every operator + path balancing.
+  const hw::Netlist netlist = hw::generate_netlist(binary);
+  std::printf("Pipelined HW:    %s\n\n", netlist.stats().to_string().c_str());
+
+  const lowprec::FixedFormat fmt{1, 7};
+  const auto energy = hw::fixed_netlist_energy(netlist, fmt);
+  std::printf("Netlist energy at %s: operators %.1f fJ + registers %.1f fJ = %.1f fJ/eval\n\n",
+              fmt.to_string().c_str(), energy.operator_fj, energy.register_fj,
+              energy.total_fj());
+
+  // Prove hardware == circuit semantics, streaming one input per cycle.
+  hw::FixedNetlistSimulator sim(netlist, fmt);
+  std::vector<ac::PartialAssignment> stream;
+  for (int pattern = 0; pattern < 8; ++pattern) {
+    ac::PartialAssignment a(6);
+    for (int v = 0; v < 6; ++v) a[static_cast<std::size_t>(v)] = (pattern >> (v % 3)) & 1;
+    stream.push_back(a);
+  }
+  const auto results = sim.evaluate_stream(stream);
+  std::printf("Streaming %zu inputs through the %d-stage pipeline:\n", stream.size(),
+              netlist.latency());
+  bool all_match = true;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const double expected = ac::evaluate_fixed(binary, stream[i], fmt).value;
+    all_match &= (results[i] == expected);
+    std::printf("  input %zu -> hw %.8f  sw %.8f  %s\n", i, results[i], expected,
+                results[i] == expected ? "match" : "MISMATCH");
+  }
+  std::printf("Hardware %s the bit-exact software evaluation.\n\n",
+              all_match ? "reproduces" : "DIVERGES FROM");
+
+  // The deliverable: Verilog.
+  std::printf("---------------- generated Verilog ----------------\n%s",
+              hw::emit_fixed_verilog(netlist, fmt).c_str());
+  return 0;
+}

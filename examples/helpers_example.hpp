@@ -1,0 +1,34 @@
+// Small shared helper for the examples: exhaustive partial-assignment
+// enumeration (kept out of the library because production code never needs
+// exponential enumeration; examples use it to show worst cases honestly).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ac/evaluator.hpp"
+
+namespace problp::example {
+
+inline std::vector<ac::PartialAssignment> all_partial_assignments(
+    const std::vector<int>& cards) {
+  std::vector<ac::PartialAssignment> out;
+  ac::PartialAssignment cur(cards.size());
+  std::vector<int> digit(cards.size(), 0);
+  while (true) {
+    for (std::size_t v = 0; v < cards.size(); ++v) {
+      cur[v] = (digit[v] == 0) ? std::nullopt : std::optional<int>(digit[v] - 1);
+    }
+    out.push_back(cur);
+    std::size_t v = cards.size();
+    while (v > 0) {
+      --v;
+      if (++digit[v] <= cards[v]) break;
+      digit[v] = 0;
+      if (v == 0) return out;
+    }
+    if (cards.empty()) return out;
+  }
+}
+
+}  // namespace problp::example

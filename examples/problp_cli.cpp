@@ -1,0 +1,154 @@
+// problp_cli — the framework as a command-line tool, the way a hardware
+// team would actually consume it:
+//
+//   problp_cli <network.bif> [--query marginal|conditional|mpe]
+//              [--tolerance-kind abs|rel] [--tolerance 0.01]
+//              [--verilog out.v] [--testbench out_tb.v]
+//              [--dot out.dot] [--circuit out.ac]
+//
+// Reads a Bayesian network in BIF format, compiles it, runs the full ProbLP
+// analysis, prints the Table-2-style report, and optionally writes the
+// generated Verilog / a Graphviz rendering / the compiled circuit.
+//
+// Try it on the bundled ALARM export:
+//   ./build/examples/patient_monitoring            # writes /tmp/problp_alarm.bif
+//   ./build/examples/problp_cli /tmp/problp_alarm.bif --verilog /tmp/alarm.v
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ac/dot.hpp"
+#include "ac/serialize.hpp"
+#include "bn/bif.hpp"
+#include "bn/sampling.hpp"
+#include "compile/ve_compiler.hpp"
+#include "hw/testbench.hpp"
+#include "problp/framework.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <network.bif> [--query marginal|conditional|mpe]\n"
+               "          [--tolerance-kind abs|rel] [--tolerance <float>]\n"
+               "          [--verilog <out.v>] [--testbench <out_tb.v>]\n"
+               "          [--dot <out.dot>] [--circuit <out.ac>]\n",
+               argv0);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  problp::require(out.good(), "cannot open output file '" + path + "'");
+  out << content;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace problp;
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::string bif_path = argv[1];
+  errormodel::QuerySpec spec{errormodel::QueryType::kMarginal,
+                             errormodel::ToleranceKind::kAbsolute, 0.01};
+  std::string verilog_path;
+  std::string testbench_path;
+  std::string dot_path;
+  std::string circuit_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--query") {
+      const std::string q = next();
+      if (q == "marginal") {
+        spec.query = errormodel::QueryType::kMarginal;
+      } else if (q == "conditional") {
+        spec.query = errormodel::QueryType::kConditional;
+      } else if (q == "mpe") {
+        spec.query = errormodel::QueryType::kMpe;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--tolerance-kind") {
+      const std::string k = next();
+      spec.kind = (k == "rel") ? errormodel::ToleranceKind::kRelative
+                               : errormodel::ToleranceKind::kAbsolute;
+    } else if (arg == "--tolerance") {
+      spec.tolerance = std::stod(next());
+    } else if (arg == "--verilog") {
+      verilog_path = next();
+    } else if (arg == "--testbench") {
+      testbench_path = next();
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--circuit") {
+      circuit_path = next();
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    std::printf("loading %s ...\n", bif_path.c_str());
+    const bn::BayesianNetwork network = bn::load_bif_file(bif_path);
+    std::printf("network: %d variables, %zu parameters\n", network.num_variables(),
+                network.num_parameters());
+
+    const ac::Circuit circuit = compile::compile_network(network);
+    std::printf("compiled AC: %s\n", circuit.stats().to_string().c_str());
+
+    const Framework framework(circuit);
+    const AnalysisReport report = framework.analyze(spec);
+    std::printf("\n%s\n\n", report.to_string().c_str());
+    if (!report.any_feasible) {
+      std::printf("no representation meets the tolerance within the search caps\n");
+      return 1;
+    }
+
+    if (!verilog_path.empty() || !testbench_path.empty()) {
+      const HardwareReport hardware = framework.generate_hardware(report);
+      std::printf("hardware: %s\n", hardware.stats.to_string().c_str());
+      std::printf("netlist energy estimate: %.4g nJ/eval\n", hardware.netlist_energy_nj);
+      if (!verilog_path.empty()) write_file(verilog_path, hardware.verilog);
+      if (!testbench_path.empty()) {
+        // Stimulus: 32 ancestral samples, observed on all variables except
+        // the testbench drives the raw indicator ports, so full assignments
+        // exercise realistic input patterns.
+        Rng rng(1);
+        std::vector<ac::PartialAssignment> vectors;
+        for (const auto& sample : bn::sample_dataset(network, 32, rng)) {
+          vectors.emplace_back(sample.begin(), sample.end());
+        }
+        const std::string tb =
+            report.selected.kind == Representation::Kind::kFixed
+                ? hw::emit_fixed_testbench(hardware.netlist, report.selected.fixed, vectors)
+                : hw::emit_float_testbench(hardware.netlist, report.selected.flt, vectors);
+        write_file(testbench_path, tb);
+      }
+    }
+    if (!dot_path.empty()) {
+      std::vector<std::string> names;
+      for (int v = 0; v < network.num_variables(); ++v) names.push_back(network.variable(v).name);
+      write_file(dot_path, ac::to_dot(framework.binary_circuit(), names));
+    }
+    if (!circuit_path.empty()) {
+      write_file(circuit_path, ac::to_text(framework.binary_circuit()));
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

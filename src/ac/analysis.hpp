@@ -1,0 +1,48 @@
+// Max-value and min-value analysis (paper §3.1.4).
+//
+// Every AC node is a monotonically increasing function of the indicators
+// (the circuit contains only +, *, max over non-negative values), so:
+//
+//  * Max analysis: all node values are simultaneously maximal when every
+//    indicator is 1 — a single double evaluation yields, per node, the
+//    largest value that node can ever take over all queries.  These maxima
+//    feed both the fixed-point multiplier error model (a_max, b_max of
+//    eq. 5) and the integer/exponent-bit sizing.
+//
+//  * Min analysis: the smallest *positive* value of every node over all
+//    indicator assignments is obtained with all indicators at 1 and adders
+//    replaced by min operators.  Intuition: any indicator assignment selects
+//    a subset of each sum's terms; the smallest non-zero outcome keeps
+//    exactly one — the smallest — term alive, which is what min computes.
+//    This lower-bounds Pr(e) for the conditional-query bound (eq. 14) and
+//    sizes the float exponent against underflow.
+//
+// Zero-valued parameters would make "smallest positive" ill-defined at sum
+// nodes; min analysis therefore skips exact-zero children (a sum's minimum
+// positive value cannot come from a zero term) and only returns 0 when a
+// node is structurally zero.
+#pragma once
+
+#include <vector>
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+struct RangeAnalysis {
+  std::vector<double> max_value;  ///< per node: largest attainable value
+  std::vector<double> min_value;  ///< per node: smallest positive attainable value
+  double root_max = 0.0;
+  double root_min = 0.0;
+};
+
+/// Per-node maxima (all indicators 1).
+std::vector<double> max_value_analysis(const Circuit& circuit);
+
+/// Per-node smallest positive values (all indicators 1, adders -> min).
+std::vector<double> min_value_analysis(const Circuit& circuit);
+
+/// Both analyses plus root values.
+RangeAnalysis analyze_range(const Circuit& circuit);
+
+}  // namespace problp::ac

@@ -1,0 +1,177 @@
+#include "ac/circuit.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace problp::ac {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSum: return "sum";
+    case NodeKind::kProd: return "prod";
+    case NodeKind::kMax: return "max";
+    case NodeKind::kIndicator: return "lambda";
+    case NodeKind::kParameter: return "theta";
+  }
+  return "?";
+}
+
+std::string CircuitStats::to_string() const {
+  return str_format(
+      "nodes=%zu (sum=%zu prod=%zu max=%zu lambda=%zu theta=%zu) edges=%zu depth=%d max_fanin=%d",
+      num_nodes, num_sums, num_prods, num_maxes, num_indicators, num_parameters, num_edges,
+      depth, max_fanin);
+}
+
+Circuit::Circuit(std::vector<int> cardinalities) : cardinalities_(std::move(cardinalities)) {
+  for (int c : cardinalities_) require(c >= 1, "Circuit: cardinality must be >= 1");
+}
+
+NodeId Circuit::add_indicator(int var, int state) {
+  require(var >= 0 && var < num_variables(), "add_indicator: bad variable id");
+  require(state >= 0 && state < cardinalities_[static_cast<std::size_t>(var)],
+          "add_indicator: bad state index");
+  const auto key = std::make_pair(var, state);
+  if (const auto it = indicator_cache_.find(key); it != indicator_cache_.end()) {
+    return it->second;
+  }
+  Node n;
+  n.kind = NodeKind::kIndicator;
+  n.var = var;
+  n.state = state;
+  const NodeId id = push_node(std::move(n));
+  indicator_cache_.emplace(key, id);
+  return id;
+}
+
+NodeId Circuit::add_parameter(double value) {
+  require(std::isfinite(value) && value >= 0.0,
+          "add_parameter: parameters must be finite and non-negative");
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  if (const auto it = parameter_cache_.find(bits); it != parameter_cache_.end()) {
+    return it->second;
+  }
+  Node n;
+  n.kind = NodeKind::kParameter;
+  n.value = value;
+  const NodeId id = push_node(std::move(n));
+  parameter_cache_.emplace(bits, id);
+  return id;
+}
+
+NodeId Circuit::add_sum(std::vector<NodeId> children) {
+  return add_operator(NodeKind::kSum, std::move(children));
+}
+NodeId Circuit::add_prod(std::vector<NodeId> children) {
+  return add_operator(NodeKind::kProd, std::move(children));
+}
+NodeId Circuit::add_max(std::vector<NodeId> children) {
+  return add_operator(NodeKind::kMax, std::move(children));
+}
+
+NodeId Circuit::add_operator(NodeKind kind, std::vector<NodeId> children) {
+  require(!children.empty(), "add_operator: operator needs children");
+  for (NodeId c : children) {
+    require(c >= 0 && static_cast<std::size_t>(c) < nodes_.size(),
+            "add_operator: child does not exist");
+  }
+  if (children.size() == 1) return children.front();
+
+  // Structural hash over (kind, sorted children): SUM/PROD/MAX are
+  // commutative, so child order does not affect identity.  The stored node
+  // keeps the caller's order (it determines hardware wiring).
+  std::vector<NodeId> sorted = children;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t h = 1469598103934665603ull ^ static_cast<std::uint64_t>(kind);
+  for (NodeId c : sorted) {
+    h ^= static_cast<std::uint64_t>(c) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  if (const auto it = op_cache_.find(h); it != op_cache_.end()) {
+    for (NodeId cand : it->second) {
+      const Node& n = nodes_[static_cast<std::size_t>(cand)];
+      std::vector<NodeId> cand_sorted = n.children;
+      std::sort(cand_sorted.begin(), cand_sorted.end());
+      if (n.kind == kind && cand_sorted == sorted) return cand;
+    }
+  }
+  Node n;
+  n.kind = kind;
+  n.children = std::move(children);
+  const NodeId id = push_node(std::move(n));
+  op_cache_[h].push_back(id);
+  return id;
+}
+
+NodeId Circuit::push_node(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Circuit::set_root(NodeId root) {
+  require(root >= 0 && static_cast<std::size_t>(root) < nodes_.size(), "set_root: bad node id");
+  root_ = root;
+}
+
+NodeId Circuit::find_indicator(int var, int state) const {
+  const auto it = indicator_cache_.find(std::make_pair(var, state));
+  return it == indicator_cache_.end() ? kInvalidNode : it->second;
+}
+
+bool Circuit::is_binary() const {
+  return std::all_of(nodes_.begin(), nodes_.end(),
+                     [](const Node& n) { return n.children.size() <= 2; });
+}
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  s.num_nodes = nodes_.size();
+  for (const Node& n : nodes_) {
+    switch (n.kind) {
+      case NodeKind::kSum: ++s.num_sums; break;
+      case NodeKind::kProd: ++s.num_prods; break;
+      case NodeKind::kMax: ++s.num_maxes; break;
+      case NodeKind::kIndicator: ++s.num_indicators; break;
+      case NodeKind::kParameter: ++s.num_parameters; break;
+    }
+    s.num_edges += n.children.size();
+    s.max_fanin = std::max(s.max_fanin, static_cast<int>(n.children.size()));
+  }
+  const auto depths = node_depths();
+  if (root_ != kInvalidNode) {
+    // Depth of the computation the circuit denotes; dead arena nodes (never
+    // feeding the root) do not count.
+    s.depth = depths[static_cast<std::size_t>(root_)];
+  } else {
+    for (int d : depths) s.depth = std::max(s.depth, d);
+  }
+  return s;
+}
+
+std::vector<bool> Circuit::reachable_from_root() const {
+  require(root_ != kInvalidNode, "reachable_from_root: circuit has no root");
+  std::vector<bool> mask(nodes_.size(), false);
+  mask[static_cast<std::size_t>(root_)] = true;
+  // Children have smaller ids than parents: one reverse sweep suffices.
+  for (std::size_t i = nodes_.size(); i > 0; --i) {
+    if (!mask[i - 1]) continue;
+    for (NodeId c : nodes_[i - 1].children) mask[static_cast<std::size_t>(c)] = true;
+  }
+  return mask;
+}
+
+std::vector<int> Circuit::node_depths() const {
+  std::vector<int> depth(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) continue;
+    int d = 0;
+    for (NodeId c : n.children) d = std::max(d, depth[static_cast<std::size_t>(c)]);
+    depth[i] = d + 1;
+  }
+  return depth;
+}
+
+}  // namespace problp::ac

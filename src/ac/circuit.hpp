@@ -1,0 +1,123 @@
+// Arithmetic circuits (sum-product networks) — the computation model ProbLP
+// analyses and turns into hardware (paper §2, Fig. 1b).
+//
+// A Circuit is a DAG stored in an arena; children always have smaller ids
+// than their parents, so the arena order *is* a topological order and every
+// analysis is a single forward sweep.  Leaves are either
+//
+//  * indicators λ_{X=x} — the evidence inputs, set to 0/1 per query, or
+//  * parameters θ — CPT entries (or other constants) baked into the model.
+//
+// Internal nodes are n-ary SUM, PROD, or MAX (MAX appears in MPE circuits
+// and in the min-value analysis).  The builder structurally hashes nodes so
+// repeated subterms are shared, mirroring what AC compilers emit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace problp::ac {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind : std::uint8_t {
+  kSum,
+  kProd,
+  kMax,
+  kIndicator,
+  kParameter,
+};
+
+const char* to_string(NodeKind kind);
+
+struct Node {
+  NodeKind kind = NodeKind::kParameter;
+  std::vector<NodeId> children;  ///< empty for leaves
+  std::int32_t var = -1;         ///< indicator: variable id
+  std::int32_t state = -1;       ///< indicator: state index
+  double value = 0.0;            ///< parameter: constant value
+
+  bool is_leaf() const {
+    return kind == NodeKind::kIndicator || kind == NodeKind::kParameter;
+  }
+};
+
+struct CircuitStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_sums = 0;
+  std::size_t num_prods = 0;
+  std::size_t num_maxes = 0;
+  std::size_t num_indicators = 0;
+  std::size_t num_parameters = 0;
+  std::size_t num_edges = 0;
+  int depth = 0;        ///< operator levels from leaves to root
+  int max_fanin = 0;
+
+  std::string to_string() const;
+};
+
+class Circuit {
+ public:
+  /// A circuit over `num_variables` variables with the given cardinalities
+  /// (indicator leaves are validated against them).
+  explicit Circuit(std::vector<int> cardinalities);
+
+  /// Indicator λ_{var=state}; one shared node per (var, state).
+  NodeId add_indicator(int var, int state);
+
+  /// Parameter leaf; parameters with bit-identical values are shared (they
+  /// feed the same hardware constant).
+  NodeId add_parameter(double value);
+
+  /// n-ary operators.  Children must already exist.  Single-child operators
+  /// collapse to the child.  Structurally identical nodes (same kind, same
+  /// multiset of children) are shared.
+  NodeId add_sum(std::vector<NodeId> children);
+  NodeId add_prod(std::vector<NodeId> children);
+  NodeId add_max(std::vector<NodeId> children);
+
+  void set_root(NodeId root);
+  NodeId root() const { return root_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+
+  int num_variables() const { return static_cast<int>(cardinalities_.size()); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  /// Existing indicator node for (var, state), or kInvalidNode.
+  NodeId find_indicator(int var, int state) const;
+
+  /// All node values the circuit's operators can produce have fanin <= 2.
+  bool is_binary() const;
+
+  CircuitStats stats() const;
+
+  /// Per-node operator depth: leaves 0, ops 1 + max(children).
+  std::vector<int> node_depths() const;
+
+  /// mask[i] == true iff node i feeds the root.  Dead nodes can appear in
+  /// the arena (e.g. builder intermediates); hardware generation and energy
+  /// accounting must ignore them.
+  std::vector<bool> reachable_from_root() const;
+
+ private:
+  NodeId add_operator(NodeKind kind, std::vector<NodeId> children);
+  NodeId push_node(Node node);
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+  std::vector<int> cardinalities_;
+  std::map<std::pair<int, int>, NodeId> indicator_cache_;
+  std::unordered_map<std::uint64_t, NodeId> parameter_cache_;  ///< keyed by bit pattern
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> op_cache_;  ///< structural hash
+};
+
+}  // namespace problp::ac

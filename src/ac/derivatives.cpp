@@ -1,0 +1,86 @@
+#include "ac/derivatives.hpp"
+
+namespace problp::ac {
+
+DifferentialResult evaluate_with_derivatives(const Circuit& circuit,
+                                             const PartialAssignment& assignment) {
+  require(circuit.root() != kInvalidNode, "evaluate_with_derivatives: no root");
+  require(circuit.is_binary(), "evaluate_with_derivatives: circuit must be binary");
+
+  DifferentialResult out;
+  out.value = evaluate_all_double(circuit, assignment);
+  out.root_value = out.value[static_cast<std::size_t>(circuit.root())];
+  out.derivative.assign(circuit.num_nodes(), 0.0);
+  out.derivative[static_cast<std::size_t>(circuit.root())] = 1.0;
+
+  // Downward sweep: parents have larger ids than children, so a reverse
+  // arena walk visits every parent before its children.
+  for (std::size_t i = circuit.num_nodes(); i > 0; --i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i - 1));
+    const double d = out.derivative[i - 1];
+    if (d == 0.0 || n.is_leaf()) continue;
+    switch (n.kind) {
+      case NodeKind::kSum:
+        for (NodeId c : n.children) out.derivative[static_cast<std::size_t>(c)] += d;
+        break;
+      case NodeKind::kProd: {
+        // Binary product: each child's derivative picks up the other child's
+        // value (no division, so zero-valued children are handled exactly).
+        const auto a = static_cast<std::size_t>(n.children[0]);
+        if (n.children.size() == 1) {
+          out.derivative[a] += d;
+          break;
+        }
+        const auto b = static_cast<std::size_t>(n.children[1]);
+        out.derivative[a] += d * out.value[b];
+        out.derivative[b] += d * out.value[a];
+        break;
+      }
+      case NodeKind::kMax:
+        throw InvalidArgument("evaluate_with_derivatives: MAX nodes are not differentiable");
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> all_joint_marginals(const Circuit& circuit,
+                                                     const PartialAssignment& assignment) {
+  const DifferentialResult r = evaluate_with_derivatives(circuit, assignment);
+  std::vector<std::vector<double>> out;
+  out.reserve(circuit.cardinalities().size());
+  for (int v = 0; v < circuit.num_variables(); ++v) {
+    const int card = circuit.cardinalities()[static_cast<std::size_t>(v)];
+    std::vector<double> per_state(static_cast<std::size_t>(card), 0.0);
+    for (int s = 0; s < card; ++s) {
+      const NodeId id = circuit.find_indicator(v, s);
+      // Indicators absent from the circuit cannot influence the root; their
+      // marginal equals the plain evidence probability when consistent.
+      per_state[static_cast<std::size_t>(s)] =
+          (id == kInvalidNode) ? (indicator_is_one(assignment, v, s) ? r.root_value : 0.0)
+                               : r.derivative[static_cast<std::size_t>(id)];
+    }
+    out.push_back(std::move(per_state));
+  }
+  return out;
+}
+
+std::vector<double> posterior_from_derivatives(const Circuit& circuit, int query_var,
+                                               const PartialAssignment& assignment) {
+  require(query_var >= 0 && query_var < circuit.num_variables(),
+          "posterior_from_derivatives: bad query var");
+  require(!assignment[static_cast<std::size_t>(query_var)].has_value(),
+          "posterior_from_derivatives: query variable must be unobserved");
+  const auto marginals = all_joint_marginals(circuit, assignment);
+  const auto& joint = marginals[static_cast<std::size_t>(query_var)];
+  double total = 0.0;
+  for (double p : joint) total += p;
+  require(total > 0.0, "posterior_from_derivatives: evidence has zero probability");
+  std::vector<double> out;
+  out.reserve(joint.size());
+  for (double p : joint) out.push_back(p / total);
+  return out;
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,46 @@
+// Differential evaluation of arithmetic circuits (Darwiche's "differential
+// approach"): one upward pass computes every node value, one downward pass
+// computes every partial derivative ∂root/∂node.
+//
+// Why it's here: the paper's footnote 2 notes that conditional probabilities
+// "can also be estimated by an upward and a downward pass in an AC followed
+// with a division" — this module implements that alternative query engine,
+// and with it *all* per-variable posteriors fall out of a single pass pair:
+//
+//     ∂f/∂λ_{X=x}  evaluated at evidence e  ==  Pr(x, e \ X),
+//
+// i.e. the joint of X=x with the evidence on the remaining variables.
+//
+// Restrictions: the circuit must be binary (fold order fixed) and must not
+// contain MAX nodes (the maximiser is not differentiable in this sense).
+#pragma once
+
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "ac/evaluator.hpp"
+
+namespace problp::ac {
+
+struct DifferentialResult {
+  std::vector<double> value;       ///< upward: node values
+  std::vector<double> derivative;  ///< downward: ∂root/∂node
+  double root_value = 0.0;
+};
+
+/// Upward + downward pass under `assignment`.
+DifferentialResult evaluate_with_derivatives(const Circuit& binary_circuit,
+                                             const PartialAssignment& assignment);
+
+/// marginals[v][s] == Pr(X_v = s, e restricted to variables other than v),
+/// for every variable simultaneously, from one pass pair.  For an observed
+/// variable v this is the "what if v had been s instead" family of joints.
+std::vector<std::vector<double>> all_joint_marginals(const Circuit& binary_circuit,
+                                                     const PartialAssignment& assignment);
+
+/// Posterior over `query_var` given the evidence (query_var must be
+/// unobserved): ∂f/∂λ_{q} normalised over states.  Throws when Pr(e) == 0.
+std::vector<double> posterior_from_derivatives(const Circuit& binary_circuit, int query_var,
+                                               const PartialAssignment& assignment);
+
+}  // namespace problp::ac

@@ -1,0 +1,47 @@
+#include "ac/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace problp::ac {
+
+std::string to_dot(const Circuit& circuit, const std::vector<std::string>& variable_names) {
+  std::ostringstream os;
+  os << "digraph ac {\n  rankdir=BT;\n  node [fontsize=10];\n";
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    std::string label;
+    std::string shape = "ellipse";
+    switch (n.kind) {
+      case NodeKind::kSum: label = "+"; shape = "circle"; break;
+      case NodeKind::kProd: label = "*"; shape = "circle"; break;
+      case NodeKind::kMax: label = "max"; shape = "circle"; break;
+      case NodeKind::kIndicator: {
+        const std::string var =
+            (static_cast<std::size_t>(n.var) < variable_names.size())
+                ? variable_names[static_cast<std::size_t>(n.var)]
+                : str_format("X%d", n.var);
+        label = str_format("&lambda;_%s=%d", var.c_str(), n.state);
+        shape = "box";
+        break;
+      }
+      case NodeKind::kParameter:
+        label = str_format("&theta;=%.4g", n.value);
+        shape = "box";
+        break;
+    }
+    os << "  n" << i << " [label=\"" << label << "\", shape=" << shape;
+    if (static_cast<NodeId>(i) == circuit.root()) os << ", style=bold";
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    for (NodeId c : circuit.node(static_cast<NodeId>(i)).children) {
+      os << "  n" << c << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,16 @@
+// Graphviz export of circuits, handy for papers/debugging (the quickstart
+// example renders the Fig. 1b circuit this way).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+/// Renders the circuit as a DOT digraph.  `variable_names`, when provided,
+/// labels indicator leaves with readable names (must cover all variables).
+std::string to_dot(const Circuit& circuit, const std::vector<std::string>& variable_names = {});
+
+}  // namespace problp::ac

@@ -1,0 +1,85 @@
+// Circuit evaluation.
+//
+// The same forward sweep serves three clients through the Ops customisation
+// point: exact double evaluation (ground truth), emulated low-precision
+// evaluation (lowprec types), and the range analyses (interval-ish values).
+//
+// An upward pass with indicators set per the evidence computes Pr(e)
+// (paper §2): indicators contradicting the evidence are 0, all others 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+/// Partial assignment of circuit variables: assignment[v] is the observed
+/// state of variable v, or nullopt when v is unobserved.
+using PartialAssignment = std::vector<std::optional<int>>;
+
+/// λ_{var=state} under `assignment`: 0 when contradicted, else 1.
+inline bool indicator_is_one(const PartialAssignment& assignment, int var, int state) {
+  const auto& obs = assignment.at(static_cast<std::size_t>(var));
+  return !obs.has_value() || *obs == state;
+}
+
+/// Generic forward sweep.  Ops must provide:
+///   T from_parameter(double v);
+///   T from_indicator(bool one);          // value of lambda in {0, 1}
+///   T add(const T&, const T&);
+///   T mul(const T&, const T&);
+///   T max(const T&, const T&);
+/// n-ary operators fold left-to-right in stored child order; analyses whose
+/// result depends on association order should run on binarised circuits.
+template <class Ops>
+auto evaluate_all(const Circuit& circuit, const PartialAssignment& assignment, Ops&& ops)
+    -> std::vector<decltype(ops.from_parameter(0.0))> {
+  using T = decltype(ops.from_parameter(0.0));
+  require(assignment.size() == static_cast<std::size_t>(circuit.num_variables()),
+          "evaluate_all: assignment size mismatch");
+  std::vector<T> values;
+  values.reserve(circuit.num_nodes());
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        values.push_back(ops.from_indicator(indicator_is_one(assignment, n.var, n.state)));
+        break;
+      case NodeKind::kParameter:
+        values.push_back(ops.from_parameter(n.value));
+        break;
+      case NodeKind::kSum:
+      case NodeKind::kProd:
+      case NodeKind::kMax: {
+        T acc = values[static_cast<std::size_t>(n.children.front())];
+        for (std::size_t k = 1; k < n.children.size(); ++k) {
+          const T& rhs = values[static_cast<std::size_t>(n.children[k])];
+          if (n.kind == NodeKind::kSum) {
+            acc = ops.add(acc, rhs);
+          } else if (n.kind == NodeKind::kProd) {
+            acc = ops.mul(acc, rhs);
+          } else {
+            acc = ops.max(acc, rhs);
+          }
+        }
+        values.push_back(std::move(acc));
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+/// Exact (double) value of every node.
+std::vector<double> evaluate_all_double(const Circuit& circuit,
+                                        const PartialAssignment& assignment);
+
+/// Exact (double) value of the root.
+double evaluate(const Circuit& circuit, const PartialAssignment& assignment);
+
+/// All-unobserved assignment (every indicator 1) for this circuit.
+PartialAssignment all_indicators_one(const Circuit& circuit);
+
+}  // namespace problp::ac

@@ -1,0 +1,33 @@
+#include "ac/low_precision_eval.hpp"
+
+#include "ac/number_ops.hpp"
+
+namespace problp::ac {
+
+using lowprec::FixedFormat;
+using lowprec::FloatFormat;
+using lowprec::RoundingMode;
+
+LowPrecisionResult evaluate_fixed(const Circuit& circuit, const PartialAssignment& assignment,
+                                  FixedFormat format, RoundingMode mode) {
+  require(circuit.root() != kInvalidNode, "evaluate_fixed: circuit has no root");
+  format.validate();
+  LowPrecisionResult out;
+  FixedOps ops{format, mode, &out.flags};
+  const auto values = evaluate_all(circuit, assignment, ops);
+  out.value = values[static_cast<std::size_t>(circuit.root())].to_double();
+  return out;
+}
+
+LowPrecisionResult evaluate_float(const Circuit& circuit, const PartialAssignment& assignment,
+                                  FloatFormat format, RoundingMode mode) {
+  require(circuit.root() != kInvalidNode, "evaluate_float: circuit has no root");
+  format.validate();
+  LowPrecisionResult out;
+  FloatOps ops{format, mode, &out.flags};
+  const auto values = evaluate_all(circuit, assignment, ops);
+  out.value = values[static_cast<std::size_t>(circuit.root())].to_double();
+  return out;
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,27 @@
+// Evaluating a circuit with emulated low-precision arithmetic — the
+// "measured" side of every experiment: parameters are quantised once, then
+// every adder/multiplier rounds exactly the way the generated hardware would.
+#pragma once
+
+#include "ac/evaluator.hpp"
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+
+namespace problp::ac {
+
+struct LowPrecisionResult {
+  double value = 0.0;             ///< root value, widened back to double
+  lowprec::ArithFlags flags;      ///< overflow/underflow seen anywhere in the sweep
+};
+
+/// Fixed-point evaluation of the whole circuit.
+LowPrecisionResult evaluate_fixed(const Circuit& circuit, const PartialAssignment& assignment,
+                                  lowprec::FixedFormat format,
+                                  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven);
+
+/// Floating-point evaluation of the whole circuit.
+LowPrecisionResult evaluate_float(const Circuit& circuit, const PartialAssignment& assignment,
+                                  lowprec::FloatFormat format,
+                                  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven);
+
+}  // namespace problp::ac

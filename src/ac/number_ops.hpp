@@ -1,0 +1,54 @@
+// Shared arithmetic-ops adapters over the lowprec emulation types.
+//
+// Both the circuit evaluator (ac/low_precision_eval) and the hardware
+// netlist simulator (hw/simulator) must perform *bit-identical* arithmetic —
+// that equivalence is the correctness proof of the hardware generator — so
+// they share these adapters.
+#pragma once
+
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+
+namespace problp::ac {
+
+struct FixedOps {
+  lowprec::FixedFormat fmt;
+  lowprec::RoundingMode mode;
+  lowprec::ArithFlags* flags;
+
+  using Value = lowprec::FixedPoint;
+
+  Value from_parameter(double v) const {
+    return lowprec::FixedPoint::from_double(v, fmt, *flags, mode);
+  }
+  Value from_indicator(bool one) const {
+    // 0 and 1 are exactly representable (I >= 1 enforced by the framework),
+    // so indicators carry no quantisation error (paper §3.1.1).
+    return lowprec::FixedPoint::from_double(one ? 1.0 : 0.0, fmt, *flags, mode);
+  }
+  Value add(const Value& a, const Value& b) const { return fx_add(a, b, *flags); }
+  Value mul(const Value& a, const Value& b) const { return fx_mul(a, b, *flags, mode); }
+  Value max(const Value& a, const Value& b) const { return fx_max(a, b); }
+  Value zero() const { return Value(fmt); }
+};
+
+struct FloatOps {
+  lowprec::FloatFormat fmt;
+  lowprec::RoundingMode mode;
+  lowprec::ArithFlags* flags;
+
+  using Value = lowprec::SoftFloat;
+
+  Value from_parameter(double v) const {
+    return lowprec::SoftFloat::from_double(v, fmt, *flags, mode);
+  }
+  Value from_indicator(bool one) const {
+    return lowprec::SoftFloat::from_double(one ? 1.0 : 0.0, fmt, *flags, mode);
+  }
+  Value add(const Value& a, const Value& b) const { return fl_add(a, b, *flags, mode); }
+  Value mul(const Value& a, const Value& b) const { return fl_mul(a, b, *flags, mode); }
+  Value max(const Value& a, const Value& b) const { return fl_max(a, b); }
+  Value zero() const { return Value(fmt); }
+};
+
+}  // namespace problp::ac

@@ -1,0 +1,149 @@
+#include "ac/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace problp::ac {
+
+namespace {
+
+bool is_constant(const Circuit& c, NodeId id) {
+  return c.node(id).kind == NodeKind::kParameter;
+}
+
+bool is_constant_value(const Circuit& c, NodeId id, double v) {
+  const Node& n = c.node(id);
+  return n.kind == NodeKind::kParameter && n.value == v;
+}
+
+}  // namespace
+
+Circuit fold_constants(const Circuit& circuit, OptimizeStats* stats) {
+  require(circuit.root() != kInvalidNode, "fold_constants: circuit has no root");
+  Circuit out(circuit.cardinalities());
+  std::vector<NodeId> map(circuit.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    NodeId mapped = kInvalidNode;
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        mapped = out.add_indicator(n.var, n.state);
+        break;
+      case NodeKind::kParameter:
+        mapped = out.add_parameter(n.value);
+        break;
+      case NodeKind::kSum:
+      case NodeKind::kProd:
+      case NodeKind::kMax: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(map[static_cast<std::size_t>(c)]);
+
+        // Constant folding: every input known at compile time.
+        const bool all_const = std::all_of(children.begin(), children.end(),
+                                           [&](NodeId c) { return is_constant(out, c); });
+        if (all_const) {
+          double v = (n.kind == NodeKind::kProd) ? 1.0 : 0.0;
+          for (NodeId c : children) {
+            const double cv = out.node(c).value;
+            if (n.kind == NodeKind::kProd) {
+              v *= cv;
+            } else if (n.kind == NodeKind::kSum) {
+              v += cv;
+            } else {
+              v = std::max(v, cv);
+            }
+          }
+          mapped = out.add_parameter(v);
+          if (stats != nullptr) ++stats->folded_operators;
+          break;
+        }
+
+        // Identity simplifications.  Partial constants are also combined
+        // (e.g. prod(x, 0.5, 0.5) -> prod(x, 0.25)).
+        std::vector<NodeId> kept;
+        double const_acc = (n.kind == NodeKind::kProd) ? 1.0 : 0.0;
+        bool saw_const = false;
+        for (NodeId c : children) {
+          if (is_constant(out, c)) {
+            const double cv = out.node(c).value;
+            saw_const = true;
+            if (n.kind == NodeKind::kProd) {
+              const_acc *= cv;
+            } else if (n.kind == NodeKind::kSum) {
+              const_acc += cv;
+            } else {
+              const_acc = std::max(const_acc, cv);
+            }
+          } else {
+            kept.push_back(c);
+          }
+        }
+        if (n.kind == NodeKind::kProd && saw_const && const_acc == 0.0) {
+          mapped = out.add_parameter(0.0);  // annihilator
+          if (stats != nullptr) ++stats->folded_operators;
+          break;
+        }
+        const bool is_identity = (n.kind == NodeKind::kProd && const_acc == 1.0) ||
+                                 (n.kind != NodeKind::kProd && const_acc == 0.0);
+        if (saw_const && !is_identity) {
+          kept.push_back(out.add_parameter(const_acc));
+        } else if (saw_const && is_identity && stats != nullptr) {
+          ++stats->identity_simplified;
+        }
+        switch (n.kind) {
+          case NodeKind::kSum: mapped = out.add_sum(std::move(kept)); break;
+          case NodeKind::kProd: mapped = out.add_prod(std::move(kept)); break;
+          default: mapped = out.add_max(std::move(kept)); break;
+        }
+        break;
+      }
+    }
+    map[i] = mapped;
+  }
+  out.set_root(map[static_cast<std::size_t>(circuit.root())]);
+  return out;
+}
+
+Circuit prune_dead_nodes(const Circuit& circuit, OptimizeStats* stats) {
+  require(circuit.root() != kInvalidNode, "prune_dead_nodes: circuit has no root");
+  const auto live = circuit.reachable_from_root();
+  Circuit out(circuit.cardinalities());
+  std::vector<NodeId> map(circuit.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    if (!live[i]) {
+      if (stats != nullptr) ++stats->pruned_nodes;
+      continue;
+    }
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        map[i] = out.add_indicator(n.var, n.state);
+        break;
+      case NodeKind::kParameter:
+        map[i] = out.add_parameter(n.value);
+        break;
+      default: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(map[static_cast<std::size_t>(c)]);
+        if (n.kind == NodeKind::kSum) {
+          map[i] = out.add_sum(std::move(children));
+        } else if (n.kind == NodeKind::kProd) {
+          map[i] = out.add_prod(std::move(children));
+        } else {
+          map[i] = out.add_max(std::move(children));
+        }
+        break;
+      }
+    }
+  }
+  out.set_root(map[static_cast<std::size_t>(circuit.root())]);
+  return out;
+}
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  return prune_dead_nodes(fold_constants(circuit, stats), stats);
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,41 @@
+// Circuit optimisation passes, applied before hardware generation.
+//
+// AC compilers emit many operator nodes whose inputs are compile-time
+// constants (parameter leaves): e.g. VE traces multiply CPT entries
+// together long before any indicator is involved.  Hardware does not need
+// to compute those — they fold into new parameter leaves, shrinking the
+// datapath (and the predicted energy) with zero effect on semantics.
+//
+// Passes:
+//   * fold_constants — bottom-up constant propagation: any operator whose
+//     children are all parameter leaves becomes a parameter leaf.  Sound
+//     because parameters never change between evaluations (§3.1.1: "CPT
+//     parameters stay constant across AC evaluations").
+//   * prune_dead_nodes — drops arena nodes that do not feed the root.
+//   * optimize — both, to fixpoint (folding can orphan nodes).
+//
+// Identity simplifications (x*1, x+0) fall out of folding + the builder's
+// hash-consing when the constants collapse.
+#pragma once
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+struct OptimizeStats {
+  std::size_t folded_operators = 0;   ///< operators replaced by parameter leaves
+  std::size_t pruned_nodes = 0;       ///< dead arena nodes dropped
+  std::size_t identity_simplified = 0;  ///< x*1 / x+0 / max(x,0) rewrites
+};
+
+/// Folds operator nodes with all-constant inputs into parameter leaves and
+/// applies identity simplifications (x*1 -> x, x+0 -> x, max(x,0) -> x).
+Circuit fold_constants(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+/// Rebuilds the circuit keeping only nodes reachable from the root.
+Circuit prune_dead_nodes(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+/// fold_constants followed by prune_dead_nodes.
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats = nullptr);
+
+}  // namespace problp::ac

@@ -1,0 +1,119 @@
+#include "ac/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace problp::ac {
+
+std::string to_text(const Circuit& circuit) {
+  require(circuit.root() != kInvalidNode, "to_text: circuit has no root");
+  std::ostringstream os;
+  os << "problp-ac 1\n";
+  os << "vars " << circuit.num_variables();
+  for (int c : circuit.cardinalities()) os << ' ' << c;
+  os << "\nnodes " << circuit.num_nodes() << "\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        os << "lambda " << n.var << ' ' << n.state << "\n";
+        break;
+      case NodeKind::kParameter:
+        os << "theta " << n.value << "\n";
+        break;
+      default:
+        os << to_string(n.kind) << ' ' << n.children.size();
+        for (NodeId c : n.children) os << ' ' << c;
+        os << "\n";
+        break;
+    }
+  }
+  os << "root " << circuit.root() << "\n";
+  return os.str();
+}
+
+Circuit from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  auto expect = [&](const std::string& w) {
+    is >> word;
+    if (word != w) throw ParseError("circuit load: expected '" + w + "', got '" + word + "'");
+  };
+  expect("problp-ac");
+  int version = 0;
+  is >> version;
+  if (version != 1) throw ParseError("circuit load: unsupported version");
+  expect("vars");
+  int nvars = 0;
+  is >> nvars;
+  if (nvars < 0) throw ParseError("circuit load: bad variable count");
+  std::vector<int> cards(static_cast<std::size_t>(nvars));
+  for (int& c : cards) is >> c;
+  Circuit out(cards);
+  expect("nodes");
+  std::size_t count = 0;
+  is >> count;
+  std::vector<NodeId> map(count, kInvalidNode);
+  for (std::size_t i = 0; i < count; ++i) {
+    is >> word;
+    if (!is.good()) throw ParseError("circuit load: truncated node list");
+    if (word == "lambda") {
+      int var = -1;
+      int state = -1;
+      is >> var >> state;
+      map[i] = out.add_indicator(var, state);
+    } else if (word == "theta") {
+      double v = 0.0;
+      is >> v;
+      map[i] = out.add_parameter(v);
+    } else if (word == "sum" || word == "prod" || word == "max") {
+      std::size_t k = 0;
+      is >> k;
+      std::vector<NodeId> children(k);
+      for (auto& c : children) {
+        long idx = -1;
+        is >> idx;
+        if (idx < 0 || static_cast<std::size_t>(idx) >= i) {
+          throw ParseError("circuit load: child id out of range");
+        }
+        c = map[static_cast<std::size_t>(idx)];
+      }
+      if (word == "sum") {
+        map[i] = out.add_sum(std::move(children));
+      } else if (word == "prod") {
+        map[i] = out.add_prod(std::move(children));
+      } else {
+        map[i] = out.add_max(std::move(children));
+      }
+    } else {
+      throw ParseError("circuit load: unknown node kind '" + word + "'");
+    }
+  }
+  expect("root");
+  long root = -1;
+  is >> root;
+  if (root < 0 || static_cast<std::size_t>(root) >= count) {
+    throw ParseError("circuit load: bad root id");
+  }
+  out.set_root(map[static_cast<std::size_t>(root)]);
+  return out;
+}
+
+void save_circuit(const Circuit& circuit, const std::string& path) {
+  std::ofstream f(path);
+  require(f.good(), "save_circuit: cannot open '" + path + "'");
+  f << to_text(circuit);
+}
+
+Circuit load_circuit(const std::string& path) {
+  std::ifstream f(path);
+  require(f.good(), "load_circuit: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return from_text(buf.str());
+}
+
+}  // namespace problp::ac

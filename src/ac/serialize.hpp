@@ -1,0 +1,29 @@
+// Plain-text persistence for circuits, so compiled ACs can be cached,
+// diffed, and shipped between tools.  The format is line-oriented:
+//
+//   problp-ac 1
+//   vars <n> <card_0> ... <card_{n-1}>
+//   nodes <count>
+//   lambda <var> <state>
+//   theta <value (%.17g)>
+//   sum|prod|max <k> <child_0> ... <child_{k-1}>
+//   root <id>
+//
+// Node ids are implicit line positions.  Loading rebuilds through the
+// builder, so structurally duplicate nodes may be shared; semantics (values
+// computed for every assignment) round-trip exactly.
+#pragma once
+
+#include <string>
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+std::string to_text(const Circuit& circuit);
+Circuit from_text(const std::string& text);
+
+void save_circuit(const Circuit& circuit, const std::string& path);
+Circuit load_circuit(const std::string& path);
+
+}  // namespace problp::ac

@@ -1,0 +1,91 @@
+#include "ac/transform.hpp"
+
+namespace problp::ac {
+
+namespace {
+
+NodeId emit_operator(Circuit& out, NodeKind kind, std::vector<NodeId> children,
+                     DecompositionStyle style) {
+  auto combine = [&](std::vector<NodeId> two) {
+    switch (kind) {
+      case NodeKind::kSum: return out.add_sum(std::move(two));
+      case NodeKind::kProd: return out.add_prod(std::move(two));
+      case NodeKind::kMax: return out.add_max(std::move(two));
+      default: throw InvalidArgument("emit_operator: not an operator kind");
+    }
+  };
+  if (style == DecompositionStyle::kChain) {
+    NodeId acc = children.front();
+    for (std::size_t i = 1; i < children.size(); ++i) {
+      acc = combine({acc, children[i]});
+    }
+    return acc;
+  }
+  // Balanced: reduce adjacent pairs until one node remains.
+  std::vector<NodeId> level = std::move(children);
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(combine({level[i], level[i + 1]}));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace
+
+BinarizeResult binarize(const Circuit& circuit, DecompositionStyle style) {
+  require(circuit.root() != kInvalidNode, "binarize: circuit has no root");
+  BinarizeResult out{Circuit(circuit.cardinalities()), {}};
+  out.node_map.resize(circuit.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    NodeId mapped = kInvalidNode;
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        mapped = out.circuit.add_indicator(n.var, n.state);
+        break;
+      case NodeKind::kParameter:
+        mapped = out.circuit.add_parameter(n.value);
+        break;
+      default: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(out.node_map[static_cast<std::size_t>(c)]);
+        mapped = emit_operator(out.circuit, n.kind, std::move(children), style);
+        break;
+      }
+    }
+    out.node_map[i] = mapped;
+  }
+  out.circuit.set_root(out.node_map[static_cast<std::size_t>(circuit.root())]);
+  return out;
+}
+
+Circuit to_max_circuit(const Circuit& circuit) {
+  require(circuit.root() != kInvalidNode, "to_max_circuit: circuit has no root");
+  Circuit out(circuit.cardinalities());
+  std::vector<NodeId> map(circuit.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    NodeId mapped = kInvalidNode;
+    std::vector<NodeId> children;
+    children.reserve(n.children.size());
+    for (NodeId c : n.children) children.push_back(map[static_cast<std::size_t>(c)]);
+    switch (n.kind) {
+      case NodeKind::kIndicator: mapped = out.add_indicator(n.var, n.state); break;
+      case NodeKind::kParameter: mapped = out.add_parameter(n.value); break;
+      case NodeKind::kSum:
+      case NodeKind::kMax: mapped = out.add_max(std::move(children)); break;
+      case NodeKind::kProd: mapped = out.add_prod(std::move(children)); break;
+    }
+    map[i] = mapped;
+  }
+  out.set_root(map[static_cast<std::size_t>(circuit.root())]);
+  return out;
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,34 @@
+// Circuit transformations.
+//
+//  * binarize — decomposes every operator with more than two inputs into a
+//    tree of 2-input operators, the first stage of ProbLP's hardware
+//    generation (paper §3.4, Fig. 4).  Balanced trees minimise pipeline
+//    depth; chain (left-fold) decomposition is kept as an ablation.
+//
+//  * to_max_circuit — replaces SUM with MAX, turning a marginal circuit into
+//    the maximiser circuit an MPE query evaluates (paper §3.2.1).
+#pragma once
+
+#include "ac/circuit.hpp"
+
+namespace problp::ac {
+
+enum class DecompositionStyle {
+  kBalanced,  ///< pairwise reduction, depth ceil(log2(fanin))
+  kChain,     ///< left fold, depth fanin-1
+};
+
+struct BinarizeResult {
+  Circuit circuit;
+  /// node_map[old_id] == corresponding node in `circuit` (for ops, the root
+  /// of the decomposition tree).
+  std::vector<NodeId> node_map;
+};
+
+/// Rewrites the circuit so every operator has fanin <= 2.
+BinarizeResult binarize(const Circuit& circuit, DecompositionStyle style = DecompositionStyle::kBalanced);
+
+/// Same circuit with every SUM turned into a MAX.
+Circuit to_max_circuit(const Circuit& circuit);
+
+}  // namespace problp::ac

@@ -1,0 +1,87 @@
+#include "bn/alarm.hpp"
+
+#include "util/rng.hpp"
+
+namespace problp::bn {
+
+namespace {
+
+struct NodeSpec {
+  const char* name;
+  int cardinality;
+  std::initializer_list<const char*> parents;
+};
+
+// The standard ALARM topology: 37 nodes, 46 arcs (Beinlich et al. 1989, as
+// distributed in the bnlearn repository).
+constexpr std::initializer_list<NodeSpec> kAlarmSpec = {
+    {"HYPOVOLEMIA", 2, {}},
+    {"LVFAILURE", 2, {}},
+    {"ERRLOWOUTPUT", 2, {}},
+    {"ERRCAUTER", 2, {}},
+    {"INSUFFANESTH", 2, {}},
+    {"ANAPHYLAXIS", 2, {}},
+    {"KINKEDTUBE", 2, {}},
+    {"FIO2", 2, {}},
+    {"PULMEMBOLUS", 2, {}},
+    {"INTUBATION", 3, {}},
+    {"DISCONNECT", 2, {}},
+    {"MINVOLSET", 3, {}},
+    {"HISTORY", 2, {"LVFAILURE"}},
+    {"LVEDVOLUME", 3, {"HYPOVOLEMIA", "LVFAILURE"}},
+    {"CVP", 3, {"LVEDVOLUME"}},
+    {"PCWP", 3, {"LVEDVOLUME"}},
+    {"STROKEVOLUME", 3, {"HYPOVOLEMIA", "LVFAILURE"}},
+    {"TPR", 3, {"ANAPHYLAXIS"}},
+    {"PAP", 3, {"PULMEMBOLUS"}},
+    {"SHUNT", 2, {"PULMEMBOLUS", "INTUBATION"}},
+    {"VENTMACH", 4, {"MINVOLSET"}},
+    {"VENTTUBE", 4, {"DISCONNECT", "VENTMACH"}},
+    {"PRESS", 4, {"INTUBATION", "KINKEDTUBE", "VENTTUBE"}},
+    {"VENTLUNG", 4, {"INTUBATION", "KINKEDTUBE", "VENTTUBE"}},
+    {"MINVOL", 4, {"INTUBATION", "VENTLUNG"}},
+    {"VENTALV", 4, {"INTUBATION", "VENTLUNG"}},
+    {"PVSAT", 3, {"FIO2", "VENTALV"}},
+    {"ARTCO2", 3, {"VENTALV"}},
+    {"EXPCO2", 4, {"ARTCO2", "VENTLUNG"}},
+    {"SAO2", 3, {"PVSAT", "SHUNT"}},
+    {"CATECHOL", 2, {"ARTCO2", "INSUFFANESTH", "SAO2", "TPR"}},
+    {"HR", 3, {"CATECHOL"}},
+    {"HRBP", 3, {"ERRLOWOUTPUT", "HR"}},
+    {"HREKG", 3, {"ERRCAUTER", "HR"}},
+    {"HRSAT", 3, {"ERRCAUTER", "HR"}},
+    {"CO", 3, {"HR", "STROKEVOLUME"}},
+    {"BP", 3, {"CO", "TPR"}},
+};
+
+}  // namespace
+
+BayesianNetwork make_alarm_network(std::uint64_t seed, double alpha) {
+  BayesianNetwork network;
+  for (const NodeSpec& spec : kAlarmSpec) {
+    network.add_variable(spec.name, spec.cardinality);
+  }
+  Rng rng(seed);
+  for (const NodeSpec& spec : kAlarmSpec) {
+    const int child = network.find_variable(spec.name);
+    std::vector<int> parents;
+    std::size_t rows = 1;
+    for (const char* p : spec.parents) {
+      const int pid = network.find_variable(p);
+      require(pid >= 0, std::string("alarm: unknown parent ") + p);
+      parents.push_back(pid);
+      rows *= static_cast<std::size_t>(network.cardinality(pid));
+    }
+    std::vector<double> values;
+    values.reserve(rows * static_cast<std::size_t>(spec.cardinality));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto row = rng.dirichlet(spec.cardinality, alpha);
+      values.insert(values.end(), row.begin(), row.end());
+    }
+    network.set_cpt(child, std::move(parents), std::move(values));
+  }
+  network.validate();
+  return network;
+}
+
+}  // namespace problp::bn

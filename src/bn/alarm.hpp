@@ -1,0 +1,22 @@
+// The ALARM patient-monitoring network (Beinlich et al., 1989) — the paper's
+// fourth benchmark and the network used for the Fig. 5 bound-validation
+// experiment.
+//
+// Substitution note (see DESIGN.md): the genuine 37-variable / 46-arc
+// structure and state spaces are reproduced here; the CPT values, which are
+// not in the paper, are drawn from a seeded Dirichlet so the experiments are
+// deterministic.  ProbLP's analyses depend on circuit structure and parameter
+// magnitudes, not on the clinical numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/network.hpp"
+
+namespace problp::bn {
+
+/// Builds ALARM with Dirichlet(alpha)-distributed CPT rows.
+/// alpha < 1 skews rows toward deterministic-ish CPTs like the original's.
+BayesianNetwork make_alarm_network(std::uint64_t seed = 1989, double alpha = 0.6);
+
+}  // namespace problp::bn

@@ -1,0 +1,295 @@
+#include "bn/bif.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace problp::bn {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+// Splits BIF text into tokens: punctuation characters are single-character
+// tokens; everything else groups into words/numbers.
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::string word;
+  auto flush = [&] {
+    if (!word.empty()) {
+      tokens.push_back({word, line});
+      word.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush();
+      ++line;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      flush();
+      while (i < text.size() && text[i] != '\n') ++i;
+      ++line;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+      continue;
+    }
+    if (std::string("{}()[]|,;").find(c) != std::string::npos) {
+      flush();
+      tokens.push_back({std::string(1, c), line});
+      continue;
+    }
+    word.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(tokenize(text)) {}
+
+  BayesianNetwork parse() {
+    BayesianNetwork network;
+    while (!at_end()) {
+      const Token& t = peek();
+      if (t.text == "network") {
+        skip_block_after_keyword();
+      } else if (t.text == "variable") {
+        parse_variable(network);
+      } else if (t.text == "probability") {
+        parse_probability(network);
+      } else {
+        fail("unexpected token '" + t.text + "'");
+      }
+    }
+    return network;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    const int line = at_end() ? (tokens_.empty() ? 0 : tokens_.back().line) : peek().line;
+    throw ParseError(str_format("BIF parse error at line %d: %s", line, msg.c_str()));
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+  const Token& peek() const { return tokens_[pos_]; }
+  Token next() {
+    if (at_end()) fail("unexpected end of input");
+    return tokens_[pos_++];
+  }
+  void expect(const std::string& text) {
+    const Token t = next();
+    if (t.text != text) fail("expected '" + text + "', got '" + t.text + "'");
+  }
+
+  double number(const std::string& text) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(text, &used);
+      if (used != text.size()) fail("bad number '" + text + "'");
+      return v;
+    } catch (const std::exception&) {
+      fail("bad number '" + text + "'");
+    }
+  }
+
+  // `network foo { ... }` — skip the name and the brace block.
+  void skip_block_after_keyword() {
+    next();  // keyword
+    while (!at_end() && peek().text != "{") next();
+    expect("{");
+    int depth = 1;
+    while (depth > 0) {
+      const Token t = next();
+      if (t.text == "{") ++depth;
+      if (t.text == "}") --depth;
+    }
+  }
+
+  void parse_variable(BayesianNetwork& network) {
+    expect("variable");
+    const std::string name = next().text;
+    expect("{");
+    expect("type");
+    expect("discrete");
+    expect("[");
+    const int card = static_cast<int>(number(next().text));
+    expect("]");
+    expect("{");
+    std::vector<std::string> states;
+    while (peek().text != "}") {
+      const Token t = next();
+      if (t.text == ",") continue;
+      states.push_back(t.text);
+    }
+    expect("}");
+    expect(";");
+    expect("}");
+    if (static_cast<int>(states.size()) != card) fail("state count mismatch for " + name);
+    network.add_variable(name, std::move(states));
+  }
+
+  int variable_id(const BayesianNetwork& network, const std::string& name) {
+    const int id = network.find_variable(name);
+    if (id < 0) fail("unknown variable '" + name + "'");
+    return id;
+  }
+
+  int state_id(const BayesianNetwork& network, int var, const std::string& name) {
+    const auto& states = network.variable(var).state_names;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == name) return static_cast<int>(i);
+    }
+    fail("unknown state '" + name + "' of variable '" + network.variable(var).name + "'");
+  }
+
+  void parse_probability(BayesianNetwork& network) {
+    expect("probability");
+    expect("(");
+    const int child = variable_id(network, next().text);
+    std::vector<int> parents;
+    if (peek().text == "|") {
+      next();
+      while (peek().text != ")") {
+        const Token t = next();
+        if (t.text == ",") continue;
+        parents.push_back(variable_id(network, t.text));
+      }
+    }
+    expect(")");
+    expect("{");
+
+    const int child_card = network.cardinality(child);
+    std::size_t rows = 1;
+    std::vector<int> parent_cards;
+    for (int p : parents) {
+      parent_cards.push_back(network.cardinality(p));
+      rows *= static_cast<std::size_t>(network.cardinality(p));
+    }
+    std::vector<double> values(rows * static_cast<std::size_t>(child_card), -1.0);
+
+    while (peek().text != "}") {
+      if (peek().text == "table") {
+        next();
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (peek().text == ",") next();
+          values[i] = number(next().text);
+        }
+        expect(";");
+      } else if (peek().text == "(") {
+        next();
+        std::vector<int> pstates;
+        for (std::size_t i = 0; i < parents.size(); ++i) {
+          if (peek().text == ",") next();
+          pstates.push_back(state_id(network, parents[i], next().text));
+        }
+        expect(")");
+        std::size_t row = 0;
+        for (std::size_t i = 0; i < parents.size(); ++i) {
+          row = row * static_cast<std::size_t>(parent_cards[i]) + static_cast<std::size_t>(pstates[i]);
+        }
+        for (int s = 0; s < child_card; ++s) {
+          if (peek().text == ",") next();
+          values[row * static_cast<std::size_t>(child_card) + static_cast<std::size_t>(s)] =
+              number(next().text);
+        }
+        expect(";");
+      } else {
+        fail("expected 'table' or '(' in probability block");
+      }
+    }
+    expect("}");
+    for (double v : values) {
+      if (v < 0.0) fail("incomplete CPT for variable " + network.variable(child).name);
+    }
+    network.set_cpt(child, std::move(parents), std::move(values));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+BayesianNetwork parse_bif(const std::string& text) { return Parser(text).parse(); }
+
+BayesianNetwork load_bif_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_bif_file: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_bif(buf.str());
+}
+
+std::string to_bif(const BayesianNetwork& network, const std::string& network_name) {
+  std::ostringstream os;
+  os << "network " << network_name << " {\n}\n";
+  for (int v = 0; v < network.num_variables(); ++v) {
+    const Variable& var = network.variable(v);
+    os << "variable " << var.name << " {\n  type discrete [ " << var.cardinality() << " ] { ";
+    for (int s = 0; s < var.cardinality(); ++s) {
+      os << (s ? ", " : "") << var.state_names[static_cast<std::size_t>(s)];
+    }
+    os << " };\n}\n";
+  }
+  os.precision(17);
+  for (int v = 0; v < network.num_variables(); ++v) {
+    const Cpt& c = network.cpt(v);
+    os << "probability ( " << network.variable(v).name;
+    if (!c.parents.empty()) {
+      os << " | ";
+      for (std::size_t i = 0; i < c.parents.size(); ++i) {
+        os << (i ? ", " : "") << network.variable(c.parents[i]).name;
+      }
+    }
+    os << " ) {\n";
+    const auto child_card = static_cast<std::size_t>(network.cardinality(v));
+    if (c.parents.empty()) {
+      os << "  table ";
+      for (std::size_t s = 0; s < child_card; ++s) os << (s ? ", " : "") << c.values[s];
+      os << ";\n";
+    } else {
+      // Enumerate parent rows (last parent fastest, matching Cpt layout).
+      std::vector<int> pstates(c.parents.size(), 0);
+      const std::size_t rows = c.values.size() / child_card;
+      for (std::size_t row = 0; row < rows; ++row) {
+        os << "  (";
+        for (std::size_t i = 0; i < pstates.size(); ++i) {
+          const auto& pvar = network.variable(c.parents[i]);
+          os << (i ? ", " : "") << pvar.state_names[static_cast<std::size_t>(pstates[i])];
+        }
+        os << ") ";
+        for (std::size_t s = 0; s < child_card; ++s) {
+          os << (s ? ", " : "") << c.values[row * child_card + s];
+        }
+        os << ";\n";
+        for (std::size_t i = pstates.size(); i > 0; --i) {
+          if (++pstates[i - 1] < network.cardinality(c.parents[i - 1])) break;
+          pstates[i - 1] = 0;
+        }
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void save_bif_file(const BayesianNetwork& network, const std::string& path,
+                   const std::string& network_name) {
+  std::ofstream out(path);
+  require(out.good(), "save_bif_file: cannot open '" + path + "'");
+  out << to_bif(network, network_name);
+}
+
+}  // namespace problp::bn

@@ -1,0 +1,33 @@
+// Reader/writer for the Interchange Format for Bayesian networks (BIF), the
+// textual format the standard benchmark networks (ALARM & friends) are
+// distributed in (bnlearn repository dialect).
+//
+// Supported subset:
+//   network <name> { ... }                      (properties ignored)
+//   variable X { type discrete [ n ] { a, b }; }
+//   probability ( X ) { table p1, ..., pn; }
+//   probability ( X | P1, P2 ) { (s1, s2) p1, ..., pn; ... }
+// Comments: // to end of line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bn/network.hpp"
+
+namespace problp::bn {
+
+/// Parses BIF text; throws ParseError with a line number on malformed input.
+BayesianNetwork parse_bif(const std::string& text);
+
+/// Reads and parses a .bif file.
+BayesianNetwork load_bif_file(const std::string& path);
+
+/// Serialises to BIF text (round-trips through parse_bif).
+std::string to_bif(const BayesianNetwork& network, const std::string& network_name = "unknown");
+
+/// Writes to a file.
+void save_bif_file(const BayesianNetwork& network, const std::string& path,
+                   const std::string& network_name = "unknown");
+
+}  // namespace problp::bn

@@ -1,0 +1,207 @@
+// Generic factor tables for variable elimination.
+//
+// A FactorTable<T> maps joint assignments of a set of discrete variables to
+// values of type T.  The same machinery drives two clients:
+//
+//  * `bn::VariableElimination` instantiates T = double and combines entries
+//    with ordinary (*, +) — the exact-inference baseline;
+//  * `compile::VeCompiler` instantiates T = ac::NodeId and combines entries
+//    by *emitting circuit nodes* — recording the trace of variable
+//    elimination as an arithmetic circuit (Darwiche's network-polynomial
+//    view, the role ACE plays in the paper).
+//
+// Entries are stored row-major with the *last* variable in `vars()` fastest;
+// vars() is kept sorted ascending so factor products can merge scopes
+// deterministically.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace problp::bn {
+
+template <class T>
+class FactorTable {
+ public:
+  /// A factor over `vars` (ascending ids) with the given per-variable
+  /// cardinalities, all entries default-initialised.
+  FactorTable(std::vector<int> vars, std::vector<int> cards)
+      : vars_(std::move(vars)), cards_(std::move(cards)) {
+    require(vars_.size() == cards_.size(), "FactorTable: vars/cards size mismatch");
+    require(std::is_sorted(vars_.begin(), vars_.end()) &&
+                std::adjacent_find(vars_.begin(), vars_.end()) == vars_.end(),
+            "FactorTable: vars must be sorted and unique");
+    std::size_t n = 1;
+    for (int c : cards_) {
+      require(c >= 1, "FactorTable: cardinality must be >= 1");
+      n *= static_cast<std::size_t>(c);
+    }
+    values_.resize(n);
+  }
+
+  /// A scalar factor (empty scope, one entry).
+  static FactorTable scalar(T value) {
+    FactorTable f({}, {});
+    f.values_[0] = std::move(value);
+    return f;
+  }
+
+  const std::vector<int>& vars() const { return vars_; }
+  const std::vector<int>& cards() const { return cards_; }
+  std::size_t size() const { return values_.size(); }
+  bool is_scalar() const { return vars_.empty(); }
+
+  T& operator[](std::size_t i) { return values_[i]; }
+  const T& operator[](std::size_t i) const { return values_[i]; }
+
+  /// Flat index of an assignment restricted to this factor's scope.
+  /// `full_assignment[v]` must be valid for every v in vars().
+  std::size_t index_of(const std::vector<int>& full_assignment) const {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      idx = idx * static_cast<std::size_t>(cards_[i]) +
+            static_cast<std::size_t>(full_assignment[static_cast<std::size_t>(vars_[i])]);
+    }
+    return idx;
+  }
+
+  /// Entry accessor by per-scope states (aligned with vars()).
+  T& at(const std::vector<int>& states) { return values_[flat_index(states)]; }
+  const T& at(const std::vector<int>& states) const { return values_[flat_index(states)]; }
+
+  /// Pointwise product of two factors over the union of their scopes.
+  /// `mul(a, b)` combines one entry of each.
+  template <class Mul>
+  static FactorTable product(const FactorTable& a, const FactorTable& b, Mul&& mul) {
+    std::vector<int> uvars;
+    std::vector<int> ucards;
+    std::merge(a.vars_.begin(), a.vars_.end(), b.vars_.begin(), b.vars_.end(),
+               std::back_inserter(uvars));
+    uvars.erase(std::unique(uvars.begin(), uvars.end()), uvars.end());
+    ucards.reserve(uvars.size());
+    for (int v : uvars) {
+      const int ca = a.card_of(v);
+      const int cb = b.card_of(v);
+      require(ca < 0 || cb < 0 || ca == cb, "FactorTable::product: cardinality clash");
+      ucards.push_back(ca >= 0 ? ca : cb);
+    }
+    FactorTable out(uvars, ucards);
+    // Odometer over the union scope; track flat indices into a and b
+    // incrementally via their strides in the union ordering.
+    const auto stride_a = strides_in(a, uvars);
+    const auto stride_b = strides_in(b, uvars);
+    std::vector<int> state(uvars.size(), 0);
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    for (std::size_t io = 0;; ++io) {
+      out.values_[io] = mul(a.values_[ia], b.values_[ib]);
+      // increment odometer (last variable fastest)
+      std::size_t k = uvars.size();
+      while (k > 0) {
+        --k;
+        ++state[k];
+        ia += stride_a[k];
+        ib += stride_b[k];
+        if (state[k] < ucards[k]) break;
+        // carry: rewind this digit
+        ia -= stride_a[k] * static_cast<std::size_t>(ucards[k]);
+        ib -= stride_b[k] * static_cast<std::size_t>(ucards[k]);
+        state[k] = 0;
+        if (k == 0) return out;
+      }
+      if (uvars.empty()) return out;
+    }
+  }
+
+  /// Eliminates `var` by reducing each group of entries that agree on all
+  /// other variables.  `reduce(span)` receives the `card(var)` group members
+  /// (e.g. sums them, max-es them, or emits an n-ary SUM circuit node).
+  template <class Reduce>
+  FactorTable eliminate(int var, Reduce&& reduce) const {
+    const auto pos_it = std::find(vars_.begin(), vars_.end(), var);
+    require(pos_it != vars_.end(), "FactorTable::eliminate: var not in scope");
+    const auto pos = static_cast<std::size_t>(pos_it - vars_.begin());
+    const int card = cards_[pos];
+
+    std::vector<int> rvars;
+    std::vector<int> rcards;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (i == pos) continue;
+      rvars.push_back(vars_[i]);
+      rcards.push_back(cards_[i]);
+    }
+    FactorTable out(rvars, rcards);
+
+    // stride of `var` in this factor; entries of a group are `stride` apart.
+    std::size_t stride = 1;
+    for (std::size_t i = pos + 1; i < vars_.size(); ++i) {
+      stride *= static_cast<std::size_t>(cards_[i]);
+    }
+
+    std::vector<T> group(static_cast<std::size_t>(card));
+    const std::size_t inner = stride;                     // entries with var slower
+    const std::size_t outer = values_.size() / (inner * static_cast<std::size_t>(card));
+    std::size_t io = 0;
+    for (std::size_t o = 0; o < outer; ++o) {
+      const std::size_t base_o = o * inner * static_cast<std::size_t>(card);
+      for (std::size_t in = 0; in < inner; ++in) {
+        for (int s = 0; s < card; ++s) {
+          group[static_cast<std::size_t>(s)] =
+              values_[base_o + static_cast<std::size_t>(s) * stride + in];
+        }
+        out.values_[io++] = reduce(std::span<const T>(group));
+      }
+    }
+    return out;
+  }
+
+  /// Restricts `var` to `state` (drops it from the scope).
+  FactorTable restrict_var(int var, int state) const {
+    const auto pos_it = std::find(vars_.begin(), vars_.end(), var);
+    require(pos_it != vars_.end(), "FactorTable::restrict_var: var not in scope");
+    const auto pos = static_cast<std::size_t>(pos_it - vars_.begin());
+    require(state >= 0 && state < cards_[pos], "FactorTable::restrict_var: bad state");
+    return eliminate(var, [&](std::span<const T> group) { return group[static_cast<std::size_t>(state)]; });
+  }
+
+ private:
+  std::size_t flat_index(const std::vector<int>& states) const {
+    require(states.size() == vars_.size(), "FactorTable::at: arity mismatch");
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      require(states[i] >= 0 && states[i] < cards_[i], "FactorTable::at: state out of range");
+      idx = idx * static_cast<std::size_t>(cards_[i]) + static_cast<std::size_t>(states[i]);
+    }
+    return idx;
+  }
+
+  /// Cardinality of `v` in this factor, or -1 when absent.
+  int card_of(int v) const {
+    const auto it = std::find(vars_.begin(), vars_.end(), v);
+    return it == vars_.end() ? -1 : cards_[static_cast<std::size_t>(it - vars_.begin())];
+  }
+
+  /// For each union variable, how much one step of that odometer digit moves
+  /// the flat index of `f` (0 when f does not mention the variable).
+  static std::vector<std::size_t> strides_in(const FactorTable& f, const std::vector<int>& uvars) {
+    std::vector<std::size_t> strides(uvars.size(), 0);
+    std::size_t s = 1;
+    for (std::size_t i = f.vars_.size(); i > 0; --i) {
+      const int v = f.vars_[i - 1];
+      const auto it = std::find(uvars.begin(), uvars.end(), v);
+      strides[static_cast<std::size_t>(it - uvars.begin())] = s;
+      s *= static_cast<std::size_t>(f.cards_[i - 1]);
+    }
+    return strides;
+  }
+
+  std::vector<int> vars_;
+  std::vector<int> cards_;
+  std::vector<T> values_;
+};
+
+}  // namespace problp::bn

@@ -1,0 +1,80 @@
+#include "bn/likelihood_weighting.hpp"
+
+namespace problp::bn {
+
+namespace {
+
+// One weighted sample: evidence variables are clamped and contribute their
+// CPT probability to the weight; free variables are forward-sampled.
+double weighted_sample(const BayesianNetwork& network, const Evidence& evidence,
+                       const std::vector<int>& topo, Assignment& out, Rng& rng) {
+  double weight = 1.0;
+  for (int v : topo) {
+    std::vector<int> pstates;
+    pstates.reserve(network.parents(v).size());
+    for (int p : network.parents(v)) pstates.push_back(out[static_cast<std::size_t>(p)]);
+    const auto& obs = evidence[static_cast<std::size_t>(v)];
+    if (obs.has_value()) {
+      out[static_cast<std::size_t>(v)] = *obs;
+      weight *= network.cpt_value(v, *obs, pstates);
+    } else {
+      std::vector<double> probs;
+      const int card = network.cardinality(v);
+      probs.reserve(static_cast<std::size_t>(card));
+      for (int s = 0; s < card; ++s) probs.push_back(network.cpt_value(v, s, pstates));
+      out[static_cast<std::size_t>(v)] = rng.categorical(probs);
+    }
+  }
+  return weight;
+}
+
+}  // namespace
+
+LikelihoodWeightingResult estimate_evidence_probability(const BayesianNetwork& network,
+                                                        const Evidence& evidence,
+                                                        int num_samples, Rng& rng) {
+  require(num_samples > 0, "likelihood weighting: need > 0 samples");
+  require(evidence.size() == static_cast<std::size_t>(network.num_variables()),
+          "likelihood weighting: evidence size mismatch");
+  const auto topo = network.topological_order();
+  Assignment sample(static_cast<std::size_t>(network.num_variables()), 0);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (int i = 0; i < num_samples; ++i) {
+    const double w = weighted_sample(network, evidence, topo, sample, rng);
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  LikelihoodWeightingResult out;
+  out.samples = static_cast<std::size_t>(num_samples);
+  out.estimate = sum_w / num_samples;
+  out.effective_samples = (sum_w2 > 0.0) ? (sum_w * sum_w) / sum_w2 : 0.0;
+  return out;
+}
+
+LikelihoodWeightingResult estimate_conditional(const BayesianNetwork& network, int query_var,
+                                               int state, const Evidence& evidence,
+                                               int num_samples, Rng& rng) {
+  require(query_var >= 0 && query_var < network.num_variables(),
+          "likelihood weighting: bad query var");
+  require(!evidence[static_cast<std::size_t>(query_var)].has_value(),
+          "likelihood weighting: query variable already observed");
+  const auto topo = network.topological_order();
+  Assignment sample(static_cast<std::size_t>(network.num_variables()), 0);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  double sum_match = 0.0;
+  for (int i = 0; i < num_samples; ++i) {
+    const double w = weighted_sample(network, evidence, topo, sample, rng);
+    sum_w += w;
+    sum_w2 += w * w;
+    if (sample[static_cast<std::size_t>(query_var)] == state) sum_match += w;
+  }
+  LikelihoodWeightingResult out;
+  out.samples = static_cast<std::size_t>(num_samples);
+  out.estimate = (sum_w > 0.0) ? sum_match / sum_w : 0.0;
+  out.effective_samples = (sum_w2 > 0.0) ? (sum_w * sum_w) / sum_w2 : 0.0;
+  return out;
+}
+
+}  // namespace problp::bn

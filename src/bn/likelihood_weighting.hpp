@@ -1,0 +1,31 @@
+// Likelihood-weighted sampling — an anytime approximate-inference baseline.
+//
+// Exact engines (variable elimination, compiled ACs) answer the same queries
+// deterministically; likelihood weighting cross-validates them on networks
+// too large to brute-force, and gives the repository an "approximate
+// inference" reference point the embedded-ML literature frequently compares
+// against.
+#pragma once
+
+#include "bn/network.hpp"
+#include "util/rng.hpp"
+
+namespace problp::bn {
+
+struct LikelihoodWeightingResult {
+  double estimate = 0.0;        ///< estimated probability
+  double effective_samples = 0; ///< ESS = (sum w)^2 / sum w^2, degeneracy check
+  std::size_t samples = 0;
+};
+
+/// Estimates Pr(e) with `num_samples` weighted forward samples.
+LikelihoodWeightingResult estimate_evidence_probability(const BayesianNetwork& network,
+                                                        const Evidence& evidence,
+                                                        int num_samples, Rng& rng);
+
+/// Estimates Pr(Q = state | e).
+LikelihoodWeightingResult estimate_conditional(const BayesianNetwork& network, int query_var,
+                                               int state, const Evidence& evidence,
+                                               int num_samples, Rng& rng);
+
+}  // namespace problp::bn

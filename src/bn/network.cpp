@@ -1,0 +1,141 @@
+#include "bn/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/strings.hpp"
+
+namespace problp::bn {
+
+std::size_t Cpt::index(int child_state, const std::vector<int>& parent_states,
+                       const std::vector<int>& parent_cards, int child_card) {
+  require(parent_states.size() == parent_cards.size(), "Cpt::index: arity mismatch");
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < parent_states.size(); ++i) {
+    const int s = parent_states[i];
+    require(s >= 0 && s < parent_cards[i], "Cpt::index: parent state out of range");
+    idx = idx * static_cast<std::size_t>(parent_cards[i]) + static_cast<std::size_t>(s);
+  }
+  require(child_state >= 0 && child_state < child_card, "Cpt::index: child state out of range");
+  return idx * static_cast<std::size_t>(child_card) + static_cast<std::size_t>(child_state);
+}
+
+int BayesianNetwork::add_variable(std::string name, std::vector<std::string> state_names) {
+  require(!name.empty(), "add_variable: empty name");
+  require(state_names.size() >= 2, "add_variable: need at least two states");
+  require(find_variable(name) < 0, "add_variable: duplicate name '" + name + "'");
+  variables_.push_back(Variable{std::move(name), std::move(state_names)});
+  cpts_.emplace_back();
+  return num_variables() - 1;
+}
+
+int BayesianNetwork::add_variable(std::string name, int cardinality) {
+  std::vector<std::string> states;
+  states.reserve(static_cast<std::size_t>(cardinality));
+  for (int s = 0; s < cardinality; ++s) states.push_back(str_format("s%d", s));
+  return add_variable(std::move(name), std::move(states));
+}
+
+void BayesianNetwork::set_cpt(int child, std::vector<int> parents, std::vector<double> values) {
+  require(child >= 0 && child < num_variables(), "set_cpt: bad child id");
+  std::size_t expected = static_cast<std::size_t>(cardinality(child));
+  for (int p : parents) {
+    require(p >= 0 && p < num_variables() && p != child, "set_cpt: bad parent id");
+    expected *= static_cast<std::size_t>(cardinality(p));
+  }
+  require(values.size() == expected, "set_cpt: value count mismatch");
+  cpts_[static_cast<std::size_t>(child)] = Cpt{child, std::move(parents), std::move(values)};
+}
+
+const Cpt& BayesianNetwork::cpt(int v) const {
+  const Cpt& c = cpts_.at(static_cast<std::size_t>(v));
+  require(c.child == v, "cpt: variable has no CPT yet");
+  return c;
+}
+
+bool BayesianNetwork::has_cpt(int v) const {
+  return cpts_.at(static_cast<std::size_t>(v)).child == v;
+}
+
+int BayesianNetwork::find_variable(const std::string& name) const {
+  for (int v = 0; v < num_variables(); ++v) {
+    if (variables_[static_cast<std::size_t>(v)].name == name) return v;
+  }
+  return -1;
+}
+
+std::vector<int> BayesianNetwork::children(int v) const {
+  std::vector<int> out;
+  for (int c = 0; c < num_variables(); ++c) {
+    if (!has_cpt(c)) continue;
+    const auto& ps = cpt(c).parents;
+    if (std::find(ps.begin(), ps.end(), v) != ps.end()) out.push_back(c);
+  }
+  return out;
+}
+
+double BayesianNetwork::cpt_value(int child, int child_state,
+                                  const std::vector<int>& parent_states) const {
+  const Cpt& c = cpt(child);
+  std::vector<int> cards;
+  cards.reserve(c.parents.size());
+  for (int p : c.parents) cards.push_back(cardinality(p));
+  return c.values[Cpt::index(child_state, parent_states, cards, cardinality(child))];
+}
+
+std::vector<int> BayesianNetwork::topological_order() const {
+  const int n = num_variables();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    if (has_cpt(v)) indegree[static_cast<std::size_t>(v)] = static_cast<int>(cpt(v).parents.size());
+  }
+  std::queue<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (int c : children(v)) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  require(static_cast<int>(order.size()) == n, "topological_order: graph has a cycle");
+  return order;
+}
+
+void BayesianNetwork::validate(double row_sum_tolerance) const {
+  require(num_variables() > 0, "validate: empty network");
+  for (int v = 0; v < num_variables(); ++v) {
+    require(has_cpt(v), "validate: variable '" + variable(v).name + "' has no CPT");
+    const Cpt& c = cpt(v);
+    const auto child_card = static_cast<std::size_t>(cardinality(v));
+    require(c.values.size() % child_card == 0, "validate: ragged CPT");
+    for (std::size_t row = 0; row < c.values.size() / child_card; ++row) {
+      double sum = 0.0;
+      for (std::size_t s = 0; s < child_card; ++s) {
+        const double p = c.values[row * child_card + s];
+        require(p >= 0.0 && p <= 1.0 && std::isfinite(p),
+                "validate: CPT entry outside [0,1] for '" + variable(v).name + "'");
+        sum += p;
+      }
+      require(std::abs(sum - 1.0) <= row_sum_tolerance,
+              "validate: CPT row does not sum to 1 for '" + variable(v).name + "'");
+    }
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+std::size_t BayesianNetwork::num_parameters() const {
+  std::size_t n = 0;
+  for (int v = 0; v < num_variables(); ++v) {
+    if (has_cpt(v)) n += cpt(v).values.size();
+  }
+  return n;
+}
+
+}  // namespace problp::bn

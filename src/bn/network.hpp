@@ -1,0 +1,94 @@
+// Discrete Bayesian networks (paper §2): a DAG over categorical random
+// variables where every variable owns a conditional probability table (CPT)
+// P(X | parents(X)).  This is the modelling substrate ProbLP's arithmetic
+// circuits are compiled from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace problp::bn {
+
+/// A categorical random variable.  States are named so BIF round-trips keep
+/// human-readable labels.
+struct Variable {
+  std::string name;
+  std::vector<std::string> state_names;
+
+  int cardinality() const { return static_cast<int>(state_names.size()); }
+};
+
+/// Conditional probability table for one variable.
+///
+/// Layout: values[parent_index * card(child) + child_state], where
+/// parent_index enumerates parent assignments row-major with the *last*
+/// parent fastest (matching the order parent states are listed in BIF files).
+struct Cpt {
+  int child = -1;
+  std::vector<int> parents;
+  std::vector<double> values;
+
+  /// Flat index of (child_state, parent_states); parent_states aligned with
+  /// `parents`.
+  static std::size_t index(int child_state, const std::vector<int>& parent_states,
+                           const std::vector<int>& parent_cards, int child_card);
+};
+
+/// Partial assignment: evidence[v] holds the observed state of variable v, or
+/// nullopt when v is unobserved.
+using Evidence = std::vector<std::optional<int>>;
+
+/// Full assignment: one state index per variable.
+using Assignment = std::vector<int>;
+
+class BayesianNetwork {
+ public:
+  /// Adds a variable, returning its id (ids are dense, in insertion order).
+  int add_variable(std::string name, std::vector<std::string> state_names);
+
+  /// Convenience: states named "s0".."s{k-1}".
+  int add_variable(std::string name, int cardinality);
+
+  /// Installs the CPT for `child`.  `values` must follow Cpt's layout and
+  /// every row must sum to 1 (checked by validate()).
+  void set_cpt(int child, std::vector<int> parents, std::vector<double> values);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  const Variable& variable(int v) const { return variables_.at(static_cast<std::size_t>(v)); }
+  const Cpt& cpt(int v) const;
+  bool has_cpt(int v) const;
+
+  /// Id of the variable with `name`, or -1.
+  int find_variable(const std::string& name) const;
+
+  const std::vector<int>& parents(int v) const { return cpt(v).parents; }
+  std::vector<int> children(int v) const;
+
+  int cardinality(int v) const { return variable(v).cardinality(); }
+
+  /// One CPT entry P(child = state | parents = parent_states).
+  double cpt_value(int child, int child_state, const std::vector<int>& parent_states) const;
+
+  /// Parents-before-children order; throws if the graph is cyclic.
+  std::vector<int> topological_order() const;
+
+  /// Full structural + numerical validation: every variable has a CPT, all
+  /// parent references are valid, the graph is acyclic, and every CPT row
+  /// sums to 1 within `row_sum_tolerance`.
+  void validate(double row_sum_tolerance = 1e-6) const;
+
+  /// Total number of free CPT parameters (table entries).
+  std::size_t num_parameters() const;
+
+  /// An all-unobserved evidence vector sized for this network.
+  Evidence empty_evidence() const { return Evidence(static_cast<std::size_t>(num_variables())); }
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Cpt> cpts_;  // indexed by child id; child == -1 means unset
+};
+
+}  // namespace problp::bn

@@ -1,0 +1,45 @@
+#include "bn/random_network.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace problp::bn {
+
+BayesianNetwork make_random_network(const RandomNetworkSpec& spec, Rng& rng) {
+  require(spec.num_variables >= 1, "make_random_network: need >= 1 variable");
+  require(spec.min_cardinality >= 2 && spec.max_cardinality >= spec.min_cardinality,
+          "make_random_network: bad cardinality range");
+  BayesianNetwork network;
+  for (int v = 0; v < spec.num_variables; ++v) {
+    network.add_variable(str_format("X%d", v),
+                         rng.uniform_int(spec.min_cardinality, spec.max_cardinality));
+  }
+  for (int v = 0; v < spec.num_variables; ++v) {
+    // Candidate parents: earlier variables, shuffled, each kept with
+    // edge_probability until max_parents is reached.
+    std::vector<int> candidates(static_cast<std::size_t>(v));
+    for (int i = 0; i < v; ++i) candidates[static_cast<std::size_t>(i)] = i;
+    std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+    std::vector<int> parents;
+    for (int c : candidates) {
+      if (static_cast<int>(parents.size()) >= spec.max_parents) break;
+      if (rng.coin(spec.edge_probability)) parents.push_back(c);
+    }
+    std::sort(parents.begin(), parents.end());
+    std::size_t rows = 1;
+    for (int p : parents) rows *= static_cast<std::size_t>(network.cardinality(p));
+    std::vector<double> values;
+    const int card = network.cardinality(v);
+    values.reserve(rows * static_cast<std::size_t>(card));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto row = rng.dirichlet(card, spec.dirichlet_alpha);
+      values.insert(values.end(), row.begin(), row.end());
+    }
+    network.set_cpt(v, std::move(parents), std::move(values));
+  }
+  network.validate();
+  return network;
+}
+
+}  // namespace problp::bn

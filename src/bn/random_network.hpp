@@ -1,0 +1,26 @@
+// Random Bayesian-network generator for property-based tests: arbitrary
+// DAGs with bounded in-degree and Dirichlet CPTs, so bound-soundness and
+// compiler-correctness properties can be checked across many topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/network.hpp"
+#include "util/rng.hpp"
+
+namespace problp::bn {
+
+struct RandomNetworkSpec {
+  int num_variables = 8;
+  int max_parents = 3;
+  int min_cardinality = 2;
+  int max_cardinality = 3;
+  double edge_probability = 0.4;  ///< chance of each candidate parent edge
+  double dirichlet_alpha = 1.0;
+};
+
+/// Builds a random network; variables are named "X0".."X{n-1}" and node i may
+/// only have parents among {X0..X{i-1}} (guaranteeing acyclicity).
+BayesianNetwork make_random_network(const RandomNetworkSpec& spec, Rng& rng);
+
+}  // namespace problp::bn

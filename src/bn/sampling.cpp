@@ -1,0 +1,40 @@
+#include "bn/sampling.hpp"
+
+namespace problp::bn {
+
+Assignment sample_assignment(const BayesianNetwork& network, Rng& rng) {
+  Assignment out(static_cast<std::size_t>(network.num_variables()), -1);
+  for (int v : network.topological_order()) {
+    const auto& parents = network.parents(v);
+    std::vector<int> pstates;
+    pstates.reserve(parents.size());
+    for (int p : parents) pstates.push_back(out[static_cast<std::size_t>(p)]);
+    std::vector<double> weights;
+    const int card = network.cardinality(v);
+    weights.reserve(static_cast<std::size_t>(card));
+    for (int s = 0; s < card; ++s) weights.push_back(network.cpt_value(v, s, pstates));
+    out[static_cast<std::size_t>(v)] = rng.categorical(weights);
+  }
+  return out;
+}
+
+std::vector<Assignment> sample_dataset(const BayesianNetwork& network, int count, Rng& rng) {
+  std::vector<Assignment> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(sample_assignment(network, rng));
+  return out;
+}
+
+Evidence evidence_from_assignment(const BayesianNetwork& network, const Assignment& assignment,
+                                  const std::vector<int>& observed) {
+  require(assignment.size() == static_cast<std::size_t>(network.num_variables()),
+          "evidence_from_assignment: assignment size mismatch");
+  Evidence e = network.empty_evidence();
+  for (int v : observed) {
+    require(v >= 0 && v < network.num_variables(), "evidence_from_assignment: bad var id");
+    e[static_cast<std::size_t>(v)] = assignment[static_cast<std::size_t>(v)];
+  }
+  return e;
+}
+
+}  // namespace problp::bn

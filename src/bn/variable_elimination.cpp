@@ -1,0 +1,213 @@
+#include "bn/variable_elimination.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace problp::bn {
+
+namespace {
+
+// Undirected interaction (moral) graph as adjacency sets.
+std::vector<std::set<int>> moral_graph(const BayesianNetwork& network) {
+  const int n = network.num_variables();
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  auto connect = [&](int a, int b) {
+    if (a == b) return;
+    adj[static_cast<std::size_t>(a)].insert(b);
+    adj[static_cast<std::size_t>(b)].insert(a);
+  };
+  for (int v = 0; v < n; ++v) {
+    const auto& ps = network.parents(v);
+    for (int p : ps) connect(v, p);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      for (std::size_t j = i + 1; j < ps.size(); ++j) connect(ps[i], ps[j]);
+    }
+  }
+  return adj;
+}
+
+// Number of fill-in edges eliminating v would add.
+int fill_cost(const std::vector<std::set<int>>& adj, int v) {
+  const auto& nb = adj[static_cast<std::size_t>(v)];
+  int fill = 0;
+  for (auto it = nb.begin(); it != nb.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != nb.end(); ++jt) {
+      if (!adj[static_cast<std::size_t>(*it)].contains(*jt)) ++fill;
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+std::vector<int> elimination_order(const BayesianNetwork& network,
+                                   EliminationHeuristic heuristic) {
+  const int n = network.num_variables();
+  if (heuristic == EliminationHeuristic::kTopological) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+    return order;
+  }
+  auto adj = moral_graph(network);
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_cost = std::numeric_limits<long>::max();
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[static_cast<std::size_t>(v)]) continue;
+      const long cost = (heuristic == EliminationHeuristic::kMinFill)
+                            ? fill_cost(adj, v)
+                            : static_cast<long>(adj[static_cast<std::size_t>(v)].size());
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    eliminated[static_cast<std::size_t>(best)] = true;
+    // Connect the neighbourhood of `best`, then remove it.
+    const auto nb = adj[static_cast<std::size_t>(best)];
+    for (int a : nb) {
+      adj[static_cast<std::size_t>(a)].erase(best);
+      for (int b : nb) {
+        if (a != b) adj[static_cast<std::size_t>(a)].insert(b);
+      }
+    }
+    adj[static_cast<std::size_t>(best)].clear();
+  }
+  return order;
+}
+
+VariableElimination::VariableElimination(const BayesianNetwork& network,
+                                         EliminationHeuristic heuristic)
+    : network_(network), order_(elimination_order(network, heuristic)) {}
+
+double VariableElimination::run(const Evidence& evidence, bool maximize) const {
+  require(evidence.size() == static_cast<std::size_t>(network_.num_variables()),
+          "VariableElimination: evidence size mismatch");
+  // Build one factor per CPT, with evidence variables restricted away.
+  std::vector<FactorTable<double>> factors;
+  factors.reserve(static_cast<std::size_t>(network_.num_variables()));
+  for (int v = 0; v < network_.num_variables(); ++v) {
+    const Cpt& c = network_.cpt(v);
+    std::vector<int> scope = c.parents;
+    scope.push_back(v);
+    std::sort(scope.begin(), scope.end());
+    std::vector<int> cards;
+    cards.reserve(scope.size());
+    for (int s : scope) cards.push_back(network_.cardinality(s));
+    FactorTable<double> f(scope, cards);
+    // Fill by enumerating (child_state, parent assignment).
+    std::vector<int> full(static_cast<std::size_t>(network_.num_variables()), 0);
+    std::vector<int> pstates(c.parents.size(), 0);
+    const int child_card = network_.cardinality(v);
+    bool done = false;
+    while (!done) {
+      for (std::size_t i = 0; i < c.parents.size(); ++i) {
+        full[static_cast<std::size_t>(c.parents[i])] = pstates[i];
+      }
+      for (int s = 0; s < child_card; ++s) {
+        full[static_cast<std::size_t>(v)] = s;
+        f[f.index_of(full)] = network_.cpt_value(v, s, pstates);
+      }
+      // advance parent odometer
+      done = true;
+      for (std::size_t i = pstates.size(); i > 0; --i) {
+        if (++pstates[i - 1] < network_.cardinality(c.parents[i - 1])) {
+          done = false;
+          break;
+        }
+        pstates[i - 1] = 0;
+      }
+      if (c.parents.empty()) done = true;
+    }
+    // Restrict observed variables.
+    for (int s : scope) {
+      const auto& obs = evidence[static_cast<std::size_t>(s)];
+      if (obs.has_value()) f = f.restrict_var(s, *obs);
+    }
+    factors.push_back(std::move(f));
+  }
+
+  const auto sum_reduce = [](std::span<const double> g) {
+    double s = 0.0;
+    for (double x : g) s += x;
+    return s;
+  };
+  const auto max_reduce = [](std::span<const double> g) {
+    double s = 0.0;
+    for (double x : g) s = std::max(s, x);
+    return s;
+  };
+  const auto mul2 = [](double a, double b) { return a * b; };
+
+  for (int v : order_) {
+    if (evidence[static_cast<std::size_t>(v)].has_value()) continue;
+    // Multiply all factors mentioning v, then eliminate v.
+    FactorTable<double> acc = FactorTable<double>::scalar(1.0);
+    bool found = false;
+    for (auto it = factors.begin(); it != factors.end();) {
+      const auto& vs = it->vars();
+      if (std::find(vs.begin(), vs.end(), v) != vs.end()) {
+        acc = FactorTable<double>::product(acc, *it, mul2);
+        it = factors.erase(it);
+        found = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!found) continue;
+    factors.push_back(maximize ? acc.eliminate(v, max_reduce) : acc.eliminate(v, sum_reduce));
+  }
+  double result = 1.0;
+  for (const auto& f : factors) {
+    require(f.is_scalar(), "VariableElimination: non-scalar factor left over");
+    result *= f[0];
+  }
+  return result;
+}
+
+double VariableElimination::probability_of_evidence(const Evidence& evidence) const {
+  return run(evidence, /*maximize=*/false);
+}
+
+double VariableElimination::joint_marginal(int query_var, int state,
+                                           const Evidence& evidence) const {
+  require(query_var >= 0 && query_var < network_.num_variables(),
+          "joint_marginal: bad query var");
+  require(!evidence[static_cast<std::size_t>(query_var)].has_value(),
+          "joint_marginal: query variable already observed");
+  Evidence extended = evidence;
+  extended[static_cast<std::size_t>(query_var)] = state;
+  return run(extended, /*maximize=*/false);
+}
+
+double VariableElimination::conditional(int query_var, int state,
+                                        const Evidence& evidence) const {
+  const double pe = probability_of_evidence(evidence);
+  require(pe > 0.0, "conditional: evidence has zero probability");
+  return joint_marginal(query_var, state, evidence) / pe;
+}
+
+std::vector<double> VariableElimination::posterior(int query_var,
+                                                   const Evidence& evidence) const {
+  const double pe = probability_of_evidence(evidence);
+  require(pe > 0.0, "posterior: evidence has zero probability");
+  std::vector<double> out;
+  const int card = network_.cardinality(query_var);
+  out.reserve(static_cast<std::size_t>(card));
+  for (int s = 0; s < card; ++s) {
+    out.push_back(joint_marginal(query_var, s, evidence) / pe);
+  }
+  return out;
+}
+
+double VariableElimination::mpe_value(const Evidence& evidence) const {
+  return run(evidence, /*maximize=*/true);
+}
+
+}  // namespace problp::bn

@@ -1,0 +1,54 @@
+// Exact inference by variable elimination — the double-precision ground
+// truth every low-precision result is compared against, and the source of
+// elimination orders for the AC compiler.
+#pragma once
+
+#include <vector>
+
+#include "bn/factor.hpp"
+#include "bn/network.hpp"
+
+namespace problp::bn {
+
+enum class EliminationHeuristic {
+  kMinFill,    ///< greedy minimum fill-in on the moral graph (default)
+  kMinDegree,  ///< greedy minimum degree
+  kTopological ///< network insertion order (cheap, usually worst)
+};
+
+/// Greedy elimination order over the moral graph of `network`.
+std::vector<int> elimination_order(const BayesianNetwork& network,
+                                   EliminationHeuristic heuristic);
+
+class VariableElimination {
+ public:
+  explicit VariableElimination(const BayesianNetwork& network,
+                               EliminationHeuristic heuristic = EliminationHeuristic::kMinFill);
+
+  /// Pr(e): probability of the evidence.
+  double probability_of_evidence(const Evidence& evidence) const;
+
+  /// Pr(Q = state, e): joint marginal of one query value with the evidence.
+  double joint_marginal(int query_var, int state, const Evidence& evidence) const;
+
+  /// Pr(Q = state | e); throws when Pr(e) == 0.
+  double conditional(int query_var, int state, const Evidence& evidence) const;
+
+  /// Full posterior over `query_var` given evidence.
+  std::vector<double> posterior(int query_var, const Evidence& evidence) const;
+
+  /// max_x Pr(x, e): value of the most probable explanation (MPE) consistent
+  /// with the evidence (no traceback; ProbLP only bounds the value).
+  double mpe_value(const Evidence& evidence) const;
+
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  /// Runs elimination with sum (or max) over all unobserved variables.
+  double run(const Evidence& evidence, bool maximize) const;
+
+  const BayesianNetwork& network_;
+  std::vector<int> order_;
+};
+
+}  // namespace problp::bn

@@ -1,0 +1,54 @@
+#include "compile/naive_bayes_compiler.hpp"
+
+namespace problp::compile {
+
+using ac::Circuit;
+using ac::NodeId;
+
+bool is_naive_bayes(const bn::BayesianNetwork& network, int class_var) {
+  if (class_var < 0 || class_var >= network.num_variables()) return false;
+  if (!network.parents(class_var).empty()) return false;
+  for (int v = 0; v < network.num_variables(); ++v) {
+    if (v == class_var) continue;
+    const auto& ps = network.parents(v);
+    if (ps.size() != 1 || ps.front() != class_var) return false;
+  }
+  return true;
+}
+
+ac::Circuit compile_naive_bayes(const bn::BayesianNetwork& network, int class_var) {
+  network.validate();
+  require(is_naive_bayes(network, class_var),
+          "compile_naive_bayes: network is not Naive-Bayes-structured");
+  const int n = network.num_variables();
+  std::vector<int> cards;
+  cards.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) cards.push_back(network.cardinality(v));
+  Circuit circuit(cards);
+
+  std::vector<NodeId> class_terms;
+  const int num_classes = network.cardinality(class_var);
+  class_terms.reserve(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<NodeId> product;
+    product.push_back(circuit.add_indicator(class_var, c));
+    product.push_back(circuit.add_parameter(network.cpt_value(class_var, c, {})));
+    for (int v = 0; v < n; ++v) {
+      if (v == class_var) continue;
+      std::vector<NodeId> terms;
+      const int card = network.cardinality(v);
+      terms.reserve(static_cast<std::size_t>(card));
+      for (int s = 0; s < card; ++s) {
+        const NodeId lambda = circuit.add_indicator(v, s);
+        const NodeId theta = circuit.add_parameter(network.cpt_value(v, s, {c}));
+        terms.push_back(circuit.add_prod({lambda, theta}));
+      }
+      product.push_back(circuit.add_sum(std::move(terms)));
+    }
+    class_terms.push_back(circuit.add_prod(std::move(product)));
+  }
+  circuit.set_root(circuit.add_sum(std::move(class_terms)));
+  return circuit;
+}
+
+}  // namespace problp::compile

@@ -1,0 +1,25 @@
+// Direct AC construction for Naive-Bayes-structured networks — the shape of
+// the paper's HAR / UNIMIB / UIWADS benchmarks (§4: "we trained Naive Bayes
+// classifier[s]").
+//
+// The circuit is the textbook NB network polynomial,
+//
+//   root = Σ_c  λ_{C=c} · θ_c · Π_i ( Σ_v λ_{F_i=v} · θ_{v|c} ) ,
+//
+// which is smaller and shallower than what generic elimination produces and
+// matches the structure ProbLP's intro example describes.
+#pragma once
+
+#include "ac/circuit.hpp"
+#include "bn/network.hpp"
+
+namespace problp::compile {
+
+/// `class_var` must be parentless and the sole parent of every other
+/// variable; throws InvalidArgument otherwise.
+ac::Circuit compile_naive_bayes(const bn::BayesianNetwork& network, int class_var);
+
+/// Checks the structural requirement above.
+bool is_naive_bayes(const bn::BayesianNetwork& network, int class_var);
+
+}  // namespace problp::compile

@@ -1,0 +1,101 @@
+#include "compile/ve_compiler.hpp"
+
+#include <algorithm>
+
+#include "bn/factor.hpp"
+
+namespace problp::compile {
+
+using ac::Circuit;
+using ac::NodeId;
+using bn::BayesianNetwork;
+using bn::FactorTable;
+
+ac::Circuit compile_network(const BayesianNetwork& network, const CompileOptions& options) {
+  network.validate();
+  const int n = network.num_variables();
+  std::vector<int> cards;
+  cards.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) cards.push_back(network.cardinality(v));
+  Circuit circuit(cards);
+
+  // 1. CPT factors with indicators multiplied in.
+  std::vector<FactorTable<NodeId>> factors;
+  factors.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const bn::Cpt& c = network.cpt(v);
+    std::vector<int> scope = c.parents;
+    scope.push_back(v);
+    std::sort(scope.begin(), scope.end());
+    std::vector<int> scope_cards;
+    scope_cards.reserve(scope.size());
+    for (int s : scope) scope_cards.push_back(network.cardinality(s));
+    FactorTable<NodeId> f(scope, scope_cards);
+
+    std::vector<int> full(static_cast<std::size_t>(n), 0);
+    std::vector<int> pstates(c.parents.size(), 0);
+    const int child_card = network.cardinality(v);
+    bool done = false;
+    while (!done) {
+      for (std::size_t i = 0; i < c.parents.size(); ++i) {
+        full[static_cast<std::size_t>(c.parents[i])] = pstates[i];
+      }
+      for (int s = 0; s < child_card; ++s) {
+        full[static_cast<std::size_t>(v)] = s;
+        const NodeId lambda = circuit.add_indicator(v, s);
+        const NodeId theta = circuit.add_parameter(network.cpt_value(v, s, pstates));
+        f[f.index_of(full)] = circuit.add_prod({lambda, theta});
+      }
+      done = true;
+      for (std::size_t i = pstates.size(); i > 0; --i) {
+        if (++pstates[i - 1] < network.cardinality(c.parents[i - 1])) {
+          done = false;
+          break;
+        }
+        pstates[i - 1] = 0;
+      }
+      if (c.parents.empty()) done = true;
+    }
+    factors.push_back(std::move(f));
+  }
+
+  // 2. Eliminate every variable, recording products and sums as nodes.
+  const auto mul2 = [&](NodeId a, NodeId b) { return circuit.add_prod({a, b}); };
+  const auto sum_group = [&](std::span<const NodeId> group) {
+    return circuit.add_sum(std::vector<NodeId>(group.begin(), group.end()));
+  };
+  for (int v : bn::elimination_order(network, options.heuristic)) {
+    std::vector<FactorTable<NodeId>> touching;
+    for (auto it = factors.begin(); it != factors.end();) {
+      const auto& vs = it->vars();
+      if (std::find(vs.begin(), vs.end(), v) != vs.end()) {
+        touching.push_back(std::move(*it));
+        it = factors.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    require(!touching.empty(), "compile_network: variable missing from all factors");
+    FactorTable<NodeId> acc = std::move(touching.front());
+    for (std::size_t i = 1; i < touching.size(); ++i) {
+      acc = FactorTable<NodeId>::product(acc, touching[i], mul2);
+    }
+    factors.push_back(acc.eliminate(v, sum_group));
+  }
+
+  // 3. Multiply the leftover scalars into the root.
+  std::vector<NodeId> scalars;
+  scalars.reserve(factors.size());
+  for (const auto& f : factors) {
+    require(f.is_scalar(), "compile_network: non-scalar factor after elimination");
+    scalars.push_back(f[0]);
+  }
+  circuit.set_root(scalars.size() == 1 ? scalars.front() : circuit.add_prod(std::move(scalars)));
+  return circuit;
+}
+
+ac::PartialAssignment to_assignment(const bn::Evidence& evidence) {
+  return ac::PartialAssignment(evidence.begin(), evidence.end());
+}
+
+}  // namespace problp::compile

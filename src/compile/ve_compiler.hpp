@@ -1,0 +1,39 @@
+// Bayesian network -> arithmetic circuit compilation.
+//
+// The paper compiles its networks with the ACE tool; we reproduce the same
+// artefact — a sum/product DAG over indicator (λ) and parameter (θ) leaves
+// computing the network polynomial — by *recording the trace of variable
+// elimination* as circuit nodes:
+//
+//   1. every CPT becomes a factor whose entries are PROD(λ_{X=x}, θ_{x|u})
+//      nodes (indicators multiplied into their variable's factor);
+//   2. eliminating a variable multiplies the factors that mention it
+//      (entrywise PROD nodes) and sums it out (n-ary SUM nodes);
+//   3. after all variables are eliminated the remaining scalars multiply
+//      into the root.
+//
+// The resulting circuit evaluates Pr(e) for *any* evidence by setting the
+// indicators (paper §2): λ contradicting e to 0, all others to 1 — so a
+// single compiled circuit serves marginal, conditional and MPE queries.
+#pragma once
+
+#include "ac/circuit.hpp"
+#include "ac/evaluator.hpp"
+#include "bn/network.hpp"
+#include "bn/variable_elimination.hpp"
+
+namespace problp::compile {
+
+struct CompileOptions {
+  bn::EliminationHeuristic heuristic = bn::EliminationHeuristic::kMinFill;
+};
+
+/// Compiles the network; circuit variables use the network's variable ids.
+ac::Circuit compile_network(const bn::BayesianNetwork& network,
+                            const CompileOptions& options = {});
+
+/// bn::Evidence and ac::PartialAssignment have identical layouts; this keeps
+/// the conversion explicit at module boundaries.
+ac::PartialAssignment to_assignment(const bn::Evidence& evidence);
+
+}  // namespace problp::compile

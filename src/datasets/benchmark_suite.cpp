@@ -1,0 +1,75 @@
+#include "datasets/benchmark_suite.hpp"
+
+#include "bn/alarm.hpp"
+#include "bn/sampling.hpp"
+#include "compile/naive_bayes_compiler.hpp"
+#include "compile/ve_compiler.hpp"
+#include "datasets/naive_bayes.hpp"
+
+namespace problp::datasets {
+
+namespace {
+
+Benchmark make_nb_benchmark(const SyntheticSpec& spec, std::uint64_t seed, int bins) {
+  SyntheticSpec seeded = spec;
+  seeded.seed ^= seed * 0x9e3779b97f4a7c15ull;
+  const Dataset data = generate_synthetic(seeded);
+  const Split split = split_dataset(data, 0.6, seeded.seed + 1);  // the paper's 60/40
+  const EqualWidthDiscretizer disc(split.train, bins);
+
+  bn::BayesianNetwork network = learn_naive_bayes(
+      disc.transform_all(split.train), split.train.labels, data.num_classes, bins);
+  ac::Circuit circuit = compile::compile_naive_bayes(network, /*class_var=*/0);
+
+  Benchmark out{spec.name, std::move(network), std::move(circuit), /*query_var=*/0, {}};
+  for (const auto& row : disc.transform_all(split.test)) {
+    out.test_evidence.push_back(evidence_from_row(out.network, row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Benchmark make_har_benchmark(std::uint64_t seed, int bins) {
+  return make_nb_benchmark(har_like_spec(), seed, bins);
+}
+
+Benchmark make_unimib_benchmark(std::uint64_t seed, int bins) {
+  return make_nb_benchmark(unimib_like_spec(), seed, bins);
+}
+
+Benchmark make_uiwads_benchmark(std::uint64_t seed, int bins) {
+  return make_nb_benchmark(uiwads_like_spec(), seed, bins);
+}
+
+Benchmark make_alarm_benchmark(std::uint64_t seed, int num_test_samples) {
+  bn::BayesianNetwork network = bn::make_alarm_network(1989 + seed);
+  ac::Circuit circuit = compile::compile_network(network);
+
+  // Evidence variables: the DAG's leaves (no children); query: a root.
+  std::vector<int> leaves;
+  int root_var = -1;
+  for (int v = 0; v < network.num_variables(); ++v) {
+    if (network.children(v).empty()) leaves.push_back(v);
+    if (network.parents(v).empty() && root_var < 0) root_var = v;
+  }
+  require(!leaves.empty() && root_var >= 0, "alarm benchmark: degenerate structure");
+
+  Benchmark out{"Alarm", std::move(network), std::move(circuit), root_var, {}};
+  Rng rng(seed * 7919 + 13);
+  for (const auto& sample : bn::sample_dataset(out.network, num_test_samples, rng)) {
+    out.test_evidence.push_back(bn::evidence_from_assignment(out.network, sample, leaves));
+  }
+  return out;
+}
+
+std::vector<Benchmark> make_all_benchmarks(std::uint64_t seed) {
+  std::vector<Benchmark> out;
+  out.push_back(make_har_benchmark(seed));
+  out.push_back(make_unimib_benchmark(seed));
+  out.push_back(make_uiwads_benchmark(seed));
+  out.push_back(make_alarm_benchmark(seed));
+  return out;
+}
+
+}  // namespace problp::datasets

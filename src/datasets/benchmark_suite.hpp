@@ -1,0 +1,40 @@
+// The paper's four evaluation benchmarks, assembled end-to-end (§4):
+//
+//   HAR / UNIMIB / UIWADS — synthesise sensor data, 60/40 split, equal-width
+//   discretise (fit on train), learn Naive Bayes, compile the NB arithmetic
+//   circuit; test evidence = discretised test rows (all features observed,
+//   class queried).
+//
+//   ALARM — build the network, compile with min-fill variable elimination;
+//   test evidence = 1000 ancestral samples restricted to the BN's leaf
+//   variables, query = a root variable (the paper: "the leaf nodes of the BN
+//   were used as evidence nodes e and one of the root nodes as a query node
+//   q").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "bn/network.hpp"
+
+namespace problp::datasets {
+
+struct Benchmark {
+  std::string name;
+  bn::BayesianNetwork network;
+  ac::Circuit circuit;  ///< n-ary AC over the network's variables
+  int query_var = -1;   ///< the q of Pr(q | e)
+  std::vector<bn::Evidence> test_evidence;
+};
+
+Benchmark make_har_benchmark(std::uint64_t seed = 1, int bins = 4);
+Benchmark make_unimib_benchmark(std::uint64_t seed = 1, int bins = 3);
+Benchmark make_uiwads_benchmark(std::uint64_t seed = 1, int bins = 3);
+Benchmark make_alarm_benchmark(std::uint64_t seed = 1, int num_test_samples = 1000);
+
+/// All four, in the paper's Table-2 order.
+std::vector<Benchmark> make_all_benchmarks(std::uint64_t seed = 1);
+
+}  // namespace problp::datasets

@@ -1,0 +1,56 @@
+#include "datasets/discretize.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace problp::datasets {
+
+EqualWidthDiscretizer::EqualWidthDiscretizer(const Dataset& train, int bins) : bins_(bins) {
+  require(bins >= 2, "EqualWidthDiscretizer: need >= 2 bins");
+  require(!train.features.empty(), "EqualWidthDiscretizer: empty training set");
+  const int nf = train.num_features();
+  lo_.assign(static_cast<std::size_t>(nf), std::numeric_limits<double>::infinity());
+  std::vector<double> hi(static_cast<std::size_t>(nf),
+                         -std::numeric_limits<double>::infinity());
+  for (const auto& row : train.features) {
+    require(static_cast<int>(row.size()) == nf, "EqualWidthDiscretizer: ragged dataset");
+    for (int f = 0; f < nf; ++f) {
+      lo_[static_cast<std::size_t>(f)] = std::min(lo_[static_cast<std::size_t>(f)], row[static_cast<std::size_t>(f)]);
+      hi[static_cast<std::size_t>(f)] = std::max(hi[static_cast<std::size_t>(f)], row[static_cast<std::size_t>(f)]);
+    }
+  }
+  width_.resize(static_cast<std::size_t>(nf));
+  for (int f = 0; f < nf; ++f) {
+    const double span = hi[static_cast<std::size_t>(f)] - lo_[static_cast<std::size_t>(f)];
+    width_[static_cast<std::size_t>(f)] =
+        std::max(span / bins_, 1e-12);  // constant features collapse into bin 0
+  }
+}
+
+int EqualWidthDiscretizer::transform_value(int f, double value) const {
+  require(f >= 0 && f < num_features(), "transform_value: bad feature index");
+  const double rel = (value - lo_[static_cast<std::size_t>(f)]) / width_[static_cast<std::size_t>(f)];
+  const int bin = static_cast<int>(rel);
+  return std::clamp(bin, 0, bins_ - 1);
+}
+
+std::vector<int> EqualWidthDiscretizer::transform(const std::vector<double>& sample) const {
+  require(static_cast<int>(sample.size()) == num_features(), "transform: arity mismatch");
+  std::vector<int> out;
+  out.reserve(sample.size());
+  for (int f = 0; f < num_features(); ++f) {
+    out.push_back(transform_value(f, sample[static_cast<std::size_t>(f)]));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> EqualWidthDiscretizer::transform_all(const Dataset& data) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(data.features.size());
+  for (const auto& row : data.features) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace problp::datasets

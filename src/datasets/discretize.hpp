@@ -1,0 +1,37 @@
+// Equal-width feature discretisation, fit on training data only — the
+// standard front-end that turns continuous sensor features into the
+// categorical variables a discrete Naive Bayes network expects.
+#pragma once
+
+#include <vector>
+
+#include "datasets/synthetic.hpp"
+
+namespace problp::datasets {
+
+class EqualWidthDiscretizer {
+ public:
+  /// Learns per-feature [min, max] ranges from `train`; each feature gets
+  /// `bins` equal-width bins.  Values outside the training range clamp to
+  /// the edge bins (exactly what an embedded pipeline would do).
+  EqualWidthDiscretizer(const Dataset& train, int bins);
+
+  int bins() const { return bins_; }
+  int num_features() const { return static_cast<int>(lo_.size()); }
+
+  /// Bin index of one value of feature `f`, in [0, bins).
+  int transform_value(int f, double value) const;
+
+  /// Discretises a full sample.
+  std::vector<int> transform(const std::vector<double>& sample) const;
+
+  /// Discretises a whole dataset into categorical rows.
+  std::vector<std::vector<int>> transform_all(const Dataset& data) const;
+
+ private:
+  int bins_;
+  std::vector<double> lo_;
+  std::vector<double> width_;  ///< per-feature bin width (>= epsilon)
+};
+
+}  // namespace problp::datasets

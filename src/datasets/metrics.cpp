@@ -1,0 +1,67 @@
+#include "datasets/metrics.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace problp::datasets {
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  require(truth >= 0 && truth < num_classes, "ConfusionMatrix::add: bad truth label");
+  require(predicted >= 0 && predicted < num_classes, "ConfusionMatrix::add: bad prediction");
+  ++counts[static_cast<std::size_t>(truth) * static_cast<std::size_t>(num_classes) +
+           static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t n = 0;
+  for (std::size_t c : counts) n += c;
+  return n;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    correct += counts[static_cast<std::size_t>(c) * static_cast<std::size_t>(num_classes) +
+                      static_cast<std::size_t>(c)];
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (int p = 0; p < num_classes; ++p) os << str_format("%8d", p);
+  os << "\n";
+  for (int t = 0; t < num_classes; ++t) {
+    os << str_format("%-10d", t);
+    for (int p = 0; p < num_classes; ++p) {
+      os << str_format("%8zu",
+                       counts[static_cast<std::size_t>(t) * static_cast<std::size_t>(num_classes) +
+                              static_cast<std::size_t>(p)]);
+    }
+    os << "\n";
+  }
+  os << str_format("accuracy: %.4f over %zu samples\n", accuracy(), total());
+  return os.str();
+}
+
+int argmax(const std::vector<double>& scores) {
+  require(!scores.empty(), "argmax: empty scores");
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(scores.size()); ++i) {
+    if (scores[static_cast<std::size_t>(i)] > scores[static_cast<std::size_t>(best)]) best = i;
+  }
+  return best;
+}
+
+double agreement(const std::vector<int>& a, const std::vector<int>& b) {
+  require(a.size() == b.size() && !a.empty(), "agreement: size mismatch or empty");
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]);
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace problp::datasets

@@ -1,0 +1,38 @@
+// Classification metrics for the benchmark pipelines: accuracy and confusion
+// matrices for exact vs low-precision classifiers, plus decision-agreement —
+// the application-level quantity the paper's intro argues ProbLP protects
+// ("allowing an output error of 0.01 would only affect the decisions within
+// the probability range of 0.59 and 0.61").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace problp::datasets {
+
+struct ConfusionMatrix {
+  int num_classes = 0;
+  std::vector<std::size_t> counts;  ///< counts[truth * num_classes + predicted]
+
+  explicit ConfusionMatrix(int classes)
+      : num_classes(classes),
+        counts(static_cast<std::size_t>(classes) * static_cast<std::size_t>(classes), 0) {
+    require(classes >= 2, "ConfusionMatrix: need >= 2 classes");
+  }
+
+  void add(int truth, int predicted);
+  std::size_t total() const;
+  double accuracy() const;
+  std::string to_string() const;
+};
+
+/// argmax with deterministic tie-breaking (lowest index wins).
+int argmax(const std::vector<double>& scores);
+
+/// Fraction of positions where the two prediction vectors agree.
+double agreement(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace problp::datasets

@@ -1,0 +1,62 @@
+#include "datasets/naive_bayes.hpp"
+
+#include "util/strings.hpp"
+
+namespace problp::datasets {
+
+bn::BayesianNetwork learn_naive_bayes(const std::vector<std::vector<int>>& rows,
+                                      const std::vector<int>& labels, int num_classes,
+                                      int bins, const NaiveBayesOptions& options) {
+  require(!rows.empty() && rows.size() == labels.size(), "learn_naive_bayes: bad inputs");
+  require(num_classes >= 2 && bins >= 2, "learn_naive_bayes: bad arities");
+  const double alpha = options.laplace_alpha;
+  require(alpha > 0.0, "learn_naive_bayes: laplace_alpha must be > 0");
+  const int nf = static_cast<int>(rows.front().size());
+
+  bn::BayesianNetwork network;
+  const int class_var = network.add_variable("class", num_classes);
+  for (int f = 0; f < nf; ++f) network.add_variable(str_format("f%d", f), bins);
+
+  // Class prior.
+  std::vector<double> class_counts(static_cast<std::size_t>(num_classes), alpha);
+  for (int y : labels) {
+    require(y >= 0 && y < num_classes, "learn_naive_bayes: label out of range");
+    class_counts[static_cast<std::size_t>(y)] += 1.0;
+  }
+  const double class_total =
+      static_cast<double>(labels.size()) + alpha * static_cast<double>(num_classes);
+  std::vector<double> prior;
+  prior.reserve(class_counts.size());
+  for (double c : class_counts) prior.push_back(c / class_total);
+  network.set_cpt(class_var, {}, std::move(prior));
+
+  // Per-feature conditionals: values[c * bins + v] = P(f = v | class = c).
+  for (int f = 0; f < nf; ++f) {
+    std::vector<double> counts(static_cast<std::size_t>(num_classes * bins), alpha);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const int v = rows[i][static_cast<std::size_t>(f)];
+      require(v >= 0 && v < bins, "learn_naive_bayes: bin out of range");
+      counts[static_cast<std::size_t>(labels[i] * bins + v)] += 1.0;
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      double total = 0.0;
+      for (int v = 0; v < bins; ++v) total += counts[static_cast<std::size_t>(c * bins + v)];
+      for (int v = 0; v < bins; ++v) counts[static_cast<std::size_t>(c * bins + v)] /= total;
+    }
+    network.set_cpt(f + 1, {class_var}, std::move(counts));
+  }
+  network.validate();
+  return network;
+}
+
+bn::Evidence evidence_from_row(const bn::BayesianNetwork& network, const std::vector<int>& row) {
+  require(static_cast<int>(row.size()) == network.num_variables() - 1,
+          "evidence_from_row: feature count mismatch");
+  bn::Evidence e = network.empty_evidence();
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    e[f + 1] = row[f];  // variable 0 is the class
+  }
+  return e;
+}
+
+}  // namespace problp::datasets

@@ -1,0 +1,24 @@
+// Naive Bayes learning (maximum likelihood with Laplace smoothing) producing
+// a bn::BayesianNetwork — the "trained Naive Bayes classifier on 60% of the
+// data" step of the paper's §4 pipeline.
+#pragma once
+
+#include "bn/network.hpp"
+#include "datasets/discretize.hpp"
+
+namespace problp::datasets {
+
+struct NaiveBayesOptions {
+  double laplace_alpha = 1.0;  ///< add-alpha smoothing (keeps every CPT entry > 0)
+};
+
+/// Learns P(class) and P(feature_j | class) from discretised rows.
+/// Network layout: variable 0 is "class", variables 1..F are "f0".."f{F-1}".
+bn::BayesianNetwork learn_naive_bayes(const std::vector<std::vector<int>>& rows,
+                                      const std::vector<int>& labels, int num_classes,
+                                      int bins, const NaiveBayesOptions& options = {});
+
+/// Classifier-style evidence: every feature observed, class unobserved.
+bn::Evidence evidence_from_row(const bn::BayesianNetwork& network, const std::vector<int>& row);
+
+}  // namespace problp::datasets

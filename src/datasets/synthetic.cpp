@@ -1,0 +1,96 @@
+#include "datasets/synthetic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace problp::datasets {
+
+Dataset generate_synthetic(const SyntheticSpec& spec) {
+  require(spec.num_classes >= 2, "generate_synthetic: need >= 2 classes");
+  require(spec.num_features >= 1, "generate_synthetic: need >= 1 feature");
+  require(spec.num_samples >= spec.num_classes, "generate_synthetic: too few samples");
+  Rng rng(spec.seed);
+
+  // Class priors: mildly imbalanced, like real activity data.
+  const std::vector<double> priors = rng.dirichlet(spec.num_classes, 4.0);
+
+  // Per-class Gaussians.
+  std::vector<std::vector<double>> mean(static_cast<std::size_t>(spec.num_classes));
+  std::vector<std::vector<double>> sigma(static_cast<std::size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) {
+    for (int f = 0; f < spec.num_features; ++f) {
+      mean[static_cast<std::size_t>(c)].push_back(
+          rng.uniform(-spec.mean_spread, spec.mean_spread));
+      sigma[static_cast<std::size_t>(c)].push_back(rng.uniform(spec.sigma_lo, spec.sigma_hi));
+    }
+  }
+
+  Dataset out;
+  out.num_classes = spec.num_classes;
+  out.features.reserve(static_cast<std::size_t>(spec.num_samples));
+  out.labels.reserve(static_cast<std::size_t>(spec.num_samples));
+  for (int i = 0; i < spec.num_samples; ++i) {
+    const int c = rng.categorical(priors);
+    std::vector<double> row;
+    row.reserve(static_cast<std::size_t>(spec.num_features));
+    for (int f = 0; f < spec.num_features; ++f) {
+      row.push_back(rng.normal(mean[static_cast<std::size_t>(c)][static_cast<std::size_t>(f)],
+                               sigma[static_cast<std::size_t>(c)][static_cast<std::size_t>(f)]));
+    }
+    out.features.push_back(std::move(row));
+    out.labels.push_back(c);
+  }
+  return out;
+}
+
+SyntheticSpec har_like_spec() {
+  SyntheticSpec spec;
+  spec.name = "HAR";
+  spec.num_classes = 6;    // the six HAR activities
+  spec.num_features = 24;  // accelerometer/gyro summary statistics
+  spec.num_samples = 3000;
+  spec.seed = 0x4841;
+  return spec;
+}
+
+SyntheticSpec unimib_like_spec() {
+  SyntheticSpec spec;
+  spec.name = "UNIMIB";
+  spec.num_classes = 9;
+  spec.num_features = 8;
+  spec.num_samples = 2000;
+  spec.seed = 0x554e;
+  return spec;
+}
+
+SyntheticSpec uiwads_like_spec() {
+  SyntheticSpec spec;
+  spec.name = "UIWADS";
+  spec.num_classes = 2;  // user verification: target vs impostor
+  spec.num_features = 5;
+  spec.num_samples = 1500;
+  spec.seed = 0x5549;
+  return spec;
+}
+
+Split split_dataset(const Dataset& data, double train_fraction, std::uint64_t seed) {
+  require(train_fraction > 0.0 && train_fraction < 1.0, "split_dataset: bad fraction");
+  require(data.size() >= 2, "split_dataset: dataset too small");
+  std::vector<std::size_t> perm(data.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  Rng rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  const auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(data.size()));
+  Split out;
+  out.train.num_classes = out.test.num_classes = data.num_classes;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    Dataset& dst = (i < n_train) ? out.train : out.test;
+    dst.features.push_back(data.features[perm[i]]);
+    dst.labels.push_back(data.labels[perm[i]]);
+  }
+  return out;
+}
+
+}  // namespace problp::datasets

@@ -1,0 +1,46 @@
+#include "energy/circuit_energy.hpp"
+
+#include "energy/op_models.hpp"
+#include "util/strings.hpp"
+
+namespace problp::energy {
+
+OperatorCensus OperatorCensus::of(const ac::Circuit& binary_circuit) {
+  require(binary_circuit.is_binary(), "OperatorCensus: circuit must be binary");
+  const auto live = binary_circuit.reachable_from_root();
+  OperatorCensus census;
+  for (std::size_t i = 0; i < binary_circuit.num_nodes(); ++i) {
+    if (!live[i]) continue;
+    switch (binary_circuit.node(static_cast<ac::NodeId>(i)).kind) {
+      case ac::NodeKind::kSum: ++census.adders; break;
+      case ac::NodeKind::kProd: ++census.multipliers; break;
+      case ac::NodeKind::kMax: ++census.maxes; break;
+      default: break;
+    }
+  }
+  return census;
+}
+
+std::string OperatorCensus::to_string() const {
+  return str_format("adders=%zu multipliers=%zu maxes=%zu", adders, multipliers, maxes);
+}
+
+double fixed_energy_fj(const OperatorCensus& census, const lowprec::FixedFormat& format) {
+  const int n = fixed_width_bits(format);
+  return static_cast<double>(census.adders) * fixed_add_fj(n) +
+         static_cast<double>(census.multipliers) * fixed_mul_fj(n) +
+         static_cast<double>(census.maxes) * max_op_fj(n);
+}
+
+double float_energy_fj(const OperatorCensus& census, const lowprec::FloatFormat& format) {
+  const int m = format.mantissa_bits;
+  return static_cast<double>(census.adders) * float_add_fj(m) +
+         static_cast<double>(census.multipliers) * float_mul_fj(m) +
+         static_cast<double>(census.maxes) * max_op_fj(float_width_bits(format));
+}
+
+double float32_reference_fj(const OperatorCensus& census) {
+  return float_energy_fj(census, lowprec::ieee_single_sized());
+}
+
+}  // namespace problp::energy

@@ -1,0 +1,37 @@
+// Circuit-level energy prediction: the Table-1 operator models applied to
+// the operator census of a binarised circuit.  This is the "pred. energy"
+// column of the paper's Table 2 — what ProbLP compares when choosing between
+// the optimal fixed- and float-point representations (§3.3).
+#pragma once
+
+#include <string>
+
+#include "ac/circuit.hpp"
+#include "lowprec/format.hpp"
+
+namespace problp::energy {
+
+/// Live (root-reachable) 2-input operator counts of a binary circuit — what
+/// the fully-parallel hardware instantiates.
+struct OperatorCensus {
+  std::size_t adders = 0;
+  std::size_t multipliers = 0;
+  std::size_t maxes = 0;
+
+  static OperatorCensus of(const ac::Circuit& binary_circuit);
+  std::size_t total() const { return adders + multipliers + maxes; }
+  std::string to_string() const;
+};
+
+/// Predicted energy of one AC evaluation, femtojoules.
+double fixed_energy_fj(const OperatorCensus& census, const lowprec::FixedFormat& format);
+double float_energy_fj(const OperatorCensus& census, const lowprec::FloatFormat& format);
+
+/// The paper's reference column: same circuit in IEEE-single-sized float
+/// (E=8, M=23).
+double float32_reference_fj(const OperatorCensus& census);
+
+/// fJ -> nJ (the unit Table 2 reports).
+inline double fj_to_nj(double fj) { return fj * 1e-6; }
+
+}  // namespace problp::energy

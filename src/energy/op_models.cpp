@@ -1,0 +1,41 @@
+#include "energy/op_models.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace problp::energy {
+
+double fixed_add_fj(int total_bits) {
+  require(total_bits >= 1, "fixed_add_fj: need >= 1 bit");
+  return 7.8 * total_bits;
+}
+
+double fixed_mul_fj(int total_bits) {
+  require(total_bits >= 1, "fixed_mul_fj: need >= 1 bit");
+  const double n = total_bits;
+  // log2(1) == 0 would price a 1-bit multiplier at zero; clamp to one AND
+  // gate's worth by flooring the log factor at 1 (only affects N == 1).
+  return 1.9 * n * n * std::max(1.0, std::log2(n));
+}
+
+double float_add_fj(int mantissa_bits) {
+  require(mantissa_bits >= 1, "float_add_fj: need >= 1 mantissa bit");
+  return 44.74 * (mantissa_bits + 1);
+}
+
+double float_mul_fj(int mantissa_bits) {
+  require(mantissa_bits >= 1, "float_mul_fj: need >= 1 mantissa bit");
+  const double m1 = mantissa_bits + 1;
+  return 2.9 * m1 * m1 * std::log2(m1);
+}
+
+double max_op_fj(int width_bits) { return fixed_add_fj(width_bits); }
+
+int fixed_width_bits(const lowprec::FixedFormat& format) { return format.total_bits(); }
+
+int float_width_bits(const lowprec::FloatFormat& format) {
+  return format.exponent_bits + format.mantissa_bits;
+}
+
+}  // namespace problp::energy

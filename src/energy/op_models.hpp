@@ -1,0 +1,43 @@
+// Operator-level energy models (paper Table 1).
+//
+// The paper synthesised adders and multipliers of varying widths in TSMC
+// 65 nm at 1 V, extracted post-synthesis energy, and least-squares-fitted:
+//
+//   fixed-pt add   7.8  * N              fJ    (N = I + F datapath bits)
+//   fixed-pt mult  1.9  * N^2 * log2(N)  fJ
+//   float-pt add   44.74 * (M+1)         fJ    (M = mantissa bits)
+//   float-pt mult  2.9  * (M+1)^2 * log2(M+1) fJ
+//
+// Float adders are dominated by alignment/normalisation shifters (hence the
+// large linear coefficient); float multipliers only multiply the (M+1)-bit
+// significands, so their cost tracks a fixed multiplier of that width.
+//
+// Two approximations of ours (documented, used only where the paper gives no
+// number): MAX operators are costed as a comparator ≈ one fixed adder at the
+// datapath width, and pipeline registers cost kRegisterFjPerBit per bit per
+// cycle — both feed the "post-synthesis" netlist estimate, not the Table-1
+// models themselves.
+#pragma once
+
+#include "lowprec/format.hpp"
+
+namespace problp::energy {
+
+/// Energy per operation, femtojoules.
+double fixed_add_fj(int total_bits);
+double fixed_mul_fj(int total_bits);
+double float_add_fj(int mantissa_bits);
+double float_mul_fj(int mantissa_bits);
+
+/// Comparator/mux cost of a MAX node at `width` bits (≈ one adder).
+double max_op_fj(int width_bits);
+
+/// Clock + data energy of one pipeline flip-flop bit (65 nm, 1 V ballpark).
+inline constexpr double kRegisterFjPerBit = 2.5;
+
+/// Stored datapath width of one value: I+F for fixed; 1 hidden-bit float
+/// word is E + M bits (+ no sign: AC values are non-negative).
+int fixed_width_bits(const lowprec::FixedFormat& format);
+int float_width_bits(const lowprec::FloatFormat& format);
+
+}  // namespace problp::energy

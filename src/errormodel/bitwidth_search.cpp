@@ -1,0 +1,94 @@
+#include "errormodel/bitwidth_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/int_math.hpp"
+
+namespace problp::errormodel {
+
+using lowprec::FixedFormat;
+using lowprec::FloatFormat;
+
+FixedPlan search_fixed_representation(const ac::Circuit& binary_circuit,
+                                      const CircuitErrorModel& model, const QuerySpec& spec,
+                                      const SearchOptions& options) {
+  FixedPlan plan;
+  plan.attempted_max_fraction_bits = options.max_fraction_bits;
+  for (int f = options.min_fraction_bits; f <= options.max_fraction_bits; ++f) {
+    // I does not influence the error bound (it only prevents overflow), so
+    // probe with a placeholder and size I afterwards.
+    FixedFormat probe{1, f};
+    const double bound =
+        fixed_query_bound(binary_circuit, model, spec, probe, options.fixed_options);
+    if (!(bound <= spec.tolerance)) continue;
+
+    // Size I: every node value, inflated by its own error bound, must fit.
+    const FixedErrorAnalysis fx = propagate_fixed_error(
+        binary_circuit, probe, model.range.max_value, options.fixed_options);
+    double need = 0.0;
+    for (std::size_t i = 0; i < fx.node_bound.size(); ++i) {
+      need = std::max(need, model.range.max_value[i] + fx.node_bound[i]);
+    }
+    const int integer_bits = std::max(1, ceil_log2_double(need + pow2(-f)));
+    FixedFormat fmt{integer_bits, f};
+    if (fmt.total_bits() > 62) continue;  // not emulable; wider F won't shrink I
+    plan.feasible = true;
+    plan.format = fmt;
+    plan.predicted_bound = bound;
+    return plan;
+  }
+  return plan;
+}
+
+FloatPlan search_float_representation(const CircuitErrorModel& model, const QuerySpec& spec,
+                                      const SearchOptions& options) {
+  FloatPlan plan;
+  plan.attempted_max_mantissa_bits = options.max_mantissa_bits;
+  for (int m = options.min_mantissa_bits; m <= options.max_mantissa_bits; ++m) {
+    FloatFormat probe{8, m};
+    const double bound = float_query_bound(model, spec, probe, options.float_rounding);
+    if (!(bound <= spec.tolerance)) continue;
+
+    // Per-node worst-case relative excursion: any node's counter is at most
+    // the maximum counter in the circuit.  Computed values lie within
+    // [exact*(1-eps)^cmax, exact*(1+eps)^cmax]; note the deflation side must
+    // use (1-eps)^cmax — which is always positive — rather than
+    // 1-((1+eps)^cmax - 1), which goes negative for coarse mantissas and
+    // would silently drop the underflow constraint.
+    std::int64_t cmax = 0;
+    for (std::int64_t c : model.float_counts.node_count) cmax = std::max(cmax, c);
+    const double eps = (options.float_rounding == lowprec::RoundingMode::kNearestEven)
+                           ? probe.epsilon()
+                           : 2.0 * probe.epsilon();
+    const double inflation = 1.0 + float_relative_bound(cmax, probe, options.float_rounding);
+    const double deflation = std::exp(static_cast<double>(cmax) * std::log1p(-eps));
+
+    double max_needed = 0.0;
+    double min_needed = 0.0;  // 0 means "no positive value to protect"
+    for (std::size_t i = 0; i < model.range.max_value.size(); ++i) {
+      max_needed = std::max(max_needed, model.range.max_value[i] * inflation);
+      const double mn = model.range.min_value[i];
+      if (mn > 0.0) {
+        const double lo = mn * deflation;
+        if (lo > 0.0 && (min_needed == 0.0 || lo < min_needed)) min_needed = lo;
+      }
+    }
+
+    for (int e = 2; e <= 28; ++e) {
+      FloatFormat fmt{e, m};
+      const bool max_ok = max_needed <= fmt.max_value();
+      const bool min_ok = min_needed == 0.0 || fmt.min_normal() <= min_needed;
+      if (max_ok && min_ok) {
+        plan.feasible = true;
+        plan.format = fmt;
+        plan.predicted_bound = float_query_bound(model, spec, fmt, options.float_rounding);
+        return plan;
+      }
+    }
+    return plan;  // no exponent width can cover the range (practically unreachable)
+  }
+  return plan;
+}
+
+}  // namespace problp::errormodel

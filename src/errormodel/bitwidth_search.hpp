@@ -1,0 +1,54 @@
+// Bit-width selection (paper §3.3 + §3.1.4).
+//
+// "ProbLP evaluates the bounds starting with 2 fraction bits and 2 mantissa
+// bits, and increments them until the error-requirement is satisfied.  Then,
+// it estimates the least number of integer and exponent bits required by the
+// min and max analysis."
+//
+// Fixed point: for each candidate F, propagate the fixed error bound; once
+// the query bound meets the tolerance, size I so that no node value — even
+// inflated by its own error bound — can overflow: 2^I >= max_i(maxv_i + Δ_i).
+//
+// Float: the counter propagation is format-independent, so the search over M
+// is a pure formula sweep; E is then sized so every node value, inflated or
+// deflated by the worst-case relative factor, stays within the normal range
+// (no overflow, no underflow).
+#pragma once
+
+#include "errormodel/query_bounds.hpp"
+
+namespace problp::errormodel {
+
+struct SearchOptions {
+  int min_fraction_bits = 2;
+  int max_fraction_bits = 60;   ///< beyond this, report infeasible ("> max" in Table 2)
+  int min_mantissa_bits = 2;
+  int max_mantissa_bits = 52;
+  FixedErrorOptions fixed_options;
+  lowprec::RoundingMode float_rounding = lowprec::RoundingMode::kNearestEven;
+};
+
+struct FixedPlan {
+  bool feasible = false;
+  lowprec::FixedFormat format;    ///< meaningful only when feasible
+  double predicted_bound = 0.0;   ///< query bound at the chosen format
+  int attempted_max_fraction_bits = 0;  ///< for "1, >64 (-)"-style reporting
+};
+
+struct FloatPlan {
+  bool feasible = false;
+  lowprec::FloatFormat format;
+  double predicted_bound = 0.0;
+  int attempted_max_mantissa_bits = 0;
+};
+
+/// Smallest fixed-point representation meeting `spec` on `binary_circuit`.
+FixedPlan search_fixed_representation(const ac::Circuit& binary_circuit,
+                                      const CircuitErrorModel& model, const QuerySpec& spec,
+                                      const SearchOptions& options = {});
+
+/// Smallest floating-point representation meeting `spec`.
+FloatPlan search_float_representation(const CircuitErrorModel& model, const QuerySpec& spec,
+                                      const SearchOptions& options = {});
+
+}  // namespace problp::errormodel

@@ -1,0 +1,71 @@
+#include "errormodel/fixed_error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace problp::errormodel {
+
+using ac::Circuit;
+using ac::Node;
+using ac::NodeId;
+using ac::NodeKind;
+using lowprec::FixedFormat;
+using lowprec::RoundingMode;
+
+FixedErrorAnalysis propagate_fixed_error(const Circuit& circuit, const FixedFormat& format,
+                                         const std::vector<double>& max_values,
+                                         const FixedErrorOptions& options) {
+  format.validate();
+  require(circuit.root() != ac::kInvalidNode, "propagate_fixed_error: no root");
+  require(circuit.is_binary(), "propagate_fixed_error: circuit must be binary");
+  require(max_values.size() == circuit.num_nodes(),
+          "propagate_fixed_error: max_values size mismatch");
+
+  // One rounding's worth of error: half a ulp for round-to-nearest, a full
+  // ulp for truncation.
+  const double q = (options.rounding == RoundingMode::kNearestEven)
+                       ? format.quantization_bound()
+                       : format.resolution();
+
+  const auto on_grid = [&](double v) {
+    const double scaled = std::ldexp(v, format.fraction_bits);
+    return scaled == std::floor(scaled) && v <= format.max_value();
+  };
+
+  FixedErrorAnalysis out;
+  out.node_bound.resize(circuit.num_nodes(), 0.0);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    double bound = 0.0;
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        bound = 0.0;  // 0 and 1 are exactly representable (I >= 1)
+        break;
+      case NodeKind::kParameter:
+        bound = (options.tighten_exact_leaves && on_grid(n.value)) ? 0.0 : q;
+        break;
+      case NodeKind::kSum: {
+        for (NodeId c : n.children) bound += out.node_bound[static_cast<std::size_t>(c)];
+        break;
+      }
+      case NodeKind::kProd: {
+        const auto a = static_cast<std::size_t>(n.children[0]);
+        const auto b = static_cast<std::size_t>(n.children[1]);
+        bound = max_values[a] * out.node_bound[b] + max_values[b] * out.node_bound[a] +
+                out.node_bound[a] * out.node_bound[b] + q;
+        break;
+      }
+      case NodeKind::kMax: {
+        for (NodeId c : n.children) {
+          bound = std::max(bound, out.node_bound[static_cast<std::size_t>(c)]);
+        }
+        break;
+      }
+    }
+    out.node_bound[i] = bound;
+  }
+  out.root_bound = out.node_bound[static_cast<std::size_t>(circuit.root())];
+  return out;
+}
+
+}  // namespace problp::errormodel

@@ -1,0 +1,48 @@
+// Fixed-point error propagation (paper §3.1.1, eqs. 2–5).
+//
+// For a circuit evaluated in fixed point with F fraction bits, every node's
+// absolute error |~f - f| is bounded by a constant propagated leaf-to-root:
+//
+//   indicator leaf  Δ = 0                      (0 and 1 are on the grid)
+//   parameter leaf  Δ = 2^-(F+1)               (one round-to-nearest, eq. 2)
+//   adder           Δ = Δa + Δb                (exact in fixed point, eq. 3)
+//   multiplier      Δ = a_max·Δb + b_max·Δa + Δa·Δb + 2^-(F+1)   (eq. 5)
+//   max (MPE)       Δ = max(Δa, Δb)            (selects one of its inputs)
+//
+// a_max/b_max come from the max-value analysis (§3.1.4), which is what keeps
+// eq. 5 bounded.  The propagation requires a *binary* circuit so the
+// association order matches the generated hardware exactly.
+//
+// Validity precondition: no overflow — guaranteed by choosing I from the max
+// analysis (bitwidth_search.hpp) and checked at runtime by the emulator's
+// overflow flag.
+#pragma once
+
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "lowprec/format.hpp"
+
+namespace problp::errormodel {
+
+struct FixedErrorOptions {
+  lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
+  /// When true, leaves whose value lies exactly on the fixed-point grid
+  /// contribute zero quantisation error (a sound tightening the paper does
+  /// not apply; off by default for faithfulness).
+  bool tighten_exact_leaves = false;
+};
+
+struct FixedErrorAnalysis {
+  std::vector<double> node_bound;  ///< per-node absolute error bound
+  double root_bound = 0.0;
+};
+
+/// Propagates eqs. 2–5 over `circuit` (must be binary; binarize() first).
+/// `max_values` must come from ac::max_value_analysis on the same circuit.
+FixedErrorAnalysis propagate_fixed_error(const ac::Circuit& circuit,
+                                         const lowprec::FixedFormat& format,
+                                         const std::vector<double>& max_values,
+                                         const FixedErrorOptions& options = {});
+
+}  // namespace problp::errormodel

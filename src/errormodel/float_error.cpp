@@ -1,0 +1,64 @@
+#include "errormodel/float_error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace problp::errormodel {
+
+using ac::Circuit;
+using ac::Node;
+using ac::NodeId;
+using ac::NodeKind;
+
+FloatErrorAnalysis propagate_float_error(const Circuit& circuit) {
+  require(circuit.root() != ac::kInvalidNode, "propagate_float_error: no root");
+  require(circuit.is_binary(), "propagate_float_error: circuit must be binary");
+  FloatErrorAnalysis out;
+  out.node_count.resize(circuit.num_nodes(), 0);
+  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+    const Node& n = circuit.node(static_cast<NodeId>(i));
+    std::int64_t count = 0;
+    switch (n.kind) {
+      case NodeKind::kIndicator:
+        count = 0;
+        break;
+      case NodeKind::kParameter:
+        count = 1;
+        break;
+      case NodeKind::kSum: {
+        for (NodeId c : n.children) {
+          count = std::max(count, out.node_count[static_cast<std::size_t>(c)]);
+        }
+        count += 1;
+        break;
+      }
+      case NodeKind::kProd: {
+        count = 1;
+        for (NodeId c : n.children) count += out.node_count[static_cast<std::size_t>(c)];
+        break;
+      }
+      case NodeKind::kMax: {
+        for (NodeId c : n.children) {
+          count = std::max(count, out.node_count[static_cast<std::size_t>(c)]);
+        }
+        break;
+      }
+    }
+    out.node_count[i] = count;
+  }
+  out.root_count = out.node_count[static_cast<std::size_t>(circuit.root())];
+  return out;
+}
+
+double float_relative_bound(std::int64_t count, const lowprec::FloatFormat& format,
+                            lowprec::RoundingMode rounding) {
+  format.validate();
+  require(count >= 0, "float_relative_bound: negative count");
+  const double eps = (rounding == lowprec::RoundingMode::kNearestEven)
+                         ? format.epsilon()
+                         : 2.0 * format.epsilon();
+  // (1+eps)^count - 1, computed stably for large counts / tiny eps.
+  return std::expm1(static_cast<double>(count) * std::log1p(eps));
+}
+
+}  // namespace problp::errormodel

@@ -1,0 +1,42 @@
+// Floating-point error propagation (paper §3.1.2, eqs. 6–12).
+//
+// With ε = 2^-(M+1), every value carries an accumulated factor (1 ± ε)^c.
+// The per-node counter c propagates structurally — it depends only on the
+// circuit, not on M, so one propagation serves every candidate mantissa
+// width:
+//
+//   indicator leaf  c = 0        (0 and 1 are exact in any float format)
+//   parameter leaf  c = 1        (one conversion rounding, eq. 6)
+//   adder           c = max(ca, cb) + 1                       (eq. 10)
+//   multiplier      c = ca + cb + 1                           (eq. 12)
+//   max (MPE)       c = max(ca, cb)   (comparison selects an input, exact)
+//
+// The root counter C then yields the relative bound (1+ε)^C - 1 on a single
+// AC evaluation.
+//
+// Validity precondition: no overflow/underflow — guaranteed by choosing E
+// from the max/min analysis (§3.1.4) and checked by the emulator's flags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "lowprec/format.hpp"
+
+namespace problp::errormodel {
+
+struct FloatErrorAnalysis {
+  std::vector<std::int64_t> node_count;  ///< per-node (1±ε) factor count
+  std::int64_t root_count = 0;
+};
+
+/// Propagates the counters over `circuit` (must be binary).
+FloatErrorAnalysis propagate_float_error(const ac::Circuit& circuit);
+
+/// (1+ε)^count - 1, the relative-error bound for one AC evaluation;
+/// ε = 2^-(M+1) for round-to-nearest, 2^-M for truncation.
+double float_relative_bound(std::int64_t count, const lowprec::FloatFormat& format,
+                            lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+}  // namespace problp::errormodel

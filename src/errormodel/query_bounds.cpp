@@ -1,0 +1,81 @@
+#include "errormodel/query_bounds.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace problp::errormodel {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* to_string(QueryType q) {
+  switch (q) {
+    case QueryType::kMarginal: return "marginal";
+    case QueryType::kConditional: return "conditional";
+    case QueryType::kMpe: return "mpe";
+  }
+  return "?";
+}
+
+const char* to_string(ToleranceKind t) {
+  return t == ToleranceKind::kAbsolute ? "absolute" : "relative";
+}
+
+CircuitErrorModel CircuitErrorModel::build(const ac::Circuit& binary_circuit) {
+  require(binary_circuit.is_binary(), "CircuitErrorModel: circuit must be binary");
+  CircuitErrorModel model;
+  model.range = ac::analyze_range(binary_circuit);
+  model.float_counts = propagate_float_error(binary_circuit);
+  return model;
+}
+
+double fixed_query_bound(const ac::Circuit& binary_circuit, const CircuitErrorModel& model,
+                         const QuerySpec& spec, const lowprec::FixedFormat& format,
+                         const FixedErrorOptions& options) {
+  const FixedErrorAnalysis fx =
+      propagate_fixed_error(binary_circuit, format, model.range.max_value, options);
+  const double delta = fx.root_bound;
+  switch (spec.query) {
+    case QueryType::kMarginal:
+    case QueryType::kMpe:
+      if (spec.kind == ToleranceKind::kAbsolute) return delta;
+      // Relative: the exact output can be as small as the min analysis
+      // allows; Δ / min⁺ bounds the relative error of any non-zero output.
+      return model.range.root_min > 0.0 ? delta / model.range.root_min : kInf;
+    case QueryType::kConditional:
+      if (spec.kind == ToleranceKind::kRelative) return kInf;  // §3.2.2: unsupported
+      // eq. 14: Δ1max / min Pr(e).
+      return model.range.root_min > 0.0 ? delta / model.range.root_min : kInf;
+  }
+  return kInf;
+}
+
+double float_query_bound(const CircuitErrorModel& model, const QuerySpec& spec,
+                         const lowprec::FloatFormat& format,
+                         lowprec::RoundingMode rounding) {
+  const std::int64_t c = model.float_counts.root_count;
+  const double eps = (rounding == lowprec::RoundingMode::kNearestEven)
+                         ? format.epsilon()
+                         : 2.0 * format.epsilon();
+  // One evaluation: (1+eps)^C - 1.  Sound for both tails because
+  // 1 - (1-eps)^C <= (1+eps)^C - 1.
+  const double single = float_relative_bound(c, format, rounding);
+  // Ratio of two evaluations: (1+eps)^C / (1-eps)^C - 1.
+  const double ratio =
+      std::expm1(static_cast<double>(c) * (std::log1p(eps) - std::log1p(-eps)));
+  switch (spec.query) {
+    case QueryType::kMarginal:
+    case QueryType::kMpe:
+      if (spec.kind == ToleranceKind::kRelative) return single;
+      // Absolute: |~f - f| <= f * single <= root_max * single.
+      return model.range.root_max * single;
+    case QueryType::kConditional:
+      // Both tolerances use the ratio bound; for absolute tolerance note
+      // Pr(q|e) <= 1, so absolute error <= relative error bound.
+      return ratio;
+  }
+  return kInf;
+}
+
+}  // namespace problp::errormodel

@@ -1,0 +1,69 @@
+// Query-level error bounds (paper §3.2).
+//
+// The per-evaluation bounds of §3.1 cover one upward pass.  Queries compose
+// passes:
+//
+//  * Marginal probability and MPE use a single pass — the §3.1 bounds apply
+//    directly (§3.2.1).
+//  * Conditional probability Pr(q|e) is the ratio of two passes (§3.2.2):
+//      - fixed point: worst case puts the full absolute error Δ in the
+//        numerator, giving Δ/Pr(e) <= Δ / min⁺Pr(e) (eq. 14), with
+//        min⁺Pr(e) from the min-value analysis;
+//      - fixed point + relative tolerance: no usable bound exists (the
+//        denominator of eq. 15 can be arbitrarily small) — ProbLP always
+//        selects float here, so the bound is +infinity;
+//      - float: both passes carry (1±ε)^c factors; the ratio is bounded by
+//        (1+ε)^C/(1-ε)^C - 1 (slightly more conservative than the paper's
+//        eq. 17 simplification, and sound for both tails).
+//
+// All bounds are expressed as: given a format, what is the worst-case
+// absolute/relative error of the query result.
+#pragma once
+
+#include "ac/analysis.hpp"
+#include "errormodel/fixed_error.hpp"
+#include "errormodel/float_error.hpp"
+
+namespace problp::errormodel {
+
+enum class QueryType {
+  kMarginal,     ///< Pr(q, e): one AC evaluation
+  kConditional,  ///< Pr(q | e): ratio of two AC evaluations
+  kMpe,          ///< max_x Pr(x, e): one evaluation of the max-circuit
+};
+
+enum class ToleranceKind { kAbsolute, kRelative };
+
+const char* to_string(QueryType q);
+const char* to_string(ToleranceKind t);
+
+/// What the user asks ProbLP for: "keep the <kind> error of <query> within
+/// <tolerance> for every possible input" (§3, "Error tolerance").
+struct QuerySpec {
+  QueryType query = QueryType::kMarginal;
+  ToleranceKind kind = ToleranceKind::kAbsolute;
+  double tolerance = 0.01;
+};
+
+/// Format-independent facts about one circuit, computed once and reused
+/// across the bit-width search.  For MPE queries, build from the
+/// max-circuit (ac::to_max_circuit).
+struct CircuitErrorModel {
+  ac::RangeAnalysis range;
+  FloatErrorAnalysis float_counts;
+
+  static CircuitErrorModel build(const ac::Circuit& binary_circuit);
+};
+
+/// Worst-case query error in fixed point; +infinity when the combination is
+/// unsupported (conditional + relative).
+double fixed_query_bound(const ac::Circuit& binary_circuit, const CircuitErrorModel& model,
+                         const QuerySpec& spec, const lowprec::FixedFormat& format,
+                         const FixedErrorOptions& options = {});
+
+/// Worst-case query error in floating point.
+double float_query_bound(const CircuitErrorModel& model, const QuerySpec& spec,
+                         const lowprec::FloatFormat& format,
+                         lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+}  // namespace problp::errormodel

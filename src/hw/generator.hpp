@@ -1,0 +1,28 @@
+// Arithmetic circuit -> pipelined netlist (paper §3.4, Fig. 4).
+//
+// Stage 1 of the paper's flow (n-ary -> 2-input decomposition) is
+// ac::binarize; this generator performs stage 2: it instantiates one
+// operator cell per live circuit node, pipelines every operator output, and
+// inserts alignment registers where a consumer sits more than one stage
+// above a producer ("due to a mismatch in path timings", Fig. 4's A->G
+// path).  Alignment chains are shared: two consumers needing the same
+// signal at the same stage reuse one register chain.
+#pragma once
+
+#include "ac/circuit.hpp"
+#include "hw/netlist.hpp"
+
+namespace problp::hw {
+
+struct GeneratorOptions {
+  /// When true (default), a delayed version of a wire is built once and
+  /// shared by all consumers; when false, every consumer gets a private
+  /// chain (ablation knob for register-count comparisons).
+  bool share_alignment_chains = true;
+};
+
+/// `binary_circuit` must be binary (run ac::binarize first).  The netlist's
+/// output wire corresponds to the circuit root.
+Netlist generate_netlist(const ac::Circuit& binary_circuit, const GeneratorOptions& options = {});
+
+}  // namespace problp::hw

@@ -1,0 +1,128 @@
+#include "hw/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace problp::hw {
+
+const char* to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::kAdd: return "add";
+    case CellKind::kMul: return "mul";
+    case CellKind::kMax: return "max";
+    case CellKind::kRegister: return "reg";
+  }
+  return "?";
+}
+
+std::string NetlistStats::to_string() const {
+  return str_format(
+      "adders=%zu multipliers=%zu maxes=%zu pipe_regs=%zu align_regs=%zu latency=%d "
+      "inputs(lambda=%zu,const=%zu)",
+      adders, multipliers, maxes, pipeline_registers, alignment_registers, latency_cycles,
+      indicator_inputs, constant_inputs);
+}
+
+WireId Netlist::push_wire(Wire w) {
+  wires_.push_back(std::move(w));
+  return static_cast<WireId>(wires_.size() - 1);
+}
+
+WireId Netlist::add_indicator_input(int var, int state, std::string name) {
+  require(var >= 0 && static_cast<std::size_t>(var) < cardinalities_.size(),
+          "add_indicator_input: bad var");
+  require(state >= 0 && state < cardinalities_[static_cast<std::size_t>(var)],
+          "add_indicator_input: bad state");
+  Wire w;
+  w.driver = WireDriver::kIndicator;
+  w.stage = 0;
+  w.var = var;
+  w.state = state;
+  w.name = std::move(name);
+  return push_wire(std::move(w));
+}
+
+WireId Netlist::add_constant_input(double value, std::string name) {
+  Wire w;
+  w.driver = WireDriver::kConstant;
+  w.stage = 0;
+  w.value = value;
+  w.name = std::move(name);
+  return push_wire(std::move(w));
+}
+
+WireId Netlist::add_operator(CellKind kind, WireId a, WireId b, std::string name) {
+  require(kind != CellKind::kRegister, "add_operator: use add_register for registers");
+  require(a >= 0 && static_cast<std::size_t>(a) < wires_.size(), "add_operator: bad input a");
+  require(b >= 0 && static_cast<std::size_t>(b) < wires_.size(), "add_operator: bad input b");
+  require(wire(a).stage == wire(b).stage,
+          "add_operator: inputs must be stage-aligned (insert alignment registers)");
+  Wire w;
+  w.driver = WireDriver::kCell;
+  w.stage = wire(a).stage + 1;
+  w.name = std::move(name);
+  const WireId out = push_wire(std::move(w));
+  cells_.push_back(Cell{kind, a, b, out});
+  return out;
+}
+
+WireId Netlist::add_register(WireId in, std::string name) {
+  require(in >= 0 && static_cast<std::size_t>(in) < wires_.size(), "add_register: bad input");
+  Wire w;
+  w.driver = WireDriver::kCell;
+  w.stage = wire(in).stage + 1;
+  w.name = std::move(name);
+  const WireId out = push_wire(std::move(w));
+  cells_.push_back(Cell{CellKind::kRegister, in, kInvalidWire, out});
+  return out;
+}
+
+void Netlist::set_output(WireId out) {
+  require(out >= 0 && static_cast<std::size_t>(out) < wires_.size(), "set_output: bad wire");
+  output_ = out;
+}
+
+int Netlist::latency() const {
+  require(output_ != kInvalidWire, "latency: no output set");
+  return wire(output_).stage;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  for (const Cell& c : cells_) {
+    switch (c.kind) {
+      case CellKind::kAdd: ++s.adders; break;
+      case CellKind::kMul: ++s.multipliers; break;
+      case CellKind::kMax: ++s.maxes; break;
+      case CellKind::kRegister: ++s.alignment_registers; break;
+    }
+  }
+  // Every operator output is implicitly registered (one pipeline register
+  // per operator, §3.4).
+  s.pipeline_registers = s.adders + s.multipliers + s.maxes;
+  for (const Wire& w : wires_) {
+    if (w.driver == WireDriver::kIndicator) ++s.indicator_inputs;
+    if (w.driver == WireDriver::kConstant) ++s.constant_inputs;
+  }
+  s.latency_cycles = (output_ == kInvalidWire) ? 0 : latency();
+  return s;
+}
+
+void Netlist::validate() const {
+  require(output_ != kInvalidWire, "Netlist::validate: no output set");
+  for (const Cell& c : cells_) {
+    const int out_stage = wire(c.out).stage;
+    require(wire(c.a).stage == out_stage - 1, "Netlist::validate: input a stage mismatch");
+    if (c.kind != CellKind::kRegister) {
+      require(wire(c.b).stage == out_stage - 1, "Netlist::validate: input b stage mismatch");
+    }
+  }
+  for (const Wire& w : wires_) {
+    if (w.driver != WireDriver::kCell) {
+      require(w.stage == 0, "Netlist::validate: primary input not at stage 0");
+    }
+  }
+}
+
+}  // namespace problp::hw

@@ -1,0 +1,109 @@
+// Pipelined-datapath netlist IR — the hardware ProbLP generates (paper §3.4,
+// Fig. 4): a fully parallel datapath with one 2-input operator per circuit
+// node, a pipeline register after every operator, and extra alignment
+// registers wherever converging paths have mismatched latencies.
+//
+// Timing model: a wire carries a `stage` — the cycle (relative to input
+// presentation) at which its value is valid.  Primary inputs are stage 0;
+// an operator consumes two stage-(s-1) wires and drives a registered
+// stage-s wire; an alignment register delays a wire by exactly one stage.
+// The invariant "every cell's inputs are at stage out-1" is what makes the
+// datapath a correct pipeline at initiation interval 1; Netlist::validate()
+// checks it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace problp::hw {
+
+using WireId = std::int32_t;
+inline constexpr WireId kInvalidWire = -1;
+
+enum class WireDriver : std::uint8_t {
+  kIndicator,  ///< primary input: a 1-bit evidence indicator, expanded to 0.0/1.0
+  kConstant,   ///< hard-wired parameter constant (quantised at elaboration)
+  kCell,       ///< output of an operator or register cell
+};
+
+struct Wire {
+  WireDriver driver = WireDriver::kCell;
+  int stage = 0;        ///< cycle at which the value is valid
+  std::string name;
+  // indicator payload
+  int var = -1;
+  int state = -1;
+  // constant payload
+  double value = 0.0;
+};
+
+enum class CellKind : std::uint8_t { kAdd, kMul, kMax, kRegister };
+
+const char* to_string(CellKind kind);
+
+struct Cell {
+  CellKind kind = CellKind::kRegister;
+  WireId a = kInvalidWire;  ///< first input
+  WireId b = kInvalidWire;  ///< second input (unused for registers)
+  WireId out = kInvalidWire;
+};
+
+struct NetlistStats {
+  std::size_t adders = 0;
+  std::size_t multipliers = 0;
+  std::size_t maxes = 0;
+  std::size_t alignment_registers = 0;  ///< explicit path-balancing registers
+  std::size_t pipeline_registers = 0;   ///< implicit one-per-operator output
+  int latency_cycles = 0;
+  std::size_t indicator_inputs = 0;
+  std::size_t constant_inputs = 0;
+
+  std::size_t total_registers() const { return alignment_registers + pipeline_registers; }
+  std::string to_string() const;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::vector<int> cardinalities) : cardinalities_(std::move(cardinalities)) {}
+
+  WireId add_indicator_input(int var, int state, std::string name);
+  WireId add_constant_input(double value, std::string name);
+  /// Adds an operator cell; inputs must be at equal stages, output lands one
+  /// stage later.
+  WireId add_operator(CellKind kind, WireId a, WireId b, std::string name);
+  /// Adds an alignment register delaying `in` by one stage.
+  WireId add_register(WireId in, std::string name);
+
+  void set_output(WireId out);
+  WireId output() const { return output_; }
+
+  std::size_t num_wires() const { return wires_.size(); }
+  std::size_t num_cells() const { return cells_.size(); }
+  const Wire& wire(WireId id) const { return wires_.at(static_cast<std::size_t>(id)); }
+  const Cell& cell(std::size_t i) const { return cells_.at(i); }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Wire>& wires() const { return wires_; }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  /// Pipeline latency: stage of the output wire.
+  int latency() const;
+
+  NetlistStats stats() const;
+
+  /// Checks the stage discipline (every cell input exactly one stage before
+  /// its output, output wire set); throws on violation.
+  void validate() const;
+
+ private:
+  WireId push_wire(Wire w);
+
+  std::vector<Wire> wires_;
+  std::vector<Cell> cells_;
+  WireId output_ = kInvalidWire;
+  std::vector<int> cardinalities_;
+};
+
+}  // namespace problp::hw

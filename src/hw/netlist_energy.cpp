@@ -1,0 +1,42 @@
+#include "hw/netlist_energy.hpp"
+
+#include "energy/op_models.hpp"
+
+namespace problp::hw {
+
+namespace {
+
+NetlistEnergyBreakdown estimate(const Netlist& netlist, int width_bits, double add_fj,
+                                double mul_fj, double max_fj,
+                                const NetlistEnergyOptions& options) {
+  const NetlistStats stats = netlist.stats();
+  NetlistEnergyBreakdown out;
+  out.operator_fj = options.synthesis_efficiency *
+                    (static_cast<double>(stats.adders) * add_fj +
+                     static_cast<double>(stats.multipliers) * mul_fj +
+                     static_cast<double>(stats.maxes) * max_fj);
+  out.register_fj = static_cast<double>(stats.total_registers()) *
+                    static_cast<double>(width_bits) * options.register_fj_per_bit;
+  return out;
+}
+
+}  // namespace
+
+NetlistEnergyBreakdown fixed_netlist_energy(const Netlist& netlist,
+                                            const lowprec::FixedFormat& format,
+                                            const NetlistEnergyOptions& options) {
+  const int n = energy::fixed_width_bits(format);
+  return estimate(netlist, n, energy::fixed_add_fj(n), energy::fixed_mul_fj(n),
+                  energy::max_op_fj(n), options);
+}
+
+NetlistEnergyBreakdown float_netlist_energy(const Netlist& netlist,
+                                            const lowprec::FloatFormat& format,
+                                            const NetlistEnergyOptions& options) {
+  const int w = energy::float_width_bits(format);
+  const int m = format.mantissa_bits;
+  return estimate(netlist, w, energy::float_add_fj(m), energy::float_mul_fj(m),
+                  energy::max_op_fj(w), options);
+}
+
+}  // namespace problp::hw

@@ -1,0 +1,56 @@
+#include "hw/resource_report.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace problp::hw {
+
+ResourceReport analyze_resources(const Netlist& netlist, int word_width_bits) {
+  require(word_width_bits >= 1, "analyze_resources: bad word width");
+  netlist.validate();
+  ResourceReport report;
+  const int latency = netlist.latency();
+  report.stages.resize(static_cast<std::size_t>(std::max(latency, 0)));
+  for (int s = 1; s <= latency; ++s) {
+    report.stages[static_cast<std::size_t>(s - 1)].stage = s;
+  }
+  for (const Cell& c : netlist.cells()) {
+    const int out_stage = netlist.wire(c.out).stage;
+    if (out_stage < 1 || out_stage > latency) continue;  // cells past the output cone
+    StageUsage& usage = report.stages[static_cast<std::size_t>(out_stage - 1)];
+    switch (c.kind) {
+      case CellKind::kAdd: ++usage.adders; break;
+      case CellKind::kMul: ++usage.multipliers; break;
+      case CellKind::kMax: ++usage.maxes; break;
+      case CellKind::kRegister: ++usage.alignment_registers; break;
+    }
+  }
+  std::size_t total_ops = 0;
+  for (const StageUsage& usage : report.stages) {
+    report.peak_stage_operators = std::max(report.peak_stage_operators, usage.operators());
+    total_ops += usage.operators();
+  }
+  report.mean_stage_operators =
+      report.stages.empty() ? 0.0
+                            : static_cast<double>(total_ops) /
+                                  static_cast<double>(report.stages.size());
+  const NetlistStats stats = netlist.stats();
+  report.storage_bits = stats.total_registers() * static_cast<std::size_t>(word_width_bits);
+  return report;
+}
+
+std::string ResourceReport::to_string() const {
+  TextTable table({"stage", "adders", "multipliers", "maxes", "align regs"});
+  for (const StageUsage& usage : stages) {
+    table.add_row({str_format("%d", usage.stage), str_format("%zu", usage.adders),
+                   str_format("%zu", usage.multipliers), str_format("%zu", usage.maxes),
+                   str_format("%zu", usage.alignment_registers)});
+  }
+  return table.to_string() +
+         str_format("peak stage operators: %zu, mean %.1f, storage %zu bits\n",
+                    peak_stage_operators, mean_stage_operators, storage_bits);
+}
+
+}  // namespace problp::hw

@@ -1,0 +1,37 @@
+// Stage-by-stage resource reporting for generated datapaths — what a
+// hardware engineer checks before floorplanning: how operators distribute
+// across pipeline stages, where register pressure concentrates, and the
+// total storage bits at a given format width.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace problp::hw {
+
+struct StageUsage {
+  int stage = 0;              ///< output stage of the cells counted here
+  std::size_t adders = 0;
+  std::size_t multipliers = 0;
+  std::size_t maxes = 0;
+  std::size_t alignment_registers = 0;
+
+  std::size_t operators() const { return adders + multipliers + maxes; }
+};
+
+struct ResourceReport {
+  std::vector<StageUsage> stages;   ///< indexed 1..latency (stage 0 holds inputs only)
+  std::size_t peak_stage_operators = 0;  ///< widest stage (parallelism high-water mark)
+  double mean_stage_operators = 0.0;
+  std::size_t storage_bits = 0;     ///< all registers x word width
+
+  /// Aligned text rendering (one row per stage).
+  std::string to_string() const;
+};
+
+/// Builds the report; `word_width_bits` is the datapath width (I+F or E+M).
+ResourceReport analyze_resources(const Netlist& netlist, int word_width_bits);
+
+}  // namespace problp::hw

@@ -1,0 +1,172 @@
+// Cycle-accurate simulation of generated netlists.
+//
+// This is the repository's stand-in for running the emitted Verilog through
+// a commercial simulator: the netlist is clocked cycle by cycle, every cell
+// output is registered, and the arithmetic is the *same* bit-exact emulation
+// (ac/number_ops.hpp) the circuit-level evaluator uses — so
+//
+//   simulate(netlist, e)  ==  evaluate_lowprec(circuit, e)
+//
+// is a checkable end-to-end correctness statement for the hardware
+// generator, including pipelining: a new input vector can be presented every
+// cycle and results emerge `latency` cycles later (initiation interval 1).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "ac/evaluator.hpp"
+#include "ac/number_ops.hpp"
+#include "hw/netlist.hpp"
+
+namespace problp::hw {
+
+namespace detail {
+
+template <class Ops>
+class SimEngine {
+ public:
+  using Value = typename Ops::Value;
+
+  SimEngine(const Netlist& netlist, Ops ops) : netlist_(netlist), ops_(ops) {
+    netlist_.validate();
+    state_.assign(netlist_.num_wires(), ops_.zero());
+    scratch_.assign(netlist_.num_wires(), ops_.zero());
+  }
+
+  /// result[t] is the output for assignments[t]; the pipeline is fed one
+  /// assignment per cycle and drained at the end.
+  std::vector<Value> run(const std::vector<ac::PartialAssignment>& assignments) {
+    const long latency = netlist_.latency();
+    const auto n = static_cast<long>(assignments.size());
+    std::vector<Value> out;
+    out.reserve(assignments.size());
+    if (n == 0) return out;
+    // During cycle k (i.e. after k clock edges), a stage-s wire carries the
+    // value derived from the input presented at cycle k-s; the output (stage
+    // = latency) for input t is therefore read during cycle t+latency.  A
+    // latency-0 netlist (root is a primary input) is a pure passthrough.
+    for (long k = 0; k < n + latency; ++k) {
+      apply_inputs(assignments[static_cast<std::size_t>(std::min(k, n - 1))]);
+      if (k >= latency) {
+        out.push_back(state_[static_cast<std::size_t>(netlist_.output())]);
+      }
+      if (k + 1 < n + latency) clock_edge();
+    }
+    return out;
+  }
+
+ private:
+  void apply_inputs(const ac::PartialAssignment& assignment) {
+    require(assignment.size() == netlist_.cardinalities().size(),
+            "SimEngine: assignment size mismatch");
+    for (std::size_t w = 0; w < netlist_.num_wires(); ++w) {
+      const Wire& wire = netlist_.wire(static_cast<WireId>(w));
+      if (wire.driver == WireDriver::kIndicator) {
+        state_[w] =
+            ops_.from_indicator(ac::indicator_is_one(assignment, wire.var, wire.state));
+      } else if (wire.driver == WireDriver::kConstant) {
+        state_[w] = ops_.from_parameter(wire.value);
+      }
+    }
+  }
+
+  /// All cell outputs update simultaneously from pre-edge wire values.
+  void clock_edge() {
+    scratch_ = state_;
+    for (const Cell& c : netlist_.cells()) {
+      const Value& a = state_[static_cast<std::size_t>(c.a)];
+      switch (c.kind) {
+        case CellKind::kAdd:
+          scratch_[static_cast<std::size_t>(c.out)] =
+              ops_.add(a, state_[static_cast<std::size_t>(c.b)]);
+          break;
+        case CellKind::kMul:
+          scratch_[static_cast<std::size_t>(c.out)] =
+              ops_.mul(a, state_[static_cast<std::size_t>(c.b)]);
+          break;
+        case CellKind::kMax:
+          scratch_[static_cast<std::size_t>(c.out)] =
+              ops_.max(a, state_[static_cast<std::size_t>(c.b)]);
+          break;
+        case CellKind::kRegister:
+          scratch_[static_cast<std::size_t>(c.out)] = a;
+          break;
+      }
+    }
+    std::swap(state_, scratch_);
+  }
+
+  const Netlist& netlist_;
+  Ops ops_;
+  std::vector<Value> state_;
+  std::vector<Value> scratch_;
+};
+
+}  // namespace detail
+
+/// Fixed-point hardware simulator.
+class FixedNetlistSimulator {
+ public:
+  FixedNetlistSimulator(const Netlist& netlist, lowprec::FixedFormat format,
+                        lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven)
+      : netlist_(netlist), format_(format), mode_(mode) {
+    format_.validate();
+  }
+
+  double evaluate(const ac::PartialAssignment& assignment) {
+    return evaluate_stream({assignment}).front();
+  }
+
+  std::vector<double> evaluate_stream(const std::vector<ac::PartialAssignment>& assignments) {
+    detail::SimEngine<ac::FixedOps> engine(netlist_, ac::FixedOps{format_, mode_, &flags_});
+    const auto values = engine.run(assignments);
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const auto& v : values) out.push_back(v.to_double());
+    return out;
+  }
+
+  const lowprec::ArithFlags& flags() const { return flags_; }
+  void clear_flags() { flags_ = {}; }
+
+ private:
+  const Netlist& netlist_;
+  lowprec::FixedFormat format_;
+  lowprec::RoundingMode mode_;
+  lowprec::ArithFlags flags_;
+};
+
+/// Floating-point hardware simulator.
+class FloatNetlistSimulator {
+ public:
+  FloatNetlistSimulator(const Netlist& netlist, lowprec::FloatFormat format,
+                        lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven)
+      : netlist_(netlist), format_(format), mode_(mode) {
+    format_.validate();
+  }
+
+  double evaluate(const ac::PartialAssignment& assignment) {
+    return evaluate_stream({assignment}).front();
+  }
+
+  std::vector<double> evaluate_stream(const std::vector<ac::PartialAssignment>& assignments) {
+    detail::SimEngine<ac::FloatOps> engine(netlist_, ac::FloatOps{format_, mode_, &flags_});
+    const auto values = engine.run(assignments);
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const auto& v : values) out.push_back(v.to_double());
+    return out;
+  }
+
+  const lowprec::ArithFlags& flags() const { return flags_; }
+  void clear_flags() { flags_ = {}; }
+
+ private:
+  const Netlist& netlist_;
+  lowprec::FloatFormat format_;
+  lowprec::RoundingMode mode_;
+  lowprec::ArithFlags flags_;
+};
+
+}  // namespace problp::hw

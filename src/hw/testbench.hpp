@@ -1,0 +1,41 @@
+// Self-checking Verilog testbench emission.
+//
+// The C++ netlist simulator is this repository's functional reference for
+// the emitted datapath; for teams with a real simulator (Icarus/Verilator/
+// VCS), this module closes the loop by emitting a testbench whose stimulus
+// *and* golden outputs come from that same bit-exact reference:
+//
+//   * drives the indicator inputs with the given evidence vectors, one per
+//     clock (exercising the initiation-interval-1 pipelining),
+//   * waits out the pipeline latency,
+//   * compares pr_out against the simulator-computed golden words,
+//   * prints PASS/FAIL counts and finishes with $finish.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ac/evaluator.hpp"
+#include "hw/netlist.hpp"
+#include "lowprec/format.hpp"
+
+namespace problp::hw {
+
+struct TestbenchOptions {
+  std::string top_module = "problp_ac_top";
+  std::string testbench_module = "problp_ac_tb";
+  int clock_period = 10;  ///< time units per cycle
+  lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
+};
+
+/// Fixed-point testbench; golden outputs from FixedNetlistSimulator.
+std::string emit_fixed_testbench(const Netlist& netlist, const lowprec::FixedFormat& format,
+                                 const std::vector<ac::PartialAssignment>& vectors,
+                                 const TestbenchOptions& options = {});
+
+/// Float testbench; golden outputs from FloatNetlistSimulator.
+std::string emit_float_testbench(const Netlist& netlist, const lowprec::FloatFormat& format,
+                                 const std::vector<ac::PartialAssignment>& vectors,
+                                 const TestbenchOptions& options = {});
+
+}  // namespace problp::hw

@@ -1,0 +1,38 @@
+// Verilog-2001 emission — ProbLP's final output (paper Fig. 2: "HW
+// generation -> Verilog code").
+//
+// The emitted file contains:
+//  * an operator library specialised to the chosen format: `fx_add`/`fx_mul`
+//    (round-to-nearest-even on the multiplier's discarded fraction bits) or
+//    `fl_add`/`fl_mul` (normalised float with guard/round/sticky rounding),
+//    plus `op_max` where MPE circuits need it;
+//  * the top-level datapath module: one-bit indicator inputs expanded to the
+//    format's 0/1 encodings, parameter constants quantised and hard-wired,
+//    one operator instance per cell, a pipeline register after every
+//    operator, and the alignment registers the generator inserted.
+//
+// The C++ netlist simulator (hw/simulator.hpp) is the executable functional
+// reference for this text; both implement the identical rounding rules.
+#pragma once
+
+#include <string>
+
+#include "hw/netlist.hpp"
+#include "lowprec/format.hpp"
+
+namespace problp::hw {
+
+struct VerilogOptions {
+  std::string module_name = "problp_ac_top";
+  lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
+};
+
+/// Fixed-point datapath.
+std::string emit_fixed_verilog(const Netlist& netlist, const lowprec::FixedFormat& format,
+                               const VerilogOptions& options = {});
+
+/// Floating-point datapath.
+std::string emit_float_verilog(const Netlist& netlist, const lowprec::FloatFormat& format,
+                               const VerilogOptions& options = {});
+
+}  // namespace problp::hw

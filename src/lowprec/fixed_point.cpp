@@ -1,0 +1,96 @@
+#include "lowprec/fixed_point.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace problp::lowprec {
+
+namespace {
+
+// Saturates `raw` into the format and flags overflow when it did not fit.
+u128 clamp_raw(u128 raw, const FixedFormat& fmt, ArithFlags& flags) {
+  const u128 max_raw = fmt.max_raw();
+  if (raw > max_raw) {
+    flags.overflow = true;
+    return max_raw;
+  }
+  return raw;
+}
+
+}  // namespace
+
+FixedPoint FixedPoint::from_double(double v, FixedFormat fmt, ArithFlags& flags,
+                                   RoundingMode mode) {
+  fmt.validate();
+  FixedPoint out(fmt);
+  if (std::isnan(v) || v < 0.0) {
+    flags.invalid_input = true;
+    return out;
+  }
+  if (std::isinf(v)) {
+    flags.invalid_input = true;
+    out.raw_ = fmt.max_raw();
+    return out;
+  }
+  // v * 2^F is exact in double when v has <= 52 significant bits, which holds
+  // for every double input by construction; the rounding step below is the
+  // only inexact operation.
+  const double scaled = std::ldexp(v, fmt.fraction_bits);
+  double rounded = 0.0;
+  if (mode == RoundingMode::kNearestEven) {
+    rounded = std::nearbyint(scaled);  // FE_TONEAREST: ties to even
+  } else {
+    rounded = std::floor(scaled);  // non-negative: floor == truncate
+  }
+  if (rounded > std::ldexp(1.0, fmt.total_bits())) {
+    flags.overflow = true;
+    out.raw_ = fmt.max_raw();
+    return out;
+  }
+  out.raw_ = clamp_raw(static_cast<u128>(rounded), fmt, flags);
+  return out;
+}
+
+FixedPoint FixedPoint::from_raw(u128 raw, FixedFormat fmt) {
+  fmt.validate();
+  require(raw <= fmt.max_raw(), "FixedPoint::from_raw: raw value out of range");
+  FixedPoint out(fmt);
+  out.raw_ = raw;
+  return out;
+}
+
+double FixedPoint::to_double() const {
+  // raw < 2^62 so the uint64 narrowing below is lossless.
+  return std::ldexp(static_cast<double>(static_cast<std::uint64_t>(raw_)),
+                    -fmt_.fraction_bits);
+}
+
+FixedPoint fx_add(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags) {
+  require(a.format() == b.format(), "fx_add: mixed formats");
+  return FixedPoint::from_raw(clamp_raw(a.raw() + b.raw(), a.format(), flags),
+                              a.format());
+}
+
+FixedPoint fx_mul(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags,
+                  RoundingMode mode) {
+  require(a.format() == b.format(), "fx_mul: mixed formats");
+  const FixedFormat& fmt = a.format();
+  // Exact double-width product: value a*b scaled by 2^(2F).  Both operands
+  // are <= 62 bits so the product fits u128.
+  const u128 prod = a.raw() * b.raw();
+  const u128 rounded = round_shift_right(prod, fmt.fraction_bits, mode);
+  return FixedPoint::from_raw(clamp_raw(rounded, fmt, flags), fmt);
+}
+
+FixedPoint fx_min(const FixedPoint& a, const FixedPoint& b) {
+  require(a.format() == b.format(), "fx_min: mixed formats");
+  return a.raw() < b.raw() ? a : b;
+}
+
+FixedPoint fx_max(const FixedPoint& a, const FixedPoint& b) {
+  require(a.format() == b.format(), "fx_max: mixed formats");
+  return a.raw() > b.raw() ? a : b;
+}
+
+}  // namespace problp::lowprec

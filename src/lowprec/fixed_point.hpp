@@ -1,0 +1,66 @@
+// Bit-exact emulation of the unsigned fixed-point operators that ProbLP's
+// generated hardware instantiates (paper §3.1.1).
+//
+// A FixedPoint stores the scaled integer raw = round(value * 2^F) in a
+// 128-bit word, so:
+//
+//  * conversion from double rounds to the nearest grid point
+//    (|error| <= 2^-(F+1), eq. 2),
+//  * addition is exact as long as the sum stays in range (eq. 3: the adder
+//    adds no error of its own),
+//  * multiplication computes the exact 2(I+F)-bit product and rounds the low
+//    F bits away (the 2^-(F+1) term of eq. 4).
+//
+// Overflow saturates to the format maximum and raises ArithFlags::overflow.
+// The framework's max-value analysis chooses I so that this never happens;
+// the flag lets tests prove it.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "lowprec/format.hpp"
+
+namespace problp::lowprec {
+
+class FixedPoint {
+ public:
+  /// Zero in the given format.
+  explicit FixedPoint(FixedFormat fmt) : fmt_(fmt), raw_(0) {}
+
+  /// Converts a non-negative double, rounding per `mode`.  Negative, NaN or
+  /// infinite inputs clamp to 0 / max and set invalid_input.
+  static FixedPoint from_double(double v, FixedFormat fmt, ArithFlags& flags,
+                                RoundingMode mode = RoundingMode::kNearestEven);
+
+  /// Wraps an already-scaled integer (raw must fit I+F bits).
+  static FixedPoint from_raw(u128 raw, FixedFormat fmt);
+
+  double to_double() const;
+  u128 raw() const { return raw_; }
+  const FixedFormat& format() const { return fmt_; }
+
+  bool is_zero() const { return raw_ == 0; }
+
+  friend bool operator==(const FixedPoint& a, const FixedPoint& b) {
+    return a.raw_ == b.raw_;  // formats assumed equal (checked in ops)
+  }
+
+ private:
+  FixedFormat fmt_;
+  u128 raw_;
+};
+
+/// a + b; exact unless the sum overflows the format (then saturates + flags).
+FixedPoint fx_add(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags);
+
+/// a * b with the low F bits of the exact product rounded away per `mode`.
+FixedPoint fx_mul(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags,
+                  RoundingMode mode = RoundingMode::kNearestEven);
+
+/// Exact min / max (no rounding; used for MPE max nodes and min-value
+/// analysis).
+FixedPoint fx_min(const FixedPoint& a, const FixedPoint& b);
+FixedPoint fx_max(const FixedPoint& a, const FixedPoint& b);
+
+}  // namespace problp::lowprec

@@ -1,0 +1,123 @@
+// Number-format descriptors for the two representations ProbLP chooses
+// between (paper §3.1):
+//
+//  * FixedFormat  — unsigned fixed point with I integer and F fraction bits.
+//    Arithmetic circuits only ever see non-negative values, so there is no
+//    sign bit; the representable range is [0, 2^I - 2^-F] on a uniform grid
+//    of resolution 2^-F.
+//
+//  * FloatFormat  — normalised floating point with E exponent and M mantissa
+//    bits and no sign bit.  Encoding convention (documented because the paper
+//    only says "normalized"): the stored exponent field value 0 is reserved
+//    to encode the number zero (indicators λ = 0 must be representable), so
+//    normal numbers use stored exponents [1, 2^E - 1] giving unbiased
+//    exponents [2 - 2^(E-1), 2^(E-1)] with the IEEE-style bias 2^(E-1) - 1.
+//    There are no subnormals, infinities or NaNs; overflow saturates and
+//    underflow flushes to zero, and both raise a flag so the range analysis
+//    (§3.1.4) can be verified to preclude them.
+#pragma once
+
+#include <string>
+
+#include "util/int_math.hpp"
+
+namespace problp::lowprec {
+
+struct FixedFormat {
+  int integer_bits = 1;   ///< I >= 0
+  int fraction_bits = 8;  ///< F >= 0
+
+  /// Total datapath width N = I + F (the N of the Table-1 energy models).
+  int total_bits() const { return integer_bits + fraction_bits; }
+
+  /// Grid spacing 2^-F.
+  double resolution() const { return pow2(-fraction_bits); }
+
+  /// Largest representable value 2^I - 2^-F.
+  double max_value() const { return pow2(integer_bits) - resolution(); }
+
+  /// Worst-case round-to-nearest conversion error, 2^-(F+1) (paper eq. 2).
+  double quantization_bound() const { return pow2(-(fraction_bits + 1)); }
+
+  /// Raw (scaled-integer) value of max_value().
+  u128 max_raw() const { return u128_pow2(total_bits()) - 1; }
+
+  /// Throws InvalidArgument when the format cannot be emulated exactly
+  /// (products are computed in 128-bit intermediates, so I+F <= 62).
+  void validate() const;
+
+  std::string to_string() const;  ///< e.g. "fx<I=1,F=15>"
+
+  friend bool operator==(const FixedFormat&, const FixedFormat&) = default;
+};
+
+struct FloatFormat {
+  int exponent_bits = 8;  ///< E >= 2
+  int mantissa_bits = 8;  ///< M >= 1 (explicit fraction bits; hidden leading 1)
+
+  /// IEEE-style bias.
+  int bias() const { return (1 << (exponent_bits - 1)) - 1; }
+
+  /// Smallest unbiased exponent of a normal number (stored field 1).
+  int min_exponent() const { return 1 - bias(); }
+
+  /// Largest unbiased exponent (stored field 2^E - 1; no encodings reserved
+  /// for inf/NaN).
+  int max_exponent() const { return ((1 << exponent_bits) - 1) - bias(); }
+
+  /// Relative rounding bound epsilon = 2^-(M+1) (paper eq. 6).
+  double epsilon() const { return pow2(-(mantissa_bits + 1)); }
+
+  /// Largest representable value (2 - 2^-M) * 2^emax.
+  double max_value() const {
+    return (2.0 - pow2(-mantissa_bits)) * pow2(max_exponent());
+  }
+
+  /// Smallest positive representable value 2^emin.
+  double min_normal() const { return pow2(min_exponent()); }
+
+  /// Throws InvalidArgument when the format cannot be emulated exactly
+  /// (M <= 60 so M+1-bit significands fit uint64_t with guard room, E <= 28
+  /// so exponent arithmetic stays far from int overflow).
+  void validate() const;
+
+  std::string to_string() const;  ///< e.g. "fl<E=8,M=13>"
+
+  friend bool operator==(const FloatFormat&, const FloatFormat&) = default;
+};
+
+/// IEEE-754 binary32 sized reference format (the paper's "32b Fl-pt, E=8,
+/// M=23" comparison column).  Note our encoding has no inf/NaN, so its range
+/// is one binade wider at the top; this does not affect energy, which depends
+/// only on M.
+inline FloatFormat ieee_single_sized() { return FloatFormat{8, 23}; }
+
+/// Sticky flags accumulated across emulated operations.  The error models of
+/// §3.1 are valid only when no flag fires; the range analysis of §3.1.4
+/// guarantees that, and the tests assert it.
+struct ArithFlags {
+  bool overflow = false;        ///< a result exceeded the format's max (saturated)
+  bool underflow = false;       ///< a non-zero float result fell below 2^emin (flushed to 0)
+  bool invalid_input = false;   ///< a conversion saw a negative/NaN/inf input
+
+  bool any() const { return overflow || underflow || invalid_input; }
+  void merge(const ArithFlags& o) {
+    overflow |= o.overflow;
+    underflow |= o.underflow;
+    invalid_input |= o.invalid_input;
+  }
+};
+
+/// Rounding behaviour of the emulated operators.  The paper assumes
+/// round-to-nearest (§3.1); Truncate is kept for the rounding-model ablation
+/// bench (its worst-case step error is 2^-F, twice the nearest bound).
+enum class RoundingMode {
+  kNearestEven,  ///< round to nearest, ties to even (IEEE default)
+  kTruncate,     ///< drop the extra bits (round toward zero)
+};
+
+/// Rounds `value` right-shifted by `shift` bits according to `mode`.
+/// shift <= 0 shifts left (exact).  Used by both emulators.
+u128 round_shift_right(u128 value, int shift, RoundingMode mode);
+
+}  // namespace problp::lowprec

@@ -1,0 +1,142 @@
+#include "lowprec/soft_float.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace problp::lowprec {
+
+namespace {
+
+// Builds a normalised SoftFloat from the exact (or sticky-augmented, see
+// fl_add) value  wide * 2^scale, rounding the significand to M+1 bits and
+// applying the overflow/underflow policy.
+SoftFloat make_normalized(u128 wide, int scale, const FloatFormat& fmt,
+                          ArithFlags& flags, RoundingMode mode) {
+  if (wide == 0) return SoftFloat(fmt);
+  const int m = fmt.mantissa_bits;
+  int msb = msb_index(wide);
+  int exp = msb + scale;
+  u128 sig = round_shift_right(wide, msb - m, mode);
+  if (sig == u128_pow2(m + 1)) {  // rounding carried into a new binade
+    sig >>= 1;
+    exp += 1;
+  }
+  if (exp > fmt.max_exponent()) {
+    flags.overflow = true;
+    return SoftFloat::max_value(fmt);
+  }
+  if (exp < fmt.min_exponent()) {
+    flags.underflow = true;  // flush to zero (no subnormals, paper §3.1.2)
+    return SoftFloat(fmt);
+  }
+  return SoftFloat::from_parts(exp, static_cast<std::uint64_t>(sig), fmt);
+}
+
+}  // namespace
+
+SoftFloat SoftFloat::from_double(double v, FloatFormat fmt, ArithFlags& flags,
+                                 RoundingMode mode) {
+  fmt.validate();
+  if (v == 0.0) return SoftFloat(fmt);
+  if (std::isnan(v) || v < 0.0) {
+    flags.invalid_input = true;
+    return SoftFloat(fmt);
+  }
+  if (std::isinf(v)) {
+    flags.invalid_input = true;
+    return max_value(fmt);
+  }
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  // m * 2^53 is an integer in [2^52, 2^53): the full double significand.
+  const auto mant53 = static_cast<std::uint64_t>(std::ldexp(m, 53));
+  // value = mant53 * 2^(e - 53); make_normalized rounds to M+1 bits.
+  return make_normalized(mant53, e - 53, fmt, flags, mode);
+}
+
+SoftFloat SoftFloat::from_parts(int exp, std::uint64_t sig, FloatFormat fmt) {
+  fmt.validate();
+  SoftFloat out(fmt);
+  if (sig == 0) return out;
+  const std::uint64_t lo = std::uint64_t{1} << fmt.mantissa_bits;
+  require(sig >= lo && sig < 2 * lo, "SoftFloat::from_parts: unnormalised significand");
+  require(exp >= fmt.min_exponent() && exp <= fmt.max_exponent(),
+          "SoftFloat::from_parts: exponent out of range");
+  out.exp_ = exp;
+  out.sig_ = sig;
+  return out;
+}
+
+SoftFloat SoftFloat::max_value(FloatFormat fmt) {
+  const std::uint64_t sig = (std::uint64_t{1} << (fmt.mantissa_bits + 1)) - 1;
+  return from_parts(fmt.max_exponent(), sig, fmt);
+}
+
+SoftFloat SoftFloat::min_normal(FloatFormat fmt) {
+  return from_parts(fmt.min_exponent(), std::uint64_t{1} << fmt.mantissa_bits, fmt);
+}
+
+double SoftFloat::to_double() const {
+  if (sig_ == 0) return 0.0;
+  return std::ldexp(static_cast<double>(sig_), exp_ - fmt_.mantissa_bits);
+}
+
+SoftFloat fl_add(const SoftFloat& a_in, const SoftFloat& b_in, ArithFlags& flags,
+                 RoundingMode mode) {
+  require(a_in.format() == b_in.format(), "fl_add: mixed formats");
+  const FloatFormat& fmt = a_in.format();
+  if (a_in.is_zero()) return b_in;
+  if (b_in.is_zero()) return a_in;
+  const SoftFloat& a = (a_in.exponent() >= b_in.exponent()) ? a_in : b_in;
+  const SoftFloat& b = (a_in.exponent() >= b_in.exponent()) ? b_in : a_in;
+  const int m = fmt.mantissa_bits;
+  const int d = a.exponent() - b.exponent();
+
+  // Align b to a's scale with 3 extra guard/round/sticky bits.  Since both
+  // operands are positive (no cancellation), GRS alignment plus one final
+  // rounding is exactly the correctly-rounded sum.
+  const u128 asig3 = static_cast<u128>(a.significand()) << 3;
+  u128 bsig3 = 0;
+  if (d <= m + 4) {
+    const u128 shifted_b = static_cast<u128>(b.significand()) << 3;
+    bsig3 = shifted_b >> d;
+    const u128 dropped = shifted_b - (bsig3 << d);
+    if (dropped != 0) bsig3 |= 1;  // sticky
+  } else {
+    bsig3 = 1;  // b entirely below the guard bits: pure sticky contribution
+  }
+  const u128 sum = asig3 + bsig3;
+  // value = sum * 2^(a.exp - m - 3)
+  return make_normalized(sum, a.exponent() - m - 3, fmt, flags, mode);
+}
+
+SoftFloat fl_mul(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
+                 RoundingMode mode) {
+  require(a.format() == b.format(), "fl_mul: mixed formats");
+  const FloatFormat& fmt = a.format();
+  if (a.is_zero() || b.is_zero()) return SoftFloat(fmt);
+  const int m = fmt.mantissa_bits;
+  // Exact significand product: (M+1)+(M+1) <= 122 bits.
+  const u128 wide = static_cast<u128>(a.significand()) * b.significand();
+  // a = sig_a * 2^(ea - m), b likewise => value = wide * 2^(ea + eb - 2m).
+  return make_normalized(wide, a.exponent() + b.exponent() - 2 * m, fmt, flags, mode);
+}
+
+bool fl_less(const SoftFloat& a, const SoftFloat& b) {
+  require(a.format() == b.format(), "fl_less: mixed formats");
+  if (a.is_zero()) return !b.is_zero();
+  if (b.is_zero()) return false;
+  if (a.exponent() != b.exponent()) return a.exponent() < b.exponent();
+  return a.significand() < b.significand();
+}
+
+SoftFloat fl_min(const SoftFloat& a, const SoftFloat& b) {
+  return fl_less(a, b) ? a : b;
+}
+
+SoftFloat fl_max(const SoftFloat& a, const SoftFloat& b) {
+  return fl_less(a, b) ? b : a;
+}
+
+}  // namespace problp::lowprec

@@ -1,0 +1,81 @@
+// Bit-exact emulation of parameterised normalised floating point — the
+// float-pt operators of paper §3.1.2.
+//
+// A non-zero SoftFloat holds  value = sig * 2^(exp - M)  with the significand
+// sig carrying exactly M+1 bits (hidden leading one made explicit):
+// 2^M <= sig < 2^(M+1).  sig == 0 encodes the number zero.
+//
+// Operators compute the mathematically exact result in 128-bit intermediates
+// and round once to M+1 significand bits (round-to-nearest-even by default),
+// exactly matching the single (1 +/- eps) rounding term per operation that
+// the paper's error models assume (eqs. 9 and 11):
+//
+//  * multiply: exact (2M+2)-bit significand product, one rounding;
+//  * add: operands are non-negative, so no cancellation can occur; the
+//    smaller operand is aligned with guard/round/sticky bits and the sum is
+//    rounded once (the "rounding of the LSB bits of the smaller input" in
+//    eq. 9 and the final rounding collapse into one correctly-rounded step,
+//    which is what real floating-point adders do);
+//  * min/max: exact, no rounding (used by MPE nodes and min-value analysis).
+//
+// Overflow saturates to the format maximum, underflow flushes to zero; both
+// raise ArithFlags so the §3.1.4 range analysis can be validated.
+#pragma once
+
+#include <cstdint>
+
+#include "lowprec/format.hpp"
+
+namespace problp::lowprec {
+
+class SoftFloat {
+ public:
+  /// Zero in the given format.
+  explicit SoftFloat(FloatFormat fmt) : fmt_(fmt), exp_(0), sig_(0) {}
+
+  /// Converts a non-negative double with a single rounding.  Negative/NaN
+  /// inputs flag invalid and yield zero; +inf flags invalid and saturates.
+  static SoftFloat from_double(double v, FloatFormat fmt, ArithFlags& flags,
+                               RoundingMode mode = RoundingMode::kNearestEven);
+
+  /// Builds from parts; requires 2^M <= sig < 2^(M+1) (or sig == 0) and the
+  /// exponent in range.
+  static SoftFloat from_parts(int exp, std::uint64_t sig, FloatFormat fmt);
+
+  /// Largest / smallest positive representable value of `fmt`.
+  static SoftFloat max_value(FloatFormat fmt);
+  static SoftFloat min_normal(FloatFormat fmt);
+
+  /// Exact when M <= 52 (double's own significand width); callers comparing
+  /// against double oracles should stay in that regime.
+  double to_double() const;
+
+  bool is_zero() const { return sig_ == 0; }
+  int exponent() const { return exp_; }
+  std::uint64_t significand() const { return sig_; }
+  const FloatFormat& format() const { return fmt_; }
+
+  friend bool operator==(const SoftFloat& a, const SoftFloat& b) {
+    return a.sig_ == b.sig_ && (a.sig_ == 0 || a.exp_ == b.exp_);
+  }
+
+ private:
+  FloatFormat fmt_;
+  std::int32_t exp_;   ///< unbiased exponent; meaningful only when sig_ != 0
+  std::uint64_t sig_;  ///< M+1-bit significand, or 0 for the number zero
+};
+
+/// a + b, correctly rounded per `mode`.
+SoftFloat fl_add(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
+                 RoundingMode mode = RoundingMode::kNearestEven);
+
+/// a * b, correctly rounded per `mode`.
+SoftFloat fl_mul(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
+                 RoundingMode mode = RoundingMode::kNearestEven);
+
+/// Exact comparisons / selection (no rounding).
+bool fl_less(const SoftFloat& a, const SoftFloat& b);
+SoftFloat fl_min(const SoftFloat& a, const SoftFloat& b);
+SoftFloat fl_max(const SoftFloat& a, const SoftFloat& b);
+
+}  // namespace problp::lowprec

@@ -1,0 +1,103 @@
+#include "problp/framework.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "hw/generator.hpp"
+#include "hw/verilog.hpp"
+#include "util/strings.hpp"
+
+namespace problp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string Representation::to_string() const {
+  return kind == Kind::kFixed ? fixed.to_string() : flt.to_string();
+}
+
+std::string AnalysisReport::to_string() const {
+  const std::string fixed_desc =
+      fixed_plan.feasible
+          ? str_format("I=%d,F=%d (%.3g nJ)", fixed_plan.format.integer_bits,
+                       fixed_plan.format.fraction_bits, fixed_energy_nj)
+          : str_format("F>%d (-)", fixed_plan.attempted_max_fraction_bits);
+  const std::string float_desc =
+      float_plan.feasible
+          ? str_format("E=%d,M=%d (%.3g nJ)", float_plan.format.exponent_bits,
+                       float_plan.format.mantissa_bits, float_energy_nj)
+          : str_format("M>%d (-)", float_plan.attempted_max_mantissa_bits);
+  return str_format(
+      "%s %s tol=%.3g | fixed: %s | float: %s | selected: %s | 32b-float ref: %.3g nJ",
+      errormodel::to_string(spec.query), errormodel::to_string(spec.kind), spec.tolerance,
+      fixed_desc.c_str(), float_desc.c_str(),
+      any_feasible ? selected.to_string().c_str() : "none", float32_reference_nj);
+}
+
+Framework::Framework(const ac::Circuit& circuit, FrameworkOptions options)
+    : options_(options),
+      binary_(ac::binarize(circuit, options.decomposition).circuit),
+      binary_max_(ac::binarize(ac::to_max_circuit(circuit), options.decomposition).circuit),
+      model_(errormodel::CircuitErrorModel::build(binary_)),
+      max_model_(errormodel::CircuitErrorModel::build(binary_max_)) {}
+
+AnalysisReport Framework::analyze(const errormodel::QuerySpec& spec) const {
+  const ac::Circuit& circuit = circuit_for(spec.query);
+  const errormodel::CircuitErrorModel& model = model_for(spec.query);
+
+  AnalysisReport report;
+  report.spec = spec;
+  report.census = energy::OperatorCensus::of(circuit);
+
+  report.fixed_plan =
+      errormodel::search_fixed_representation(circuit, model, spec, options_.search);
+  report.fixed_energy_nj =
+      report.fixed_plan.feasible
+          ? energy::fj_to_nj(energy::fixed_energy_fj(report.census, report.fixed_plan.format))
+          : kInf;
+
+  report.float_plan = errormodel::search_float_representation(model, spec, options_.search);
+  report.float_energy_nj =
+      report.float_plan.feasible
+          ? energy::fj_to_nj(energy::float_energy_fj(report.census, report.float_plan.format))
+          : kInf;
+
+  report.float32_reference_nj = energy::fj_to_nj(energy::float32_reference_fj(report.census));
+
+  report.any_feasible = report.fixed_plan.feasible || report.float_plan.feasible;
+  if (report.fixed_energy_nj <= report.float_energy_nj && report.fixed_plan.feasible) {
+    report.selected.kind = Representation::Kind::kFixed;
+    report.selected.fixed = report.fixed_plan.format;
+  } else if (report.float_plan.feasible) {
+    report.selected.kind = Representation::Kind::kFloat;
+    report.selected.flt = report.float_plan.format;
+  }
+  return report;
+}
+
+HardwareReport Framework::generate_hardware(const AnalysisReport& report) const {
+  require(report.any_feasible, "generate_hardware: no feasible representation");
+  const ac::Circuit& circuit = circuit_for(report.spec.query);
+  hw::Netlist netlist = hw::generate_netlist(circuit);
+  hw::VerilogOptions vopts;
+
+  HardwareReport out{std::move(netlist), {}, {}, 0.0};
+  out.stats = out.netlist.stats();
+  if (report.selected.kind == Representation::Kind::kFixed) {
+    vopts.rounding = options_.search.fixed_options.rounding;
+    out.verilog = hw::emit_fixed_verilog(out.netlist, report.selected.fixed, vopts);
+    out.netlist_energy_nj = energy::fj_to_nj(
+        hw::fixed_netlist_energy(out.netlist, report.selected.fixed, options_.netlist_energy)
+            .total_fj());
+  } else {
+    vopts.rounding = options_.search.float_rounding;
+    out.verilog = hw::emit_float_verilog(out.netlist, report.selected.flt, vopts);
+    out.netlist_energy_nj = energy::fj_to_nj(
+        hw::float_netlist_energy(out.netlist, report.selected.flt, options_.netlist_energy)
+            .total_fj());
+  }
+  return out;
+}
+
+}  // namespace problp

@@ -1,0 +1,77 @@
+#include "problp/report_io.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace problp {
+
+namespace {
+
+std::string selected_name(const AnalysisReport& r) {
+  if (!r.any_feasible) return "none";
+  return r.selected.kind == Representation::Kind::kFixed ? "fixed" : "float";
+}
+
+std::string maybe(double v, const char* fmt) {
+  return v < 0.0 ? std::string("") : str_format(fmt, v);
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<ReportRow>& rows) {
+  std::ostringstream os;
+  os << "benchmark,query,tolerance_kind,tolerance,fixed_feasible,fixed_I,fixed_F,"
+        "fixed_energy_nj,float_feasible,float_E,float_M,float_energy_nj,selected,"
+        "observed_max_error,netlist_energy_nj,float32_reference_nj\n";
+  for (const ReportRow& row : rows) {
+    const AnalysisReport& a = row.analysis;
+    os << row.benchmark_name << ',' << errormodel::to_string(a.spec.query) << ','
+       << errormodel::to_string(a.spec.kind) << ',' << str_format("%g", a.spec.tolerance) << ',';
+    if (a.fixed_plan.feasible) {
+      os << "1," << a.fixed_plan.format.integer_bits << ',' << a.fixed_plan.format.fraction_bits
+         << ',' << str_format("%.6g", a.fixed_energy_nj) << ',';
+    } else {
+      os << "0,,,,";
+    }
+    if (a.float_plan.feasible) {
+      os << "1," << a.float_plan.format.exponent_bits << ',' << a.float_plan.format.mantissa_bits
+         << ',' << str_format("%.6g", a.float_energy_nj) << ',';
+    } else {
+      os << "0,,,,";
+    }
+    os << selected_name(a) << ',' << maybe(row.observed_max_error, "%.6g") << ','
+       << maybe(row.netlist_energy_nj, "%.6g") << ','
+       << str_format("%.6g", a.float32_reference_nj) << '\n';
+  }
+  return os.str();
+}
+
+std::string to_markdown(const std::vector<ReportRow>& rows) {
+  std::ostringstream os;
+  os << "| AC | Query | Tolerance | Opt. fixed I,F (nJ) | Opt. float E,M (nJ) | Selected | "
+        "Max err observed | Post-synth nJ | 32b float nJ |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
+  for (const ReportRow& row : rows) {
+    const AnalysisReport& a = row.analysis;
+    const std::string fixed_cell =
+        a.fixed_plan.feasible
+            ? str_format("%d, %d (%.2g)", a.fixed_plan.format.integer_bits,
+                         a.fixed_plan.format.fraction_bits, a.fixed_energy_nj)
+            : str_format(">%d ( - )", a.fixed_plan.attempted_max_fraction_bits);
+    const std::string float_cell =
+        a.float_plan.feasible
+            ? str_format("%d, %d (%.2g)", a.float_plan.format.exponent_bits,
+                         a.float_plan.format.mantissa_bits, a.float_energy_nj)
+            : str_format(">%d ( - )", a.float_plan.attempted_max_mantissa_bits);
+    os << "| " << row.benchmark_name << " | " << errormodel::to_string(a.spec.query) << " | "
+       << errormodel::to_string(a.spec.kind) << " " << str_format("%g", a.spec.tolerance)
+       << " | " << fixed_cell << " | " << float_cell << " | **" << selected_name(a) << "** | "
+       << (row.observed_max_error < 0 ? "-" : sci(row.observed_max_error)) << " | "
+       << (row.netlist_energy_nj < 0 ? "-" : str_format("%.2g", row.netlist_energy_nj)) << " | "
+       << str_format("%.2g", a.float32_reference_nj) << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace problp

@@ -1,0 +1,31 @@
+// Machine-readable report export: the Table-2-style AnalysisReport rows as
+// CSV and Markdown, so experiment results flow into notebooks and papers
+// without scraping stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "problp/framework.hpp"
+#include "problp/validation.hpp"
+
+namespace problp {
+
+/// One labelled result row (what bench_table2_overall accumulates).
+struct ReportRow {
+  std::string benchmark_name;
+  AnalysisReport analysis;
+  double observed_max_error = -1.0;   ///< < 0 when not measured
+  double netlist_energy_nj = -1.0;    ///< < 0 when hardware was not generated
+};
+
+/// CSV with a fixed header:
+/// benchmark,query,tolerance_kind,tolerance,fixed_feasible,fixed_I,fixed_F,
+/// fixed_energy_nj,float_feasible,float_E,float_M,float_energy_nj,selected,
+/// observed_max_error,netlist_energy_nj,float32_reference_nj
+std::string to_csv(const std::vector<ReportRow>& rows);
+
+/// GitHub-flavoured Markdown table mirroring the paper's Table 2 layout.
+std::string to_markdown(const std::vector<ReportRow>& rows);
+
+}  // namespace problp

@@ -1,0 +1,92 @@
+#include "problp/validation.hpp"
+
+#include <cmath>
+
+#include "ac/low_precision_eval.hpp"
+
+namespace problp {
+
+namespace {
+
+// One approximate/exact pair folded into the running statistics.
+void accumulate(ObservedError& err, double approx, double exact) {
+  const double abs_err = std::abs(approx - exact);
+  err.max_abs = std::max(err.max_abs, abs_err);
+  err.mean_abs += abs_err;
+  if (exact > 0.0) {
+    const double rel = abs_err / exact;
+    err.max_rel = std::max(err.max_rel, rel);
+    err.mean_rel += rel;
+  }
+  err.count += 1;
+}
+
+void finalize(ObservedError& err) {
+  if (err.count > 0) {
+    err.mean_abs /= static_cast<double>(err.count);
+    err.mean_rel /= static_cast<double>(err.count);
+  }
+}
+
+ac::LowPrecisionResult eval_lowprec(const ac::Circuit& circuit,
+                                    const ac::PartialAssignment& assignment,
+                                    const Representation& repr,
+                                    lowprec::RoundingMode rounding) {
+  if (repr.kind == Representation::Kind::kFixed) {
+    return ac::evaluate_fixed(circuit, assignment, repr.fixed, rounding);
+  }
+  return ac::evaluate_float(circuit, assignment, repr.flt, rounding);
+}
+
+}  // namespace
+
+ObservedError measure_marginal_error(const ac::Circuit& binary_circuit,
+                                     const std::vector<ac::PartialAssignment>& assignments,
+                                     const Representation& repr,
+                                     lowprec::RoundingMode rounding) {
+  ObservedError err;
+  for (const auto& a : assignments) {
+    const double exact = ac::evaluate(binary_circuit, a);
+    const ac::LowPrecisionResult approx = eval_lowprec(binary_circuit, a, repr, rounding);
+    err.flags.merge(approx.flags);
+    accumulate(err, approx.value, exact);
+  }
+  finalize(err);
+  return err;
+}
+
+ObservedError measure_conditional_error(const ac::Circuit& binary_circuit, int query_var,
+                                        const std::vector<ac::PartialAssignment>& assignments,
+                                        const Representation& repr,
+                                        lowprec::RoundingMode rounding) {
+  require(query_var >= 0 && query_var < binary_circuit.num_variables(),
+          "measure_conditional_error: bad query var");
+  ObservedError err;
+  const int card = binary_circuit.cardinalities()[static_cast<std::size_t>(query_var)];
+  for (const auto& e : assignments) {
+    require(!e[static_cast<std::size_t>(query_var)].has_value(),
+            "measure_conditional_error: query variable must be unobserved");
+    const double exact_pe = ac::evaluate(binary_circuit, e);
+    const ac::LowPrecisionResult approx_pe = eval_lowprec(binary_circuit, e, repr, rounding);
+    err.flags.merge(approx_pe.flags);
+    if (exact_pe <= 0.0 || approx_pe.value <= 0.0) continue;  // query undefined on this input
+    for (int q = 0; q < card; ++q) {
+      ac::PartialAssignment qe = e;
+      qe[static_cast<std::size_t>(query_var)] = q;
+      const double exact = ac::evaluate(binary_circuit, qe) / exact_pe;
+      const ac::LowPrecisionResult approx_qe = eval_lowprec(binary_circuit, qe, repr, rounding);
+      err.flags.merge(approx_qe.flags);
+      accumulate(err, approx_qe.value / approx_pe.value, exact);
+    }
+  }
+  finalize(err);
+  return err;
+}
+
+ObservedError measure_mpe_error(const ac::Circuit& binary_max_circuit,
+                                const std::vector<ac::PartialAssignment>& assignments,
+                                const Representation& repr, lowprec::RoundingMode rounding) {
+  return measure_marginal_error(binary_max_circuit, assignments, repr, rounding);
+}
+
+}  // namespace problp

@@ -1,0 +1,53 @@
+// Test-set validation: evaluates queries under an emulated low-precision
+// representation and compares against double-precision ground truth — the
+// "Max error observed on test-set" column of Table 2 and the measured
+// curves of Fig. 5.
+//
+// Conditional queries divide the two low-precision AC results in double
+// precision: ProbLP's generated datapath computes the two passes; the final
+// ratio is taken by the host (footnote 2 of the paper considers the division
+// outside the AC error model).
+#pragma once
+
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "ac/evaluator.hpp"
+#include "lowprec/format.hpp"
+#include "problp/framework.hpp"
+
+namespace problp {
+
+struct ObservedError {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double max_rel = 0.0;   ///< over cases with non-zero exact value
+  double mean_rel = 0.0;
+  std::size_t count = 0;
+  lowprec::ArithFlags flags;  ///< sticky across all evaluations
+
+  double max_of(errormodel::ToleranceKind kind) const {
+    return kind == errormodel::ToleranceKind::kAbsolute ? max_abs : max_rel;
+  }
+};
+
+/// Single-pass (marginal) queries: root value per assignment.
+ObservedError measure_marginal_error(
+    const ac::Circuit& binary_circuit, const std::vector<ac::PartialAssignment>& assignments,
+    const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+/// Conditional queries: Pr(q | e) for every state q of `query_var`, per
+/// evidence (query_var must be unobserved in each assignment).
+ObservedError measure_conditional_error(
+    const ac::Circuit& binary_circuit, int query_var,
+    const std::vector<ac::PartialAssignment>& assignments, const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+/// MPE queries: root of the binarised max-circuit per assignment.
+ObservedError measure_mpe_error(
+    const ac::Circuit& binary_max_circuit, const std::vector<ac::PartialAssignment>& assignments,
+    const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+}  // namespace problp

@@ -1,0 +1,61 @@
+// Small integer / bit-manipulation helpers used by the number-format
+// emulation and the range analyses.  All helpers are constexpr-friendly and
+// operate on unsigned 64/128-bit integers; 128-bit arithmetic is what lets the
+// fixed-point and soft-float emulators hold exact double-width intermediate
+// products before rounding.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace problp {
+
+using u128 = unsigned __int128;
+
+/// Index of the most significant set bit (0-based); requires v != 0.
+constexpr int msb_index(u128 v) {
+  int i = -1;
+  while (v != 0) {
+    v >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+/// Number of bits needed to represent v (0 needs 0 bits).
+constexpr int bit_width_u128(u128 v) { return v == 0 ? 0 : msb_index(v) + 1; }
+
+/// floor(log2(v)); requires v != 0.
+constexpr int floor_log2_u64(std::uint64_t v) {
+  return msb_index(static_cast<u128>(v));
+}
+
+/// ceil(log2(v)); requires v != 0.  ceil_log2(1) == 0.
+constexpr int ceil_log2_u64(std::uint64_t v) {
+  const int f = floor_log2_u64(v);
+  return ((std::uint64_t{1} << f) == v) ? f : f + 1;
+}
+
+/// 2^n as double; n may be negative.
+inline double pow2(int n) { return std::ldexp(1.0, n); }
+
+/// floor(log2(x)) for a positive finite double.
+inline int floor_log2_double(double x) {
+  require(x > 0.0 && std::isfinite(x), "floor_log2_double: x must be positive finite");
+  int e = 0;
+  (void)std::frexp(x, &e);  // x = m * 2^e with m in [0.5, 1)
+  return e - 1;
+}
+
+/// Smallest integer e such that x <= 2^e, for a positive finite double.
+inline int ceil_log2_double(double x) {
+  const int f = floor_log2_double(x);
+  return (pow2(f) == x) ? f : f + 1;
+}
+
+/// (1 << n) as u128; n in [0, 127].
+constexpr u128 u128_pow2(int n) { return static_cast<u128>(1) << n; }
+
+}  // namespace problp

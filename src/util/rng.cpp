@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace problp {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::categorical(const std::vector<double>& weights) {
+  require(!weights.empty(), "categorical: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  require(total > 0.0, "categorical: all weights zero");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;  // guard against FP round-off
+}
+
+std::vector<double> Rng::dirichlet(int dimension, double alpha) {
+  require(dimension >= 1, "dirichlet: dimension must be >= 1");
+  require(alpha > 0.0, "dirichlet: alpha must be positive");
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> out(static_cast<std::size_t>(dimension));
+  double total = 0.0;
+  for (double& v : out) {
+    v = gamma(engine_);
+    // Gamma draws can round to zero for small alpha; keep values positive so
+    // CPT rows never contain an exact 0 (the min-value analysis in
+    // ac/analysis.hpp is cleanest with strictly positive parameters).
+    if (v < 1e-12) v = 1e-12;
+    total += v;
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+bool Rng::coin(double p_true) { return uniform() < p_true; }
+
+}  // namespace problp

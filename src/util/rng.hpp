@@ -1,0 +1,43 @@
+// Seeded random-number utilities.
+//
+// Everything stochastic in the repository (CPT generation, dataset synthesis,
+// ancestral sampling, random-circuit property tests) draws from this wrapper
+// so every experiment is reproducible from a single integer seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace problp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Index sampled from an (unnormalised) non-negative weight vector.
+  int categorical(const std::vector<double>& weights);
+
+  /// A point on the probability simplex, Dirichlet(alpha, ..., alpha).
+  /// Larger alpha gives flatter distributions; alpha < 1 gives skewed ones.
+  std::vector<double> dirichlet(int dimension, double alpha);
+
+  /// Bernoulli draw.
+  bool coin(double p_true = 0.5);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace problp

@@ -1,0 +1,36 @@
+// String helpers for the BIF parser, the Verilog emitter, and report
+// formatting.  Deliberately minimal: just what the parsers/emitters need.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace problp {
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// printf-style helper returning std::string (format must be a literal
+/// understood by vsnprintf).
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a double the way the paper's tables do: "5.9e-04"-style scientific
+/// with `digits` significant decimals.
+std::string sci(double v, int digits = 1);
+
+/// Sanitises an arbitrary identifier into a legal Verilog identifier
+/// ([A-Za-z_][A-Za-z0-9_]*); distinct inputs can collide, callers that need
+/// uniqueness must add their own suffix.
+std::string verilog_ident(std::string_view s);
+
+}  // namespace problp

@@ -1,0 +1,29 @@
+// Plain-text table writer used by the benchmark harnesses to print
+// paper-style tables (Table 1, Table 2, Fig. 5 series) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace problp {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded, left-aligned columns and a rule under
+  /// the header.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace problp

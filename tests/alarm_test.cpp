@@ -1,0 +1,58 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "bn/alarm.hpp"
+
+namespace problp::bn {
+namespace {
+
+TEST(Alarm, StructureFacts) {
+  const BayesianNetwork alarm = make_alarm_network();
+  EXPECT_EQ(alarm.num_variables(), 37);
+  std::size_t arcs = 0;
+  int roots = 0;
+  for (int v = 0; v < alarm.num_variables(); ++v) {
+    arcs += alarm.parents(v).size();
+    if (alarm.parents(v).empty()) ++roots;
+  }
+  EXPECT_EQ(arcs, 46u);  // the published ALARM arc count
+  EXPECT_EQ(roots, 12);
+  EXPECT_NO_THROW(alarm.validate());
+}
+
+TEST(Alarm, KnownArities) {
+  const BayesianNetwork alarm = make_alarm_network();
+  EXPECT_EQ(alarm.cardinality(alarm.find_variable("INTUBATION")), 3);
+  EXPECT_EQ(alarm.cardinality(alarm.find_variable("VENTLUNG")), 4);
+  EXPECT_EQ(alarm.cardinality(alarm.find_variable("CATECHOL")), 2);
+  EXPECT_EQ(alarm.cardinality(alarm.find_variable("BP")), 3);
+}
+
+TEST(Alarm, KnownEdges) {
+  const BayesianNetwork alarm = make_alarm_network();
+  const int catechol = alarm.find_variable("CATECHOL");
+  EXPECT_EQ(alarm.parents(catechol).size(), 4u);  // the famous 4-parent node
+  const int hr = alarm.find_variable("HR");
+  ASSERT_EQ(alarm.parents(hr).size(), 1u);
+  EXPECT_EQ(alarm.parents(hr)[0], catechol);
+}
+
+TEST(Alarm, DeterministicPerSeed) {
+  const BayesianNetwork a = make_alarm_network(99);
+  const BayesianNetwork b = make_alarm_network(99);
+  const BayesianNetwork c = make_alarm_network(100);
+  EXPECT_EQ(a.cpt(0).values, b.cpt(0).values);
+  EXPECT_NE(a.cpt(0).values, c.cpt(0).values);
+}
+
+TEST(Alarm, CptsStrictlyPositive) {
+  // The min-value analysis is cleanest with positive parameters (DESIGN.md).
+  const BayesianNetwork alarm = make_alarm_network();
+  for (int v = 0; v < alarm.num_variables(); ++v) {
+    for (double p : alarm.cpt(v).values) EXPECT_GT(p, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace problp::bn

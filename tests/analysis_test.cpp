@@ -1,0 +1,115 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ac/analysis.hpp"
+#include "ac/evaluator.hpp"
+#include "helpers.hpp"
+
+namespace problp::ac {
+namespace {
+
+TEST(MaxAnalysis, EqualsAllIndicatorsOneEvaluation) {
+  Rng rng(61);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 25;
+  const Circuit c = test::make_random_circuit(spec, rng);
+  const auto maxima = max_value_analysis(c);
+  const auto direct = evaluate_all_double(c, all_indicators_one(c));
+  ASSERT_EQ(maxima.size(), direct.size());
+  for (std::size_t i = 0; i < maxima.size(); ++i) EXPECT_DOUBLE_EQ(maxima[i], direct[i]);
+}
+
+TEST(MaxAnalysis, DominatesEveryAssignment) {
+  // Monotonicity (§3.1.1): node values under any indicator assignment never
+  // exceed the all-ones evaluation.
+  Rng rng(62);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = test::make_random_circuit(spec, rng);
+    const auto maxima = max_value_analysis(c);
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const auto values = evaluate_all_double(c, a);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_LE(values[i], maxima[i] + 1e-12) << "trial=" << trial << " node=" << i;
+      }
+    }
+  }
+}
+
+TEST(MinAnalysis, LowerBoundsEveryPositiveValue) {
+  // §3.1.4: the min analysis lower-bounds the smallest positive value any
+  // node takes over all indicator assignments.
+  Rng rng(63);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = test::make_random_circuit(spec, rng);
+    const auto minima = min_value_analysis(c);
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const auto values = evaluate_all_double(c, a);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] > 0.0) {
+          EXPECT_GE(values[i], minima[i] * (1.0 - 1e-12))
+              << "trial=" << trial << " node=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(MinAnalysis, HandComputedExample) {
+  // root = (λ0*0.2 + λ1*0.5): max = 0.7, min positive = 0.2.
+  Circuit c({2});
+  const NodeId p0 = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.2)});
+  const NodeId p1 = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.5)});
+  c.set_root(c.add_sum({p0, p1}));
+  const RangeAnalysis r = analyze_range(c);
+  EXPECT_DOUBLE_EQ(r.root_max, 0.7);
+  EXPECT_DOUBLE_EQ(r.root_min, 0.2);
+}
+
+TEST(MinAnalysis, SkipsZeroParameters) {
+  // A zero parameter cannot be the "smallest positive" term of a sum.
+  Circuit c({2});
+  const NodeId z = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.0)});
+  const NodeId p = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.4)});
+  c.set_root(c.add_sum({z, p}));
+  const RangeAnalysis r = analyze_range(c);
+  EXPECT_DOUBLE_EQ(r.root_min, 0.4);
+}
+
+TEST(MinAnalysis, MaxNodesLowerBoundSound) {
+  Circuit c({2});
+  const NodeId a = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.2)});
+  const NodeId b = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.5)});
+  c.set_root(c.add_max({a, b}));
+  const auto minima = min_value_analysis(c);
+  // The smallest positive value of the max node is attained when an
+  // indicator zeroes the larger branch, leaving max = 0.2 — so the analysis
+  // must report a lower bound <= 0.2 (min over positive child minima, not
+  // max of minima).
+  const auto full = test::all_partial_assignments(c.cardinalities());
+  double smallest = std::numeric_limits<double>::infinity();
+  for (const auto& a2 : full) {
+    const double v = evaluate(c, a2);
+    if (v > 0.0) smallest = std::min(smallest, v);
+  }
+  EXPECT_LE(minima[static_cast<std::size_t>(c.root())], smallest + 1e-15);
+}
+
+TEST(Analysis, BnCompiledRootIsOneAtAllOnes) {
+  // For a network polynomial, the all-indicators-one evaluation is the sum
+  // over all assignments == 1.
+  Circuit c({2});
+  const NodeId ph = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.7)});
+  const NodeId pt = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.3)});
+  c.set_root(c.add_sum({ph, pt}));
+  EXPECT_DOUBLE_EQ(analyze_range(c).root_max, 1.0);
+}
+
+}  // namespace
+}  // namespace problp::ac

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "bn/alarm.hpp"
+#include "bn/bif.hpp"
+#include "bn/random_network.hpp"
+#include "bn/variable_elimination.hpp"
+#include "helpers.hpp"
+
+namespace problp::bn {
+namespace {
+
+constexpr const char* kSampleBif = R"(
+// a tiny two-node network
+network tiny {
+}
+variable A {
+  type discrete [ 2 ] { yes, no };
+}
+variable B {
+  type discrete [ 3 ] { lo, mid, hi };
+}
+probability ( A ) {
+  table 0.3, 0.7;
+}
+probability ( B | A ) {
+  (yes) 0.1, 0.2, 0.7;
+  (no) 0.5, 0.25, 0.25;
+}
+)";
+
+TEST(Bif, ParsesSample) {
+  const BayesianNetwork network = parse_bif(kSampleBif);
+  EXPECT_EQ(network.num_variables(), 2);
+  EXPECT_EQ(network.variable(0).name, "A");
+  EXPECT_EQ(network.variable(1).state_names[2], "hi");
+  EXPECT_DOUBLE_EQ(network.cpt_value(0, 1, {}), 0.7);
+  EXPECT_DOUBLE_EQ(network.cpt_value(1, 2, {0}), 0.7);
+  EXPECT_DOUBLE_EQ(network.cpt_value(1, 0, {1}), 0.5);
+  EXPECT_NO_THROW(network.validate());
+}
+
+TEST(Bif, RoundTripPreservesSemantics) {
+  Rng net_rng(41);
+  RandomNetworkSpec spec;
+  spec.num_variables = 8;
+  const BayesianNetwork original = make_random_network(spec, net_rng);
+  const BayesianNetwork reparsed = parse_bif(to_bif(original, "roundtrip"));
+  ASSERT_EQ(reparsed.num_variables(), original.num_variables());
+  const VariableElimination ve_a(original);
+  const VariableElimination ve_b(reparsed);
+  Rng rng(42);
+  for (int i = 0; i < 25; ++i) {
+    const Evidence e = test::random_evidence(original, 0.5, rng);
+    EXPECT_NEAR(ve_b.probability_of_evidence(e), ve_a.probability_of_evidence(e), 1e-12);
+  }
+}
+
+TEST(Bif, RoundTripAlarm) {
+  const BayesianNetwork alarm = make_alarm_network(7);
+  const BayesianNetwork reparsed = parse_bif(to_bif(alarm, "alarm"));
+  ASSERT_EQ(reparsed.num_variables(), alarm.num_variables());
+  for (int v = 0; v < alarm.num_variables(); ++v) {
+    EXPECT_EQ(reparsed.variable(v).name, alarm.variable(v).name);
+    EXPECT_EQ(reparsed.parents(v), alarm.parents(v));
+    ASSERT_EQ(reparsed.cpt(v).values.size(), alarm.cpt(v).values.size());
+    for (std::size_t i = 0; i < alarm.cpt(v).values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(reparsed.cpt(v).values[i], alarm.cpt(v).values[i]);
+    }
+  }
+}
+
+TEST(Bif, CommentsAndWhitespaceTolerated) {
+  const std::string text = "network x {\n}\n// comment line\nvariable V { type discrete [ 2 ] "
+                           "{ a , b } ; }\nprobability ( V ) { table 0.5 , 0.5 ; }\n";
+  const BayesianNetwork network = parse_bif(text);
+  EXPECT_EQ(network.num_variables(), 1);
+}
+
+TEST(Bif, ErrorsCarryLineNumbers) {
+  try {
+    parse_bif("network x {\n}\nvariable V {\n  type discrete [ 2 ] { a };\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+TEST(Bif, RejectsUnknownVariableInProbability) {
+  EXPECT_THROW(parse_bif("network x {\n}\nprobability ( Z ) { table 1.0; }\n"), ParseError);
+}
+
+TEST(Bif, RejectsIncompleteCpt) {
+  const std::string text =
+      "network x {\n}\nvariable A { type discrete [ 2 ] { a, b }; }\n"
+      "variable B { type discrete [ 2 ] { c, d }; }\n"
+      "probability ( B | A ) {\n  (a) 0.5, 0.5;\n}\n";
+  EXPECT_THROW(parse_bif(text), ParseError);
+}
+
+TEST(Bif, RejectsBadNumbers) {
+  EXPECT_THROW(
+      parse_bif("network x {\n}\nvariable A { type discrete [ 2 ] { a, b }; }\n"
+                "probability ( A ) { table 0.5, zebra; }\n"),
+      ParseError);
+}
+
+TEST(Bif, FileIo) {
+  const BayesianNetwork alarm = make_alarm_network(3);
+  const std::string path = ::testing::TempDir() + "/alarm_roundtrip.bif";
+  save_bif_file(alarm, path, "alarm");
+  const BayesianNetwork loaded = load_bif_file(path);
+  EXPECT_EQ(loaded.num_variables(), 37);
+  EXPECT_THROW(load_bif_file("/nonexistent/path.bif"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp::bn

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "errormodel/bitwidth_search.hpp"
+#include "helpers.hpp"
+
+namespace problp::errormodel {
+namespace {
+
+using ac::Circuit;
+
+struct CompiledNet {
+  bn::BayesianNetwork network;
+  Circuit binary;
+  CircuitErrorModel model;
+};
+
+CompiledNet compile_random(std::uint64_t seed, int num_vars = 6) {
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = num_vars;
+  spec.max_parents = 2;
+  Rng rng(seed);
+  CompiledNet out{bn::make_random_network(spec, rng), Circuit({1}), {}};
+  out.binary = ac::binarize(compile::compile_network(out.network)).circuit;
+  out.model = CircuitErrorModel::build(out.binary);
+  return out;
+}
+
+TEST(BitwidthSearch, FixedPlanMeetsToleranceAndIsMinimal) {
+  const CompiledNet net = compile_random(7);
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01};
+  const FixedPlan plan = search_fixed_representation(net.binary, net.model, spec);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.predicted_bound, 0.01);
+  // Minimality: one fraction bit fewer must violate the tolerance.
+  lowprec::FixedFormat smaller{plan.format.integer_bits, plan.format.fraction_bits - 1};
+  EXPECT_GT(fixed_query_bound(net.binary, net.model, spec, smaller), 0.01);
+}
+
+TEST(BitwidthSearch, FloatPlanMeetsToleranceAndIsMinimal) {
+  const CompiledNet net = compile_random(8);
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kRelative, 0.01};
+  const FloatPlan plan = search_float_representation(net.model, spec);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.predicted_bound, 0.01);
+  lowprec::FloatFormat smaller{plan.format.exponent_bits, plan.format.mantissa_bits - 1};
+  EXPECT_GT(float_query_bound(net.model, spec, smaller), 0.01);
+}
+
+TEST(BitwidthSearch, FixedIntegerBitsPreventOverflow) {
+  // Whatever I the search picks, no test evaluation may overflow.
+  for (std::uint64_t seed : {10u, 20u, 30u}) {
+    const CompiledNet net = compile_random(seed, 5);
+    const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.001};
+    const FixedPlan plan = search_fixed_representation(net.binary, net.model, spec);
+    ASSERT_TRUE(plan.feasible);
+    for (const auto& a : test::all_partial_assignments(net.binary.cardinalities())) {
+      const auto r = ac::evaluate_fixed(net.binary, a, plan.format);
+      EXPECT_FALSE(r.flags.overflow) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(BitwidthSearch, FloatExponentBitsPreventUnderflowOverflow) {
+  for (std::uint64_t seed : {11u, 21u, 31u}) {
+    const CompiledNet net = compile_random(seed, 5);
+    const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kRelative, 0.001};
+    const FloatPlan plan = search_float_representation(net.model, spec);
+    ASSERT_TRUE(plan.feasible);
+    for (const auto& a : test::all_partial_assignments(net.binary.cardinalities())) {
+      const auto r = ac::evaluate_float(net.binary, a, plan.format);
+      EXPECT_FALSE(r.flags.overflow) << "seed=" << seed;
+      EXPECT_FALSE(r.flags.underflow) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(BitwidthSearch, TighterToleranceNeedsMoreBits) {
+  const CompiledNet net = compile_random(9);
+  const QuerySpec loose{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01};
+  const QuerySpec tight{QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-6};
+  const FixedPlan f_loose = search_fixed_representation(net.binary, net.model, loose);
+  const FixedPlan f_tight = search_fixed_representation(net.binary, net.model, tight);
+  ASSERT_TRUE(f_loose.feasible && f_tight.feasible);
+  EXPECT_GT(f_tight.format.fraction_bits, f_loose.format.fraction_bits);
+  const FloatPlan g_loose = search_float_representation(net.model, loose);
+  const FloatPlan g_tight = search_float_representation(net.model, tight);
+  ASSERT_TRUE(g_loose.feasible && g_tight.feasible);
+  EXPECT_GT(g_tight.format.mantissa_bits, g_loose.format.mantissa_bits);
+}
+
+TEST(BitwidthSearch, ConditionalRelativeFixedInfeasible) {
+  // §3.2.2: ProbLP will always choose float here; fixed must be infeasible.
+  const CompiledNet net = compile_random(12);
+  const QuerySpec spec{QueryType::kConditional, ToleranceKind::kRelative, 0.01};
+  EXPECT_FALSE(search_fixed_representation(net.binary, net.model, spec).feasible);
+  EXPECT_TRUE(search_float_representation(net.model, spec).feasible);
+}
+
+TEST(BitwidthSearch, InfeasibleWhenCapTooLow) {
+  const CompiledNet net = compile_random(13);
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-12};
+  SearchOptions options;
+  options.max_fraction_bits = 8;
+  options.max_mantissa_bits = 8;
+  EXPECT_FALSE(search_fixed_representation(net.binary, net.model, spec, options).feasible);
+  EXPECT_FALSE(search_float_representation(net.model, spec, options).feasible);
+}
+
+TEST(BitwidthSearch, SearchStartsAtTwoBits) {
+  // A trivial circuit meets a sloppy tolerance with the minimum 2 bits
+  // (§3.3: "starting with 2 fraction bits and 2 mantissa bits").
+  Circuit c({2});
+  c.set_root(c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.5)}));
+  const Circuit binary = ac::binarize(c).circuit;
+  const CircuitErrorModel model = CircuitErrorModel::build(binary);
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.5};
+  const FixedPlan fx = search_fixed_representation(binary, model, spec);
+  ASSERT_TRUE(fx.feasible);
+  EXPECT_EQ(fx.format.fraction_bits, 2);
+  EXPECT_EQ(fx.format.integer_bits, 1);
+  const FloatPlan fl = search_float_representation(model, spec);
+  ASSERT_TRUE(fl.feasible);
+  EXPECT_EQ(fl.format.mantissa_bits, 2);
+}
+
+TEST(BitwidthSearch, CoarseMantissaStillPreventsUnderflow) {
+  // Regression: with coarse mantissas the worst-case relative excursion
+  // exceeds 100%, and a naive `1 - excursion` deflation bound goes negative,
+  // silently dropping the underflow constraint on E.  A deep product chain
+  // of tiny parameters must still get an exponent wide enough that no
+  // evaluation underflows.
+  Circuit c({2});
+  ac::NodeId acc = c.add_parameter(1e-3);
+  for (int i = 0; i < 7; ++i) {
+    acc = c.add_prod({acc, c.add_parameter(1e-3)});  // min value reaches 1e-24
+  }
+  c.set_root(c.add_prod({acc, c.add_indicator(0, 0)}));
+  const Circuit binary = ac::binarize(c).circuit;
+  const CircuitErrorModel model = CircuitErrorModel::build(binary);
+  // Sloppy relative tolerance so the search settles on a very coarse M.
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kRelative, 0.9};
+  const FloatPlan plan = search_float_representation(model, spec);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.format.mantissa_bits, 6);  // genuinely coarse
+  for (const auto& a : test::all_partial_assignments(binary.cardinalities())) {
+    const auto r = ac::evaluate_float(binary, a, plan.format);
+    EXPECT_FALSE(r.flags.underflow);
+    EXPECT_FALSE(r.flags.overflow);
+  }
+}
+
+TEST(BitwidthSearch, ObservedErrorsWithinTolerance) {
+  // End-to-end: the found representations actually keep observed errors
+  // within the user tolerance on exhaustive queries.
+  const CompiledNet net = compile_random(14, 5);
+  const double tol = 1e-4;
+  const QuerySpec spec{QueryType::kMarginal, ToleranceKind::kAbsolute, tol};
+  const FixedPlan fx = search_fixed_representation(net.binary, net.model, spec);
+  const FloatPlan fl = search_float_representation(net.model, spec);
+  ASSERT_TRUE(fx.feasible && fl.feasible);
+  for (const auto& a : test::all_partial_assignments(net.binary.cardinalities())) {
+    const double exact = ac::evaluate(net.binary, a);
+    EXPECT_LE(std::abs(ac::evaluate_fixed(net.binary, a, fx.format).value - exact), tol);
+    EXPECT_LE(std::abs(ac::evaluate_float(net.binary, a, fl.format).value - exact), tol);
+  }
+}
+
+}  // namespace
+}  // namespace problp::errormodel

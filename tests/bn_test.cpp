@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "bn/network.hpp"
+#include "bn/random_network.hpp"
+
+namespace problp::bn {
+namespace {
+
+// The Fig. 1a network: A -> B, A -> C.
+BayesianNetwork make_fig1_network() {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", std::vector<std::string>{"a1", "a2"});
+  const int b = network.add_variable("B", 2);
+  const int c = network.add_variable("C", 3);
+  network.set_cpt(a, {}, {0.6, 0.4});
+  network.set_cpt(b, {a}, {0.2, 0.8, 0.7, 0.3});
+  network.set_cpt(c, {a}, {0.1, 0.3, 0.6, 0.5, 0.25, 0.25});
+  return network;
+}
+
+TEST(Network, BasicAccessors) {
+  const BayesianNetwork network = make_fig1_network();
+  EXPECT_EQ(network.num_variables(), 3);
+  EXPECT_EQ(network.cardinality(0), 2);
+  EXPECT_EQ(network.cardinality(2), 3);
+  EXPECT_EQ(network.find_variable("B"), 1);
+  EXPECT_EQ(network.find_variable("nope"), -1);
+  EXPECT_EQ(network.variable(0).state_names[1], "a2");
+  EXPECT_EQ(network.num_parameters(), 2u + 4u + 6u);
+}
+
+TEST(Network, ParentsChildren) {
+  const BayesianNetwork network = make_fig1_network();
+  EXPECT_TRUE(network.parents(0).empty());
+  ASSERT_EQ(network.parents(1).size(), 1u);
+  EXPECT_EQ(network.parents(1)[0], 0);
+  const auto kids = network.children(0);
+  EXPECT_EQ(kids.size(), 2u);
+}
+
+TEST(Network, CptValueIndexing) {
+  const BayesianNetwork network = make_fig1_network();
+  EXPECT_DOUBLE_EQ(network.cpt_value(0, 0, {}), 0.6);
+  EXPECT_DOUBLE_EQ(network.cpt_value(1, 1, {0}), 0.8);  // P(b2 | a1)
+  EXPECT_DOUBLE_EQ(network.cpt_value(1, 0, {1}), 0.7);  // P(b1 | a2)
+  EXPECT_DOUBLE_EQ(network.cpt_value(2, 2, {0}), 0.6);  // P(c3 | a1)
+  EXPECT_DOUBLE_EQ(network.cpt_value(2, 0, {1}), 0.5);  // P(c1 | a2)
+}
+
+TEST(Network, TopologicalOrder) {
+  const BayesianNetwork network = make_fig1_network();
+  const auto order = network.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);  // A precedes its children
+}
+
+TEST(Network, ValidatePasses) {
+  EXPECT_NO_THROW(make_fig1_network().validate());
+}
+
+TEST(Network, ValidateCatchesBadRowSum) {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  network.set_cpt(a, {}, {0.6, 0.6});
+  EXPECT_THROW(network.validate(), InvalidArgument);
+}
+
+TEST(Network, ValidateCatchesMissingCpt) {
+  BayesianNetwork network;
+  network.add_variable("A", 2);
+  EXPECT_THROW(network.validate(), InvalidArgument);
+}
+
+TEST(Network, RejectsDuplicateNames) {
+  BayesianNetwork network;
+  network.add_variable("A", 2);
+  EXPECT_THROW(network.add_variable("A", 3), InvalidArgument);
+}
+
+TEST(Network, RejectsWrongCptSize) {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  EXPECT_THROW(network.set_cpt(a, {}, {0.5, 0.25, 0.25}), InvalidArgument);
+}
+
+TEST(Network, RejectsSelfParent) {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  EXPECT_THROW(network.set_cpt(a, {a}, {0.5, 0.5, 0.5, 0.5}), InvalidArgument);
+}
+
+TEST(Network, CycleDetected) {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  const int b = network.add_variable("B", 2);
+  network.set_cpt(a, {b}, {0.5, 0.5, 0.5, 0.5});
+  network.set_cpt(b, {a}, {0.5, 0.5, 0.5, 0.5});
+  EXPECT_THROW(network.topological_order(), InvalidArgument);
+}
+
+TEST(RandomNetwork, ValidAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    RandomNetworkSpec spec;
+    spec.num_variables = 10;
+    const BayesianNetwork network = make_random_network(spec, rng);
+    EXPECT_NO_THROW(network.validate());
+    EXPECT_EQ(network.num_variables(), 10);
+  }
+}
+
+TEST(RandomNetwork, RespectsMaxParents) {
+  Rng rng(3);
+  RandomNetworkSpec spec;
+  spec.num_variables = 12;
+  spec.max_parents = 2;
+  spec.edge_probability = 0.9;
+  const BayesianNetwork network = make_random_network(spec, rng);
+  for (int v = 0; v < network.num_variables(); ++v) {
+    EXPECT_LE(network.parents(v).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace problp::bn

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "ac/circuit.hpp"
+#include "ac/serialize.hpp"
+
+namespace problp::ac {
+namespace {
+
+TEST(Circuit, IndicatorSharingAndValidation) {
+  Circuit c({2, 3});
+  const NodeId a = c.add_indicator(0, 1);
+  const NodeId b = c.add_indicator(0, 1);
+  EXPECT_EQ(a, b);  // one shared node per (var, state)
+  EXPECT_NE(a, c.add_indicator(1, 1));
+  EXPECT_EQ(c.find_indicator(0, 1), a);
+  EXPECT_EQ(c.find_indicator(1, 2), kInvalidNode);
+  EXPECT_THROW(c.add_indicator(2, 0), InvalidArgument);
+  EXPECT_THROW(c.add_indicator(1, 3), InvalidArgument);
+}
+
+TEST(Circuit, ParameterSharingByValue) {
+  Circuit c({2});
+  EXPECT_EQ(c.add_parameter(0.25), c.add_parameter(0.25));
+  EXPECT_NE(c.add_parameter(0.25), c.add_parameter(0.75));
+  EXPECT_THROW(c.add_parameter(-0.5), InvalidArgument);
+  EXPECT_THROW(c.add_parameter(std::numeric_limits<double>::infinity()), InvalidArgument);
+}
+
+TEST(Circuit, StructuralHashingSharesOperators) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  const NodeId s1 = c.add_sum({x, y});
+  const NodeId s2 = c.add_sum({y, x});  // commutative: same node
+  EXPECT_EQ(s1, s2);
+  const NodeId p = c.add_prod({x, y});
+  EXPECT_NE(p, s1);  // different kind, different node
+  const NodeId m = c.add_max({x, y});
+  EXPECT_NE(m, s1);
+  EXPECT_NE(m, p);
+}
+
+TEST(Circuit, SingleChildCollapses) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  EXPECT_EQ(c.add_sum({x}), x);
+  EXPECT_EQ(c.add_prod({x}), x);
+}
+
+TEST(Circuit, OperatorValidation) {
+  Circuit c({2});
+  EXPECT_THROW(c.add_sum({}), InvalidArgument);
+  EXPECT_THROW(c.add_sum({42}), InvalidArgument);  // child does not exist
+}
+
+TEST(Circuit, StatsAndDepths) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  const NodeId t = c.add_parameter(0.5);
+  const NodeId p1 = c.add_prod({x, t});
+  const NodeId p2 = c.add_prod({y, t});
+  const NodeId root = c.add_sum({p1, p2});
+  c.set_root(root);
+  const CircuitStats s = c.stats();
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_sums, 1u);
+  EXPECT_EQ(s.num_prods, 2u);
+  EXPECT_EQ(s.num_indicators, 2u);
+  EXPECT_EQ(s.num_parameters, 1u);
+  EXPECT_EQ(s.num_edges, 6u);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.max_fanin, 2);
+  const auto depths = c.node_depths();
+  EXPECT_EQ(depths[static_cast<std::size_t>(x)], 0);
+  EXPECT_EQ(depths[static_cast<std::size_t>(p1)], 1);
+  EXPECT_EQ(depths[static_cast<std::size_t>(root)], 2);
+}
+
+TEST(Circuit, Reachability) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  const NodeId dead = c.add_prod({x, y});  // never used by the root
+  const NodeId t = c.add_parameter(0.5);
+  const NodeId root = c.add_prod({x, t});
+  c.set_root(root);
+  const auto live = c.reachable_from_root();
+  EXPECT_TRUE(live[static_cast<std::size_t>(x)]);
+  EXPECT_TRUE(live[static_cast<std::size_t>(t)]);
+  EXPECT_TRUE(live[static_cast<std::size_t>(root)]);
+  EXPECT_FALSE(live[static_cast<std::size_t>(dead)]);
+  EXPECT_FALSE(live[static_cast<std::size_t>(y)]);
+}
+
+TEST(Circuit, IsBinary) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  const NodeId t = c.add_parameter(0.3);
+  EXPECT_TRUE(c.is_binary());
+  c.add_sum({x, y, t});
+  EXPECT_FALSE(c.is_binary());
+}
+
+TEST(Serialize, RoundTrip) {
+  Circuit c({2, 2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(1, 1);
+  const NodeId t = c.add_parameter(0.123456789012345);
+  const NodeId p = c.add_prod({x, y, t});
+  const NodeId s = c.add_sum({p, t});
+  c.set_root(s);
+
+  const Circuit back = from_text(to_text(c));
+  EXPECT_EQ(back.num_variables(), 2);
+  EXPECT_EQ(back.cardinalities(), c.cardinalities());
+  const CircuitStats sa = c.stats();
+  const CircuitStats sb = back.stats();
+  EXPECT_EQ(sa.num_nodes, sb.num_nodes);
+  EXPECT_EQ(sa.num_edges, sb.num_edges);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW(from_text("not a circuit"), ParseError);
+  EXPECT_THROW(from_text("problp-ac 2\n"), ParseError);
+  EXPECT_THROW(from_text("problp-ac 1\nvars 1 2\nnodes 1\nsum 2 0 1\nroot 0\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace problp::ac

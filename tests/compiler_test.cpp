@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "bn/alarm.hpp"
+#include "bn/random_network.hpp"
+#include "bn/variable_elimination.hpp"
+#include "compile/naive_bayes_compiler.hpp"
+#include "compile/ve_compiler.hpp"
+#include "datasets/naive_bayes.hpp"
+#include "helpers.hpp"
+
+namespace problp::compile {
+namespace {
+
+using bn::BayesianNetwork;
+using bn::EliminationHeuristic;
+using bn::Evidence;
+
+// The key compiler property: for every evidence, the compiled circuit with
+// indicators set per the evidence evaluates to Pr(e).
+void expect_circuit_matches_ve(const BayesianNetwork& network, const ac::Circuit& circuit,
+                               int num_trials, Rng& rng) {
+  const bn::VariableElimination ve(network);
+  for (int i = 0; i < num_trials; ++i) {
+    const Evidence e = test::random_evidence(network, 0.5, rng);
+    const double expected = ve.probability_of_evidence(e);
+    const double actual = ac::evaluate(circuit, to_assignment(e));
+    EXPECT_NEAR(actual, expected, 1e-10 * (1.0 + expected));
+  }
+}
+
+TEST(VeCompiler, MatchesVariableEliminationOnRandomNetworks) {
+  Rng rng(81);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    bn::RandomNetworkSpec spec;
+    spec.num_variables = 8;
+    spec.max_parents = 3;
+    Rng net_rng(seed);
+    const BayesianNetwork network = make_random_network(spec, net_rng);
+    const ac::Circuit circuit = compile_network(network);
+    expect_circuit_matches_ve(network, circuit, 15, rng);
+  }
+}
+
+TEST(VeCompiler, AllHeuristicsProduceEquivalentCircuits) {
+  Rng net_rng(82);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 9;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  Rng rng(83);
+  for (auto h : {EliminationHeuristic::kMinFill, EliminationHeuristic::kMinDegree,
+                 EliminationHeuristic::kTopological}) {
+    CompileOptions options;
+    options.heuristic = h;
+    const ac::Circuit circuit = compile_network(network, options);
+    expect_circuit_matches_ve(network, circuit, 10, rng);
+  }
+}
+
+TEST(VeCompiler, RootSumsToOneWithNoEvidence) {
+  Rng net_rng(84);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 10;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  const ac::Circuit circuit = compile_network(network);
+  EXPECT_NEAR(ac::evaluate(circuit, ac::all_indicators_one(circuit)), 1.0, 1e-10);
+}
+
+TEST(VeCompiler, AlarmCompiles) {
+  const BayesianNetwork alarm = bn::make_alarm_network();
+  const ac::Circuit circuit = compile_network(alarm);
+  const ac::CircuitStats stats = circuit.stats();
+  EXPECT_GT(stats.num_sums, 100u);   // a real multiply-connected AC
+  EXPECT_GT(stats.num_prods, 300u);
+  EXPECT_NEAR(ac::evaluate(circuit, ac::all_indicators_one(circuit)), 1.0, 1e-9);
+}
+
+TEST(VeCompiler, AlarmSpotChecksAgainstVe) {
+  const BayesianNetwork alarm = bn::make_alarm_network();
+  const ac::Circuit circuit = compile_network(alarm);
+  const bn::VariableElimination ve(alarm);
+  Rng rng(85);
+  for (int i = 0; i < 5; ++i) {
+    const Evidence e = test::random_evidence(alarm, 0.3, rng);
+    const double expected = ve.probability_of_evidence(e);
+    EXPECT_NEAR(ac::evaluate(circuit, to_assignment(e)), expected, 1e-9 * (1.0 + expected));
+  }
+}
+
+TEST(NaiveBayesCompiler, StructureCheck) {
+  BayesianNetwork nb;
+  const int cls = nb.add_variable("class", 2);
+  const int f0 = nb.add_variable("f0", 2);
+  nb.set_cpt(cls, {}, {0.5, 0.5});
+  nb.set_cpt(f0, {cls}, {0.9, 0.1, 0.3, 0.7});
+  EXPECT_TRUE(is_naive_bayes(nb, cls));
+  EXPECT_FALSE(is_naive_bayes(nb, f0));
+  EXPECT_FALSE(is_naive_bayes(nb, 7));
+
+  BayesianNetwork chain;
+  const int a = chain.add_variable("a", 2);
+  const int b = chain.add_variable("b", 2);
+  const int c = chain.add_variable("c", 2);
+  chain.set_cpt(a, {}, {0.5, 0.5});
+  chain.set_cpt(b, {a}, {0.5, 0.5, 0.5, 0.5});
+  chain.set_cpt(c, {b}, {0.5, 0.5, 0.5, 0.5});
+  EXPECT_FALSE(is_naive_bayes(chain, a));
+  EXPECT_THROW(compile_naive_bayes(chain, a), InvalidArgument);
+}
+
+TEST(NaiveBayesCompiler, MatchesVeCompiler) {
+  // Learn a small NB model, compile both ways, compare on every evidence.
+  Rng rng(86);
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    labels.push_back(y);
+    rows.push_back({rng.uniform_int(0, 2), rng.uniform_int(0, 1), rng.uniform_int(0, 2)});
+  }
+  const BayesianNetwork nb = datasets::learn_naive_bayes(rows, labels, 3, 3);
+  const ac::Circuit direct = compile_naive_bayes(nb, 0);
+  const ac::Circuit generic = compile_network(nb);
+  int checked = 0;
+  for (const auto& a : test::all_partial_assignments(direct.cardinalities())) {
+    const double d = ac::evaluate(direct, a);
+    const double g = ac::evaluate(generic, a);
+    EXPECT_NEAR(d, g, 1e-12 * (1.0 + d));
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(NaiveBayesCompiler, CircuitShape) {
+  BayesianNetwork nb;
+  const int cls = nb.add_variable("class", 3);
+  nb.set_cpt(cls, {}, {0.2, 0.3, 0.5});
+  for (int f = 0; f < 4; ++f) {
+    const int v = nb.add_variable("f" + std::to_string(f), 2);
+    nb.set_cpt(v, {cls}, {0.1, 0.9, 0.5, 0.5, 0.8, 0.2});
+  }
+  const ac::Circuit circuit = compile_naive_bayes(nb, cls);
+  const ac::CircuitStats s = circuit.stats();
+  // Per class: 4 feature sums; plus the root sum.
+  EXPECT_EQ(s.num_sums, 3u * 4u + 1u);
+  EXPECT_EQ(s.num_indicators, 3u + 4u * 2u);
+  EXPECT_NEAR(ac::evaluate(circuit, ac::all_indicators_one(circuit)), 1.0, 1e-12);
+}
+
+TEST(Compiler, MarginalAndConditionalQueriesViaIndicators) {
+  // One compiled circuit answers joint marginals and conditionals (§2).
+  Rng net_rng(87);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  const ac::Circuit circuit = compile_network(network);
+  const bn::VariableElimination ve(network);
+  Rng rng(88);
+  for (int i = 0; i < 10; ++i) {
+    Evidence e = test::random_evidence(network, 0.4, rng);
+    e[0] = std::nullopt;  // keep the query variable free
+    const double pe = ve.probability_of_evidence(e);
+    if (pe <= 0.0) continue;
+    for (int q = 0; q < network.cardinality(0); ++q) {
+      Evidence qe = e;
+      qe[0] = q;
+      const double joint = ac::evaluate(circuit, to_assignment(qe));
+      EXPECT_NEAR(joint / ac::evaluate(circuit, to_assignment(e)), ve.conditional(0, q, e),
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace problp::compile

@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ac/evaluator.hpp"
+#include "datasets/benchmark_suite.hpp"
+#include "datasets/discretize.hpp"
+#include "datasets/naive_bayes.hpp"
+#include "datasets/synthetic.hpp"
+
+namespace problp::datasets {
+namespace {
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const Dataset a = generate_synthetic(har_like_spec());
+  const Dataset b = generate_synthetic(har_like_spec());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features.front(), b.features.front());
+}
+
+TEST(Synthetic, ShapesMatchSpecs) {
+  const SyntheticSpec spec = har_like_spec();
+  const Dataset d = generate_synthetic(spec);
+  EXPECT_EQ(static_cast<int>(d.size()), spec.num_samples);
+  EXPECT_EQ(d.num_features(), spec.num_features);
+  EXPECT_EQ(d.num_classes, spec.num_classes);
+  std::set<int> seen(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), spec.num_classes);  // all classes present
+}
+
+TEST(Synthetic, SplitProportionsAndDisjointness) {
+  const Dataset d = generate_synthetic(unimib_like_spec());
+  const Split s = split_dataset(d, 0.6, 7);
+  EXPECT_EQ(s.train.size() + s.test.size(), d.size());
+  EXPECT_NEAR(static_cast<double>(s.train.size()) / static_cast<double>(d.size()), 0.6, 0.01);
+  EXPECT_THROW(split_dataset(d, 1.5, 7), InvalidArgument);
+}
+
+TEST(Discretizer, BinsWithinRange) {
+  const Dataset d = generate_synthetic(uiwads_like_spec());
+  const EqualWidthDiscretizer disc(d, 4);
+  for (const auto& row : d.features) {
+    for (int b : disc.transform(row)) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, 4);
+    }
+  }
+}
+
+TEST(Discretizer, OutOfRangeClampsToEdgeBins) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = {{0.0}, {1.0}};
+  train.labels = {0, 1};
+  const EqualWidthDiscretizer disc(train, 4);
+  EXPECT_EQ(disc.transform_value(0, -100.0), 0);
+  EXPECT_EQ(disc.transform_value(0, +100.0), 3);
+  EXPECT_EQ(disc.transform_value(0, 0.1), 0);
+  EXPECT_EQ(disc.transform_value(0, 0.9), 3);
+}
+
+TEST(Discretizer, ConstantFeatureSafe) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = {{5.0}, {5.0}};
+  train.labels = {0, 1};
+  const EqualWidthDiscretizer disc(train, 3);
+  EXPECT_EQ(disc.transform_value(0, 5.0), 0);
+}
+
+TEST(NaiveBayes, LearnsValidNetwork) {
+  const Dataset d = generate_synthetic(uiwads_like_spec());
+  const EqualWidthDiscretizer disc(d, 3);
+  const bn::BayesianNetwork nb =
+      learn_naive_bayes(disc.transform_all(d), d.labels, d.num_classes, 3);
+  EXPECT_NO_THROW(nb.validate());
+  EXPECT_EQ(nb.num_variables(), d.num_features() + 1);
+  // Laplace smoothing: every parameter strictly positive.
+  for (int v = 0; v < nb.num_variables(); ++v) {
+    for (double p : nb.cpt(v).values) EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(NaiveBayes, LearnsSeparableData) {
+  // A trivially separable dataset: feature bin == label.
+  std::vector<std::vector<int>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({i % 2});
+    labels.push_back(i % 2);
+  }
+  const bn::BayesianNetwork nb = learn_naive_bayes(rows, labels, 2, 2);
+  // P(f0 = 0 | class = 0) must dominate.
+  EXPECT_GT(nb.cpt_value(1, 0, {0}), 0.9);
+  EXPECT_LT(nb.cpt_value(1, 0, {1}), 0.1);
+}
+
+TEST(NaiveBayes, EvidenceFromRow) {
+  const Dataset d = generate_synthetic(uiwads_like_spec());
+  const EqualWidthDiscretizer disc(d, 3);
+  const bn::BayesianNetwork nb =
+      learn_naive_bayes(disc.transform_all(d), d.labels, d.num_classes, 3);
+  const auto row = disc.transform(d.features.front());
+  const bn::Evidence e = evidence_from_row(nb, row);
+  EXPECT_FALSE(e[0].has_value());  // class unobserved
+  for (std::size_t f = 0; f < row.size(); ++f) EXPECT_EQ(*e[f + 1], row[f]);
+}
+
+TEST(BenchmarkSuite, AllFourAssemble) {
+  const auto benchmarks = make_all_benchmarks(1);
+  ASSERT_EQ(benchmarks.size(), 4u);
+  EXPECT_EQ(benchmarks[0].name, "HAR");
+  EXPECT_EQ(benchmarks[3].name, "Alarm");
+  for (const auto& b : benchmarks) {
+    EXPECT_NO_THROW(b.network.validate());
+    EXPECT_FALSE(b.test_evidence.empty());
+    EXPECT_GE(b.query_var, 0);
+    // Circuit root must sum to ~1 with all indicators one (network poly).
+    EXPECT_NEAR(ac::evaluate(b.circuit, ac::all_indicators_one(b.circuit)), 1.0, 1e-9)
+        << b.name;
+    // Query variable unobserved in all test evidence.
+    for (const auto& e : b.test_evidence) {
+      EXPECT_FALSE(e[static_cast<std::size_t>(b.query_var)].has_value());
+    }
+  }
+}
+
+TEST(BenchmarkSuite, SizesKeepPaperOrdering) {
+  // Predicted-energy ordering in Table 2 (HAR > UNIMIB > UIWADS) follows
+  // from circuit size; keep that shape.
+  const auto har = make_har_benchmark(1);
+  const auto unimib = make_unimib_benchmark(1);
+  const auto uiwads = make_uiwads_benchmark(1);
+  EXPECT_GT(har.circuit.stats().num_prods, unimib.circuit.stats().num_prods);
+  EXPECT_GT(unimib.circuit.stats().num_prods, uiwads.circuit.stats().num_prods);
+}
+
+TEST(BenchmarkSuite, AlarmEvidenceOnLeavesOnly) {
+  const auto alarm = make_alarm_benchmark(1, 50);
+  EXPECT_EQ(alarm.test_evidence.size(), 50u);
+  for (const auto& e : alarm.test_evidence) {
+    for (int v = 0; v < alarm.network.num_variables(); ++v) {
+      if (e[static_cast<std::size_t>(v)].has_value()) {
+        EXPECT_TRUE(alarm.network.children(v).empty()) << "evidence on non-leaf " << v;
+      }
+    }
+  }
+  // Query variable is a root.
+  EXPECT_TRUE(alarm.network.parents(alarm.query_var).empty());
+}
+
+}  // namespace
+}  // namespace problp::datasets

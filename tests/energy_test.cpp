@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/transform.hpp"
+#include "energy/circuit_energy.hpp"
+#include "energy/op_models.hpp"
+#include "helpers.hpp"
+
+namespace problp::energy {
+namespace {
+
+TEST(OpModels, Table1Formulas) {
+  // Spot values straight from Table 1.
+  EXPECT_DOUBLE_EQ(fixed_add_fj(16), 7.8 * 16);
+  EXPECT_DOUBLE_EQ(fixed_mul_fj(16), 1.9 * 256 * 4);
+  EXPECT_DOUBLE_EQ(float_add_fj(23), 44.74 * 24);
+  EXPECT_NEAR(float_mul_fj(23), 2.9 * 24 * 24 * std::log2(24.0), 1e-9);
+}
+
+TEST(OpModels, MonotoneInWidth) {
+  for (int n = 2; n < 64; ++n) {
+    EXPECT_LT(fixed_add_fj(n), fixed_add_fj(n + 1));
+    EXPECT_LT(fixed_mul_fj(n), fixed_mul_fj(n + 1));
+    EXPECT_LT(float_add_fj(n), float_add_fj(n + 1));
+    EXPECT_LT(float_mul_fj(n), float_mul_fj(n + 1));
+  }
+}
+
+TEST(OpModels, CrossoverFixedMultiplierOvertakesFloatAdder) {
+  // The shape that drives representation choice: fixed multipliers grow
+  // quadratically, float adders linearly in M.
+  EXPECT_LT(fixed_mul_fj(8), float_mul_fj(8));   // same nominal width: float pays overhead
+  EXPECT_GT(fixed_mul_fj(32), float_mul_fj(14));  // wide fixed loses to narrow float
+}
+
+TEST(OpModels, WidthHelpers) {
+  EXPECT_EQ(fixed_width_bits(lowprec::FixedFormat{1, 15}), 16);
+  EXPECT_EQ(float_width_bits(lowprec::FloatFormat{8, 23}), 31);  // no sign bit
+}
+
+TEST(Census, CountsLiveOperatorsOnly) {
+  ac::Circuit c({2});
+  const ac::NodeId x = c.add_indicator(0, 0);
+  const ac::NodeId y = c.add_indicator(0, 1);
+  const ac::NodeId t = c.add_parameter(0.5);
+  c.add_prod({x, y});  // dead
+  const ac::NodeId p = c.add_prod({x, t});
+  const ac::NodeId s = c.add_sum({p, y});
+  c.set_root(s);
+  const OperatorCensus census = OperatorCensus::of(c);
+  EXPECT_EQ(census.adders, 1u);
+  EXPECT_EQ(census.multipliers, 1u);
+  EXPECT_EQ(census.maxes, 0u);
+  EXPECT_EQ(census.total(), 2u);
+}
+
+TEST(Census, RequiresBinary) {
+  ac::Circuit c({2});
+  const ac::NodeId a = c.add_parameter(0.1);
+  const ac::NodeId b = c.add_parameter(0.2);
+  const ac::NodeId d = c.add_parameter(0.3);
+  c.set_root(c.add_sum({a, b, d}));
+  EXPECT_THROW(OperatorCensus::of(c), InvalidArgument);
+}
+
+TEST(CircuitEnergy, SumsOperatorEnergies) {
+  Rng rng(101);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 30;
+  const ac::Circuit c = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const OperatorCensus census = OperatorCensus::of(c);
+  const lowprec::FixedFormat fx{1, 15};
+  const double expected = static_cast<double>(census.adders) * fixed_add_fj(16) +
+                          static_cast<double>(census.multipliers) * fixed_mul_fj(16);
+  EXPECT_DOUBLE_EQ(fixed_energy_fj(census, fx), expected);
+
+  const lowprec::FloatFormat fl{8, 13};
+  const double expected_fl = static_cast<double>(census.adders) * float_add_fj(13) +
+                             static_cast<double>(census.multipliers) * float_mul_fj(13);
+  EXPECT_DOUBLE_EQ(float_energy_fj(census, fl), expected_fl);
+}
+
+TEST(CircuitEnergy, Float32ReferenceUsesM23) {
+  OperatorCensus census;
+  census.adders = 10;
+  census.multipliers = 5;
+  EXPECT_DOUBLE_EQ(float32_reference_fj(census),
+                   10 * float_add_fj(23) + 5 * float_mul_fj(23));
+}
+
+TEST(CircuitEnergy, NarrowFixedBeats32bFloat) {
+  // The headline claim of Table 2: selected low-precision fixed point is
+  // well below the 32-bit float reference on the same circuit.
+  OperatorCensus census;
+  census.adders = 100;
+  census.multipliers = 100;
+  const double fixed16 = fixed_energy_fj(census, lowprec::FixedFormat{1, 15});
+  EXPECT_LT(fixed16, 0.5 * float32_reference_fj(census));
+}
+
+TEST(CircuitEnergy, UnitConversion) {
+  EXPECT_DOUBLE_EQ(fj_to_nj(1e6), 1.0);
+}
+
+}  // namespace
+}  // namespace problp::energy

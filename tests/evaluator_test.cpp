@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "ac/dot.hpp"
+#include "ac/evaluator.hpp"
+#include "helpers.hpp"
+
+namespace problp::ac {
+namespace {
+
+// The network polynomial of a coin: root = λ_h * 0.7 + λ_t * 0.3.
+Circuit make_coin_circuit() {
+  Circuit c({2});
+  const NodeId ph = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.7)});
+  const NodeId pt = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.3)});
+  c.set_root(c.add_sum({ph, pt}));
+  return c;
+}
+
+TEST(Evaluator, CoinQueries) {
+  const Circuit c = make_coin_circuit();
+  PartialAssignment unobserved(1);
+  EXPECT_DOUBLE_EQ(evaluate(c, unobserved), 1.0);
+  PartialAssignment heads(1);
+  heads[0] = 0;
+  EXPECT_DOUBLE_EQ(evaluate(c, heads), 0.7);
+  PartialAssignment tails(1);
+  tails[0] = 1;
+  EXPECT_DOUBLE_EQ(evaluate(c, tails), 0.3);
+}
+
+TEST(Evaluator, IndicatorSemantics) {
+  PartialAssignment a(2);
+  a[0] = 1;
+  EXPECT_FALSE(indicator_is_one(a, 0, 0));
+  EXPECT_TRUE(indicator_is_one(a, 0, 1));
+  EXPECT_TRUE(indicator_is_one(a, 1, 0));  // unobserved: all indicators 1
+}
+
+TEST(Evaluator, MaxNodes) {
+  Circuit c({2});
+  const NodeId a = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.6)});
+  const NodeId b = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.4)});
+  c.set_root(c.add_max({a, b}));
+  PartialAssignment unobserved(1);
+  EXPECT_DOUBLE_EQ(evaluate(c, unobserved), 0.6);
+  PartialAssignment second(1);
+  second[0] = 1;
+  EXPECT_DOUBLE_EQ(evaluate(c, second), 0.4);
+}
+
+TEST(Evaluator, AllNodesReturned) {
+  const Circuit c = make_coin_circuit();
+  const auto values = evaluate_all_double(c, all_indicators_one(c));
+  EXPECT_EQ(values.size(), c.num_nodes());
+  EXPECT_DOUBLE_EQ(values[static_cast<std::size_t>(c.root())], 1.0);
+}
+
+TEST(Evaluator, SizeMismatchRejected) {
+  const Circuit c = make_coin_circuit();
+  EXPECT_THROW(evaluate(c, PartialAssignment(3)), InvalidArgument);
+}
+
+TEST(Evaluator, NaryFoldMatchesPairwise) {
+  // A 4-ary sum must equal the chained binary sums.
+  Circuit c(std::vector<int>(4, 2));
+  std::vector<NodeId> kids;
+  for (int v = 0; v < 4; ++v) {
+    kids.push_back(c.add_prod({c.add_indicator(v, 0), c.add_parameter(0.1 * (v + 1))}));
+  }
+  const NodeId nary = c.add_sum(kids);
+  c.set_root(nary);
+  PartialAssignment a(4);
+  EXPECT_NEAR(evaluate(c, a), 0.1 + 0.2 + 0.3 + 0.4, 1e-15);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const Circuit c = make_coin_circuit();
+  const std::string dot = to_dot(c, {"Coin"});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("lambda"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("Coin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace problp::ac

@@ -1,0 +1,147 @@
+// Exhaustive verification of the number emulators on small formats: for
+// EVERY pair of representable values, the emulated operator must equal
+// "compute exactly in double, then convert with a single rounding".  This
+// is sound as an oracle because small-format values have few significant
+// bits, so exact sums/products are themselves exactly representable in
+// double, and correctly-rounded ops are defined as round(exact result).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+
+namespace problp::lowprec {
+namespace {
+
+std::vector<double> all_fixed_values(const FixedFormat& fmt) {
+  std::vector<double> out;
+  for (u128 raw = 0; raw <= fmt.max_raw(); ++raw) {
+    out.push_back(FixedPoint::from_raw(raw, fmt).to_double());
+  }
+  return out;
+}
+
+std::vector<double> all_float_values(const FloatFormat& fmt) {
+  std::vector<double> out = {0.0};
+  for (int e = fmt.min_exponent(); e <= fmt.max_exponent(); ++e) {
+    const auto lo = std::uint64_t{1} << fmt.mantissa_bits;
+    for (std::uint64_t sig = lo; sig < 2 * lo; ++sig) {
+      out.push_back(SoftFloat::from_parts(e, sig, fmt).to_double());
+    }
+  }
+  return out;
+}
+
+TEST(ExhaustiveFixed, AddAndMulMatchOracle) {
+  const FixedFormat fmt{2, 3};  // 32 values -> 1024 pairs
+  const auto values = all_fixed_values(fmt);
+  ASSERT_EQ(values.size(), 32u);
+  for (double a : values) {
+    for (double b : values) {
+      ArithFlags flags;
+      const FixedPoint fa = FixedPoint::from_double(a, fmt, flags);
+      const FixedPoint fb = FixedPoint::from_double(b, fmt, flags);
+      ASSERT_FALSE(flags.any());
+
+      // Addition: exact when in range; saturates + flags when not.
+      ArithFlags add_flags;
+      const FixedPoint sum = fx_add(fa, fb, add_flags);
+      if (a + b <= fmt.max_value()) {
+        EXPECT_FALSE(add_flags.overflow);
+        EXPECT_DOUBLE_EQ(sum.to_double(), a + b);
+      } else {
+        EXPECT_TRUE(add_flags.overflow);
+        EXPECT_DOUBLE_EQ(sum.to_double(), fmt.max_value());
+      }
+
+      // Multiplication: round-to-nearest-even of the exact product.
+      ArithFlags mul_flags;
+      const FixedPoint prod = fx_mul(fa, fb, mul_flags);
+      ArithFlags conv_flags;
+      const FixedPoint oracle = FixedPoint::from_double(a * b, fmt, conv_flags);
+      EXPECT_EQ(mul_flags.overflow, conv_flags.overflow) << a << " * " << b;
+      EXPECT_DOUBLE_EQ(prod.to_double(), oracle.to_double()) << a << " * " << b;
+    }
+  }
+}
+
+TEST(ExhaustiveFixed, TruncationMatchesOracle) {
+  const FixedFormat fmt{1, 4};
+  const auto values = all_fixed_values(fmt);
+  for (double a : values) {
+    for (double b : values) {
+      ArithFlags flags;
+      const FixedPoint fa = FixedPoint::from_double(a, fmt, flags, RoundingMode::kTruncate);
+      const FixedPoint fb = FixedPoint::from_double(b, fmt, flags, RoundingMode::kTruncate);
+      ArithFlags mul_flags;
+      const FixedPoint prod = fx_mul(fa, fb, mul_flags, RoundingMode::kTruncate);
+      if (mul_flags.overflow) continue;
+      ArithFlags conv_flags;
+      const FixedPoint oracle =
+          FixedPoint::from_double(a * b, fmt, conv_flags, RoundingMode::kTruncate);
+      EXPECT_DOUBLE_EQ(prod.to_double(), oracle.to_double()) << a << " * " << b;
+    }
+  }
+}
+
+TEST(ExhaustiveFloat, AddMatchesOracle) {
+  const FloatFormat fmt{3, 2};  // 7 exponents x 4 significands + zero = 29 values
+  const auto values = all_float_values(fmt);
+  ASSERT_EQ(values.size(), 29u);
+  for (double a : values) {
+    for (double b : values) {
+      ArithFlags flags;
+      const SoftFloat fa = SoftFloat::from_double(a, fmt, flags);
+      const SoftFloat fb = SoftFloat::from_double(b, fmt, flags);
+      ASSERT_FALSE(flags.any()) << a << " " << b;
+      ArithFlags add_flags;
+      const SoftFloat sum = fl_add(fa, fb, add_flags);
+      ArithFlags conv_flags;
+      const SoftFloat oracle = SoftFloat::from_double(a + b, fmt, conv_flags);
+      EXPECT_EQ(add_flags.overflow, conv_flags.overflow) << a << " + " << b;
+      if (!add_flags.overflow) {
+        EXPECT_EQ(sum.to_double(), oracle.to_double()) << a << " + " << b;
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveFloat, MulMatchesOracle) {
+  const FloatFormat fmt{3, 2};
+  const auto values = all_float_values(fmt);
+  for (double a : values) {
+    for (double b : values) {
+      ArithFlags flags;
+      const SoftFloat fa = SoftFloat::from_double(a, fmt, flags);
+      const SoftFloat fb = SoftFloat::from_double(b, fmt, flags);
+      ArithFlags mul_flags;
+      const SoftFloat prod = fl_mul(fa, fb, mul_flags);
+      ArithFlags conv_flags;
+      const SoftFloat oracle = SoftFloat::from_double(a * b, fmt, conv_flags);
+      EXPECT_EQ(mul_flags.overflow, conv_flags.overflow) << a << " * " << b;
+      EXPECT_EQ(mul_flags.underflow, conv_flags.underflow) << a << " * " << b;
+      if (!mul_flags.overflow && !mul_flags.underflow) {
+        EXPECT_EQ(prod.to_double(), oracle.to_double()) << a << " * " << b;
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveFloat, MinMaxTotalOrder) {
+  const FloatFormat fmt{3, 2};
+  const auto values = all_float_values(fmt);
+  ArithFlags flags;
+  for (double a : values) {
+    for (double b : values) {
+      const SoftFloat fa = SoftFloat::from_double(a, fmt, flags);
+      const SoftFloat fb = SoftFloat::from_double(b, fmt, flags);
+      EXPECT_DOUBLE_EQ(fl_min(fa, fb).to_double(), std::min(a, b));
+      EXPECT_DOUBLE_EQ(fl_max(fa, fb).to_double(), std::max(a, b));
+      EXPECT_EQ(fl_less(fa, fb), a < b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace problp::lowprec

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "bn/factor.hpp"
+
+namespace problp::bn {
+namespace {
+
+using F = FactorTable<double>;
+
+TEST(FactorTable, ScalarBasics) {
+  const F f = F::scalar(3.5);
+  EXPECT_TRUE(f.is_scalar());
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0], 3.5);
+}
+
+TEST(FactorTable, IndexingLastVarFastest) {
+  F f({0, 1}, {2, 3});
+  EXPECT_EQ(f.size(), 6u);
+  // at({a, b}) with b fastest: index = a*3 + b.
+  f.at({1, 2}) = 7.0;
+  EXPECT_DOUBLE_EQ(f[5], 7.0);
+  f.at({0, 1}) = 2.0;
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+}
+
+TEST(FactorTable, IndexOfFullAssignment) {
+  F f({0, 2}, {2, 2});
+  const std::vector<int> full = {1, 99, 0};  // var 1 not in scope
+  EXPECT_EQ(f.index_of(full), 2u);           // 1*2 + 0
+}
+
+TEST(FactorTable, RejectsUnsortedVars) {
+  EXPECT_THROW(F({1, 0}, {2, 2}), InvalidArgument);
+  EXPECT_THROW(F({0, 0}, {2, 2}), InvalidArgument);
+}
+
+TEST(FactorTable, ProductDisjointScopes) {
+  F a({0}, {2});
+  a.at({0}) = 2.0;
+  a.at({1}) = 3.0;
+  F b({1}, {2});
+  b.at({0}) = 5.0;
+  b.at({1}) = 7.0;
+  const F p = F::product(a, b, [](double x, double y) { return x * y; });
+  ASSERT_EQ(p.vars().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.at({0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(p.at({0, 1}), 14.0);
+  EXPECT_DOUBLE_EQ(p.at({1, 0}), 15.0);
+  EXPECT_DOUBLE_EQ(p.at({1, 1}), 21.0);
+}
+
+TEST(FactorTable, ProductSharedScope) {
+  F a({0, 1}, {2, 2});
+  F b({1, 2}, {2, 2});
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] = i + 1.0;        // a(x0,x1) = 1..4
+    b[static_cast<std::size_t>(i)] = 10.0 * (i + 1);  // b(x1,x2) = 10..40
+  }
+  const F p = F::product(a, b, [](double x, double y) { return x * y; });
+  ASSERT_EQ(p.vars().size(), 3u);
+  // p(x0=1, x1=0, x2=1) = a(1,0) * b(0,1) = 3 * 20 = 60.
+  EXPECT_DOUBLE_EQ(p.at({1, 0, 1}), 60.0);
+  // p(x0=0, x1=1, x2=0) = a(0,1) * b(1,0) = 2 * 30 = 60.
+  EXPECT_DOUBLE_EQ(p.at({0, 1, 0}), 60.0);
+}
+
+TEST(FactorTable, ProductWithScalar) {
+  F a({0}, {3});
+  a.at({0}) = 1.0;
+  a.at({1}) = 2.0;
+  a.at({2}) = 3.0;
+  const F p = F::product(F::scalar(10.0), a, [](double x, double y) { return x * y; });
+  EXPECT_DOUBLE_EQ(p.at({2}), 30.0);
+}
+
+TEST(FactorTable, ProductCardinalityClash) {
+  F a({0}, {2});
+  F b({0}, {3});
+  EXPECT_THROW(F::product(a, b, [](double x, double y) { return x * y; }), InvalidArgument);
+}
+
+TEST(FactorTable, EliminateMiddleVariable) {
+  F f({0, 1, 2}, {2, 3, 2});
+  // f(a, b, c) = 100a + 10b + c
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 3; ++b)
+      for (int c = 0; c < 2; ++c) f.at({a, b, c}) = 100.0 * a + 10.0 * b + c;
+  const F g = f.eliminate(1, [](std::span<const double> grp) {
+    double s = 0.0;
+    for (double x : grp) s += x;
+    return s;
+  });
+  ASSERT_EQ(g.vars().size(), 2u);
+  // sum_b f(a, b, c) = 3*(100a + c) + 30.
+  EXPECT_DOUBLE_EQ(g.at({0, 0}), 30.0);
+  EXPECT_DOUBLE_EQ(g.at({1, 1}), 333.0);
+}
+
+TEST(FactorTable, EliminateToScalar) {
+  F f({4}, {3});
+  f.at({0}) = 1.0;
+  f.at({1}) = 2.0;
+  f.at({2}) = 4.0;
+  const F g = f.eliminate(4, [](std::span<const double> grp) {
+    double s = 0.0;
+    for (double x : grp) s += x;
+    return s;
+  });
+  EXPECT_TRUE(g.is_scalar());
+  EXPECT_DOUBLE_EQ(g[0], 7.0);
+}
+
+TEST(FactorTable, GroupOrderIsStateOrder) {
+  // eliminate() must present group[s] == entry with var = state s.
+  F f({0}, {3});
+  f.at({0}) = 5.0;
+  f.at({1}) = 6.0;
+  f.at({2}) = 7.0;
+  const F g = f.eliminate(0, [](std::span<const double> grp) {
+    EXPECT_DOUBLE_EQ(grp[0], 5.0);
+    EXPECT_DOUBLE_EQ(grp[1], 6.0);
+    EXPECT_DOUBLE_EQ(grp[2], 7.0);
+    return grp[2];
+  });
+  EXPECT_DOUBLE_EQ(g[0], 7.0);
+}
+
+TEST(FactorTable, RestrictVar) {
+  F f({0, 1}, {2, 3});
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 3; ++b) f.at({a, b}) = 10.0 * a + b;
+  const F g = f.restrict_var(1, 2);
+  ASSERT_EQ(g.vars().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.at({0}), 2.0);
+  EXPECT_DOUBLE_EQ(g.at({1}), 12.0);
+  EXPECT_THROW(f.restrict_var(1, 3), InvalidArgument);
+  EXPECT_THROW(f.restrict_var(7, 0), InvalidArgument);
+}
+
+TEST(FactorTable, NodeIdInstantiation) {
+  // The compiler instantiates FactorTable with non-arithmetic payloads.
+  FactorTable<int> f({0}, {2});
+  f.at({0}) = 42;
+  f.at({1}) = 43;
+  const auto g = f.eliminate(0, [](std::span<const int> grp) { return grp[0] + grp[1]; });
+  EXPECT_EQ(g[0], 85);
+}
+
+}  // namespace
+}  // namespace problp::bn

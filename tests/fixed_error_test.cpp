@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/analysis.hpp"
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "errormodel/fixed_error.hpp"
+#include "helpers.hpp"
+
+namespace problp::errormodel {
+namespace {
+
+using ac::Circuit;
+using ac::NodeId;
+using lowprec::FixedFormat;
+using lowprec::RoundingMode;
+
+FixedErrorAnalysis run(const Circuit& binary, const FixedFormat& fmt,
+                       const FixedErrorOptions& options = {}) {
+  return propagate_fixed_error(binary, fmt, ac::max_value_analysis(binary), options);
+}
+
+TEST(FixedError, LeafModels) {
+  Circuit c({2});
+  const NodeId lam = c.add_indicator(0, 0);
+  const NodeId theta = c.add_parameter(0.3);
+  c.set_root(c.add_prod({lam, theta}));
+  const FixedFormat fmt{1, 8};
+  const auto fx = run(c, fmt);
+  EXPECT_DOUBLE_EQ(fx.node_bound[static_cast<std::size_t>(lam)], 0.0);      // exact
+  EXPECT_DOUBLE_EQ(fx.node_bound[static_cast<std::size_t>(theta)],
+                   fmt.quantization_bound());                               // eq. 2
+}
+
+TEST(FixedError, AdderAccumulates) {
+  // Eq. 3: Δ(a+b) = Δa + Δb, no new error.
+  Circuit c({2});
+  const NodeId t1 = c.add_parameter(0.3);
+  const NodeId t2 = c.add_parameter(0.4);
+  const NodeId s = c.add_sum({t1, t2});
+  c.set_root(s);
+  const FixedFormat fmt{1, 10};
+  const auto fx = run(c, fmt);
+  EXPECT_DOUBLE_EQ(fx.node_bound[static_cast<std::size_t>(s)], 2.0 * fmt.quantization_bound());
+}
+
+TEST(FixedError, MultiplierModel) {
+  // Eq. 5 on a hand example, Fig. 3 style.
+  Circuit c({2});
+  const NodeId t1 = c.add_parameter(0.5);
+  const NodeId t2 = c.add_parameter(0.25);
+  const NodeId p = c.add_prod({t1, t2});
+  c.set_root(p);
+  const FixedFormat fmt{1, 8};
+  const double q = fmt.quantization_bound();
+  const auto fx = run(c, fmt);
+  // a_max = 0.5, b_max = 0.25, Δa = Δb = q.
+  EXPECT_DOUBLE_EQ(fx.node_bound[static_cast<std::size_t>(p)],
+                   0.5 * q + 0.25 * q + q * q + q);
+}
+
+TEST(FixedError, MaxNodeTakesWorstChild) {
+  Circuit c({2});
+  const NodeId t1 = c.add_parameter(0.5);
+  const NodeId t2 = c.add_parameter(0.25);
+  const NodeId s = c.add_sum({t1, t2});  // Δ = 2q
+  const NodeId m = c.add_max({s, t1});   // Δ = max(2q, q) = 2q
+  c.set_root(m);
+  const FixedFormat fmt{1, 8};
+  const auto fx = run(c, fmt);
+  EXPECT_DOUBLE_EQ(fx.node_bound[static_cast<std::size_t>(m)],
+                   2.0 * fmt.quantization_bound());
+}
+
+TEST(FixedError, TruncationDoublesLeafTerm) {
+  Circuit c({2});
+  c.set_root(c.add_parameter(0.3));
+  const FixedFormat fmt{1, 8};
+  FixedErrorOptions trunc;
+  trunc.rounding = RoundingMode::kTruncate;
+  EXPECT_DOUBLE_EQ(run(c, fmt, trunc).root_bound, fmt.resolution());
+  EXPECT_DOUBLE_EQ(run(c, fmt).root_bound, fmt.quantization_bound());
+}
+
+TEST(FixedError, TightenExactLeaves) {
+  Circuit c({2});
+  c.set_root(c.add_parameter(0.5));  // exactly representable at F >= 1
+  const FixedFormat fmt{1, 8};
+  FixedErrorOptions tight;
+  tight.tighten_exact_leaves = true;
+  EXPECT_DOUBLE_EQ(run(c, fmt, tight).root_bound, 0.0);
+  EXPECT_GT(run(c, fmt).root_bound, 0.0);  // paper-faithful default keeps q
+}
+
+TEST(FixedError, RequiresBinaryCircuit) {
+  Circuit c({2});
+  const NodeId a = c.add_parameter(0.1);
+  const NodeId b = c.add_parameter(0.2);
+  const NodeId d = c.add_parameter(0.3);
+  c.set_root(c.add_sum({a, b, d}));
+  EXPECT_THROW(run(c, FixedFormat{1, 8}), InvalidArgument);
+}
+
+TEST(FixedError, BoundDecaysWithFractionBits) {
+  Rng rng(91);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 40;
+  const Circuit c = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  double prev = std::numeric_limits<double>::infinity();
+  for (int f = 4; f <= 40; f += 4) {
+    const double bound = run(c, FixedFormat{8, f}).root_bound;
+    EXPECT_LT(bound, prev);
+    prev = bound;
+  }
+}
+
+// The central soundness property (Fig. 5a's "observed <= bound"): on random
+// circuits, the observed fixed-point error never exceeds the propagated
+// bound, for any query and any format.
+class FixedErrorSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedErrorSoundness, ObservedWithinBound) {
+  const int f = GetParam();
+  Rng rng(700 + f);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 25;
+  spec.p_sum = 0.6;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Circuit c = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+    const auto maxima = ac::max_value_analysis(c);
+    // Size I from the max analysis so overflow cannot occur.
+    double need = 0.0;
+    for (double m : maxima) need = std::max(need, m);
+    const int ibits = std::max(1, ceil_log2_double(need + 1.0));
+    const FixedFormat fmt{ibits, f};
+    if (fmt.total_bits() > 62) continue;
+    const auto fx = propagate_fixed_error(c, fmt, maxima);
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const double exact = ac::evaluate(c, a);
+      const auto approx = ac::evaluate_fixed(c, a, fmt);
+      ASSERT_FALSE(approx.flags.overflow);
+      EXPECT_LE(std::abs(approx.value - exact), fx.root_bound * (1.0 + 1e-12))
+          << "trial=" << trial << " F=" << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionBits, FixedErrorSoundness, ::testing::Values(3, 6, 10, 16, 24));
+
+}  // namespace
+}  // namespace problp::errormodel

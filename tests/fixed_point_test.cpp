@@ -1,0 +1,227 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lowprec/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace problp::lowprec {
+namespace {
+
+TEST(FixedFormat, Accessors) {
+  const FixedFormat fmt{1, 15};
+  EXPECT_EQ(fmt.total_bits(), 16);
+  EXPECT_DOUBLE_EQ(fmt.resolution(), std::ldexp(1.0, -15));
+  EXPECT_DOUBLE_EQ(fmt.max_value(), 2.0 - std::ldexp(1.0, -15));
+  EXPECT_DOUBLE_EQ(fmt.quantization_bound(), std::ldexp(1.0, -16));
+}
+
+TEST(FixedFormat, Validation) {
+  EXPECT_NO_THROW((FixedFormat{1, 61}.validate()));
+  EXPECT_THROW((FixedFormat{-1, 8}.validate()), InvalidArgument);
+  EXPECT_THROW((FixedFormat{1, 62}.validate()), InvalidArgument);
+  EXPECT_THROW((FixedFormat{0, 0}.validate()), InvalidArgument);
+}
+
+TEST(RoundShiftRight, NearestEvenBasics) {
+  // 0b1011 >> 2: value 2.75 -> 3
+  EXPECT_EQ((round_shift_right(11, 2, RoundingMode::kNearestEven)), 3u);
+  // 0b1010 >> 2: value 2.5 (tie) -> 2 (even)
+  EXPECT_EQ((round_shift_right(10, 2, RoundingMode::kNearestEven)), 2u);
+  // 0b1110 >> 2: value 3.5 (tie) -> 4 (even)
+  EXPECT_EQ((round_shift_right(14, 2, RoundingMode::kNearestEven)), 4u);
+  // shift <= 0 is an exact left shift
+  EXPECT_EQ((round_shift_right(3, -2, RoundingMode::kNearestEven)), 12u);
+}
+
+TEST(RoundShiftRight, Truncate) {
+  EXPECT_EQ((round_shift_right(11, 2, RoundingMode::kTruncate)), 2u);
+  EXPECT_EQ((round_shift_right(15, 2, RoundingMode::kTruncate)), 3u);
+}
+
+TEST(FixedPoint, ConversionErrorWithinBound) {
+  Rng rng(11);
+  for (int f : {2, 5, 8, 16, 30}) {
+    const FixedFormat fmt{2, f};
+    for (int i = 0; i < 500; ++i) {
+      // Stay below max_value() even for the coarsest format (F=2 -> 3.75).
+      const double v = rng.uniform(0.0, 3.6);
+      ArithFlags flags;
+      const FixedPoint x = FixedPoint::from_double(v, fmt, flags);
+      EXPECT_FALSE(flags.any());
+      EXPECT_LE(std::abs(x.to_double() - v), fmt.quantization_bound());
+    }
+  }
+}
+
+TEST(FixedPoint, TruncationErrorWithinResolution) {
+  Rng rng(12);
+  const FixedFormat fmt{1, 10};
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 1.9);
+    ArithFlags flags;
+    const FixedPoint x = FixedPoint::from_double(v, fmt, flags, RoundingMode::kTruncate);
+    EXPECT_LE(x.to_double(), v);  // truncation rounds toward zero
+    EXPECT_LT(v - x.to_double(), fmt.resolution());
+  }
+}
+
+TEST(FixedPoint, ZeroAndOneExact) {
+  for (int f : {2, 8, 40}) {
+    const FixedFormat fmt{1, f};
+    ArithFlags flags;
+    EXPECT_DOUBLE_EQ(FixedPoint::from_double(0.0, fmt, flags).to_double(), 0.0);
+    EXPECT_DOUBLE_EQ(FixedPoint::from_double(1.0, fmt, flags).to_double(), 1.0);
+    EXPECT_FALSE(flags.any());
+  }
+}
+
+TEST(FixedPoint, InvalidInputsFlagged) {
+  const FixedFormat fmt{1, 8};
+  {
+    ArithFlags flags;
+    FixedPoint::from_double(-0.25, fmt, flags);
+    EXPECT_TRUE(flags.invalid_input);
+  }
+  {
+    ArithFlags flags;
+    FixedPoint::from_double(std::nan(""), fmt, flags);
+    EXPECT_TRUE(flags.invalid_input);
+  }
+  {
+    ArithFlags flags;
+    const FixedPoint x =
+        FixedPoint::from_double(std::numeric_limits<double>::infinity(), fmt, flags);
+    EXPECT_TRUE(flags.invalid_input);
+    EXPECT_DOUBLE_EQ(x.to_double(), fmt.max_value());
+  }
+}
+
+TEST(FixedPoint, ConversionOverflowSaturates) {
+  const FixedFormat fmt{1, 8};
+  ArithFlags flags;
+  const FixedPoint x = FixedPoint::from_double(5.0, fmt, flags);
+  EXPECT_TRUE(flags.overflow);
+  EXPECT_DOUBLE_EQ(x.to_double(), fmt.max_value());
+}
+
+TEST(FixedPoint, AdditionIsExact) {
+  // Eq. 3: the adder adds no error of its own.
+  Rng rng(13);
+  const FixedFormat fmt{3, 20};
+  for (int i = 0; i < 1000; ++i) {
+    ArithFlags flags;
+    const FixedPoint a = FixedPoint::from_double(rng.uniform(0.0, 3.0), fmt, flags);
+    const FixedPoint b = FixedPoint::from_double(rng.uniform(0.0, 3.0), fmt, flags);
+    const FixedPoint s = fx_add(a, b, flags);
+    EXPECT_FALSE(flags.overflow);
+    EXPECT_DOUBLE_EQ(s.to_double(), a.to_double() + b.to_double());
+  }
+}
+
+TEST(FixedPoint, AdditionOverflowSaturatesAndFlags) {
+  const FixedFormat fmt{1, 4};
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(1.5, fmt, flags);
+  const FixedPoint b = FixedPoint::from_double(1.0, fmt, flags);
+  ASSERT_FALSE(flags.any());
+  const FixedPoint s = fx_add(a, b, flags);
+  EXPECT_TRUE(flags.overflow);
+  EXPECT_DOUBLE_EQ(s.to_double(), fmt.max_value());
+}
+
+TEST(FixedPoint, MultiplicationHalfUlpBound) {
+  // Eq. 4: |rounding| <= 2^-(F+1) beyond the exact product of the operands.
+  Rng rng(14);
+  for (int f : {4, 8, 16, 24}) {
+    const FixedFormat fmt{1, f};
+    for (int i = 0; i < 500; ++i) {
+      ArithFlags flags;
+      const FixedPoint a = FixedPoint::from_double(rng.uniform(0.0, 1.0), fmt, flags);
+      const FixedPoint b = FixedPoint::from_double(rng.uniform(0.0, 1.0), fmt, flags);
+      const FixedPoint p = fx_mul(a, b, flags);
+      EXPECT_FALSE(flags.overflow);
+      const double exact = a.to_double() * b.to_double();
+      EXPECT_LE(std::abs(p.to_double() - exact), fmt.quantization_bound());
+    }
+  }
+}
+
+TEST(FixedPoint, MultiplicationTiesToEven) {
+  // With F=2, 0.25 * 0.5 = 0.125 sits exactly between 0.0 ulp grid points
+  // {0.0, 0.25}... actually 0.125 = half of resolution 0.25: tie.
+  const FixedFormat fmt{1, 2};
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(0.25, fmt, flags);
+  const FixedPoint b = FixedPoint::from_double(0.5, fmt, flags);
+  const FixedPoint p = fx_mul(a, b, flags);
+  EXPECT_DOUBLE_EQ(p.to_double(), 0.0);  // ties to even: 0 is even, 0.25 is odd
+  // 0.75 * 0.5 = 0.375: tie between 0.25 (odd) and 0.5 (even) -> 0.5.
+  const FixedPoint c = FixedPoint::from_double(0.75, fmt, flags);
+  const FixedPoint q = fx_mul(c, b, flags);
+  EXPECT_DOUBLE_EQ(q.to_double(), 0.5);
+}
+
+TEST(FixedPoint, MultiplicationTruncation) {
+  const FixedFormat fmt{1, 2};
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(0.75, fmt, flags);
+  const FixedPoint b = FixedPoint::from_double(0.75, fmt, flags);
+  // 0.5625 truncates to 0.5.
+  const FixedPoint p = fx_mul(a, b, flags, RoundingMode::kTruncate);
+  EXPECT_DOUBLE_EQ(p.to_double(), 0.5);
+}
+
+TEST(FixedPoint, WideFormatsExact) {
+  // Near the emulation limit: products of 60-bit operands must be exact.
+  const FixedFormat fmt{1, 60};
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(0.5, fmt, flags);
+  const FixedPoint b = FixedPoint::from_double(0.25, fmt, flags);
+  EXPECT_DOUBLE_EQ(fx_mul(a, b, flags).to_double(), 0.125);
+  EXPECT_FALSE(flags.any());
+}
+
+TEST(FixedPoint, MinMax) {
+  const FixedFormat fmt{1, 8};
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(0.5, fmt, flags);
+  const FixedPoint b = FixedPoint::from_double(0.75, fmt, flags);
+  EXPECT_DOUBLE_EQ(fx_min(a, b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(fx_max(a, b).to_double(), 0.75);
+}
+
+TEST(FixedPoint, MixedFormatsRejected) {
+  ArithFlags flags;
+  const FixedPoint a = FixedPoint::from_double(0.5, FixedFormat{1, 8}, flags);
+  const FixedPoint b = FixedPoint::from_double(0.5, FixedFormat{1, 9}, flags);
+  EXPECT_THROW(fx_add(a, b, flags), InvalidArgument);
+  EXPECT_THROW(fx_mul(a, b, flags), InvalidArgument);
+}
+
+// Property sweep: conversion + one multiply stays within the eq. 4/5 model
+// across formats.
+class FixedFormatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedFormatSweep, MulAccumulatedErrorWithinModel) {
+  const int f = GetParam();
+  const FixedFormat fmt{1, f};
+  Rng rng(100 + f);
+  const double q = fmt.quantization_bound();
+  for (int i = 0; i < 200; ++i) {
+    const double av = rng.uniform(0.0, 1.0);
+    const double bv = rng.uniform(0.0, 1.0);
+    ArithFlags flags;
+    const FixedPoint a = FixedPoint::from_double(av, fmt, flags);
+    const FixedPoint b = FixedPoint::from_double(bv, fmt, flags);
+    const FixedPoint p = fx_mul(a, b, flags);
+    // Eq. 5 with a_max = b_max = 1, Δa = Δb = q.
+    const double bound = q + q + q * q + q;
+    EXPECT_LE(std::abs(p.to_double() - av * bv), bound) << "F=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FixedFormatSweep, ::testing::Values(2, 4, 8, 12, 16, 24, 32, 40));
+
+}  // namespace
+}  // namespace problp::lowprec

@@ -1,0 +1,107 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "errormodel/float_error.hpp"
+#include "helpers.hpp"
+
+namespace problp::errormodel {
+namespace {
+
+using ac::Circuit;
+using ac::NodeId;
+using lowprec::FloatFormat;
+
+TEST(FloatError, CounterRules) {
+  Circuit c({2});
+  const NodeId lam = c.add_indicator(0, 0);
+  const NodeId t1 = c.add_parameter(0.3);
+  const NodeId t2 = c.add_parameter(0.4);
+  const NodeId p = c.add_prod({t1, t2});   // 1 + 1 + 1 = 3 (eq. 12)
+  const NodeId s = c.add_sum({p, lam});    // max(3, 0) + 1 = 4 (eq. 10)
+  const NodeId m = c.add_max({s, t1});     // max(4, 1) = 4 (exact compare)
+  c.set_root(m);
+  const auto fl = propagate_float_error(c);
+  EXPECT_EQ(fl.node_count[static_cast<std::size_t>(lam)], 0);
+  EXPECT_EQ(fl.node_count[static_cast<std::size_t>(t1)], 1);
+  EXPECT_EQ(fl.node_count[static_cast<std::size_t>(p)], 3);
+  EXPECT_EQ(fl.node_count[static_cast<std::size_t>(s)], 4);
+  EXPECT_EQ(fl.node_count[static_cast<std::size_t>(m)], 4);
+  EXPECT_EQ(fl.root_count, 4);
+}
+
+TEST(FloatError, RelativeBoundFormula) {
+  const FloatFormat fmt{8, 10};
+  const double eps = fmt.epsilon();
+  EXPECT_NEAR(float_relative_bound(1, fmt), eps, eps * 1e-9);
+  EXPECT_NEAR(float_relative_bound(3, fmt), std::pow(1.0 + eps, 3) - 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(float_relative_bound(0, fmt), 0.0);
+  // Truncation doubles epsilon.
+  EXPECT_NEAR(float_relative_bound(1, fmt, lowprec::RoundingMode::kTruncate), 2.0 * eps,
+              eps * 1e-9);
+}
+
+TEST(FloatError, LargeCountStable) {
+  const FloatFormat fmt{8, 23};
+  const double b = float_relative_bound(1000000, fmt);
+  EXPECT_GT(b, 0.0);
+  EXPECT_TRUE(std::isfinite(b));
+  EXPECT_NEAR(b, std::expm1(1000000 * std::log1p(fmt.epsilon())), 1e-12);
+}
+
+TEST(FloatError, RequiresBinaryCircuit) {
+  Circuit c({2});
+  const NodeId a = c.add_parameter(0.1);
+  const NodeId b = c.add_parameter(0.2);
+  const NodeId d = c.add_parameter(0.3);
+  c.set_root(c.add_sum({a, b, d}));
+  EXPECT_THROW(propagate_float_error(c), InvalidArgument);
+}
+
+TEST(FloatError, CountersGrowTowardRoot) {
+  Rng rng(95);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 40;
+  const Circuit c = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const auto fl = propagate_float_error(c);
+  for (std::size_t i = 0; i < c.num_nodes(); ++i) {
+    const auto& n = c.node(static_cast<NodeId>(i));
+    for (NodeId child : n.children) {
+      EXPECT_GE(fl.node_count[i], fl.node_count[static_cast<std::size_t>(child)]);
+    }
+  }
+}
+
+// Soundness (Fig. 5b's "observed <= bound"): the observed float relative
+// error never exceeds (1+eps)^C - 1, across mantissa widths and circuits.
+class FloatErrorSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatErrorSoundness, ObservedWithinBound) {
+  const int m = GetParam();
+  Rng rng(800 + m);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 25;
+  spec.p_sum = 0.6;
+  const FloatFormat fmt{11, m};  // wide exponent: no under/overflow
+  for (int trial = 0; trial < 8; ++trial) {
+    const Circuit c = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+    const auto fl = propagate_float_error(c);
+    const double bound = float_relative_bound(fl.root_count, fmt);
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const double exact = ac::evaluate(c, a);
+      if (exact <= 0.0) continue;
+      const auto approx = ac::evaluate_float(c, a, fmt);
+      ASSERT_FALSE(approx.flags.any());
+      EXPECT_LE(std::abs(approx.value - exact) / exact, bound * (1.0 + 1e-12))
+          << "trial=" << trial << " M=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MantissaBits, FloatErrorSoundness, ::testing::Values(2, 4, 8, 13, 20));
+
+}  // namespace
+}  // namespace problp::errormodel

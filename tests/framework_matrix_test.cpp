@@ -1,0 +1,118 @@
+// Parameterised sweep over the full (query type x tolerance kind x
+// tolerance) matrix on one benchmark: every combination must produce a
+// consistent report, and any feasible selection must empirically satisfy
+// its contract on the test set.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "compile/ve_compiler.hpp"
+#include "datasets/benchmark_suite.hpp"
+#include "helpers.hpp"
+#include "problp/framework.hpp"
+#include "problp/validation.hpp"
+
+namespace problp {
+namespace {
+
+using errormodel::QuerySpec;
+using errormodel::QueryType;
+using errormodel::ToleranceKind;
+
+struct MatrixCase {
+  QueryType query;
+  ToleranceKind kind;
+  double tolerance;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(errormodel::to_string(info.param.query)) + "_" +
+         errormodel::to_string(info.param.kind) + "_tol" +
+         std::to_string(static_cast<int>(-std::log10(info.param.tolerance)));
+}
+
+class FrameworkMatrix : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  static const datasets::Benchmark& benchmark() {
+    static const datasets::Benchmark* b =
+        new datasets::Benchmark(datasets::make_uiwads_benchmark(1));
+    return *b;
+  }
+  static const Framework& framework() {
+    static const Framework* f = new Framework(benchmark().circuit);
+    return *f;
+  }
+};
+
+TEST_P(FrameworkMatrix, ReportConsistentAndContractHolds) {
+  const MatrixCase param = GetParam();
+  const QuerySpec spec{param.query, param.kind, param.tolerance};
+  const AnalysisReport report = framework().analyze(spec);
+
+  // Structural consistency of the report.
+  if (report.fixed_plan.feasible) {
+    EXPECT_LE(report.fixed_plan.predicted_bound, spec.tolerance);
+    EXPECT_GE(report.fixed_plan.format.integer_bits, 1);
+    EXPECT_TRUE(std::isfinite(report.fixed_energy_nj));
+  } else {
+    EXPECT_TRUE(std::isinf(report.fixed_energy_nj));
+  }
+  if (report.float_plan.feasible) {
+    EXPECT_LE(report.float_plan.predicted_bound, spec.tolerance);
+    EXPECT_TRUE(std::isfinite(report.float_energy_nj));
+  }
+  // Fixed point can never certify conditional + relative (§3.2.2).
+  if (param.query == QueryType::kConditional && param.kind == ToleranceKind::kRelative) {
+    EXPECT_FALSE(report.fixed_plan.feasible);
+  }
+  if (!report.any_feasible) return;
+
+  // Selection really is the energy argmin over feasible plans.
+  const double selected_energy = report.selected.kind == Representation::Kind::kFixed
+                                     ? report.fixed_energy_nj
+                                     : report.float_energy_nj;
+  EXPECT_LE(selected_energy, report.fixed_energy_nj);
+  EXPECT_LE(selected_energy, report.float_energy_nj);
+
+  // Empirical contract on the test set.
+  std::vector<ac::PartialAssignment> assignments;
+  for (std::size_t i = 0; i < benchmark().test_evidence.size() && i < 150; ++i) {
+    assignments.push_back(compile::to_assignment(benchmark().test_evidence[i]));
+  }
+  ObservedError observed;
+  switch (param.query) {
+    case QueryType::kMarginal:
+      observed = measure_marginal_error(framework().binary_circuit(), assignments,
+                                        report.selected);
+      break;
+    case QueryType::kConditional:
+      observed = measure_conditional_error(framework().binary_circuit(),
+                                           benchmark().query_var, assignments, report.selected);
+      break;
+    case QueryType::kMpe:
+      observed = measure_mpe_error(framework().binary_max_circuit(), assignments,
+                                   report.selected);
+      break;
+  }
+  EXPECT_FALSE(observed.flags.any());
+  EXPECT_LE(observed.max_of(param.kind), spec.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, FrameworkMatrix,
+    ::testing::Values(MatrixCase{QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-2},
+                      MatrixCase{QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-4},
+                      MatrixCase{QueryType::kMarginal, ToleranceKind::kRelative, 1e-2},
+                      MatrixCase{QueryType::kMarginal, ToleranceKind::kRelative, 1e-4},
+                      MatrixCase{QueryType::kConditional, ToleranceKind::kAbsolute, 1e-2},
+                      MatrixCase{QueryType::kConditional, ToleranceKind::kAbsolute, 1e-4},
+                      MatrixCase{QueryType::kConditional, ToleranceKind::kRelative, 1e-2},
+                      MatrixCase{QueryType::kConditional, ToleranceKind::kRelative, 1e-4},
+                      MatrixCase{QueryType::kMpe, ToleranceKind::kAbsolute, 1e-2},
+                      MatrixCase{QueryType::kMpe, ToleranceKind::kAbsolute, 1e-4},
+                      MatrixCase{QueryType::kMpe, ToleranceKind::kRelative, 1e-2},
+                      MatrixCase{QueryType::kMpe, ToleranceKind::kRelative, 1e-4}),
+    case_name);
+
+}  // namespace
+}  // namespace problp

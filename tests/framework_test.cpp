@@ -1,0 +1,169 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "helpers.hpp"
+#include "hw/simulator.hpp"
+#include "problp/framework.hpp"
+#include "problp/validation.hpp"
+
+namespace problp {
+namespace {
+
+using errormodel::QuerySpec;
+using errormodel::QueryType;
+using errormodel::ToleranceKind;
+
+ac::Circuit compile_random_net(std::uint64_t seed, int num_vars = 6) {
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = num_vars;
+  spec.max_parents = 2;
+  Rng rng(seed);
+  return compile::compile_network(bn::make_random_network(spec, rng));
+}
+
+TEST(Framework, AnalyzeMarginalAbsolute) {
+  const Framework framework(compile_random_net(1));
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  ASSERT_TRUE(report.fixed_plan.feasible);
+  ASSERT_TRUE(report.float_plan.feasible);
+  EXPECT_LE(report.fixed_plan.predicted_bound, 0.01);
+  EXPECT_LE(report.float_plan.predicted_bound, 0.01);
+  // Selection = lower predicted energy.
+  if (report.fixed_energy_nj <= report.float_energy_nj) {
+    EXPECT_EQ(report.selected.kind, Representation::Kind::kFixed);
+  } else {
+    EXPECT_EQ(report.selected.kind, Representation::Kind::kFloat);
+  }
+  // Both candidates beat the 32-bit float reference.
+  EXPECT_LT(std::min(report.fixed_energy_nj, report.float_energy_nj),
+            report.float32_reference_nj);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+TEST(Framework, ConditionalRelativeAlwaysSelectsFloat) {
+  // §3.2.2: "ProbLP will always choose float-pt for relative error in
+  // conditional probability."
+  const Framework framework(compile_random_net(2));
+  const AnalysisReport report =
+      framework.analyze({QueryType::kConditional, ToleranceKind::kRelative, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  EXPECT_FALSE(report.fixed_plan.feasible);
+  EXPECT_EQ(report.selected.kind, Representation::Kind::kFloat);
+  EXPECT_TRUE(std::isinf(report.fixed_energy_nj));
+}
+
+TEST(Framework, MpeUsesMaxCircuit) {
+  const Framework framework(compile_random_net(3));
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMpe, ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  // The max-circuit has no adders; census must reflect maxes instead.
+  EXPECT_EQ(report.census.adders, 0u);
+  EXPECT_GT(report.census.maxes, 0u);
+}
+
+TEST(Framework, ObservedErrorsWithinTolerance) {
+  const ac::Circuit circuit = compile_random_net(4, 5);
+  const Framework framework(circuit);
+  const double tol = 1e-3;
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, tol});
+  ASSERT_TRUE(report.any_feasible);
+  const auto assignments = test::all_partial_assignments(circuit.cardinalities());
+  const ObservedError observed =
+      measure_marginal_error(framework.binary_circuit(), assignments, report.selected);
+  EXPECT_LE(observed.max_abs, tol);
+  EXPECT_FALSE(observed.flags.overflow);
+  EXPECT_GT(observed.count, 0u);
+  EXPECT_LE(observed.mean_abs, observed.max_abs);
+}
+
+TEST(Framework, HardwareGenerationEndToEnd) {
+  const ac::Circuit circuit = compile_random_net(5, 5);
+  const Framework framework(circuit);
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  const HardwareReport hardware = framework.generate_hardware(report);
+  EXPECT_FALSE(hardware.verilog.empty());
+  EXPECT_GT(hardware.netlist_energy_nj, 0.0);
+  EXPECT_EQ(hardware.stats.adders + hardware.stats.multipliers + hardware.stats.maxes,
+            report.census.total());
+
+  // The generated netlist computes exactly what the analysed circuit does.
+  ASSERT_EQ(report.selected.kind, Representation::Kind::kFixed);
+  hw::FixedNetlistSimulator sim(hardware.netlist, report.selected.fixed);
+  Rng rng(55);
+  for (int i = 0; i < 20; ++i) {
+    ac::PartialAssignment a(static_cast<std::size_t>(circuit.num_variables()));
+    for (int v = 0; v < circuit.num_variables(); ++v) {
+      if (rng.coin(0.5)) {
+        a[static_cast<std::size_t>(v)] =
+            rng.uniform_int(0, circuit.cardinalities()[static_cast<std::size_t>(v)] - 1);
+      }
+    }
+    EXPECT_EQ(sim.evaluate(a),
+              ac::evaluate_fixed(framework.binary_circuit(), a, report.selected.fixed).value);
+  }
+}
+
+TEST(Framework, GenerateHardwareRejectsInfeasible) {
+  const Framework framework(compile_random_net(6, 4));
+  errormodel::SearchOptions search;
+  search.max_fraction_bits = 4;
+  search.max_mantissa_bits = 4;
+  FrameworkOptions options;
+  options.search = search;
+  const Framework strict(compile_random_net(6, 4), options);
+  const AnalysisReport report =
+      strict.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-9});
+  EXPECT_FALSE(report.any_feasible);
+  EXPECT_THROW(strict.generate_hardware(report), InvalidArgument);
+}
+
+TEST(Framework, ChainDecompositionOptionRespected) {
+  FrameworkOptions options;
+  options.decomposition = ac::DecompositionStyle::kChain;
+  const ac::Circuit circuit = compile_random_net(7, 5);
+  const Framework chain(circuit, options);
+  const Framework balanced(circuit);
+  EXPECT_GE(chain.binary_circuit().stats().depth, balanced.binary_circuit().stats().depth);
+}
+
+TEST(Validation, ConditionalMeasurement) {
+  const ac::Circuit circuit = compile_random_net(8, 5);
+  const Framework framework(circuit);
+  const AnalysisReport report =
+      framework.analyze({QueryType::kConditional, ToleranceKind::kAbsolute, 1e-3});
+  ASSERT_TRUE(report.any_feasible);
+  std::vector<ac::PartialAssignment> evidences;
+  for (const auto& a : test::all_partial_assignments(circuit.cardinalities())) {
+    if (!a[0].has_value()) evidences.push_back(a);
+    if (evidences.size() >= 50) break;
+  }
+  const ObservedError observed =
+      measure_conditional_error(framework.binary_circuit(), 0, evidences, report.selected);
+  EXPECT_GT(observed.count, 0u);
+  EXPECT_LE(observed.max_abs, 1e-3);
+}
+
+TEST(Validation, RejectsObservedQueryVariable) {
+  const ac::Circuit circuit = compile_random_net(9, 4);
+  const Framework framework(circuit);
+  ac::PartialAssignment a(static_cast<std::size_t>(circuit.num_variables()));
+  a[0] = 0;
+  Representation repr;
+  repr.kind = Representation::Kind::kFixed;
+  repr.fixed = lowprec::FixedFormat{1, 10};
+  EXPECT_THROW(measure_conditional_error(framework.binary_circuit(), 0, {a}, repr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "ac/transform.hpp"
+#include "energy/circuit_energy.hpp"
+#include "helpers.hpp"
+#include "hw/generator.hpp"
+
+namespace problp::hw {
+namespace {
+
+using ac::Circuit;
+using ac::NodeId;
+
+// The Fig. 4 scenario: a 5-input operator F over B..E plus A -> G, where A's
+// path to G is shorter than F's decomposition tree.
+Circuit make_fig4_circuit() {
+  Circuit c(std::vector<int>(6, 2));
+  const NodeId a = c.add_indicator(0, 0);
+  std::vector<NodeId> f_kids;
+  for (int v = 1; v <= 5; ++v) f_kids.push_back(c.add_indicator(v, 0));
+  const NodeId f = c.add_prod(f_kids);  // 5-ary
+  c.set_root(c.add_sum({a, f}));        // G
+  return c;
+}
+
+TEST(Generator, Fig4DecompositionAndBalancing) {
+  const Circuit binary = ac::binarize(make_fig4_circuit()).circuit;
+  EXPECT_TRUE(binary.is_binary());
+  const Netlist netlist = generate_netlist(binary);
+  const NetlistStats stats = netlist.stats();
+  // 5-ary product -> 4 two-input multipliers (Fig. 4 shows 3 for 4 inputs;
+  // 5 inputs need 4), plus the root adder.
+  EXPECT_EQ(stats.multipliers, 4u);
+  EXPECT_EQ(stats.adders, 1u);
+  // Balanced 5-input tree is 3 levels deep, so the root adder fires at
+  // stage 4.  Path-mismatch registers (the Fig. 4 "multiple registers due
+  // to a mismatch in path timings"): the odd fifth leaf waits 2 cycles to
+  // meet the pair tree at stage 2, and A waits 3 cycles to meet F at the
+  // root adder -> 5 alignment registers in total.
+  EXPECT_EQ(stats.latency_cycles, 4);
+  EXPECT_EQ(stats.alignment_registers, 5u);
+}
+
+TEST(Generator, OperatorCountMatchesCensus) {
+  Rng rng(111);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 40;
+  spec.max_fanin = 4;
+  const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const auto census = energy::OperatorCensus::of(binary);
+  const NetlistStats stats = netlist.stats();
+  EXPECT_EQ(stats.adders, census.adders);
+  EXPECT_EQ(stats.multipliers, census.multipliers);
+  EXPECT_EQ(stats.maxes, census.maxes);
+}
+
+TEST(Generator, LatencyEqualsCircuitDepth) {
+  Rng rng(112);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 30;
+  const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  EXPECT_EQ(netlist.latency(), binary.stats().depth);
+}
+
+TEST(Generator, SharedAlignmentChains) {
+  // Two consumers needing the same delayed signal share one register chain.
+  Circuit c(std::vector<int>(4, 2));
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId a = c.add_indicator(1, 0);
+  const NodeId b = c.add_indicator(2, 0);
+  const NodeId d = c.add_indicator(3, 0);
+  const NodeId deep = c.add_prod({c.add_prod({a, b}), d});  // depth 2
+  const NodeId u = c.add_sum({deep, x});                    // x needs delay 2
+  const NodeId w = c.add_prod({deep, x});                   // x needs delay 2 again
+  c.set_root(c.add_sum({u, w}));
+  GeneratorOptions shared;
+  shared.share_alignment_chains = true;
+  GeneratorOptions privately;
+  privately.share_alignment_chains = false;
+  const auto s1 = generate_netlist(ac::binarize(c).circuit, shared).stats();
+  const auto s2 = generate_netlist(ac::binarize(c).circuit, privately).stats();
+  EXPECT_LT(s1.alignment_registers, s2.alignment_registers);
+}
+
+TEST(Generator, DeadNodesNotInstantiated) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  c.add_prod({x, y});  // dead
+  const NodeId t = c.add_parameter(0.5);
+  c.set_root(c.add_prod({x, t}));
+  const Netlist netlist = generate_netlist(c);
+  EXPECT_EQ(netlist.stats().multipliers, 1u);
+  EXPECT_EQ(netlist.stats().indicator_inputs, 1u);  // y unused
+}
+
+TEST(Generator, RequiresBinaryCircuit) {
+  Circuit c({2});
+  const NodeId a = c.add_parameter(0.1);
+  const NodeId b = c.add_parameter(0.2);
+  const NodeId d = c.add_parameter(0.3);
+  c.set_root(c.add_sum({a, b, d}));
+  EXPECT_THROW(generate_netlist(c), InvalidArgument);
+}
+
+TEST(Generator, ChainDecompositionCostsMoreLatency) {
+  Rng rng(113);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 25;
+  spec.max_fanin = 6;
+  const Circuit c = test::make_random_circuit(spec, rng);
+  const auto balanced = generate_netlist(ac::binarize(c, ac::DecompositionStyle::kBalanced).circuit);
+  const auto chain = generate_netlist(ac::binarize(c, ac::DecompositionStyle::kChain).circuit);
+  EXPECT_LE(balanced.latency(), chain.latency());
+}
+
+}  // namespace
+}  // namespace problp::hw

@@ -1,0 +1,140 @@
+#include "helpers.hpp"
+
+#include <algorithm>
+
+namespace problp::test {
+
+namespace {
+
+// Calls fn(assignment) for every full assignment consistent with evidence.
+template <class Fn>
+void for_each_consistent(const bn::BayesianNetwork& network, const bn::Evidence& evidence,
+                         Fn&& fn) {
+  const int n = network.num_variables();
+  std::vector<int> a(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    if (evidence[static_cast<std::size_t>(v)].has_value()) {
+      a[static_cast<std::size_t>(v)] = *evidence[static_cast<std::size_t>(v)];
+    }
+  }
+  while (true) {
+    fn(a);
+    int v = n - 1;
+    for (; v >= 0; --v) {
+      if (evidence[static_cast<std::size_t>(v)].has_value()) continue;
+      if (++a[static_cast<std::size_t>(v)] < network.cardinality(v)) break;
+      a[static_cast<std::size_t>(v)] = 0;
+    }
+    if (v < 0) return;
+  }
+}
+
+double joint_probability(const bn::BayesianNetwork& network, const std::vector<int>& a) {
+  double p = 1.0;
+  for (int v = 0; v < network.num_variables(); ++v) {
+    std::vector<int> pstates;
+    for (int par : network.parents(v)) pstates.push_back(a[static_cast<std::size_t>(par)]);
+    p *= network.cpt_value(v, a[static_cast<std::size_t>(v)], pstates);
+  }
+  return p;
+}
+
+}  // namespace
+
+double brute_force_probability(const bn::BayesianNetwork& network, const bn::Evidence& evidence) {
+  double total = 0.0;
+  for_each_consistent(network, evidence,
+                      [&](const std::vector<int>& a) { total += joint_probability(network, a); });
+  return total;
+}
+
+double brute_force_mpe(const bn::BayesianNetwork& network, const bn::Evidence& evidence) {
+  double best = 0.0;
+  for_each_consistent(network, evidence, [&](const std::vector<int>& a) {
+    best = std::max(best, joint_probability(network, a));
+  });
+  return best;
+}
+
+std::vector<ac::PartialAssignment> all_partial_assignments(const std::vector<int>& cards) {
+  std::vector<ac::PartialAssignment> out;
+  ac::PartialAssignment cur(cards.size());
+  // Odometer over (card+1) options per variable: nullopt, 0, ..., card-1.
+  std::vector<int> digit(cards.size(), 0);
+  while (true) {
+    for (std::size_t v = 0; v < cards.size(); ++v) {
+      cur[v] = (digit[v] == 0) ? std::nullopt : std::optional<int>(digit[v] - 1);
+    }
+    out.push_back(cur);
+    std::size_t v = cards.size();
+    while (v > 0) {
+      --v;
+      if (++digit[v] <= cards[v]) break;
+      digit[v] = 0;
+      if (v == 0) return out;
+    }
+    if (cards.empty()) return out;
+  }
+}
+
+std::vector<ac::PartialAssignment> all_full_assignments(const std::vector<int>& cards) {
+  std::vector<ac::PartialAssignment> out;
+  ac::PartialAssignment cur(cards.size());
+  std::vector<int> digit(cards.size(), 0);
+  while (true) {
+    for (std::size_t v = 0; v < cards.size(); ++v) cur[v] = digit[v];
+    out.push_back(cur);
+    std::size_t v = cards.size();
+    while (v > 0) {
+      --v;
+      if (++digit[v] < cards[v]) break;
+      digit[v] = 0;
+      if (v == 0) return out;
+    }
+    if (cards.empty()) return out;
+  }
+}
+
+ac::Circuit make_random_circuit(const RandomCircuitSpec& spec, Rng& rng) {
+  std::vector<int> cards;
+  for (int v = 0; v < spec.num_variables; ++v) {
+    cards.push_back(rng.uniform_int(2, spec.max_cardinality));
+  }
+  ac::Circuit circuit(cards);
+  std::vector<ac::NodeId> pool;
+  // Leaves: every indicator plus a few parameters.
+  for (int v = 0; v < spec.num_variables; ++v) {
+    for (int s = 0; s < cards[static_cast<std::size_t>(v)]; ++s) {
+      pool.push_back(circuit.add_indicator(v, s));
+    }
+  }
+  const int num_params = std::max(2, spec.num_variables * 2);
+  for (int i = 0; i < num_params; ++i) {
+    pool.push_back(circuit.add_parameter(rng.uniform(1e-3, spec.max_parameter)));
+  }
+  for (int i = 0; i < spec.num_operators; ++i) {
+    const int fanin = rng.uniform_int(2, spec.max_fanin);
+    std::vector<ac::NodeId> children;
+    for (int k = 0; k < fanin; ++k) {
+      children.push_back(pool[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(pool.size()) - 1))]);
+    }
+    const ac::NodeId id = rng.coin(spec.p_sum) ? circuit.add_sum(std::move(children))
+                                               : circuit.add_prod(std::move(children));
+    pool.push_back(id);
+  }
+  circuit.set_root(pool.back());
+  return circuit;
+}
+
+bn::Evidence random_evidence(const bn::BayesianNetwork& network, double p_observe, Rng& rng) {
+  bn::Evidence e = network.empty_evidence();
+  for (int v = 0; v < network.num_variables(); ++v) {
+    if (rng.coin(p_observe)) {
+      e[static_cast<std::size_t>(v)] = rng.uniform_int(0, network.cardinality(v) - 1);
+    }
+  }
+  return e;
+}
+
+}  // namespace problp::test

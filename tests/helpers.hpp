@@ -1,0 +1,49 @@
+// Shared fixtures for the ProbLP test suite: brute-force inference oracles,
+// random circuit generation, and assignment enumeration used by the
+// property-style tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "ac/evaluator.hpp"
+#include "bn/network.hpp"
+#include "util/rng.hpp"
+
+namespace problp::test {
+
+/// Pr(e) by brute-force enumeration of all joint assignments (exponential;
+/// keep networks small).
+double brute_force_probability(const bn::BayesianNetwork& network, const bn::Evidence& evidence);
+
+/// max_x Pr(x, e) by brute force.
+double brute_force_mpe(const bn::BayesianNetwork& network, const bn::Evidence& evidence);
+
+/// All partial assignments over `cardinalities` where each variable is
+/// either unobserved or set to a state — exhaustive query enumeration for
+/// small circuits ((card+1)^n entries).
+std::vector<ac::PartialAssignment> all_partial_assignments(const std::vector<int>& cardinalities);
+
+/// All *full* assignments.
+std::vector<ac::PartialAssignment> all_full_assignments(const std::vector<int>& cardinalities);
+
+struct RandomCircuitSpec {
+  int num_variables = 3;
+  int max_cardinality = 3;
+  int num_operators = 20;
+  double p_sum = 0.5;          ///< operator kind mix (rest are products)
+  int max_fanin = 3;           ///< operators draw 2..max_fanin children
+  double max_parameter = 1.0;  ///< parameter leaves are uniform in (0, max]
+};
+
+/// A random (syntactically arbitrary) circuit: not a network polynomial,
+/// just a well-formed AC — exercises analyses on shapes compilers would
+/// never emit.
+ac::Circuit make_random_circuit(const RandomCircuitSpec& spec, Rng& rng);
+
+/// Random evidence over a network's variables: each variable observed with
+/// probability `p_observe`.
+bn::Evidence random_evidence(const bn::BayesianNetwork& network, double p_observe, Rng& rng);
+
+}  // namespace problp::test

@@ -1,0 +1,154 @@
+// End-to-end integration: miniature versions of the paper's experiments
+// (fast enough for CI; the full-size runs live in bench/).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bn/alarm.hpp"
+#include "compile/ve_compiler.hpp"
+#include "datasets/benchmark_suite.hpp"
+#include "helpers.hpp"
+#include "problp/framework.hpp"
+#include "problp/validation.hpp"
+
+namespace problp {
+namespace {
+
+using errormodel::QuerySpec;
+using errormodel::QueryType;
+using errormodel::ToleranceKind;
+
+std::vector<ac::PartialAssignment> to_assignments(const std::vector<bn::Evidence>& evidence,
+                                                  std::size_t limit) {
+  std::vector<ac::PartialAssignment> out;
+  for (std::size_t i = 0; i < evidence.size() && i < limit; ++i) {
+    out.push_back(compile::to_assignment(evidence[i]));
+  }
+  return out;
+}
+
+// Fig. 5 in miniature: on the ALARM AC, for a few bit widths, the observed
+// max error over sampled evidence stays below the analytical bound, and the
+// bound decays as bits grow.
+TEST(Integration, Fig5BoundValidationMiniature) {
+  const auto benchmark = datasets::make_alarm_benchmark(1, 60);
+  const Framework framework(benchmark.circuit);
+  const auto assignments = to_assignments(benchmark.test_evidence, 60);
+  const auto& model_range = errormodel::CircuitErrorModel::build(framework.binary_circuit());
+
+  double prev_bound = std::numeric_limits<double>::infinity();
+  for (int f : {8, 16, 24}) {
+    const lowprec::FixedFormat fmt{1, f};
+    const double bound = errormodel::fixed_query_bound(
+        framework.binary_circuit(), model_range,
+        {QueryType::kMarginal, ToleranceKind::kAbsolute, 0.0}, fmt);
+    Representation repr;
+    repr.kind = Representation::Kind::kFixed;
+    repr.fixed = fmt;
+    const ObservedError observed =
+        measure_marginal_error(framework.binary_circuit(), assignments, repr);
+    EXPECT_FALSE(observed.flags.overflow) << "F=" << f;
+    EXPECT_LE(observed.max_abs, bound) << "F=" << f;
+    EXPECT_LT(bound, prev_bound);
+    prev_bound = bound;
+  }
+
+  prev_bound = std::numeric_limits<double>::infinity();
+  for (int m : {8, 16, 24}) {
+    const lowprec::FloatFormat fmt{8, m};
+    const double bound = errormodel::float_query_bound(
+        model_range, {QueryType::kMarginal, ToleranceKind::kRelative, 0.0}, fmt);
+    Representation repr;
+    repr.kind = Representation::Kind::kFloat;
+    repr.flt = fmt;
+    const ObservedError observed =
+        measure_marginal_error(framework.binary_circuit(), assignments, repr);
+    EXPECT_FALSE(observed.flags.any()) << "M=" << m;
+    EXPECT_LE(observed.max_rel, bound) << "M=" << m;
+    EXPECT_LT(bound, prev_bound);
+    prev_bound = bound;
+  }
+}
+
+// Table 2 in miniature on the smallest benchmark (UIWADS): run the full
+// framework for two query/tolerance combinations and check every reported
+// property the paper claims.
+TEST(Integration, Table2RowMiniature) {
+  const auto benchmark = datasets::make_uiwads_benchmark(1);
+  const Framework framework(benchmark.circuit);
+  const auto assignments = to_assignments(benchmark.test_evidence, 100);
+
+  // Row 1: marginal, absolute 0.01 — fixed point should win on energy.
+  {
+    const AnalysisReport report =
+        framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01});
+    ASSERT_TRUE(report.fixed_plan.feasible);
+    ASSERT_TRUE(report.float_plan.feasible);
+    EXPECT_EQ(report.selected.kind, Representation::Kind::kFixed);
+    const ObservedError observed =
+        measure_marginal_error(framework.binary_circuit(), assignments, report.selected);
+    EXPECT_LE(observed.max_abs, 0.01);
+    EXPECT_LT(report.fixed_energy_nj, report.float32_reference_nj);
+  }
+
+  // Row 2: conditional, relative 0.01 — float is the only candidate.
+  {
+    const AnalysisReport report =
+        framework.analyze({QueryType::kConditional, ToleranceKind::kRelative, 0.01});
+    ASSERT_TRUE(report.any_feasible);
+    EXPECT_EQ(report.selected.kind, Representation::Kind::kFloat);
+    const ObservedError observed = measure_conditional_error(
+        framework.binary_circuit(), benchmark.query_var, assignments, report.selected);
+    EXPECT_LE(observed.max_rel, 0.01);
+    EXPECT_FALSE(observed.flags.any());
+  }
+}
+
+// The post-synthesis stand-in tracks the operator-model prediction within a
+// factor of ~2 (the paper: "matches well").
+TEST(Integration, NetlistEnergyTracksPrediction) {
+  const auto benchmark = datasets::make_uiwads_benchmark(1);
+  const Framework framework(benchmark.circuit);
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  const HardwareReport hardware = framework.generate_hardware(report);
+  const double predicted = (report.selected.kind == Representation::Kind::kFixed)
+                               ? report.fixed_energy_nj
+                               : report.float_energy_nj;
+  EXPECT_GT(hardware.netlist_energy_nj, 0.3 * predicted);
+  EXPECT_LT(hardware.netlist_energy_nj, 3.0 * predicted);
+}
+
+// MPE extension: bounds hold on the ALARM max-circuit too.
+TEST(Integration, MpeBoundsOnAlarm) {
+  const auto benchmark = datasets::make_alarm_benchmark(2, 40);
+  const Framework framework(benchmark.circuit);
+  const AnalysisReport report =
+      framework.analyze({QueryType::kMpe, ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+  const auto assignments = to_assignments(benchmark.test_evidence, 40);
+  const ObservedError observed =
+      measure_mpe_error(framework.binary_max_circuit(), assignments, report.selected);
+  EXPECT_LE(observed.max_abs, 0.01);
+}
+
+// The error-tolerance contract the paper's abstract makes: for *every*
+// benchmark, the framework-selected representation keeps the observed
+// test-set error within the user tolerance.
+TEST(Integration, AllBenchmarksMeetTolerance) {
+  for (const auto& benchmark : datasets::make_all_benchmarks(3)) {
+    const Framework framework(benchmark.circuit);
+    const AnalysisReport report =
+        framework.analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01});
+    ASSERT_TRUE(report.any_feasible) << benchmark.name;
+    const auto assignments = to_assignments(benchmark.test_evidence, 50);
+    const ObservedError observed =
+        measure_marginal_error(framework.binary_circuit(), assignments, report.selected);
+    EXPECT_LE(observed.max_abs, 0.01) << benchmark.name;
+    EXPECT_FALSE(observed.flags.any()) << benchmark.name;
+  }
+}
+
+}  // namespace
+}  // namespace problp

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "bn/alarm.hpp"
+#include "bn/likelihood_weighting.hpp"
+#include "bn/random_network.hpp"
+#include "bn/variable_elimination.hpp"
+#include "helpers.hpp"
+
+namespace problp::bn {
+namespace {
+
+TEST(LikelihoodWeighting, NoEvidenceGivesOne) {
+  Rng net_rng(151);
+  RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  Rng rng(1);
+  const auto r = estimate_evidence_probability(network, network.empty_evidence(), 100, rng);
+  EXPECT_DOUBLE_EQ(r.estimate, 1.0);  // every weight is exactly 1
+  EXPECT_NEAR(r.effective_samples, 100.0, 1e-9);
+}
+
+TEST(LikelihoodWeighting, ConvergesToExactEvidenceProbability) {
+  Rng net_rng(152);
+  RandomNetworkSpec spec;
+  spec.num_variables = 7;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  const VariableElimination ve(network);
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Evidence e = test::random_evidence(network, 0.3, rng);
+    const double exact = ve.probability_of_evidence(e);
+    if (exact < 1e-4) continue;  // keep the variance manageable
+    const auto r = estimate_evidence_probability(network, e, 40000, rng);
+    EXPECT_NEAR(r.estimate, exact, 0.15 * exact + 1e-3) << "trial " << trial;
+  }
+}
+
+TEST(LikelihoodWeighting, ConvergesToExactConditional) {
+  Rng net_rng(153);
+  RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  const VariableElimination ve(network);
+  Rng rng(3);
+  Evidence e = test::random_evidence(network, 0.4, rng);
+  e[0] = std::nullopt;
+  const double pe = ve.probability_of_evidence(e);
+  if (pe > 1e-4) {
+    const double exact = ve.conditional(0, 0, e);
+    const auto r = estimate_conditional(network, 0, 0, e, 40000, rng);
+    EXPECT_NEAR(r.estimate, exact, 0.1 + 0.1 * exact);
+  }
+}
+
+TEST(LikelihoodWeighting, WorksOnAlarmScale) {
+  const BayesianNetwork alarm = make_alarm_network();
+  Rng rng(4);
+  Evidence e = alarm.empty_evidence();
+  e[static_cast<std::size_t>(alarm.find_variable("HRBP"))] = 0;
+  const auto r = estimate_evidence_probability(alarm, e, 2000, rng);
+  EXPECT_GT(r.estimate, 0.0);
+  EXPECT_LT(r.estimate, 1.0);
+  EXPECT_GT(r.effective_samples, 10.0);
+  EXPECT_EQ(r.samples, 2000u);
+}
+
+TEST(LikelihoodWeighting, Validation) {
+  const BayesianNetwork alarm = make_alarm_network();
+  Rng rng(5);
+  EXPECT_THROW(estimate_evidence_probability(alarm, alarm.empty_evidence(), 0, rng),
+               InvalidArgument);
+  Evidence e = alarm.empty_evidence();
+  e[0] = 0;
+  EXPECT_THROW(estimate_conditional(alarm, 0, 0, e, 10, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp::bn

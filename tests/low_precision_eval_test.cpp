@@ -1,0 +1,91 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace problp::ac {
+namespace {
+
+using lowprec::FixedFormat;
+using lowprec::FloatFormat;
+
+TEST(LowPrecisionEval, HighPrecisionMatchesDoubleClosely) {
+  Rng rng(51);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = test::make_random_circuit(spec, rng);
+    const auto assignments = test::all_partial_assignments(c.cardinalities());
+    for (const auto& a : assignments) {
+      const double exact = evaluate(c, a);
+      if (exact > 1e3) continue;  // fixed range in this test is I=12
+      const auto fx = evaluate_fixed(c, a, FixedFormat{12, 48});
+      EXPECT_NEAR(fx.value, exact, 1e-9);
+      const auto fl = evaluate_float(c, a, FloatFormat{11, 52});
+      EXPECT_NEAR(fl.value, exact, std::abs(exact) * 1e-12 + 1e-300);
+    }
+  }
+}
+
+TEST(LowPrecisionEval, FlagsReportOverflow) {
+  Circuit c({2});
+  const NodeId t = c.add_parameter(1.9);
+  c.set_root(c.add_prod({t, c.add_parameter(1.8)}));  // 3.42 overflows I=1
+  const auto r = evaluate_fixed(c, PartialAssignment(1), FixedFormat{1, 8});
+  EXPECT_TRUE(r.flags.overflow);
+}
+
+TEST(LowPrecisionEval, FlagsReportUnderflow) {
+  Circuit c({2});
+  const NodeId t = c.add_parameter(1e-3);
+  c.set_root(c.add_prod({t, t}));  // 1e-6 underflows E=4 (min normal 2^-6)
+  const auto r = evaluate_float(c, PartialAssignment(1), FloatFormat{4, 8});
+  EXPECT_TRUE(r.flags.underflow);
+}
+
+TEST(LowPrecisionEval, IndicatorsExact) {
+  // A bare indicator chain evaluates exactly in any format.
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  c.set_root(c.add_sum({x, y}));
+  PartialAssignment a(1);
+  a[0] = 0;
+  const auto fx = evaluate_fixed(c, a, FixedFormat{1, 2});
+  EXPECT_DOUBLE_EQ(fx.value, 1.0);
+  EXPECT_FALSE(fx.flags.any());
+  const auto fl = evaluate_float(c, a, FloatFormat{4, 2});
+  EXPECT_DOUBLE_EQ(fl.value, 1.0);
+  EXPECT_FALSE(fl.flags.any());
+}
+
+TEST(LowPrecisionEval, CoarseFixedQuantisesLeaves) {
+  Circuit c({2});
+  c.set_root(c.add_parameter(0.3));
+  // F=2: 0.3 rounds to 0.25.
+  const auto r = evaluate_fixed(c, PartialAssignment(1), FixedFormat{1, 2});
+  EXPECT_DOUBLE_EQ(r.value, 0.25);
+}
+
+TEST(LowPrecisionEval, ErrorsGrowAsBitsShrink) {
+  Rng rng(52);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 40;
+  spec.p_sum = 0.6;
+  const Circuit c = test::make_random_circuit(spec, rng);
+  const auto a = all_indicators_one(c);
+  const double exact = evaluate(c, a);
+  double prev_err = std::numeric_limits<double>::infinity();
+  // Mean over several formats must be monotone-ish; check endpoints only to
+  // avoid flakiness: F=6 error >= F=30 error.
+  const double err6 = std::abs(evaluate_fixed(c, a, FixedFormat{14, 6}).value - exact);
+  const double err30 = std::abs(evaluate_fixed(c, a, FixedFormat{14, 30}).value - exact);
+  EXPECT_LE(err30, err6 + 1e-12);
+  (void)prev_err;
+}
+
+}  // namespace
+}  // namespace problp::ac

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "compile/ve_compiler.hpp"
+#include "datasets/benchmark_suite.hpp"
+#include "datasets/metrics.hpp"
+#include "problp/framework.hpp"
+
+namespace problp::datasets {
+namespace {
+
+TEST(Metrics, ConfusionMatrixBasics) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 2);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_THROW(cm.add(3, 0), InvalidArgument);
+  EXPECT_THROW(cm.add(0, -1), InvalidArgument);
+  EXPECT_NE(cm.to_string().find("accuracy: 0.7500"), std::string::npos);
+}
+
+TEST(Metrics, ArgmaxAndAgreement) {
+  EXPECT_EQ(argmax({0.1, 0.7, 0.2}), 1);
+  EXPECT_EQ(argmax({0.5, 0.5}), 0);  // deterministic tie-break
+  EXPECT_THROW(argmax({}), InvalidArgument);
+  EXPECT_DOUBLE_EQ(agreement({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_THROW(agreement({1}, {1, 2}), InvalidArgument);
+}
+
+TEST(Metrics, LowPrecisionClassifierAgreesWithExact) {
+  // Application-level claim of the paper's intro: with a certified 0.01
+  // posterior tolerance, argmax decisions rarely (here: never, outside
+  // threshold bands) differ between exact and low-precision inference.
+  const Benchmark benchmark = make_uiwads_benchmark(1);
+  const Framework framework(benchmark.circuit);
+  const AnalysisReport report = framework.analyze(
+      {errormodel::QueryType::kConditional, errormodel::ToleranceKind::kAbsolute, 0.01});
+  ASSERT_TRUE(report.any_feasible);
+
+  const ac::Circuit& binary = framework.binary_circuit();
+  const int classes = binary.cardinalities()[0];
+  std::vector<int> exact_pred;
+  std::vector<int> lowprec_pred;
+  for (std::size_t i = 0; i < benchmark.test_evidence.size() && i < 200; ++i) {
+    const auto e = compile::to_assignment(benchmark.test_evidence[i]);
+    std::vector<double> exact_scores;
+    std::vector<double> lowprec_scores;
+    for (int q = 0; q < classes; ++q) {
+      auto qe = e;
+      qe[0] = q;
+      exact_scores.push_back(ac::evaluate(binary, qe));
+      lowprec_scores.push_back(
+          report.selected.kind == Representation::Kind::kFixed
+              ? ac::evaluate_fixed(binary, qe, report.selected.fixed).value
+              : ac::evaluate_float(binary, qe, report.selected.flt).value);
+    }
+    exact_pred.push_back(argmax(exact_scores));
+    lowprec_pred.push_back(argmax(lowprec_scores));
+  }
+  EXPECT_GE(agreement(exact_pred, lowprec_pred), 0.99);
+}
+
+}  // namespace
+}  // namespace problp::datasets

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "hw/netlist.hpp"
+
+namespace problp::hw {
+namespace {
+
+TEST(Netlist, BuildsStagedPipeline) {
+  Netlist n({2});
+  const WireId a = n.add_indicator_input(0, 0, "a");
+  const WireId b = n.add_constant_input(0.5, "b");
+  EXPECT_EQ(n.wire(a).stage, 0);
+  const WireId p = n.add_operator(CellKind::kMul, a, b, "p");
+  EXPECT_EQ(n.wire(p).stage, 1);
+  const WireId d = n.add_register(b, "b_d1");
+  EXPECT_EQ(n.wire(d).stage, 1);
+  const WireId s = n.add_operator(CellKind::kAdd, p, d, "s");
+  EXPECT_EQ(n.wire(s).stage, 2);
+  n.set_output(s);
+  EXPECT_EQ(n.latency(), 2);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, RejectsMisalignedOperator) {
+  Netlist n({2});
+  const WireId a = n.add_indicator_input(0, 0, "a");
+  const WireId b = n.add_constant_input(0.5, "b");
+  const WireId p = n.add_operator(CellKind::kMul, a, b, "p");  // stage 1
+  EXPECT_THROW(n.add_operator(CellKind::kAdd, p, a, "bad"), InvalidArgument);
+}
+
+TEST(Netlist, InputValidation) {
+  Netlist n({2});
+  EXPECT_THROW(n.add_indicator_input(1, 0, "x"), InvalidArgument);
+  EXPECT_THROW(n.add_indicator_input(0, 5, "x"), InvalidArgument);
+  const WireId a = n.add_indicator_input(0, 0, "a");
+  EXPECT_THROW(n.add_operator(CellKind::kRegister, a, a, "r"), InvalidArgument);
+  EXPECT_THROW(n.add_operator(CellKind::kAdd, a, 99, "bad"), InvalidArgument);
+  EXPECT_THROW(n.set_output(99), InvalidArgument);
+  EXPECT_THROW(n.latency(), InvalidArgument);  // no output yet
+}
+
+TEST(Netlist, StatsBreakdown) {
+  Netlist n({2});
+  const WireId a = n.add_indicator_input(0, 0, "a");
+  const WireId b = n.add_constant_input(0.5, "b");
+  const WireId p = n.add_operator(CellKind::kMul, a, b, "p");
+  const WireId d1 = n.add_register(a, "a_d1");
+  const WireId s = n.add_operator(CellKind::kMax, p, d1, "s");
+  n.set_output(s);
+  const NetlistStats stats = n.stats();
+  EXPECT_EQ(stats.multipliers, 1u);
+  EXPECT_EQ(stats.maxes, 1u);
+  EXPECT_EQ(stats.adders, 0u);
+  EXPECT_EQ(stats.alignment_registers, 1u);
+  EXPECT_EQ(stats.pipeline_registers, 2u);  // one per operator
+  EXPECT_EQ(stats.total_registers(), 3u);
+  EXPECT_EQ(stats.latency_cycles, 2);
+  EXPECT_EQ(stats.indicator_inputs, 1u);
+  EXPECT_EQ(stats.constant_inputs, 1u);
+}
+
+}  // namespace
+}  // namespace problp::hw

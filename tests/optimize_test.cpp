@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "ac/evaluator.hpp"
+#include "ac/optimize.hpp"
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "helpers.hpp"
+
+namespace problp::ac {
+namespace {
+
+TEST(FoldConstants, AllConstantOperatorBecomesLeaf) {
+  Circuit c({2});
+  const NodeId p = c.add_prod({c.add_parameter(0.5), c.add_parameter(0.25)});
+  const NodeId s = c.add_sum({p, c.add_parameter(0.125)});
+  c.set_root(s);
+  OptimizeStats stats;
+  const Circuit folded = fold_constants(c, &stats);
+  EXPECT_EQ(stats.folded_operators, 2u);
+  const Node& root = folded.node(folded.root());
+  EXPECT_EQ(root.kind, NodeKind::kParameter);
+  EXPECT_DOUBLE_EQ(root.value, 0.5 * 0.25 + 0.125);
+}
+
+TEST(FoldConstants, PartialConstantsCombine) {
+  // prod(lambda, 0.5, 0.5) -> prod(lambda, 0.25): one multiplier saved.
+  Circuit c({2});
+  const NodeId lam = c.add_indicator(0, 0);
+  c.set_root(c.add_prod({lam, c.add_parameter(0.5), c.add_parameter(0.5)}));
+  const Circuit folded = fold_constants(c);
+  const Node& root = folded.node(folded.root());
+  ASSERT_EQ(root.kind, NodeKind::kProd);
+  EXPECT_EQ(root.children.size(), 2u);
+  PartialAssignment a(1);
+  EXPECT_DOUBLE_EQ(evaluate(folded, a), 0.25);
+}
+
+TEST(FoldConstants, IdentityElements) {
+  Circuit c({2});
+  const NodeId lam = c.add_indicator(0, 0);
+  const NodeId via_mul = c.add_prod({lam, c.add_parameter(1.0)});   // x*1 -> x
+  const NodeId via_add = c.add_sum({via_mul, c.add_parameter(0.0)});  // x+0 -> x
+  c.set_root(via_add);
+  OptimizeStats stats;
+  const Circuit folded = fold_constants(c, &stats);
+  EXPECT_EQ(stats.identity_simplified, 2u);
+  EXPECT_EQ(folded.node(folded.root()).kind, NodeKind::kIndicator);
+}
+
+TEST(FoldConstants, ZeroAnnihilatesProduct) {
+  Circuit c({2});
+  const NodeId lam = c.add_indicator(0, 0);
+  c.set_root(c.add_prod({lam, c.add_parameter(0.0)}));
+  const Circuit folded = fold_constants(c);
+  const Node& root = folded.node(folded.root());
+  EXPECT_EQ(root.kind, NodeKind::kParameter);
+  EXPECT_DOUBLE_EQ(root.value, 0.0);
+}
+
+TEST(FoldConstants, MaxNodesFold) {
+  Circuit c({2});
+  c.set_root(c.add_max({c.add_parameter(0.3), c.add_parameter(0.8)}));
+  const Circuit folded = fold_constants(c);
+  EXPECT_DOUBLE_EQ(folded.node(folded.root()).value, 0.8);
+}
+
+TEST(PruneDeadNodes, DropsUnreachable) {
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId y = c.add_indicator(0, 1);
+  c.add_prod({x, y});  // dead
+  c.set_root(c.add_prod({x, c.add_parameter(0.5)}));
+  OptimizeStats stats;
+  const Circuit pruned = prune_dead_nodes(c, &stats);
+  EXPECT_EQ(stats.pruned_nodes, 2u);  // the dead product and the orphaned y
+  EXPECT_EQ(pruned.num_nodes(), 3u);
+}
+
+TEST(Optimize, PreservesSemanticsOnRandomCircuits) {
+  Rng rng(141);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = test::make_random_circuit(spec, rng);
+    const Circuit opt = optimize(c);
+    EXPECT_LE(opt.num_nodes(), c.num_nodes());
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const double expected = evaluate(c, a);
+      EXPECT_NEAR(evaluate(opt, a), expected, 1e-12 * (1.0 + expected)) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Optimize, PreservesSemanticsOnCompiledNetworks) {
+  Rng net_rng(142);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 7;
+  const bn::BayesianNetwork network = make_random_network(spec, net_rng);
+  const Circuit c = compile::compile_network(network);
+  OptimizeStats stats;
+  const Circuit opt = optimize(c, &stats);
+  Rng rng(143);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = compile::to_assignment(test::random_evidence(network, 0.5, rng));
+    const double expected = evaluate(c, a);
+    EXPECT_NEAR(evaluate(opt, a), expected, 1e-12 * (1.0 + expected));
+  }
+}
+
+TEST(Optimize, ShrinksCircuitsWithDeterministicCpts) {
+  // Strictly positive CPTs leave nothing to fold (every VE-trace operator
+  // touches an indicator), but *deterministic* CPT entries — common in
+  // relational/logical models — inject 0.0 and 1.0 parameters that
+  // annihilate products and vanish from sums.
+  bn::BayesianNetwork network;
+  const int a = network.add_variable("a", 2);
+  const int b = network.add_variable("b", 2);
+  network.set_cpt(a, {}, {0.3, 0.7});
+  network.set_cpt(b, {a}, {1.0, 0.0,    // b is a copy of a
+                           0.0, 1.0});
+  const Circuit c = compile::compile_network(network);
+  OptimizeStats stats;
+  const Circuit opt = optimize(c, &stats);
+  EXPECT_GT(stats.folded_operators + stats.identity_simplified, 0u);
+  EXPECT_LT(opt.stats().num_edges, c.stats().num_edges);
+  // Semantics intact on every query.
+  for (const auto& assignment : test::all_partial_assignments(c.cardinalities())) {
+    EXPECT_NEAR(evaluate(opt, assignment), evaluate(c, assignment), 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace problp::ac

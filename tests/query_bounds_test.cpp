@@ -1,0 +1,173 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "errormodel/query_bounds.hpp"
+#include "helpers.hpp"
+
+namespace problp::errormodel {
+namespace {
+
+using ac::Circuit;
+using lowprec::FixedFormat;
+using lowprec::FloatFormat;
+
+struct CompiledNet {
+  bn::BayesianNetwork network;
+  Circuit binary;
+  CircuitErrorModel model;
+};
+
+CompiledNet compile_random(std::uint64_t seed, int num_vars = 6) {
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = num_vars;
+  spec.max_parents = 2;
+  Rng rng(seed);
+  CompiledNet out{bn::make_random_network(spec, rng), Circuit({1}), {}};
+  out.binary = ac::binarize(compile::compile_network(out.network)).circuit;
+  out.model = CircuitErrorModel::build(out.binary);
+  return out;
+}
+
+TEST(QueryBounds, FixedConditionalRelativeUnsupported) {
+  const CompiledNet net = compile_random(1);
+  const QuerySpec spec{QueryType::kConditional, ToleranceKind::kRelative, 0.01};
+  EXPECT_TRUE(std::isinf(fixed_query_bound(net.binary, net.model, spec, FixedFormat{1, 40})));
+}
+
+TEST(QueryBounds, FixedMarginalAbsoluteIsRootBound) {
+  const CompiledNet net = compile_random(2);
+  const FixedFormat fmt{1, 12};
+  const QuerySpec abs_spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01};
+  const QuerySpec rel_spec{QueryType::kMarginal, ToleranceKind::kRelative, 0.01};
+  const double abs_bound = fixed_query_bound(net.binary, net.model, abs_spec, fmt);
+  const double rel_bound = fixed_query_bound(net.binary, net.model, rel_spec, fmt);
+  EXPECT_GT(abs_bound, 0.0);
+  // Relative = absolute / min-positive root value (eq. 14 denominator).
+  EXPECT_NEAR(rel_bound, abs_bound / net.model.range.root_min, 1e-12 * rel_bound);
+  EXPECT_GT(rel_bound, abs_bound);  // root_min < 1 for any real network
+}
+
+TEST(QueryBounds, FloatMarginalBounds) {
+  const CompiledNet net = compile_random(3);
+  const FloatFormat fmt{11, 13};
+  const QuerySpec abs_spec{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.01};
+  const QuerySpec rel_spec{QueryType::kMarginal, ToleranceKind::kRelative, 0.01};
+  const double rel = float_query_bound(net.model, rel_spec, fmt);
+  const double abs = float_query_bound(net.model, abs_spec, fmt);
+  EXPECT_NEAR(rel, float_relative_bound(net.model.float_counts.root_count, fmt), 1e-15);
+  EXPECT_NEAR(abs, net.model.range.root_max * rel, 1e-15 * abs);
+}
+
+TEST(QueryBounds, FloatConditionalUsesRatioBound) {
+  const CompiledNet net = compile_random(4);
+  const FloatFormat fmt{11, 13};
+  const QuerySpec cond{QueryType::kConditional, ToleranceKind::kRelative, 0.01};
+  const QuerySpec marg{QueryType::kMarginal, ToleranceKind::kRelative, 0.01};
+  // Ratio of two noisy evaluations is worse than one evaluation.
+  EXPECT_GT(float_query_bound(net.model, cond, fmt), float_query_bound(net.model, marg, fmt));
+}
+
+TEST(QueryBounds, BoundsShrinkWithMoreBits) {
+  const CompiledNet net = compile_random(5);
+  const QuerySpec spec{QueryType::kConditional, ToleranceKind::kAbsolute, 0.01};
+  double prev_fx = std::numeric_limits<double>::infinity();
+  double prev_fl = std::numeric_limits<double>::infinity();
+  for (int bits = 6; bits <= 36; bits += 6) {
+    const double fx = fixed_query_bound(net.binary, net.model, spec, FixedFormat{1, bits});
+    const double fl = float_query_bound(net.model, spec, FloatFormat{11, bits});
+    EXPECT_LT(fx, prev_fx);
+    EXPECT_LT(fl, prev_fl);
+    prev_fx = fx;
+    prev_fl = fl;
+  }
+}
+
+// Conditional-bound soundness: observed conditional-probability errors stay
+// within the query bound, exhaustively over small networks.
+class ConditionalSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConditionalSoundness, FixedAbsolute) {
+  const CompiledNet net = compile_random(GetParam(), 5);
+  const FixedFormat fmt{1, 20};
+  const QuerySpec spec{QueryType::kConditional, ToleranceKind::kAbsolute, 0.0};
+  const double bound = fixed_query_bound(net.binary, net.model, spec, fmt);
+  ASSERT_TRUE(std::isfinite(bound));
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 20; ++i) {
+    bn::Evidence e = test::random_evidence(net.network, 0.5, rng);
+    e[0] = std::nullopt;
+    const auto ea = compile::to_assignment(e);
+    const double exact_pe = ac::evaluate(net.binary, ea);
+    if (exact_pe <= 0.0) continue;
+    const auto approx_pe = ac::evaluate_fixed(net.binary, ea, fmt);
+    ASSERT_FALSE(approx_pe.flags.overflow);
+    if (approx_pe.value <= 0.0) continue;
+    for (int q = 0; q < net.network.cardinality(0); ++q) {
+      auto qa = ea;
+      qa[0] = q;
+      const double exact = ac::evaluate(net.binary, qa) / exact_pe;
+      const auto approx_qe = ac::evaluate_fixed(net.binary, qa, fmt);
+      const double approx = approx_qe.value / approx_pe.value;
+      EXPECT_LE(std::abs(approx - exact), bound * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST_P(ConditionalSoundness, FloatRelative) {
+  const CompiledNet net = compile_random(GetParam(), 5);
+  const FloatFormat fmt{13, 12};
+  const QuerySpec spec{QueryType::kConditional, ToleranceKind::kRelative, 0.0};
+  const double bound = float_query_bound(net.model, spec, fmt);
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 20; ++i) {
+    bn::Evidence e = test::random_evidence(net.network, 0.5, rng);
+    e[0] = std::nullopt;
+    const auto ea = compile::to_assignment(e);
+    const double exact_pe = ac::evaluate(net.binary, ea);
+    if (exact_pe <= 0.0) continue;
+    const auto approx_pe = ac::evaluate_float(net.binary, ea, fmt);
+    ASSERT_FALSE(approx_pe.flags.any());
+    for (int q = 0; q < net.network.cardinality(0); ++q) {
+      auto qa = ea;
+      qa[0] = q;
+      const double exact_joint = ac::evaluate(net.binary, qa);
+      if (exact_joint <= 0.0) continue;
+      const double exact = exact_joint / exact_pe;
+      const auto approx_qe = ac::evaluate_float(net.binary, qa, fmt);
+      const double approx = approx_qe.value / approx_pe.value;
+      EXPECT_LE(std::abs(approx - exact) / exact, bound * (1.0 + 1e-9));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditionalSoundness, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(QueryBounds, MpeUsesMaxCircuit) {
+  // MPE bound on the max-circuit is finite and the max-circuit evaluation
+  // respects it.
+  const CompiledNet net = compile_random(6, 5);
+  const Circuit max_binary = ac::binarize(ac::to_max_circuit(net.binary)).circuit;
+  const CircuitErrorModel model = CircuitErrorModel::build(max_binary);
+  const FixedFormat fmt{1, 16};
+  const QuerySpec spec{QueryType::kMpe, ToleranceKind::kAbsolute, 0.0};
+  const double bound = fixed_query_bound(max_binary, model, spec, fmt);
+  ASSERT_TRUE(std::isfinite(bound));
+  Rng rng(61);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = compile::to_assignment(test::random_evidence(net.network, 0.5, rng));
+    const double exact = ac::evaluate(max_binary, a);
+    const auto approx = ac::evaluate_fixed(max_binary, a, fmt);
+    EXPECT_LE(std::abs(approx.value - exact), bound * (1.0 + 1e-9));
+  }
+  // Max nodes round nothing: the MPE bound never exceeds the marginal one.
+  const QuerySpec marg{QueryType::kMarginal, ToleranceKind::kAbsolute, 0.0};
+  EXPECT_LE(bound, fixed_query_bound(net.binary, net.model, marg, fmt) * (1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace problp::errormodel

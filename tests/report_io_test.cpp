@@ -1,0 +1,73 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "problp/report_io.hpp"
+#include "util/strings.hpp"
+
+namespace problp {
+namespace {
+
+std::vector<ReportRow> make_rows() {
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 5;
+  Rng rng(161);
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const Framework framework(compile::compile_network(network));
+
+  std::vector<ReportRow> rows;
+  {
+    ReportRow row;
+    row.benchmark_name = "demo";
+    row.analysis = framework.analyze(
+        {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kAbsolute, 0.01});
+    row.observed_max_error = 1.5e-4;
+    row.netlist_energy_nj = 0.123;
+    rows.push_back(row);
+  }
+  {
+    ReportRow row;
+    row.benchmark_name = "demo";
+    row.analysis = framework.analyze(
+        {errormodel::QueryType::kConditional, errormodel::ToleranceKind::kRelative, 0.01});
+    rows.push_back(row);  // unmeasured: no observed/netlist values
+  }
+  return rows;
+}
+
+TEST(ReportIo, CsvShape) {
+  const std::string csv = to_csv(make_rows());
+  const auto lines = split(trim(csv), '\n');
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 rows
+  EXPECT_TRUE(starts_with(lines[0], "benchmark,query,tolerance_kind"));
+  // Every row has exactly 15 commas (16 columns).
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 15) << lines[i];
+  }
+  EXPECT_NE(csv.find("demo,marginal,absolute,0.01,1,"), std::string::npos);
+  // The conditional+relative row must mark fixed infeasible.
+  EXPECT_NE(csv.find("demo,conditional,relative,0.01,0,"), std::string::npos);
+}
+
+TEST(ReportIo, CsvOmitsUnmeasuredValues) {
+  const std::string csv = to_csv(make_rows());
+  const auto lines = split(trim(csv), '\n');
+  // Second data row carries empty observed/netlist cells (trailing ",,").
+  EXPECT_NE(lines[2].find("float,,"), std::string::npos);
+}
+
+TEST(ReportIo, MarkdownShape) {
+  const std::string md = to_markdown(make_rows());
+  const auto lines = split(trim(md), '\n');
+  ASSERT_EQ(lines.size(), 4u);  // header, rule, 2 rows
+  EXPECT_TRUE(starts_with(lines[0], "| AC |"));
+  EXPECT_TRUE(starts_with(lines[1], "|---"));
+  EXPECT_NE(md.find("**fixed**"), std::string::npos);
+  EXPECT_NE(md.find("**float**"), std::string::npos);
+  EXPECT_NE(md.find("1.5e-04"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace problp

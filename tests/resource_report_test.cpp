@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "ac/transform.hpp"
+#include "helpers.hpp"
+#include "hw/generator.hpp"
+#include "hw/resource_report.hpp"
+
+namespace problp::hw {
+namespace {
+
+using ac::Circuit;
+using ac::NodeId;
+
+TEST(ResourceReport, StageHistogram) {
+  // root = (a*b) + delayed c: stage 1 holds one multiplier and one aligner,
+  // stage 2 the adder.
+  Circuit c(std::vector<int>(3, 2));
+  const NodeId a = c.add_indicator(0, 0);
+  const NodeId b = c.add_indicator(1, 0);
+  const NodeId d = c.add_indicator(2, 0);
+  c.set_root(c.add_sum({c.add_prod({a, b}), d}));
+  const Netlist netlist = generate_netlist(c);
+  const ResourceReport report = analyze_resources(netlist, 8);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].multipliers, 1u);
+  EXPECT_EQ(report.stages[0].alignment_registers, 1u);
+  EXPECT_EQ(report.stages[0].adders, 0u);
+  EXPECT_EQ(report.stages[1].adders, 1u);
+  EXPECT_EQ(report.peak_stage_operators, 1u);
+  // Storage: 2 pipeline regs + 1 aligner, 8 bits each.
+  EXPECT_EQ(report.storage_bits, 3u * 8u);
+  EXPECT_NE(report.to_string().find("stage"), std::string::npos);
+}
+
+TEST(ResourceReport, TotalsMatchNetlistStats) {
+  Rng rng(181);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 35;
+  spec.max_fanin = 5;
+  const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const NetlistStats stats = netlist.stats();
+  const ResourceReport report = analyze_resources(netlist, 16);
+  std::size_t adders = 0;
+  std::size_t muls = 0;
+  std::size_t aligners = 0;
+  for (const StageUsage& usage : report.stages) {
+    adders += usage.adders;
+    muls += usage.multipliers;
+    aligners += usage.alignment_registers;
+  }
+  EXPECT_EQ(adders, stats.adders);
+  EXPECT_EQ(muls, stats.multipliers);
+  EXPECT_EQ(aligners, stats.alignment_registers);
+  EXPECT_EQ(report.storage_bits, stats.total_registers() * 16u);
+  EXPECT_GE(report.peak_stage_operators, 1u);
+  EXPECT_GT(report.mean_stage_operators, 0.0);
+}
+
+TEST(ResourceReport, Validation) {
+  Circuit c({2});
+  c.set_root(c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.5)}));
+  const Netlist netlist = generate_netlist(c);
+  EXPECT_THROW(analyze_resources(netlist, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp::hw

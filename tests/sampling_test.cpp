@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "bn/sampling.hpp"
+#include "bn/variable_elimination.hpp"
+
+namespace problp::bn {
+namespace {
+
+BayesianNetwork make_chain() {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  const int b = network.add_variable("B", 2);
+  network.set_cpt(a, {}, {0.3, 0.7});
+  network.set_cpt(b, {a}, {0.9, 0.1, 0.2, 0.8});
+  return network;
+}
+
+TEST(Sampling, DeterministicPerSeed) {
+  const BayesianNetwork network = make_chain();
+  Rng r1(5);
+  Rng r2(5);
+  const auto d1 = sample_dataset(network, 50, r1);
+  const auto d2 = sample_dataset(network, 50, r2);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Sampling, StatesInRange) {
+  const BayesianNetwork network = make_chain();
+  Rng rng(6);
+  for (const auto& a : sample_dataset(network, 200, rng)) {
+    ASSERT_EQ(a.size(), 2u);
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      EXPECT_GE(a[v], 0);
+      EXPECT_LT(a[v], network.cardinality(static_cast<int>(v)));
+    }
+  }
+}
+
+TEST(Sampling, FrequenciesMatchMarginals) {
+  const BayesianNetwork network = make_chain();
+  const VariableElimination ve(network);
+  Evidence none = network.empty_evidence();
+  Evidence b_obs = network.empty_evidence();
+  b_obs[1] = 0;
+  const double pb = ve.probability_of_evidence(b_obs);  // P(B = 0)
+
+  Rng rng(7);
+  const int n = 50000;
+  int count_a0 = 0;
+  int count_b0 = 0;
+  for (const auto& a : sample_dataset(network, n, rng)) {
+    count_a0 += (a[0] == 0);
+    count_b0 += (a[1] == 0);
+  }
+  EXPECT_NEAR(static_cast<double>(count_a0) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(count_b0) / n, pb, 0.01);
+}
+
+TEST(Sampling, EvidenceFromAssignment) {
+  const BayesianNetwork network = make_chain();
+  const Assignment a = {1, 0};
+  const Evidence e = evidence_from_assignment(network, a, {1});
+  EXPECT_FALSE(e[0].has_value());
+  ASSERT_TRUE(e[1].has_value());
+  EXPECT_EQ(*e[1], 0);
+  EXPECT_THROW(evidence_from_assignment(network, a, {5}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp::bn

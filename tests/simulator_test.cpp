@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "ac/low_precision_eval.hpp"
+#include "ac/transform.hpp"
+#include "helpers.hpp"
+#include "hw/generator.hpp"
+#include "hw/simulator.hpp"
+
+namespace problp::hw {
+namespace {
+
+using ac::Circuit;
+using lowprec::FixedFormat;
+using lowprec::FloatFormat;
+
+// The hardware-correctness theorem: for every input, the cycle-accurate
+// netlist simulation equals the circuit-level low-precision evaluation
+// bit for bit.
+TEST(Simulator, FixedMatchesCircuitEvaluation) {
+  Rng rng(121);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 30;
+  spec.max_fanin = 4;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+    const Netlist netlist = generate_netlist(binary);
+    const FixedFormat fmt{10, 12};
+    FixedNetlistSimulator sim(netlist, fmt);
+    for (const auto& a : test::all_partial_assignments(binary.cardinalities())) {
+      const double hw_value = sim.evaluate(a);
+      const double sw_value = ac::evaluate_fixed(binary, a, fmt).value;
+      EXPECT_EQ(hw_value, sw_value) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Simulator, FloatMatchesCircuitEvaluation) {
+  Rng rng(122);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.num_operators = 30;
+  spec.max_fanin = 4;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+    const Netlist netlist = generate_netlist(binary);
+    const FloatFormat fmt{11, 13};
+    FloatNetlistSimulator sim(netlist, fmt);
+    for (const auto& a : test::all_partial_assignments(binary.cardinalities())) {
+      const double hw_value = sim.evaluate(a);
+      const double sw_value = ac::evaluate_float(binary, a, fmt).value;
+      EXPECT_EQ(hw_value, sw_value) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Simulator, PipelineStreamsOneResultPerCycle) {
+  // Feed N different inputs back-to-back; each result must match its own
+  // input (initiation interval 1), not be polluted by neighbours.
+  Rng rng(123);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 4;
+  spec.num_operators = 35;
+  const Circuit binary = ac::binarize(test::make_random_circuit(spec, rng)).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const FixedFormat fmt{10, 14};
+
+  const auto all = test::all_partial_assignments(binary.cardinalities());
+  std::vector<ac::PartialAssignment> stream;
+  for (std::size_t i = 0; i < all.size() && i < 40; i += 3) stream.push_back(all[i]);
+
+  FixedNetlistSimulator sim(netlist, fmt);
+  const auto results = sim.evaluate_stream(stream);
+  ASSERT_EQ(results.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(results[i], ac::evaluate_fixed(binary, stream[i], fmt).value) << "i=" << i;
+  }
+}
+
+TEST(Simulator, FlagsMirrorCircuitFlags) {
+  // A circuit that overflows I=1 must raise the same flag in hardware.
+  Circuit c({2});
+  const auto t = c.add_parameter(1.9);
+  c.set_root(c.add_prod({t, c.add_parameter(1.8)}));
+  const Netlist netlist = generate_netlist(c);
+  FixedNetlistSimulator sim(netlist, FixedFormat{1, 8});
+  sim.evaluate(ac::PartialAssignment(1));
+  EXPECT_TRUE(sim.flags().overflow);
+  sim.clear_flags();
+  EXPECT_FALSE(sim.flags().any());
+}
+
+TEST(Simulator, EmptyStream) {
+  Circuit c({2});
+  c.set_root(c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.5)}));
+  const Netlist netlist = generate_netlist(c);
+  FixedNetlistSimulator sim(netlist, FixedFormat{1, 8});
+  EXPECT_TRUE(sim.evaluate_stream({}).empty());
+}
+
+TEST(Simulator, ZeroLatencyPassthrough) {
+  // Root is a primary input: latency 0, simulation still works.
+  Circuit c({2});
+  c.set_root(c.add_parameter(0.75));
+  const Netlist netlist = generate_netlist(c);
+  EXPECT_EQ(netlist.latency(), 0);
+  FixedNetlistSimulator sim(netlist, FixedFormat{1, 8});
+  EXPECT_DOUBLE_EQ(sim.evaluate(ac::PartialAssignment(1)), 0.75);
+}
+
+}  // namespace
+}  // namespace problp::hw

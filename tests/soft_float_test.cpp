@@ -1,0 +1,253 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "lowprec/soft_float.hpp"
+#include "util/rng.hpp"
+
+namespace problp::lowprec {
+namespace {
+
+TEST(FloatFormat, Accessors) {
+  const FloatFormat fmt{8, 23};  // IEEE-single sized
+  EXPECT_EQ(fmt.bias(), 127);
+  EXPECT_EQ(fmt.min_exponent(), -126);
+  EXPECT_EQ(fmt.max_exponent(), 128);  // no encodings reserved for inf/NaN
+  EXPECT_DOUBLE_EQ(fmt.epsilon(), std::ldexp(1.0, -24));
+  EXPECT_DOUBLE_EQ(fmt.min_normal(), std::ldexp(1.0, -126));
+}
+
+TEST(FloatFormat, Validation) {
+  EXPECT_NO_THROW((FloatFormat{2, 1}.validate()));
+  EXPECT_NO_THROW((FloatFormat{28, 60}.validate()));
+  EXPECT_THROW((FloatFormat{1, 8}.validate()), InvalidArgument);
+  EXPECT_THROW((FloatFormat{8, 0}.validate()), InvalidArgument);
+  EXPECT_THROW((FloatFormat{8, 61}.validate()), InvalidArgument);
+}
+
+TEST(SoftFloat, ZeroAndOneExact) {
+  for (int m : {1, 8, 23, 52}) {
+    const FloatFormat fmt{8, m};
+    ArithFlags flags;
+    EXPECT_DOUBLE_EQ(SoftFloat::from_double(0.0, fmt, flags).to_double(), 0.0);
+    EXPECT_DOUBLE_EQ(SoftFloat::from_double(1.0, fmt, flags).to_double(), 1.0);
+    EXPECT_FALSE(flags.any());
+  }
+}
+
+TEST(SoftFloat, ConversionRelativeErrorWithinEpsilon) {
+  // Eq. 6: |Δa / a| <= 2^-(M+1).
+  Rng rng(21);
+  for (int m : {2, 5, 10, 20, 40}) {
+    const FloatFormat fmt{11, m};
+    for (int i = 0; i < 500; ++i) {
+      const double v = std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-40, 40));
+      ArithFlags flags;
+      const SoftFloat x = SoftFloat::from_double(v, fmt, flags);
+      ASSERT_FALSE(flags.any());
+      EXPECT_LE(std::abs(x.to_double() - v) / v, fmt.epsilon()) << "M=" << m << " v=" << v;
+    }
+  }
+}
+
+TEST(SoftFloat, ConversionExactWhenRepresentable) {
+  const FloatFormat fmt{8, 23};
+  Rng rng(22);
+  for (int i = 0; i < 500; ++i) {
+    const float f = static_cast<float>(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-30, 30)));
+    ArithFlags flags;
+    const SoftFloat x = SoftFloat::from_double(static_cast<double>(f), fmt, flags);
+    EXPECT_EQ(x.to_double(), static_cast<double>(f));
+  }
+}
+
+TEST(SoftFloat, MulMatchesNativeSinglePrecision) {
+  // Our E=8,M=23 format rounds exactly like IEEE binary32 for in-range
+  // positive operands, so fl_mul must agree bit-for-bit with float*float.
+  const FloatFormat fmt{8, 23};
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-20, 20)));
+    const float b = static_cast<float>(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-20, 20)));
+    ArithFlags flags;
+    const SoftFloat sa = SoftFloat::from_double(a, fmt, flags);
+    const SoftFloat sb = SoftFloat::from_double(b, fmt, flags);
+    const SoftFloat p = fl_mul(sa, sb, flags);
+    ASSERT_FALSE(flags.any());
+    EXPECT_EQ(p.to_double(), static_cast<double>(a * b)) << a << " * " << b;
+  }
+}
+
+TEST(SoftFloat, AddMatchesNativeSinglePrecision) {
+  const FloatFormat fmt{8, 23};
+  Rng rng(24);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-20, 20)));
+    const float b = static_cast<float>(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-20, 20)));
+    ArithFlags flags;
+    const SoftFloat sa = SoftFloat::from_double(a, fmt, flags);
+    const SoftFloat sb = SoftFloat::from_double(b, fmt, flags);
+    const SoftFloat s = fl_add(sa, sb, flags);
+    ASSERT_FALSE(flags.any());
+    EXPECT_EQ(s.to_double(), static_cast<double>(a + b)) << a << " + " << b;
+  }
+}
+
+TEST(SoftFloat, MulMatchesNativeDoubleAtM52) {
+  const FloatFormat fmt{11, 52};
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-100, 100));
+    const double b = std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-100, 100));
+    ArithFlags flags;
+    const SoftFloat p =
+        fl_mul(SoftFloat::from_double(a, fmt, flags), SoftFloat::from_double(b, fmt, flags), flags);
+    ASSERT_FALSE(flags.any());
+    EXPECT_EQ(p.to_double(), a * b);
+  }
+}
+
+TEST(SoftFloat, AddMatchesNativeDoubleAtM52) {
+  const FloatFormat fmt{11, 52};
+  Rng rng(26);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-60, 60));
+    const double b = std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-60, 60));
+    ArithFlags flags;
+    const SoftFloat s =
+        fl_add(SoftFloat::from_double(a, fmt, flags), SoftFloat::from_double(b, fmt, flags), flags);
+    ASSERT_FALSE(flags.any());
+    EXPECT_EQ(s.to_double(), a + b);
+  }
+}
+
+TEST(SoftFloat, AddWithZero) {
+  const FloatFormat fmt{8, 10};
+  ArithFlags flags;
+  const SoftFloat z(fmt);
+  const SoftFloat x = SoftFloat::from_double(0.375, fmt, flags);
+  EXPECT_EQ(fl_add(z, x, flags), x);
+  EXPECT_EQ(fl_add(x, z, flags), x);
+  EXPECT_TRUE(fl_mul(x, z, flags).is_zero());
+}
+
+TEST(SoftFloat, AddFarApartOperandsRoundsCorrectly) {
+  // b far below a's ulp: sum rounds back to a (sticky handling).
+  const FloatFormat fmt{11, 10};
+  ArithFlags flags;
+  const SoftFloat a = SoftFloat::from_double(1.0, fmt, flags);
+  const SoftFloat b = SoftFloat::from_double(std::ldexp(1.0, -40), fmt, flags);
+  EXPECT_EQ(fl_add(a, b, flags), a);
+  // Exactly half an ulp above a: tie breaks to even -> stays at a.
+  const SoftFloat half_ulp = SoftFloat::from_double(std::ldexp(1.0, -11), fmt, flags);
+  EXPECT_DOUBLE_EQ(fl_add(a, half_ulp, flags).to_double(), 1.0);
+  // Slightly more than half an ulp: rounds up.
+  const SoftFloat more =
+      SoftFloat::from_double(std::ldexp(1.0, -11) + std::ldexp(1.0, -14), fmt, flags);
+  EXPECT_GT(fl_add(a, more, flags).to_double(), 1.0);
+}
+
+TEST(SoftFloat, OverflowSaturatesAndFlags) {
+  const FloatFormat fmt{4, 4};  // emax = 8, max = (2 - 2^-4) * 256 = 496
+  ArithFlags flags;
+  const SoftFloat big = SoftFloat::from_double(400.0, fmt, flags);
+  ASSERT_FALSE(flags.any());
+  const SoftFloat p = fl_mul(big, big, flags);
+  EXPECT_TRUE(flags.overflow);
+  EXPECT_DOUBLE_EQ(p.to_double(), fmt.max_value());
+}
+
+TEST(SoftFloat, UnderflowFlushesToZeroAndFlags) {
+  const FloatFormat fmt{4, 4};  // emin = -6, min normal = 2^-6
+  ArithFlags flags;
+  const SoftFloat small = SoftFloat::from_double(std::ldexp(1.0, -5), fmt, flags);
+  ASSERT_FALSE(flags.any());
+  const SoftFloat p = fl_mul(small, small, flags);
+  EXPECT_TRUE(flags.underflow);
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(SoftFloat, ConversionUnderOverflow) {
+  const FloatFormat fmt{4, 4};
+  {
+    ArithFlags flags;
+    SoftFloat::from_double(1e9, fmt, flags);
+    EXPECT_TRUE(flags.overflow);
+  }
+  {
+    ArithFlags flags;
+    const SoftFloat x = SoftFloat::from_double(1e-9, fmt, flags);
+    EXPECT_TRUE(flags.underflow);
+    EXPECT_TRUE(x.is_zero());
+  }
+}
+
+TEST(SoftFloat, InvalidInputsFlagged) {
+  const FloatFormat fmt{8, 8};
+  ArithFlags flags;
+  SoftFloat::from_double(-1.0, fmt, flags);
+  EXPECT_TRUE(flags.invalid_input);
+  flags = {};
+  SoftFloat::from_double(std::numeric_limits<double>::quiet_NaN(), fmt, flags);
+  EXPECT_TRUE(flags.invalid_input);
+}
+
+TEST(SoftFloat, CompareAndMinMax) {
+  const FloatFormat fmt{8, 8};
+  ArithFlags flags;
+  const SoftFloat z(fmt);
+  const SoftFloat a = SoftFloat::from_double(0.5, fmt, flags);
+  const SoftFloat b = SoftFloat::from_double(0.501953125, fmt, flags);  // one ulp up at M=8
+  EXPECT_TRUE(fl_less(z, a));
+  EXPECT_FALSE(fl_less(a, z));
+  EXPECT_TRUE(fl_less(a, b));
+  EXPECT_EQ(fl_min(a, b), a);
+  EXPECT_EQ(fl_max(a, b), b);
+  EXPECT_EQ(fl_max(z, a), a);
+}
+
+TEST(SoftFloat, TruncationModeRoundsTowardZero) {
+  const FloatFormat fmt{8, 4};
+  ArithFlags flags;
+  Rng rng(27);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.5, 1.0);
+    const double b = rng.uniform(0.5, 1.0);
+    const SoftFloat sa = SoftFloat::from_double(a, fmt, flags, RoundingMode::kTruncate);
+    const SoftFloat sb = SoftFloat::from_double(b, fmt, flags, RoundingMode::kTruncate);
+    const SoftFloat p = fl_mul(sa, sb, flags, RoundingMode::kTruncate);
+    EXPECT_LE(p.to_double(), sa.to_double() * sb.to_double());
+    // Truncation loses at most one ulp relative to the exact product.
+    EXPECT_GT(p.to_double(), sa.to_double() * sb.to_double() * (1.0 - 2.0 * fmt.epsilon()));
+  }
+}
+
+// Per-op relative error property across mantissa widths (eqs. 9, 11).
+class FloatFormatSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatFormatSweep, SingleOpRelativeError) {
+  const int m = GetParam();
+  const FloatFormat fmt{11, m};
+  Rng rng(200 + m);
+  for (int i = 0; i < 300; ++i) {
+    ArithFlags flags;
+    const SoftFloat a =
+        SoftFloat::from_double(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-8, 8)), fmt, flags);
+    const SoftFloat b =
+        SoftFloat::from_double(std::ldexp(rng.uniform(0.5, 1.0), rng.uniform_int(-8, 8)), fmt, flags);
+    const double ea = a.to_double();
+    const double eb = b.to_double();
+    const SoftFloat s = fl_add(a, b, flags);
+    const SoftFloat p = fl_mul(a, b, flags);
+    ASSERT_FALSE(flags.any());
+    EXPECT_LE(std::abs(s.to_double() - (ea + eb)) / (ea + eb), fmt.epsilon());
+    EXPECT_LE(std::abs(p.to_double() - ea * eb) / (ea * eb), fmt.epsilon());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mantissas, FloatFormatSweep,
+                         ::testing::Values(2, 4, 8, 13, 16, 23, 32, 40, 52));
+
+}  // namespace
+}  // namespace problp::lowprec

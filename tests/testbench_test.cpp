@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ac/transform.hpp"
+#include "helpers.hpp"
+#include "hw/generator.hpp"
+#include "hw/testbench.hpp"
+
+namespace problp::hw {
+namespace {
+
+using ac::Circuit;
+using ac::NodeId;
+
+Circuit make_small_circuit() {
+  Circuit c({2, 2});
+  const NodeId p = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.5)});
+  const NodeId q = c.add_prod({c.add_indicator(1, 1), c.add_parameter(0.25)});
+  c.set_root(c.add_sum({p, q}));
+  return c;
+}
+
+std::vector<ac::PartialAssignment> make_vectors() {
+  std::vector<ac::PartialAssignment> out;
+  ac::PartialAssignment a(2);
+  out.push_back(a);  // all unobserved
+  a[0] = 0;
+  out.push_back(a);
+  a[1] = 0;
+  out.push_back(a);
+  a[0] = 1;
+  a[1] = 1;
+  out.push_back(a);
+  return out;
+}
+
+TEST(Testbench, FixedEmissionStructure) {
+  const Circuit binary = ac::binarize(make_small_circuit()).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const std::string tb =
+      emit_fixed_testbench(netlist, lowprec::FixedFormat{1, 7}, make_vectors());
+  EXPECT_NE(tb.find("module problp_ac_tb"), std::string::npos);
+  EXPECT_NE(tb.find("problp_ac_top dut("), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  EXPECT_NE(tb.find("golden[3]"), std::string::npos);  // all four vectors present
+  EXPECT_EQ(tb.find("golden[4]"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+  // Self-checking: compares against golden with !==.
+  EXPECT_NE(tb.find("!=="), std::string::npos);
+}
+
+TEST(Testbench, FixedGoldenWordsMatchSimulator) {
+  // The golden constant for the all-ones vector: root value = 0.75, which
+  // at F=7 is raw 96 = 8'h60.
+  const Circuit binary = ac::binarize(make_small_circuit()).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const std::string tb =
+      emit_fixed_testbench(netlist, lowprec::FixedFormat{1, 7}, make_vectors());
+  EXPECT_NE(tb.find("golden[0] = 8'h60"), std::string::npos);
+}
+
+TEST(Testbench, FloatGoldenWordsEncodeZero) {
+  // Vector (0 -> state 1, 1 -> state 0): both products die; golden must be
+  // the all-zero float encoding.
+  const Circuit binary = ac::binarize(make_small_circuit()).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  ac::PartialAssignment kill(2);
+  kill[0] = 1;
+  kill[1] = 0;
+  const std::string tb = emit_float_testbench(netlist, lowprec::FloatFormat{6, 9}, {kill});
+  EXPECT_NE(tb.find("golden[0] = 15'h0000"), std::string::npos);
+}
+
+TEST(Testbench, LatencyAppearsInDrainLoop) {
+  const Circuit binary = ac::binarize(make_small_circuit()).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  const std::string tb =
+      emit_fixed_testbench(netlist, lowprec::FixedFormat{1, 7}, make_vectors());
+  // 4 vectors + latency 2 -> loop bound 6.
+  EXPECT_NE(tb.find("t < 6"), std::string::npos);
+}
+
+TEST(Testbench, RejectsEmptyVectors) {
+  const Circuit binary = ac::binarize(make_small_circuit()).circuit;
+  const Netlist netlist = generate_netlist(binary);
+  EXPECT_THROW(emit_fixed_testbench(netlist, lowprec::FixedFormat{1, 7}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp::hw

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "ac/analysis.hpp"
+#include "ac/evaluator.hpp"
+#include "ac/transform.hpp"
+#include "helpers.hpp"
+
+namespace problp::ac {
+namespace {
+
+TEST(Binarize, ProducesBinaryCircuit) {
+  Rng rng(71);
+  test::RandomCircuitSpec spec;
+  spec.max_fanin = 6;
+  spec.num_operators = 30;
+  const Circuit c = test::make_random_circuit(spec, rng);
+  for (auto style : {DecompositionStyle::kBalanced, DecompositionStyle::kChain}) {
+    const BinarizeResult r = binarize(c, style);
+    EXPECT_TRUE(r.circuit.is_binary());
+    EXPECT_EQ(r.node_map.size(), c.num_nodes());
+  }
+}
+
+TEST(Binarize, PreservesSemantics) {
+  Rng rng(72);
+  test::RandomCircuitSpec spec;
+  spec.num_variables = 3;
+  spec.max_fanin = 5;
+  spec.num_operators = 25;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = test::make_random_circuit(spec, rng);
+    const Circuit balanced = binarize(c, DecompositionStyle::kBalanced).circuit;
+    const Circuit chain = binarize(c, DecompositionStyle::kChain).circuit;
+    for (const auto& a : test::all_partial_assignments(c.cardinalities())) {
+      const double expected = evaluate(c, a);
+      EXPECT_NEAR(evaluate(balanced, a), expected, 1e-12 * (1.0 + expected));
+      EXPECT_NEAR(evaluate(chain, a), expected, 1e-12 * (1.0 + expected));
+    }
+  }
+}
+
+TEST(Binarize, BalancedShallowerThanChain) {
+  // A single 8-ary sum: balanced depth 3, chain depth 7.
+  Circuit c(std::vector<int>(8, 2));
+  std::vector<NodeId> kids;
+  for (int v = 0; v < 8; ++v) kids.push_back(c.add_indicator(v, 0));
+  c.set_root(c.add_sum(kids));
+  const Circuit balanced = binarize(c, DecompositionStyle::kBalanced).circuit;
+  const Circuit chain = binarize(c, DecompositionStyle::kChain).circuit;
+  EXPECT_EQ(balanced.stats().depth, 3);
+  EXPECT_EQ(chain.stats().depth, 7);
+  // Same operator count either way: fanin-1 two-input operators.
+  EXPECT_EQ(balanced.stats().num_sums, 7u);
+  EXPECT_EQ(chain.stats().num_sums, 7u);
+}
+
+TEST(Binarize, FixedPointOfBinaryCircuit) {
+  // Binarizing an already-binary circuit changes nothing structural.
+  Circuit c({2});
+  const NodeId x = c.add_indicator(0, 0);
+  const NodeId t = c.add_parameter(0.5);
+  c.set_root(c.add_prod({x, t}));
+  const Circuit again = binarize(c).circuit;
+  EXPECT_EQ(again.num_nodes(), c.num_nodes());
+  EXPECT_EQ(again.stats().depth, c.stats().depth);
+}
+
+TEST(ToMaxCircuit, ReplacesSumsWithMaxes) {
+  Circuit c({2});
+  const NodeId p0 = c.add_prod({c.add_indicator(0, 0), c.add_parameter(0.3)});
+  const NodeId p1 = c.add_prod({c.add_indicator(0, 1), c.add_parameter(0.7)});
+  c.set_root(c.add_sum({p0, p1}));
+  const Circuit m = to_max_circuit(c);
+  const CircuitStats s = m.stats();
+  EXPECT_EQ(s.num_sums, 0u);
+  EXPECT_EQ(s.num_maxes, 1u);
+  // Max-evaluation with all indicators one = the largest single term.
+  EXPECT_DOUBLE_EQ(evaluate(m, all_indicators_one(m)), 0.7);
+}
+
+TEST(ToMaxCircuit, MpeOfNetworkPolynomial) {
+  // Coin-pair polynomial: MPE value = max joint probability.
+  Circuit c({2, 2});
+  std::vector<NodeId> terms;
+  const double p[2][2] = {{0.42, 0.18}, {0.28, 0.12}};  // independent 0.7/0.3 x 0.6/0.4
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      terms.push_back(c.add_prod(
+          {c.add_indicator(0, i), c.add_indicator(1, j), c.add_parameter(p[i][j])}));
+    }
+  }
+  c.set_root(c.add_sum(terms));
+  const Circuit m = to_max_circuit(c);
+  EXPECT_DOUBLE_EQ(evaluate(m, all_indicators_one(m)), 0.42);
+  PartialAssignment a(2);
+  a[0] = 1;  // condition on first coin = tails
+  EXPECT_DOUBLE_EQ(evaluate(m, a), 0.28);
+}
+
+}  // namespace
+}  // namespace problp::ac

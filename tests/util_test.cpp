@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/int_math.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace problp {
+namespace {
+
+TEST(IntMath, MsbIndex) {
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(3), 1);
+  EXPECT_EQ(msb_index(u128_pow2(100)), 100);
+  EXPECT_EQ(msb_index(u128_pow2(100) + 5), 100);
+}
+
+TEST(IntMath, BitWidth) {
+  EXPECT_EQ(bit_width_u128(0), 0);
+  EXPECT_EQ(bit_width_u128(1), 1);
+  EXPECT_EQ(bit_width_u128(255), 8);
+  EXPECT_EQ(bit_width_u128(256), 9);
+}
+
+TEST(IntMath, FloorCeilLog2U64) {
+  EXPECT_EQ(floor_log2_u64(1), 0);
+  EXPECT_EQ(floor_log2_u64(7), 2);
+  EXPECT_EQ(floor_log2_u64(8), 3);
+  EXPECT_EQ(ceil_log2_u64(1), 0);
+  EXPECT_EQ(ceil_log2_u64(7), 3);
+  EXPECT_EQ(ceil_log2_u64(8), 3);
+  EXPECT_EQ(ceil_log2_u64(9), 4);
+}
+
+TEST(IntMath, FloorCeilLog2Double) {
+  EXPECT_EQ(floor_log2_double(1.0), 0);
+  EXPECT_EQ(floor_log2_double(0.5), -1);
+  EXPECT_EQ(floor_log2_double(0.75), -1);
+  EXPECT_EQ(floor_log2_double(3.0), 1);
+  EXPECT_EQ(ceil_log2_double(1.0), 0);
+  EXPECT_EQ(ceil_log2_double(1.5), 1);
+  EXPECT_EQ(ceil_log2_double(0.25), -2);
+  EXPECT_EQ(ceil_log2_double(0.3), -1);
+  EXPECT_THROW(floor_log2_double(0.0), InvalidArgument);
+  EXPECT_THROW(floor_log2_double(-1.0), InvalidArgument);
+}
+
+TEST(IntMath, Pow2) {
+  EXPECT_DOUBLE_EQ(pow2(0), 1.0);
+  EXPECT_DOUBLE_EQ(pow2(10), 1024.0);
+  EXPECT_DOUBLE_EQ(pow2(-1), 0.5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, CategoricalRespectsZeros) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng(123);
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[static_cast<std::size_t>(rng.categorical({1.0, 3.0}))];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), InvalidArgument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), InvalidArgument);
+}
+
+TEST(Rng, DirichletOnSimplex) {
+  Rng rng(5);
+  for (double alpha : {0.3, 1.0, 5.0}) {
+    const auto v = rng.dirichlet(4, alpha);
+    ASSERT_EQ(v.size(), 4u);
+    double sum = 0.0;
+    for (double x : v) {
+      EXPECT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Strings, TrimSplit) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, StartsWithToLower) {
+  EXPECT_TRUE(starts_with("probability", "prob"));
+  EXPECT_FALSE(starts_with("pro", "prob"));
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str_format("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(sci(5.9e-4, 1), "5.9e-04");
+}
+
+TEST(Strings, VerilogIdent) {
+  EXPECT_EQ(verilog_ident("lambda v0.s1"), "lambda_v0_s1");
+  EXPECT_EQ(verilog_ident("9abc"), "n9abc");
+  EXPECT_EQ(verilog_ident(""), "n");
+}
+
+TEST(Table, Renders) {
+  TextTable t({"a", "bbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a    bbb"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace problp

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "bn/random_network.hpp"
+#include "bn/variable_elimination.hpp"
+#include "helpers.hpp"
+
+namespace problp::bn {
+namespace {
+
+BayesianNetwork make_sprinkler() {
+  // Classic rain/sprinkler/grass network with known posteriors.
+  BayesianNetwork network;
+  const int rain = network.add_variable("rain", 2);          // 0 = yes, 1 = no
+  const int sprinkler = network.add_variable("sprinkler", 2);
+  const int grass = network.add_variable("grass_wet", 2);
+  network.set_cpt(rain, {}, {0.2, 0.8});
+  network.set_cpt(sprinkler, {rain}, {0.01, 0.99, 0.4, 0.6});
+  // P(grass | sprinkler, rain): rows (s, r) in row-major, r fastest.
+  network.set_cpt(grass, {sprinkler, rain},
+                  {0.99, 0.01, 0.9, 0.1, 0.8, 0.2, 0.0, 1.0});
+  return network;
+}
+
+TEST(VariableElimination, EvidenceProbabilityMatchesBruteForce) {
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    const Evidence e = test::random_evidence(network, 0.5, rng);
+    EXPECT_NEAR(ve.probability_of_evidence(e), test::brute_force_probability(network, e), 1e-12);
+  }
+}
+
+TEST(VariableElimination, NoEvidenceSumsToOne) {
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  EXPECT_NEAR(ve.probability_of_evidence(network.empty_evidence()), 1.0, 1e-12);
+}
+
+TEST(VariableElimination, SprinklerPosterior) {
+  // Wikipedia's worked example: P(rain | grass wet) ~= 0.3577.
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  Evidence e = network.empty_evidence();
+  e[2] = 0;  // grass wet
+  EXPECT_NEAR(ve.conditional(0, 0, e), 0.3577, 5e-4);
+}
+
+TEST(VariableElimination, PosteriorNormalises) {
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  Evidence e = network.empty_evidence();
+  e[2] = 1;
+  const auto post = ve.posterior(0, e);
+  EXPECT_NEAR(post[0] + post[1], 1.0, 1e-12);
+}
+
+TEST(VariableElimination, MpeMatchesBruteForce) {
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  Rng rng(32);
+  for (int i = 0; i < 30; ++i) {
+    const Evidence e = test::random_evidence(network, 0.4, rng);
+    EXPECT_NEAR(ve.mpe_value(e), test::brute_force_mpe(network, e), 1e-12);
+  }
+}
+
+TEST(VariableElimination, RandomNetworksMatchBruteForce) {
+  Rng rng(33);
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    RandomNetworkSpec spec;
+    spec.num_variables = 7;
+    spec.max_parents = 3;
+    Rng net_rng(seed);
+    const BayesianNetwork network = make_random_network(spec, net_rng);
+    const VariableElimination ve(network);
+    for (int i = 0; i < 10; ++i) {
+      const Evidence e = test::random_evidence(network, 0.4, rng);
+      EXPECT_NEAR(ve.probability_of_evidence(e), test::brute_force_probability(network, e), 1e-10)
+          << "seed=" << seed;
+      EXPECT_NEAR(ve.mpe_value(e), test::brute_force_mpe(network, e), 1e-10) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(VariableElimination, HeuristicsAgree) {
+  Rng net_rng(9);
+  RandomNetworkSpec spec;
+  spec.num_variables = 9;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  const VariableElimination mf(network, EliminationHeuristic::kMinFill);
+  const VariableElimination md(network, EliminationHeuristic::kMinDegree);
+  const VariableElimination topo(network, EliminationHeuristic::kTopological);
+  Rng rng(34);
+  for (int i = 0; i < 20; ++i) {
+    const Evidence e = test::random_evidence(network, 0.5, rng);
+    const double p = mf.probability_of_evidence(e);
+    EXPECT_NEAR(md.probability_of_evidence(e), p, 1e-10);
+    EXPECT_NEAR(topo.probability_of_evidence(e), p, 1e-10);
+  }
+}
+
+TEST(VariableElimination, ConditionalRequiresPositiveEvidence) {
+  BayesianNetwork network;
+  const int a = network.add_variable("A", 2);
+  const int b = network.add_variable("B", 2);
+  network.set_cpt(a, {}, {1.0, 0.0});
+  network.set_cpt(b, {a}, {1.0, 0.0, 0.0, 1.0});
+  const VariableElimination ve(network);
+  Evidence e = network.empty_evidence();
+  e[1] = 1;  // B = b2 impossible given A = a1 a.s.
+  EXPECT_THROW(ve.conditional(0, 0, e), InvalidArgument);
+}
+
+TEST(VariableElimination, JointMarginalRejectsObservedQuery) {
+  const BayesianNetwork network = make_sprinkler();
+  const VariableElimination ve(network);
+  Evidence e = network.empty_evidence();
+  e[0] = 0;
+  EXPECT_THROW(ve.joint_marginal(0, 1, e), InvalidArgument);
+}
+
+TEST(EliminationOrder, CoversAllVariables) {
+  Rng net_rng(10);
+  RandomNetworkSpec spec;
+  spec.num_variables = 12;
+  const BayesianNetwork network = make_random_network(spec, net_rng);
+  for (auto h : {EliminationHeuristic::kMinFill, EliminationHeuristic::kMinDegree,
+                 EliminationHeuristic::kTopological}) {
+    auto order = elimination_order(network, h);
+    std::sort(order.begin(), order.end());
+    for (int v = 0; v < 12; ++v) EXPECT_EQ(order[static_cast<std::size_t>(v)], v);
+  }
+}
+
+}  // namespace
+}  // namespace problp::bn
