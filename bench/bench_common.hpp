@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "ac/batch_eval.hpp"
 #include "ac/low_precision_eval.hpp"
+#include "ac/tape.hpp"
 #include "compile/ve_compiler.hpp"
 #include "datasets/benchmark_suite.hpp"
 #include "problp/framework.hpp"
@@ -14,6 +16,14 @@
 #include "util/table.hpp"
 
 namespace problp::bench {
+
+/// Exact root value per assignment in one batched tape sweep — the
+/// ground-truth side of every observed-error experiment.
+inline std::vector<double> exact_roots(const ac::CircuitTape& tape,
+                                       const std::vector<ac::PartialAssignment>& assignments) {
+  ac::BatchEvaluator batch(tape);
+  return batch.evaluate(assignments);
+}
 
 inline std::vector<ac::PartialAssignment> to_assignments(
     const std::vector<bn::Evidence>& evidence, std::size_t limit = SIZE_MAX) {

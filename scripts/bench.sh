@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds Release, runs the evaluation-throughput bench, and appends its JSON
+# lines to BENCH_eval.json so the perf trajectory is tracked across PRs.
+#
+# Usage: scripts/bench.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target bench_eval_throughput
+
+out="$repo_root/BENCH_eval.json"
+# The bench prints one JSON object per circuit on stdout; keep only those.
+"$build_dir/bench/bench_eval_throughput" | grep '^{' | while IFS= read -r line; do
+  printf '%s\n' "$line" >> "$out"
+done
+
+echo "appended results to $out:"
+tail -n 2 "$out"

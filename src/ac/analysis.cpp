@@ -11,50 +11,12 @@ std::vector<double> max_value_analysis(const Circuit& circuit) {
 }
 
 std::vector<double> min_value_analysis(const Circuit& circuit) {
-  std::vector<double> mins;
-  mins.reserve(circuit.num_nodes());
-  for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
-    const Node& n = circuit.node(static_cast<NodeId>(i));
-    switch (n.kind) {
-      case NodeKind::kIndicator:
-        mins.push_back(1.0);  // the positive value an indicator can take
-        break;
-      case NodeKind::kParameter:
-        mins.push_back(n.value);
-        break;
-      case NodeKind::kProd: {
-        double v = 1.0;
-        for (NodeId c : n.children) v *= mins[static_cast<std::size_t>(c)];
-        mins.push_back(v);
-        break;
-      }
-      case NodeKind::kSum: {
-        // Smallest positive outcome: exactly one (the smallest positive)
-        // term survives.  Zero children cannot contribute a positive value.
-        double v = 0.0;
-        for (NodeId c : n.children) {
-          const double m = mins[static_cast<std::size_t>(c)];
-          if (m > 0.0 && (v == 0.0 || m < v)) v = m;
-        }
-        mins.push_back(v);
-        break;
-      }
-      case NodeKind::kMax: {
-        // Same rule as sum: when the max is positive, some child is
-        // positive and at least its own minimum, so min over positive
-        // child minima is a sound lower bound.  (Taking the max of minima
-        // would be wrong: an indicator can zero the larger branch.)
-        double v = 0.0;
-        for (NodeId c : n.children) {
-          const double m = mins[static_cast<std::size_t>(c)];
-          if (m > 0.0 && (v == 0.0 || m < v)) v = m;
-        }
-        mins.push_back(v);
-        break;
-      }
-    }
-  }
-  return mins;
+  // Smallest positive outcome of a sum: exactly one (the smallest positive)
+  // term survives; zero children cannot contribute.  MAX uses the same rule:
+  // when the max is positive, some child is positive and at least its own
+  // minimum (taking the max of minima would be wrong — an indicator can
+  // zero the larger branch).  Both rules are MinValueOps folds.
+  return evaluate_all(circuit, all_indicators_one(circuit), MinValueOps{});
 }
 
 RangeAnalysis analyze_range(const Circuit& circuit) {

@@ -29,6 +29,24 @@
 
 namespace problp::ac {
 
+/// The min analysis as an Ops instance: adders (and MAX nodes) fold with
+/// "smallest positive child, else 0", multipliers stay exact.  Running the
+/// standard forward sweep (interpreter or tape) with all indicators at 1 and
+/// these Ops reproduces min_value_analysis node for node — which is what
+/// lets the range analyses run on a CircuitTape unchanged.
+struct MinValueOps {
+  double from_parameter(double v) const { return v; }
+  double from_indicator(bool one) const { return one ? 1.0 : 0.0; }
+  double add(double a, double b) const { return min_positive(a, b); }
+  double mul(double a, double b) const { return a * b; }
+  double max(double a, double b) const { return min_positive(a, b); }
+
+  static double min_positive(double a, double b) {
+    if (a > 0.0 && b > 0.0) return a < b ? a : b;
+    return a > 0.0 ? a : b;
+  }
+};
+
 struct RangeAnalysis {
   std::vector<double> max_value;  ///< per node: largest attainable value
   std::vector<double> min_value;  ///< per node: smallest positive attainable value

@@ -1,0 +1,120 @@
+#include "ac/batch_eval.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace problp::ac {
+
+BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
+    : tape_(&tape), options_(options) {
+  require(options_.block >= 1, "BatchEvaluator: block must be >= 1");
+  require(options_.num_threads >= 0, "BatchEvaluator: num_threads must be >= 0");
+  if (options_.num_threads == 0) {
+    options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
+}
+
+const std::vector<double>& BatchEvaluator::evaluate(
+    const std::vector<PartialAssignment>& batch) {
+  return evaluate(batch.data(), batch.size());
+}
+
+const std::vector<double>& BatchEvaluator::evaluate(const PartialAssignment* batch,
+                                                    std::size_t count) {
+  roots_.resize(count);
+  const std::size_t threads =
+      std::min<std::size_t>(static_cast<std::size_t>(options_.num_threads),
+                            std::max<std::size_t>(count / options_.block, 1));
+  if (threads <= 1) {
+    evaluate_range(batch, 0, count, workspaces_[0]);
+    return roots_;
+  }
+  // Contiguous chunks, block-aligned so no block straddles two workers.
+  const std::size_t num_blocks = (count + options_.block - 1) / options_.block;
+  const std::size_t blocks_per_thread = (num_blocks + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min(count, t * blocks_per_thread * options_.block);
+    const std::size_t end = std::min(count, (t + 1) * blocks_per_thread * options_.block);
+    if (begin >= end) break;
+    pool.emplace_back([this, batch, begin, end, t] {
+      evaluate_range(batch, begin, end, workspaces_[t]);
+    });
+  }
+  for (auto& th : pool) th.join();
+  return roots_;
+}
+
+void BatchEvaluator::evaluate_range(const PartialAssignment* batch, std::size_t begin,
+                                    std::size_t end, Workspace& ws) {
+  const CircuitTape& tape = *tape_;
+  const std::size_t n = tape.num_nodes();
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& base = tape.base_values();
+
+  for (std::size_t b0 = begin; b0 < end; b0 += options_.block) {
+    const std::size_t w = std::min(options_.block, end - b0);
+    ws.buffer.resize(n * w);
+    double* buf = ws.buffer.data();
+
+    // Leaf rows from the base pattern (parameters at θ, indicators at 1);
+    // operator rows are overwritten by the sweep and need no initialisation.
+    for (const NodeId id : tape.param_ids()) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      std::fill(buf + i * w, buf + i * w + w, base[i]);
+    }
+    for (const NodeId id : tape.indicator_ids()) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      std::fill(buf + i * w, buf + i * w + w, 1.0);
+    }
+    for (std::size_t j = 0; j < w; ++j) {
+      tape.resolve_observed(batch[b0 + j], ws.observed);
+      tape.zero_contradicted(ws.observed, buf, w, j);
+    }
+
+    for (const NodeId id : tape.op_ids()) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      const std::int32_t cb = offsets[i];
+      const std::int32_t ce = offsets[i + 1];
+      double* out = buf + i * w;
+      const double* first =
+          buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+      std::memcpy(out, first, w * sizeof(double));
+      switch (kinds[i]) {
+        case NodeKind::kSum:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const double* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] += rhs[j];
+          }
+          break;
+        case NodeKind::kProd:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const double* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] *= rhs[j];
+          }
+          break;
+        case NodeKind::kMax:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const double* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] = std::max(out[j], rhs[j]);
+          }
+          break;
+        default:
+          break;  // leaves never appear in op_ids
+      }
+    }
+
+    const double* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
+    for (std::size_t j = 0; j < w; ++j) roots_[b0 + j] = root_row[j];
+  }
+}
+
+}  // namespace problp::ac

@@ -1,24 +1,10 @@
 #include "ac/evaluator.hpp"
 
-#include <algorithm>
-
 namespace problp::ac {
-
-namespace {
-
-struct DoubleOps {
-  double from_parameter(double v) const { return v; }
-  double from_indicator(bool one) const { return one ? 1.0 : 0.0; }
-  double add(double a, double b) const { return a + b; }
-  double mul(double a, double b) const { return a * b; }
-  double max(double a, double b) const { return std::max(a, b); }
-};
-
-}  // namespace
 
 std::vector<double> evaluate_all_double(const Circuit& circuit,
                                         const PartialAssignment& assignment) {
-  return evaluate_all(circuit, assignment, DoubleOps{});
+  return evaluate_all(circuit, assignment, ExactOps{});
 }
 
 double evaluate(const Circuit& circuit, const PartialAssignment& assignment) {

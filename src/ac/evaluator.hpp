@@ -8,6 +8,7 @@
 // (paper §2): indicators contradicting the evidence are 0, all others 1.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,6 +26,39 @@ inline bool indicator_is_one(const PartialAssignment& assignment, int var, int s
   return !obs.has_value() || *obs == state;
 }
 
+/// Pre-resolved evidence: out[v] is the observed state of v, or -1.  One
+/// bounds- and range-checked pass per query, so the per-indicator test in
+/// the sweep is a plain array load instead of an `optional` + `.at()` on
+/// the hot path.  Out-of-range states are rejected here — -1 is the
+/// sentinel for "unobserved", so a negative observed state must not leak
+/// into the sweeps.
+inline void resolve_observed(const PartialAssignment& assignment,
+                             const std::vector<int>& cardinalities,
+                             std::vector<std::int32_t>& out) {
+  require(assignment.size() == cardinalities.size(),
+          "resolve_observed: assignment size mismatch");
+  out.resize(assignment.size());
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v].has_value()) {
+      require(*assignment[v] >= 0 && *assignment[v] < cardinalities[v],
+              "resolve_observed: observed state out of range");
+      out[v] = *assignment[v];
+    } else {
+      out[v] = -1;
+    }
+  }
+}
+
+/// Exact double arithmetic — the Ops used for ground truth and the max
+/// analysis, shared by the interpreter and the tape engine.
+struct ExactOps {
+  double from_parameter(double v) const { return v; }
+  double from_indicator(bool one) const { return one ? 1.0 : 0.0; }
+  double add(double a, double b) const { return a + b; }
+  double mul(double a, double b) const { return a * b; }
+  double max(double a, double b) const { return a < b ? b : a; }
+};
+
 /// Generic forward sweep.  Ops must provide:
 ///   T from_parameter(double v);
 ///   T from_indicator(bool one);          // value of lambda in {0, 1}
@@ -39,20 +73,25 @@ auto evaluate_all(const Circuit& circuit, const PartialAssignment& assignment, O
   using T = decltype(ops.from_parameter(0.0));
   require(assignment.size() == static_cast<std::size_t>(circuit.num_variables()),
           "evaluate_all: assignment size mismatch");
+  std::vector<std::int32_t> observed;
+  resolve_observed(assignment, circuit.cardinalities(), observed);
   std::vector<T> values;
   values.reserve(circuit.num_nodes());
   for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
     const Node& n = circuit.node(static_cast<NodeId>(i));
     switch (n.kind) {
-      case NodeKind::kIndicator:
-        values.push_back(ops.from_indicator(indicator_is_one(assignment, n.var, n.state)));
+      case NodeKind::kIndicator: {
+        const std::int32_t obs = observed[static_cast<std::size_t>(n.var)];
+        values.push_back(ops.from_indicator(obs < 0 || obs == n.state));
         break;
+      }
       case NodeKind::kParameter:
         values.push_back(ops.from_parameter(n.value));
         break;
       case NodeKind::kSum:
       case NodeKind::kProd:
       case NodeKind::kMax: {
+        require(!n.children.empty(), "evaluate_all: operator node has no children");
         T acc = values[static_cast<std::size_t>(n.children.front())];
         for (std::size_t k = 1; k < n.children.size(); ++k) {
           const T& rhs = values[static_cast<std::size_t>(n.children[k])];

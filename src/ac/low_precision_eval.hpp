@@ -4,6 +4,8 @@
 #pragma once
 
 #include "ac/evaluator.hpp"
+#include "ac/number_ops.hpp"
+#include "ac/tape.hpp"
 #include "lowprec/fixed_point.hpp"
 #include "lowprec/soft_float.hpp"
 
@@ -23,5 +25,70 @@ LowPrecisionResult evaluate_fixed(const Circuit& circuit, const PartialAssignmen
 LowPrecisionResult evaluate_float(const Circuit& circuit, const PartialAssignment& assignment,
                                   lowprec::FloatFormat format,
                                   lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven);
+
+/// Tape-backed low-precision evaluator: the tape is compiled once, every
+/// parameter is quantised once at construction, and per-query work shrinks
+/// to the indicator resolution plus the operator sweep — the engine the
+/// observed-error sweeps (hundreds of queries per format) run on.  `value`
+/// and `flags` are bit-identical to the matching one-shot evaluate_* on the
+/// source circuit (parameter-quantisation flags are sticky, so folding them
+/// in once at construction equals re-raising them every query).
+template <class Ops>
+class LowPrecisionTapeEvaluator {
+ public:
+  LowPrecisionTapeEvaluator(const CircuitTape& tape, Ops ops_template)
+      : eval_(tape, with_flags(ops_template, &flags_)), param_flags_(flags_) {}
+
+  LowPrecisionTapeEvaluator(const LowPrecisionTapeEvaluator&) = delete;
+  LowPrecisionTapeEvaluator& operator=(const LowPrecisionTapeEvaluator&) = delete;
+
+  LowPrecisionResult evaluate(const PartialAssignment& assignment) {
+    flags_ = param_flags_;  // conversion flags the cached leaves would raise
+    LowPrecisionResult out;
+    out.value = eval_.evaluate_root(assignment).to_double();
+    out.flags = flags_;
+    return out;
+  }
+
+  const CircuitTape& tape() const { return eval_.tape(); }
+
+ private:
+  static Ops with_flags(Ops ops, lowprec::ArithFlags* flags) {
+    ops.flags = flags;
+    return ops;
+  }
+
+  lowprec::ArithFlags flags_;    ///< live sweep target; must precede eval_
+  TapeEvaluator<Ops> eval_;      ///< quantises parameters at construction
+  lowprec::ArithFlags param_flags_;
+};
+
+/// Fixed-point engine over a compiled tape.
+class FixedTapeEvaluator : public LowPrecisionTapeEvaluator<FixedOps> {
+ public:
+  FixedTapeEvaluator(const CircuitTape& tape, lowprec::FixedFormat format,
+                     lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven)
+      : LowPrecisionTapeEvaluator(tape, FixedOps{validated(format), mode, nullptr}) {}
+
+ private:
+  static lowprec::FixedFormat validated(lowprec::FixedFormat f) {
+    f.validate();
+    return f;
+  }
+};
+
+/// Float-point engine over a compiled tape.
+class FloatTapeEvaluator : public LowPrecisionTapeEvaluator<FloatOps> {
+ public:
+  FloatTapeEvaluator(const CircuitTape& tape, lowprec::FloatFormat format,
+                     lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven)
+      : LowPrecisionTapeEvaluator(tape, FloatOps{validated(format), mode, nullptr}) {}
+
+ private:
+  static lowprec::FloatFormat validated(lowprec::FloatFormat f) {
+    f.validate();
+    return f;
+  }
+};
 
 }  // namespace problp::ac

@@ -1,0 +1,136 @@
+#include "ac/tape.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace problp::ac {
+
+CircuitTape CircuitTape::compile(const Circuit& circuit) {
+  require(circuit.root() != kInvalidNode, "CircuitTape: circuit has no root");
+  const std::size_t n = circuit.num_nodes();
+  CircuitTape tape;
+  tape.root_ = circuit.root();
+  tape.cardinalities_ = circuit.cardinalities();
+
+  tape.kinds_.resize(n);
+  tape.child_offsets_.resize(n + 1, 0);
+  tape.base_values_.resize(n, 0.0);
+  tape.ind_var_.resize(n, -1);
+  tape.ind_state_.resize(n, -1);
+
+  // (var, state) -> NodeId index, dense over the cardinalities.
+  tape.var_offsets_.resize(tape.cardinalities_.size() + 1, 0);
+  for (std::size_t v = 0; v < tape.cardinalities_.size(); ++v) {
+    tape.var_offsets_[v + 1] = tape.var_offsets_[v] + tape.cardinalities_[v];
+  }
+  tape.indicator_index_.assign(
+      static_cast<std::size_t>(tape.var_offsets_[tape.cardinalities_.size()]), kInvalidNode);
+
+  std::size_t num_edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = circuit.node(static_cast<NodeId>(i));
+    tape.kinds_[i] = node.kind;
+    switch (node.kind) {
+      case NodeKind::kIndicator: {
+        const std::size_t slot =
+            static_cast<std::size_t>(tape.var_offsets_[static_cast<std::size_t>(node.var)] +
+                                     node.state);
+        require(tape.indicator_index_[slot] == kInvalidNode,
+                "CircuitTape: duplicate indicator leaf for one (var, state)");
+        tape.indicator_index_[slot] = static_cast<NodeId>(i);
+        tape.ind_var_[i] = node.var;
+        tape.ind_state_[i] = node.state;
+        tape.base_values_[i] = 1.0;
+        tape.indicator_ids_.push_back(static_cast<NodeId>(i));
+        break;
+      }
+      case NodeKind::kParameter:
+        tape.base_values_[i] = node.value;
+        tape.param_ids_.push_back(static_cast<NodeId>(i));
+        tape.param_values_.push_back(node.value);
+        break;
+      case NodeKind::kSum:
+      case NodeKind::kProd:
+      case NodeKind::kMax:
+        require(!node.children.empty(), "CircuitTape: operator node has no children");
+        for (NodeId c : node.children) {
+          require(c >= 0 && static_cast<std::size_t>(c) < i,
+                  "CircuitTape: children must precede parents");
+        }
+        num_edges += node.children.size();
+        tape.op_ids_.push_back(static_cast<NodeId>(i));
+        break;
+    }
+  }
+
+  tape.children_.reserve(num_edges);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = circuit.node(static_cast<NodeId>(i));
+    for (NodeId c : node.children) tape.children_.push_back(c);
+    tape.child_offsets_[i + 1] =
+        tape.child_offsets_[i] + static_cast<std::int32_t>(node.children.size());
+  }
+  return tape;
+}
+
+void CircuitTape::resolve_observed(const PartialAssignment& assignment,
+                                   std::vector<std::int32_t>& observed) const {
+  ac::resolve_observed(assignment, cardinalities_, observed);
+}
+
+void CircuitTape::zero_contradicted(const std::vector<std::int32_t>& observed, double* values,
+                                    std::size_t stride, std::size_t column) const {
+  for (std::size_t v = 0; v < observed.size(); ++v) {
+    const std::int32_t obs = observed[v];
+    if (obs < 0) continue;
+    const int card = cardinalities_[v];
+    for (int s = 0; s < card; ++s) {
+      if (s == obs) continue;
+      const NodeId id = indicator_index_[static_cast<std::size_t>(var_offsets_[v] + s)];
+      if (id != kInvalidNode) values[static_cast<std::size_t>(id) * stride + column] = 0.0;
+    }
+  }
+}
+
+void CircuitTape::evaluate_all_double(const PartialAssignment& assignment,
+                                      std::vector<double>& values) const {
+  thread_local std::vector<std::int32_t> observed;
+  resolve_observed(assignment, observed);
+  values = base_values_;  // vector assign reuses capacity: a memcpy, no alloc
+  zero_contradicted(observed, values.data(), 1, 0);
+  for (const NodeId id : op_ids_) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const std::int32_t begin = child_offsets_[i];
+    const std::int32_t end = child_offsets_[i + 1];
+    double acc = values[static_cast<std::size_t>(children_[static_cast<std::size_t>(begin)])];
+    switch (kinds_[i]) {
+      case NodeKind::kSum:
+        for (std::int32_t k = begin + 1; k < end; ++k) {
+          acc += values[static_cast<std::size_t>(children_[static_cast<std::size_t>(k)])];
+        }
+        break;
+      case NodeKind::kProd:
+        for (std::int32_t k = begin + 1; k < end; ++k) {
+          acc *= values[static_cast<std::size_t>(children_[static_cast<std::size_t>(k)])];
+        }
+        break;
+      case NodeKind::kMax:
+        for (std::int32_t k = begin + 1; k < end; ++k) {
+          acc = std::max(acc,
+                         values[static_cast<std::size_t>(children_[static_cast<std::size_t>(k)])]);
+        }
+        break;
+      default:
+        break;  // leaves never appear in op_ids_
+    }
+    values[i] = acc;
+  }
+}
+
+double CircuitTape::evaluate(const PartialAssignment& assignment,
+                             std::vector<double>& values) const {
+  evaluate_all_double(assignment, values);
+  return values[static_cast<std::size_t>(root_)];
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,204 @@
+// Flattened circuit tape — the compiled form of a Circuit.
+//
+// The interpreter in ac/evaluator.hpp walks Node objects whose children live
+// in per-node heap vectors: every operator visit chases a pointer into a
+// separate allocation, re-branches on n.kind, and every query allocates a
+// fresh value vector.  Under query traffic (observed-error sweeps evaluate
+// the same circuit hundreds of times) that interpretation overhead dominates.
+//
+// A CircuitTape is built once per circuit and is immutable afterwards:
+//
+//   kinds[i]            node kind, one flat array
+//   child_offsets[i]    CSR range [child_offsets[i], child_offsets[i+1])
+//   children[...]       flat child ids; the caller's stored order is
+//                       preserved because it is the fold order (analyses on
+//                       non-associative arithmetic depend on it)
+//   base_values[i]      parameter value; 1.0 for indicators; 0.0 for ops
+//   ind_var/ind_state   indicator payload (-1 for non-indicators)
+//   op_ids              the operator schedule: non-leaf ids in topological
+//                       (arena) order — leaf slots never need revisiting
+//   param_ids/values    parameter leaves in arena order, so per-Ops
+//                       evaluators can quantise every parameter exactly once
+//   indicator_node(v,s) dense (variable, state) -> NodeId index: evidence is
+//                       applied by zeroing the few contradicted slots
+//                       instead of testing every leaf against the assignment
+//
+// Arena order is a topological order (children have smaller ids), so every
+// evaluation is one linear sweep over op_ids.  The generic sweep keeps the
+// evaluator's Ops customisation point: exact double, emulated low-precision
+// and the range analyses all run on the same tape.  See docs/evaluation.md.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "ac/evaluator.hpp"
+
+namespace problp::ac {
+
+class CircuitTape {
+ public:
+  /// Flattens `circuit` (which must have a root).  Validates the structural
+  /// invariants the sweeps rely on: operators have >= 1 children, children
+  /// precede parents, and each (var, state) names at most one indicator.
+  static CircuitTape compile(const Circuit& circuit);
+
+  std::size_t num_nodes() const { return kinds_.size(); }
+  NodeId root() const { return root_; }
+  int num_variables() const { return static_cast<int>(cardinalities_.size()); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  const std::vector<NodeKind>& kinds() const { return kinds_; }
+  const std::vector<std::int32_t>& child_offsets() const { return child_offsets_; }
+  const std::vector<NodeId>& children() const { return children_; }
+  const std::vector<double>& base_values() const { return base_values_; }
+  const std::vector<std::int32_t>& ind_var() const { return ind_var_; }
+  const std::vector<std::int32_t>& ind_state() const { return ind_state_; }
+  const std::vector<NodeId>& op_ids() const { return op_ids_; }
+  const std::vector<NodeId>& param_ids() const { return param_ids_; }
+  const std::vector<double>& param_values() const { return param_values_; }
+  const std::vector<NodeId>& indicator_ids() const { return indicator_ids_; }
+
+  /// NodeId of λ_{var=state}, or kInvalidNode when the circuit has no such
+  /// leaf (compilers drop indicators that never influence the root).
+  NodeId indicator_node(int var, int state) const {
+    return indicator_index_[static_cast<std::size_t>(var_offsets_[static_cast<std::size_t>(var)] +
+                                                     state)];
+  }
+
+  /// One bounds-checked pass over the assignment: observed[v] is the
+  /// observed state of v, or -1.  Validates the assignment size.
+  void resolve_observed(const PartialAssignment& assignment,
+                        std::vector<std::int32_t>& observed) const;
+
+  /// Zeroes the value slots of every indicator `assignment` contradicts in a
+  /// value buffer laid out with `stride` doubles per node (stride 1 == the
+  /// single-query layout; column `column` of a batched buffer otherwise).
+  void zero_contradicted(const std::vector<std::int32_t>& observed, double* values,
+                         std::size_t stride, std::size_t column) const;
+
+  /// Double fast path: values of all nodes into `values` (capacity reused
+  /// across calls — zero allocation in steady state).
+  void evaluate_all_double(const PartialAssignment& assignment,
+                           std::vector<double>& values) const;
+
+  /// Double fast path, root value only (`values` is scratch, reused).
+  double evaluate(const PartialAssignment& assignment, std::vector<double>& values) const;
+
+ private:
+  CircuitTape() = default;
+
+  std::vector<NodeKind> kinds_;
+  std::vector<std::int32_t> child_offsets_;
+  std::vector<NodeId> children_;
+  std::vector<double> base_values_;
+  std::vector<std::int32_t> ind_var_;
+  std::vector<std::int32_t> ind_state_;
+  std::vector<NodeId> op_ids_;
+  std::vector<NodeId> param_ids_;
+  std::vector<double> param_values_;
+  std::vector<NodeId> indicator_ids_;
+
+  std::vector<std::int32_t> var_offsets_;   ///< prefix sums of cardinalities
+  std::vector<NodeId> indicator_index_;     ///< (var, state) -> NodeId or kInvalidNode
+  NodeId root_ = kInvalidNode;
+  std::vector<int> cardinalities_;
+};
+
+/// Generic forward sweep over a tape.  Same Ops contract as evaluate_all;
+/// leaves are supplied pre-converted (`params` aligned with
+/// tape.param_ids(), `one`/`zero` the two indicator values) so callers pay
+/// conversion once, not once per query.  `values` is clear()+push_back
+/// reused: zero allocation in steady state, and no default-constructibility
+/// requirement on the value type.
+template <class Ops, class T>
+void sweep_tape(const CircuitTape& tape, const std::vector<std::int32_t>& observed, Ops&& ops,
+                const std::vector<T>& params, const T& one, const T& zero,
+                std::vector<T>& values) {
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ind_var = tape.ind_var();
+  const auto& ind_state = tape.ind_state();
+  values.clear();
+  values.reserve(tape.num_nodes());
+  std::size_t pi = 0;
+  for (std::size_t i = 0; i < tape.num_nodes(); ++i) {
+    switch (kinds[i]) {
+      case NodeKind::kIndicator: {
+        const std::int32_t obs = observed[static_cast<std::size_t>(ind_var[i])];
+        values.push_back(obs < 0 || obs == ind_state[i] ? one : zero);
+        break;
+      }
+      case NodeKind::kParameter:
+        values.push_back(params[pi++]);
+        break;
+      case NodeKind::kSum:
+      case NodeKind::kProd:
+      case NodeKind::kMax: {
+        const std::int32_t begin = offsets[i];
+        const std::int32_t end = offsets[i + 1];
+        T acc = values[static_cast<std::size_t>(children[static_cast<std::size_t>(begin)])];
+        for (std::int32_t k = begin + 1; k < end; ++k) {
+          const T& rhs = values[static_cast<std::size_t>(children[static_cast<std::size_t>(k)])];
+          if (kinds[i] == NodeKind::kSum) {
+            acc = ops.add(acc, rhs);
+          } else if (kinds[i] == NodeKind::kProd) {
+            acc = ops.mul(acc, rhs);
+          } else {
+            acc = ops.max(acc, rhs);
+          }
+        }
+        values.push_back(std::move(acc));
+        break;
+      }
+    }
+  }
+}
+
+/// Reusable per-Ops evaluator over a compiled tape: parameters are converted
+/// through the Ops exactly once at construction, the value buffer is reused
+/// across queries.  Results are bit-identical to evaluate_all on the source
+/// circuit with the same Ops.
+template <class Ops>
+class TapeEvaluator {
+ public:
+  using Value = decltype(std::declval<Ops&>().from_parameter(0.0));
+
+  TapeEvaluator(const CircuitTape& tape, Ops ops)
+      : tape_(&tape),
+        ops_(std::move(ops)),
+        one_(ops_.from_indicator(true)),
+        zero_(ops_.from_indicator(false)) {
+    params_.reserve(tape.param_values().size());
+    for (double v : tape.param_values()) params_.push_back(ops_.from_parameter(v));
+  }
+
+  /// Values of all nodes under `assignment`; the reference stays valid until
+  /// the next evaluate_all call.
+  const std::vector<Value>& evaluate_all(const PartialAssignment& assignment) {
+    tape_->resolve_observed(assignment, observed_);
+    sweep_tape(*tape_, observed_, ops_, params_, one_, zero_, values_);
+    return values_;
+  }
+
+  /// Root value under `assignment`.
+  const Value& evaluate_root(const PartialAssignment& assignment) {
+    return evaluate_all(assignment)[static_cast<std::size_t>(tape_->root())];
+  }
+
+  const CircuitTape& tape() const { return *tape_; }
+
+ private:
+  const CircuitTape* tape_;
+  Ops ops_;
+  Value one_;
+  Value zero_;
+  std::vector<Value> params_;
+  std::vector<Value> values_;
+  std::vector<std::int32_t> observed_;
+};
+
+}  // namespace problp::ac

@@ -4,25 +4,35 @@ namespace problp::bn {
 
 namespace {
 
+// Scratch shared by every sample of one estimation run.  The sampler is a
+// hot loop (num_samples x num_variables CPT lookups); hoisting the per-node
+// parent-state and probability vectors out of it removes two heap
+// allocations per variable per sample.
+struct SamplerScratch {
+  std::vector<int> pstates;
+  std::vector<double> probs;
+};
+
 // One weighted sample: evidence variables are clamped and contribute their
 // CPT probability to the weight; free variables are forward-sampled.
 double weighted_sample(const BayesianNetwork& network, const Evidence& evidence,
-                       const std::vector<int>& topo, Assignment& out, Rng& rng) {
+                       const std::vector<int>& topo, SamplerScratch& scratch, Assignment& out,
+                       Rng& rng) {
   double weight = 1.0;
   for (int v : topo) {
-    std::vector<int> pstates;
-    pstates.reserve(network.parents(v).size());
-    for (int p : network.parents(v)) pstates.push_back(out[static_cast<std::size_t>(p)]);
+    scratch.pstates.clear();
+    for (int p : network.parents(v)) scratch.pstates.push_back(out[static_cast<std::size_t>(p)]);
     const auto& obs = evidence[static_cast<std::size_t>(v)];
     if (obs.has_value()) {
       out[static_cast<std::size_t>(v)] = *obs;
-      weight *= network.cpt_value(v, *obs, pstates);
+      weight *= network.cpt_value(v, *obs, scratch.pstates);
     } else {
-      std::vector<double> probs;
+      scratch.probs.clear();
       const int card = network.cardinality(v);
-      probs.reserve(static_cast<std::size_t>(card));
-      for (int s = 0; s < card; ++s) probs.push_back(network.cpt_value(v, s, pstates));
-      out[static_cast<std::size_t>(v)] = rng.categorical(probs);
+      for (int s = 0; s < card; ++s) {
+        scratch.probs.push_back(network.cpt_value(v, s, scratch.pstates));
+      }
+      out[static_cast<std::size_t>(v)] = rng.categorical(scratch.probs);
     }
   }
   return weight;
@@ -38,10 +48,11 @@ LikelihoodWeightingResult estimate_evidence_probability(const BayesianNetwork& n
           "likelihood weighting: evidence size mismatch");
   const auto topo = network.topological_order();
   Assignment sample(static_cast<std::size_t>(network.num_variables()), 0);
+  SamplerScratch scratch;
   double sum_w = 0.0;
   double sum_w2 = 0.0;
   for (int i = 0; i < num_samples; ++i) {
-    const double w = weighted_sample(network, evidence, topo, sample, rng);
+    const double w = weighted_sample(network, evidence, topo, scratch, sample, rng);
     sum_w += w;
     sum_w2 += w * w;
   }
@@ -61,11 +72,12 @@ LikelihoodWeightingResult estimate_conditional(const BayesianNetwork& network, i
           "likelihood weighting: query variable already observed");
   const auto topo = network.topological_order();
   Assignment sample(static_cast<std::size_t>(network.num_variables()), 0);
+  SamplerScratch scratch;
   double sum_w = 0.0;
   double sum_w2 = 0.0;
   double sum_match = 0.0;
   for (int i = 0; i < num_samples; ++i) {
-    const double w = weighted_sample(network, evidence, topo, sample, rng);
+    const double w = weighted_sample(network, evidence, topo, scratch, sample, rng);
     sum_w += w;
     sum_w2 += w * w;
     if (sample[static_cast<std::size_t>(query_var)] == state) sum_match += w;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "ac/batch_eval.hpp"
 #include "ac/low_precision_eval.hpp"
+#include "ac/tape.hpp"
 
 namespace problp {
 
@@ -28,14 +30,20 @@ void finalize(ObservedError& err) {
   }
 }
 
-ac::LowPrecisionResult eval_lowprec(const ac::Circuit& circuit,
-                                    const ac::PartialAssignment& assignment,
-                                    const Representation& repr,
-                                    lowprec::RoundingMode rounding) {
+// The error sweeps evaluate one circuit under hundreds of evidence sets, so
+// they run on the compiled-tape engine: exact values come from one batched
+// sweep, low-precision values from a tape evaluator whose parameters are
+// quantised once.  `Fn(lp)` receives the selected evaluator.
+template <class Fn>
+void with_lowprec_evaluator(const ac::CircuitTape& tape, const Representation& repr,
+                            lowprec::RoundingMode rounding, Fn&& fn) {
   if (repr.kind == Representation::Kind::kFixed) {
-    return ac::evaluate_fixed(circuit, assignment, repr.fixed, rounding);
+    ac::FixedTapeEvaluator lp(tape, repr.fixed, rounding);
+    fn(lp);
+  } else {
+    ac::FloatTapeEvaluator lp(tape, repr.flt, rounding);
+    fn(lp);
   }
-  return ac::evaluate_float(circuit, assignment, repr.flt, rounding);
 }
 
 }  // namespace
@@ -44,13 +52,17 @@ ObservedError measure_marginal_error(const ac::Circuit& binary_circuit,
                                      const std::vector<ac::PartialAssignment>& assignments,
                                      const Representation& repr,
                                      lowprec::RoundingMode rounding) {
+  const ac::CircuitTape tape = ac::CircuitTape::compile(binary_circuit);
+  ac::BatchEvaluator batch(tape);
+  const std::vector<double>& exact = batch.evaluate(assignments);
   ObservedError err;
-  for (const auto& a : assignments) {
-    const double exact = ac::evaluate(binary_circuit, a);
-    const ac::LowPrecisionResult approx = eval_lowprec(binary_circuit, a, repr, rounding);
-    err.flags.merge(approx.flags);
-    accumulate(err, approx.value, exact);
-  }
+  with_lowprec_evaluator(tape, repr, rounding, [&](auto& lp) {
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      const ac::LowPrecisionResult approx = lp.evaluate(assignments[i]);
+      err.flags.merge(approx.flags);
+      accumulate(err, approx.value, exact[i]);
+    }
+  });
   finalize(err);
   return err;
 }
@@ -61,24 +73,36 @@ ObservedError measure_conditional_error(const ac::Circuit& binary_circuit, int q
                                         lowprec::RoundingMode rounding) {
   require(query_var >= 0 && query_var < binary_circuit.num_variables(),
           "measure_conditional_error: bad query var");
-  ObservedError err;
+  const ac::CircuitTape tape = ac::CircuitTape::compile(binary_circuit);
+  ac::BatchEvaluator batch(tape);
   const int card = binary_circuit.cardinalities()[static_cast<std::size_t>(query_var)];
   for (const auto& e : assignments) {
     require(!e[static_cast<std::size_t>(query_var)].has_value(),
             "measure_conditional_error: query variable must be unobserved");
-    const double exact_pe = ac::evaluate(binary_circuit, e);
-    const ac::LowPrecisionResult approx_pe = eval_lowprec(binary_circuit, e, repr, rounding);
-    err.flags.merge(approx_pe.flags);
-    if (exact_pe <= 0.0 || approx_pe.value <= 0.0) continue;  // query undefined on this input
-    for (int q = 0; q < card; ++q) {
-      ac::PartialAssignment qe = e;
-      qe[static_cast<std::size_t>(query_var)] = q;
-      const double exact = ac::evaluate(binary_circuit, qe) / exact_pe;
-      const ac::LowPrecisionResult approx_qe = eval_lowprec(binary_circuit, qe, repr, rounding);
-      err.flags.merge(approx_qe.flags);
-      accumulate(err, approx_qe.value / approx_pe.value, exact);
-    }
   }
+  // Pr(e) for every evidence set in one batched sweep; the per-state
+  // numerators are batched per surviving evidence set below.
+  std::vector<double> exact_pe(batch.evaluate(assignments));
+  ObservedError err;
+  with_lowprec_evaluator(tape, repr, rounding, [&](auto& lp) {
+    std::vector<ac::PartialAssignment> qes(static_cast<std::size_t>(card));
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      const ac::LowPrecisionResult approx_pe = lp.evaluate(assignments[i]);
+      err.flags.merge(approx_pe.flags);
+      if (exact_pe[i] <= 0.0 || approx_pe.value <= 0.0) continue;  // query undefined here
+      for (int q = 0; q < card; ++q) {
+        qes[static_cast<std::size_t>(q)] = assignments[i];
+        qes[static_cast<std::size_t>(q)][static_cast<std::size_t>(query_var)] = q;
+      }
+      const std::vector<double>& exact_q = batch.evaluate(qes);
+      for (int q = 0; q < card; ++q) {
+        const ac::LowPrecisionResult approx_qe = lp.evaluate(qes[static_cast<std::size_t>(q)]);
+        err.flags.merge(approx_qe.flags);
+        accumulate(err, approx_qe.value / approx_pe.value,
+                   exact_q[static_cast<std::size_t>(q)] / exact_pe[i]);
+      }
+    }
+  });
   finalize(err);
   return err;
 }

@@ -1,0 +1,277 @@
+// CircuitTape / BatchEvaluator parity and contract tests.
+//
+// The tape engine's correctness claim is *bit-identical* results to the
+// per-query interpreter — same fold order, same arithmetic — so every parity
+// check below uses exact equality on doubles, never tolerances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ac/analysis.hpp"
+#include "ac/batch_eval.hpp"
+#include "ac/low_precision_eval.hpp"
+#include "ac/tape.hpp"
+#include "ac/transform.hpp"
+#include "bn/random_network.hpp"
+#include "compile/naive_bayes_compiler.hpp"
+#include "compile/ve_compiler.hpp"
+#include "helpers.hpp"
+
+namespace problp::ac {
+namespace {
+
+// Interpreter vs single-query tape vs generic tape evaluator vs batched tape
+// on every given assignment; all-node values and roots must match exactly.
+void expect_parity(const Circuit& circuit, const std::vector<PartialAssignment>& assignments) {
+  ASSERT_NE(circuit.root(), kInvalidNode);
+  const CircuitTape tape = CircuitTape::compile(circuit);
+  ASSERT_EQ(tape.num_nodes(), circuit.num_nodes());
+
+  TapeEvaluator<ExactOps> generic(tape, ExactOps{});
+  std::vector<double> tape_values;
+  for (const auto& a : assignments) {
+    const std::vector<double> interp = evaluate_all_double(circuit, a);
+    tape.evaluate_all_double(a, tape_values);
+    ASSERT_EQ(interp, tape_values);
+    ASSERT_EQ(interp, generic.evaluate_all(a));
+  }
+
+  for (const int threads : {1, 3}) {
+    for (const std::size_t block : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      BatchEvaluator::Options opts;
+      opts.num_threads = threads;
+      opts.block = block;
+      BatchEvaluator batch(tape, opts);
+      const std::vector<double>& roots = batch.evaluate(assignments);
+      ASSERT_EQ(roots.size(), assignments.size());
+      for (std::size_t i = 0; i < assignments.size(); ++i) {
+        ASSERT_EQ(roots[i], evaluate(circuit, assignments[i]))
+            << "threads=" << threads << " block=" << block << " query=" << i;
+      }
+    }
+  }
+}
+
+std::vector<PartialAssignment> random_assignments(const std::vector<int>& cards,
+                                                  std::size_t count, double p_observe,
+                                                  Rng& rng) {
+  std::vector<PartialAssignment> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    PartialAssignment a(cards.size());
+    for (std::size_t v = 0; v < cards.size(); ++v) {
+      if (rng.coin(p_observe)) a[v] = rng.uniform_int(0, cards[v] - 1);
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+// A random probability row of `card` entries.
+std::vector<double> random_row(int card, Rng& rng) {
+  std::vector<double> row;
+  double total = 0.0;
+  for (int s = 0; s < card; ++s) {
+    row.push_back(rng.uniform(0.05, 1.0));
+    total += row.back();
+  }
+  for (double& v : row) v /= total;
+  return row;
+}
+
+// A small Naive-Bayes-shaped network: class var 0 is the sole parent of
+// every feature — the one structure both compilers accept.
+bn::BayesianNetwork make_nb_network(int num_features, Rng& rng) {
+  bn::BayesianNetwork network;
+  const int class_card = rng.uniform_int(2, 3);
+  const int class_var = network.add_variable("C", class_card);
+  network.set_cpt(class_var, {}, random_row(class_card, rng));
+  for (int f = 0; f < num_features; ++f) {
+    const int card = rng.uniform_int(2, 4);
+    const int var = network.add_variable("F" + std::to_string(f), card);
+    std::vector<double> rows;
+    for (int c = 0; c < class_card; ++c) {
+      for (double v : random_row(card, rng)) rows.push_back(v);
+    }
+    network.set_cpt(var, {class_var}, rows);
+  }
+  network.validate();
+  return network;
+}
+
+TEST(Tape, Parity50RandomCircuits) {
+  // 30 syntactically arbitrary circuits + 20 VE-compiled random networks:
+  // 50 distinct DAGs through interpreter, tape, generic tape and batch.
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    test::RandomCircuitSpec spec;
+    spec.num_variables = 2 + (i % 4);
+    spec.num_operators = 10 + i;
+    spec.max_fanin = 2 + (i % 3);
+    const Circuit circuit = test::make_random_circuit(spec, rng);
+    expect_parity(circuit, random_assignments(circuit.cardinalities(), 9, 0.5, rng));
+  }
+  for (int i = 0; i < 20; ++i) {
+    bn::RandomNetworkSpec spec;
+    spec.num_variables = 4 + (i % 4);
+    const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+    const Circuit circuit = compile::compile_network(network);
+    expect_parity(circuit, random_assignments(circuit.cardinalities(), 9, 0.4, rng));
+  }
+}
+
+TEST(Tape, ParityBothCompilersOnNaiveBayes) {
+  // The same NB networks through both compilers; each circuit shape gets the
+  // full parity treatment.
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    const bn::BayesianNetwork network = make_nb_network(3 + (i % 3), rng);
+    const Circuit nb = compile::compile_naive_bayes(network, 0);
+    const Circuit ve = compile::compile_network(network);
+    const auto assignments = random_assignments(nb.cardinalities(), 9, 0.5, rng);
+    expect_parity(nb, assignments);
+    expect_parity(ve, assignments);
+  }
+}
+
+TEST(Tape, EmptyAndFullEvidence) {
+  Rng rng(3);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 5;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const Circuit circuit = compile::compile_network(network);
+  const auto& cards = circuit.cardinalities();
+
+  std::vector<PartialAssignment> assignments;
+  assignments.push_back(PartialAssignment(cards.size()));  // empty evidence
+  const auto full = test::all_full_assignments(cards);
+  assignments.insert(assignments.end(), full.begin(), full.end());
+  expect_parity(circuit, assignments);
+
+  // Empty evidence sums the network polynomial to 1; full assignments to
+  // their joint probabilities, which sum to 1 as well.
+  const CircuitTape tape = CircuitTape::compile(circuit);
+  BatchEvaluator batch(tape);
+  const std::vector<double>& roots = batch.evaluate(assignments);
+  EXPECT_NEAR(roots[0], 1.0, 1e-12);
+  double total = 0.0;
+  for (std::size_t i = 1; i < roots.size(); ++i) total += roots[i];
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Tape, MaxCircuitParity) {
+  // MPE circuits: every SUM rewritten to MAX, batched root = max_x Pr(x, e).
+  Rng rng(5);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 4;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const Circuit mpe = to_max_circuit(compile::compile_network(network));
+  expect_parity(mpe, random_assignments(mpe.cardinalities(), 16, 0.5, rng));
+
+  // Against the brute-force oracle the comparison is numeric, not bitwise:
+  // the oracle multiplies CPT entries in variable order, the circuit in
+  // wiring order.
+  const CircuitTape tape = CircuitTape::compile(mpe);
+  std::vector<double> scratch;
+  const bn::Evidence none = network.empty_evidence();
+  EXPECT_NEAR(tape.evaluate(compile::to_assignment(none), scratch),
+              test::brute_force_mpe(network, none), 1e-12);
+}
+
+TEST(Tape, LowPrecisionTapeParityIncludingFlags) {
+  Rng rng(13);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 5;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const BinarizeResult bin = binarize(compile::compile_network(network));
+  const CircuitTape tape = CircuitTape::compile(bin.circuit);
+  const auto assignments = random_assignments(bin.circuit.cardinalities(), 24, 0.5, rng);
+
+  for (const auto mode : {lowprec::RoundingMode::kNearestEven, lowprec::RoundingMode::kTruncate}) {
+    const lowprec::FixedFormat fx{2, 9};
+    FixedTapeEvaluator fixed_eval(tape, fx, mode);
+    const lowprec::FloatFormat fl{5, 7};
+    FloatTapeEvaluator float_eval(tape, fl, mode);
+    for (const auto& a : assignments) {
+      const LowPrecisionResult fx_ref = evaluate_fixed(bin.circuit, a, fx, mode);
+      const LowPrecisionResult fx_tape = fixed_eval.evaluate(a);
+      EXPECT_EQ(fx_tape.value, fx_ref.value);
+      EXPECT_EQ(fx_tape.flags.overflow, fx_ref.flags.overflow);
+      EXPECT_EQ(fx_tape.flags.underflow, fx_ref.flags.underflow);
+      EXPECT_EQ(fx_tape.flags.invalid_input, fx_ref.flags.invalid_input);
+
+      const LowPrecisionResult fl_ref = evaluate_float(bin.circuit, a, fl, mode);
+      const LowPrecisionResult fl_tape = float_eval.evaluate(a);
+      EXPECT_EQ(fl_tape.value, fl_ref.value);
+      EXPECT_EQ(fl_tape.flags.overflow, fl_ref.flags.overflow);
+      EXPECT_EQ(fl_tape.flags.underflow, fl_ref.flags.underflow);
+      EXPECT_EQ(fl_tape.flags.invalid_input, fl_ref.flags.invalid_input);
+    }
+  }
+}
+
+TEST(Tape, RangeAnalysisRunsOnTape) {
+  // Max analysis == ExactOps sweep, min analysis == MinValueOps sweep, both
+  // with all indicators at 1 — on the tape, node for node.
+  Rng rng(17);
+  test::RandomCircuitSpec spec;
+  spec.num_operators = 40;
+  const Circuit circuit = test::make_random_circuit(spec, rng);
+  const CircuitTape tape = CircuitTape::compile(circuit);
+  const PartialAssignment all_ones = all_indicators_one(circuit);
+
+  TapeEvaluator<ExactOps> max_eval(tape, ExactOps{});
+  EXPECT_EQ(max_eval.evaluate_all(all_ones), max_value_analysis(circuit));
+  TapeEvaluator<MinValueOps> min_eval(tape, MinValueOps{});
+  EXPECT_EQ(min_eval.evaluate_all(all_ones), min_value_analysis(circuit));
+}
+
+TEST(Tape, ContractViolationsRejected) {
+  Circuit no_root({2});
+  no_root.add_indicator(0, 0);
+  EXPECT_THROW(CircuitTape::compile(no_root), InvalidArgument);
+
+  // Operator nodes without children cannot be built in the first place.
+  Circuit c({2});
+  EXPECT_THROW(c.add_sum({}), InvalidArgument);
+  EXPECT_THROW(c.add_prod({}), InvalidArgument);
+  EXPECT_THROW(c.add_max({}), InvalidArgument);
+
+  // Assignment arity and state range are validated per query, identically
+  // by both engines (-1 is the internal "unobserved" sentinel and must not
+  // be forgeable through a negative observed state).
+  Circuit coin({2});
+  coin.set_root(coin.add_sum({coin.add_indicator(0, 0), coin.add_indicator(0, 1)}));
+  const CircuitTape tape = CircuitTape::compile(coin);
+  std::vector<double> scratch;
+  EXPECT_THROW(tape.evaluate(PartialAssignment(3), scratch), InvalidArgument);
+  BatchEvaluator batch(tape);
+  EXPECT_THROW(batch.evaluate({PartialAssignment(3)}), InvalidArgument);
+  PartialAssignment negative(1);
+  negative[0] = -2;
+  PartialAssignment too_large(1);
+  too_large[0] = 2;
+  EXPECT_THROW(tape.evaluate(negative, scratch), InvalidArgument);
+  EXPECT_THROW(tape.evaluate(too_large, scratch), InvalidArgument);
+  EXPECT_THROW(evaluate(coin, negative), InvalidArgument);
+  EXPECT_THROW(evaluate(coin, too_large), InvalidArgument);
+}
+
+TEST(Tape, LeafRootAndSteadyStateReuse) {
+  // A parameter-only circuit: the sweep has no operators, the root row comes
+  // straight from the base pattern.
+  Circuit c({2});
+  c.set_root(c.add_parameter(0.25));
+  const CircuitTape tape = CircuitTape::compile(c);
+  std::vector<double> scratch;
+  EXPECT_EQ(tape.evaluate(PartialAssignment(1), scratch), 0.25);
+
+  BatchEvaluator batch(tape);
+  const std::vector<PartialAssignment> queries(40, PartialAssignment(1));
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<double>& roots = batch.evaluate(queries);
+    for (double r : roots) EXPECT_EQ(r, 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace problp::ac
