@@ -5,24 +5,22 @@
 #include <string>
 #include <vector>
 
-#include "ac/batch_eval.hpp"
-#include "ac/low_precision_eval.hpp"
-#include "ac/tape.hpp"
 #include "compile/ve_compiler.hpp"
 #include "datasets/benchmark_suite.hpp"
 #include "problp/framework.hpp"
 #include "problp/validation.hpp"
+#include "runtime/session.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace problp::bench {
 
-/// Exact root value per assignment in one batched tape sweep — the
+/// Exact root value per assignment in one batched session sweep — the
 /// ground-truth side of every observed-error experiment.
-inline std::vector<double> exact_roots(const ac::CircuitTape& tape,
+inline std::vector<double> exact_roots(const std::shared_ptr<const runtime::CompiledModel>& model,
                                        const std::vector<ac::PartialAssignment>& assignments) {
-  ac::BatchEvaluator batch(tape);
-  return batch.evaluate(assignments);
+  runtime::InferenceSession session(model);
+  return session.marginal(assignments);
 }
 
 inline std::vector<ac::PartialAssignment> to_assignments(

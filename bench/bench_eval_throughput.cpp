@@ -1,5 +1,6 @@
 // End-to-end query throughput: per-query interpreter vs flattened tape vs
-// batched tape, on the ALARM AC and a synthetic VE-compiled circuit.
+// batched tape vs the InferenceSession runtime API, on the ALARM AC and a
+// synthetic VE-compiled circuit.
 //
 // This is the perf trajectory anchor for the evaluation engine: every run
 // prints one machine-readable JSON line per circuit (scripts/bench.sh
@@ -7,12 +8,14 @@
 //
 //   {"bench":"eval_throughput","circuit":"alarm","nodes":...,"edges":...,
 //    "batch":512,"interpreter_qps":...,"tape_qps":...,"batched_qps":...,
-//    "batched_mt_qps":...,"speedup_tape":...,"speedup_batched":...}
+//    "batched_mt_qps":...,"session_qps":...,"session_batched_qps":...,
+//    "speedup_tape":...,"speedup_batched":...,"speedup_session_batched":...}
 //
 // qps = evidence-set evaluations per second (full upward pass per query).
 // The acceptance bar for the tape engine is speedup_batched >= 3 on ALARM
-// with >= 256 evidence sets; the run fails loudly when parity between the
-// three engines is violated.
+// with >= 256 evidence sets, and the session API must track the raw batched
+// engine within noise (it is the same sweep behind one non-virtual call);
+// the run fails loudly when parity between the engines is violated.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -66,6 +69,8 @@ struct ThroughputResult {
   double tape_qps = 0.0;
   double batched_qps = 0.0;
   double batched_mt_qps = 0.0;
+  double session_qps = 0.0;
+  double session_batched_qps = 0.0;
 };
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
@@ -109,12 +114,31 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : batched_mt.evaluate(assignments)) mt_checksum += v;
   });
 
+  // The unified runtime: same sweeps behind the InferenceSession API.  wrap()
+  // evaluates the given arena verbatim, so results must stay bit-identical
+  // to the raw engines and the overhead must be one non-virtual call.
+  const auto model = runtime::CompiledModel::wrap(circuit);
+  runtime::InferenceSession session(model);
+  double session_checksum = 0.0;
+  r.session_qps = measure_qps(batch_size, min_seconds, [&] {
+    session_checksum = 0.0;
+    for (const auto& a : assignments) session_checksum += session.marginal(a);
+  });
+
+  double session_batched_checksum = 0.0;
+  r.session_batched_qps = measure_qps(batch_size, min_seconds, [&] {
+    session_batched_checksum = 0.0;
+    for (const double v : session.marginal(assignments)) session_batched_checksum += v;
+  });
+
   // The engines are bit-identical by construction; a drifting checksum
   // means the bench is measuring a broken engine.
   if (interp_checksum != tape_checksum || interp_checksum != batched_checksum ||
-      interp_checksum != mt_checksum) {
-    std::fprintf(stderr, "PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g\n", name,
-                 interp_checksum, tape_checksum, batched_checksum, mt_checksum);
+      interp_checksum != mt_checksum || interp_checksum != session_checksum ||
+      interp_checksum != session_batched_checksum) {
+    std::fprintf(stderr, "PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g %.17g %.17g\n", name,
+                 interp_checksum, tape_checksum, batched_checksum, mt_checksum, session_checksum,
+                 session_batched_checksum);
     std::exit(1);
   }
 
@@ -122,12 +146,14 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   std::printf(
       "{\"bench\":\"eval_throughput\",\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
       "\"batch\":%zu,\"threads\":%u,\"interpreter_qps\":%.0f,\"tape_qps\":%.0f,"
-      "\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"speedup_tape\":%.2f,"
-      "\"speedup_batched\":%.2f}\n",
+      "\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"session_qps\":%.0f,"
+      "\"session_batched_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
+      "\"speedup_session_batched\":%.2f}\n",
       name, stats.num_nodes, stats.num_edges, batch_size,
       std::max(1u, std::thread::hardware_concurrency()), r.interpreter_qps, r.tape_qps,
-      r.batched_qps, r.batched_mt_qps, r.tape_qps / r.interpreter_qps,
-      r.batched_qps / r.interpreter_qps);
+      r.batched_qps, r.batched_mt_qps, r.session_qps, r.session_batched_qps,
+      r.tape_qps / r.interpreter_qps, r.batched_qps / r.interpreter_qps,
+      r.session_batched_qps / r.interpreter_qps);
   return r;
 }
 

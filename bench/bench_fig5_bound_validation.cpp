@@ -11,12 +11,17 @@
 //
 // Expected shape (paper): both observed curves decay exponentially and stay
 // 1-3 orders of magnitude below the analytical worst-case bound.
+//
+// The sweeps evaluate the same circuit (33 formats x 1000 evidence sets),
+// so everything runs through the unified runtime: one shared CompiledModel,
+// an exact InferenceSession for ground truth, and one low-precision session
+// per swept format (parameters quantised once per format).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstdio>
 
-#include "ac/analysis.hpp"
+#include "ac/low_precision_eval.hpp"
 #include "bench_common.hpp"
 #include "errormodel/bitwidth_search.hpp"
 #include "util/int_math.hpp"
@@ -26,56 +31,53 @@ namespace {
 
 struct Fig5Setup {
   datasets::Benchmark benchmark = datasets::make_alarm_benchmark(1, 1000);
-  Framework framework{benchmark.circuit};
-  errormodel::CircuitErrorModel model =
-      errormodel::CircuitErrorModel::build(framework.binary_circuit());
+  std::shared_ptr<const runtime::CompiledModel> model =
+      runtime::CompiledModel::compile(benchmark.circuit);
+  const errormodel::CircuitErrorModel& error_model =
+      model->error_model(errormodel::QueryType::kMarginal);
   std::vector<ac::PartialAssignment> assignments = bench::to_assignments(benchmark.test_evidence);
-  // The sweeps below evaluate the same circuit (33 formats x 1000 evidence
-  // sets), so they run on the compiled tape: exact values batched once,
-  // low-precision values through per-format tape evaluators.
-  ac::CircuitTape tape = ac::CircuitTape::compile(framework.binary_circuit());
-  std::vector<double> exact = bench::exact_roots(tape, assignments);
+  std::vector<double> exact = bench::exact_roots(model, assignments);
 };
 
 void run_fig5(const Fig5Setup& setup) {
-  const ac::Circuit& circuit = setup.framework.binary_circuit();
+  const ac::Circuit& circuit = setup.model->binary_circuit();
   std::printf("ALARM AC (binarised): %s\n", circuit.stats().to_string().c_str());
   std::printf("Test set: %zu sampled evidence instances (leaf sensors observed)\n\n",
               setup.assignments.size());
 
   // ---- (a) fixed point -----------------------------------------------------
   const int integer_bits =
-      std::max(1, ceil_log2_double(setup.model.range.root_max + 1e-9));
+      std::max(1, ceil_log2_double(setup.error_model.range.root_max + 1e-9));
   std::printf("=== Fig. 5a: fixed point, marginal query, I=%d (max analysis) ===\n",
               integer_bits);
   TextTable fx_table({"F bits", "mean abs err", "max abs err", "analytical bound", "sound?"});
   for (int f = 8; f <= 40; f += 2) {
     const lowprec::FixedFormat fmt{integer_bits, f};
     const double bound = errormodel::fixed_query_bound(
-        circuit, setup.model,
+        circuit, setup.error_model,
         {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kAbsolute, 0.0}, fmt);
+    runtime::InferenceSession lp(setup.model,
+                                 runtime::SessionOptions::low_precision(Representation::of(fmt)));
+    const std::vector<double>& approx = lp.marginal(setup.assignments);
     double max_err = 0.0;
     double sum_err = 0.0;
-    lowprec::ArithFlags flags;
-    ac::FixedTapeEvaluator lp(setup.tape, fmt);
     for (std::size_t i = 0; i < setup.assignments.size(); ++i) {
-      const auto r = lp.evaluate(setup.assignments[i]);
-      flags.merge(r.flags);
-      const double err = std::abs(r.value - setup.exact[i]);
+      const double err = std::abs(approx[i] - setup.exact[i]);
       max_err = std::max(max_err, err);
       sum_err += err;
     }
     fx_table.add_row({str_format("%d", f),
                       sci(sum_err / static_cast<double>(setup.assignments.size())),
                       sci(max_err), sci(bound),
-                      (max_err <= bound && !flags.any()) ? "yes" : "VIOLATION"});
+                      (max_err <= bound && !lp.last_flags().any()) ? "yes" : "VIOLATION"});
   }
   std::printf("%s\n", fx_table.to_string().c_str());
 
   // ---- (b) float point -----------------------------------------------------
   // Exponent width from the max/min analysis at the widest mantissa swept.
   const errormodel::FloatPlan eplan = errormodel::search_float_representation(
-      setup.model, {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.5});
+      setup.error_model,
+      {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.5});
   const int exponent_bits = eplan.feasible ? eplan.format.exponent_bits : 9;
   std::printf("=== Fig. 5b: float point, marginal query, E=%d (max/min analysis) ===\n",
               exponent_bits);
@@ -83,19 +85,23 @@ void run_fig5(const Fig5Setup& setup) {
   for (int m = 8; m <= 40; m += 2) {
     const lowprec::FloatFormat fmt{exponent_bits, m};
     const double bound = errormodel::float_query_bound(
-        setup.model, {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.0},
-        fmt);
+        setup.error_model,
+        {errormodel::QueryType::kMarginal, errormodel::ToleranceKind::kRelative, 0.0}, fmt);
+    runtime::InferenceSession lp(setup.model,
+                                 runtime::SessionOptions::low_precision(Representation::of(fmt)));
     double max_err = 0.0;
     double sum_err = 0.0;
     std::size_t counted = 0;
     lowprec::ArithFlags flags;
-    ac::FloatTapeEvaluator lp(setup.tape, fmt);
     for (std::size_t i = 0; i < setup.assignments.size(); ++i) {
       const double exact = setup.exact[i];
+      // Relative error (and the soundness verdict) is only defined where
+      // the exact value is positive, so zero-probability evidence is
+      // skipped before the low-precision pass runs.
       if (exact <= 0.0) continue;
-      const auto r = lp.evaluate(setup.assignments[i]);
-      flags.merge(r.flags);
-      const double err = std::abs(r.value - exact) / exact;
+      const double approx = lp.marginal(setup.assignments[i]);
+      flags.merge(lp.last_flags());
+      const double err = std::abs(approx - exact) / exact;
       max_err = std::max(max_err, err);
       sum_err += err;
       ++counted;
@@ -119,7 +125,7 @@ void BM_AlarmFixedEvaluation(benchmark::State& state) {
   const lowprec::FixedFormat fmt{1, static_cast<int>(state.range(0))};
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ac::evaluate_fixed(setup.framework.binary_circuit(),
+    benchmark::DoNotOptimize(ac::evaluate_fixed(setup.model->binary_circuit(),
                                                 setup.assignments[i % setup.assignments.size()],
                                                 fmt));
     ++i;
@@ -127,19 +133,20 @@ void BM_AlarmFixedEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_AlarmFixedEvaluation)->Arg(14)->Arg(32)->MinTime(0.05);
 
-// The same pass on the compiled tape (parameters pre-quantised, buffers
-// reused) — the engine the sweeps above actually run on.
-void BM_AlarmFixedTapeEvaluation(benchmark::State& state) {
+// The same pass through a low-precision InferenceSession (parameters
+// pre-quantised, buffers reused) — the engine the sweeps above run on.
+void BM_AlarmFixedSessionEvaluation(benchmark::State& state) {
   Fig5Setup& setup = shared_setup();
   const lowprec::FixedFormat fmt{1, static_cast<int>(state.range(0))};
-  ac::FixedTapeEvaluator lp(setup.tape, fmt);
+  runtime::InferenceSession lp(setup.model,
+                               runtime::SessionOptions::low_precision(Representation::of(fmt)));
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lp.evaluate(setup.assignments[i % setup.assignments.size()]));
+    benchmark::DoNotOptimize(lp.marginal(setup.assignments[i % setup.assignments.size()]));
     ++i;
   }
 }
-BENCHMARK(BM_AlarmFixedTapeEvaluation)->Arg(14)->Arg(32)->MinTime(0.05);
+BENCHMARK(BM_AlarmFixedSessionEvaluation)->Arg(14)->Arg(32)->MinTime(0.05);
 
 }  // namespace
 }  // namespace problp

@@ -1,19 +1,18 @@
 // Patient monitoring with the ALARM network — the paper's fourth benchmark.
 //
 // Demonstrates the BIF round-trip (export the network the way standard BN
-// tools ship it), conditional diagnosis queries on sampled sensor readings,
-// and the fixed-vs-float decision for two different tolerance types on the
-// same circuit.
+// tools ship it), one shared CompiledModel answering conditional diagnosis
+// queries through InferenceSessions, and the fixed-vs-float decision for
+// two different tolerance types on the same circuit.
 //
 // Build & run:  ./build/examples/patient_monitoring
 #include <cstdio>
 
-#include "ac/low_precision_eval.hpp"
 #include "bn/bif.hpp"
 #include "compile/ve_compiler.hpp"
 #include "datasets/benchmark_suite.hpp"
-#include "problp/framework.hpp"
 #include "problp/validation.hpp"
+#include "runtime/session.hpp"
 
 int main() {
   using namespace problp;
@@ -33,14 +32,15 @@ int main() {
   std::printf("Exported network to %s (%zu bytes of BIF)\n", bif_path.c_str(),
               bn::to_bif(alarm).size());
 
-  const Framework framework(benchmark.circuit);
+  // One compiled model shared by every session below.
+  const auto model = runtime::CompiledModel::compile(benchmark.circuit);
 
   // Two user requirements on the same circuit (Table 2's ALARM rows).
   for (const auto& spec : {errormodel::QuerySpec{errormodel::QueryType::kMarginal,
                                                  errormodel::ToleranceKind::kAbsolute, 0.01},
                            errormodel::QuerySpec{errormodel::QueryType::kConditional,
                                                  errormodel::ToleranceKind::kRelative, 0.01}}) {
-    const AnalysisReport report = framework.analyze(spec);
+    const AnalysisReport report = model->analyze(spec);
     std::printf("\n%s\n", report.to_string().c_str());
 
     std::vector<ac::PartialAssignment> assignments;
@@ -49,32 +49,34 @@ int main() {
     }
     const ObservedError observed =
         spec.query == errormodel::QueryType::kConditional
-            ? measure_conditional_error(framework.binary_circuit(), benchmark.query_var,
-                                        assignments, report.selected)
-            : measure_marginal_error(framework.binary_circuit(), assignments, report.selected);
+            ? measure_conditional_error(model, benchmark.query_var, assignments,
+                                        report.selected)
+            : measure_marginal_error(model, assignments, report.selected);
     std::printf("  observed on 200 sampled cases: max abs %.3e, max rel %.3e (flags: %s)\n",
                 observed.max_abs, observed.max_rel, observed.flags.any() ? "RAISED" : "clean");
   }
 
   // One concrete diagnosis: posterior of the query node given the first
-  // sampled sensor reading, low precision vs exact.
-  const AnalysisReport report = framework.analyze(
+  // sampled sensor reading, low precision vs exact — both straight through
+  // the session API.
+  const AnalysisReport report = model->analyze(
       {errormodel::QueryType::kConditional, errormodel::ToleranceKind::kRelative, 0.01});
+  runtime::InferenceSession exact_session(model);
+  runtime::InferenceSession lp_session(model, report);
   const auto e = compile::to_assignment(benchmark.test_evidence.front());
-  const double pe = ac::evaluate(framework.binary_circuit(), e);
-  const double pe_lp =
-      ac::evaluate_float(framework.binary_circuit(), e, report.selected.flt).value;
+  const std::vector<double> exact_posterior = exact_session.conditional(benchmark.query_var, e);
+  const std::vector<double> lp_posterior = lp_session.conditional(benchmark.query_var, e);
+  // conditional() returns empty when Pr(e) vanished (the sampled snapshot
+  // makes that impossible exactly, but quantisation could flush it to 0).
+  require(!exact_posterior.empty() && !lp_posterior.empty(),
+          "Pr(first snapshot) vanished; posterior undefined");
   std::printf("\nPosterior of %s given the first sensor snapshot:\n",
               alarm.variable(benchmark.query_var).name.c_str());
   for (int q = 0; q < alarm.cardinality(benchmark.query_var); ++q) {
-    auto qe = e;
-    qe[static_cast<std::size_t>(benchmark.query_var)] = q;
-    const double exact = ac::evaluate(framework.binary_circuit(), qe) / pe;
-    const double approx =
-        ac::evaluate_float(framework.binary_circuit(), qe, report.selected.flt).value / pe_lp;
     std::printf("  state %-10s exact %.6f   %s %.6f\n",
                 alarm.variable(benchmark.query_var).state_names[static_cast<std::size_t>(q)].c_str(),
-                exact, report.selected.to_string().c_str(), approx);
+                exact_posterior[static_cast<std::size_t>(q)],
+                report.selected.to_string().c_str(), lp_posterior[static_cast<std::size_t>(q)]);
   }
   return 0;
 }

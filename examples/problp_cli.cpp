@@ -3,19 +3,31 @@
 //
 //   problp_cli <network.bif> [--query marginal|conditional|mpe]
 //              [--tolerance-kind abs|rel] [--tolerance 0.01]
+//              [--evidence var=state,...] [--query-var <name>]
+//              [--infer] [--batch N]
+//              [--save-model out.pm] [--load-model in.pm]
 //              [--verilog out.v] [--testbench out_tb.v]
 //              [--dot out.dot] [--circuit out.ac]
 //
-// Reads a Bayesian network in BIF format, compiles it, runs the full ProbLP
-// analysis, prints the Table-2-style report, and optionally writes the
-// generated Verilog / a Graphviz rendering / the compiled circuit.
+// Reads a Bayesian network in BIF format, compiles it once into a
+// runtime::CompiledModel, runs the ProbLP analysis, prints the
+// Table-2-style report — and, with --infer, answers the actual query
+// through runtime::InferenceSession, both in exact double and under the
+// representation the analysis selected.  --batch N samples N evidence sets
+// and reports session throughput.  --save-model/--load-model persist the
+// compiled artifact so repeated invocations skip BN compilation.
 //
 // Try it on the bundled ALARM export:
 //   ./build/examples/patient_monitoring            # writes /tmp/problp_alarm.bif
-//   ./build/examples/problp_cli /tmp/problp_alarm.bif --verilog /tmp/alarm.v
+//   ./build/examples/problp_cli /tmp/problp_alarm.bif --query conditional
+//       --tolerance-kind rel --query-var HYPOVOLEMIA
+//       --evidence HRBP=HIGH,HREKG=HIGH --infer --batch 512   (one line)
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "ac/dot.hpp"
 #include "ac/serialize.hpp"
@@ -23,8 +35,9 @@
 #include "bn/sampling.hpp"
 #include "compile/ve_compiler.hpp"
 #include "hw/testbench.hpp"
-#include "problp/framework.hpp"
+#include "runtime/session.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -32,6 +45,9 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <network.bif> [--query marginal|conditional|mpe]\n"
                "          [--tolerance-kind abs|rel] [--tolerance <float>]\n"
+               "          [--evidence var=state,...] [--query-var <name>]\n"
+               "          [--infer] [--batch <N>]\n"
+               "          [--save-model <out.pm>] [--load-model <in.pm>]\n"
                "          [--verilog <out.v>] [--testbench <out_tb.v>]\n"
                "          [--dot <out.dot>] [--circuit <out.ac>]\n",
                argv0);
@@ -42,6 +58,60 @@ void write_file(const std::string& path, const std::string& content) {
   problp::require(out.good(), "cannot open output file '" + path + "'");
   out << content;
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+// "HRBP=HIGH" -> variable / state ids; both sides accept names or indices.
+int resolve_variable(const problp::bn::BayesianNetwork& network, const std::string& token) {
+  const int by_name = network.find_variable(token);
+  if (by_name >= 0) return by_name;
+  try {
+    const int v = std::stoi(token);
+    if (v >= 0 && v < network.num_variables()) return v;
+  } catch (...) {
+  }
+  throw problp::InvalidArgument("unknown variable '" + token + "'");
+}
+
+int resolve_state(const problp::bn::BayesianNetwork& network, int var, const std::string& token) {
+  const auto& names = network.variable(var).state_names;
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    if (names[s] == token) return static_cast<int>(s);
+  }
+  try {
+    const int s = std::stoi(token);
+    if (s >= 0 && s < network.cardinality(var)) return s;
+  } catch (...) {
+  }
+  throw problp::InvalidArgument("variable '" + network.variable(var).name + "' has no state '" +
+                                token + "'");
+}
+
+problp::ac::PartialAssignment parse_evidence(const problp::bn::BayesianNetwork& network,
+                                             const std::string& spec) {
+  problp::ac::PartialAssignment evidence(static_cast<std::size_t>(network.num_variables()));
+  for (const std::string& item : problp::split(spec, ',')) {
+    const std::string entry = problp::trim(item);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    problp::require(eq != std::string::npos, "evidence entry '" + entry + "' is not var=state");
+    const int var = resolve_variable(network, problp::trim(entry.substr(0, eq)));
+    const int state = resolve_state(network, var, problp::trim(entry.substr(eq + 1)));
+    evidence[static_cast<std::size_t>(var)] = state;
+  }
+  return evidence;
+}
+
+std::string describe_evidence(const problp::bn::BayesianNetwork& network,
+                              const problp::ac::PartialAssignment& evidence) {
+  std::string out;
+  for (std::size_t v = 0; v < evidence.size(); ++v) {
+    if (!evidence[v].has_value()) continue;
+    if (!out.empty()) out += ", ";
+    out += network.variable(static_cast<int>(v)).name + "=" +
+           network.variable(static_cast<int>(v))
+               .state_names[static_cast<std::size_t>(*evidence[v])];
+  }
+  return out.empty() ? "(none)" : out;
 }
 
 }  // namespace
@@ -59,66 +129,200 @@ int main(int argc, char** argv) {
   std::string testbench_path;
   std::string dot_path;
   std::string circuit_path;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--query") {
-      const std::string q = next();
-      if (q == "marginal") {
-        spec.query = errormodel::QueryType::kMarginal;
-      } else if (q == "conditional") {
-        spec.query = errormodel::QueryType::kConditional;
-      } else if (q == "mpe") {
-        spec.query = errormodel::QueryType::kMpe;
+  std::string save_model_path;
+  std::string load_model_path;
+  std::string evidence_spec;
+  std::string query_var_name;
+  bool infer = false;
+  long batch = 0;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          usage(argv[0]);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--query") {
+        const std::string q = next();
+        if (q == "marginal") {
+          spec.query = errormodel::QueryType::kMarginal;
+        } else if (q == "conditional") {
+          spec.query = errormodel::QueryType::kConditional;
+        } else if (q == "mpe") {
+          spec.query = errormodel::QueryType::kMpe;
+        } else {
+          usage(argv[0]);
+          return 2;
+        }
+      } else if (arg == "--tolerance-kind") {
+        const std::string k = next();
+        spec.kind = (k == "rel") ? errormodel::ToleranceKind::kRelative
+                                 : errormodel::ToleranceKind::kAbsolute;
+      } else if (arg == "--tolerance") {
+        try {
+          spec.tolerance = std::stod(next());
+        } catch (const std::exception&) {
+          throw InvalidArgument("--tolerance expects a number");
+        }
+      } else if (arg == "--evidence") {
+        evidence_spec = next();
+      } else if (arg == "--query-var") {
+        query_var_name = next();
+      } else if (arg == "--infer") {
+        infer = true;
+      } else if (arg == "--batch") {
+        try {
+          batch = std::stol(next());
+        } catch (const std::exception&) {
+          throw InvalidArgument("--batch expects an integer");
+        }
+      } else if (arg == "--save-model") {
+        save_model_path = next();
+      } else if (arg == "--load-model") {
+        load_model_path = next();
+      } else if (arg == "--verilog") {
+        verilog_path = next();
+      } else if (arg == "--testbench") {
+        testbench_path = next();
+      } else if (arg == "--dot") {
+        dot_path = next();
+      } else if (arg == "--circuit") {
+        circuit_path = next();
       } else {
         usage(argv[0]);
         return 2;
       }
-    } else if (arg == "--tolerance-kind") {
-      const std::string k = next();
-      spec.kind = (k == "rel") ? errormodel::ToleranceKind::kRelative
-                               : errormodel::ToleranceKind::kAbsolute;
-    } else if (arg == "--tolerance") {
-      spec.tolerance = std::stod(next());
-    } else if (arg == "--verilog") {
-      verilog_path = next();
-    } else if (arg == "--testbench") {
-      testbench_path = next();
-    } else if (arg == "--dot") {
-      dot_path = next();
-    } else if (arg == "--circuit") {
-      circuit_path = next();
-    } else {
-      usage(argv[0]);
-      return 2;
     }
-  }
 
-  try {
     std::printf("loading %s ...\n", bif_path.c_str());
     const bn::BayesianNetwork network = bn::load_bif_file(bif_path);
     std::printf("network: %d variables, %zu parameters\n", network.num_variables(),
                 network.num_parameters());
 
-    const ac::Circuit circuit = compile::compile_network(network);
-    std::printf("compiled AC: %s\n", circuit.stats().to_string().c_str());
+    // The one compile (or artifact load) every query below shares.
+    std::shared_ptr<const runtime::CompiledModel> model;
+    if (!load_model_path.empty()) {
+      model = runtime::CompiledModel::load(load_model_path);
+      // Evidence/query names resolve against the BIF network, so a model
+      // compiled from a different network would silently answer the wrong
+      // queries — reject anything whose variable layout disagrees.
+      std::vector<int> network_cards;
+      for (int v = 0; v < network.num_variables(); ++v) {
+        network_cards.push_back(network.cardinality(v));
+      }
+      require(model->cardinalities() == network_cards,
+              "--load-model: artifact does not match the network (different "
+              "variable count or cardinalities)");
+      std::printf("loaded compiled model from %s (recompilation skipped)\n",
+                  load_model_path.c_str());
+    } else {
+      model = runtime::CompiledModel::compile(network);
+    }
+    std::printf("compiled AC (binarised): %s\n",
+                model->binary_circuit().stats().to_string().c_str());
+    if (!save_model_path.empty()) write_file(save_model_path, model->to_text());
 
-    const Framework framework(circuit);
-    const AnalysisReport report = framework.analyze(spec);
+    const AnalysisReport report = model->analyze(spec);
     std::printf("\n%s\n\n", report.to_string().c_str());
     if (!report.any_feasible) {
       std::printf("no representation meets the tolerance within the search caps\n");
       return 1;
     }
 
+    // ---- online inference through the session API --------------------------
+    if (infer || batch > 0) {
+      ac::PartialAssignment evidence = evidence_spec.empty()
+                                           ? ac::PartialAssignment(static_cast<std::size_t>(
+                                                 network.num_variables()))
+                                           : parse_evidence(network, evidence_spec);
+      int query_var = -1;
+      if (spec.query == errormodel::QueryType::kConditional) {
+        require(!query_var_name.empty(), "--query conditional needs --query-var <name>");
+        query_var = resolve_variable(network, query_var_name);
+        require(!evidence[static_cast<std::size_t>(query_var)].has_value(),
+                "--query-var must not appear in --evidence");
+      }
+
+      runtime::InferenceSession exact(model);
+      runtime::InferenceSession lowprec(model, report);
+
+      if (infer) {
+        std::printf("evidence: %s\n", describe_evidence(network, evidence).c_str());
+        if (spec.query == errormodel::QueryType::kConditional) {
+          const std::vector<double> exact_post = exact.conditional(query_var, evidence);
+          const std::vector<double> lp_post = lowprec.conditional(query_var, evidence);
+          require(!exact_post.empty(), "Pr(evidence) = 0: the conditional query is undefined");
+          if (lp_post.empty()) {
+            std::printf("note: %s flushed Pr(evidence) to 0 — low-precision posterior "
+                        "undefined\n",
+                        report.selected.to_string().c_str());
+          }
+          std::printf("posterior of %s (exact | %s):\n", network.variable(query_var).name.c_str(),
+                      report.selected.to_string().c_str());
+          for (int q = 0; q < network.cardinality(query_var); ++q) {
+            const std::string lp_cell =
+                lp_post.empty() ? std::string("undefined")
+                                : str_format("%.8f", lp_post[static_cast<std::size_t>(q)]);
+            std::printf("  %-16s %.8f | %s\n",
+                        network.variable(query_var).state_names[static_cast<std::size_t>(q)]
+                            .c_str(),
+                        exact_post[static_cast<std::size_t>(q)], lp_cell.c_str());
+          }
+        } else if (spec.query == errormodel::QueryType::kMpe) {
+          std::printf("MPE value max_x Pr(x, e): exact %.10g | %s %.10g\n",
+                      exact.mpe(evidence), report.selected.to_string().c_str(),
+                      lowprec.mpe(evidence));
+        } else {
+          std::printf("Pr(e): exact %.10g | %s %.10g\n", exact.marginal(evidence),
+                      report.selected.to_string().c_str(), lowprec.marginal(evidence));
+        }
+        if (lowprec.last_flags().any()) {
+          std::printf("  low-precision flags RAISED (overflow/underflow observed)\n");
+        }
+      }
+
+      if (batch > 0) {
+        // Quick throughput readout: N sampled evidence sets through the
+        // batched session path, exact then low-precision.
+        Rng rng(7);
+        std::vector<ac::PartialAssignment> batch_evidence;
+        batch_evidence.reserve(static_cast<std::size_t>(batch));
+        for (const auto& sample :
+             bn::sample_dataset(network, static_cast<int>(batch), rng)) {
+          ac::PartialAssignment a(sample.begin(), sample.end());
+          if (query_var >= 0) a[static_cast<std::size_t>(query_var)].reset();
+          batch_evidence.push_back(std::move(a));
+        }
+        auto time_qps = [&](auto&& run) {
+          const auto t0 = std::chrono::steady_clock::now();
+          run();
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          return static_cast<double>(batch_evidence.size()) / secs;
+        };
+        double exact_qps = 0.0;
+        double lp_qps = 0.0;
+        if (spec.query == errormodel::QueryType::kConditional) {
+          exact_qps = time_qps([&] { exact.conditional(query_var, batch_evidence); });
+          lp_qps = time_qps([&] { lowprec.conditional(query_var, batch_evidence); });
+        } else if (spec.query == errormodel::QueryType::kMpe) {
+          exact_qps = time_qps([&] { exact.mpe(batch_evidence); });
+          lp_qps = time_qps([&] { lowprec.mpe(batch_evidence); });
+        } else {
+          exact_qps = time_qps([&] { exact.marginal(batch_evidence); });
+          lp_qps = time_qps([&] { lowprec.marginal(batch_evidence); });
+        }
+        std::printf("throughput over %zu sampled evidence sets: exact %.0f q/s, %s %.0f q/s\n",
+                    batch_evidence.size(), exact_qps, report.selected.to_string().c_str(),
+                    lp_qps);
+      }
+    }
+
     if (!verilog_path.empty() || !testbench_path.empty()) {
-      const HardwareReport hardware = framework.generate_hardware(report);
+      const HardwareReport hardware = model->generate_hardware(report);
       std::printf("hardware: %s\n", hardware.stats.to_string().c_str());
       std::printf("netlist energy estimate: %.4g nJ/eval\n", hardware.netlist_energy_nj);
       if (!verilog_path.empty()) write_file(verilog_path, hardware.verilog);
@@ -141,12 +345,13 @@ int main(int argc, char** argv) {
     if (!dot_path.empty()) {
       std::vector<std::string> names;
       for (int v = 0; v < network.num_variables(); ++v) names.push_back(network.variable(v).name);
-      write_file(dot_path, ac::to_dot(framework.binary_circuit(), names));
+      write_file(dot_path, ac::to_dot(model->binary_circuit(), names));
     }
     if (!circuit_path.empty()) {
-      write_file(circuit_path, ac::to_text(framework.binary_circuit()));
+      write_file(circuit_path, ac::to_text(model->binary_circuit()));
     }
-  } catch (const Error& e) {
+  } catch (const std::exception& e) {
+    // problp::Error and the std::stod/std::stol flag-parsing failures alike.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

@@ -1,18 +1,18 @@
 // Quickstart: the paper's Fig. 1 network (A -> B, A -> C) through the whole
 // ProbLP pipeline in ~80 lines:
 //
-//   build BN -> compile AC -> ask ProbLP for a representation meeting an
-//   error tolerance -> inspect the chosen bit widths, energy, and bound ->
-//   evaluate a query in low precision and compare against double.
+//   build BN -> compile once into a shared CompiledModel -> ask ProbLP for
+//   a representation meeting an error tolerance -> inspect the chosen bit
+//   widths, energy, and bound -> answer the query through InferenceSessions
+//   (exact and low-precision) -> generate the hardware.
 //
 // Build & run:  ./build/examples/quickstart
+#include <cmath>
 #include <cstdio>
 
-#include "ac/low_precision_eval.hpp"
 #include "bn/network.hpp"
 #include "bn/variable_elimination.hpp"
-#include "compile/ve_compiler.hpp"
-#include "problp/framework.hpp"
+#include "runtime/session.hpp"
 
 int main() {
   using namespace problp;
@@ -29,45 +29,39 @@ int main() {
                            0.5, 0.25, 0.25});  // P(C | a2)
   network.validate();
 
-  // ---- 2. Compile to an arithmetic circuit (Fig. 1b). --------------------
-  const ac::Circuit circuit = compile::compile_network(network);
-  std::printf("Compiled AC: %s\n", circuit.stats().to_string().c_str());
+  // ---- 2. Compile once: BN -> AC -> binarised circuit -> flattened tape. -
+  const auto model = runtime::CompiledModel::compile(network);
+  std::printf("Compiled model: %s\n", model->binary_circuit().stats().to_string().c_str());
 
   // ---- 3. Ask ProbLP for the cheapest representation meeting a tolerance.-
-  const Framework framework(circuit);
   const errormodel::QuerySpec spec{errormodel::QueryType::kMarginal,
                                    errormodel::ToleranceKind::kAbsolute, 0.01};
-  const AnalysisReport report = framework.analyze(spec);
+  const AnalysisReport report = model->analyze(spec);
   std::printf("\nProbLP analysis (marginal query, absolute tolerance 0.01):\n  %s\n",
               report.to_string().c_str());
 
-  // ---- 4. Evaluate the example query Pr(A=a1, C=c3) from the paper. ------
-  bn::Evidence evidence = network.empty_evidence();
+  // ---- 4. Answer the example query Pr(A=a1, C=c3) through sessions. ------
+  ac::PartialAssignment evidence(static_cast<std::size_t>(network.num_variables()));
   evidence[static_cast<std::size_t>(a)] = 0;  // A = a1
   evidence[static_cast<std::size_t>(c)] = 2;  // C = c3
-  const auto assignment = compile::to_assignment(evidence);
 
-  const double exact = ac::evaluate(framework.binary_circuit(), assignment);
+  runtime::InferenceSession exact_session(model);      // exact double backend
+  runtime::InferenceSession lp_session(model, report); // the selected datapath
+  const double exact = exact_session.marginal(evidence);
   const bn::VariableElimination ve(network);
-  std::printf("\nPr(A=a1, C=c3): exact AC upward pass = %.10f (VE cross-check %.10f)\n",
+  std::printf("\nPr(A=a1, C=c3): exact session = %.10f (VE cross-check %.10f)\n",
               exact, ve.probability_of_evidence(evidence));
 
-  double approx = 0.0;
-  if (report.selected.kind == Representation::Kind::kFixed) {
-    approx = ac::evaluate_fixed(framework.binary_circuit(), assignment,
-                                report.selected.fixed).value;
-  } else {
-    approx = ac::evaluate_float(framework.binary_circuit(), assignment,
-                                report.selected.flt).value;
-  }
-  std::printf("Low-precision (%s) evaluation  = %.10f  (|error| = %.3e, bound %.3e)\n",
+  const double approx = lp_session.marginal(evidence);
+  std::printf("Low-precision (%s) session     = %.10f  (|error| = %.3e, bound %.3e, flags %s)\n",
               report.selected.to_string().c_str(), approx, std::abs(approx - exact),
               report.selected.kind == Representation::Kind::kFixed
                   ? report.fixed_plan.predicted_bound
-                  : report.float_plan.predicted_bound);
+                  : report.float_plan.predicted_bound,
+              lp_session.last_flags().any() ? "RAISED" : "clean");
 
   // ---- 5. Generate the hardware. ------------------------------------------
-  const HardwareReport hardware = framework.generate_hardware(report);
+  const HardwareReport hardware = model->generate_hardware(report);
   std::printf("\nGenerated hardware: %s\n", hardware.stats.to_string().c_str());
   std::printf("Netlist (\"post-synthesis\") energy estimate: %.4g nJ/evaluation\n",
               hardware.netlist_energy_nj);

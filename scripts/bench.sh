@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Builds Release, runs the evaluation-throughput bench, and appends its JSON
 # lines to BENCH_eval.json so the perf trajectory is tracked across PRs.
+# Each line carries the raw engines (interpreter/tape/batched) plus the
+# unified runtime's session_qps / session_batched_qps, so the session API's
+# overhead over the raw batched engine is tracked release over release
+# (acceptance: session_batched within 10% of the batched baseline).
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail

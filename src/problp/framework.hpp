@@ -6,97 +6,48 @@
 //     -> energy estimates (Table-1 models) -> representation selection
 //     -> hardware generation -> pipelined netlist + Verilog
 //
-// Construction binarises the circuit (hardware decomposition, §3.4 stage 1)
-// and precomputes the format-independent analyses; analyze() then answers
-// any (query, tolerance) combination, and generate_hardware() emits the
-// datapath for the selected representation.
+// Framework is a thin, source-compatible facade over the runtime layer: it
+// compiles a runtime::CompiledModel (which binarises the circuit — §3.4
+// stage 1 — and lazily materialises the analyses) and delegates every call.
+// Code that also wants to *answer queries* should take model() and open
+// runtime::InferenceSessions on it; the analysis types and the pure
+// analyze/generate functions live in problp/report.hpp.
 #pragma once
 
-#include <optional>
-#include <string>
+#include <memory>
 
-#include "ac/circuit.hpp"
-#include "ac/transform.hpp"
-#include "energy/circuit_energy.hpp"
-#include "errormodel/bitwidth_search.hpp"
-#include "hw/netlist.hpp"
-#include "hw/netlist_energy.hpp"
+#include "problp/report.hpp"
+#include "runtime/compiled_model.hpp"
 
 namespace problp {
 
-struct FrameworkOptions {
-  errormodel::SearchOptions search;
-  ac::DecompositionStyle decomposition = ac::DecompositionStyle::kBalanced;
-  hw::NetlistEnergyOptions netlist_energy;
-};
-
-/// The representation ProbLP selected (fixed xor float).
-struct Representation {
-  enum class Kind { kFixed, kFloat } kind = Kind::kFixed;
-  lowprec::FixedFormat fixed;  ///< valid when kind == kFixed
-  lowprec::FloatFormat flt;    ///< valid when kind == kFloat
-
-  std::string to_string() const;
-};
-
-/// Everything Table 2 reports for one (AC, query, tolerance) row.
-struct AnalysisReport {
-  errormodel::QuerySpec spec;
-
-  errormodel::FixedPlan fixed_plan;
-  double fixed_energy_nj = 0.0;  ///< +inf when infeasible
-
-  errormodel::FloatPlan float_plan;
-  double float_energy_nj = 0.0;  ///< +inf when infeasible
-
-  Representation selected;       ///< lower predicted energy of the feasible plans
-  bool any_feasible = false;
-
-  double float32_reference_nj = 0.0;  ///< same AC at E=8, M=23
-  energy::OperatorCensus census;
-
-  /// One Table-2-style row (human-readable).
-  std::string to_string() const;
-};
-
-/// Generated hardware for a selected representation.
-struct HardwareReport {
-  hw::Netlist netlist;
-  hw::NetlistStats stats;
-  std::string verilog;
-  double netlist_energy_nj = 0.0;  ///< the "post-synthesis" estimate
-};
-
 class Framework {
  public:
-  explicit Framework(const ac::Circuit& circuit, FrameworkOptions options = {});
+  explicit Framework(const ac::Circuit& circuit, FrameworkOptions options = {})
+      : model_(runtime::CompiledModel::compile(circuit, options)) {}
 
-  /// Error analysis + bit-width search + energy comparison for one query.
-  AnalysisReport analyze(const errormodel::QuerySpec& spec) const;
+  /// Error analysis + bit-width search + energy comparison for one query
+  /// (cached per spec in the underlying model).
+  AnalysisReport analyze(const errormodel::QuerySpec& spec) const { return model_->analyze(spec); }
 
   /// Pipelined netlist + Verilog for the representation `report` selected.
-  HardwareReport generate_hardware(const AnalysisReport& report) const;
+  HardwareReport generate_hardware(const AnalysisReport& report) const {
+    return model_->generate_hardware(report);
+  }
 
   /// The binarised circuit a marginal/conditional query evaluates.
-  const ac::Circuit& binary_circuit() const { return binary_; }
+  const ac::Circuit& binary_circuit() const { return model_->binary_circuit(); }
   /// The binarised maximiser circuit an MPE query evaluates.
-  const ac::Circuit& binary_max_circuit() const { return binary_max_; }
+  const ac::Circuit& binary_max_circuit() const { return model_->binary_max_circuit(); }
 
-  const FrameworkOptions& options() const { return options_; }
+  const FrameworkOptions& options() const { return model_->options(); }
+
+  /// The shared artifact behind this facade — open
+  /// runtime::InferenceSessions on it to answer queries.
+  const std::shared_ptr<const runtime::CompiledModel>& model() const { return model_; }
 
  private:
-  const ac::Circuit& circuit_for(errormodel::QueryType q) const {
-    return q == errormodel::QueryType::kMpe ? binary_max_ : binary_;
-  }
-  const errormodel::CircuitErrorModel& model_for(errormodel::QueryType q) const {
-    return q == errormodel::QueryType::kMpe ? max_model_ : model_;
-  }
-
-  FrameworkOptions options_;
-  ac::Circuit binary_;
-  ac::Circuit binary_max_;
-  errormodel::CircuitErrorModel model_;
-  errormodel::CircuitErrorModel max_model_;
+  std::shared_ptr<const runtime::CompiledModel> model_;
 };
 
 }  // namespace problp

@@ -1,6 +1,5 @@
-#include "problp/framework.hpp"
+#include "problp/report.hpp"
 
-#include <cmath>
 #include <limits>
 
 #include "hw/generator.hpp"
@@ -35,29 +34,22 @@ std::string AnalysisReport::to_string() const {
       any_feasible ? selected.to_string().c_str() : "none", float32_reference_nj);
 }
 
-Framework::Framework(const ac::Circuit& circuit, FrameworkOptions options)
-    : options_(options),
-      binary_(ac::binarize(circuit, options.decomposition).circuit),
-      binary_max_(ac::binarize(ac::to_max_circuit(circuit), options.decomposition).circuit),
-      model_(errormodel::CircuitErrorModel::build(binary_)),
-      max_model_(errormodel::CircuitErrorModel::build(binary_max_)) {}
-
-AnalysisReport Framework::analyze(const errormodel::QuerySpec& spec) const {
-  const ac::Circuit& circuit = circuit_for(spec.query);
-  const errormodel::CircuitErrorModel& model = model_for(spec.query);
-
+AnalysisReport analyze_circuit(const ac::Circuit& binary_circuit,
+                               const errormodel::CircuitErrorModel& model,
+                               const errormodel::QuerySpec& spec,
+                               const FrameworkOptions& options) {
   AnalysisReport report;
   report.spec = spec;
-  report.census = energy::OperatorCensus::of(circuit);
+  report.census = energy::OperatorCensus::of(binary_circuit);
 
   report.fixed_plan =
-      errormodel::search_fixed_representation(circuit, model, spec, options_.search);
+      errormodel::search_fixed_representation(binary_circuit, model, spec, options.search);
   report.fixed_energy_nj =
       report.fixed_plan.feasible
           ? energy::fj_to_nj(energy::fixed_energy_fj(report.census, report.fixed_plan.format))
           : kInf;
 
-  report.float_plan = errormodel::search_float_representation(model, spec, options_.search);
+  report.float_plan = errormodel::search_float_representation(model, spec, options.search);
   report.float_energy_nj =
       report.float_plan.feasible
           ? energy::fj_to_nj(energy::float_energy_fj(report.census, report.float_plan.format))
@@ -76,25 +68,25 @@ AnalysisReport Framework::analyze(const errormodel::QuerySpec& spec) const {
   return report;
 }
 
-HardwareReport Framework::generate_hardware(const AnalysisReport& report) const {
+HardwareReport generate_hardware(const ac::Circuit& binary_circuit, const AnalysisReport& report,
+                                 const FrameworkOptions& options) {
   require(report.any_feasible, "generate_hardware: no feasible representation");
-  const ac::Circuit& circuit = circuit_for(report.spec.query);
-  hw::Netlist netlist = hw::generate_netlist(circuit);
+  hw::Netlist netlist = hw::generate_netlist(binary_circuit);
   hw::VerilogOptions vopts;
 
   HardwareReport out{std::move(netlist), {}, {}, 0.0};
   out.stats = out.netlist.stats();
   if (report.selected.kind == Representation::Kind::kFixed) {
-    vopts.rounding = options_.search.fixed_options.rounding;
+    vopts.rounding = options.search.fixed_options.rounding;
     out.verilog = hw::emit_fixed_verilog(out.netlist, report.selected.fixed, vopts);
     out.netlist_energy_nj = energy::fj_to_nj(
-        hw::fixed_netlist_energy(out.netlist, report.selected.fixed, options_.netlist_energy)
+        hw::fixed_netlist_energy(out.netlist, report.selected.fixed, options.netlist_energy)
             .total_fj());
   } else {
-    vopts.rounding = options_.search.float_rounding;
+    vopts.rounding = options.search.float_rounding;
     out.verilog = hw::emit_float_verilog(out.netlist, report.selected.flt, vopts);
     out.netlist_energy_nj = energy::fj_to_nj(
-        hw::float_netlist_energy(out.netlist, report.selected.flt, options_.netlist_energy)
+        hw::float_netlist_energy(out.netlist, report.selected.flt, options.netlist_energy)
             .total_fj());
   }
   return out;

@@ -1,0 +1,94 @@
+// Analysis-layer value types and the pure functions that compute them —
+// the shared vocabulary of the Framework facade and the runtime layer
+// (runtime/compiled_model.hpp).
+//
+// A (binarised circuit, CircuitErrorModel) pair plus a QuerySpec determines
+// one Table-2 row: the optimal fixed and float representations, their
+// predicted energies, and the selection.  analyze_circuit() computes that
+// row; generate_hardware() emits the datapath for the selected
+// representation.  Both are stateless, so every caller (Framework,
+// CompiledModel's report cache, tests) gets bit-identical reports.
+#pragma once
+
+#include <string>
+
+#include "ac/circuit.hpp"
+#include "ac/transform.hpp"
+#include "energy/circuit_energy.hpp"
+#include "errormodel/bitwidth_search.hpp"
+#include "hw/netlist.hpp"
+#include "hw/netlist_energy.hpp"
+
+namespace problp {
+
+struct FrameworkOptions {
+  errormodel::SearchOptions search;
+  ac::DecompositionStyle decomposition = ac::DecompositionStyle::kBalanced;
+  hw::NetlistEnergyOptions netlist_energy;
+};
+
+/// The representation ProbLP selected (fixed xor float).
+struct Representation {
+  enum class Kind { kFixed, kFloat } kind = Kind::kFixed;
+  lowprec::FixedFormat fixed;  ///< valid when kind == kFixed
+  lowprec::FloatFormat flt;    ///< valid when kind == kFloat
+
+  static Representation of(lowprec::FixedFormat format) {
+    Representation repr;
+    repr.kind = Kind::kFixed;
+    repr.fixed = format;
+    return repr;
+  }
+  static Representation of(lowprec::FloatFormat format) {
+    Representation repr;
+    repr.kind = Kind::kFloat;
+    repr.flt = format;
+    return repr;
+  }
+
+  std::string to_string() const;
+};
+
+/// Everything Table 2 reports for one (AC, query, tolerance) row.
+struct AnalysisReport {
+  errormodel::QuerySpec spec;
+
+  errormodel::FixedPlan fixed_plan;
+  double fixed_energy_nj = 0.0;  ///< +inf when infeasible
+
+  errormodel::FloatPlan float_plan;
+  double float_energy_nj = 0.0;  ///< +inf when infeasible
+
+  Representation selected;       ///< lower predicted energy of the feasible plans
+  bool any_feasible = false;
+
+  double float32_reference_nj = 0.0;  ///< same AC at E=8, M=23
+  energy::OperatorCensus census;
+
+  /// One Table-2-style row (human-readable).
+  std::string to_string() const;
+};
+
+/// Generated hardware for a selected representation.
+struct HardwareReport {
+  hw::Netlist netlist;
+  hw::NetlistStats stats;
+  std::string verilog;
+  double netlist_energy_nj = 0.0;  ///< the "post-synthesis" estimate
+};
+
+/// Error analysis + bit-width search + energy comparison for one query on
+/// `binary_circuit` (the circuit the query evaluates; for MPE, the
+/// binarised max-circuit) with `model` built from that same circuit.
+AnalysisReport analyze_circuit(const ac::Circuit& binary_circuit,
+                               const errormodel::CircuitErrorModel& model,
+                               const errormodel::QuerySpec& spec,
+                               const FrameworkOptions& options);
+
+/// Pipelined netlist + Verilog for the representation `report` selected.
+/// `binary_circuit` must be the circuit `report` was analysed on.
+HardwareReport generate_hardware(const ac::Circuit& binary_circuit,
+                                 const AnalysisReport& report,
+                                 const FrameworkOptions& options);
+
+}  // namespace problp

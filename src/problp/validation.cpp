@@ -2,9 +2,8 @@
 
 #include <cmath>
 
-#include "ac/batch_eval.hpp"
-#include "ac/low_precision_eval.hpp"
-#include "ac/tape.hpp"
+#include "runtime/compiled_model.hpp"
+#include "runtime/session.hpp"
 
 namespace problp {
 
@@ -30,20 +29,50 @@ void finalize(ObservedError& err) {
   }
 }
 
-// The error sweeps evaluate one circuit under hundreds of evidence sets, so
-// they run on the compiled-tape engine: exact values come from one batched
-// sweep, low-precision values from a tape evaluator whose parameters are
-// quantised once.  `Fn(lp)` receives the selected evaluator.
-template <class Fn>
-void with_lowprec_evaluator(const ac::CircuitTape& tape, const Representation& repr,
-                            lowprec::RoundingMode rounding, Fn&& fn) {
-  if (repr.kind == Representation::Kind::kFixed) {
-    ac::FixedTapeEvaluator lp(tape, repr.fixed, rounding);
-    fn(lp);
+// The kind of sweep one measure_* call runs: root values of the marginal
+// tape, posteriors of a query variable, or root values of the maximiser
+// tape (whose root *is* the MPE query).
+enum class MeasureQuery { kMarginalRoot, kConditional, kMpeRoot };
+
+// The one observed-error implementation behind all measure_* entry points:
+// a low-precision InferenceSession against an exact one on the same shared
+// CompiledModel.
+ObservedError measure_error(const std::shared_ptr<const runtime::CompiledModel>& model,
+                            MeasureQuery query, int query_var,
+                            const std::vector<ac::PartialAssignment>& assignments,
+                            const Representation& repr, lowprec::RoundingMode rounding) {
+  runtime::InferenceSession exact(model);
+  runtime::InferenceSession lowprec(model,
+                                    runtime::SessionOptions::low_precision(repr, rounding));
+
+  ObservedError err;
+  if (query != MeasureQuery::kConditional) {
+    // One batched exact sweep; per-query low-precision passes against it.
+    const bool mpe = query == MeasureQuery::kMpeRoot;
+    const std::vector<double>& ground_truth =
+        mpe ? exact.mpe(assignments) : exact.marginal(assignments);
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      const double approx =
+          mpe ? lowprec.mpe(assignments[i]) : lowprec.marginal(assignments[i]);
+      err.flags.merge(lowprec.last_flags());
+      accumulate(err, approx, ground_truth[i]);
+    }
   } else {
-    ac::FloatTapeEvaluator lp(tape, repr.flt, rounding);
-    fn(lp);
+    // Exact posteriors in batched SoA sweeps, low-precision per query.
+    const std::vector<std::vector<double>> truth = exact.conditional(query_var, assignments);
+    const std::vector<std::vector<double>> approx = lowprec.conditional(query_var, assignments);
+    err.flags.merge(lowprec.last_flags());
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+      // Skip evidence where either side's Pr(e) vanished: the query is
+      // undefined there (matching the pre-session sweeps).
+      if (approx[i].empty() || truth[i].empty()) continue;
+      for (std::size_t q = 0; q < truth[i].size(); ++q) {
+        accumulate(err, approx[i][q], truth[i][q]);
+      }
+    }
   }
+  finalize(err);
+  return err;
 }
 
 }  // namespace
@@ -52,65 +81,53 @@ ObservedError measure_marginal_error(const ac::Circuit& binary_circuit,
                                      const std::vector<ac::PartialAssignment>& assignments,
                                      const Representation& repr,
                                      lowprec::RoundingMode rounding) {
-  const ac::CircuitTape tape = ac::CircuitTape::compile(binary_circuit);
-  ac::BatchEvaluator batch(tape);
-  const std::vector<double>& exact = batch.evaluate(assignments);
-  ObservedError err;
-  with_lowprec_evaluator(tape, repr, rounding, [&](auto& lp) {
-    for (std::size_t i = 0; i < assignments.size(); ++i) {
-      const ac::LowPrecisionResult approx = lp.evaluate(assignments[i]);
-      err.flags.merge(approx.flags);
-      accumulate(err, approx.value, exact[i]);
-    }
-  });
-  finalize(err);
-  return err;
+  return measure_error(runtime::CompiledModel::wrap(binary_circuit),
+                       MeasureQuery::kMarginalRoot, -1, assignments, repr, rounding);
 }
 
 ObservedError measure_conditional_error(const ac::Circuit& binary_circuit, int query_var,
                                         const std::vector<ac::PartialAssignment>& assignments,
                                         const Representation& repr,
                                         lowprec::RoundingMode rounding) {
-  require(query_var >= 0 && query_var < binary_circuit.num_variables(),
-          "measure_conditional_error: bad query var");
-  const ac::CircuitTape tape = ac::CircuitTape::compile(binary_circuit);
-  ac::BatchEvaluator batch(tape);
-  const int card = binary_circuit.cardinalities()[static_cast<std::size_t>(query_var)];
-  for (const auto& e : assignments) {
-    require(!e[static_cast<std::size_t>(query_var)].has_value(),
-            "measure_conditional_error: query variable must be unobserved");
-  }
-  // Pr(e) for every evidence set in one batched sweep; the per-state
-  // numerators are batched per surviving evidence set below.
-  std::vector<double> exact_pe(batch.evaluate(assignments));
-  ObservedError err;
-  with_lowprec_evaluator(tape, repr, rounding, [&](auto& lp) {
-    std::vector<ac::PartialAssignment> qes(static_cast<std::size_t>(card));
-    for (std::size_t i = 0; i < assignments.size(); ++i) {
-      const ac::LowPrecisionResult approx_pe = lp.evaluate(assignments[i]);
-      err.flags.merge(approx_pe.flags);
-      if (exact_pe[i] <= 0.0 || approx_pe.value <= 0.0) continue;  // query undefined here
-      for (int q = 0; q < card; ++q) {
-        qes[static_cast<std::size_t>(q)] = assignments[i];
-        qes[static_cast<std::size_t>(q)][static_cast<std::size_t>(query_var)] = q;
-      }
-      const std::vector<double>& exact_q = batch.evaluate(qes);
-      for (int q = 0; q < card; ++q) {
-        const ac::LowPrecisionResult approx_qe = lp.evaluate(qes[static_cast<std::size_t>(q)]);
-        err.flags.merge(approx_qe.flags);
-        accumulate(err, approx_qe.value / approx_pe.value,
-                   exact_q[static_cast<std::size_t>(q)] / exact_pe[i]);
-      }
-    }
-  });
-  finalize(err);
-  return err;
+  return measure_conditional_error(runtime::CompiledModel::wrap(binary_circuit), query_var,
+                                   assignments, repr, rounding);
 }
 
 ObservedError measure_mpe_error(const ac::Circuit& binary_max_circuit,
                                 const std::vector<ac::PartialAssignment>& assignments,
                                 const Representation& repr, lowprec::RoundingMode rounding) {
-  return measure_marginal_error(binary_max_circuit, assignments, repr, rounding);
+  // The caller hands us the maximiser circuit itself, so its root is read
+  // through the marginal tape of the wrapped model.
+  return measure_error(runtime::CompiledModel::wrap(binary_max_circuit),
+                       MeasureQuery::kMarginalRoot, -1, assignments, repr, rounding);
+}
+
+ObservedError measure_marginal_error(const std::shared_ptr<const runtime::CompiledModel>& model,
+                                     const std::vector<ac::PartialAssignment>& assignments,
+                                     const Representation& repr,
+                                     lowprec::RoundingMode rounding) {
+  return measure_error(model, MeasureQuery::kMarginalRoot, -1, assignments, repr, rounding);
+}
+
+ObservedError measure_conditional_error(
+    const std::shared_ptr<const runtime::CompiledModel>& model, int query_var,
+    const std::vector<ac::PartialAssignment>& assignments, const Representation& repr,
+    lowprec::RoundingMode rounding) {
+  require(model != nullptr, "measure_conditional_error: null model");
+  require(query_var >= 0 && query_var < model->num_variables(),
+          "measure_conditional_error: bad query var");
+  for (const auto& e : assignments) {
+    require(!e[static_cast<std::size_t>(query_var)].has_value(),
+            "measure_conditional_error: query variable must be unobserved");
+  }
+  return measure_error(model, MeasureQuery::kConditional, query_var, assignments, repr,
+                       rounding);
+}
+
+ObservedError measure_mpe_error(const std::shared_ptr<const runtime::CompiledModel>& model,
+                                const std::vector<ac::PartialAssignment>& assignments,
+                                const Representation& repr, lowprec::RoundingMode rounding) {
+  return measure_error(model, MeasureQuery::kMpeRoot, -1, assignments, repr, rounding);
 }
 
 }  // namespace problp

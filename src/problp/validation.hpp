@@ -9,12 +9,17 @@
 // outside the AC error model).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ac/circuit.hpp"
 #include "ac/evaluator.hpp"
 #include "lowprec/format.hpp"
 #include "problp/framework.hpp"
+
+namespace problp::runtime {
+class CompiledModel;
+}
 
 namespace problp {
 
@@ -48,6 +53,26 @@ ObservedError measure_conditional_error(
 ObservedError measure_mpe_error(
     const ac::Circuit& binary_max_circuit, const std::vector<ac::PartialAssignment>& assignments,
     const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+/// Model-based overloads for callers that already hold a CompiledModel
+/// (bench_table2, patient_monitoring): the circuit-reference entry points
+/// above re-wrap (copy + re-flatten) the circuit per call, these reuse the
+/// model's tapes directly.  Results are bit-identical to the circuit forms
+/// on the model's binary (resp. maximiser) circuit.
+ObservedError measure_marginal_error(
+    const std::shared_ptr<const runtime::CompiledModel>& model,
+    const std::vector<ac::PartialAssignment>& assignments, const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+ObservedError measure_conditional_error(
+    const std::shared_ptr<const runtime::CompiledModel>& model, int query_var,
+    const std::vector<ac::PartialAssignment>& assignments, const Representation& repr,
+    lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
+
+ObservedError measure_mpe_error(
+    const std::shared_ptr<const runtime::CompiledModel>& model,
+    const std::vector<ac::PartialAssignment>& assignments, const Representation& repr,
     lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven);
 
 }  // namespace problp

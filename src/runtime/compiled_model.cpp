@@ -1,0 +1,217 @@
+#include "runtime/compiled_model.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "ac/serialize.hpp"
+#include "bn/network.hpp"
+#include "compile/ve_compiler.hpp"
+
+namespace problp::runtime {
+
+namespace {
+
+const char* to_keyword(ac::DecompositionStyle style) {
+  return style == ac::DecompositionStyle::kChain ? "chain" : "balanced";
+}
+
+ac::DecompositionStyle decomposition_from_keyword(const std::string& word) {
+  if (word == "balanced") return ac::DecompositionStyle::kBalanced;
+  if (word == "chain") return ac::DecompositionStyle::kChain;
+  throw ParseError("model load: unknown decomposition style '" + word + "'");
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(std::optional<ac::Circuit> source, ac::Circuit binary,
+                             FrameworkOptions options)
+    : options_(options),
+      binary_(std::move(binary)),
+      tape_(ac::CircuitTape::compile(binary_)),
+      source_(std::move(source)) {}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(const ac::Circuit& circuit,
+                                                            FrameworkOptions options) {
+  ac::Circuit binary = ac::binarize(circuit, options.decomposition).circuit;
+  return std::shared_ptr<const CompiledModel>(
+      new CompiledModel(circuit, std::move(binary), options));
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(const bn::BayesianNetwork& network,
+                                                            FrameworkOptions options) {
+  return compile(compile::compile_network(network), options);
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::wrap(ac::Circuit circuit,
+                                                         FrameworkOptions options) {
+  return std::shared_ptr<const CompiledModel>(
+      new CompiledModel(std::nullopt, std::move(circuit), options));
+}
+
+// ---- lazy artifacts --------------------------------------------------------
+
+const CompiledModel::MaxArtifact& CompiledModel::ensure_max_locked() const {
+  if (!max_) {
+    // The same derivation Framework ran: maximise the *source* circuit,
+    // then decompose — so compile()-built models are bit-identical to the
+    // pre-runtime pipeline.  wrap()ed models maximise the wrapped circuit.
+    ac::Circuit max_circuit =
+        ac::binarize(ac::to_max_circuit(source_ ? *source_ : binary_), options_.decomposition)
+            .circuit;
+    ac::CircuitTape max_tape = ac::CircuitTape::compile(max_circuit);
+    max_.reset(new MaxArtifact{std::move(max_circuit), std::move(max_tape)});
+    source_.reset();  // the source arena has served its only purpose
+  }
+  return *max_;
+}
+
+const errormodel::CircuitErrorModel& CompiledModel::ensure_model_locked(
+    errormodel::QueryType q) const {
+  if (q == errormodel::QueryType::kMpe) {
+    if (!max_model_) {
+      max_model_ = errormodel::CircuitErrorModel::build(ensure_max_locked().circuit);
+    }
+    return *max_model_;
+  }
+  if (!model_) model_ = errormodel::CircuitErrorModel::build(binary_);
+  return *model_;
+}
+
+const ac::Circuit& CompiledModel::binary_max_circuit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ensure_max_locked().circuit;
+}
+
+const ac::CircuitTape& CompiledModel::max_tape() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ensure_max_locked().tape;
+}
+
+const ac::Circuit& CompiledModel::circuit_for(errormodel::QueryType q) const {
+  return q == errormodel::QueryType::kMpe ? binary_max_circuit() : binary_;
+}
+
+const ac::CircuitTape& CompiledModel::tape_for(errormodel::QueryType q) const {
+  return q == errormodel::QueryType::kMpe ? max_tape() : tape_;
+}
+
+const errormodel::CircuitErrorModel& CompiledModel::error_model(errormodel::QueryType q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ensure_model_locked(q);
+}
+
+// ---- analysis --------------------------------------------------------------
+
+AnalysisReport CompiledModel::analyze(const errormodel::QuerySpec& spec) const {
+  const auto key = std::make_tuple(static_cast<int>(spec.query), static_cast<int>(spec.kind),
+                                   double_bits(spec.tolerance));
+  // The bit-width search can take a while on large circuits, so it runs
+  // outside the lock: the lock only covers the cache probe and the lazy
+  // prerequisites (whose references stay valid once built).  Two threads
+  // racing the same uncached spec compute it twice — deterministic, so the
+  // first insert wins and both return identical reports.
+  const ac::Circuit* circuit = nullptr;
+  const errormodel::CircuitErrorModel* model = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = reports_.find(key);
+    if (it != reports_.end()) return it->second;
+    circuit = spec.query == errormodel::QueryType::kMpe ? &ensure_max_locked().circuit : &binary_;
+    model = &ensure_model_locked(spec.query);
+  }
+  AnalysisReport report = analyze_circuit(*circuit, *model, spec, options_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reports_.try_emplace(key, std::move(report)).first->second;
+}
+
+HardwareReport CompiledModel::generate_hardware(const AnalysisReport& report) const {
+  return problp::generate_hardware(circuit_for(report.spec.query), report, options_);
+}
+
+// ---- persistence -----------------------------------------------------------
+
+std::string CompiledModel::to_text() const {
+  const std::string binary_text = ac::to_text(binary_);
+  const std::string max_text = ac::to_text(binary_max_circuit());
+  std::ostringstream os;
+  os << "problp-model 1\n";
+  os << "decomposition " << to_keyword(options_.decomposition) << "\n";
+  os << "circuit " << binary_text.size() << "\n" << binary_text;
+  os << "maxcircuit " << max_text.size() << "\n" << max_text;
+  return os.str();
+}
+
+void CompiledModel::save(const std::string& path) const {
+  std::ofstream f(path);
+  require(f.good(), "CompiledModel::save: cannot open '" + path + "'");
+  f << to_text();
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::from_text(const std::string& text,
+                                                              FrameworkOptions options) {
+  std::size_t pos = 0;
+  auto read_line = [&]() -> std::string {
+    const std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) throw ParseError("model load: truncated artifact");
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+  auto read_sized_section = [&](const std::string& keyword) -> std::string {
+    std::istringstream header(read_line());
+    std::string word;
+    std::size_t size = 0;
+    header >> word >> size;
+    if (word != keyword) {
+      throw ParseError("model load: expected '" + keyword + "', got '" + word + "'");
+    }
+    if (pos + size > text.size()) throw ParseError("model load: truncated " + keyword);
+    std::string payload = text.substr(pos, size);
+    pos += size;
+    return payload;
+  };
+
+  if (read_line() != "problp-model 1") {
+    throw ParseError("model load: bad header (want 'problp-model 1')");
+  }
+  {
+    std::istringstream header(read_line());
+    std::string word;
+    std::string style;
+    header >> word >> style;
+    if (word != "decomposition") throw ParseError("model load: expected 'decomposition'");
+    options.decomposition = decomposition_from_keyword(style);
+  }
+  ac::Circuit binary = ac::from_text(read_sized_section("circuit"));
+  ac::Circuit max_circuit = ac::from_text(read_sized_section("maxcircuit"));
+
+  // The maximiser is installed eagerly from the artifact so it is never
+  // re-derived (a re-derivation from the *binarised* circuit could differ
+  // from the compile-time binarize(to_max(nary)) order), so no source
+  // arena is kept.
+  auto model = std::shared_ptr<CompiledModel>(
+      new CompiledModel(std::nullopt, std::move(binary), options));
+  ac::CircuitTape max_tape = ac::CircuitTape::compile(max_circuit);
+  model->max_.reset(new MaxArtifact{std::move(max_circuit), std::move(max_tape)});
+  return model;
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::load(const std::string& path,
+                                                         FrameworkOptions options) {
+  std::ifstream f(path);
+  require(f.good(), "CompiledModel::load: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return from_text(buf.str(), options);
+}
+
+}  // namespace problp::runtime

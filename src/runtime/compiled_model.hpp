@@ -1,0 +1,142 @@
+// CompiledModel — the immutable, shareable inference artifact.
+//
+// ProbLP's economics are "one offline analysis licenses many cheap online
+// queries" (Fig. 2): compiling a BN to an AC, binarising it, flattening the
+// tape and propagating the error bounds happen once; marginal / conditional
+// / MPE queries then reuse those artifacts thousands of times.  Before this
+// layer existed every consumer (validation sweeps, benches, the CLI, the
+// examples) re-assembled that pipeline by hand.  A CompiledModel owns the
+// whole compile-side state:
+//
+//   binary_circuit()       the binarised marginal/conditional circuit
+//   binary_max_circuit()   the binarised maximiser circuit (MPE), derived
+//                          lazily on first use
+//   tape() / max_tape()    flattened CircuitTapes (ac/tape.hpp)
+//   error_model(query)     the format-independent CircuitErrorModel, built
+//                          lazily on first analyze()
+//   analyze(spec)          the Table-2 row for one (query, tolerance), with
+//                          results cached per spec
+//   generate_hardware()    datapath emission for a report's selection
+//
+// Thread-safety contract: a CompiledModel is safe to share across any
+// number of threads.  The eagerly built state is immutable; the lazy
+// artifacts (max circuit, error models, report cache) are materialised
+// under an internal mutex and never mutated afterwards, so references
+// returned by the accessors stay valid for the model's lifetime.  Query
+// scratch state lives in runtime::InferenceSession (one per thread), never
+// here.
+//
+// Persistence: save()/load() write a versioned plain-text artifact that
+// embeds both binarised circuits through the ac/serialize layer, so a model
+// registry can hand a process the evaluation-ready circuits without
+// re-running BN compilation or the hardware decomposition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ac/circuit.hpp"
+#include "ac/tape.hpp"
+#include "problp/report.hpp"
+
+namespace problp::bn {
+class BayesianNetwork;
+}
+
+namespace problp::runtime {
+
+class CompiledModel {
+ public:
+  /// Binarises `circuit` (the n-ary output of a BN -> AC compiler) and
+  /// flattens the evaluation tape — exactly the pipeline Framework ran.
+  static std::shared_ptr<const CompiledModel> compile(const ac::Circuit& circuit,
+                                                      FrameworkOptions options = {});
+
+  /// Full front-to-back compile: BN -> AC (ve_compiler) -> binarise -> tape.
+  static std::shared_ptr<const CompiledModel> compile(const bn::BayesianNetwork& network,
+                                                      FrameworkOptions options = {});
+
+  /// Wraps a circuit that is already in its evaluation form (no
+  /// re-decomposition pass).  This is the entry point for callers that hold
+  /// a binarised circuit — e.g. the observed-error wrappers — and for
+  /// engine comparisons that must evaluate the given arena verbatim.  The
+  /// maximiser circuit is still derived from `circuit` on first MPE use.
+  static std::shared_ptr<const CompiledModel> wrap(ac::Circuit circuit,
+                                                   FrameworkOptions options = {});
+
+  // ---- artifact persistence ------------------------------------------------
+  /// Versioned plain-text artifact embedding both binarised circuits
+  /// (forces the lazy max circuit, so a loaded model never re-derives it).
+  std::string to_text() const;
+  void save(const std::string& path) const;
+  static std::shared_ptr<const CompiledModel> from_text(const std::string& text,
+                                                        FrameworkOptions options = {});
+  static std::shared_ptr<const CompiledModel> load(const std::string& path,
+                                                   FrameworkOptions options = {});
+
+  // ---- structure -----------------------------------------------------------
+  const ac::Circuit& binary_circuit() const { return binary_; }
+  const ac::CircuitTape& tape() const { return tape_; }
+  const ac::Circuit& binary_max_circuit() const;
+  const ac::CircuitTape& max_tape() const;
+  /// The circuit / tape the given query type evaluates.
+  const ac::Circuit& circuit_for(errormodel::QueryType q) const;
+  const ac::CircuitTape& tape_for(errormodel::QueryType q) const;
+
+  int num_variables() const { return binary_.num_variables(); }
+  const std::vector<int>& cardinalities() const { return binary_.cardinalities(); }
+  const FrameworkOptions& options() const { return options_; }
+
+  // ---- analysis ------------------------------------------------------------
+  /// Format-independent error model for the circuit `q` evaluates.
+  const errormodel::CircuitErrorModel& error_model(errormodel::QueryType q) const;
+  /// Table-2 row for one (query, tolerance); cached, so repeated sessions
+  /// asking for the same spec pay the bit-width search once.
+  AnalysisReport analyze(const errormodel::QuerySpec& spec) const;
+  /// Datapath for the representation `report` selected.
+  HardwareReport generate_hardware(const AnalysisReport& report) const;
+
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+ private:
+  struct MaxArtifact {
+    ac::Circuit circuit;
+    ac::CircuitTape tape;
+  };
+
+  CompiledModel(std::optional<ac::Circuit> source, ac::Circuit binary, FrameworkOptions options);
+
+  /// Builds the max artifact if absent; call with mutex_ held.
+  const MaxArtifact& ensure_max_locked() const;
+  /// Builds the error model for `q` if absent; call with mutex_ held.
+  const errormodel::CircuitErrorModel& ensure_model_locked(errormodel::QueryType q) const;
+
+  FrameworkOptions options_;
+  ac::Circuit binary_;
+  ac::CircuitTape tape_;
+  /// The circuit the maximiser is derived from: the n-ary compiler output
+  /// on the compile() path (the maximiser must come from binarize(to_max(
+  /// nary)) to stay bit-identical to the pre-runtime pipeline — deriving
+  /// from binary_ would reorder the decomposition).  Empty on the wrap()
+  /// path (binary_ doubles as the source) and the load() path (the
+  /// artifact ships the maximiser); released once the maximiser is built.
+  /// Until then compile()d models hold source + binary, the same two-arena
+  /// footprint the old Framework paid for binary + binary_max up front.
+  mutable std::optional<ac::Circuit> source_;
+
+  mutable std::mutex mutex_;
+  mutable std::unique_ptr<MaxArtifact> max_;  ///< lazily built, then immutable
+  mutable std::optional<errormodel::CircuitErrorModel> model_;
+  mutable std::optional<errormodel::CircuitErrorModel> max_model_;
+  /// (query, tolerance kind, tolerance bit pattern) -> cached report.
+  mutable std::map<std::tuple<int, int, std::uint64_t>, AnalysisReport> reports_;
+};
+
+}  // namespace problp::runtime

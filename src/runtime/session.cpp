@@ -1,0 +1,169 @@
+#include "runtime/session.hpp"
+
+#include <utility>
+
+namespace problp::runtime {
+
+namespace {
+
+SessionOptions options_from_report(const CompiledModel* model, const AnalysisReport& report) {
+  require(model != nullptr, "InferenceSession: null model");
+  SessionOptions options;
+  if (report.any_feasible) {
+    options.representation = report.selected;
+    // The rounding mode the analysis' error bounds assumed.
+    options.rounding = report.selected.kind == Representation::Kind::kFixed
+                           ? model->options().search.fixed_options.rounding
+                           : model->options().search.float_rounding;
+  }
+  return options;
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
+                                   SessionOptions options)
+    : model_(std::move(model)), options_(std::move(options)) {
+  require(model_ != nullptr, "InferenceSession: null model");
+  tapes_[kMarginalTape] = &model_->tape();
+}
+
+InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
+                                   const AnalysisReport& report)
+    : InferenceSession(model, options_from_report(model.get(), report)) {}
+
+const ac::CircuitTape& InferenceSession::tape(Which which) {
+  if (tapes_[which] == nullptr) tapes_[which] = &model_->max_tape();
+  return *tapes_[which];
+}
+
+InferenceSession::LowPrecEngine& InferenceSession::engine(Which which) {
+  LowPrecEngine& engine = lowprec_[which];
+  if (!engine.fixed && !engine.flt) {
+    const Representation& repr = *options_.representation;
+    if (repr.kind == Representation::Kind::kFixed) {
+      engine.fixed.emplace(tape(which), repr.fixed, options_.rounding);
+    } else {
+      engine.flt.emplace(tape(which), repr.flt, options_.rounding);
+    }
+  }
+  return engine;
+}
+
+double InferenceSession::eval_root(Which which, const ac::PartialAssignment& assignment) {
+  if (!options_.representation) return tape(which).evaluate(assignment, scratch_);
+  LowPrecEngine& eng = engine(which);
+  const ac::LowPrecisionResult result =
+      eng.fixed ? eng.fixed->evaluate(assignment) : eng.flt->evaluate(assignment);
+  last_flags_.merge(result.flags);
+  return result.value;
+}
+
+const std::vector<double>& InferenceSession::eval_batch(
+    Which which, const std::vector<ac::PartialAssignment>& batch) {
+  if (!options_.representation) {
+    if (!exact_batch_[which]) exact_batch_[which].emplace(tape(which), options_.batch);
+    return exact_batch_[which]->evaluate(batch);
+  }
+  // Low-precision emulation is query-at-a-time on the tape (parameters are
+  // quantised once in the engine); the batch overload still amortises flag
+  // handling and reuses the output buffer.
+  batch_out_.clear();
+  batch_out_.reserve(batch.size());
+  for (const ac::PartialAssignment& assignment : batch) {
+    batch_out_.push_back(eval_root(which, assignment));
+  }
+  return batch_out_;
+}
+
+void InferenceSession::posterior_into(int query_var, const ac::PartialAssignment& evidence,
+                                      std::vector<double>& out) {
+  require(query_var >= 0 && query_var < model_->num_variables(),
+          "InferenceSession::conditional: query variable out of range");
+  require(!evidence.at(static_cast<std::size_t>(query_var)).has_value(),
+          "InferenceSession::conditional: query variable must be unobserved");
+  out.clear();
+  const double pr_evidence = eval_root(kMarginalTape, evidence);
+  if (!(pr_evidence > 0.0)) return;  // Pr(e) == 0: the posterior is undefined
+  const int card = model_->cardinalities()[static_cast<std::size_t>(query_var)];
+  out.reserve(static_cast<std::size_t>(card));
+  query_scratch_ = evidence;
+  for (int q = 0; q < card; ++q) {
+    query_scratch_[static_cast<std::size_t>(query_var)] = q;
+    // The ratio is taken in double: ProbLP's datapath computes the two
+    // passes, the host divides (paper footnote 2).
+    out.push_back(eval_root(kMarginalTape, query_scratch_) / pr_evidence);
+  }
+}
+
+// ---- public queries --------------------------------------------------------
+
+double InferenceSession::marginal(const ac::PartialAssignment& evidence) {
+  last_flags_ = {};
+  return eval_root(kMarginalTape, evidence);
+}
+
+const std::vector<double>& InferenceSession::marginal(
+    const std::vector<ac::PartialAssignment>& evidence) {
+  last_flags_ = {};
+  return eval_batch(kMarginalTape, evidence);
+}
+
+std::vector<double> InferenceSession::conditional(int query_var,
+                                                  const ac::PartialAssignment& evidence) {
+  last_flags_ = {};
+  std::vector<double> out;
+  posterior_into(query_var, evidence, out);
+  return out;
+}
+
+std::vector<std::vector<double>> InferenceSession::conditional(
+    int query_var, const std::vector<ac::PartialAssignment>& evidence) {
+  last_flags_ = {};
+  std::vector<std::vector<double>> out(evidence.size());
+  if (!options_.representation) {
+    // Exact backend: batch the whole sweep — Pr(e) for every evidence set
+    // in one SoA pass, then the per-state numerators in one card-wide pass
+    // per surviving evidence set (the shape the observed-error sweeps ran
+    // before the runtime existed).
+    require(query_var >= 0 && query_var < model_->num_variables(),
+            "InferenceSession::conditional: query variable out of range");
+    for (const auto& e : evidence) {
+      require(!e.at(static_cast<std::size_t>(query_var)).has_value(),
+              "InferenceSession::conditional: query variable must be unobserved");
+    }
+    const std::vector<double> pr_evidence = eval_batch(kMarginalTape, evidence);
+    const int card = model_->cardinalities()[static_cast<std::size_t>(query_var)];
+    std::vector<ac::PartialAssignment> numerators(static_cast<std::size_t>(card));
+    for (std::size_t i = 0; i < evidence.size(); ++i) {
+      if (!(pr_evidence[i] > 0.0)) continue;
+      for (int q = 0; q < card; ++q) {
+        numerators[static_cast<std::size_t>(q)] = evidence[i];
+        numerators[static_cast<std::size_t>(q)][static_cast<std::size_t>(query_var)] = q;
+      }
+      const std::vector<double>& roots = eval_batch(kMarginalTape, numerators);
+      out[i].reserve(static_cast<std::size_t>(card));
+      for (int q = 0; q < card; ++q) {
+        out[i].push_back(roots[static_cast<std::size_t>(q)] / pr_evidence[i]);
+      }
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < evidence.size(); ++i) {
+    posterior_into(query_var, evidence[i], out[i]);
+  }
+  return out;
+}
+
+double InferenceSession::mpe(const ac::PartialAssignment& evidence) {
+  last_flags_ = {};
+  return eval_root(kMaxTape, evidence);
+}
+
+const std::vector<double>& InferenceSession::mpe(
+    const std::vector<ac::PartialAssignment>& evidence) {
+  last_flags_ = {};
+  return eval_batch(kMaxTape, evidence);
+}
+
+}  // namespace problp::runtime

@@ -1,0 +1,145 @@
+// InferenceSession — the per-thread query handle over a shared CompiledModel.
+//
+// A session owns everything a query needs that is *not* shareable: the
+// tape-sweep value buffer, the batched SoA evaluator, the low-precision
+// engines with their quantised parameter caches, and the conditional-query
+// scratch assignment.  Construction is cheap relative to the model compile,
+// so the intended shape for concurrent serving is
+//
+//   auto model = runtime::CompiledModel::compile(circuit);   // once
+//   // per thread:
+//   runtime::InferenceSession session(model);                 // scratch only
+//   double pr_e = session.marginal(evidence);
+//
+// Backends.  With default options a session evaluates in exact IEEE double
+// on the flattened tape (single queries) and the batched SoA engine
+// (batched queries) — bit-identical to the ac/evaluator.hpp interpreter.
+// With `SessionOptions::representation` set (or the convenience constructor
+// taking an AnalysisReport, which installs the representation the analysis
+// selected), every sweep runs the emulated low-precision datapath through
+// Fixed/FloatTapeEvaluator — bit-identical, value and flags, to the
+// one-shot ac::evaluate_fixed / evaluate_float on the source circuit.
+//
+// Queries.  marginal(e) = Pr(e), one upward pass.  conditional(q, e) =
+// the posterior of every state of `q` given `e` (empty when Pr(e) is not
+// positive); the two passes' ratio is taken in double, matching the paper's
+// footnote-2 treatment of division.  mpe(e) = max_x Pr(x, e) on the
+// maximiser circuit.  Each query has a batched overload that amortises the
+// tape traversal over the whole evidence vector.
+//
+// Flags.  last_flags() surfaces the sticky ArithFlags raised by the most
+// recent query call, merged across the whole batch for batched overloads —
+// always clean on the exact backend.
+//
+// Thread-safety: a session is single-threaded by contract (it is the
+// scratch state); share the CompiledModel, not the session.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ac/batch_eval.hpp"
+#include "ac/low_precision_eval.hpp"
+#include "runtime/compiled_model.hpp"
+
+namespace problp::runtime {
+
+struct SessionOptions {
+  /// Arithmetic the sweeps run in: nullopt = exact IEEE double (ground
+  /// truth); a Representation = the emulated low-precision datapath the
+  /// analysis (or the caller) selected.
+  std::optional<Representation> representation;
+  lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
+  /// Shape of the exact batched sweep (SoA block width, worker threads).
+  ac::BatchEvaluator::Options batch;
+
+  /// Options running every sweep under `repr` — the format-sweep callers'
+  /// shorthand for picking a representation the analysis did not select.
+  static SessionOptions low_precision(
+      Representation repr, lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven) {
+    SessionOptions options;
+    options.representation = repr;
+    options.rounding = mode;
+    return options;
+  }
+};
+
+class InferenceSession {
+ public:
+  explicit InferenceSession(std::shared_ptr<const CompiledModel> model,
+                            SessionOptions options = {});
+
+  /// Backend the analysis selected: the report's representation when it
+  /// found a feasible one (with the rounding mode the analysis assumed),
+  /// exact double otherwise.
+  InferenceSession(std::shared_ptr<const CompiledModel> model, const AnalysisReport& report);
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  // ---- single queries ------------------------------------------------------
+  /// Pr(e): root of the marginal circuit under `evidence`.
+  double marginal(const ac::PartialAssignment& evidence);
+  /// Posterior Pr(query_var = q | e) for every state q, or empty when
+  /// Pr(e) is not positive (the query is undefined).  `query_var` must be
+  /// unobserved in `evidence`.
+  std::vector<double> conditional(int query_var, const ac::PartialAssignment& evidence);
+  /// max_x Pr(x, e): root of the maximiser circuit under `evidence`.
+  double mpe(const ac::PartialAssignment& evidence);
+
+  // ---- batched queries -----------------------------------------------------
+  /// Root value per evidence set, in input order.  The reference stays
+  /// valid until the next call on this session.
+  const std::vector<double>& marginal(const std::vector<ac::PartialAssignment>& evidence);
+  /// Posterior per evidence set (empty entries where undefined).
+  std::vector<std::vector<double>> conditional(int query_var,
+                                               const std::vector<ac::PartialAssignment>& evidence);
+  /// Maximiser root per evidence set, in input order.
+  const std::vector<double>& mpe(const std::vector<ac::PartialAssignment>& evidence);
+
+  /// Sticky flags raised by the most recent query call (merged across the
+  /// batch for batched overloads).  Clean on the exact backend.
+  const lowprec::ArithFlags& last_flags() const { return last_flags_; }
+
+  bool low_precision() const { return options_.representation.has_value(); }
+  const CompiledModel& model() const { return *model_; }
+  const std::shared_ptr<const CompiledModel>& model_ptr() const { return model_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  /// The two tapes a session can sweep.
+  enum Which : int { kMarginalTape = 0, kMaxTape = 1 };
+
+  /// Exactly one of `fixed` / `flt` is engaged on the low-precision
+  /// backend.  The evaluators pin their own flag sinks, so they are
+  /// constructed in place and never moved.
+  struct LowPrecEngine {
+    std::optional<ac::FixedTapeEvaluator> fixed;
+    std::optional<ac::FloatTapeEvaluator> flt;
+  };
+
+  const ac::CircuitTape& tape(Which which);
+  LowPrecEngine& engine(Which which);
+  /// One upward pass on the selected backend; merges flags into last_flags_.
+  double eval_root(Which which, const ac::PartialAssignment& assignment);
+  const std::vector<double>& eval_batch(Which which,
+                                        const std::vector<ac::PartialAssignment>& batch);
+  /// Posterior of `query_var` under `evidence` into `out` (cleared; left
+  /// empty when Pr(e) is not positive).
+  void posterior_into(int query_var, const ac::PartialAssignment& evidence,
+                      std::vector<double>& out);
+
+  std::shared_ptr<const CompiledModel> model_;
+  SessionOptions options_;
+  lowprec::ArithFlags last_flags_;
+
+  const ac::CircuitTape* tapes_[2] = {nullptr, nullptr};  ///< max resolved on first use
+  std::vector<double> scratch_;                       ///< exact single-query value buffer
+  std::optional<ac::BatchEvaluator> exact_batch_[2];  ///< exact batched engines, lazy
+  LowPrecEngine lowprec_[2];                          ///< low-precision engines, lazy
+  std::vector<double> batch_out_;                     ///< low-precision batched results
+  ac::PartialAssignment query_scratch_;               ///< conditional (q, e) assignment
+};
+
+}  // namespace problp::runtime
