@@ -9,13 +9,20 @@
 //   {"bench":"eval_throughput","circuit":"alarm","nodes":...,"edges":...,
 //    "batch":512,"interpreter_qps":...,"tape_qps":...,"batched_qps":...,
 //    "batched_mt_qps":...,"session_qps":...,"session_batched_qps":...,
-//    "speedup_tape":...,"speedup_batched":...,"speedup_session_batched":...}
+//    "lowprec_qps":...,"lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
+//    "speedup_tape":...,"speedup_batched":...,"speedup_session_batched":...,
+//    "speedup_lowprec_batched":...}
 //
 // qps = evidence-set evaluations per second (full upward pass per query).
 // The acceptance bar for the tape engine is speedup_batched >= 3 on ALARM
 // with >= 256 evidence sets, and the session API must track the raw batched
-// engine within noise (it is the same sweep behind one non-virtual call);
-// the run fails loudly when parity between the engines is violated.
+// engine within noise (it is the same sweep behind one non-virtual call).
+// The lowprec_* trio measures the emulated datapath behind the same session
+// API — singles on the per-query Fixed/FloatTapeEvaluator, batches on the
+// SoA raw-word engine (ac/batch_lowprec.hpp) — on a representative 24-bit
+// fixed format; the bar there is speedup_lowprec_batched >= 2 over the
+// query-at-a-time session path.  The run fails loudly when parity between
+// any pair of engines is violated.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -71,6 +78,9 @@ struct ThroughputResult {
   double batched_mt_qps = 0.0;
   double session_qps = 0.0;
   double session_batched_qps = 0.0;
+  double lowprec_qps = 0.0;
+  double lowprec_batched_qps = 0.0;
+  double lowprec_batched_mt_qps = 0.0;
 };
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
@@ -131,6 +141,36 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : session.marginal(assignments)) session_batched_checksum += v;
   });
 
+  // The emulated low-precision datapath behind the same session API, on a
+  // representative 24-bit fixed format (the shape the ALARM analyses
+  // select).  Singles run the per-query Fixed/FloatTapeEvaluator — the
+  // pre-batching serving path — batches the SoA raw-word engine, single-
+  // and multi-threaded.
+  const lowprec::FixedFormat lp_fmt{2, 22};
+  runtime::InferenceSession lp_session(
+      model, runtime::SessionOptions::low_precision(Representation::of(lp_fmt)));
+  double lp_checksum = 0.0;
+  r.lowprec_qps = measure_qps(batch_size, min_seconds, [&] {
+    lp_checksum = 0.0;
+    for (const auto& a : assignments) lp_checksum += lp_session.marginal(a);
+  });
+
+  double lp_batched_checksum = 0.0;
+  r.lowprec_batched_qps = measure_qps(batch_size, min_seconds, [&] {
+    lp_batched_checksum = 0.0;
+    for (const double v : lp_session.marginal(assignments)) lp_batched_checksum += v;
+  });
+
+  runtime::SessionOptions lp_mt_options =
+      runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
+  lp_mt_options.batch.num_threads = 0;  // one per hardware core
+  runtime::InferenceSession lp_mt_session(model, lp_mt_options);
+  double lp_mt_checksum = 0.0;
+  r.lowprec_batched_mt_qps = measure_qps(batch_size, min_seconds, [&] {
+    lp_mt_checksum = 0.0;
+    for (const double v : lp_mt_session.marginal(assignments)) lp_mt_checksum += v;
+  });
+
   // The engines are bit-identical by construction; a drifting checksum
   // means the bench is measuring a broken engine.
   if (interp_checksum != tape_checksum || interp_checksum != batched_checksum ||
@@ -141,19 +181,26 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                  session_batched_checksum);
     std::exit(1);
   }
+  if (lp_checksum != lp_batched_checksum || lp_checksum != lp_mt_checksum) {
+    std::fprintf(stderr, "LOWPREC PARITY VIOLATION on %s: %.17g %.17g %.17g\n", name,
+                 lp_checksum, lp_batched_checksum, lp_mt_checksum);
+    std::exit(1);
+  }
 
   const ac::CircuitStats stats = circuit.stats();
   std::printf(
       "{\"bench\":\"eval_throughput\",\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
       "\"batch\":%zu,\"threads\":%u,\"interpreter_qps\":%.0f,\"tape_qps\":%.0f,"
       "\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"session_qps\":%.0f,"
-      "\"session_batched_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
-      "\"speedup_session_batched\":%.2f}\n",
+      "\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,\"lowprec_batched_qps\":%.0f,"
+      "\"lowprec_batched_mt_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
+      "\"speedup_session_batched\":%.2f,\"speedup_lowprec_batched\":%.2f}\n",
       name, stats.num_nodes, stats.num_edges, batch_size,
       std::max(1u, std::thread::hardware_concurrency()), r.interpreter_qps, r.tape_qps,
-      r.batched_qps, r.batched_mt_qps, r.session_qps, r.session_batched_qps,
-      r.tape_qps / r.interpreter_qps, r.batched_qps / r.interpreter_qps,
-      r.session_batched_qps / r.interpreter_qps);
+      r.batched_qps, r.batched_mt_qps, r.session_qps, r.session_batched_qps, r.lowprec_qps,
+      r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.tape_qps / r.interpreter_qps,
+      r.batched_qps / r.interpreter_qps, r.session_batched_qps / r.interpreter_qps,
+      r.lowprec_batched_qps / r.lowprec_qps);
   return r;
 }
 

@@ -61,6 +61,9 @@ int main() {
   // the session API.
   const AnalysisReport report = model->analyze(
       {errormodel::QueryType::kConditional, errormodel::ToleranceKind::kRelative, 0.01});
+  // A report-backed session refuses an infeasible report (no silent exact
+  // fallback), so guard like a real caller would.
+  require(report.any_feasible, "no representation meets the tolerance within the search caps");
   runtime::InferenceSession exact_session(model);
   runtime::InferenceSession lp_session(model, report);
   const auto e = compile::to_assignment(benchmark.test_evidence.front());

@@ -39,6 +39,12 @@ int main() {
   const AnalysisReport report = model->analyze(spec);
   std::printf("\nProbLP analysis (marginal query, absolute tolerance 0.01):\n  %s\n",
               report.to_string().c_str());
+  if (!report.any_feasible) {
+    // A report-backed session refuses an infeasible report (no silent exact
+    // fallback), so bail out explicitly like a real caller would.
+    std::printf("no representation meets the tolerance within the search caps\n");
+    return 1;
+  }
 
   // ---- 4. Answer the example query Pr(A=a1, C=c3) through sessions. ------
   ac::PartialAssignment evidence(static_cast<std::size_t>(network.num_variables()));

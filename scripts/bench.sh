@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Builds Release, runs the evaluation-throughput bench, and appends its JSON
 # lines to BENCH_eval.json so the perf trajectory is tracked across PRs.
-# Each line carries the raw engines (interpreter/tape/batched) plus the
-# unified runtime's session_qps / session_batched_qps, so the session API's
-# overhead over the raw batched engine is tracked release over release
-# (acceptance: session_batched within 10% of the batched baseline).
+# Each line carries the raw engines (interpreter/tape/batched), the unified
+# runtime's session_qps / session_batched_qps (acceptance: session_batched
+# within 10% of the batched baseline), and the emulated low-precision
+# datapath's lowprec_qps / lowprec_batched_qps / lowprec_batched_mt_qps
+# (acceptance: speedup_lowprec_batched >= 2 over the query-at-a-time session
+# path).  Every engine pair is parity-checked inside the bench — a checksum
+# drift exits non-zero before any line is appended.
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail

@@ -6,6 +6,39 @@
 
 namespace problp::ac {
 
+void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t threads =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads),
+                            std::max<std::size_t>(count / block, 1));
+  if (threads <= 1) {
+    fn(0, count, 0);
+    return;
+  }
+  // Contiguous chunks, block-aligned so no block straddles two workers.
+  const std::size_t num_blocks = (count + block - 1) / block;
+  const std::size_t blocks_per_thread = (num_blocks + threads - 1) / threads;
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errors(threads);
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min(count, t * blocks_per_thread * block);
+    const std::size_t end = std::min(count, (t + 1) * blocks_per_thread * block);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, &errors, begin, end, t] {
+      try {
+        fn(begin, end, t);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
 BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
     : tape_(&tape), options_(options) {
   require(options_.block >= 1, "BatchEvaluator: block must be >= 1");
@@ -24,27 +57,10 @@ const std::vector<double>& BatchEvaluator::evaluate(
 const std::vector<double>& BatchEvaluator::evaluate(const PartialAssignment* batch,
                                                     std::size_t count) {
   roots_.resize(count);
-  const std::size_t threads =
-      std::min<std::size_t>(static_cast<std::size_t>(options_.num_threads),
-                            std::max<std::size_t>(count / options_.block, 1));
-  if (threads <= 1) {
-    evaluate_range(batch, 0, count, workspaces_[0]);
-    return roots_;
-  }
-  // Contiguous chunks, block-aligned so no block straddles two workers.
-  const std::size_t num_blocks = (count + options_.block - 1) / options_.block;
-  const std::size_t blocks_per_thread = (num_blocks + threads - 1) / threads;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t begin = std::min(count, t * blocks_per_thread * options_.block);
-    const std::size_t end = std::min(count, (t + 1) * blocks_per_thread * options_.block);
-    if (begin >= end) break;
-    pool.emplace_back([this, batch, begin, end, t] {
-      evaluate_range(batch, begin, end, workspaces_[t]);
-    });
-  }
-  for (auto& th : pool) th.join();
+  parallel_blocks(count, options_.block, options_.num_threads,
+                  [this, batch](std::size_t begin, std::size_t end, std::size_t worker) {
+                    evaluate_range(batch, begin, end, workspaces_[worker]);
+                  });
   return roots_;
 }
 

@@ -23,11 +23,23 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ac/tape.hpp"
 
 namespace problp::ac {
+
+/// Shared batch-partition driver: runs fn(begin, end, worker) over
+/// block-aligned contiguous chunks of [0, count) on up to num_threads
+/// workers (chunks are block-aligned so no SoA block straddles two
+/// workers; a batch below one block per worker runs inline as worker 0).
+/// Exceptions thrown by fn on a worker thread are captured and rethrown
+/// on the caller — a malformed assignment surfaces as a catchable error,
+/// never std::terminate.  Used by both the exact and the low-precision
+/// batched engines so the partition math exists exactly once.
+void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
 class BatchEvaluator {
  public:

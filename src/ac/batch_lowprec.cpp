@@ -1,0 +1,131 @@
+#include "ac/batch_lowprec.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace problp::ac {
+
+template <class RawOps>
+LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, RawOps ops,
+                                                     Options options)
+    : tape_(&tape), ops_(std::move(ops)), options_(options) {
+  require(options_.block >= 1, "LowPrecBatchEvaluator: block must be >= 1");
+  require(options_.num_threads >= 0, "LowPrecBatchEvaluator: num_threads must be >= 0");
+  if (options_.num_threads == 0) {
+    options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
+  // Same conversion set (and flag sink) as the per-query TapeEvaluator:
+  // indicator constants plus every parameter, exactly once.
+  one_ = ops_.quantize(1.0, param_flags_);
+  zero_ = ops_.quantize(0.0, param_flags_);
+  params_.reserve(tape.param_values().size());
+  for (double v : tape.param_values()) params_.push_back(ops_.quantize(v, param_flags_));
+}
+
+template <class RawOps>
+const std::vector<double>& LowPrecBatchEvaluator<RawOps>::evaluate(
+    const std::vector<PartialAssignment>& batch) {
+  return evaluate(batch.data(), batch.size());
+}
+
+template <class RawOps>
+const std::vector<double>& LowPrecBatchEvaluator<RawOps>::evaluate(
+    const PartialAssignment* batch, std::size_t count) {
+  roots_.resize(count);
+  flags_.resize(count);
+  parallel_blocks(count, options_.block, options_.num_threads,
+                  [this, batch](std::size_t begin, std::size_t end, std::size_t worker) {
+                    evaluate_range(batch, begin, end, workspaces_[worker]);
+                  });
+  return roots_;
+}
+
+template <class RawOps>
+lowprec::ArithFlags LowPrecBatchEvaluator<RawOps>::merged_flags() const {
+  lowprec::ArithFlags merged;
+  for (const lowprec::ArithFlags& f : flags_) merged.merge(f);
+  return merged;
+}
+
+template <class RawOps>
+void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batch,
+                                                   std::size_t begin, std::size_t end,
+                                                   Workspace& ws) {
+  const CircuitTape& tape = *tape_;
+  const std::size_t n = tape.num_nodes();
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+
+  for (std::size_t b0 = begin; b0 < end; b0 += options_.block) {
+    const std::size_t w = std::min(options_.block, end - b0);
+    ws.buffer.resize(n * w);
+    Raw* buf = ws.buffer.data();
+    lowprec::ArithFlags* qflags = flags_.data() + b0;
+
+    // Leaf rows: parameters from the quantised SoA cache, indicators at the
+    // quantised 1; operator rows are overwritten by the sweep.  Each column's
+    // sticky flags start from the conversion flags the cached leaves would
+    // re-raise — the same fold the per-query evaluator applies.
+    {
+      std::size_t pi = 0;
+      for (const NodeId id : tape.param_ids()) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        std::fill(buf + i * w, buf + i * w + w, params_[pi++]);
+      }
+    }
+    for (const NodeId id : tape.indicator_ids()) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      std::fill(buf + i * w, buf + i * w + w, one_);
+    }
+    for (std::size_t j = 0; j < w; ++j) {
+      qflags[j] = param_flags_;
+      tape.resolve_observed(batch[b0 + j], ws.observed);
+      tape.zero_contradicted(ws.observed, buf, w, j, zero_);
+    }
+
+    for (const NodeId id : tape.op_ids()) {
+      const std::size_t i = static_cast<std::size_t>(id);
+      const std::int32_t cb = offsets[i];
+      const std::int32_t ce = offsets[i + 1];
+      Raw* out = buf + i * w;
+      const Raw* first =
+          buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+      std::copy(first, first + w, out);
+      switch (kinds[i]) {
+        case NodeKind::kSum:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const Raw* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.add(out[j], rhs[j], qflags[j]);
+          }
+          break;
+        case NodeKind::kProd:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const Raw* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.mul(out[j], rhs[j], qflags[j]);
+          }
+          break;
+        case NodeKind::kMax:
+          for (std::int32_t k = cb + 1; k < ce; ++k) {
+            const Raw* rhs =
+                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.max(out[j], rhs[j], qflags[j]);
+          }
+          break;
+        default:
+          break;  // leaves never appear in op_ids
+      }
+    }
+
+    const Raw* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
+    for (std::size_t j = 0; j < w; ++j) roots_[b0 + j] = ops_.widen(root_row[j]);
+  }
+}
+
+template class LowPrecBatchEvaluator<FixedRawOps>;
+template class LowPrecBatchEvaluator<FloatRawOps>;
+
+}  // namespace problp::ac

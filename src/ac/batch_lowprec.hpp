@@ -1,0 +1,173 @@
+// Batched multi-query *low-precision* evaluation over a CircuitTape — the
+// emulated-datapath sibling of ac/batch_eval.hpp.
+//
+// Observed-error sweeps and low-precision serving batches evaluate one
+// circuit under hundreds of evidence sets on the emulated FixedPoint /
+// SoftFloat datapath.  The per-query Fixed/FloatTapeEvaluator pays the full
+// sweep overhead (dispatch, value-object copies, per-op format checks) once
+// per query; this engine instead sweeps the tape once per *block* of queries
+// over a structure-of-arrays buffer of bare raw words:
+//
+//   buffer[node * W + j] = raw word of `node` under the j-th query of the block
+//
+// For fixed point a slot is the scaled-integer u128 word; for float it is
+// the (exp, sig) register pair — the same words the generated hardware
+// holds, with the shared format hoisted out of every slot.  Parameters are
+// quantised exactly once into an SoA leaf cache at construction, and each
+// column carries its own sticky ArithFlags, so per query the engine returns
+// results *and* flags bit-identical to the per-query evaluator (which is
+// itself bit-identical to the one-shot evaluate_fixed / evaluate_float on
+// the source circuit).  That identity is by construction, not by luck: the
+// fold order matches the interpreter's, and the arithmetic is the raw-word
+// kernels (fx_*_raw / fl_*_raw) that the object-level operators are thin
+// wrappers over.
+//
+// An optional thread partition mirrors BatchEvaluator: the batch dimension
+// splits into block-aligned contiguous chunks, each worker owns its buffer,
+// and results/flags land at disjoint indices of the shared output vectors.
+// Buffers are owned by the evaluator and reused across calls (zero
+// allocation in steady state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/batch_eval.hpp"
+#include "ac/tape.hpp"
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+
+namespace problp::ac {
+
+/// Raw-word ops policy for the fixed-point datapath: one u128 scaled-integer
+/// word per slot, format/rounding hoisted into the policy.
+struct FixedRawOps {
+  lowprec::FixedFormat fmt;
+  lowprec::RoundingMode mode;
+
+  using Raw = u128;
+
+  Raw quantize(double v, lowprec::ArithFlags& flags) const {
+    return lowprec::FixedPoint::from_double(v, fmt, flags, mode).raw();
+  }
+  Raw add(const Raw& a, const Raw& b, lowprec::ArithFlags& flags) const {
+    return lowprec::fx_add_raw(a, b, fmt, flags);
+  }
+  Raw mul(const Raw& a, const Raw& b, lowprec::ArithFlags& flags) const {
+    return lowprec::fx_mul_raw(a, b, fmt, flags, mode);
+  }
+  Raw max(const Raw& a, const Raw& b, lowprec::ArithFlags&) const {
+    return lowprec::fx_max_raw(a, b);
+  }
+  double widen(const Raw& r) const { return lowprec::fx_raw_to_double(r, fmt); }
+};
+
+/// Raw-word ops policy for the float datapath: one (exp, sig) register pair
+/// per slot.
+struct FloatRawOps {
+  lowprec::FloatFormat fmt;
+  lowprec::RoundingMode mode;
+
+  using Raw = lowprec::FloatRaw;
+
+  Raw quantize(double v, lowprec::ArithFlags& flags) const {
+    return lowprec::SoftFloat::from_double(v, fmt, flags, mode).raw();
+  }
+  Raw add(const Raw& a, const Raw& b, lowprec::ArithFlags& flags) const {
+    return lowprec::fl_add_raw(a, b, fmt, flags, mode);
+  }
+  Raw mul(const Raw& a, const Raw& b, lowprec::ArithFlags& flags) const {
+    return lowprec::fl_mul_raw(a, b, fmt, flags, mode);
+  }
+  Raw max(const Raw& a, const Raw& b, lowprec::ArithFlags&) const {
+    return lowprec::fl_max_raw(a, b);
+  }
+  double widen(const Raw& r) const { return lowprec::fl_raw_to_double(r, fmt); }
+};
+
+template <class RawOps>
+class LowPrecBatchEvaluator {
+ public:
+  /// Same shape knobs as the exact batched engine (SoA block width W,
+  /// worker threads; 0 = one thread per hardware core).
+  using Options = BatchEvaluator::Options;
+  using Raw = typename RawOps::Raw;
+
+  LowPrecBatchEvaluator(const CircuitTape& tape, RawOps ops, Options options = {});
+
+  LowPrecBatchEvaluator(const LowPrecBatchEvaluator&) = delete;
+  LowPrecBatchEvaluator& operator=(const LowPrecBatchEvaluator&) = delete;
+
+  /// Root value per assignment (widened to double), in input order; per-query
+  /// flags land in flags().  The references stay valid until the next
+  /// evaluate call.
+  const std::vector<double>& evaluate(const std::vector<PartialAssignment>& batch);
+  const std::vector<double>& evaluate(const PartialAssignment* batch, std::size_t count);
+
+  /// Sticky flags per query of the last evaluate call, aligned with the
+  /// results; each entry folds in the parameter-quantisation flags, exactly
+  /// like the per-query evaluator's result does.
+  const std::vector<lowprec::ArithFlags>& flags() const { return flags_; }
+
+  /// Union of flags() — the merged-per-batch channel sessions surface.
+  lowprec::ArithFlags merged_flags() const;
+
+  const CircuitTape& tape() const { return *tape_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Workspace {
+    std::vector<Raw> buffer;             ///< num_nodes * W structure-of-arrays raw words
+    std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
+  };
+
+  /// Evaluates batch[begin, end) into roots_/flags_[begin, end) using `ws`.
+  void evaluate_range(const PartialAssignment* batch, std::size_t begin, std::size_t end,
+                      Workspace& ws);
+
+  const CircuitTape* tape_;
+  RawOps ops_;
+  Options options_;
+  lowprec::ArithFlags param_flags_;  ///< conversion flags the cached leaves would raise
+  Raw one_{};                        ///< quantised indicator 1
+  Raw zero_{};                       ///< quantised indicator 0
+  std::vector<Raw> params_;          ///< SoA leaf cache, aligned with tape.param_ids()
+  std::vector<Workspace> workspaces_;  ///< one per worker, reused across calls
+  std::vector<double> roots_;
+  std::vector<lowprec::ArithFlags> flags_;
+};
+
+extern template class LowPrecBatchEvaluator<FixedRawOps>;
+extern template class LowPrecBatchEvaluator<FloatRawOps>;
+
+/// Fixed-point batched engine over a compiled tape.
+class FixedBatchEvaluator : public LowPrecBatchEvaluator<FixedRawOps> {
+ public:
+  FixedBatchEvaluator(const CircuitTape& tape, lowprec::FixedFormat format,
+                      lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven,
+                      Options options = {})
+      : LowPrecBatchEvaluator(tape, FixedRawOps{validated(format), mode}, options) {}
+
+ private:
+  static lowprec::FixedFormat validated(lowprec::FixedFormat f) {
+    f.validate();
+    return f;
+  }
+};
+
+/// Float batched engine over a compiled tape.
+class FloatBatchEvaluator : public LowPrecBatchEvaluator<FloatRawOps> {
+ public:
+  FloatBatchEvaluator(const CircuitTape& tape, lowprec::FloatFormat format,
+                      lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven,
+                      Options options = {})
+      : LowPrecBatchEvaluator(tape, FloatRawOps{validated(format), mode}, options) {}
+
+ private:
+  static lowprec::FloatFormat validated(lowprec::FloatFormat f) {
+    f.validate();
+    return f;
+  }
+};
+
+}  // namespace problp::ac

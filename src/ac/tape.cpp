@@ -78,20 +78,6 @@ void CircuitTape::resolve_observed(const PartialAssignment& assignment,
   ac::resolve_observed(assignment, cardinalities_, observed);
 }
 
-void CircuitTape::zero_contradicted(const std::vector<std::int32_t>& observed, double* values,
-                                    std::size_t stride, std::size_t column) const {
-  for (std::size_t v = 0; v < observed.size(); ++v) {
-    const std::int32_t obs = observed[v];
-    if (obs < 0) continue;
-    const int card = cardinalities_[v];
-    for (int s = 0; s < card; ++s) {
-      if (s == obs) continue;
-      const NodeId id = indicator_index_[static_cast<std::size_t>(var_offsets_[v] + s)];
-      if (id != kInvalidNode) values[static_cast<std::size_t>(id) * stride + column] = 0.0;
-    }
-  }
-}
-
 void CircuitTape::evaluate_all_double(const PartialAssignment& assignment,
                                       std::vector<double>& values) const {
   thread_local std::vector<std::int32_t> observed;

@@ -73,11 +73,31 @@ class CircuitTape {
   void resolve_observed(const PartialAssignment& assignment,
                         std::vector<std::int32_t>& observed) const;
 
-  /// Zeroes the value slots of every indicator `assignment` contradicts in a
-  /// value buffer laid out with `stride` doubles per node (stride 1 == the
-  /// single-query layout; column `column` of a batched buffer otherwise).
+  /// Writes `zero` into the value slots of every indicator `assignment`
+  /// contradicts in a value buffer laid out with `stride` slots per node
+  /// (stride 1 == the single-query layout; column `column` of a batched
+  /// buffer otherwise).  Generic over the slot type so the exact double
+  /// engine and the raw-word low-precision engine share one walk.
+  template <class T>
+  void zero_contradicted(const std::vector<std::int32_t>& observed, T* values,
+                         std::size_t stride, std::size_t column, const T& zero) const {
+    for (std::size_t v = 0; v < observed.size(); ++v) {
+      const std::int32_t obs = observed[v];
+      if (obs < 0) continue;
+      const int card = cardinalities_[v];
+      for (int s = 0; s < card; ++s) {
+        if (s == obs) continue;
+        const NodeId id = indicator_index_[static_cast<std::size_t>(var_offsets_[v] + s)];
+        if (id != kInvalidNode) values[static_cast<std::size_t>(id) * stride + column] = zero;
+      }
+    }
+  }
+
+  /// Double shorthand for the exact engines.
   void zero_contradicted(const std::vector<std::int32_t>& observed, double* values,
-                         std::size_t stride, std::size_t column) const;
+                         std::size_t stride, std::size_t column) const {
+    zero_contradicted(observed, values, stride, column, 0.0);
+  }
 
   /// Double fast path: values of all nodes into `values` (capacity reused
   /// across calls — zero allocation in steady state).

@@ -60,27 +60,36 @@ FixedPoint FixedPoint::from_raw(u128 raw, FixedFormat fmt) {
   return out;
 }
 
-double FixedPoint::to_double() const {
+double FixedPoint::to_double() const { return fx_raw_to_double(raw_, fmt_); }
+
+u128 fx_add_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags) {
+  return clamp_raw(a + b, fmt, flags);
+}
+
+u128 fx_mul_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags,
+                RoundingMode mode) {
+  // Exact double-width product: value a*b scaled by 2^(2F).  Both operands
+  // are <= 62 bits so the product fits u128.
+  const u128 prod = a * b;
+  return clamp_raw(round_shift_right(prod, fmt.fraction_bits, mode), fmt, flags);
+}
+
+double fx_raw_to_double(u128 raw, const FixedFormat& fmt) {
   // raw < 2^62 so the uint64 narrowing below is lossless.
-  return std::ldexp(static_cast<double>(static_cast<std::uint64_t>(raw_)),
-                    -fmt_.fraction_bits);
+  return std::ldexp(static_cast<double>(static_cast<std::uint64_t>(raw)),
+                    -fmt.fraction_bits);
 }
 
 FixedPoint fx_add(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags) {
   require(a.format() == b.format(), "fx_add: mixed formats");
-  return FixedPoint::from_raw(clamp_raw(a.raw() + b.raw(), a.format(), flags),
-                              a.format());
+  return FixedPoint::from_raw(fx_add_raw(a.raw(), b.raw(), a.format(), flags), a.format());
 }
 
 FixedPoint fx_mul(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags,
                   RoundingMode mode) {
   require(a.format() == b.format(), "fx_mul: mixed formats");
-  const FixedFormat& fmt = a.format();
-  // Exact double-width product: value a*b scaled by 2^(2F).  Both operands
-  // are <= 62 bits so the product fits u128.
-  const u128 prod = a.raw() * b.raw();
-  const u128 rounded = round_shift_right(prod, fmt.fraction_bits, mode);
-  return FixedPoint::from_raw(clamp_raw(rounded, fmt, flags), fmt);
+  return FixedPoint::from_raw(fx_mul_raw(a.raw(), b.raw(), a.format(), flags, mode),
+                              a.format());
 }
 
 FixedPoint fx_min(const FixedPoint& a, const FixedPoint& b) {

@@ -63,4 +63,23 @@ FixedPoint fx_mul(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags,
 FixedPoint fx_min(const FixedPoint& a, const FixedPoint& b);
 FixedPoint fx_max(const FixedPoint& a, const FixedPoint& b);
 
+// ---- raw-word kernels -------------------------------------------------------
+// The same operators on bare raw words of one shared (pre-validated) format.
+// fx_add / fx_mul are thin wrappers over these, so any consumer holding raw
+// words — the batched SoA low-precision engine in ac/batch_lowprec.hpp — is
+// bit-identical to the FixedPoint object level by construction.
+
+/// Raw word of a + b, saturated into `fmt` (overflow flagged).
+u128 fx_add_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags);
+
+/// Raw word of a * b with the low F bits rounded away per `mode`.
+u128 fx_mul_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags,
+                RoundingMode mode = RoundingMode::kNearestEven);
+
+/// Exact max on raw words (raw order == value order: same scale).
+constexpr u128 fx_max_raw(u128 a, u128 b) { return a > b ? a : b; }
+
+/// Widens a raw word back to double — identical to FixedPoint::to_double.
+double fx_raw_to_double(u128 raw, const FixedFormat& fmt);
+
 }  // namespace problp::lowprec

@@ -8,12 +8,18 @@ namespace problp::lowprec {
 
 namespace {
 
-// Builds a normalised SoftFloat from the exact (or sticky-augmented, see
-// fl_add) value  wide * 2^scale, rounding the significand to M+1 bits and
-// applying the overflow/underflow policy.
-SoftFloat make_normalized(u128 wide, int scale, const FloatFormat& fmt,
-                          ArithFlags& flags, RoundingMode mode) {
-  if (wide == 0) return SoftFloat(fmt);
+/// Raw word of the format's largest representable value.
+FloatRaw raw_max_value(const FloatFormat& fmt) {
+  return FloatRaw{fmt.max_exponent(),
+                  (std::uint64_t{1} << (fmt.mantissa_bits + 1)) - 1};
+}
+
+// Builds a normalised raw word from the exact (or sticky-augmented, see
+// fl_add_raw) value  wide * 2^scale, rounding the significand to M+1 bits
+// and applying the overflow/underflow policy.
+FloatRaw make_normalized_raw(u128 wide, int scale, const FloatFormat& fmt,
+                             ArithFlags& flags, RoundingMode mode) {
+  if (wide == 0) return FloatRaw{};
   const int m = fmt.mantissa_bits;
   int msb = msb_index(wide);
   int exp = msb + scale;
@@ -24,13 +30,25 @@ SoftFloat make_normalized(u128 wide, int scale, const FloatFormat& fmt,
   }
   if (exp > fmt.max_exponent()) {
     flags.overflow = true;
-    return SoftFloat::max_value(fmt);
+    return raw_max_value(fmt);
   }
   if (exp < fmt.min_exponent()) {
     flags.underflow = true;  // flush to zero (no subnormals, paper §3.1.2)
-    return SoftFloat(fmt);
+    return FloatRaw{};
   }
-  return SoftFloat::from_parts(exp, static_cast<std::uint64_t>(sig), fmt);
+  return FloatRaw{exp, static_cast<std::uint64_t>(sig)};
+}
+
+// Rebuilds the object level from a kernel result (raws are normalised by
+// construction, so from_parts' invariants hold).
+SoftFloat from_raw(const FloatRaw& raw, const FloatFormat& fmt) {
+  if (raw.sig == 0) return SoftFloat(fmt);
+  return SoftFloat::from_parts(raw.exp, raw.sig, fmt);
+}
+
+SoftFloat make_normalized(u128 wide, int scale, const FloatFormat& fmt,
+                          ArithFlags& flags, RoundingMode mode) {
+  return from_raw(make_normalized_raw(wide, scale, fmt, flags, mode), fmt);
 }
 
 }  // namespace
@@ -77,29 +95,24 @@ SoftFloat SoftFloat::min_normal(FloatFormat fmt) {
   return from_parts(fmt.min_exponent(), std::uint64_t{1} << fmt.mantissa_bits, fmt);
 }
 
-double SoftFloat::to_double() const {
-  if (sig_ == 0) return 0.0;
-  return std::ldexp(static_cast<double>(sig_), exp_ - fmt_.mantissa_bits);
-}
+double SoftFloat::to_double() const { return fl_raw_to_double(raw(), fmt_); }
 
-SoftFloat fl_add(const SoftFloat& a_in, const SoftFloat& b_in, ArithFlags& flags,
-                 RoundingMode mode) {
-  require(a_in.format() == b_in.format(), "fl_add: mixed formats");
-  const FloatFormat& fmt = a_in.format();
-  if (a_in.is_zero()) return b_in;
-  if (b_in.is_zero()) return a_in;
-  const SoftFloat& a = (a_in.exponent() >= b_in.exponent()) ? a_in : b_in;
-  const SoftFloat& b = (a_in.exponent() >= b_in.exponent()) ? b_in : a_in;
+FloatRaw fl_add_raw(const FloatRaw& x, const FloatRaw& y, const FloatFormat& fmt,
+                    ArithFlags& flags, RoundingMode mode) {
+  if (x.sig == 0) return y;
+  if (y.sig == 0) return x;
+  const FloatRaw& a = (x.exp >= y.exp) ? x : y;
+  const FloatRaw& b = (x.exp >= y.exp) ? y : x;
   const int m = fmt.mantissa_bits;
-  const int d = a.exponent() - b.exponent();
+  const int d = a.exp - b.exp;
 
   // Align b to a's scale with 3 extra guard/round/sticky bits.  Since both
   // operands are positive (no cancellation), GRS alignment plus one final
   // rounding is exactly the correctly-rounded sum.
-  const u128 asig3 = static_cast<u128>(a.significand()) << 3;
+  const u128 asig3 = static_cast<u128>(a.sig) << 3;
   u128 bsig3 = 0;
   if (d <= m + 4) {
-    const u128 shifted_b = static_cast<u128>(b.significand()) << 3;
+    const u128 shifted_b = static_cast<u128>(b.sig) << 3;
     bsig3 = shifted_b >> d;
     const u128 dropped = shifted_b - (bsig3 << d);
     if (dropped != 0) bsig3 |= 1;  // sticky
@@ -108,27 +121,46 @@ SoftFloat fl_add(const SoftFloat& a_in, const SoftFloat& b_in, ArithFlags& flags
   }
   const u128 sum = asig3 + bsig3;
   // value = sum * 2^(a.exp - m - 3)
-  return make_normalized(sum, a.exponent() - m - 3, fmt, flags, mode);
+  return make_normalized_raw(sum, a.exp - m - 3, fmt, flags, mode);
+}
+
+FloatRaw fl_mul_raw(const FloatRaw& a, const FloatRaw& b, const FloatFormat& fmt,
+                    ArithFlags& flags, RoundingMode mode) {
+  if (a.sig == 0 || b.sig == 0) return FloatRaw{};
+  const int m = fmt.mantissa_bits;
+  // Exact significand product: (M+1)+(M+1) <= 122 bits.
+  const u128 wide = static_cast<u128>(a.sig) * b.sig;
+  // a = sig_a * 2^(ea - m), b likewise => value = wide * 2^(ea + eb - 2m).
+  return make_normalized_raw(wide, a.exp + b.exp - 2 * m, fmt, flags, mode);
+}
+
+bool fl_less_raw(const FloatRaw& a, const FloatRaw& b) {
+  if (a.sig == 0) return b.sig != 0;
+  if (b.sig == 0) return false;
+  if (a.exp != b.exp) return a.exp < b.exp;
+  return a.sig < b.sig;
+}
+
+double fl_raw_to_double(const FloatRaw& raw, const FloatFormat& fmt) {
+  if (raw.sig == 0) return 0.0;
+  return std::ldexp(static_cast<double>(raw.sig), raw.exp - fmt.mantissa_bits);
+}
+
+SoftFloat fl_add(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
+                 RoundingMode mode) {
+  require(a.format() == b.format(), "fl_add: mixed formats");
+  return from_raw(fl_add_raw(a.raw(), b.raw(), a.format(), flags, mode), a.format());
 }
 
 SoftFloat fl_mul(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
                  RoundingMode mode) {
   require(a.format() == b.format(), "fl_mul: mixed formats");
-  const FloatFormat& fmt = a.format();
-  if (a.is_zero() || b.is_zero()) return SoftFloat(fmt);
-  const int m = fmt.mantissa_bits;
-  // Exact significand product: (M+1)+(M+1) <= 122 bits.
-  const u128 wide = static_cast<u128>(a.significand()) * b.significand();
-  // a = sig_a * 2^(ea - m), b likewise => value = wide * 2^(ea + eb - 2m).
-  return make_normalized(wide, a.exponent() + b.exponent() - 2 * m, fmt, flags, mode);
+  return from_raw(fl_mul_raw(a.raw(), b.raw(), a.format(), flags, mode), a.format());
 }
 
 bool fl_less(const SoftFloat& a, const SoftFloat& b) {
   require(a.format() == b.format(), "fl_less: mixed formats");
-  if (a.is_zero()) return !b.is_zero();
-  if (b.is_zero()) return false;
-  if (a.exponent() != b.exponent()) return a.exponent() < b.exponent();
-  return a.significand() < b.significand();
+  return fl_less_raw(a.raw(), b.raw());
 }
 
 SoftFloat fl_min(const SoftFloat& a, const SoftFloat& b) {

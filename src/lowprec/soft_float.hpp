@@ -28,6 +28,19 @@
 
 namespace problp::lowprec {
 
+/// The two raw machine words of a SoftFloat — what the generated hardware's
+/// registers actually hold, and the element type of the batched SoA engine
+/// (ac/batch_lowprec.hpp).  sig == 0 encodes the number zero; otherwise sig
+/// carries exactly M+1 bits and exp is the unbiased exponent.
+struct FloatRaw {
+  std::int32_t exp = 0;
+  std::uint64_t sig = 0;
+
+  friend bool operator==(const FloatRaw& a, const FloatRaw& b) {
+    return a.sig == b.sig && (a.sig == 0 || a.exp == b.exp);
+  }
+};
+
 class SoftFloat {
  public:
   /// Zero in the given format.
@@ -53,6 +66,7 @@ class SoftFloat {
   bool is_zero() const { return sig_ == 0; }
   int exponent() const { return exp_; }
   std::uint64_t significand() const { return sig_; }
+  FloatRaw raw() const { return FloatRaw{exp_, sig_}; }
   const FloatFormat& format() const { return fmt_; }
 
   friend bool operator==(const SoftFloat& a, const SoftFloat& b) {
@@ -77,5 +91,31 @@ SoftFloat fl_mul(const SoftFloat& a, const SoftFloat& b, ArithFlags& flags,
 bool fl_less(const SoftFloat& a, const SoftFloat& b);
 SoftFloat fl_min(const SoftFloat& a, const SoftFloat& b);
 SoftFloat fl_max(const SoftFloat& a, const SoftFloat& b);
+
+// ---- raw-word kernels -------------------------------------------------------
+// The same operators on bare (exp, sig) words of one shared (pre-validated)
+// format.  fl_add / fl_mul / fl_max are thin wrappers over these, so any
+// consumer holding raw words — the batched SoA low-precision engine in
+// ac/batch_lowprec.hpp — is bit-identical to the SoftFloat object level by
+// construction.
+
+/// a + b on raw words, correctly rounded per `mode`.
+FloatRaw fl_add_raw(const FloatRaw& a, const FloatRaw& b, const FloatFormat& fmt,
+                    ArithFlags& flags, RoundingMode mode = RoundingMode::kNearestEven);
+
+/// a * b on raw words, correctly rounded per `mode`.
+FloatRaw fl_mul_raw(const FloatRaw& a, const FloatRaw& b, const FloatFormat& fmt,
+                    ArithFlags& flags, RoundingMode mode = RoundingMode::kNearestEven);
+
+/// Exact a < b on raw words (lexicographic on (exp, sig) with zero lowest).
+bool fl_less_raw(const FloatRaw& a, const FloatRaw& b);
+
+/// Exact max on raw words.
+inline FloatRaw fl_max_raw(const FloatRaw& a, const FloatRaw& b) {
+  return fl_less_raw(a, b) ? b : a;
+}
+
+/// Widens a raw word back to double — identical to SoftFloat::to_double.
+double fl_raw_to_double(const FloatRaw& raw, const FloatFormat& fmt);
 
 }  // namespace problp::lowprec

@@ -47,18 +47,20 @@ ObservedError measure_error(const std::shared_ptr<const runtime::CompiledModel>&
 
   ObservedError err;
   if (query != MeasureQuery::kConditional) {
-    // One batched exact sweep; per-query low-precision passes against it.
+    // Both sides sweep batched: exact on the SoA double engine, low
+    // precision on the SoA raw-word engine (bit-identical, values and
+    // merged flags, to the per-query passes this loop used to run).
     const bool mpe = query == MeasureQuery::kMpeRoot;
     const std::vector<double>& ground_truth =
         mpe ? exact.mpe(assignments) : exact.marginal(assignments);
+    const std::vector<double>& approx =
+        mpe ? lowprec.mpe(assignments) : lowprec.marginal(assignments);
+    err.flags.merge(lowprec.last_flags());
     for (std::size_t i = 0; i < assignments.size(); ++i) {
-      const double approx =
-          mpe ? lowprec.mpe(assignments[i]) : lowprec.marginal(assignments[i]);
-      err.flags.merge(lowprec.last_flags());
-      accumulate(err, approx, ground_truth[i]);
+      accumulate(err, approx[i], ground_truth[i]);
     }
   } else {
-    // Exact posteriors in batched SoA sweeps, low-precision per query.
+    // Posteriors in batched SoA sweeps on both backends.
     const std::vector<std::vector<double>> truth = exact.conditional(query_var, assignments);
     const std::vector<std::vector<double>> approx = lowprec.conditional(query_var, assignments);
     err.flags.merge(lowprec.last_flags());

@@ -6,8 +6,16 @@ namespace problp::runtime {
 
 namespace {
 
-SessionOptions options_from_report(const CompiledModel* model, const AnalysisReport& report) {
+SessionOptions options_from_report(const CompiledModel* model, const AnalysisReport& report,
+                                   bool allow_exact_fallback) {
   require(model != nullptr, "InferenceSession: null model");
+  // A report-backed session means "run the datapath the analysis selected".
+  // An infeasible report selected nothing, so silently handing back exact
+  // double arithmetic (zero error, no flags) would be indistinguishable
+  // from a real low-precision backend — refuse unless explicitly allowed.
+  require(report.any_feasible || allow_exact_fallback,
+          "InferenceSession: the analysis found no feasible representation; pass "
+          "allow_exact_fallback to run the exact double backend instead");
   SessionOptions options;
   if (report.any_feasible) {
     options.representation = report.selected;
@@ -25,12 +33,18 @@ InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
                                    SessionOptions options)
     : model_(std::move(model)), options_(std::move(options)) {
   require(model_ != nullptr, "InferenceSession: null model");
+  // Fail misconfiguration at setup time, not on the first batched query
+  // deep inside a serving call stack (the batched engines would only check
+  // these in their lazily-reached constructors).
+  require(options_.batch.block >= 1, "InferenceSession: batch.block must be >= 1");
+  require(options_.batch.num_threads >= 0,
+          "InferenceSession: batch.num_threads must be >= 0");
   tapes_[kMarginalTape] = &model_->tape();
 }
 
 InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
-                                   const AnalysisReport& report)
-    : InferenceSession(model, options_from_report(model.get(), report)) {}
+                                   const AnalysisReport& report, bool allow_exact_fallback)
+    : InferenceSession(model, options_from_report(model.get(), report, allow_exact_fallback)) {}
 
 const ac::CircuitTape& InferenceSession::tape(Which which) {
   if (tapes_[which] == nullptr) tapes_[which] = &model_->max_tape();
@@ -59,21 +73,32 @@ double InferenceSession::eval_root(Which which, const ac::PartialAssignment& ass
   return result.value;
 }
 
+InferenceSession::LowPrecBatchEngine& InferenceSession::batch_engine(Which which) {
+  LowPrecBatchEngine& engine = lowprec_batch_[which];
+  if (!engine.fixed && !engine.flt) {
+    const Representation& repr = *options_.representation;
+    if (repr.kind == Representation::Kind::kFixed) {
+      engine.fixed.emplace(tape(which), repr.fixed, options_.rounding, options_.batch);
+    } else {
+      engine.flt.emplace(tape(which), repr.flt, options_.rounding, options_.batch);
+    }
+  }
+  return engine;
+}
+
 const std::vector<double>& InferenceSession::eval_batch(
     Which which, const std::vector<ac::PartialAssignment>& batch) {
   if (!options_.representation) {
     if (!exact_batch_[which]) exact_batch_[which].emplace(tape(which), options_.batch);
     return exact_batch_[which]->evaluate(batch);
   }
-  // Low-precision emulation is query-at-a-time on the tape (parameters are
-  // quantised once in the engine); the batch overload still amortises flag
-  // handling and reuses the output buffer.
-  batch_out_.clear();
-  batch_out_.reserve(batch.size());
-  for (const ac::PartialAssignment& assignment : batch) {
-    batch_out_.push_back(eval_root(which, assignment));
-  }
-  return batch_out_;
+  // Batched low-precision emulation: the SoA raw-word sweep, bit-identical
+  // (values and per-query flags) to the per-query engine behind eval_root.
+  LowPrecBatchEngine& eng = batch_engine(which);
+  const std::vector<double>& out =
+      eng.fixed ? eng.fixed->evaluate(batch) : eng.flt->evaluate(batch);
+  last_flags_.merge(eng.fixed ? eng.fixed->merged_flags() : eng.flt->merged_flags());
+  return out;
 }
 
 void InferenceSession::posterior_into(int query_var, const ac::PartialAssignment& evidence,
@@ -120,37 +145,43 @@ std::vector<double> InferenceSession::conditional(int query_var,
 std::vector<std::vector<double>> InferenceSession::conditional(
     int query_var, const std::vector<ac::PartialAssignment>& evidence) {
   last_flags_ = {};
-  std::vector<std::vector<double>> out(evidence.size());
-  if (!options_.representation) {
-    // Exact backend: batch the whole sweep — Pr(e) for every evidence set
-    // in one SoA pass, then the per-state numerators in one card-wide pass
-    // per surviving evidence set (the shape the observed-error sweeps ran
-    // before the runtime existed).
-    require(query_var >= 0 && query_var < model_->num_variables(),
-            "InferenceSession::conditional: query variable out of range");
-    for (const auto& e : evidence) {
-      require(!e.at(static_cast<std::size_t>(query_var)).has_value(),
-              "InferenceSession::conditional: query variable must be unobserved");
-    }
-    const std::vector<double> pr_evidence = eval_batch(kMarginalTape, evidence);
-    const int card = model_->cardinalities()[static_cast<std::size_t>(query_var)];
-    std::vector<ac::PartialAssignment> numerators(static_cast<std::size_t>(card));
-    for (std::size_t i = 0; i < evidence.size(); ++i) {
-      if (!(pr_evidence[i] > 0.0)) continue;
-      for (int q = 0; q < card; ++q) {
-        numerators[static_cast<std::size_t>(q)] = evidence[i];
-        numerators[static_cast<std::size_t>(q)][static_cast<std::size_t>(query_var)] = q;
-      }
-      const std::vector<double>& roots = eval_batch(kMarginalTape, numerators);
-      out[i].reserve(static_cast<std::size_t>(card));
-      for (int q = 0; q < card; ++q) {
-        out[i].push_back(roots[static_cast<std::size_t>(q)] / pr_evidence[i]);
-      }
-    }
-    return out;
+  // Both backends batch the whole sweep: Pr(e) for every evidence set in
+  // one SoA pass, then every surviving evidence set's per-state numerators
+  // coalesced into ONE flat batch (card is typically 2-5, far below the SoA
+  // block width, so a per-evidence-set numerator pass would run the batched
+  // engines in their degenerate regime) and scattered back.  Per-query
+  // results are independent of batch composition, so this is bit-identical
+  // to the per-set shape.
+  require(query_var >= 0 && query_var < model_->num_variables(),
+          "InferenceSession::conditional: query variable out of range");
+  for (const auto& e : evidence) {
+    require(!e.at(static_cast<std::size_t>(query_var)).has_value(),
+            "InferenceSession::conditional: query variable must be unobserved");
   }
+  std::vector<std::vector<double>> out(evidence.size());
+  const std::vector<double> pr_evidence = eval_batch(kMarginalTape, evidence);
+  const int card = model_->cardinalities()[static_cast<std::size_t>(query_var)];
+  std::vector<ac::PartialAssignment> numerators;
+  std::vector<std::size_t> surviving;  ///< evidence index per numerator group
   for (std::size_t i = 0; i < evidence.size(); ++i) {
-    posterior_into(query_var, evidence[i], out[i]);
+    if (!(pr_evidence[i] > 0.0)) continue;  // Pr(e) == 0: posterior undefined
+    surviving.push_back(i);
+    for (int q = 0; q < card; ++q) {
+      numerators.push_back(evidence[i]);
+      numerators.back()[static_cast<std::size_t>(query_var)] = q;
+    }
+  }
+  if (surviving.empty()) return out;
+  const std::vector<double>& roots = eval_batch(kMarginalTape, numerators);
+  for (std::size_t g = 0; g < surviving.size(); ++g) {
+    const std::size_t i = surviving[g];
+    out[i].reserve(static_cast<std::size_t>(card));
+    for (int q = 0; q < card; ++q) {
+      // The ratio is taken in double: ProbLP's datapath computes the two
+      // passes, the host divides (paper footnote 2).
+      out[i].push_back(roots[g * static_cast<std::size_t>(card) + static_cast<std::size_t>(q)] /
+                       pr_evidence[i]);
+    }
   }
   return out;
 }

@@ -16,9 +16,12 @@
 // (batched queries) — bit-identical to the ac/evaluator.hpp interpreter.
 // With `SessionOptions::representation` set (or the convenience constructor
 // taking an AnalysisReport, which installs the representation the analysis
-// selected), every sweep runs the emulated low-precision datapath through
-// Fixed/FloatTapeEvaluator — bit-identical, value and flags, to the
-// one-shot ac::evaluate_fixed / evaluate_float on the source circuit.
+// selected and *requires* the report to be feasible unless the caller opts
+// into exact fallback), every sweep runs the emulated low-precision
+// datapath: single queries through Fixed/FloatTapeEvaluator, batched
+// queries through the SoA raw-word Fixed/FloatBatchEvaluator — all
+// bit-identical, value and flags, to the one-shot ac::evaluate_fixed /
+// evaluate_float on the source circuit.
 //
 // Queries.  marginal(e) = Pr(e), one upward pass.  conditional(q, e) =
 // the posterior of every state of `q` given `e` (empty when Pr(e) is not
@@ -40,6 +43,7 @@
 #include <vector>
 
 #include "ac/batch_eval.hpp"
+#include "ac/batch_lowprec.hpp"
 #include "ac/low_precision_eval.hpp"
 #include "runtime/compiled_model.hpp"
 
@@ -51,7 +55,9 @@ struct SessionOptions {
   /// analysis (or the caller) selected.
   std::optional<Representation> representation;
   lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
-  /// Shape of the exact batched sweep (SoA block width, worker threads).
+  /// Shape of the batched sweeps, exact and low-precision alike (SoA block
+  /// width, worker threads).  Validated at session construction so a
+  /// misconfigured serving stack fails at setup, not on its first batch.
   ac::BatchEvaluator::Options batch;
 
   /// Options running every sweep under `repr` — the format-sweep callers'
@@ -70,10 +76,13 @@ class InferenceSession {
   explicit InferenceSession(std::shared_ptr<const CompiledModel> model,
                             SessionOptions options = {});
 
-  /// Backend the analysis selected: the report's representation when it
-  /// found a feasible one (with the rounding mode the analysis assumed),
-  /// exact double otherwise.
-  InferenceSession(std::shared_ptr<const CompiledModel> model, const AnalysisReport& report);
+  /// Backend the analysis selected: the report's representation (with the
+  /// rounding mode the analysis assumed).  A report with no feasible
+  /// representation is rejected — a caller asking for the analysis-selected
+  /// datapath must not silently receive ground-truth double arithmetic.
+  /// Pass `allow_exact_fallback = true` to opt into exact double instead.
+  InferenceSession(std::shared_ptr<const CompiledModel> model, const AnalysisReport& report,
+                   bool allow_exact_fallback = false);
 
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
@@ -119,8 +128,15 @@ class InferenceSession {
     std::optional<ac::FloatTapeEvaluator> flt;
   };
 
+  /// Batched counterpart: the SoA raw-word engine of ac/batch_lowprec.hpp.
+  struct LowPrecBatchEngine {
+    std::optional<ac::FixedBatchEvaluator> fixed;
+    std::optional<ac::FloatBatchEvaluator> flt;
+  };
+
   const ac::CircuitTape& tape(Which which);
   LowPrecEngine& engine(Which which);
+  LowPrecBatchEngine& batch_engine(Which which);
   /// One upward pass on the selected backend; merges flags into last_flags_.
   double eval_root(Which which, const ac::PartialAssignment& assignment);
   const std::vector<double>& eval_batch(Which which,
@@ -138,7 +154,7 @@ class InferenceSession {
   std::vector<double> scratch_;                       ///< exact single-query value buffer
   std::optional<ac::BatchEvaluator> exact_batch_[2];  ///< exact batched engines, lazy
   LowPrecEngine lowprec_[2];                          ///< low-precision engines, lazy
-  std::vector<double> batch_out_;                     ///< low-precision batched results
+  LowPrecBatchEngine lowprec_batch_[2];               ///< batched low-precision, lazy
   ac::PartialAssignment query_scratch_;               ///< conditional (q, e) assignment
 };
 

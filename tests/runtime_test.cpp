@@ -505,7 +505,8 @@ TEST(InferenceSession, SessionFromReportUsesSelectedRepresentation) {
     EXPECT_EQ(from_report.marginal(e), explicit_repr.marginal(e));
   }
 
-  // An infeasible report falls back to the exact backend.
+  // An infeasible report selected no datapath: constructing from it must
+  // refuse rather than silently run ground-truth double arithmetic.
   FrameworkOptions strict;
   strict.search.max_fraction_bits = 2;
   strict.search.max_mantissa_bits = 2;
@@ -513,8 +514,103 @@ TEST(InferenceSession, SessionFromReportUsesSelectedRepresentation) {
   const AnalysisReport infeasible =
       strict_model->analyze({QueryType::kMarginal, ToleranceKind::kAbsolute, 1e-12});
   ASSERT_FALSE(infeasible.any_feasible);
-  InferenceSession exact_fallback(strict_model, infeasible);
+  EXPECT_THROW(InferenceSession(strict_model, infeasible), InvalidArgument);
+
+  // The exact fallback is still reachable, but only as an explicit opt-in —
+  // and it really is the exact backend (interpreter-identical, clean flags).
+  InferenceSession exact_fallback(strict_model, infeasible, /*allow_exact_fallback=*/true);
   EXPECT_FALSE(exact_fallback.low_precision());
+  for (const auto& e : sampled_assignments(source.cardinalities(), 8, 0.5, 444)) {
+    EXPECT_EQ(exact_fallback.marginal(e), ac::evaluate(strict_model->binary_circuit(), e));
+    EXPECT_FALSE(exact_fallback.last_flags().any());
+  }
+}
+
+TEST(InferenceSession, BatchOptionsValidatedAtConstruction) {
+  const auto model = CompiledModel::compile(small_nb_circuit(43));
+  // A zero block width or negative thread count used to explode lazily in
+  // the batched engine's constructor on the first batched query; now the
+  // session constructor rejects it at setup time.
+  SessionOptions bad_block;
+  bad_block.batch.block = 0;
+  EXPECT_THROW(InferenceSession(model, bad_block), InvalidArgument);
+  SessionOptions bad_threads;
+  bad_threads.batch.num_threads = -1;
+  EXPECT_THROW(InferenceSession(model, bad_threads), InvalidArgument);
+  // A valid shape still constructs and serves batches.
+  SessionOptions ok;
+  ok.batch.block = 4;
+  ok.batch.num_threads = 2;
+  InferenceSession session(model, ok);
+  const auto assignments = sampled_assignments(model->cardinalities(), 8, 0.5, 777);
+  EXPECT_EQ(session.marginal(assignments).size(), assignments.size());
+}
+
+TEST(InferenceSession, BatchedLowPrecisionMatchesSinglesAcrossThreads) {
+  const ac::Circuit source = small_ve_circuit(36);
+  const auto model = CompiledModel::compile(source);
+  const auto assignments = sampled_assignments(source.cardinalities(), 33, 0.5, 555);
+  for (const Representation& repr : {Representation::of(lowprec::FixedFormat{1, 10}),
+                                     Representation::of(lowprec::FloatFormat{4, 6})}) {
+    for (const int threads : {1, 4}) {
+      SessionOptions options = SessionOptions::low_precision(repr);
+      options.batch.num_threads = threads;
+      options.batch.block = 8;
+      InferenceSession batched(model, options);
+      InferenceSession singles(model, SessionOptions::low_precision(repr));
+
+      const std::vector<double> got = batched.marginal(assignments);
+      const lowprec::ArithFlags got_flags = batched.last_flags();
+      lowprec::ArithFlags want_flags;
+      for (std::size_t i = 0; i < assignments.size(); ++i) {
+        EXPECT_EQ(got[i], singles.marginal(assignments[i])) << "threads=" << threads;
+        want_flags.merge(singles.last_flags());
+      }
+      EXPECT_TRUE(flags_equal(got_flags, want_flags));
+
+      const std::vector<double> got_mpe = batched.mpe(assignments);
+      for (std::size_t i = 0; i < assignments.size(); ++i) {
+        EXPECT_EQ(got_mpe[i], singles.mpe(assignments[i])) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(InferenceSession, BatchedConditionalCoalescedScatter) {
+  // A circuit where evidence can be structurally impossible: var0 = 1 has no
+  // indicator support, so Pr(e) == 0 there — those posteriors come back
+  // empty while the surviving sets' coalesced numerators scatter back to
+  // their own slots, bit-identical to the single-query path on both
+  // backends.
+  ac::Circuit c({2, 2});
+  const ac::NodeId i00 = c.add_indicator(0, 0);
+  const ac::NodeId t0 = c.add_prod({c.add_indicator(1, 0), c.add_parameter(0.3)});
+  const ac::NodeId t1 = c.add_prod({c.add_indicator(1, 1), c.add_parameter(0.7)});
+  c.set_root(c.add_prod({i00, c.add_sum({t0, t1})}));
+  const auto model = CompiledModel::wrap(c);
+  const int query_var = 1;
+
+  std::vector<ac::PartialAssignment> evidence;
+  for (const int obs : {0, 1, 0, 1, -1}) {  // -1 = var0 unobserved
+    ac::PartialAssignment e(2);
+    if (obs >= 0) e[0] = obs;
+    evidence.push_back(std::move(e));
+  }
+
+  InferenceSession exact(model);
+  InferenceSession lp(model, SessionOptions::low_precision(
+                                 Representation::of(lowprec::FixedFormat{2, 12})));
+  for (InferenceSession* session : {&exact, &lp}) {
+    const auto batched = session->conditional(query_var, evidence);
+    ASSERT_EQ(batched.size(), evidence.size());
+    for (std::size_t i = 0; i < evidence.size(); ++i) {
+      EXPECT_EQ(batched[i], session->conditional(query_var, evidence[i])) << "i=" << i;
+    }
+    EXPECT_TRUE(batched[1].empty());  // Pr(var0 = 1) == 0
+    EXPECT_TRUE(batched[3].empty());
+    ASSERT_EQ(batched[0].size(), 2u);  // survivors keep their slots
+    EXPECT_EQ(batched[0], batched[2]);
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "ac/analysis.hpp"
 #include "ac/batch_eval.hpp"
+#include "ac/batch_lowprec.hpp"
 #include "ac/low_precision_eval.hpp"
 #include "ac/tape.hpp"
 #include "ac/transform.hpp"
@@ -209,6 +210,83 @@ TEST(Tape, LowPrecisionTapeParityIncludingFlags) {
   }
 }
 
+TEST(Tape, BatchedLowPrecExhaustiveParity) {
+  // The batched SoA raw-word engine's full parity matrix: fixed and float
+  // formats (including overflow/underflow-raising ones) x rounding modes x
+  // thread counts x batch sizes straddling the SoA block boundary — bitwise
+  // on values AND per-query sticky flags against the per-query evaluators
+  // (which are themselves bit-identical to the one-shot evaluate_*).
+  Rng rng(23);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const BinarizeResult bin = binarize(compile::compile_network(network));
+  const CircuitTape tape = CircuitTape::compile(bin.circuit);
+  const auto assignments = random_assignments(bin.circuit.cardinalities(), 512, 0.5, rng);
+  const std::vector<std::size_t> batch_sizes = {1, 15, 16, 17, 512};
+
+  const auto check = [&](auto& batch_eval, const std::vector<LowPrecisionResult>& ref,
+                         const char* what) {
+    for (const std::size_t count : batch_sizes) {
+      const std::vector<double>& roots = batch_eval.evaluate(assignments.data(), count);
+      ASSERT_EQ(roots.size(), count);
+      ASSERT_EQ(batch_eval.flags().size(), count);
+      lowprec::ArithFlags want_merged;
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(roots[i], ref[i].value)
+            << what << " threads=" << batch_eval.options().num_threads << " count=" << count
+            << " query=" << i;
+        const lowprec::ArithFlags& got = batch_eval.flags()[i];
+        ASSERT_EQ(got.overflow, ref[i].flags.overflow) << what << " query=" << i;
+        ASSERT_EQ(got.underflow, ref[i].flags.underflow) << what << " query=" << i;
+        ASSERT_EQ(got.invalid_input, ref[i].flags.invalid_input) << what << " query=" << i;
+        want_merged.merge(ref[i].flags);
+      }
+      const lowprec::ArithFlags merged = batch_eval.merged_flags();
+      EXPECT_EQ(merged.overflow, want_merged.overflow);
+      EXPECT_EQ(merged.underflow, want_merged.underflow);
+      EXPECT_EQ(merged.invalid_input, want_merged.invalid_input);
+    }
+  };
+
+  for (const auto mode :
+       {lowprec::RoundingMode::kNearestEven, lowprec::RoundingMode::kTruncate}) {
+    // {1, 4} is comfortable; {0, 3} cannot even hold the indicator 1 and
+    // must overflow, so the flag half of the parity check is not vacuous.
+    for (const lowprec::FixedFormat fmt :
+         {lowprec::FixedFormat{2, 12}, lowprec::FixedFormat{1, 4}, lowprec::FixedFormat{0, 3}}) {
+      FixedTapeEvaluator single(tape, fmt, mode);
+      std::vector<LowPrecisionResult> ref;
+      ref.reserve(assignments.size());
+      for (const auto& a : assignments) ref.push_back(single.evaluate(a));
+      if (fmt.integer_bits == 0) {
+        ASSERT_TRUE(ref.front().flags.overflow);
+      }
+      for (const int threads : {1, 4}) {
+        BatchEvaluator::Options opts;
+        opts.num_threads = threads;
+        FixedBatchEvaluator batch(tape, fmt, mode, opts);
+        check(batch, ref, fmt.to_string().c_str());
+      }
+    }
+    // {6, 8} is comfortable; {2, 2}'s one-binade range flushes small
+    // products to zero (underflow) and saturates large sums (overflow).
+    for (const lowprec::FloatFormat fmt :
+         {lowprec::FloatFormat{6, 8}, lowprec::FloatFormat{3, 4}, lowprec::FloatFormat{2, 2}}) {
+      FloatTapeEvaluator single(tape, fmt, mode);
+      std::vector<LowPrecisionResult> ref;
+      ref.reserve(assignments.size());
+      for (const auto& a : assignments) ref.push_back(single.evaluate(a));
+      for (const int threads : {1, 4}) {
+        BatchEvaluator::Options opts;
+        opts.num_threads = threads;
+        FloatBatchEvaluator batch(tape, fmt, mode, opts);
+        check(batch, ref, fmt.to_string().c_str());
+      }
+    }
+  }
+}
+
 TEST(Tape, RangeAnalysisRunsOnTape) {
   // Max analysis == ExactOps sweep, min analysis == MinValueOps sweep, both
   // with all indicators at 1 — on the tape, node for node.
@@ -254,6 +332,19 @@ TEST(Tape, ContractViolationsRejected) {
   EXPECT_THROW(tape.evaluate(too_large, scratch), InvalidArgument);
   EXPECT_THROW(evaluate(coin, negative), InvalidArgument);
   EXPECT_THROW(evaluate(coin, too_large), InvalidArgument);
+
+  // A malformed assignment deep inside a *threaded* batch must surface as
+  // the same catchable error (worker exceptions are rethrown on the
+  // caller), never std::terminate — on both batched engines.
+  BatchEvaluator::Options mt;
+  mt.num_threads = 4;
+  std::vector<PartialAssignment> poisoned(64, PartialAssignment(1));
+  poisoned[37] = PartialAssignment(3);  // wrong arity
+  BatchEvaluator exact_mt(tape, mt);
+  EXPECT_THROW(exact_mt.evaluate(poisoned), InvalidArgument);
+  FixedBatchEvaluator lowprec_mt(tape, lowprec::FixedFormat{1, 8},
+                                 lowprec::RoundingMode::kNearestEven, mt);
+  EXPECT_THROW(lowprec_mt.evaluate(poisoned), InvalidArgument);
 }
 
 TEST(Tape, LeafRootAndSteadyStateReuse) {
