@@ -1,31 +1,34 @@
 // End-to-end query throughput: per-query interpreter vs flattened tape vs
-// batched tape vs the InferenceSession runtime API, on the ALARM AC and a
-// synthetic VE-compiled circuit.
+// batched tape vs the SIMD kernel-schedule backend vs the InferenceSession
+// runtime API, on the ALARM AC and a synthetic VE-compiled circuit.
 //
 // This is the perf trajectory anchor for the evaluation engine: every run
 // prints one machine-readable JSON line per circuit (scripts/bench.sh
 // appends them to BENCH_eval.json) of the form
 //
 //   {"bench":"eval_throughput","circuit":"alarm","nodes":...,"edges":...,
-//    "batch":512,"interpreter_qps":...,"tape_qps":...,"batched_qps":...,
-//    "batched_mt_qps":...,"session_qps":...,"session_batched_qps":...,
-//    "lowprec_qps":...,"lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
-//    "speedup_tape":...,"speedup_batched":...,"speedup_session_batched":...,
-//    "speedup_lowprec_batched":...}
+//    "batch":512,"threads":...,"isa":"avx512","interpreter_qps":...,
+//    "tape_qps":...,"batched_qps":...,"batched_mt_qps":...,"simd_qps":...,
+//    "session_qps":...,"session_batched_qps":...,"lowprec_qps":...,
+//    "lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
+//    "simd_lowprec_qps":...,"speedup_tape":...,"speedup_batched":...,
+//    "speedup_simd":...,"speedup_session_batched":...,
+//    "speedup_lowprec_batched":...,"speedup_simd_lowprec":...,
+//    "parity_checksum":"...","lowprec_parity_checksum":"..."}
 //
 // qps = evidence-set evaluations per second (full upward pass per query).
-// The acceptance bar for the tape engine is speedup_batched >= 3 on ALARM
-// with >= 256 evidence sets, and the session API must track the raw batched
-// engine within noise (it is the same sweep behind one non-virtual call).
-// The lowprec_* trio measures the emulated datapath behind the same session
-// API — singles on the per-query Fixed/FloatTapeEvaluator, batches on the
-// SoA raw-word engine (ac/batch_lowprec.hpp) — on a representative 24-bit
-// fixed format; the bar there is speedup_lowprec_batched >= 2 over the
-// query-at-a-time session path.  The run fails loudly when parity between
-// any pair of engines is violated.
+// batched_qps / lowprec_batched_qps keep the pre-schedule engine shape
+// (force_generic, 16-lane blocks) so the trajectory stays comparable across
+// PRs; simd_qps / simd_lowprec_qps are the kernel-schedule defaults (auto
+// block, runtime ISA dispatch — `isa` records what was dispatched, `threads`
+// the worker count the *_mt rows actually ran with).  Acceptance for this
+// engine generation: simd_qps >= 1.5x and simd_lowprec_qps >= 1.3x the PR 3
+// ALARM/512 rows.  Every engine is bit-identical to the interpreter by
+// construction, so the run fails loudly on any checksum drift, and the
+// checksums are printed so CI can diff a PROBLP_SIMD=scalar run against auto
+// dispatch.
 #include <chrono>
 #include <cstdio>
-#include <thread>
 
 #include "bench_common.hpp"
 #include "bn/random_network.hpp"
@@ -76,12 +79,24 @@ struct ThroughputResult {
   double tape_qps = 0.0;
   double batched_qps = 0.0;
   double batched_mt_qps = 0.0;
+  double simd_qps = 0.0;
   double session_qps = 0.0;
   double session_batched_qps = 0.0;
   double lowprec_qps = 0.0;
   double lowprec_batched_qps = 0.0;
   double lowprec_batched_mt_qps = 0.0;
+  double simd_lowprec_qps = 0.0;
 };
+
+// The pre-schedule trajectory shape: the generic CSR fold over 16-lane
+// blocks, exactly the engine the batched_qps rows measured in PR 1-3.
+ac::BatchEvaluator::Options generic_options(int num_threads = 1) {
+  ac::BatchEvaluator::Options options;
+  options.force_generic = true;
+  options.block = 16;
+  options.num_threads = num_threads;
+  return options;
+}
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                              const std::vector<ac::PartialAssignment>& assignments,
@@ -108,25 +123,32 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const auto& a : assignments) tape_checksum += tape.evaluate(a, scratch);
   });
 
-  ac::BatchEvaluator batched(tape);
+  ac::BatchEvaluator batched(tape, generic_options());
   double batched_checksum = 0.0;
   r.batched_qps = measure_qps(batch_size, min_seconds, [&] {
     batched_checksum = 0.0;
     for (const double v : batched.evaluate(assignments)) batched_checksum += v;
   });
 
-  ac::BatchEvaluator::Options mt_opts;
-  mt_opts.num_threads = 0;  // one per hardware core
-  ac::BatchEvaluator batched_mt(tape, mt_opts);
+  ac::BatchEvaluator batched_mt(tape, generic_options(/*num_threads=*/0));
   double mt_checksum = 0.0;
   r.batched_mt_qps = measure_qps(batch_size, min_seconds, [&] {
     mt_checksum = 0.0;
     for (const double v : batched_mt.evaluate(assignments)) mt_checksum += v;
   });
 
+  // The specialised kernel schedule at its defaults: fanin-2 segments,
+  // cache-aware auto block, runtime ISA dispatch (PROBLP_SIMD honoured).
+  ac::BatchEvaluator simd_batched(tape);
+  double simd_checksum = 0.0;
+  r.simd_qps = measure_qps(batch_size, min_seconds, [&] {
+    simd_checksum = 0.0;
+    for (const double v : simd_batched.evaluate(assignments)) simd_checksum += v;
+  });
+
   // The unified runtime: same sweeps behind the InferenceSession API.  wrap()
-  // evaluates the given arena verbatim, so results must stay bit-identical
-  // to the raw engines and the overhead must be one non-virtual call.
+  // evaluates the given arena verbatim and the session defaults now run the
+  // kernel-schedule backend, so session_batched must track simd_qps.
   const auto model = runtime::CompiledModel::wrap(circuit);
   runtime::InferenceSession session(model);
   double session_checksum = 0.0;
@@ -144,11 +166,14 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   // The emulated low-precision datapath behind the same session API, on a
   // representative 24-bit fixed format (the shape the ALARM analyses
   // select).  Singles run the per-query Fixed/FloatTapeEvaluator — the
-  // pre-batching serving path — batches the SoA raw-word engine, single-
-  // and multi-threaded.
+  // pre-batching serving path — batches the SoA raw-word engine in its
+  // pre-schedule trajectory shape, single- and multi-threaded, plus the
+  // specialised fanin-2 schedule at session defaults (simd_lowprec_qps).
   const lowprec::FixedFormat lp_fmt{2, 22};
-  runtime::InferenceSession lp_session(
-      model, runtime::SessionOptions::low_precision(Representation::of(lp_fmt)));
+  runtime::SessionOptions lp_options =
+      runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
+  lp_options.batch = generic_options();
+  runtime::InferenceSession lp_session(model, lp_options);
   double lp_checksum = 0.0;
   r.lowprec_qps = measure_qps(batch_size, min_seconds, [&] {
     lp_checksum = 0.0;
@@ -163,7 +188,7 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
 
   runtime::SessionOptions lp_mt_options =
       runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
-  lp_mt_options.batch.num_threads = 0;  // one per hardware core
+  lp_mt_options.batch = generic_options(/*num_threads=*/0);
   runtime::InferenceSession lp_mt_session(model, lp_mt_options);
   double lp_mt_checksum = 0.0;
   r.lowprec_batched_mt_qps = measure_qps(batch_size, min_seconds, [&] {
@@ -171,36 +196,50 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : lp_mt_session.marginal(assignments)) lp_mt_checksum += v;
   });
 
+  runtime::InferenceSession lp_simd_session(
+      model, runtime::SessionOptions::low_precision(Representation::of(lp_fmt)));
+  double lp_simd_checksum = 0.0;
+  r.simd_lowprec_qps = measure_qps(batch_size, min_seconds, [&] {
+    lp_simd_checksum = 0.0;
+    for (const double v : lp_simd_session.marginal(assignments)) lp_simd_checksum += v;
+  });
+
   // The engines are bit-identical by construction; a drifting checksum
   // means the bench is measuring a broken engine.
   if (interp_checksum != tape_checksum || interp_checksum != batched_checksum ||
-      interp_checksum != mt_checksum || interp_checksum != session_checksum ||
-      interp_checksum != session_batched_checksum) {
-    std::fprintf(stderr, "PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g %.17g %.17g\n", name,
-                 interp_checksum, tape_checksum, batched_checksum, mt_checksum, session_checksum,
-                 session_batched_checksum);
+      interp_checksum != mt_checksum || interp_checksum != simd_checksum ||
+      interp_checksum != session_checksum || interp_checksum != session_batched_checksum) {
+    std::fprintf(stderr, "PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n",
+                 name, interp_checksum, tape_checksum, batched_checksum, mt_checksum,
+                 simd_checksum, session_checksum, session_batched_checksum);
     std::exit(1);
   }
-  if (lp_checksum != lp_batched_checksum || lp_checksum != lp_mt_checksum) {
-    std::fprintf(stderr, "LOWPREC PARITY VIOLATION on %s: %.17g %.17g %.17g\n", name,
-                 lp_checksum, lp_batched_checksum, lp_mt_checksum);
+  if (lp_checksum != lp_batched_checksum || lp_checksum != lp_mt_checksum ||
+      lp_checksum != lp_simd_checksum) {
+    std::fprintf(stderr, "LOWPREC PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g\n", name,
+                 lp_checksum, lp_batched_checksum, lp_mt_checksum, lp_simd_checksum);
     std::exit(1);
   }
 
   const ac::CircuitStats stats = circuit.stats();
   std::printf(
       "{\"bench\":\"eval_throughput\",\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
-      "\"batch\":%zu,\"threads\":%u,\"interpreter_qps\":%.0f,\"tape_qps\":%.0f,"
-      "\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"session_qps\":%.0f,"
-      "\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,\"lowprec_batched_qps\":%.0f,"
-      "\"lowprec_batched_mt_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
-      "\"speedup_session_batched\":%.2f,\"speedup_lowprec_batched\":%.2f}\n",
-      name, stats.num_nodes, stats.num_edges, batch_size,
-      std::max(1u, std::thread::hardware_concurrency()), r.interpreter_qps, r.tape_qps,
-      r.batched_qps, r.batched_mt_qps, r.session_qps, r.session_batched_qps, r.lowprec_qps,
-      r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.tape_qps / r.interpreter_qps,
-      r.batched_qps / r.interpreter_qps, r.session_batched_qps / r.interpreter_qps,
-      r.lowprec_batched_qps / r.lowprec_qps);
+      "\"batch\":%zu,\"threads\":%d,\"isa\":\"%s\",\"interpreter_qps\":%.0f,"
+      "\"tape_qps\":%.0f,\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"simd_qps\":%.0f,"
+      "\"session_qps\":%.0f,\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,"
+      "\"lowprec_batched_qps\":%.0f,\"lowprec_batched_mt_qps\":%.0f,"
+      "\"simd_lowprec_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
+      "\"speedup_simd\":%.2f,\"speedup_session_batched\":%.2f,"
+      "\"speedup_lowprec_batched\":%.2f,\"speedup_simd_lowprec\":%.2f,"
+      "\"parity_checksum\":\"%.17g\",\"lowprec_parity_checksum\":\"%.17g\"}\n",
+      name, stats.num_nodes, stats.num_edges, batch_size, batched_mt.options().num_threads,
+      ac::simd::level_name(simd_batched.simd_level()), r.interpreter_qps, r.tape_qps,
+      r.batched_qps, r.batched_mt_qps, r.simd_qps, r.session_qps, r.session_batched_qps,
+      r.lowprec_qps, r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.simd_lowprec_qps,
+      r.tape_qps / r.interpreter_qps, r.batched_qps / r.interpreter_qps,
+      r.simd_qps / r.batched_qps, r.session_batched_qps / r.interpreter_qps,
+      r.lowprec_batched_qps / r.lowprec_qps, r.simd_lowprec_qps / r.lowprec_batched_qps,
+      interp_checksum, lp_checksum);
   return r;
 }
 

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Builds Release, runs the evaluation-throughput bench, and appends its JSON
 # lines to BENCH_eval.json so the perf trajectory is tracked across PRs.
-# Each line carries the raw engines (interpreter/tape/batched), the unified
-# runtime's session_qps / session_batched_qps (acceptance: session_batched
-# within 10% of the batched baseline), and the emulated low-precision
-# datapath's lowprec_qps / lowprec_batched_qps / lowprec_batched_mt_qps
-# (acceptance: speedup_lowprec_batched >= 2 over the query-at-a-time session
-# path).  Every engine pair is parity-checked inside the bench — a checksum
-# drift exits non-zero before any line is appended.
+# Each line carries the raw engines (interpreter/tape/batched, with
+# batched_qps pinned to the pre-schedule generic shape for comparability),
+# the SIMD kernel-schedule backend's simd_qps / simd_lowprec_qps plus the
+# dispatched `isa` and the actual `threads` the *_mt rows used (acceptance:
+# simd_qps >= 1.5x and simd_lowprec_qps >= 1.3x the PR 3 ALARM/512 rows),
+# the unified runtime's session_qps / session_batched_qps (acceptance:
+# session_batched tracks the schedule backend within 10%), and the emulated
+# low-precision datapath's lowprec_qps / lowprec_batched_qps /
+# lowprec_batched_mt_qps (acceptance: speedup_lowprec_batched >= 2 over the
+# query-at-a-time session path).  Every engine pair is parity-checked inside
+# the bench — a checksum drift exits non-zero before any line is appended —
+# and the parity_checksum fields let CI diff a PROBLP_SIMD=scalar run
+# against auto dispatch bit for bit.
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail

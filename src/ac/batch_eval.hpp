@@ -8,14 +8,25 @@
 //
 //   buffer[node * W + j] = value of `node` under the j-th query of the block
 //
-// so each operator's fold runs over W contiguous doubles — a loop the
-// compiler vectorises — and the tape's CSR arrays are traversed once per
-// block instead of once per query.  Blocks are sized so the working set
-// (num_nodes * W doubles) stays cache-resident; buffers are owned by the
-// evaluator and reused across calls (zero allocation in steady state).
+// so each operator's fold runs over W contiguous doubles, and the tape's CSR
+// arrays are traversed once per block instead of once per query.  Blocks are
+// auto-sized so the working set (num_nodes * W doubles) stays cache-resident
+// (see Options::block); buffers are 64-byte-aligned, owned by the evaluator
+// and reused across calls (zero allocation in steady state).
 //
-// Folds run in the same child order as the interpreter, so batched double
-// results are bit-identical to ac::evaluate on the source circuit.
+// Two sweep backends execute each block:
+//
+//  * the **kernel-schedule backend** (default): the tape is segmented once
+//    into homogeneous fanin-2 runs plus a generic fallback
+//    (ac/kernel_schedule.hpp) and executed by width-specialised kernels
+//    picked per the runtime ISA — AVX-512 / AVX2 / NEON / scalar — at
+//    evaluator construction (ac/simd_sweep.hpp; PROBLP_SIMD overrides);
+//  * the **generic CSR fold** (Options::force_generic): the original
+//    baseline-ISA sweep, kept as the parity reference and the trajectory
+//    baseline in bench_eval_throughput.
+//
+// Both run the same per-query op order in IEEE double, so results are
+// bit-identical to each other and to ac::evaluate on the source circuit.
 //
 // An optional thread partition splits the batch dimension across worker
 // threads, each with its own buffer; results land in a shared output vector
@@ -24,8 +35,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "ac/kernel_schedule.hpp"
+#include "ac/simd_sweep.hpp"
 #include "ac/tape.hpp"
 
 namespace problp::ac {
@@ -41,16 +55,31 @@ namespace problp::ac {
 void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+/// Cache-aware SoA block width for a tape of `num_nodes` nodes whose slots
+/// are `elem_bytes` wide: the largest lane count keeping the value buffer
+/// (num_nodes * block * elem_bytes) within a fixed working-set target,
+/// rounded to a multiple of the widest SIMD width (8 doubles) and clamped to
+/// [8, 64] — so small circuits amortise the tape traversal over wide blocks
+/// while big circuits (synthetic_ve36-sized) stop thrashing the cache.
+std::size_t auto_block_size(std::size_t num_nodes, std::size_t elem_bytes);
+
 class BatchEvaluator {
  public:
   struct Options {
     /// Worker threads over the batch dimension.  1 = evaluate inline;
     /// 0 = one thread per hardware core.
     int num_threads = 1;
-    /// Queries per block (the SoA width W).  Chosen so num_nodes * W
-    /// doubles fit comfortably in cache; 16 is a good default for the
-    /// benchmark circuits.
-    std::size_t block = 16;
+    /// Queries per block (the SoA width W).  0 = cache-aware auto-size via
+    /// auto_block_size(); explicit values are honoured as given.
+    std::size_t block = 0;
+    /// Force the generic CSR fold instead of the specialised kernel
+    /// schedule — the parity reference and the pre-SIMD trajectory baseline.
+    bool force_generic = false;
+    /// Kernel ISA level.  nullopt = auto: the PROBLP_SIMD environment
+    /// override if set, else the best level this build and CPU support.
+    /// An explicitly requested level that is unsupported throws at
+    /// construction.
+    std::optional<simd::Level> simd;
   };
 
   explicit BatchEvaluator(const CircuitTape& tape) : BatchEvaluator(tape, Options()) {}
@@ -65,20 +94,28 @@ class BatchEvaluator {
 
   const CircuitTape& tape() const { return *tape_; }
   const Options& options() const { return options_; }
+  /// The dispatched kernel ISA (meaningful whenever !force_generic).
+  simd::Level simd_level() const { return level_; }
 
  private:
   struct Workspace {
-    std::vector<double> buffer;            ///< num_nodes * W structure-of-arrays values
-    std::vector<std::int32_t> observed;    ///< per-query resolved evidence scratch
+    simd::AlignedBuffer<double> buffer;  ///< num_nodes * W structure-of-arrays values
+    std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
   };
 
   /// Evaluates batch[begin, end) into roots_[begin, end) using `ws`.
   void evaluate_range(const PartialAssignment* batch, std::size_t begin, std::size_t end,
                       Workspace& ws);
 
+  /// The generic CSR fold over one block (the force_generic backend).
+  void generic_sweep(double* buf, std::size_t w) const;
+
   const CircuitTape* tape_;
   Options options_;
-  std::vector<Workspace> workspaces_;  ///< one per worker, reused across calls
+  simd::Level level_ = simd::Level::kScalar;
+  std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
+  simd::ExactSweepFn sweep_ = nullptr;      ///< null when force_generic
+  std::vector<Workspace> workspaces_;       ///< one per worker, reused across calls
   std::vector<double> roots_;
 };
 

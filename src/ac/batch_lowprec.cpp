@@ -9,11 +9,22 @@ template <class RawOps>
 LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, RawOps ops,
                                                      Options options)
     : tape_(&tape), ops_(std::move(ops)), options_(options) {
-  require(options_.block >= 1, "LowPrecBatchEvaluator: block must be >= 1");
   require(options_.num_threads >= 0, "LowPrecBatchEvaluator: num_threads must be >= 0");
   if (options_.num_threads == 0) {
     options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  if (options_.block == 0) {
+    options_.block = auto_block_size(tape.num_nodes(), sizeof(Raw));
+  }
+  // The raw-word kernels are lane-serial, so no ISA table is consulted here —
+  // but resolve the dispatch anyway: a bad PROBLP_SIMD or unsupported forced
+  // level must fail as loudly on this engine as on the exact one.
+  if (options_.simd) {
+    simd::dispatch_level(*options_.simd);
+  } else {
+    simd::dispatch_level();
+  }
+  if (!options_.force_generic) schedule_.emplace(KernelSchedule::compile(tape));
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
   // Same conversion set (and flag sink) as the per-query TapeEvaluator:
   // indicator constants plus every parameter, exactly once.
@@ -54,9 +65,10 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
                                                    Workspace& ws) {
   const CircuitTape& tape = *tape_;
   const std::size_t n = tape.num_nodes();
-  const auto& kinds = tape.kinds();
-  const auto& offsets = tape.child_offsets();
-  const auto& children = tape.children();
+
+  // Shared-evidence hoist, mirroring the exact engine: consecutive repeats
+  // of one evidence template resolve once.
+  const PartialAssignment* prev = nullptr;
 
   for (std::size_t b0 = begin; b0 < end; b0 += options_.block) {
     const std::size_t w = std::min(options_.block, end - b0);
@@ -80,48 +92,113 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
       std::fill(buf + i * w, buf + i * w + w, one_);
     }
     for (std::size_t j = 0; j < w; ++j) {
+      const PartialAssignment& a = batch[b0 + j];
       qflags[j] = param_flags_;
-      tape.resolve_observed(batch[b0 + j], ws.observed);
+      if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+      prev = &a;
       tape.zero_contradicted(ws.observed, buf, w, j, zero_);
     }
 
-    for (const NodeId id : tape.op_ids()) {
-      const std::size_t i = static_cast<std::size_t>(id);
-      const std::int32_t cb = offsets[i];
-      const std::int32_t ce = offsets[i + 1];
-      Raw* out = buf + i * w;
-      const Raw* first =
-          buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
-      std::copy(first, first + w, out);
-      switch (kinds[i]) {
-        case NodeKind::kSum:
-          for (std::int32_t k = cb + 1; k < ce; ++k) {
-            const Raw* rhs =
-                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
-            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.add(out[j], rhs[j], qflags[j]);
-          }
-          break;
-        case NodeKind::kProd:
-          for (std::int32_t k = cb + 1; k < ce; ++k) {
-            const Raw* rhs =
-                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
-            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.mul(out[j], rhs[j], qflags[j]);
-          }
-          break;
-        case NodeKind::kMax:
-          for (std::int32_t k = cb + 1; k < ce; ++k) {
-            const Raw* rhs =
-                buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
-            for (std::size_t j = 0; j < w; ++j) out[j] = ops_.max(out[j], rhs[j], qflags[j]);
-          }
-          break;
-        default:
-          break;  // leaves never appear in op_ids
-      }
+    if (schedule_) {
+      schedule_sweep(buf, qflags, w);
+    } else {
+      generic_sweep(buf, qflags, w, 0, static_cast<std::uint32_t>(tape.op_ids().size()));
     }
 
     const Raw* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
     for (std::size_t j = 0; j < w; ++j) roots_[b0 + j] = ops_.widen(root_row[j]);
+  }
+}
+
+template <class RawOps>
+void LowPrecBatchEvaluator<RawOps>::schedule_sweep(Raw* buf, lowprec::ArithFlags* qflags,
+                                                   std::size_t w) {
+  const KernelSchedule& schedule = *schedule_;
+  const std::int32_t* out_ids = schedule.out().data();
+  const std::int32_t* lhs_ids = schedule.lhs().data();
+  const std::int32_t* rhs_ids = schedule.rhs().data();
+  for (const KernelSegment& seg : schedule.segments()) {
+    if (seg.kind == KernelSegment::Kind::kGeneric) {
+      generic_sweep(buf, qflags, w, seg.begin, seg.end);
+      continue;
+    }
+    // Fanin-2 runs: out = lhs OP rhs directly — no first-child copy, no CSR
+    // offset lookups, and the kind branch hoisted out of the op loop.  The
+    // per-lane fold order and flag sinks are exactly the generic fold's, so
+    // values AND sticky flags stay bit-identical.
+    const auto run = [&](auto&& op) {
+      for (std::uint32_t i = seg.begin; i < seg.end; ++i) {
+        Raw* __restrict o = buf + static_cast<std::size_t>(out_ids[i]) * w;
+        const Raw* a = buf + static_cast<std::size_t>(lhs_ids[i]) * w;
+        const Raw* b = buf + static_cast<std::size_t>(rhs_ids[i]) * w;
+        for (std::size_t j = 0; j < w; ++j) o[j] = op(a[j], b[j], qflags[j]);
+      }
+    };
+    switch (seg.kind) {
+      case KernelSegment::Kind::kSum2:
+        run([this](const Raw& a, const Raw& b, lowprec::ArithFlags& f) {
+          return ops_.add(a, b, f);
+        });
+        break;
+      case KernelSegment::Kind::kProd2:
+        run([this](const Raw& a, const Raw& b, lowprec::ArithFlags& f) {
+          return ops_.mul(a, b, f);
+        });
+        break;
+      case KernelSegment::Kind::kMax2:
+        run([this](const Raw& a, const Raw& b, lowprec::ArithFlags& f) {
+          return ops_.max(a, b, f);
+        });
+        break;
+      case KernelSegment::Kind::kGeneric:
+        break;  // handled above
+    }
+  }
+}
+
+template <class RawOps>
+void LowPrecBatchEvaluator<RawOps>::generic_sweep(Raw* buf, lowprec::ArithFlags* qflags,
+                                                  std::size_t w, std::uint32_t pbegin,
+                                                  std::uint32_t pend) {
+  const CircuitTape& tape = *tape_;
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ops = tape.op_ids();
+
+  for (std::uint32_t p = pbegin; p < pend; ++p) {
+    const std::size_t i = static_cast<std::size_t>(ops[p]);
+    const std::int32_t cb = offsets[i];
+    const std::int32_t ce = offsets[i + 1];
+    Raw* out = buf + i * w;
+    const Raw* first =
+        buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+    std::copy(first, first + w, out);
+    switch (kinds[i]) {
+      case NodeKind::kSum:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.add(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      case NodeKind::kProd:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.mul(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      case NodeKind::kMax:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.max(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      default:
+        break;  // leaves never appear in op_ids
+    }
   }
 }
 

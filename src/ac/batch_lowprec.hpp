@@ -22,6 +22,17 @@
 // kernels (fx_*_raw / fl_*_raw) that the object-level operators are thin
 // wrappers over.
 //
+// Like the exact engine, each block runs the specialised kernel schedule by
+// default (ac/kernel_schedule.hpp): homogeneous fanin-2 runs execute as
+// straight two-operand loops — no CSR lookups, no first-child copy, no
+// per-op kind branch — and only the non-binarised remainder walks the
+// generic fold.  The raw-word kernels themselves stay lane-serial (a u128
+// saturating add or an (exp, sig) renormalisation does not map onto vector
+// lanes), so the schedule is what ISA dispatch cannot buy here and the
+// fixed-point kernels are inlined at the call site (lowprec/fixed_point.hpp)
+// instead of paying a cross-TU call per lane.  Options::force_generic keeps
+// the original fold as the parity reference.
+//
 // An optional thread partition mirrors BatchEvaluator: the batch dimension
 // splits into block-aligned contiguous chunks, each worker owns its buffer,
 // and results/flags land at disjoint indices of the shared output vectors.
@@ -117,7 +128,7 @@ class LowPrecBatchEvaluator {
 
  private:
   struct Workspace {
-    std::vector<Raw> buffer;             ///< num_nodes * W structure-of-arrays raw words
+    simd::AlignedBuffer<Raw> buffer;     ///< num_nodes * W structure-of-arrays raw words
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
   };
 
@@ -125,9 +136,17 @@ class LowPrecBatchEvaluator {
   void evaluate_range(const PartialAssignment* batch, std::size_t begin, std::size_t end,
                       Workspace& ws);
 
+  /// The specialised fanin-2 schedule executor for one block.
+  void schedule_sweep(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w);
+  /// The generic CSR fold for one block (force_generic, and the fallback
+  /// segments of the schedule path reuse its shape).
+  void generic_sweep(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w, std::uint32_t pbegin,
+                     std::uint32_t pend);
+
   const CircuitTape* tape_;
   RawOps ops_;
   Options options_;
+  std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
   lowprec::ArithFlags param_flags_;  ///< conversion flags the cached leaves would raise
   Raw one_{};                        ///< quantised indicator 1
   Raw zero_{};                       ///< quantised indicator 0

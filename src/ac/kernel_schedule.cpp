@@ -1,0 +1,67 @@
+#include "ac/kernel_schedule.hpp"
+
+namespace problp::ac {
+
+namespace {
+
+KernelSegment::Kind fanin2_kind(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSum:
+      return KernelSegment::Kind::kSum2;
+    case NodeKind::kProd:
+      return KernelSegment::Kind::kProd2;
+    case NodeKind::kMax:
+      return KernelSegment::Kind::kMax2;
+    default:
+      return KernelSegment::Kind::kGeneric;  // leaves never appear in op_ids
+  }
+}
+
+}  // namespace
+
+KernelSchedule KernelSchedule::compile(const CircuitTape& tape) {
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ops = tape.op_ids();
+
+  KernelSchedule schedule;
+  schedule.out_.reserve(ops.size());
+  schedule.lhs_.reserve(ops.size());
+  schedule.rhs_.reserve(ops.size());
+
+  for (std::size_t p = 0; p < ops.size(); ++p) {
+    const std::size_t i = static_cast<std::size_t>(ops[p]);
+    const std::int32_t cb = offsets[i];
+    const std::int32_t ce = offsets[i + 1];
+    const bool fanin2 = (ce - cb) == 2;
+    const KernelSegment::Kind kind =
+        fanin2 ? fanin2_kind(kinds[i]) : KernelSegment::Kind::kGeneric;
+
+    if (fanin2) {
+      const std::uint32_t at = static_cast<std::uint32_t>(schedule.out_.size());
+      schedule.out_.push_back(static_cast<std::int32_t>(ops[p]));
+      schedule.lhs_.push_back(static_cast<std::int32_t>(children[static_cast<std::size_t>(cb)]));
+      schedule.rhs_.push_back(
+          static_cast<std::int32_t>(children[static_cast<std::size_t>(cb) + 1]));
+      if (!schedule.segments_.empty() && schedule.segments_.back().kind == kind) {
+        ++schedule.segments_.back().end;
+      } else {
+        schedule.segments_.push_back(KernelSegment{kind, at, at + 1});
+      }
+    } else {
+      ++schedule.num_generic_ops_;
+      if (!schedule.segments_.empty() &&
+          schedule.segments_.back().kind == KernelSegment::Kind::kGeneric) {
+        ++schedule.segments_.back().end;
+      } else {
+        const std::uint32_t at = static_cast<std::uint32_t>(p);
+        schedule.segments_.push_back(
+            KernelSegment{KernelSegment::Kind::kGeneric, at, at + 1});
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace problp::ac

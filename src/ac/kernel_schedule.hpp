@@ -1,0 +1,77 @@
+// Specialised kernel schedule — the once-per-tape segmentation behind the
+// SIMD sweep backend (ac/simd_sweep.hpp).
+//
+// The generic batched sweeps (ac/batch_eval.hpp, ac/batch_lowprec.hpp) walk
+// the tape's CSR fold per operator: look up the child range, copy the first
+// child's row, then fold the remaining children one row at a time, branching
+// on the node kind at every op.  For the circuits the runtime actually
+// serves — binarised, or compiler output that is ~90% fanin-2 — that CSR
+// machinery is pure overhead: almost every op is `out = a OP b` on exactly
+// two rows.
+//
+// A KernelSchedule is compiled once per tape and segments the operator
+// schedule (tape.op_ids(), in order) into
+//
+//   * homogeneous fanin-2 runs: maximal runs of consecutive ops that all
+//     have exactly two children and the same kind (SUM / PROD / MAX).  Their
+//     output and child node ids are laid out flat in out()/lhs()/rhs(), so a
+//     sweep executes the whole run in one straight-line loop with no CSR
+//     lookups, no first-child copy and no per-op kind branch — the shape the
+//     W-wide SIMD kernels specialise;
+//   * generic fallback runs: everything else (fanin != 2), kept as position
+//     ranges into tape.op_ids() and executed by the classic CSR fold.
+//
+// Concatenating the segments in order replays exactly the original operator
+// schedule, so any sweep over the schedule is op-for-op identical to the
+// generic sweep — bit-identical results by construction, on the exact and
+// the raw-word low-precision engines alike.  See docs/evaluation.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/tape.hpp"
+
+namespace problp::ac {
+
+/// One homogeneous run of the operator schedule.
+struct KernelSegment {
+  enum class Kind : std::uint8_t { kSum2, kProd2, kMax2, kGeneric };
+  Kind kind;
+  /// For fanin-2 kinds: index range into out()/lhs()/rhs().  For kGeneric:
+  /// position range into tape.op_ids().
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  std::uint32_t size() const { return end - begin; }
+};
+
+class KernelSchedule {
+ public:
+  /// Segments `tape`'s operator schedule.  O(num ops); the result is
+  /// immutable and shareable across evaluators of the same tape.
+  static KernelSchedule compile(const CircuitTape& tape);
+
+  const std::vector<KernelSegment>& segments() const { return segments_; }
+
+  /// Flat per-op node ids of every fanin-2 segment, concatenated in
+  /// schedule order: op i computes  out()[i] = lhs()[i] OP rhs()[i].
+  const std::vector<std::int32_t>& out() const { return out_; }
+  const std::vector<std::int32_t>& lhs() const { return lhs_; }
+  const std::vector<std::int32_t>& rhs() const { return rhs_; }
+
+  std::size_t num_fanin2_ops() const { return out_.size(); }
+  std::size_t num_generic_ops() const { return num_generic_ops_; }
+  std::size_t num_ops() const { return num_fanin2_ops() + num_generic_ops(); }
+
+ private:
+  KernelSchedule() = default;
+
+  std::vector<KernelSegment> segments_;
+  std::vector<std::int32_t> out_;
+  std::vector<std::int32_t> lhs_;
+  std::vector<std::int32_t> rhs_;
+  std::size_t num_generic_ops_ = 0;
+};
+
+}  // namespace problp::ac

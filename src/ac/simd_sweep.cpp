@@ -1,0 +1,167 @@
+#include "ac/simd_sweep.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "ac/simd_sweep_impl.hpp"
+#include "util/error.hpp"
+
+namespace problp::ac::simd {
+
+namespace {
+
+struct ScalarTag {};
+
+// The scalar level: lane-serial schedule executor at the build's baseline
+// ISA.  W = 1 keeps the inner loops genuinely scalar-shaped; whatever the
+// baseline autovectoriser does to them is bit-identical anyway.
+void exact_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                        std::size_t w) {
+  detail::run_exact_schedule<1, ScalarTag>(tape, schedule, buf, w);
+}
+
+}  // namespace
+
+// Defined in the per-ISA translation units (present only when the build
+// enables them; the PROBLP_SIMD_TU_* macros come from CMakeLists.txt).
+#ifdef PROBLP_SIMD_TU_AVX2
+void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                      std::size_t w);
+#endif
+#ifdef PROBLP_SIMD_TU_AVX512
+void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                        std::size_t w);
+#endif
+#ifdef PROBLP_SIMD_TU_NEON
+void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                      std::size_t w);
+#endif
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kNeon:
+      return "neon";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool level_compiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kNeon:
+#ifdef PROBLP_SIMD_TU_NEON
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#ifdef PROBLP_SIMD_TU_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#ifdef PROBLP_SIMD_TU_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+namespace {
+
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kNeon:
+      // The NEON unit only exists on aarch64 builds, where NEON is baseline.
+      return level_compiled(Level::kNeon);
+    case Level::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level best_level() {
+  for (const Level level : {Level::kAvx512, Level::kAvx2, Level::kNeon}) {
+    if (level_supported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+}  // namespace
+
+bool level_supported(Level level) { return level_compiled(level) && cpu_supports(level); }
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> out;
+  for (const Level level : {Level::kScalar, Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (level_supported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+Level dispatch_level() {
+  const char* env = std::getenv("PROBLP_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) return best_level();
+  for (const Level level : {Level::kScalar, Level::kNeon, Level::kAvx2, Level::kAvx512}) {
+    if (std::strcmp(env, level_name(level)) == 0) {
+      require(level_supported(level), std::string("PROBLP_SIMD=") + env +
+                                          ": level not supported by this build/CPU");
+      return level;
+    }
+  }
+  throw InvalidArgument(std::string("PROBLP_SIMD=") + env +
+                        ": expected scalar|neon|avx2|avx512|auto");
+}
+
+Level dispatch_level(Level forced) {
+  require(level_supported(forced), std::string("simd level '") + level_name(forced) +
+                                       "' not supported by this build/CPU");
+  return forced;
+}
+
+ExactSweepFn exact_sweep(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &exact_sweep_scalar;
+#ifdef PROBLP_SIMD_TU_NEON
+    case Level::kNeon:
+      return &exact_sweep_neon;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX2
+    case Level::kAvx2:
+      return &exact_sweep_avx2;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX512
+    case Level::kAvx512:
+      return &exact_sweep_avx512;
+#endif
+    default:
+      break;
+  }
+  throw InvalidArgument(std::string("simd level '") + level_name(level) +
+                        "' not compiled into this binary");
+}
+
+}  // namespace problp::ac::simd

@@ -1,0 +1,132 @@
+// Width-specialised sweep backend for the batched engines: runtime ISA
+// dispatch over per-ISA compiled kernels executing a KernelSchedule.
+//
+// The generic batched sweeps are compiled once, at the baseline ISA of the
+// build (SSE2 on x86-64), and lean on the autovectoriser.  This backend
+// compiles the same schedule executor into separate translation units with
+// wider vector ISAs enabled (simd_sweep_avx2.cpp with -mavx2,
+// simd_sweep_avx512.cpp with -mavx512f, a NEON unit on aarch64) and picks
+// one at *evaluator construction* via cpuid — one indirect call per block,
+// zero per-op dispatch cost.
+//
+// Vectorisation is across the batch dimension only: a W-wide kernel applies
+// the same op to W queries' slots, and per query the op order is exactly the
+// operator schedule — so every level produces bit-identical IEEE doubles
+// (lane-wise add/mul/max have no cross-lane interaction).  Forcing
+// `PROBLP_SIMD=scalar` and diffing against auto dispatch is therefore a
+// *checksum equality* test, not a tolerance test; the bench and CI do
+// exactly that.
+//
+// Dispatch resolution order (ac::BatchEvaluator and the low-precision
+// engines share it through BatchEvaluator::Options):
+//   1. an explicit Options::simd level (throws if unsupported here),
+//   2. the PROBLP_SIMD environment override: scalar|neon|avx2|avx512|auto
+//      (unknown or unsupported values throw — a misconfigured deployment
+//      must fail loudly, not silently run the slow path),
+//   3. the best level this binary compiled in AND this CPU supports.
+//
+// See docs/evaluation.md for the schedule/segment layout.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "ac/kernel_schedule.hpp"
+#include "ac/tape.hpp"
+
+namespace problp::ac::simd {
+
+/// Kernel instruction-set levels, in preference order.  kScalar is the
+/// build's baseline ISA with a lane-serial schedule executor; kNeon exists
+/// only on aarch64 builds, the AVX levels only on x86-64 builds.
+enum class Level : std::uint8_t { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+/// Lower-case name as accepted by PROBLP_SIMD ("scalar", "neon", "avx2",
+/// "avx512").
+const char* level_name(Level level);
+
+/// Whether this binary carries kernels for `level` (compile-time property).
+bool level_compiled(Level level);
+
+/// level_compiled AND the running CPU can execute it (cpuid).
+bool level_supported(Level level);
+
+/// Every supported level, ascending — what parity tests iterate.
+std::vector<Level> supported_levels();
+
+/// Resolves the dispatch level per the order documented above (`forced` is
+/// the explicit Options::simd value, if any).  Throws InvalidArgument on an
+/// unknown PROBLP_SIMD value or an unsupported request.
+Level dispatch_level();
+Level dispatch_level(Level forced);
+
+/// Executes the whole kernel schedule for one SoA block: buf holds
+/// tape.num_nodes() rows of `w` doubles each (leaf rows pre-initialised,
+/// evidence pre-applied); on return every operator row is computed.
+using ExactSweepFn = void (*)(const CircuitTape& tape, const KernelSchedule& schedule,
+                              double* buf, std::size_t w);
+
+/// The exact-double schedule executor for `level`; never null for a
+/// supported level.
+ExactSweepFn exact_sweep(Level level);
+
+/// SoA row alignment (bytes): one full AVX-512 vector, which also makes
+/// every row of an 8-lane-multiple block start on its own cache line.
+inline constexpr std::size_t kRowAlignment = 64;
+
+/// Minimal 64-byte-aligned, grow-only, uninitialised buffer — the SoA value
+/// storage of the batched engines.  Intentionally not a std::vector: no
+/// value-initialisation on resize (operator rows are always overwritten by
+/// the sweep) and a guaranteed over-aligned base address.
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw machine words");
+
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { std::free(ptr_); }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept : ptr_(o.ptr_), capacity_(o.capacity_) {
+    o.ptr_ = nullptr;
+    o.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      std::free(ptr_);
+      ptr_ = o.ptr_;
+      capacity_ = o.capacity_;
+      o.ptr_ = nullptr;
+      o.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  /// Ensures capacity for `n` elements; contents are unspecified after a
+  /// growth (callers initialise every slot they read).  Grow-only, so the
+  /// steady state of a serving loop performs zero allocations.
+  void resize(std::size_t n) {
+    if (n <= capacity_) return;
+    std::free(ptr_);
+    ptr_ = nullptr;
+    capacity_ = 0;
+    const std::size_t bytes =
+        (n * sizeof(T) + kRowAlignment - 1) / kRowAlignment * kRowAlignment;
+    ptr_ = static_cast<T*>(std::aligned_alloc(kRowAlignment, bytes));
+    if (ptr_ == nullptr) throw std::bad_alloc();
+    capacity_ = n;
+  }
+
+  T* data() { return ptr_; }
+  const T* data() const { return ptr_; }
+
+ private:
+  T* ptr_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace problp::ac::simd

@@ -1,0 +1,24 @@
+// AVX2 kernel unit: this file (and only this file) is compiled with -mavx2
+// (see CMakeLists.txt), so the W = 4 inner loops below become one 256-bit
+// ymm op per chunk.  The distinct Avx2Tag keeps every template instantiation
+// a symbol unique to this unit — no other TU's baseline-ISA instantiation
+// can be ODR-merged over it.  Reached only through the runtime dispatch in
+// simd_sweep.cpp, which gates on cpuid.
+#ifdef PROBLP_SIMD_TU_AVX2
+
+#include "ac/simd_sweep_impl.hpp"
+
+namespace problp::ac::simd {
+
+namespace {
+struct Avx2Tag {};
+}  // namespace
+
+void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                      std::size_t w) {
+  detail::run_exact_schedule<4, Avx2Tag>(tape, schedule, buf, w);
+}
+
+}  // namespace problp::ac::simd
+
+#endif  // PROBLP_SIMD_TU_AVX2

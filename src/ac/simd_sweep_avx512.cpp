@@ -1,0 +1,23 @@
+// AVX-512 kernel unit: compiled with -mavx512f -mprefer-vector-width=512
+// (see CMakeLists.txt), so the W = 8 inner loops below become one 512-bit
+// zmm op per chunk.  The distinct Avx512Tag keeps every template
+// instantiation a symbol unique to this unit.  Reached only through the
+// runtime dispatch in simd_sweep.cpp, which gates on cpuid.
+#ifdef PROBLP_SIMD_TU_AVX512
+
+#include "ac/simd_sweep_impl.hpp"
+
+namespace problp::ac::simd {
+
+namespace {
+struct Avx512Tag {};
+}  // namespace
+
+void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                        std::size_t w) {
+  detail::run_exact_schedule<8, Avx512Tag>(tape, schedule, buf, w);
+}
+
+}  // namespace problp::ac::simd
+
+#endif  // PROBLP_SIMD_TU_AVX512

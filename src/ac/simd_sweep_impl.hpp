@@ -1,0 +1,129 @@
+// Internal: the one schedule-executor template behind every ISA level of
+// ac/simd_sweep.hpp.  Included ONLY by the per-ISA translation units
+// (simd_sweep.cpp for scalar, simd_sweep_avx2.cpp, simd_sweep_avx512.cpp,
+// the NEON unit), each of which instantiates it with a distinct Tag type so
+// every instantiation is a unique symbol compiled under that unit's vector
+// ISA flags — no ODR merging can ever substitute a narrow-ISA body for a
+// wide one.
+//
+// W is the unroll width in doubles (the native vector width of the level);
+// lanes run in W-wide chunks with a scalar tail, so any block width works.
+// Lane arithmetic is plain IEEE double add/mul/max — identical results at
+// every W, which is what makes forced-level parity checks exact.
+#pragma once
+
+#include <cstring>
+
+#include "ac/kernel_schedule.hpp"
+#include "ac/tape.hpp"
+
+namespace problp::ac::simd::detail {
+
+struct AddOp {
+  static double apply(double a, double b) { return a + b; }
+};
+struct MulOp {
+  static double apply(double a, double b) { return a * b; }
+};
+struct MaxOp {
+  // Exactly std::max(a, b): returns `a` on ties, so -0.0/NaN corner bit
+  // patterns match the generic engine's fold.
+  static double apply(double a, double b) { return a < b ? b : a; }
+};
+
+/// One homogeneous fanin-2 run: out[i] = lhs[i] OP rhs[i], rows of w lanes.
+/// Output rows never alias input rows (children strictly precede parents in
+/// the tape), hence the restrict on the destination.
+template <int W, class Op, class Tag>
+void fanin2_run(const std::int32_t* out, const std::int32_t* lhs, const std::int32_t* rhs,
+                std::size_t n, double* buf, std::size_t w) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double* __restrict o = buf + static_cast<std::size_t>(out[i]) * w;
+    const double* a = buf + static_cast<std::size_t>(lhs[i]) * w;
+    const double* b = buf + static_cast<std::size_t>(rhs[i]) * w;
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) o[j + l] = Op::apply(a[j + l], b[j + l]);
+    }
+    for (; j < w; ++j) o[j] = Op::apply(a[j], b[j]);
+  }
+}
+
+/// One generic fallback run: the classic CSR fold (first-child copy, then
+/// one fold per remaining child) over op positions [pbegin, pend) of the
+/// tape's operator schedule — same shape as the pre-schedule engine, with
+/// the inner lane loops W-chunked.
+template <int W, class Tag>
+void generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pend,
+                 double* buf, std::size_t w) {
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ops = tape.op_ids();
+  for (std::uint32_t p = pbegin; p < pend; ++p) {
+    const std::size_t i = static_cast<std::size_t>(ops[p]);
+    const std::int32_t cb = offsets[i];
+    const std::int32_t ce = offsets[i + 1];
+    double* __restrict out = buf + i * w;
+    const double* first =
+        buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+    std::memcpy(out, first, w * sizeof(double));
+    for (std::int32_t k = cb + 1; k < ce; ++k) {
+      const double* rhs =
+          buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+      std::size_t j = 0;
+      switch (kinds[i]) {
+        case NodeKind::kSum:
+          for (; j + W <= w; j += W)
+            for (int l = 0; l < W; ++l) out[j + l] += rhs[j + l];
+          for (; j < w; ++j) out[j] += rhs[j];
+          break;
+        case NodeKind::kProd:
+          for (; j + W <= w; j += W)
+            for (int l = 0; l < W; ++l) out[j + l] *= rhs[j + l];
+          for (; j < w; ++j) out[j] *= rhs[j];
+          break;
+        case NodeKind::kMax:
+          // `a < b ? b : a` is exactly std::max — ties keep the accumulator.
+          for (; j + W <= w; j += W)
+            for (int l = 0; l < W; ++l)
+              out[j + l] = out[j + l] < rhs[j + l] ? rhs[j + l] : out[j + l];
+          for (; j < w; ++j) out[j] = out[j] < rhs[j] ? rhs[j] : out[j];
+          break;
+        default:
+          break;  // leaves never appear in op_ids
+      }
+    }
+  }
+}
+
+/// The full schedule for one block: segments in order, fanin-2 runs through
+/// the specialised kernels, everything else through the CSR fold.
+template <int W, class Tag>
+void run_exact_schedule(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                        std::size_t w) {
+  const std::int32_t* out = schedule.out().data();
+  const std::int32_t* lhs = schedule.lhs().data();
+  const std::int32_t* rhs = schedule.rhs().data();
+  for (const KernelSegment& seg : schedule.segments()) {
+    switch (seg.kind) {
+      case KernelSegment::Kind::kSum2:
+        fanin2_run<W, AddOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                  seg.size(), buf, w);
+        break;
+      case KernelSegment::Kind::kProd2:
+        fanin2_run<W, MulOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                  seg.size(), buf, w);
+        break;
+      case KernelSegment::Kind::kMax2:
+        fanin2_run<W, MaxOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                  seg.size(), buf, w);
+        break;
+      case KernelSegment::Kind::kGeneric:
+        generic_run<W, Tag>(tape, seg.begin, seg.end, buf, w);
+        break;
+    }
+  }
+}
+
+}  // namespace problp::ac::simd::detail

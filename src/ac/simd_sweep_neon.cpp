@@ -1,0 +1,21 @@
+// NEON kernel unit for aarch64 builds, where 128-bit NEON is baseline — no
+// extra compile flags needed, W = 2 doubles matches the vector width.  The
+// distinct NeonTag keeps the instantiations unique to this unit.
+#ifdef PROBLP_SIMD_TU_NEON
+
+#include "ac/simd_sweep_impl.hpp"
+
+namespace problp::ac::simd {
+
+namespace {
+struct NeonTag {};
+}  // namespace
+
+void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
+                      std::size_t w) {
+  detail::run_exact_schedule<2, NeonTag>(tape, schedule, buf, w);
+}
+
+}  // namespace problp::ac::simd
+
+#endif  // PROBLP_SIMD_TU_NEON

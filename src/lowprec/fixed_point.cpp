@@ -6,20 +6,6 @@
 
 namespace problp::lowprec {
 
-namespace {
-
-// Saturates `raw` into the format and flags overflow when it did not fit.
-u128 clamp_raw(u128 raw, const FixedFormat& fmt, ArithFlags& flags) {
-  const u128 max_raw = fmt.max_raw();
-  if (raw > max_raw) {
-    flags.overflow = true;
-    return max_raw;
-  }
-  return raw;
-}
-
-}  // namespace
-
 FixedPoint FixedPoint::from_double(double v, FixedFormat fmt, ArithFlags& flags,
                                    RoundingMode mode) {
   fmt.validate();
@@ -48,7 +34,7 @@ FixedPoint FixedPoint::from_double(double v, FixedFormat fmt, ArithFlags& flags,
     out.raw_ = fmt.max_raw();
     return out;
   }
-  out.raw_ = clamp_raw(static_cast<u128>(rounded), fmt, flags);
+  out.raw_ = detail::fx_clamp_raw(static_cast<u128>(rounded), fmt, flags);
   return out;
 }
 
@@ -61,24 +47,6 @@ FixedPoint FixedPoint::from_raw(u128 raw, FixedFormat fmt) {
 }
 
 double FixedPoint::to_double() const { return fx_raw_to_double(raw_, fmt_); }
-
-u128 fx_add_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags) {
-  return clamp_raw(a + b, fmt, flags);
-}
-
-u128 fx_mul_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags,
-                RoundingMode mode) {
-  // Exact double-width product: value a*b scaled by 2^(2F).  Both operands
-  // are <= 62 bits so the product fits u128.
-  const u128 prod = a * b;
-  return clamp_raw(round_shift_right(prod, fmt.fraction_bits, mode), fmt, flags);
-}
-
-double fx_raw_to_double(u128 raw, const FixedFormat& fmt) {
-  // raw < 2^62 so the uint64 narrowing below is lossless.
-  return std::ldexp(static_cast<double>(static_cast<std::uint64_t>(raw)),
-                    -fmt.fraction_bits);
-}
 
 FixedPoint fx_add(const FixedPoint& a, const FixedPoint& b, ArithFlags& flags) {
   require(a.format() == b.format(), "fx_add: mixed formats");

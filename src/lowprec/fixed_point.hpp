@@ -16,6 +16,7 @@
 // the flag lets tests prove it.
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
 
@@ -68,18 +69,45 @@ FixedPoint fx_max(const FixedPoint& a, const FixedPoint& b);
 // fx_add / fx_mul are thin wrappers over these, so any consumer holding raw
 // words — the batched SoA low-precision engine in ac/batch_lowprec.hpp — is
 // bit-identical to the FixedPoint object level by construction.
+//
+// Inline on purpose: the batched raw-word sweep executes one of these per
+// node per lane, and a cross-TU call per lane used to dominate its per-op
+// cost.  Inlined, a saturating add is an u128 add plus one compare.
+
+namespace detail {
+/// Saturates `raw` into the format and flags overflow when it did not fit.
+inline u128 fx_clamp_raw(u128 raw, const FixedFormat& fmt, ArithFlags& flags) {
+  const u128 max_raw = fmt.max_raw();
+  if (raw > max_raw) {
+    flags.overflow = true;
+    return max_raw;
+  }
+  return raw;
+}
+}  // namespace detail
 
 /// Raw word of a + b, saturated into `fmt` (overflow flagged).
-u128 fx_add_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags);
+inline u128 fx_add_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags) {
+  return detail::fx_clamp_raw(a + b, fmt, flags);
+}
 
 /// Raw word of a * b with the low F bits rounded away per `mode`.
-u128 fx_mul_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags,
-                RoundingMode mode = RoundingMode::kNearestEven);
+inline u128 fx_mul_raw(u128 a, u128 b, const FixedFormat& fmt, ArithFlags& flags,
+                       RoundingMode mode = RoundingMode::kNearestEven) {
+  // Exact double-width product: value a*b scaled by 2^(2F).  Both operands
+  // are <= 62 bits so the product fits u128.
+  const u128 prod = a * b;
+  return detail::fx_clamp_raw(round_shift_right(prod, fmt.fraction_bits, mode), fmt, flags);
+}
 
 /// Exact max on raw words (raw order == value order: same scale).
 constexpr u128 fx_max_raw(u128 a, u128 b) { return a > b ? a : b; }
 
 /// Widens a raw word back to double — identical to FixedPoint::to_double.
-double fx_raw_to_double(u128 raw, const FixedFormat& fmt);
+inline double fx_raw_to_double(u128 raw, const FixedFormat& fmt) {
+  // raw < 2^62 so the uint64 narrowing below is lossless.
+  return std::ldexp(static_cast<double>(static_cast<std::uint64_t>(raw)),
+                    -fmt.fraction_bits);
+}
 
 }  // namespace problp::lowprec

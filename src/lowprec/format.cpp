@@ -29,22 +29,4 @@ std::string FloatFormat::to_string() const {
   return str_format("fl<E=%d,M=%d>", exponent_bits, mantissa_bits);
 }
 
-u128 round_shift_right(u128 value, int shift, RoundingMode mode) {
-  if (shift <= 0) return value << (-shift);
-  if (shift >= 128) {
-    // Everything is shifted out; only the sticky/half information survives.
-    if (mode == RoundingMode::kTruncate) return 0;
-    return 0;  // value < 2^128 <= half of 2^129 grid: rounds to 0 unless
-               // shift == 128 and value >= 2^127, which cannot reach here in
-               // practice (operands are <= 124 bits); keep conservative 0.
-  }
-  const u128 kept = value >> shift;
-  if (mode == RoundingMode::kTruncate) return kept;
-  const u128 rem = value - (kept << shift);
-  const u128 half = u128_pow2(shift - 1);
-  if (rem > half) return kept + 1;
-  if (rem < half) return kept;
-  return kept + (kept & 1);  // tie: round to even
-}
-
 }  // namespace problp::lowprec

@@ -117,7 +117,25 @@ enum class RoundingMode {
 };
 
 /// Rounds `value` right-shifted by `shift` bits according to `mode`.
-/// shift <= 0 shifts left (exact).  Used by both emulators.
-u128 round_shift_right(u128 value, int shift, RoundingMode mode);
+/// shift <= 0 shifts left (exact).  Used by both emulators.  Inline: this
+/// sits on the per-op hot path of every emulated multiply, and the batched
+/// raw-word sweeps execute it once per lane.
+inline u128 round_shift_right(u128 value, int shift, RoundingMode mode) {
+  if (shift <= 0) return value << (-shift);
+  if (shift >= 128) {
+    // Everything is shifted out; only the sticky/half information survives.
+    if (mode == RoundingMode::kTruncate) return 0;
+    return 0;  // value < 2^128 <= half of 2^129 grid: rounds to 0 unless
+               // shift == 128 and value >= 2^127, which cannot reach here in
+               // practice (operands are <= 124 bits); keep conservative 0.
+  }
+  const u128 kept = value >> shift;
+  if (mode == RoundingMode::kTruncate) return kept;
+  const u128 rem = value - (kept << shift);
+  const u128 half = u128_pow2(shift - 1);
+  if (rem > half) return kept + 1;
+  if (rem < half) return kept;
+  return kept + (kept & 1);  // tie: round to even
+}
 
 }  // namespace problp::lowprec

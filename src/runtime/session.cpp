@@ -35,10 +35,15 @@ InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
   require(model_ != nullptr, "InferenceSession: null model");
   // Fail misconfiguration at setup time, not on the first batched query
   // deep inside a serving call stack (the batched engines would only check
-  // these in their lazily-reached constructors).
-  require(options_.batch.block >= 1, "InferenceSession: batch.block must be >= 1");
+  // these in their lazily-reached constructors).  batch.block == 0 means
+  // cache-aware auto-sizing; a forced unsupported SIMD level is caught here
+  // rather than on the first batch.
   require(options_.batch.num_threads >= 0,
           "InferenceSession: batch.num_threads must be >= 0");
+  if (options_.batch.simd) {
+    require(ac::simd::level_supported(*options_.batch.simd),
+            "InferenceSession: requested SIMD level not supported by this build/CPU");
+  }
   tapes_[kMarginalTape] = &model_->tape();
 }
 

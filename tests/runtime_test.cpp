@@ -528,15 +528,28 @@ TEST(InferenceSession, SessionFromReportUsesSelectedRepresentation) {
 
 TEST(InferenceSession, BatchOptionsValidatedAtConstruction) {
   const auto model = CompiledModel::compile(small_nb_circuit(43));
-  // A zero block width or negative thread count used to explode lazily in
-  // the batched engine's constructor on the first batched query; now the
-  // session constructor rejects it at setup time.
-  SessionOptions bad_block;
-  bad_block.batch.block = 0;
-  EXPECT_THROW(InferenceSession(model, bad_block), InvalidArgument);
+  // A negative thread count used to explode lazily in the batched engine's
+  // constructor on the first batched query; the session constructor rejects
+  // it at setup time.  block == 0 is the cache-aware auto-size (the
+  // default), not a misconfiguration.
+  SessionOptions auto_block;
+  auto_block.batch.block = 0;
+  InferenceSession auto_session(model, auto_block);
+  const auto probe = sampled_assignments(model->cardinalities(), 4, 0.5, 99);
+  EXPECT_EQ(auto_session.marginal(probe).size(), probe.size());
   SessionOptions bad_threads;
   bad_threads.batch.num_threads = -1;
   EXPECT_THROW(InferenceSession(model, bad_threads), InvalidArgument);
+  // A forced kernel ISA this build/CPU cannot run is a setup-time error too.
+  std::optional<ac::simd::Level> unsupported;
+  for (const auto level : {ac::simd::Level::kNeon, ac::simd::Level::kAvx512}) {
+    if (!ac::simd::level_supported(level)) unsupported = level;
+  }
+  if (unsupported) {
+    SessionOptions bad_simd;
+    bad_simd.batch.simd = *unsupported;
+    EXPECT_THROW(InferenceSession(model, bad_simd), InvalidArgument);
+  }
   // A valid shape still constructs and serves batches.
   SessionOptions ok;
   ok.batch.block = 4;

@@ -5,12 +5,17 @@
 // check below uses exact equality on doubles, never tolerances.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "ac/analysis.hpp"
 #include "ac/batch_eval.hpp"
 #include "ac/batch_lowprec.hpp"
+#include "ac/kernel_schedule.hpp"
 #include "ac/low_precision_eval.hpp"
+#include "ac/simd_sweep.hpp"
 #include "ac/tape.hpp"
 #include "ac/transform.hpp"
 #include "bn/random_network.hpp"
@@ -345,6 +350,257 @@ TEST(Tape, ContractViolationsRejected) {
   FixedBatchEvaluator lowprec_mt(tape, lowprec::FixedFormat{1, 8},
                                  lowprec::RoundingMode::kNearestEven, mt);
   EXPECT_THROW(lowprec_mt.evaluate(poisoned), InvalidArgument);
+}
+
+// Scoped PROBLP_SIMD override — the env hook the evaluators read at
+// construction (the same hook CI and operators use).  Restores the prior
+// value on exit so an externally forced level (PROBLP_SIMD=... ./tape_test)
+// still governs the rest of the suite.
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* prev = std::getenv("PROBLP_SIMD");
+    if (prev != nullptr) previous_ = prev;
+    setenv("PROBLP_SIMD", value, /*overwrite=*/1);
+  }
+  ~ScopedSimdEnv() {
+    if (previous_.has_value()) {
+      setenv("PROBLP_SIMD", previous_->c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("PROBLP_SIMD");
+    }
+  }
+
+ private:
+  std::optional<std::string> previous_;
+};
+
+TEST(KernelSchedule, SegmentsReplayTheOperatorScheduleExactly) {
+  // Random circuits (mixed fanin), their binarised forms (pure fanin-2) and
+  // VE output: concatenating the segments in order must visit every op of
+  // tape.op_ids() exactly once, with fanin-2 ops in the flat out/lhs/rhs
+  // arrays and everything else in generic position ranges.
+  Rng rng(31);
+  std::vector<Circuit> circuits;
+  for (int i = 0; i < 6; ++i) {
+    test::RandomCircuitSpec spec;
+    spec.num_operators = 20 + 7 * i;
+    spec.max_fanin = 2 + (i % 4);
+    circuits.push_back(test::make_random_circuit(spec, rng));
+    circuits.push_back(binarize(circuits.back()).circuit);
+  }
+  bn::RandomNetworkSpec nspec;
+  nspec.num_variables = 6;
+  circuits.push_back(compile::compile_network(bn::make_random_network(nspec, rng)));
+
+  for (const Circuit& circuit : circuits) {
+    const CircuitTape tape = CircuitTape::compile(circuit);
+    const KernelSchedule schedule = KernelSchedule::compile(tape);
+    ASSERT_EQ(schedule.num_ops(), tape.op_ids().size());
+    ASSERT_EQ(schedule.num_fanin2_ops() + schedule.num_generic_ops(), schedule.num_ops());
+
+    const auto& offsets = tape.child_offsets();
+    const auto& children = tape.children();
+    std::size_t pos = 0;   // walk of tape.op_ids()
+    std::size_t flat = 0;  // walk of out()/lhs()/rhs()
+    for (const KernelSegment& seg : schedule.segments()) {
+      ASSERT_LT(seg.begin, seg.end);
+      if (seg.kind == KernelSegment::Kind::kGeneric) {
+        ASSERT_EQ(seg.begin, pos);
+        for (std::uint32_t p = seg.begin; p < seg.end; ++p, ++pos) {
+          const std::size_t i = static_cast<std::size_t>(tape.op_ids()[p]);
+          EXPECT_NE(offsets[i + 1] - offsets[i], 2) << "fanin-2 op left in generic segment";
+        }
+        continue;
+      }
+      ASSERT_EQ(seg.begin, flat);
+      for (std::uint32_t k = seg.begin; k < seg.end; ++k, ++pos, ++flat) {
+        const NodeId id = tape.op_ids()[pos];
+        const std::size_t i = static_cast<std::size_t>(id);
+        ASSERT_EQ(offsets[i + 1] - offsets[i], 2);
+        EXPECT_EQ(schedule.out()[k], static_cast<std::int32_t>(id));
+        EXPECT_EQ(schedule.lhs()[k],
+                  static_cast<std::int32_t>(children[static_cast<std::size_t>(offsets[i])]));
+        EXPECT_EQ(schedule.rhs()[k],
+                  static_cast<std::int32_t>(children[static_cast<std::size_t>(offsets[i]) + 1]));
+        const KernelSegment::Kind want = tape.kinds()[i] == NodeKind::kSum
+                                             ? KernelSegment::Kind::kSum2
+                                             : tape.kinds()[i] == NodeKind::kProd
+                                                   ? KernelSegment::Kind::kProd2
+                                                   : KernelSegment::Kind::kMax2;
+        EXPECT_EQ(seg.kind, want);
+      }
+    }
+    EXPECT_EQ(pos, tape.op_ids().size());
+    EXPECT_EQ(flat, schedule.num_fanin2_ops());
+  }
+}
+
+TEST(Simd, DispatchLevelsAndEnvOverride) {
+  // scalar always exists; the env hook selects exactly the named level and
+  // rejects garbage or unsupported names loudly.
+  const std::vector<simd::Level> levels = simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  for (const simd::Level level : levels) {
+    ScopedSimdEnv env(simd::level_name(level));
+    EXPECT_EQ(simd::dispatch_level(), level);
+  }
+  {
+    ScopedSimdEnv env("auto");
+    EXPECT_EQ(simd::dispatch_level(), levels.back());
+  }
+  {
+    ScopedSimdEnv env("pentium");
+    EXPECT_THROW(simd::dispatch_level(), InvalidArgument);
+    EXPECT_THROW(BatchEvaluator(CircuitTape::compile([] {
+                                  Circuit c({2});
+                                  c.set_root(c.add_parameter(0.5));
+                                  return c;
+                                }())),
+                 InvalidArgument);
+  }
+  for (const simd::Level level :
+       {simd::Level::kNeon, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (simd::level_supported(level)) continue;
+    ScopedSimdEnv env(simd::level_name(level));
+    EXPECT_THROW(simd::dispatch_level(), InvalidArgument);
+  }
+}
+
+TEST(Simd, AutoBlockSizeIsCacheAwareAndOverridable) {
+  // Multiples of the widest SIMD width, shrinking with circuit size, both
+  // engines; explicit block requests are honoured verbatim.
+  EXPECT_EQ(auto_block_size(100, sizeof(double)), 64u);       // tiny circuit: cap
+  EXPECT_EQ(auto_block_size(3312, sizeof(double)), 32u);      // ALARM-sized
+  EXPECT_EQ(auto_block_size(97311, sizeof(double)), 8u);      // ve36-sized: floor
+  EXPECT_GE(auto_block_size(3312, 16), 8u);                   // raw-word slots
+  EXPECT_EQ(auto_block_size(3312, 16) % 8, 0u);
+
+  Rng rng(41);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 5;
+  const Circuit circuit = compile::compile_network(bn::make_random_network(spec, rng));
+  const CircuitTape tape = CircuitTape::compile(circuit);
+  BatchEvaluator auto_sized(tape);
+  EXPECT_EQ(auto_sized.options().block, auto_block_size(tape.num_nodes(), sizeof(double)));
+  BatchEvaluator::Options explicit_block;
+  explicit_block.block = 7;
+  EXPECT_EQ(BatchEvaluator(tape, explicit_block).options().block, 7u);
+  FixedBatchEvaluator lowprec_auto(tape, lowprec::FixedFormat{2, 10});
+  EXPECT_EQ(lowprec_auto.options().block,
+            auto_block_size(tape.num_nodes(), sizeof(u128)));
+}
+
+TEST(Simd, ForcedLevelParityMatrixExactAndLowPrec) {
+  // The full dispatch matrix: every supported kernel ISA forced via the
+  // PROBLP_SIMD env hook x {exact, fixed lowprec, float lowprec} x batch
+  // sizes straddling the SoA block boundary x thread counts — bitwise value
+  // AND ArithFlags equality against the generic CSR sweep.  Two circuit
+  // shapes: a binarised VE circuit (pure fanin-2 segments) and the raw
+  // n-ary VE output (mixed fanin, exercising the generic fallback segment
+  // interleaved with fanin-2 runs).
+  Rng rng(29);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 7;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const Circuit nary = compile::compile_network(network);
+  const Circuit binary = binarize(nary).circuit;
+  const std::vector<std::size_t> batch_sizes = {1, 7, 16, 17, 512};
+  const lowprec::FixedFormat fx{2, 12};
+  const lowprec::FloatFormat fl{4, 6};
+
+  for (const Circuit* circuit : {&binary, &nary}) {
+    const CircuitTape tape = CircuitTape::compile(*circuit);
+    const auto assignments = random_assignments(circuit->cardinalities(), 512, 0.5, rng);
+
+    // Generic-engine references, computed once per circuit.
+    BatchEvaluator::Options generic;
+    generic.force_generic = true;
+    generic.block = 16;
+    BatchEvaluator generic_exact(tape, generic);
+    const std::vector<double> want_exact = generic_exact.evaluate(assignments);
+    FixedBatchEvaluator generic_fx(tape, fx, lowprec::RoundingMode::kNearestEven, generic);
+    const std::vector<double> want_fx = generic_fx.evaluate(assignments);
+    const std::vector<lowprec::ArithFlags> want_fx_flags = generic_fx.flags();
+    FloatBatchEvaluator generic_fl(tape, fl, lowprec::RoundingMode::kNearestEven, generic);
+    const std::vector<double> want_fl = generic_fl.evaluate(assignments);
+    const std::vector<lowprec::ArithFlags> want_fl_flags = generic_fl.flags();
+
+    for (const simd::Level level : simd::supported_levels()) {
+      ScopedSimdEnv env(simd::level_name(level));
+      for (const int threads : {1, 4}) {
+        for (const std::size_t count : batch_sizes) {
+          BatchEvaluator::Options opts;
+          opts.num_threads = threads;
+          const std::string where = std::string(" level=") + simd::level_name(level) +
+                                    " threads=" + std::to_string(threads) +
+                                    " count=" + std::to_string(count) +
+                                    (circuit == &binary ? " binary" : " nary");
+
+          BatchEvaluator exact(tape, opts);
+          EXPECT_EQ(exact.simd_level(), level);
+          const std::vector<double>& exact_roots = exact.evaluate(assignments.data(), count);
+          ASSERT_EQ(exact_roots.size(), count);
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(exact_roots[i], want_exact[i]) << "exact query " << i << where;
+          }
+
+          FixedBatchEvaluator fixed(tape, fx, lowprec::RoundingMode::kNearestEven, opts);
+          const std::vector<double>& fx_roots = fixed.evaluate(assignments.data(), count);
+          ASSERT_EQ(fx_roots.size(), count);
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(fx_roots[i], want_fx[i]) << "fixed query " << i << where;
+            ASSERT_EQ(fixed.flags()[i].overflow, want_fx_flags[i].overflow) << where;
+            ASSERT_EQ(fixed.flags()[i].underflow, want_fx_flags[i].underflow) << where;
+            ASSERT_EQ(fixed.flags()[i].invalid_input, want_fx_flags[i].invalid_input) << where;
+          }
+
+          FloatBatchEvaluator flt(tape, fl, lowprec::RoundingMode::kNearestEven, opts);
+          const std::vector<double>& fl_roots = flt.evaluate(assignments.data(), count);
+          ASSERT_EQ(fl_roots.size(), count);
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(fl_roots[i], want_fl[i]) << "float query " << i << where;
+            ASSERT_EQ(flt.flags()[i].overflow, want_fl_flags[i].overflow) << where;
+            ASSERT_EQ(flt.flags()[i].underflow, want_fl_flags[i].underflow) << where;
+            ASSERT_EQ(flt.flags()[i].invalid_input, want_fl_flags[i].invalid_input) << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, SharedEvidenceTemplateBatches) {
+  // The shared-evidence hoist: batches repeating one template (and batches
+  // alternating between two) must agree bitwise with the interpreter — the
+  // cached resolution may only ever be reused for an identical assignment.
+  Rng rng(37);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const Circuit circuit = compile::compile_network(bn::make_random_network(spec, rng));
+  const CircuitTape tape = CircuitTape::compile(circuit);
+  const auto distinct = random_assignments(circuit.cardinalities(), 4, 0.6, rng);
+
+  std::vector<PartialAssignment> batch;
+  for (int rep = 0; rep < 11; ++rep) batch.push_back(distinct[0]);
+  for (int rep = 0; rep < 9; ++rep) {
+    batch.push_back(distinct[1]);
+    batch.push_back(distinct[2]);
+  }
+  batch.push_back(distinct[3]);
+
+  for (const bool force_generic : {false, true}) {
+    BatchEvaluator::Options opts;
+    opts.force_generic = force_generic;
+    opts.block = 8;
+    BatchEvaluator batched(tape, opts);
+    const std::vector<double>& roots = batched.evaluate(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(roots[i], evaluate(circuit, batch[i]))
+          << "force_generic=" << force_generic << " query=" << i;
+    }
+  }
 }
 
 TEST(Tape, LeafRootAndSteadyStateReuse) {
