@@ -7,11 +7,13 @@
 // appends them to BENCH_eval.json) of the form
 //
 //   {"bench":"eval_throughput","circuit":"alarm","nodes":...,"edges":...,
-//    "batch":512,"threads":...,"isa":"avx512","interpreter_qps":...,
+//    "batch":512,"threads":...,"isa":"avx512","lowprec_fixed_bits":24,
+//    "lowprec_datapath":"u64","interpreter_qps":...,
 //    "tape_qps":...,"batched_qps":...,"batched_mt_qps":...,"simd_qps":...,
 //    "session_qps":...,"session_batched_qps":...,"lowprec_qps":...,
 //    "lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
-//    "simd_lowprec_qps":...,"speedup_tape":...,"speedup_batched":...,
+//    "simd_lowprec_qps":...,"simd_lowprec_narrow_qps":...,
+//    "speedup_tape":...,"speedup_batched":...,
 //    "speedup_simd":...,"speedup_session_batched":...,
 //    "speedup_lowprec_batched":...,"speedup_simd_lowprec":...,
 //    "parity_checksum":"...","lowprec_parity_checksum":"..."}
@@ -21,14 +23,22 @@
 // (force_generic, 16-lane blocks) so the trajectory stays comparable across
 // PRs; simd_qps / simd_lowprec_qps are the kernel-schedule defaults (auto
 // block, runtime ISA dispatch — `isa` records what was dispatched, `threads`
-// the worker count the *_mt rows actually ran with).  Acceptance for this
-// engine generation: simd_qps >= 1.5x and simd_lowprec_qps >= 1.3x the PR 3
-// ALARM/512 rows.  Every engine is bit-identical to the interpreter by
-// construction, so the run fails loudly on any checksum drift, and the
-// checksums are printed so CI can diff a PROBLP_SIMD=scalar run against auto
-// dispatch.
+// the worker count the *_mt rows actually ran with).  The low-precision rows
+// run the fixed format passed as `bench_eval_throughput [I F]` (default
+// 2 22, the 24-bit ALARM shape); `lowprec_fixed_bits` records its width and
+// `lowprec_datapath` whether the engine dispatched the lane-parallel u64
+// narrow-word kernels (fits_narrow_word(), <= 30 bits) or the u128 wide
+// path — simd_lowprec_narrow_qps is that default-dispatch engine measured
+// directly, and a force_wide_raw control run pins u64-vs-u128 checksum
+// equality in-process.  Acceptance for this engine generation: 24-bit
+// simd_lowprec_qps >= 3x the PR 4 ALARM/512 row.  Every engine is
+// bit-identical to the interpreter by construction, so the run fails loudly
+// on any checksum drift, and the checksums are printed so CI can diff a
+// PROBLP_SIMD=scalar run against auto dispatch — for a narrow and a wide
+// format alike, keeping both datapaths pinned.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "bn/random_network.hpp"
@@ -86,6 +96,7 @@ struct ThroughputResult {
   double lowprec_batched_qps = 0.0;
   double lowprec_batched_mt_qps = 0.0;
   double simd_lowprec_qps = 0.0;
+  double simd_lowprec_narrow_qps = 0.0;
 };
 
 // The pre-schedule trajectory shape: the generic CSR fold over 16-lane
@@ -100,7 +111,7 @@ ac::BatchEvaluator::Options generic_options(int num_threads = 1) {
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                              const std::vector<ac::PartialAssignment>& assignments,
-                             double min_seconds) {
+                             double min_seconds, lowprec::FixedFormat lp_fmt) {
   const ac::CircuitTape tape = ac::CircuitTape::compile(circuit);
   const std::size_t batch_size = assignments.size();
 
@@ -163,13 +174,13 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : session.marginal(assignments)) session_batched_checksum += v;
   });
 
-  // The emulated low-precision datapath behind the same session API, on a
-  // representative 24-bit fixed format (the shape the ALARM analyses
+  // The emulated low-precision datapath behind the same session API, on the
+  // requested fixed format (default 24-bit, the shape the ALARM analyses
   // select).  Singles run the per-query Fixed/FloatTapeEvaluator — the
   // pre-batching serving path — batches the SoA raw-word engine in its
   // pre-schedule trajectory shape, single- and multi-threaded, plus the
-  // specialised fanin-2 schedule at session defaults (simd_lowprec_qps).
-  const lowprec::FixedFormat lp_fmt{2, 22};
+  // specialised fanin-2 schedule at session defaults (simd_lowprec_qps —
+  // narrow formats ride the lane-parallel u64 datapath transparently).
   runtime::SessionOptions lp_options =
       runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
   lp_options.batch = generic_options();
@@ -204,6 +215,26 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : lp_simd_session.marginal(assignments)) lp_simd_checksum += v;
   });
 
+  // The datapath row, on the raw engine at defaults: narrow formats
+  // dispatch the lane-parallel u64 kernels, wide ones the u128 schedule
+  // path — `lowprec_datapath` records which this run measured.
+  ac::FixedBatchEvaluator narrow_eval(tape, lp_fmt);
+  double lp_narrow_checksum = 0.0;
+  r.simd_lowprec_narrow_qps = measure_qps(batch_size, min_seconds, [&] {
+    lp_narrow_checksum = 0.0;
+    for (const double v : narrow_eval.evaluate(assignments)) lp_narrow_checksum += v;
+  });
+
+  // u64-vs-u128 parity pin: the same format forced onto the wide raw
+  // datapath must reproduce the checksum bit for bit (one pass suffices —
+  // the paths are bit-identical per query or broken).
+  ac::BatchEvaluator::Options wide_options;
+  wide_options.force_wide_raw = true;
+  ac::FixedBatchEvaluator wide_eval(tape, lp_fmt, lowprec::RoundingMode::kNearestEven,
+                                    wide_options);
+  double lp_wide_checksum = 0.0;
+  for (const double v : wide_eval.evaluate(assignments)) lp_wide_checksum += v;
+
   // The engines are bit-identical by construction; a drifting checksum
   // means the bench is measuring a broken engine.
   if (interp_checksum != tape_checksum || interp_checksum != batched_checksum ||
@@ -215,41 +246,47 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     std::exit(1);
   }
   if (lp_checksum != lp_batched_checksum || lp_checksum != lp_mt_checksum ||
-      lp_checksum != lp_simd_checksum) {
-    std::fprintf(stderr, "LOWPREC PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g\n", name,
-                 lp_checksum, lp_batched_checksum, lp_mt_checksum, lp_simd_checksum);
+      lp_checksum != lp_simd_checksum || lp_checksum != lp_narrow_checksum ||
+      lp_checksum != lp_wide_checksum) {
+    std::fprintf(stderr,
+                 "LOWPREC PARITY VIOLATION on %s: %.17g %.17g %.17g %.17g %.17g %.17g\n",
+                 name, lp_checksum, lp_batched_checksum, lp_mt_checksum, lp_simd_checksum,
+                 lp_narrow_checksum, lp_wide_checksum);
     std::exit(1);
   }
 
   const ac::CircuitStats stats = circuit.stats();
   std::printf(
       "{\"bench\":\"eval_throughput\",\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
-      "\"batch\":%zu,\"threads\":%d,\"isa\":\"%s\",\"interpreter_qps\":%.0f,"
+      "\"batch\":%zu,\"threads\":%d,\"isa\":\"%s\",\"lowprec_fixed_bits\":%d,"
+      "\"lowprec_datapath\":\"%s\",\"interpreter_qps\":%.0f,"
       "\"tape_qps\":%.0f,\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"simd_qps\":%.0f,"
       "\"session_qps\":%.0f,\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,"
       "\"lowprec_batched_qps\":%.0f,\"lowprec_batched_mt_qps\":%.0f,"
-      "\"simd_lowprec_qps\":%.0f,\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
+      "\"simd_lowprec_qps\":%.0f,\"simd_lowprec_narrow_qps\":%.0f,"
+      "\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
       "\"speedup_simd\":%.2f,\"speedup_session_batched\":%.2f,"
       "\"speedup_lowprec_batched\":%.2f,\"speedup_simd_lowprec\":%.2f,"
       "\"parity_checksum\":\"%.17g\",\"lowprec_parity_checksum\":\"%.17g\"}\n",
       name, stats.num_nodes, stats.num_edges, batch_size, batched_mt.options().num_threads,
-      ac::simd::level_name(simd_batched.simd_level()), r.interpreter_qps, r.tape_qps,
+      ac::simd::level_name(simd_batched.simd_level()), lp_fmt.total_bits(),
+      narrow_eval.narrow_datapath() ? "u64" : "u128", r.interpreter_qps, r.tape_qps,
       r.batched_qps, r.batched_mt_qps, r.simd_qps, r.session_qps, r.session_batched_qps,
       r.lowprec_qps, r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.simd_lowprec_qps,
-      r.tape_qps / r.interpreter_qps, r.batched_qps / r.interpreter_qps,
-      r.simd_qps / r.batched_qps, r.session_batched_qps / r.interpreter_qps,
-      r.lowprec_batched_qps / r.lowprec_qps, r.simd_lowprec_qps / r.lowprec_batched_qps,
-      interp_checksum, lp_checksum);
+      r.simd_lowprec_narrow_qps, r.tape_qps / r.interpreter_qps,
+      r.batched_qps / r.interpreter_qps, r.simd_qps / r.batched_qps,
+      r.session_batched_qps / r.interpreter_qps, r.lowprec_batched_qps / r.lowprec_qps,
+      r.simd_lowprec_qps / r.lowprec_batched_qps, interp_checksum, lp_checksum);
   return r;
 }
 
-void run_all(double min_seconds) {
+void run_all(double min_seconds, lowprec::FixedFormat lp_fmt) {
   // ALARM: the paper's hardest benchmark, 512 sampled leaf-sensor evidence
   // sets (the acceptance setting asks for >= 256).
   {
     const datasets::Benchmark alarm = datasets::make_alarm_benchmark(1, 512);
     run_circuit("alarm", alarm.circuit, bench::to_assignments(alarm.test_evidence),
-                min_seconds);
+                min_seconds, lp_fmt);
   }
   // Synthetic: a VE-compiled random 36-variable network — denser operators
   // than ALARM's, exercising the tape on compiler-emitted shapes.
@@ -262,14 +299,38 @@ void run_all(double min_seconds) {
     const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
     const ac::Circuit circuit = compile::compile_network(network);
     run_circuit("synthetic_ve36", circuit,
-                sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds);
+                sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds, lp_fmt);
   }
 }
 
 }  // namespace
 }  // namespace problp
 
-int main() {
-  problp::run_all(0.25);
+int main(int argc, char** argv) {
+  // Optional override of the low-precision fixed format: `I F` (e.g. `2 30`
+  // for a 32-bit wide-datapath run; CI pins both datapaths this way).  A
+  // half-given or non-numeric format must fail loudly, never silently
+  // record a row for a format that was not requested.
+  const auto parse_bits = [](const char* arg) {
+    char* end = nullptr;
+    const long v = std::strtol(arg, &end, 10);
+    // Bound before narrowing: a long that would wrap the int (or saturate
+    // strtol) must not alias a different, valid format.
+    if (end == arg || *end != '\0' || v < -1000 || v > 1000) {
+      std::fprintf(stderr, "bench_eval_throughput: '%s' is not a sane bit count\n", arg);
+      std::exit(2);
+    }
+    return static_cast<int>(v);
+  };
+  problp::lowprec::FixedFormat lp_fmt{2, 22};
+  if (argc == 3) {
+    lp_fmt.integer_bits = parse_bits(argv[1]);
+    lp_fmt.fraction_bits = parse_bits(argv[2]);
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: bench_eval_throughput [integer_bits fraction_bits]\n");
+    return 2;
+  }
+  lp_fmt.validate();
+  problp::run_all(0.25, lp_fmt);
   return 0;
 }

@@ -10,10 +10,16 @@
 # session_batched tracks the schedule backend within 10%), and the emulated
 # low-precision datapath's lowprec_qps / lowprec_batched_qps /
 # lowprec_batched_mt_qps (acceptance: speedup_lowprec_batched >= 2 over the
-# query-at-a-time session path).  Every engine pair is parity-checked inside
-# the bench — a checksum drift exits non-zero before any line is appended —
-# and the parity_checksum fields let CI diff a PROBLP_SIMD=scalar run
-# against auto dispatch bit for bit.
+# query-at-a-time session path), and the narrow-word datapath's
+# simd_lowprec_narrow_qps with lowprec_fixed_bits / lowprec_datapath
+# recording the measured format width and whether the lane-parallel u64
+# kernels or the wide u128 path were dispatched (acceptance: 24-bit
+# simd_lowprec_qps >= 3x the PR 4 ALARM/512 row).  Every engine pair is
+# parity-checked inside the bench — a checksum drift, including u64 vs u128
+# raw-datapath drift, exits non-zero before any line is appended — and the
+# parity_checksum fields let CI diff a PROBLP_SIMD=scalar run against auto
+# dispatch bit for bit, for a narrow and a wide format alike (the bench
+# takes an optional `I F` fixed-format override).
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail

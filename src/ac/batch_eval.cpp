@@ -40,17 +40,18 @@ void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
 }
 
 std::size_t auto_block_size(std::size_t num_nodes, std::size_t elem_bytes) {
-  // Target for the SoA value buffer: a typical per-core L2.  Measured on the
-  // ALARM tape (3.3k nodes), the resulting 32-lane blocks beat both 16 and
-  // 64; circuits past the target are bandwidth-bound anyway and take the
-  // minimum block, which at least halves the old hard-coded-16 working set.
-  constexpr std::size_t kTargetBytes = 1024 * 1024;
+  // kCacheTargetBytes for the SoA value buffer: a typical per-core L2.
+  // Measured on the ALARM tape (3.3k nodes), the resulting 32-lane blocks
+  // beat both 16 and 64; circuits past the target are bandwidth-bound
+  // anyway and take the minimum block, which at least halves the old
+  // hard-coded-16 working set.
   // Multiples of 8 lanes keep every row of the 64-byte-aligned buffer
   // aligned at a vector boundary (8 doubles == one AVX-512 register).
   constexpr std::size_t kLaneMultiple = 8;
   constexpr std::size_t kMinBlock = 8;
   constexpr std::size_t kMaxBlock = 64;
-  const std::size_t fit = kTargetBytes / std::max<std::size_t>(num_nodes * elem_bytes, 1);
+  const std::size_t fit =
+      kCacheTargetBytes / std::max<std::size_t>(num_nodes * elem_bytes, 1);
   return std::clamp(fit / kLaneMultiple * kLaneMultiple, kMinBlock, kMaxBlock);
 }
 

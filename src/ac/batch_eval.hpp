@@ -55,12 +55,18 @@ namespace problp::ac {
 void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+/// Working-set target of the batched engines (a typical per-core L2):
+/// auto_block_size keeps one SoA value buffer inside it, and the
+/// low-precision engines elect the precomposed leaf image only while buffer
+/// + image still fit it together.
+inline constexpr std::size_t kCacheTargetBytes = 1024 * 1024;
+
 /// Cache-aware SoA block width for a tape of `num_nodes` nodes whose slots
 /// are `elem_bytes` wide: the largest lane count keeping the value buffer
-/// (num_nodes * block * elem_bytes) within a fixed working-set target,
-/// rounded to a multiple of the widest SIMD width (8 doubles) and clamped to
-/// [8, 64] — so small circuits amortise the tape traversal over wide blocks
-/// while big circuits (synthetic_ve36-sized) stop thrashing the cache.
+/// (num_nodes * block * elem_bytes) within kCacheTargetBytes, rounded to a
+/// multiple of the widest SIMD width (8 doubles) and clamped to [8, 64] —
+/// so small circuits amortise the tape traversal over wide blocks while big
+/// circuits (synthetic_ve36-sized) stop thrashing the cache.
 std::size_t auto_block_size(std::size_t num_nodes, std::size_t elem_bytes);
 
 class BatchEvaluator {
@@ -75,6 +81,12 @@ class BatchEvaluator {
     /// Force the generic CSR fold instead of the specialised kernel
     /// schedule — the parity reference and the pre-SIMD trajectory baseline.
     bool force_generic = false;
+    /// Low-precision engines only: keep the wide (u128) raw-word datapath
+    /// even for fixed formats narrow enough for the lane-parallel u64 path
+    /// (lowprec::FixedFormat::fits_narrow_word()) — the schedule-level
+    /// parity reference for the narrow kernels.  Ignored by the exact
+    /// engine; force_generic implies it.
+    bool force_wide_raw = false;
     /// Kernel ISA level.  nullopt = auto: the PROBLP_SIMD environment
     /// override if set, else the best level this build and CPU support.
     /// An explicitly requested level that is unsupported throws at

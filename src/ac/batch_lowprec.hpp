@@ -26,12 +26,34 @@
 // default (ac/kernel_schedule.hpp): homogeneous fanin-2 runs execute as
 // straight two-operand loops — no CSR lookups, no first-child copy, no
 // per-op kind branch — and only the non-binarised remainder walks the
-// generic fold.  The raw-word kernels themselves stay lane-serial (a u128
-// saturating add or an (exp, sig) renormalisation does not map onto vector
-// lanes), so the schedule is what ISA dispatch cannot buy here and the
-// fixed-point kernels are inlined at the call site (lowprec/fixed_point.hpp)
-// instead of paying a cross-TU call per lane.  Options::force_generic keeps
-// the original fold as the parity reference.
+// generic fold.
+//
+// Fixed formats narrow enough that every intermediate closes over u64
+// (FixedFormat::fits_narrow_word(), total width <= 30 bits) additionally
+// ride the **lane-parallel narrow-word datapath**: the SoA block stores u64
+// raw words and the schedule executes through width-specialised fixed-point
+// lane kernels compiled into the same per-ISA translation units as the
+// exact sweep (ac/simd_sweep.hpp — same tag-type scheme, same
+// PROBLP_SIMD/cpuid dispatch), with per-lane sticky overflow masks
+// OR-reduced into the per-column flags after the sweep.  The u64 kernels
+// are bit-identical to the u128 ones by construction (same rounding
+// arithmetic, same saturation point, same flag stickiness; see
+// lowprec/fixed_point.hpp).  Wide formats — and the float datapath, whose
+// (exp, sig) renormalisation does not map onto vector lanes — keep the
+// lane-serial wide path, where the schedule is what ISA dispatch cannot buy
+// and the fixed-point kernels are inlined at the call site.
+// Options::force_generic keeps the original wide fold as the parity
+// reference; Options::force_wide_raw pins the u128 schedule path on narrow
+// formats.
+//
+// Both datapaths can initialise each block from a **precomposed leaf
+// image**: a block-shaped copy of the quantised leaf cache (parameters
+// broadcast over their rows, indicators at the quantised one) laid out at
+// construction, so steady-state per-block init is a single memcpy instead
+// of a per-node scatter, followed only by the per-column evidence zeroing.
+// The image is elected cache-aware: it wins while buffer + image stay
+// L2-resident and reverts to the scatter on larger tapes (measured; see
+// init_leaf_image).
 //
 // An optional thread partition mirrors BatchEvaluator: the batch dimension
 // splits into block-aligned contiguous chunks, each worker owns its buffer,
@@ -57,6 +79,13 @@ struct FixedRawOps {
   lowprec::RoundingMode mode;
 
   using Raw = u128;
+  /// Narrow formats may switch this policy's storage to u64 lanes.
+  static constexpr bool kNarrowCapable = true;
+
+  /// Fail an unemulatable format (total width > 62 bits would silently wrap
+  /// the u128 product in fx_mul_raw) at construction, with a clear error.
+  void validate() const { fmt.validate(); }
+  bool narrow_eligible() const { return fmt.fits_narrow_word(); }
 
   Raw quantize(double v, lowprec::ArithFlags& flags) const {
     return lowprec::FixedPoint::from_double(v, fmt, flags, mode).raw();
@@ -80,6 +109,12 @@ struct FloatRawOps {
   lowprec::RoundingMode mode;
 
   using Raw = lowprec::FloatRaw;
+  /// (exp, sig) renormalisation stays lane-serial; no narrow datapath.
+  static constexpr bool kNarrowCapable = false;
+
+  /// Fail an unemulatable format at construction, with a clear error.
+  void validate() const { fmt.validate(); }
+  bool narrow_eligible() const { return false; }
 
   Raw quantize(double v, lowprec::ArithFlags& flags) const {
     return lowprec::SoftFloat::from_double(v, fmt, flags, mode).raw();
@@ -125,16 +160,36 @@ class LowPrecBatchEvaluator {
 
   const CircuitTape& tape() const { return *tape_; }
   const Options& options() const { return options_; }
+  /// The dispatched kernel ISA (resolved at construction on both datapaths).
+  simd::Level simd_level() const { return level_; }
+  /// Whether this evaluator runs the lane-parallel narrow-word (u64)
+  /// datapath — fixed formats with fits_narrow_word(), unless
+  /// force_generic / force_wide_raw pins the u128 reference path.
+  bool narrow_datapath() const { return narrow_; }
+  /// Whether full blocks initialise from the precomposed leaf image (one
+  /// memcpy) instead of the per-node scatter; elected at construction by
+  /// cache residency (see init_leaf_image).
+  bool uses_leaf_image() const { return use_leaf_image_; }
 
  private:
   struct Workspace {
     simd::AlignedBuffer<Raw> buffer;     ///< num_nodes * W structure-of-arrays raw words
+    simd::AlignedBuffer<std::uint64_t> narrow_buffer;  ///< u64 rows (narrow datapath)
+    simd::AlignedBuffer<std::uint64_t> overflow;  ///< per-lane sticky overflow masks
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
   };
 
   /// Evaluates batch[begin, end) into roots_/flags_[begin, end) using `ws`.
   void evaluate_range(const PartialAssignment* batch, std::size_t begin, std::size_t end,
                       Workspace& ws);
+  /// The narrow-word (u64) datapath twin of evaluate_range; compiled to a
+  /// no-op for raw-ops policies without a narrow datapath.
+  void narrow_evaluate_range(const PartialAssignment* batch, std::size_t begin,
+                             std::size_t end, Workspace& ws);
+  /// Elects and lays out the block-shaped precomposed leaf image of the
+  /// engaged datapath (one memcpy per full block instead of a per-node
+  /// scatter, while cache residency makes that a win).
+  void init_leaf_image();
 
   /// The specialised fanin-2 schedule executor for one block.
   void schedule_sweep(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w);
@@ -146,11 +201,21 @@ class LowPrecBatchEvaluator {
   const CircuitTape* tape_;
   RawOps ops_;
   Options options_;
+  simd::Level level_ = simd::Level::kScalar;
   std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
+  bool narrow_ = false;                     ///< u64 datapath engaged
+  bool use_leaf_image_ = false;             ///< leaf-image block init elected
+  simd::FixedSweepFn narrow_sweep_ = nullptr;  ///< per-ISA u64 schedule executor
+  simd::FixedSweepParams narrow_params_;       ///< precomputed format constants
   lowprec::ArithFlags param_flags_;  ///< conversion flags the cached leaves would raise
   Raw one_{};                        ///< quantised indicator 1
   Raw zero_{};                       ///< quantised indicator 0
   std::vector<Raw> params_;          ///< SoA leaf cache, aligned with tape.param_ids()
+  std::uint64_t one_u64_ = 0;        ///< narrow copies of the leaf constants
+  std::uint64_t zero_u64_ = 0;
+  std::vector<std::uint64_t> params_u64_;  ///< narrow leaf cache (lossless narrowing)
+  std::vector<Raw> leaf_image_;            ///< precomposed block-shaped leaves (wide)
+  std::vector<std::uint64_t> leaf_image_u64_;  ///< same, narrow datapath
   std::vector<Workspace> workspaces_;  ///< one per worker, reused across calls
   std::vector<double> roots_;
   std::vector<lowprec::ArithFlags> flags_;
@@ -159,34 +224,24 @@ class LowPrecBatchEvaluator {
 extern template class LowPrecBatchEvaluator<FixedRawOps>;
 extern template class LowPrecBatchEvaluator<FloatRawOps>;
 
-/// Fixed-point batched engine over a compiled tape.
+/// Fixed-point batched engine over a compiled tape.  The format is
+/// validated by the LowPrecBatchEvaluator constructor.
 class FixedBatchEvaluator : public LowPrecBatchEvaluator<FixedRawOps> {
  public:
   FixedBatchEvaluator(const CircuitTape& tape, lowprec::FixedFormat format,
                       lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven,
                       Options options = {})
-      : LowPrecBatchEvaluator(tape, FixedRawOps{validated(format), mode}, options) {}
-
- private:
-  static lowprec::FixedFormat validated(lowprec::FixedFormat f) {
-    f.validate();
-    return f;
-  }
+      : LowPrecBatchEvaluator(tape, FixedRawOps{format, mode}, options) {}
 };
 
-/// Float batched engine over a compiled tape.
+/// Float batched engine over a compiled tape.  The format is validated by
+/// the LowPrecBatchEvaluator constructor.
 class FloatBatchEvaluator : public LowPrecBatchEvaluator<FloatRawOps> {
  public:
   FloatBatchEvaluator(const CircuitTape& tape, lowprec::FloatFormat format,
                       lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven,
                       Options options = {})
-      : LowPrecBatchEvaluator(tape, FloatRawOps{validated(format), mode}, options) {}
-
- private:
-  static lowprec::FloatFormat validated(lowprec::FloatFormat f) {
-    f.validate();
-    return f;
-  }
+      : LowPrecBatchEvaluator(tape, FloatRawOps{format, mode}, options) {}
 };
 
 }  // namespace problp::ac

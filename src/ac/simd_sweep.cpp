@@ -20,6 +20,12 @@ void exact_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule,
   detail::run_exact_schedule<1, ScalarTag>(tape, schedule, buf, w);
 }
 
+void fixed_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule,
+                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                        const FixedSweepParams& params) {
+  detail::run_fixed_schedule<1, ScalarTag>(tape, schedule, buf, ovf, w, params);
+}
+
 }  // namespace
 
 // Defined in the per-ISA translation units (present only when the build
@@ -27,14 +33,23 @@ void exact_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule,
 #ifdef PROBLP_SIMD_TU_AVX2
 void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
                       std::size_t w);
+void fixed_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule,
+                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                      const FixedSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_AVX512
 void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
                         std::size_t w);
+void fixed_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule,
+                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                        const FixedSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_NEON
 void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
                       std::size_t w);
+void fixed_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule,
+                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                      const FixedSweepParams& params);
 #endif
 
 const char* level_name(Level level) {
@@ -156,6 +171,29 @@ ExactSweepFn exact_sweep(Level level) {
 #ifdef PROBLP_SIMD_TU_AVX512
     case Level::kAvx512:
       return &exact_sweep_avx512;
+#endif
+    default:
+      break;
+  }
+  throw InvalidArgument(std::string("simd level '") + level_name(level) +
+                        "' not compiled into this binary");
+}
+
+FixedSweepFn fixed_sweep(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &fixed_sweep_scalar;
+#ifdef PROBLP_SIMD_TU_NEON
+    case Level::kNeon:
+      return &fixed_sweep_neon;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX2
+    case Level::kAvx2:
+      return &fixed_sweep_avx2;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX512
+    case Level::kAvx512:
+      return &fixed_sweep_avx512;
 #endif
     default:
       break;

@@ -36,6 +36,7 @@
 
 #include "ac/kernel_schedule.hpp"
 #include "ac/tape.hpp"
+#include "lowprec/format.hpp"
 
 namespace problp::ac::simd {
 
@@ -72,6 +73,32 @@ using ExactSweepFn = void (*)(const CircuitTape& tape, const KernelSchedule& sch
 /// The exact-double schedule executor for `level`; never null for a
 /// supported level.
 ExactSweepFn exact_sweep(Level level);
+
+/// Precomputed per-format constants of the narrow-word (u64) fixed-point
+/// datapath — engaged by the batched low-precision engine when
+/// FixedFormat::fits_narrow_word() (total width <= 30 bits, so the exact
+/// product closes over u64; see lowprec/fixed_point.hpp).
+struct FixedSweepParams {
+  std::uint64_t max_raw = 0;  ///< saturation point, fmt.max_raw() (< 2^30)
+  std::uint64_t half = 0;     ///< nearest midpoint 2^(F-1); 0 when F == 0
+  int fraction_bits = 0;      ///< the multiply right-shift F
+  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven;
+};
+
+/// Executes the whole kernel schedule for one narrow fixed-point SoA block:
+/// buf holds tape.num_nodes() rows of `w` u64 raw words (leaf rows
+/// pre-initialised, evidence pre-applied).  `ovf` is one sticky per-lane
+/// overflow mask (nonzero when that column ever saturated), OR-accumulated
+/// by every add/mul; the caller folds `ovf[j] != 0` into the per-column
+/// ArithFlags — overflow is the only flag fixed-point arithmetic can raise
+/// past quantisation.
+using FixedSweepFn = void (*)(const CircuitTape& tape, const KernelSchedule& schedule,
+                              std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                              const FixedSweepParams& params);
+
+/// The narrow fixed-point schedule executor for `level`; never null for a
+/// supported level.
+FixedSweepFn fixed_sweep(Level level);
 
 /// SoA row alignment (bytes): one full AVX-512 vector, which also makes
 /// every row of an 8-lane-multiple block start on its own cache line.

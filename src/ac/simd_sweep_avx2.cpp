@@ -19,6 +19,12 @@ void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, d
   detail::run_exact_schedule<4, Avx2Tag>(tape, schedule, buf, w);
 }
 
+void fixed_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule,
+                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                      const FixedSweepParams& params) {
+  detail::run_fixed_schedule<4, Avx2Tag>(tape, schedule, buf, ovf, w, params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_AVX2

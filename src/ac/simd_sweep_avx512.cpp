@@ -18,6 +18,12 @@ void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule,
   detail::run_exact_schedule<8, Avx512Tag>(tape, schedule, buf, w);
 }
 
+void fixed_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule,
+                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                        const FixedSweepParams& params) {
+  detail::run_fixed_schedule<8, Avx512Tag>(tape, schedule, buf, ovf, w, params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_AVX512

@@ -15,7 +15,9 @@
 #include <cstring>
 
 #include "ac/kernel_schedule.hpp"
+#include "ac/simd_sweep.hpp"
 #include "ac/tape.hpp"
+#include "lowprec/fixed_point.hpp"
 
 namespace problp::ac::simd::detail {
 
@@ -123,6 +125,161 @@ void run_exact_schedule(const CircuitTape& tape, const KernelSchedule& schedule,
         generic_run<W, Tag>(tape, seg.begin, seg.end, buf, w);
         break;
     }
+  }
+}
+
+// ---- narrow-word fixed-point schedule --------------------------------------
+// The same executor shape over u64 raw words of one narrow fixed format
+// (lowprec/fixed_point.hpp documents the eligibility rule and the per-word
+// kernels).  Unlike the double kernels, every op also feeds the per-lane
+// sticky overflow mask `ovf` — a second streaming array the vectoriser
+// handles like any other lane output.
+
+/// Saturating lane add: carries the format's saturation point.
+struct FxAddOp {
+  std::uint64_t max_raw;
+  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t& ovf) const {
+    return lowprec::fx_add_raw_u64(a, b, max_raw, ovf);
+  }
+};
+
+/// Rounding lane multiply; Mode is a template parameter so the rounding
+/// branch is hoisted out of every lane loop (kTruncate also serves F == 0,
+/// where a shift-0 truncation is the exact product).
+template <lowprec::RoundingMode Mode>
+struct FxMulOp {
+  std::uint64_t max_raw;
+  std::uint64_t half;
+  int fraction_bits;
+  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t& ovf) const {
+    return lowprec::fx_mul_raw_u64<Mode>(a, b, fraction_bits, half, max_raw, ovf);
+  }
+};
+
+/// Exact lane max (never overflows).
+struct FxMaxOp {
+  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t&) const {
+    return lowprec::fx_max_raw_u64(a, b);
+  }
+};
+
+/// One homogeneous fanin-2 run on narrow fixed-point rows of w u64 lanes.
+/// Output rows never alias input rows (children strictly precede parents),
+/// and `ovf` is a separate accumulator array, hence the restricts.
+template <int W, class Op, class Tag>
+void fixed_fanin2_run(const std::int32_t* out, const std::int32_t* lhs,
+                      const std::int32_t* rhs, std::size_t n, std::uint64_t* buf,
+                      std::uint64_t* __restrict ovf, std::size_t w, const Op& op) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* __restrict o = buf + static_cast<std::size_t>(out[i]) * w;
+    const std::uint64_t* a = buf + static_cast<std::size_t>(lhs[i]) * w;
+    const std::uint64_t* b = buf + static_cast<std::size_t>(rhs[i]) * w;
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) o[j + l] = op.apply(a[j + l], b[j + l], ovf[j + l]);
+    }
+    for (; j < w; ++j) o[j] = op.apply(a[j], b[j], ovf[j]);
+  }
+}
+
+/// One generic fallback run on narrow fixed-point rows: the classic CSR fold
+/// over op positions [pbegin, pend) — first-child copy, then one fold per
+/// remaining child — with the same lane kernels, so values and overflow
+/// verdicts replay the wide generic fold exactly.
+template <int W, lowprec::RoundingMode Mode, class Tag>
+void fixed_generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pend,
+                       std::uint64_t* buf, std::uint64_t* __restrict ovf, std::size_t w,
+                       const FixedSweepParams& p) {
+  const FxAddOp add{p.max_raw};
+  const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
+  const FxMaxOp mx{};
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ops = tape.op_ids();
+  const auto fold = [&](std::uint64_t* __restrict o, const std::uint64_t* rhs,
+                        const auto& op) {
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) o[j + l] = op.apply(o[j + l], rhs[j + l], ovf[j + l]);
+    }
+    for (; j < w; ++j) o[j] = op.apply(o[j], rhs[j], ovf[j]);
+  };
+  for (std::uint32_t pos = pbegin; pos < pend; ++pos) {
+    const std::size_t i = static_cast<std::size_t>(ops[pos]);
+    const std::int32_t cb = offsets[i];
+    const std::int32_t ce = offsets[i + 1];
+    std::uint64_t* __restrict out = buf + i * w;
+    const std::uint64_t* first =
+        buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+    std::memcpy(out, first, w * sizeof(std::uint64_t));
+    for (std::int32_t k = cb + 1; k < ce; ++k) {
+      const std::uint64_t* rhs =
+          buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+      switch (kinds[i]) {
+        case NodeKind::kSum:
+          fold(out, rhs, add);
+          break;
+        case NodeKind::kProd:
+          fold(out, rhs, mul);
+          break;
+        case NodeKind::kMax:
+          fold(out, rhs, mx);
+          break;
+        default:
+          break;  // leaves never appear in op_ids
+      }
+    }
+  }
+}
+
+/// The full narrow fixed-point schedule for one block, at one rounding
+/// instantiation.
+template <int W, lowprec::RoundingMode Mode, class Tag>
+void run_fixed_schedule_mode(const CircuitTape& tape, const KernelSchedule& schedule,
+                             std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                             const FixedSweepParams& p) {
+  const std::int32_t* out = schedule.out().data();
+  const std::int32_t* lhs = schedule.lhs().data();
+  const std::int32_t* rhs = schedule.rhs().data();
+  const FxAddOp add{p.max_raw};
+  const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
+  const FxMaxOp mx{};
+  for (const KernelSegment& seg : schedule.segments()) {
+    switch (seg.kind) {
+      case KernelSegment::Kind::kSum2:
+        fixed_fanin2_run<W, FxAddOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                          seg.size(), buf, ovf, w, add);
+        break;
+      case KernelSegment::Kind::kProd2:
+        fixed_fanin2_run<W, FxMulOp<Mode>, Tag>(out + seg.begin, lhs + seg.begin,
+                                                rhs + seg.begin, seg.size(), buf, ovf, w, mul);
+        break;
+      case KernelSegment::Kind::kMax2:
+        fixed_fanin2_run<W, FxMaxOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                          seg.size(), buf, ovf, w, mx);
+        break;
+      case KernelSegment::Kind::kGeneric:
+        fixed_generic_run<W, Mode, Tag>(tape, seg.begin, seg.end, buf, ovf, w, p);
+        break;
+    }
+  }
+}
+
+/// Rounding-mode dispatch, once per block.  F == 0 runs the truncate
+/// instantiation regardless of the requested mode: a shift-0 truncation IS
+/// the exact product (round_shift_right with shift <= 0), while the nearest
+/// tie-break would misfire on rem == half == 0.
+template <int W, class Tag>
+void run_fixed_schedule(const CircuitTape& tape, const KernelSchedule& schedule,
+                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                        const FixedSweepParams& p) {
+  if (p.mode == lowprec::RoundingMode::kNearestEven && p.fraction_bits > 0) {
+    run_fixed_schedule_mode<W, lowprec::RoundingMode::kNearestEven, Tag>(tape, schedule, buf,
+                                                                         ovf, w, p);
+  } else {
+    run_fixed_schedule_mode<W, lowprec::RoundingMode::kTruncate, Tag>(tape, schedule, buf,
+                                                                      ovf, w, p);
   }
 }
 

@@ -16,6 +16,12 @@ void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, d
   detail::run_exact_schedule<2, NeonTag>(tape, schedule, buf, w);
 }
 
+void fixed_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule,
+                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+                      const FixedSweepParams& params) {
+  detail::run_fixed_schedule<2, NeonTag>(tape, schedule, buf, ovf, w, params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_NEON

@@ -110,4 +110,70 @@ inline double fx_raw_to_double(u128 raw, const FixedFormat& fmt) {
                     -fmt.fraction_bits);
 }
 
+// ---- narrow-word (u64) lane kernels ----------------------------------------
+// For formats with fits_narrow_word() (total width <= 30 bits) every raw word
+// is < 2^30, so a sum is <= 31 bits and an exact product <= 60 bits —
+// add/mul/round/saturate all close over uint64_t and the u128 emulation above
+// is pure overhead.  These kernels are the per-word semantics of the
+// lane-parallel datapath (ac/simd_sweep_impl.hpp executes them over
+// contiguous SoA lane arrays inside the per-ISA translation units); they are
+// written branch-free — overflow is reported as a nonzero value OR-ed into a
+// per-lane mask accumulator, never a sticky bool store — so the surrounding
+// lane loops vectorise.  Each kernel is bit-identical to its u128 sibling by
+// construction (same rounding arithmetic, same saturation point);
+// tests/fixed_point_test.cpp proves it exhaustively at small widths and at
+// the 29/30-bit narrow boundary.
+
+namespace detail {
+/// Saturates an unclamped narrow word at `max_raw` (an unsigned min, one
+/// vector op) and ORs a nonzero value into `ovf_mask` exactly when the lane
+/// saturated: v ^ min(v, max_raw) is 0 iff v was in range.
+inline std::uint64_t fx_sat_raw_u64(std::uint64_t v, std::uint64_t max_raw,
+                                    std::uint64_t& ovf_mask) {
+  const std::uint64_t sat = v < max_raw ? v : max_raw;
+  ovf_mask |= v ^ sat;
+  return sat;
+}
+}  // namespace detail
+
+/// Narrow word of a + b, saturated at `max_raw`; an overflowing lane ORs a
+/// nonzero value into `ovf_mask`.
+inline std::uint64_t fx_add_raw_u64(std::uint64_t a, std::uint64_t b, std::uint64_t max_raw,
+                                    std::uint64_t& ovf_mask) {
+  return detail::fx_sat_raw_u64(a + b, max_raw, ovf_mask);
+}
+
+/// Narrow word of a * b with the low `fraction_bits` bits rounded away per
+/// `Mode`, saturated at `max_raw`.  `half` is the rounding midpoint
+/// 2^(fraction_bits - 1).  Instantiate with kTruncate when fraction_bits ==
+/// 0: a shift-0 truncation IS the exact product, while the nearest bias
+/// below requires half >= 1.
+template <RoundingMode Mode>
+inline std::uint64_t fx_mul_raw_u64(std::uint64_t a, std::uint64_t b, int fraction_bits,
+                                    [[maybe_unused]] std::uint64_t half,
+                                    std::uint64_t max_raw, std::uint64_t& ovf_mask) {
+  // Operands are saturated narrow words (< 2^30), so the u32 narrowing is
+  // lossless and the exact product is one 32x32->64 multiply on every
+  // vector ISA (AVX2/AVX-512F/NEON have no 64x64 lane multiply).
+  const std::uint64_t prod = static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) *
+                             static_cast<std::uint32_t>(b);
+  std::uint64_t kept;
+  if constexpr (Mode == RoundingMode::kNearestEven) {
+    // round_shift_right's nearest-even via the carry bias: adding
+    // half - 1 + lsb(kept) carries into the kept bits exactly when the
+    // remainder is above the midpoint, or on it with kept odd — no
+    // compares, so the lane loop needs no mask registers.  The bias cannot
+    // wrap: prod <= 2^60 and half <= 2^29.
+    kept = (prod + (half - 1) + ((prod >> fraction_bits) & 1)) >> fraction_bits;
+  } else {
+    kept = prod >> fraction_bits;
+  }
+  return detail::fx_sat_raw_u64(kept, max_raw, ovf_mask);
+}
+
+/// Exact max on narrow words (raw order == value order: same scale).
+constexpr std::uint64_t fx_max_raw_u64(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a : b;
+}
+
 }  // namespace problp::lowprec

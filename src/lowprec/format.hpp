@@ -27,8 +27,19 @@ struct FixedFormat {
   int integer_bits = 1;   ///< I >= 0
   int fraction_bits = 8;  ///< F >= 0
 
+  /// Widest total width the lane-parallel narrow-word (u64) datapath of the
+  /// batched engine accepts: 30-bit operands keep the exact product within
+  /// 60 bits (plus headroom for the rounding increment) and within one
+  /// 32x32->64 vector multiply, so add/mul/round/saturate all close over
+  /// uint64_t.  See ac/simd_sweep.hpp and docs/evaluation.md.
+  static constexpr int kNarrowWordBits = 30;
+
   /// Total datapath width N = I + F (the N of the Table-1 energy models).
   int total_bits() const { return integer_bits + fraction_bits; }
+
+  /// Whether raw words of this format qualify for the narrow-word (u64)
+  /// datapath; wider formats run on the 128-bit emulation path.
+  bool fits_narrow_word() const { return total_bits() <= kNarrowWordBits; }
 
   /// Grid spacing 2^-F.
   double resolution() const { return pow2(-fraction_bits); }

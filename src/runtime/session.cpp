@@ -99,6 +99,9 @@ const std::vector<double>& InferenceSession::eval_batch(
   }
   // Batched low-precision emulation: the SoA raw-word sweep, bit-identical
   // (values and per-query flags) to the per-query engine behind eval_root.
+  // Routing is transparent to the datapath choice: fixed formats narrow
+  // enough for the lane-parallel u64 kernels (fits_narrow_word()) ride them
+  // automatically inside FixedBatchEvaluator; wide ones keep the u128 path.
   LowPrecBatchEngine& eng = batch_engine(which);
   const std::vector<double>& out =
       eng.fixed ? eng.fixed->evaluate(batch) : eng.flt->evaluate(batch);

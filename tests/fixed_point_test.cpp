@@ -223,5 +223,95 @@ TEST_P(FixedFormatSweep, MulAccumulatedErrorWithinModel) {
 
 INSTANTIATE_TEST_SUITE_P(Formats, FixedFormatSweep, ::testing::Values(2, 4, 8, 12, 16, 24, 32, 40));
 
+TEST(FixedFormat, NarrowWordClassification) {
+  // The u64 lane-kernel eligibility cutoff sits exactly at 30 total bits.
+  EXPECT_TRUE((FixedFormat{2, 28}.fits_narrow_word()));   // 30
+  EXPECT_TRUE((FixedFormat{0, 30}.fits_narrow_word()));   // 30
+  EXPECT_TRUE((FixedFormat{2, 22}.fits_narrow_word()));   // 24
+  EXPECT_FALSE((FixedFormat{2, 29}.fits_narrow_word()));  // 31
+  EXPECT_FALSE((FixedFormat{0, 31}.fits_narrow_word()));  // 31
+  EXPECT_FALSE((FixedFormat{2, 30}.fits_narrow_word()));  // 32
+  EXPECT_EQ(FixedFormat::kNarrowWordBits, 30);
+}
+
+// The u64 lane kernels against their u128 siblings, one word pair at a
+// time: values AND overflow verdicts must agree bit for bit.  `mul_u64`
+// mirrors the executor's instantiation rule (truncate also serves F == 0,
+// where a shift-0 truncation is the exact product).
+void expect_word_kernel_parity(const FixedFormat& fmt, RoundingMode mode, std::uint64_t a,
+                               std::uint64_t b) {
+  const std::uint64_t max_raw = static_cast<std::uint64_t>(fmt.max_raw());
+  const std::uint64_t half =
+      fmt.fraction_bits > 0 ? std::uint64_t{1} << (fmt.fraction_bits - 1) : 0;
+  const auto mul_u64 = [&](std::uint64_t x, std::uint64_t y, std::uint64_t& ovf) {
+    return mode == RoundingMode::kNearestEven && fmt.fraction_bits > 0
+               ? fx_mul_raw_u64<RoundingMode::kNearestEven>(x, y, fmt.fraction_bits, half,
+                                                            max_raw, ovf)
+               : fx_mul_raw_u64<RoundingMode::kTruncate>(x, y, fmt.fraction_bits, half,
+                                                         max_raw, ovf);
+  };
+
+  ArithFlags add_flags;
+  const u128 want_add = fx_add_raw(a, b, fmt, add_flags);
+  std::uint64_t add_ovf = 0;
+  const std::uint64_t got_add = fx_add_raw_u64(a, b, max_raw, add_ovf);
+  ASSERT_EQ(got_add, static_cast<std::uint64_t>(want_add))
+      << fmt.to_string() << " add a=" << a << " b=" << b;
+  ASSERT_EQ(add_ovf != 0, add_flags.overflow) << fmt.to_string() << " add flag";
+
+  ArithFlags mul_flags;
+  const u128 want_mul = fx_mul_raw(a, b, fmt, mul_flags, mode);
+  std::uint64_t mul_ovf = 0;
+  const std::uint64_t got_mul = mul_u64(a, b, mul_ovf);
+  ASSERT_EQ(got_mul, static_cast<std::uint64_t>(want_mul))
+      << fmt.to_string() << " mul a=" << a << " b=" << b
+      << " mode=" << (mode == RoundingMode::kTruncate ? "trunc" : "nearest");
+  ASSERT_EQ(mul_ovf != 0, mul_flags.overflow) << fmt.to_string() << " mul flag";
+
+  ASSERT_EQ(fx_max_raw_u64(a, b), static_cast<std::uint64_t>(fx_max_raw(a, b)));
+}
+
+TEST(FixedPoint, NarrowWordKernelsExhaustiveAtSmallWidths) {
+  // Every (a, b) raw pair of a handful of tiny formats, both rounding
+  // modes — including F == 0 (pure integer, the truncate-instantiation
+  // special case) and I == 0 (everything near saturation).
+  for (const FixedFormat fmt :
+       {FixedFormat{1, 3}, FixedFormat{0, 4}, FixedFormat{4, 0}, FixedFormat{2, 2}}) {
+    const std::uint64_t max_raw = static_cast<std::uint64_t>(fmt.max_raw());
+    for (const auto mode : {RoundingMode::kNearestEven, RoundingMode::kTruncate}) {
+      for (std::uint64_t a = 0; a <= max_raw; ++a) {
+        for (std::uint64_t b = 0; b <= max_raw; ++b) {
+          expect_word_kernel_parity(fmt, mode, a, b);
+        }
+      }
+    }
+  }
+}
+
+TEST(FixedPoint, NarrowWordKernelsMatchWideAtBoundary) {
+  // Randomised words at the widest narrow formats (29/30 total bits,
+  // comfortable and saturating), plus the extreme corners — the regime
+  // where the u64 product uses all 60 bits.
+  Rng rng(59);
+  for (const FixedFormat fmt :
+       {FixedFormat{2, 27}, FixedFormat{2, 28}, FixedFormat{0, 30}, FixedFormat{30, 0}}) {
+    const std::uint64_t max_raw = static_cast<std::uint64_t>(fmt.max_raw());
+    for (const auto mode : {RoundingMode::kNearestEven, RoundingMode::kTruncate}) {
+      for (const std::uint64_t corner : {std::uint64_t{0}, std::uint64_t{1}, max_raw - 1,
+                                         max_raw}) {
+        expect_word_kernel_parity(fmt, mode, corner, max_raw);
+        expect_word_kernel_parity(fmt, mode, max_raw, corner);
+      }
+      for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t a =
+            static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<int>(max_raw)));
+        const std::uint64_t b =
+            static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<int>(max_raw)));
+        expect_word_kernel_parity(fmt, mode, a, b);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace problp::lowprec

@@ -215,6 +215,29 @@ TEST(Tape, LowPrecisionTapeParityIncludingFlags) {
   }
 }
 
+// Scoped PROBLP_SIMD override — the env hook the evaluators read at
+// construction (the same hook CI and operators use).  Restores the prior
+// value on exit so an externally forced level (PROBLP_SIMD=... ./tape_test)
+// still governs the rest of the suite.
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* prev = std::getenv("PROBLP_SIMD");
+    if (prev != nullptr) previous_ = prev;
+    setenv("PROBLP_SIMD", value, /*overwrite=*/1);
+  }
+  ~ScopedSimdEnv() {
+    if (previous_.has_value()) {
+      setenv("PROBLP_SIMD", previous_->c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("PROBLP_SIMD");
+    }
+  }
+
+ private:
+  std::optional<std::string> previous_;
+};
+
 TEST(Tape, BatchedLowPrecExhaustiveParity) {
   // The batched SoA raw-word engine's full parity matrix: fixed and float
   // formats (including overflow/underflow-raising ones) x rounding modes x
@@ -230,9 +253,9 @@ TEST(Tape, BatchedLowPrecExhaustiveParity) {
   const auto assignments = random_assignments(bin.circuit.cardinalities(), 512, 0.5, rng);
   const std::vector<std::size_t> batch_sizes = {1, 15, 16, 17, 512};
 
-  const auto check = [&](auto& batch_eval, const std::vector<LowPrecisionResult>& ref,
-                         const char* what) {
-    for (const std::size_t count : batch_sizes) {
+  const auto check_counts = [&](auto& batch_eval, const std::vector<LowPrecisionResult>& ref,
+                                const char* what, const std::vector<std::size_t>& counts) {
+    for (const std::size_t count : counts) {
       const std::vector<double>& roots = batch_eval.evaluate(assignments.data(), count);
       ASSERT_EQ(roots.size(), count);
       ASSERT_EQ(batch_eval.flags().size(), count);
@@ -252,6 +275,10 @@ TEST(Tape, BatchedLowPrecExhaustiveParity) {
       EXPECT_EQ(merged.underflow, want_merged.underflow);
       EXPECT_EQ(merged.invalid_input, want_merged.invalid_input);
     }
+  };
+  const auto check = [&](auto& batch_eval, const std::vector<LowPrecisionResult>& ref,
+                         const char* what) {
+    check_counts(batch_eval, ref, what, batch_sizes);
   };
 
   for (const auto mode :
@@ -287,6 +314,60 @@ TEST(Tape, BatchedLowPrecExhaustiveParity) {
         opts.num_threads = threads;
         FloatBatchEvaluator batch(tape, fmt, mode, opts);
         check(batch, ref, fmt.to_string().c_str());
+      }
+    }
+  }
+
+  // Narrow/wide boundary matrix: fixed widths straddling the u64
+  // eligibility cutoff (29/30 narrow, 31/32 wide), each at a comfortable
+  // and an overflow-saturating integer width, x rounding modes x every
+  // supported kernel ISA (via the PROBLP_SIMD env hook) x thread counts.
+  // Three engines per cell — the default (lane-parallel u64 for narrow
+  // formats), the forced-wide u128 schedule path and the u128 generic
+  // fold — must all match the per-query evaluator bitwise, values and
+  // per-query flags alike.
+  const std::vector<std::size_t> boundary_counts = {1, 17, 512};
+  for (const auto mode :
+       {lowprec::RoundingMode::kNearestEven, lowprec::RoundingMode::kTruncate}) {
+    for (const int total_bits : {29, 30, 31, 32}) {
+      for (const lowprec::FixedFormat fmt : {lowprec::FixedFormat{2, total_bits - 2},
+                                             lowprec::FixedFormat{0, total_bits}}) {
+        FixedTapeEvaluator single(tape, fmt, mode);
+        std::vector<LowPrecisionResult> ref;
+        ref.reserve(assignments.size());
+        for (const auto& a : assignments) ref.push_back(single.evaluate(a));
+        if (fmt.integer_bits == 0) {
+          // I = 0 cannot hold the indicator 1: the flag half of the parity
+          // check saturates for real.
+          ASSERT_TRUE(ref.front().flags.overflow);
+        }
+        const std::string what = fmt.to_string() +
+                                 (mode == lowprec::RoundingMode::kTruncate ? " trunc" : "");
+        for (const simd::Level level : simd::supported_levels()) {
+          ScopedSimdEnv env(simd::level_name(level));
+          for (const int threads : {1, 4}) {
+            BatchEvaluator::Options opts;
+            opts.num_threads = threads;
+
+            FixedBatchEvaluator dflt(tape, fmt, mode, opts);
+            EXPECT_EQ(dflt.narrow_datapath(), fmt.fits_narrow_word());
+            EXPECT_EQ(dflt.simd_level(), level);
+            check_counts(dflt, ref, (what + " default").c_str(), boundary_counts);
+
+            BatchEvaluator::Options wide_opts = opts;
+            wide_opts.force_wide_raw = true;
+            FixedBatchEvaluator wide(tape, fmt, mode, wide_opts);
+            EXPECT_FALSE(wide.narrow_datapath());
+            check_counts(wide, ref, (what + " wide").c_str(), boundary_counts);
+
+            BatchEvaluator::Options generic_opts = opts;
+            generic_opts.force_generic = true;
+            generic_opts.block = 16;
+            FixedBatchEvaluator generic(tape, fmt, mode, generic_opts);
+            EXPECT_FALSE(generic.narrow_datapath());
+            check_counts(generic, ref, (what + " generic").c_str(), boundary_counts);
+          }
+        }
       }
     }
   }
@@ -351,29 +432,6 @@ TEST(Tape, ContractViolationsRejected) {
                                  lowprec::RoundingMode::kNearestEven, mt);
   EXPECT_THROW(lowprec_mt.evaluate(poisoned), InvalidArgument);
 }
-
-// Scoped PROBLP_SIMD override — the env hook the evaluators read at
-// construction (the same hook CI and operators use).  Restores the prior
-// value on exit so an externally forced level (PROBLP_SIMD=... ./tape_test)
-// still governs the rest of the suite.
-class ScopedSimdEnv {
- public:
-  explicit ScopedSimdEnv(const char* value) {
-    const char* prev = std::getenv("PROBLP_SIMD");
-    if (prev != nullptr) previous_ = prev;
-    setenv("PROBLP_SIMD", value, /*overwrite=*/1);
-  }
-  ~ScopedSimdEnv() {
-    if (previous_.has_value()) {
-      setenv("PROBLP_SIMD", previous_->c_str(), /*overwrite=*/1);
-    } else {
-      unsetenv("PROBLP_SIMD");
-    }
-  }
-
- private:
-  std::optional<std::string> previous_;
-};
 
 TEST(KernelSchedule, SegmentsReplayTheOperatorScheduleExactly) {
   // Random circuits (mixed fanin), their binarised forms (pure fanin-2) and
@@ -487,9 +545,41 @@ TEST(Simd, AutoBlockSizeIsCacheAwareAndOverridable) {
   BatchEvaluator::Options explicit_block;
   explicit_block.block = 7;
   EXPECT_EQ(BatchEvaluator(tape, explicit_block).options().block, 7u);
+  // Narrow fixed formats size their blocks for the 8-byte u64 slots of the
+  // lane-parallel datapath; wide ones (and forced-wide) for the u128 slots.
   FixedBatchEvaluator lowprec_auto(tape, lowprec::FixedFormat{2, 10});
+  EXPECT_TRUE(lowprec_auto.narrow_datapath());
   EXPECT_EQ(lowprec_auto.options().block,
+            auto_block_size(tape.num_nodes(), sizeof(std::uint64_t)));
+  FixedBatchEvaluator lowprec_wide_auto(tape, lowprec::FixedFormat{2, 40});
+  EXPECT_FALSE(lowprec_wide_auto.narrow_datapath());
+  EXPECT_EQ(lowprec_wide_auto.options().block,
             auto_block_size(tape.num_nodes(), sizeof(u128)));
+}
+
+TEST(Tape, LowPrecEvaluatorValidatesFormatAtConstruction) {
+  // An unemulatable format must fail loudly when the evaluator is built —
+  // even through the raw-ops constructor that used to rely on the
+  // "operands <= 62 bits" comment in fx_mul_raw (whose u128 product would
+  // otherwise silently wrap).
+  Rng rng(43);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 4;
+  const Circuit circuit = compile::compile_network(bn::make_random_network(spec, rng));
+  const CircuitTape tape = CircuitTape::compile(circuit);
+
+  EXPECT_THROW(FixedBatchEvaluator(tape, lowprec::FixedFormat{2, 61}), InvalidArgument);
+  EXPECT_THROW(LowPrecBatchEvaluator<FixedRawOps>(
+                   tape, FixedRawOps{lowprec::FixedFormat{2, 61},
+                                     lowprec::RoundingMode::kNearestEven}),
+               InvalidArgument);
+  EXPECT_THROW(LowPrecBatchEvaluator<FloatRawOps>(
+                   tape, FloatRawOps{lowprec::FloatFormat{1, 4},
+                                     lowprec::RoundingMode::kNearestEven}),
+               InvalidArgument);
+  // The widest emulatable format still constructs (and is wide-path).
+  FixedBatchEvaluator widest(tape, lowprec::FixedFormat{2, 60});
+  EXPECT_FALSE(widest.narrow_datapath());
 }
 
 TEST(Simd, ForcedLevelParityMatrixExactAndLowPrec) {
