@@ -7,8 +7,10 @@
 // appends them to BENCH_eval.json) of the form
 //
 //   {"bench":"eval_throughput","circuit":"alarm","nodes":...,"edges":...,
-//    "batch":512,"threads":...,"isa":"avx512","lowprec_fixed_bits":24,
-//    "lowprec_datapath":"u64","interpreter_qps":...,
+//    "batch":512,"threads":...,"isa":"avx512","relayout":true,
+//    "slots":...,"max_live":...,"buffer_bytes_per_query":...,
+//    "lowprec_fixed_bits":24,
+//    "lowprec_datapath":"u32","interpreter_qps":...,
 //    "tape_qps":...,"batched_qps":...,"batched_mt_qps":...,"simd_qps":...,
 //    "session_qps":...,"session_batched_qps":...,"lowprec_qps":...,
 //    "lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
@@ -26,20 +28,37 @@
 // the worker count the *_mt rows actually ran with).  The low-precision rows
 // run the fixed format passed as `bench_eval_throughput [I F]` (default
 // 2 22, the 24-bit ALARM shape); `lowprec_fixed_bits` records its width and
-// `lowprec_datapath` whether the engine dispatched the lane-parallel u64
+// `lowprec_datapath` whether the engine dispatched the lane-parallel u32
 // narrow-word kernels (fits_narrow_word(), <= 30 bits) or the u128 wide
 // path — simd_lowprec_narrow_qps is that default-dispatch engine measured
-// directly, and a force_wide_raw control run pins u64-vs-u128 checksum
+// directly, and a force_wide_raw control run pins u32-vs-u128 checksum
 // equality in-process.  Acceptance for this engine generation: 24-bit
 // simd_lowprec_qps >= 3x the PR 4 ALARM/512 row.  Every engine is
 // bit-identical to the interpreter by construction, so the run fails loudly
 // on any checksum drift, and the checksums are printed so CI can diff a
 // PROBLP_SIMD=scalar run against auto dispatch — for a narrow and a wide
 // format alike, keeping both datapaths pinned.
+//
+// `relayout` records whether the kernel-schedule rows (simd_qps, the
+// sessions, the raw low-precision engines) ran on the liveness-compacted
+// tape layout (ac/tape_layout.hpp, the default) or the identity O(nodes)
+// layout (`--no-relayout`, the layout-ablation reference — CI diffs the two
+// rows' checksums).  `slots` is the exact simd engine's value-buffer rows
+// (max-live under relayout, nodes without), `max_live` the layout's
+// high-water mark regardless of engagement, and `buffer_bytes_per_query` =
+// slots * sizeof(double) — the exact sweep's working set per query lane.
+// The force_generic trajectory rows always run the identity layout.
+// `--circuits=alarm,synthetic_ve36` (alias `ve36`) selects which circuits
+// run; the default is both.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ac/tape_layout.hpp"
 #include "bench_common.hpp"
 #include "bn/random_network.hpp"
 #include "util/rng.hpp"
@@ -111,9 +130,15 @@ ac::BatchEvaluator::Options generic_options(int num_threads = 1) {
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                              const std::vector<ac::PartialAssignment>& assignments,
-                             double min_seconds, lowprec::FixedFormat lp_fmt) {
+                             double min_seconds, lowprec::FixedFormat lp_fmt, bool relayout) {
   const ac::CircuitTape tape = ac::CircuitTape::compile(circuit);
   const std::size_t batch_size = assignments.size();
+
+  // Every kernel-schedule engine below (the raw evaluators and the session
+  // defaults) runs under this switch; the force_generic trajectory rows are
+  // pinned to the identity layout regardless.
+  ac::BatchEvaluator::Options schedule_options;
+  schedule_options.relayout = relayout;
 
   // The checksums both guard parity and keep every sweep observable — no
   // DoNotOptimize on the accumulators (gcc 12's "+m,r" inline-asm constraint
@@ -149,8 +174,9 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   });
 
   // The specialised kernel schedule at its defaults: fanin-2 segments,
-  // cache-aware auto block, runtime ISA dispatch (PROBLP_SIMD honoured).
-  ac::BatchEvaluator simd_batched(tape);
+  // cache-aware auto block, runtime ISA dispatch (PROBLP_SIMD honoured),
+  // cache-shaped tape relayout unless --no-relayout.
+  ac::BatchEvaluator simd_batched(tape, schedule_options);
   double simd_checksum = 0.0;
   r.simd_qps = measure_qps(batch_size, min_seconds, [&] {
     simd_checksum = 0.0;
@@ -161,7 +187,9 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   // evaluates the given arena verbatim and the session defaults now run the
   // kernel-schedule backend, so session_batched must track simd_qps.
   const auto model = runtime::CompiledModel::wrap(circuit);
-  runtime::InferenceSession session(model);
+  runtime::SessionOptions session_options;
+  session_options.batch = schedule_options;
+  runtime::InferenceSession session(model, session_options);
   double session_checksum = 0.0;
   r.session_qps = measure_qps(batch_size, min_seconds, [&] {
     session_checksum = 0.0;
@@ -180,7 +208,7 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   // pre-batching serving path — batches the SoA raw-word engine in its
   // pre-schedule trajectory shape, single- and multi-threaded, plus the
   // specialised fanin-2 schedule at session defaults (simd_lowprec_qps —
-  // narrow formats ride the lane-parallel u64 datapath transparently).
+  // narrow formats ride the lane-parallel u32 datapath transparently).
   runtime::SessionOptions lp_options =
       runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
   lp_options.batch = generic_options();
@@ -207,8 +235,10 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
     for (const double v : lp_mt_session.marginal(assignments)) lp_mt_checksum += v;
   });
 
-  runtime::InferenceSession lp_simd_session(
-      model, runtime::SessionOptions::low_precision(Representation::of(lp_fmt)));
+  runtime::SessionOptions lp_simd_options =
+      runtime::SessionOptions::low_precision(Representation::of(lp_fmt));
+  lp_simd_options.batch = schedule_options;
+  runtime::InferenceSession lp_simd_session(model, lp_simd_options);
   double lp_simd_checksum = 0.0;
   r.simd_lowprec_qps = measure_qps(batch_size, min_seconds, [&] {
     lp_simd_checksum = 0.0;
@@ -216,19 +246,20 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   });
 
   // The datapath row, on the raw engine at defaults: narrow formats
-  // dispatch the lane-parallel u64 kernels, wide ones the u128 schedule
+  // dispatch the lane-parallel u32 kernels, wide ones the u128 schedule
   // path — `lowprec_datapath` records which this run measured.
-  ac::FixedBatchEvaluator narrow_eval(tape, lp_fmt);
+  ac::FixedBatchEvaluator narrow_eval(tape, lp_fmt, lowprec::RoundingMode::kNearestEven,
+                                      schedule_options);
   double lp_narrow_checksum = 0.0;
   r.simd_lowprec_narrow_qps = measure_qps(batch_size, min_seconds, [&] {
     lp_narrow_checksum = 0.0;
     for (const double v : narrow_eval.evaluate(assignments)) lp_narrow_checksum += v;
   });
 
-  // u64-vs-u128 parity pin: the same format forced onto the wide raw
+  // u32-vs-u128 parity pin: the same format forced onto the wide raw
   // datapath must reproduce the checksum bit for bit (one pass suffices —
   // the paths are bit-identical per query or broken).
-  ac::BatchEvaluator::Options wide_options;
+  ac::BatchEvaluator::Options wide_options = schedule_options;
   wide_options.force_wide_raw = true;
   ac::FixedBatchEvaluator wide_eval(tape, lp_fmt, lowprec::RoundingMode::kNearestEven,
                                     wide_options);
@@ -256,9 +287,12 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   }
 
   const ac::CircuitStats stats = circuit.stats();
+  const ac::TapeLayoutStats& layout_stats = tape.layout().stats();
   std::printf(
       "{\"bench\":\"eval_throughput\",\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
-      "\"batch\":%zu,\"threads\":%d,\"isa\":\"%s\",\"lowprec_fixed_bits\":%d,"
+      "\"batch\":%zu,\"threads\":%d,\"isa\":\"%s\",\"relayout\":%s,"
+      "\"slots\":%zu,\"max_live\":%zu,\"buffer_bytes_per_query\":%zu,"
+      "\"lowprec_fixed_bits\":%d,"
       "\"lowprec_datapath\":\"%s\",\"interpreter_qps\":%.0f,"
       "\"tape_qps\":%.0f,\"batched_qps\":%.0f,\"batched_mt_qps\":%.0f,\"simd_qps\":%.0f,"
       "\"session_qps\":%.0f,\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,"
@@ -269,8 +303,10 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
       "\"speedup_lowprec_batched\":%.2f,\"speedup_simd_lowprec\":%.2f,"
       "\"parity_checksum\":\"%.17g\",\"lowprec_parity_checksum\":\"%.17g\"}\n",
       name, stats.num_nodes, stats.num_edges, batch_size, batched_mt.options().num_threads,
-      ac::simd::level_name(simd_batched.simd_level()), lp_fmt.total_bits(),
-      narrow_eval.narrow_datapath() ? "u64" : "u128", r.interpreter_qps, r.tape_qps,
+      ac::simd::level_name(simd_batched.simd_level()), relayout ? "true" : "false",
+      simd_batched.num_rows(), layout_stats.max_live,
+      simd_batched.num_rows() * sizeof(double), lp_fmt.total_bits(),
+      narrow_eval.narrow_datapath() ? "u32" : "u128", r.interpreter_qps, r.tape_qps,
       r.batched_qps, r.batched_mt_qps, r.simd_qps, r.session_qps, r.session_batched_qps,
       r.lowprec_qps, r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.simd_lowprec_qps,
       r.simd_lowprec_narrow_qps, r.tape_qps / r.interpreter_qps,
@@ -280,17 +316,33 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   return r;
 }
 
-void run_all(double min_seconds, lowprec::FixedFormat lp_fmt) {
+// The single circuit list: every runnable circuit by canonical name (the
+// JSON `circuit` field), plus accepted aliases.  scripts/bench.sh and CI
+// select from this list via --circuits; adding a circuit here is the whole
+// registration.
+bool wants(const std::vector<std::string>& selected, const char* canonical,
+           const char* alias = nullptr) {
+  for (const std::string& s : selected) {
+    if (s == canonical || (alias != nullptr && s == alias)) return true;
+  }
+  return false;
+}
+
+void run_all(const std::vector<std::string>& circuits, double min_seconds,
+             lowprec::FixedFormat lp_fmt, bool relayout) {
+  bool ran_any = false;
   // ALARM: the paper's hardest benchmark, 512 sampled leaf-sensor evidence
   // sets (the acceptance setting asks for >= 256).
-  {
+  if (wants(circuits, "alarm")) {
     const datasets::Benchmark alarm = datasets::make_alarm_benchmark(1, 512);
     run_circuit("alarm", alarm.circuit, bench::to_assignments(alarm.test_evidence),
-                min_seconds, lp_fmt);
+                min_seconds, lp_fmt, relayout);
+    ran_any = true;
   }
   // Synthetic: a VE-compiled random 36-variable network — denser operators
-  // than ALARM's, exercising the tape on compiler-emitted shapes.
-  {
+  // than ALARM's, exercising the tape on compiler-emitted shapes.  This is
+  // the relayout showcase: a big tape with a small live frontier.
+  if (wants(circuits, "synthetic_ve36", "ve36")) {
     Rng rng(42);
     bn::RandomNetworkSpec spec;
     spec.num_variables = 36;
@@ -299,7 +351,15 @@ void run_all(double min_seconds, lowprec::FixedFormat lp_fmt) {
     const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
     const ac::Circuit circuit = compile::compile_network(network);
     run_circuit("synthetic_ve36", circuit,
-                sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds, lp_fmt);
+                sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds, lp_fmt,
+                relayout);
+    ran_any = true;
+  }
+  if (!ran_any) {
+    std::fprintf(stderr,
+                 "bench_eval_throughput: no known circuit in the --circuits list "
+                 "(known: alarm, synthetic_ve36/ve36)\n");
+    std::exit(2);
   }
 }
 
@@ -307,10 +367,10 @@ void run_all(double min_seconds, lowprec::FixedFormat lp_fmt) {
 }  // namespace problp
 
 int main(int argc, char** argv) {
-  // Optional override of the low-precision fixed format: `I F` (e.g. `2 30`
-  // for a 32-bit wide-datapath run; CI pins both datapaths this way).  A
-  // half-given or non-numeric format must fail loudly, never silently
-  // record a row for a format that was not requested.
+  // Flags first, then the optional positional fixed-format override `I F`
+  // (e.g. `2 30` for a 32-bit wide-datapath run; CI pins both datapaths
+  // this way).  A half-given or non-numeric format must fail loudly, never
+  // silently record a row for a format that was not requested.
   const auto parse_bits = [](const char* arg) {
     char* end = nullptr;
     const long v = std::strtol(arg, &end, 10);
@@ -322,15 +382,57 @@ int main(int argc, char** argv) {
     }
     return static_cast<int>(v);
   };
+
+  std::vector<std::string> circuits;
+  bool relayout = true;
+  double min_seconds = 0.25;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--min-seconds=", 14) == 0) {
+      // Longer windows average over scheduler/VM noise; the CI smoke keeps
+      // the fast default, trajectory-recording runs pass 1.0 or more.
+      char* end = nullptr;
+      min_seconds = std::strtod(arg + 14, &end);
+      if (end == arg + 14 || *end != '\0' || !(min_seconds > 0.0) || min_seconds > 60.0) {
+        std::fprintf(stderr, "bench_eval_throughput: bad --min-seconds value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--circuits=", 11) == 0) {
+      // Comma-separated canonical names or aliases; run_all rejects a list
+      // that matches nothing.
+      std::string item;
+      for (const char* p = arg + 11;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!item.empty()) circuits.push_back(item);
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+    } else if (std::strcmp(arg, "--no-relayout") == 0) {
+      relayout = false;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "bench_eval_throughput: unknown flag '%s'\n", arg);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (circuits.empty()) circuits = {"alarm", "synthetic_ve36"};
+
   problp::lowprec::FixedFormat lp_fmt{2, 22};
-  if (argc == 3) {
-    lp_fmt.integer_bits = parse_bits(argv[1]);
-    lp_fmt.fraction_bits = parse_bits(argv[2]);
-  } else if (argc != 1) {
-    std::fprintf(stderr, "usage: bench_eval_throughput [integer_bits fraction_bits]\n");
+  if (positional.size() == 2) {
+    lp_fmt.integer_bits = parse_bits(positional[0]);
+    lp_fmt.fraction_bits = parse_bits(positional[1]);
+  } else if (!positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_eval_throughput [--circuits=name,...] [--no-relayout] "
+                 "[--min-seconds=S] [integer_bits fraction_bits]\n");
     return 2;
   }
   lp_fmt.validate();
-  problp::run_all(0.25, lp_fmt);
+  problp::run_all(circuits, min_seconds, lp_fmt, relayout);
   return 0;
 }

@@ -7,19 +7,33 @@
 # dispatched `isa` and the actual `threads` the *_mt rows used (acceptance:
 # simd_qps >= 1.5x and simd_lowprec_qps >= 1.3x the PR 3 ALARM/512 rows),
 # the unified runtime's session_qps / session_batched_qps (acceptance:
-# session_batched tracks the schedule backend within 10%), and the emulated
+# session_batched tracks the schedule backend within 10%), the emulated
 # low-precision datapath's lowprec_qps / lowprec_batched_qps /
 # lowprec_batched_mt_qps (acceptance: speedup_lowprec_batched >= 2 over the
 # query-at-a-time session path), and the narrow-word datapath's
 # simd_lowprec_narrow_qps with lowprec_fixed_bits / lowprec_datapath
-# recording the measured format width and whether the lane-parallel u64
+# recording the measured format width and whether the lane-parallel u32
 # kernels or the wide u128 path were dispatched (acceptance: 24-bit
-# simd_lowprec_qps >= 3x the PR 4 ALARM/512 row).  Every engine pair is
-# parity-checked inside the bench — a checksum drift, including u64 vs u128
-# raw-datapath drift, exits non-zero before any line is appended — and the
-# parity_checksum fields let CI diff a PROBLP_SIMD=scalar run against auto
-# dispatch bit for bit, for a narrow and a wide format alike (the bench
-# takes an optional `I F` fixed-format override).
+# simd_lowprec_qps >= 3x the PR 4 ALARM/512 row).
+#
+# The cache-shaped tape relayout (ac/tape_layout.hpp) adds four fields:
+#   relayout                — whether the run used the slot-reuse layout
+#   slots                   — SoA value-buffer rows per block (max-live
+#                             under the relayout, num_nodes otherwise)
+#   max_live                — the layout's liveness bound (== slots when on)
+#   buffer_bytes_per_query  — slots * 8, the per-lane buffer footprint
+# The bench runs TWICE per invocation of this script — once with
+# --no-relayout, once with the default layout — and both rows are appended,
+# so every BENCH_eval.json generation carries its own layout-ablation
+# reference (acceptance: ve36/512 simd_qps and simd_lowprec_qps >= 2x their
+# relayout-off rows, ALARM within noise, checksums identical between rows).
+#
+# Every engine pair is parity-checked inside the bench — a checksum drift,
+# including u32 vs u128 raw-datapath drift, exits non-zero before any line
+# is appended — and the parity_checksum fields let CI diff a
+# PROBLP_SIMD=scalar run against auto dispatch bit for bit, and a relayout
+# run against --no-relayout, for a narrow and a wide format alike (the
+# bench takes an optional `I F` fixed-format override).
 #
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail
@@ -27,14 +41,25 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
+# One circuit list for both passes, so the ablation rows always pair up.
+circuits="alarm,synthetic_ve36"
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_eval_throughput
 
 out="$repo_root/BENCH_eval.json"
 # The bench prints one JSON object per circuit on stdout; keep only those.
-"$build_dir/bench/bench_eval_throughput" | grep '^{' | while IFS= read -r line; do
-  printf '%s\n' "$line" >> "$out"
+# Relayout-off first (the ablation reference), then the default layout.
+for flags in "--no-relayout" ""; do
+  # shellcheck disable=SC2086  # $flags is intentionally word-split
+  # --min-seconds=1: recorded trajectory rows average over a longer window
+  # than the CI smoke default, so single-run scheduler noise stays out of
+  # the on/off ratios.
+  "$build_dir/bench/bench_eval_throughput" --circuits="$circuits" --min-seconds=1 $flags |
+    grep '^{' | while IFS= read -r line; do
+      printf '%s\n' "$line" >> "$out"
+    done
 done
 
 echo "appended results to $out:"
-tail -n 2 "$out"
+tail -n 4 "$out"

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "ac/tape_layout.hpp"
+
 namespace problp::ac {
 
 void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
@@ -39,20 +41,26 @@ void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
   }
 }
 
-std::size_t auto_block_size(std::size_t num_nodes, std::size_t elem_bytes) {
+std::size_t auto_block_size(std::size_t num_rows, std::size_t elem_bytes, bool relayout,
+                            std::size_t min_block) {
   // kCacheTargetBytes for the SoA value buffer: a typical per-core L2.
   // Measured on the ALARM tape (3.3k nodes), the resulting 32-lane blocks
-  // beat both 16 and 64; circuits past the target are bandwidth-bound
+  // beat both 16 and 64; buffers past the target are bandwidth-bound
   // anyway and take the minimum block, which at least halves the old
   // hard-coded-16 working set.
+  // Under the relayout the buffer is compacted to max-live rows but the
+  // schedule's three i32 index streams are not; a 32-lane floor and the
+  // doubled target let big tapes amortise those streams (the measured ve36
+  // optimum — see kRelayoutCacheTargetBytes) instead of dropping to blocks
+  // where the index traffic dominates.
   // Multiples of 8 lanes keep every row of the 64-byte-aligned buffer
   // aligned at a vector boundary (8 doubles == one AVX-512 register).
   constexpr std::size_t kLaneMultiple = 8;
-  constexpr std::size_t kMinBlock = 8;
   constexpr std::size_t kMaxBlock = 64;
-  const std::size_t fit =
-      kCacheTargetBytes / std::max<std::size_t>(num_nodes * elem_bytes, 1);
-  return std::clamp(fit / kLaneMultiple * kLaneMultiple, kMinBlock, kMaxBlock);
+  const std::size_t target = relayout ? kRelayoutCacheTargetBytes : kCacheTargetBytes;
+  const std::size_t floor = std::max(min_block, relayout ? std::size_t{32} : std::size_t{8});
+  const std::size_t fit = target / std::max<std::size_t>(num_rows * elem_bytes, 1);
+  return std::clamp(fit / kLaneMultiple * kLaneMultiple, floor, kMaxBlock);
 }
 
 BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
@@ -61,15 +69,28 @@ BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
   if (options_.num_threads == 0) {
     options_.num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (options_.block == 0) {
-    options_.block = auto_block_size(tape.num_nodes(), sizeof(double));
-  }
   // Resolve the kernel ISA eagerly even when force_generic: a misspelled
   // PROBLP_SIMD or an unsupported forced level fails loudly at setup.
   level_ = options_.simd ? simd::dispatch_level(*options_.simd) : simd::dispatch_level();
+  rows_ = tape.num_nodes();
+  root_row_ = static_cast<std::size_t>(tape.root());
   if (!options_.force_generic) {
-    schedule_.emplace(KernelSchedule::compile(tape));
+    if (options_.relayout) {
+      const TapeLayout& layout = tape.layout();
+      schedule_.emplace(KernelSchedule::compile(tape, layout));
+      row_of_ = layout.slot_of().data();
+      rows_ = layout.num_slots();
+      root_row_ = static_cast<std::size_t>(
+          row_of_[static_cast<std::size_t>(tape.root())]);
+    } else {
+      schedule_.emplace(KernelSchedule::compile(tape));
+    }
     sweep_ = simd::exact_sweep(level_);
+  }
+  if (options_.block == 0) {
+    // Post-layout footprint: max-live rows under the relayout, so big
+    // circuits with a small live frontier regain wide cache-fitting blocks.
+    options_.block = auto_block_size(rows_, sizeof(double), relayout_engaged());
   }
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
 }
@@ -92,7 +113,12 @@ const std::vector<double>& BatchEvaluator::evaluate(const PartialAssignment* bat
 void BatchEvaluator::evaluate_range(const PartialAssignment* batch, std::size_t begin,
                                     std::size_t end, Workspace& ws) {
   const CircuitTape& tape = *tape_;
-  const std::size_t n = tape.num_nodes();
+  const std::size_t n = rows_;
+  const std::int32_t* row_of = row_of_;
+  const auto row = [row_of](NodeId id) {
+    return row_of == nullptr ? static_cast<std::size_t>(id)
+                             : static_cast<std::size_t>(row_of[static_cast<std::size_t>(id)]);
+  };
 
   // Shared-evidence hoist: batches often repeat one evidence template in
   // consecutive slots (coalesced conditional numerators, steady-state
@@ -110,27 +136,27 @@ void BatchEvaluator::evaluate_range(const PartialAssignment* batch, std::size_t 
     // operator rows are overwritten by the sweep and need no initialisation.
     const auto& base = tape.base_values();
     for (const NodeId id : tape.param_ids()) {
-      const std::size_t i = static_cast<std::size_t>(id);
-      std::fill(buf + i * w, buf + i * w + w, base[i]);
+      const std::size_t r = row(id);
+      std::fill(buf + r * w, buf + r * w + w, base[static_cast<std::size_t>(id)]);
     }
     for (const NodeId id : tape.indicator_ids()) {
-      const std::size_t i = static_cast<std::size_t>(id);
-      std::fill(buf + i * w, buf + i * w + w, 1.0);
+      const std::size_t r = row(id);
+      std::fill(buf + r * w, buf + r * w + w, 1.0);
     }
     for (std::size_t j = 0; j < w; ++j) {
       const PartialAssignment& a = batch[b0 + j];
       if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
       prev = &a;
-      tape.zero_contradicted(ws.observed, buf, w, j);
+      tape.zero_contradicted(ws.observed, buf, w, j, row_of);
     }
 
     if (sweep_ != nullptr) {
-      sweep_(tape, *schedule_, buf, w);
+      sweep_(*schedule_, buf, w);
     } else {
       generic_sweep(buf, w);
     }
 
-    const double* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
+    const double* root_row = buf + root_row_ * w;
     for (std::size_t j = 0; j < w; ++j) roots_[b0 + j] = root_row[j];
   }
 }

@@ -6,13 +6,17 @@
 // once per query; the BatchEvaluator instead sweeps the tape once per
 // *block* of queries over a structure-of-arrays value buffer:
 //
-//   buffer[node * W + j] = value of `node` under the j-th query of the block
+//   buffer[row * W + j] = value of a node's slot under the j-th block query
 //
-// so each operator's fold runs over W contiguous doubles, and the tape's CSR
-// arrays are traversed once per block instead of once per query.  Blocks are
-// auto-sized so the working set (num_nodes * W doubles) stays cache-resident
-// (see Options::block); buffers are 64-byte-aligned, owned by the evaluator
-// and reused across calls (zero allocation in steady state).
+// so each operator's fold runs over W contiguous doubles, and the schedule
+// is traversed once per block instead of once per query.  By default the
+// buffer holds the tape layout's num_slots() rows (Options::relayout: op
+// reordering + liveness-based slot reuse, ac/tape_layout.hpp) rather than
+// one row per node, so big circuits keep their live frontier — not the
+// whole circuit — in cache.  Blocks are auto-sized so the working set
+// (rows * W doubles) stays cache-resident (see Options::block); buffers are
+// 64-byte-aligned, owned by the evaluator and reused across calls (zero
+// allocation in steady state).
 //
 // Two sweep backends execute each block:
 //
@@ -61,13 +65,31 @@ void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
 /// + image still fit it together.
 inline constexpr std::size_t kCacheTargetBytes = 1024 * 1024;
 
-/// Cache-aware SoA block width for a tape of `num_nodes` nodes whose slots
-/// are `elem_bytes` wide: the largest lane count keeping the value buffer
-/// (num_nodes * block * elem_bytes) within kCacheTargetBytes, rounded to a
-/// multiple of the widest SIMD width (8 doubles) and clamped to [8, 64] —
-/// so small circuits amortise the tape traversal over wide blocks while big
-/// circuits (synthetic_ve36-sized) stop thrashing the cache.
-std::size_t auto_block_size(std::size_t num_nodes, std::size_t elem_bytes);
+/// auto_block_size's target under the slot-reuse relayout.  The compacted
+/// buffer shares the cache with the schedule's per-op index arrays (three
+/// i32 streams the identity layout also walks, but whose footprint the
+/// relayout does NOT shrink), so wide blocks that amortise the index stream
+/// beat strict buffer residency: measured on synthetic_ve36 the exact sweep
+/// peaks at block 32 (2.1x the identity row), which the 1 MiB target would
+/// round down past.
+inline constexpr std::size_t kRelayoutCacheTargetBytes = 2 * 1024 * 1024;
+
+/// Cache-aware SoA block width for a value buffer of `num_rows` rows whose
+/// slots are `elem_bytes` wide: the largest lane count keeping the buffer
+/// (num_rows * block * elem_bytes) within the cache target, rounded to a
+/// multiple of the widest SIMD width (8 doubles) and clamped to
+/// [min_block, 64] — so small circuits amortise the tape traversal over
+/// wide blocks while big circuits (synthetic_ve36-sized) stop thrashing the
+/// cache.  Callers pass the *post-layout* row count (max-live slots under
+/// Options::relayout, node count otherwise) and `relayout` for the engaged
+/// layout, which switches the target to kRelayoutCacheTargetBytes and the
+/// floor to 32: with the buffer compacted ~10x, blocks wide enough to
+/// amortise the schedule's index streams win over strict residency.
+/// `min_block` raises the floor further for datapaths whose kernels need
+/// fuller vectors (the u32 narrow engine passes 16 — at 8 lanes its
+/// half-filled vectors lose to the wide path).
+std::size_t auto_block_size(std::size_t num_rows, std::size_t elem_bytes,
+                            bool relayout = false, std::size_t min_block = 8);
 
 class BatchEvaluator {
  public:
@@ -81,8 +103,15 @@ class BatchEvaluator {
     /// Force the generic CSR fold instead of the specialised kernel
     /// schedule — the parity reference and the pre-SIMD trajectory baseline.
     bool force_generic = false;
+    /// Cache-shaped tape re-layout (ac/tape_layout.hpp): execute the
+    /// re-ordered operator schedule over a value buffer of max-live slots
+    /// instead of one row per node.  Bit-identical results either way; off
+    /// is the O(nodes) parity/trajectory reference.  Applies to the kernel
+    /// schedule backend only (force_generic always runs the identity
+    /// layout).
+    bool relayout = true;
     /// Low-precision engines only: keep the wide (u128) raw-word datapath
-    /// even for fixed formats narrow enough for the lane-parallel u64 path
+    /// even for fixed formats narrow enough for the lane-parallel u32 path
     /// (lowprec::FixedFormat::fits_narrow_word()) — the schedule-level
     /// parity reference for the narrow kernels.  Ignored by the exact
     /// engine; force_generic implies it.
@@ -108,10 +137,16 @@ class BatchEvaluator {
   const Options& options() const { return options_; }
   /// The dispatched kernel ISA (meaningful whenever !force_generic).
   simd::Level simd_level() const { return level_; }
+  /// Rows of the per-block SoA value buffer: the layout's num_slots() when
+  /// the relayout is engaged, num_nodes otherwise.
+  std::size_t num_rows() const { return rows_; }
+  /// Whether this evaluator runs the slot-reuse layout (relayout requested
+  /// AND the kernel-schedule backend selected).
+  bool relayout_engaged() const { return row_of_ != nullptr; }
 
  private:
   struct Workspace {
-    simd::AlignedBuffer<double> buffer;  ///< num_nodes * W structure-of-arrays values
+    simd::AlignedBuffer<double> buffer;  ///< rows * W structure-of-arrays values
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
   };
 
@@ -127,6 +162,9 @@ class BatchEvaluator {
   simd::Level level_ = simd::Level::kScalar;
   std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
   simd::ExactSweepFn sweep_ = nullptr;      ///< null when force_generic
+  const std::int32_t* row_of_ = nullptr;    ///< node id -> row; null = identity
+  std::size_t rows_ = 0;                    ///< value-buffer rows per block
+  std::size_t root_row_ = 0;                ///< row of the root under row_of_
   std::vector<Workspace> workspaces_;       ///< one per worker, reused across calls
   std::vector<double> roots_;
 };

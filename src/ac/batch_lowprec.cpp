@@ -5,6 +5,8 @@
 #include <thread>
 #include <type_traits>
 
+#include "ac/tape_layout.hpp"
+
 namespace problp::ac {
 
 namespace {
@@ -12,18 +14,24 @@ namespace {
 /// The per-node leaf scatter both datapaths and the image composer share:
 /// parameter rows from the quantised SoA cache, indicator rows at the
 /// quantised 1.  Operator rows are left untouched (the sweep overwrites
-/// them).
+/// them).  `row_of` remaps node ids to buffer rows; nullptr is the identity
+/// layout.
 template <class Slot>
 void scatter_leaf_rows(const CircuitTape& tape, Slot* buf, std::size_t w,
-                       const std::vector<Slot>& params, const Slot& one) {
+                       const std::vector<Slot>& params, const Slot& one,
+                       const std::int32_t* row_of) {
+  const auto row = [row_of](NodeId id) {
+    return row_of == nullptr ? static_cast<std::size_t>(id)
+                             : static_cast<std::size_t>(row_of[static_cast<std::size_t>(id)]);
+  };
   std::size_t pi = 0;
   for (const NodeId id : tape.param_ids()) {
-    const std::size_t i = static_cast<std::size_t>(id);
-    std::fill(buf + i * w, buf + i * w + w, params[pi++]);
+    const std::size_t r = row(id);
+    std::fill(buf + r * w, buf + r * w + w, params[pi++]);
   }
   for (const NodeId id : tape.indicator_ids()) {
-    const std::size_t i = static_cast<std::size_t>(id);
-    std::fill(buf + i * w, buf + i * w + w, one);
+    const std::size_t r = row(id);
+    std::fill(buf + r * w, buf + r * w + w, one);
   }
 }
 
@@ -44,24 +52,41 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
   // reject a bad PROBLP_SIMD or an unsupported forced level as loudly as
   // the exact engine does.
   level_ = options_.simd ? simd::dispatch_level(*options_.simd) : simd::dispatch_level();
-  if (!options_.force_generic) schedule_.emplace(KernelSchedule::compile(tape));
+  rows_ = tape.num_nodes();
+  root_row_ = static_cast<std::size_t>(tape.root());
+  if (!options_.force_generic) {
+    if (options_.relayout) {
+      const TapeLayout& layout = tape.layout();
+      schedule_.emplace(KernelSchedule::compile(tape, layout));
+      row_of_ = layout.slot_of().data();
+      rows_ = layout.num_slots();
+      root_row_ = static_cast<std::size_t>(row_of_[static_cast<std::size_t>(tape.root())]);
+    } else {
+      schedule_.emplace(KernelSchedule::compile(tape));
+    }
+  }
   if constexpr (RawOps::kNarrowCapable) {
-    // The lane-parallel u64 datapath: narrow formats under the schedule
+    // The lane-parallel u32 datapath: narrow formats under the schedule
     // backend, unless the caller pins the u128 reference path.
     narrow_ = schedule_.has_value() && !options_.force_wide_raw && ops_.narrow_eligible();
     if (narrow_) {
       narrow_sweep_ = simd::fixed_sweep(level_);
-      narrow_params_.max_raw = static_cast<std::uint64_t>(ops_.fmt.max_raw());
+      narrow_params_.max_raw = static_cast<std::uint32_t>(ops_.fmt.max_raw());
       narrow_params_.fraction_bits = ops_.fmt.fraction_bits;
       narrow_params_.half = ops_.fmt.fraction_bits > 0
-                                ? std::uint64_t{1} << (ops_.fmt.fraction_bits - 1)
+                                ? std::uint32_t{1} << (ops_.fmt.fraction_bits - 1)
                                 : 0;
       narrow_params_.mode = ops_.mode;
     }
   }
   if (options_.block == 0) {
-    options_.block =
-        auto_block_size(tape.num_nodes(), narrow_ ? sizeof(std::uint64_t) : sizeof(Raw));
+    // Post-layout footprint: max-live rows under the relayout, so big
+    // circuits with a small live frontier regain wide cache-fitting blocks.
+    // The u32 lanes floor the block at 16: at 8 lanes the wide vectors run
+    // half-filled and the narrow path loses to the u64-word arithmetic it
+    // replaced.
+    options_.block = auto_block_size(rows_, narrow_ ? sizeof(std::uint32_t) : sizeof(Raw),
+                                     row_of_ != nullptr, narrow_ ? 16 : 8);
   }
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
   // Same conversion set (and flag sink) as the per-query TapeEvaluator:
@@ -75,10 +100,10 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
       // Narrowing is lossless: every quantised word is saturated at
       // max_raw() < 2^30.  The wide cache is dead once narrowed — release
       // it rather than carrying u128 words for the evaluator's lifetime.
-      one_u64_ = static_cast<std::uint64_t>(one_);
-      zero_u64_ = static_cast<std::uint64_t>(zero_);
-      params_u64_.reserve(params_.size());
-      for (const Raw& r : params_) params_u64_.push_back(static_cast<std::uint64_t>(r));
+      one_u32_ = static_cast<std::uint32_t>(one_);
+      zero_u32_ = static_cast<std::uint32_t>(zero_);
+      params_u32_.reserve(params_.size());
+      for (const Raw& r : params_) params_u32_.push_back(static_cast<std::uint32_t>(r));
       params_.clear();
       params_.shrink_to_fit();
     }
@@ -98,18 +123,20 @@ void LowPrecBatchEvaluator<RawOps>::init_leaf_image() {
   // working set lose badly once the buffer alone is L2-sized (-21% on
   // ALARM/3.3k, whose image would add 848 KiB) — there the per-node scatter
   // writes only the leaf rows and reads nothing.
-  const std::size_t elem = narrow_ ? sizeof(std::uint64_t) : sizeof(Raw);
+  const std::size_t elem = narrow_ ? sizeof(std::uint32_t) : sizeof(Raw);
   const CircuitTape& tape = *tape_;
   const std::size_t w = options_.block;
-  use_leaf_image_ = 2 * tape.num_nodes() * w * elem <= kCacheTargetBytes;
+  // The election and the image are both sized to the post-layout rows, so
+  // under the relayout more tapes clear the residency bar, not fewer.
+  use_leaf_image_ = 2 * rows_ * w * elem <= kCacheTargetBytes;
   if (!use_leaf_image_) return;
   const auto compose = [&](auto& image, const auto& params, const auto& one) {
     using Slot = typename std::decay_t<decltype(image)>::value_type;
-    image.assign(tape.num_nodes() * w, Slot{});
-    scatter_leaf_rows(tape, image.data(), w, params, one);
+    image.assign(rows_ * w, Slot{});
+    scatter_leaf_rows(tape, image.data(), w, params, one, row_of_);
   };
   if (narrow_) {
-    compose(leaf_image_u64_, params_u64_, one_u64_);
+    compose(leaf_image_u32_, params_u32_, one_u32_);
   } else {
     compose(leaf_image_, params_, one_);
   }
@@ -151,7 +178,7 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
     }
   }
   const CircuitTape& tape = *tape_;
-  const std::size_t n = tape.num_nodes();
+  const std::size_t n = rows_;
 
   // Shared-evidence hoist, mirroring the exact engine: consecutive repeats
   // of one evidence template resolve once.
@@ -171,7 +198,7 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
     if (use_leaf_image_ && w == options_.block) {
       std::memcpy(buf, leaf_image_.data(), n * w * sizeof(Raw));
     } else {
-      scatter_leaf_rows(tape, buf, w, params_, one_);
+      scatter_leaf_rows(tape, buf, w, params_, one_, row_of_);
     }
     // Each column's sticky flags start from the conversion flags the cached
     // leaves would re-raise — the same fold the per-query evaluator applies.
@@ -180,7 +207,7 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
       qflags[j] = param_flags_;
       if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
       prev = &a;
-      tape.zero_contradicted(ws.observed, buf, w, j, zero_);
+      tape.zero_contradicted(ws.observed, buf, w, j, zero_, row_of_);
     }
 
     if (schedule_) {
@@ -189,7 +216,7 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
       generic_sweep(buf, qflags, w, 0, static_cast<std::uint32_t>(tape.op_ids().size()));
     }
 
-    const Raw* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
+    const Raw* root_row = buf + root_row_ * w;
     for (std::size_t j = 0; j < w; ++j) roots_[b0 + j] = ops_.widen(root_row[j]);
   }
 }
@@ -200,21 +227,21 @@ void LowPrecBatchEvaluator<RawOps>::narrow_evaluate_range(const PartialAssignmen
                                                           Workspace& ws) {
   if constexpr (RawOps::kNarrowCapable) {
     const CircuitTape& tape = *tape_;
-    const std::size_t n = tape.num_nodes();
+    const std::size_t n = rows_;
     const PartialAssignment* prev = nullptr;
 
     for (std::size_t b0 = begin; b0 < end; b0 += options_.block) {
       const std::size_t w = std::min(options_.block, end - b0);
       ws.narrow_buffer.resize(n * w);
       ws.overflow.resize(w);
-      std::uint64_t* buf = ws.narrow_buffer.data();
-      std::uint64_t* ovf = ws.overflow.data();
+      std::uint32_t* buf = ws.narrow_buffer.data();
+      std::uint32_t* ovf = ws.overflow.data();
       lowprec::ArithFlags* qflags = flags_.data() + b0;
 
       if (use_leaf_image_ && w == options_.block) {
-        std::memcpy(buf, leaf_image_u64_.data(), n * w * sizeof(std::uint64_t));
+        std::memcpy(buf, leaf_image_u32_.data(), n * w * sizeof(std::uint32_t));
       } else {
-        scatter_leaf_rows(tape, buf, w, params_u64_, one_u64_);
+        scatter_leaf_rows(tape, buf, w, params_u32_, one_u32_, row_of_);
       }
       std::fill(ovf, ovf + w, 0);
       for (std::size_t j = 0; j < w; ++j) {
@@ -222,15 +249,15 @@ void LowPrecBatchEvaluator<RawOps>::narrow_evaluate_range(const PartialAssignmen
         qflags[j] = param_flags_;
         if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
         prev = &a;
-        tape.zero_contradicted(ws.observed, buf, w, j, zero_u64_);
+        tape.zero_contradicted(ws.observed, buf, w, j, zero_u32_, row_of_);
       }
 
-      narrow_sweep_(tape, *schedule_, buf, ovf, w, narrow_params_);
+      narrow_sweep_(*schedule_, buf, ovf, w, narrow_params_);
 
       // OR-reduce the per-lane sticky masks into the per-column flags —
       // overflow is the only flag fixed-point arithmetic raises past
       // quantisation, so this equals the wide path's inline flag folds.
-      const std::uint64_t* root_row = buf + static_cast<std::size_t>(tape.root()) * w;
+      const std::uint32_t* root_row = buf + root_row_ * w;
       for (std::size_t j = 0; j < w; ++j) {
         qflags[j].overflow |= ovf[j] != 0;
         roots_[b0 + j] = lowprec::fx_raw_to_double(root_row[j], ops_.fmt);
@@ -253,7 +280,7 @@ void LowPrecBatchEvaluator<RawOps>::schedule_sweep(Raw* buf, lowprec::ArithFlags
   const std::int32_t* rhs_ids = schedule.rhs().data();
   for (const KernelSegment& seg : schedule.segments()) {
     if (seg.kind == KernelSegment::Kind::kGeneric) {
-      generic_sweep(buf, qflags, w, seg.begin, seg.end);
+      schedule_generic_run(buf, qflags, w, seg.begin, seg.end);
       continue;
     }
     // Fanin-2 runs: out = lhs OP rhs directly — no first-child copy, no CSR
@@ -286,6 +313,53 @@ void LowPrecBatchEvaluator<RawOps>::schedule_sweep(Raw* buf, lowprec::ArithFlags
         break;
       case KernelSegment::Kind::kGeneric:
         break;  // handled above
+    }
+  }
+}
+
+template <class RawOps>
+void LowPrecBatchEvaluator<RawOps>::schedule_generic_run(Raw* buf, lowprec::ArithFlags* qflags,
+                                                         std::size_t w, std::uint32_t gbegin,
+                                                         std::uint32_t gend) {
+  // Same CSR fold as generic_sweep, over the schedule's self-contained
+  // generic arrays — rows already renamed through the layout's slot table.
+  const KernelSchedule& schedule = *schedule_;
+  const NodeKind* kinds = schedule.gen_kinds().data();
+  const std::int32_t* gout = schedule.gen_out().data();
+  const std::int32_t* offsets = schedule.gen_offsets().data();
+  const std::int32_t* children = schedule.gen_children().data();
+
+  for (std::uint32_t g = gbegin; g < gend; ++g) {
+    const std::int32_t cb = offsets[g];
+    const std::int32_t ce = offsets[g + 1];
+    Raw* out = buf + static_cast<std::size_t>(gout[g]) * w;
+    const Raw* first =
+        buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+    std::copy(first, first + w, out);
+    switch (kinds[g]) {
+      case NodeKind::kSum:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.add(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      case NodeKind::kProd:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.mul(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      case NodeKind::kMax:
+        for (std::int32_t k = cb + 1; k < ce; ++k) {
+          const Raw* rhs =
+              buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
+          for (std::size_t j = 0; j < w; ++j) out[j] = ops_.max(out[j], rhs[j], qflags[j]);
+        }
+        break;
+      default:
+        break;  // leaves never appear in the schedule
     }
   }
 }

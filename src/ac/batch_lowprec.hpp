@@ -8,7 +8,12 @@
 // per query; this engine instead sweeps the tape once per *block* of queries
 // over a structure-of-arrays buffer of bare raw words:
 //
-//   buffer[node * W + j] = raw word of `node` under the j-th query of the block
+//   buffer[row * W + j] = raw word of a node's slot under the j-th block query
+//
+// where rows follow the cache-shaped tape layout when Options::relayout is
+// on (op reordering + liveness-based slot reuse, ac/tape_layout.hpp — the
+// buffer holds max-live rows, not one per node) and the identity node-id
+// layout otherwise.
 //
 // For fixed point a slot is the scaled-integer u128 word; for float it is
 // the (exp, sig) register pair — the same words the generated hardware
@@ -28,16 +33,18 @@
 // per-op kind branch — and only the non-binarised remainder walks the
 // generic fold.
 //
-// Fixed formats narrow enough that every intermediate closes over u64
-// (FixedFormat::fits_narrow_word(), total width <= 30 bits) additionally
-// ride the **lane-parallel narrow-word datapath**: the SoA block stores u64
-// raw words and the schedule executes through width-specialised fixed-point
-// lane kernels compiled into the same per-ISA translation units as the
-// exact sweep (ac/simd_sweep.hpp — same tag-type scheme, same
-// PROBLP_SIMD/cpuid dispatch), with per-lane sticky overflow masks
-// OR-reduced into the per-column flags after the sweep.  The u64 kernels
-// are bit-identical to the u128 ones by construction (same rounding
-// arithmetic, same saturation point, same flag stickiness; see
+// Fixed formats narrow enough that every stored word fits u32 and every
+// intermediate closes over u64 (FixedFormat::fits_narrow_word(), total
+// width <= 30 bits) additionally ride the **lane-parallel narrow-word
+// datapath**: the SoA block stores u32 raw words (half the buffer traffic
+// of the raw u64 layout, twice the lanes per vector register) and the
+// schedule executes through width-specialised fixed-point lane kernels
+// compiled into the same per-ISA translation units as the exact sweep
+// (ac/simd_sweep.hpp — same tag-type scheme, same PROBLP_SIMD/cpuid
+// dispatch), with per-lane sticky overflow masks OR-reduced into the
+// per-column flags after the sweep.  The u32 kernels are bit-identical to
+// the u128 ones by construction (same rounding arithmetic through the
+// exact u64 product, same saturation point, same flag stickiness; see
 // lowprec/fixed_point.hpp).  Wide formats — and the float datapath, whose
 // (exp, sig) renormalisation does not map onto vector lanes — keep the
 // lane-serial wide path, where the schedule is what ISA dispatch cannot buy
@@ -79,7 +86,7 @@ struct FixedRawOps {
   lowprec::RoundingMode mode;
 
   using Raw = u128;
-  /// Narrow formats may switch this policy's storage to u64 lanes.
+  /// Narrow formats may switch this policy's storage to u32 lanes.
   static constexpr bool kNarrowCapable = true;
 
   /// Fail an unemulatable format (total width > 62 bits would silently wrap
@@ -162,7 +169,7 @@ class LowPrecBatchEvaluator {
   const Options& options() const { return options_; }
   /// The dispatched kernel ISA (resolved at construction on both datapaths).
   simd::Level simd_level() const { return level_; }
-  /// Whether this evaluator runs the lane-parallel narrow-word (u64)
+  /// Whether this evaluator runs the lane-parallel narrow-word (u32)
   /// datapath — fixed formats with fits_narrow_word(), unless
   /// force_generic / force_wide_raw pins the u128 reference path.
   bool narrow_datapath() const { return narrow_; }
@@ -170,19 +177,25 @@ class LowPrecBatchEvaluator {
   /// memcpy) instead of the per-node scatter; elected at construction by
   /// cache residency (see init_leaf_image).
   bool uses_leaf_image() const { return use_leaf_image_; }
+  /// Rows of the per-block SoA buffer: the tape layout's num_slots() when
+  /// the relayout is engaged, num_nodes otherwise (see ac/tape_layout.hpp).
+  std::size_t num_rows() const { return rows_; }
+  /// Whether this evaluator runs the slot-reuse layout (Options::relayout
+  /// AND the kernel-schedule backend).
+  bool relayout_engaged() const { return row_of_ != nullptr; }
 
  private:
   struct Workspace {
-    simd::AlignedBuffer<Raw> buffer;     ///< num_nodes * W structure-of-arrays raw words
-    simd::AlignedBuffer<std::uint64_t> narrow_buffer;  ///< u64 rows (narrow datapath)
-    simd::AlignedBuffer<std::uint64_t> overflow;  ///< per-lane sticky overflow masks
+    simd::AlignedBuffer<Raw> buffer;     ///< rows * W structure-of-arrays raw words
+    simd::AlignedBuffer<std::uint32_t> narrow_buffer;  ///< u32 rows (narrow datapath)
+    simd::AlignedBuffer<std::uint32_t> overflow;  ///< per-lane sticky overflow masks
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
   };
 
   /// Evaluates batch[begin, end) into roots_/flags_[begin, end) using `ws`.
   void evaluate_range(const PartialAssignment* batch, std::size_t begin, std::size_t end,
                       Workspace& ws);
-  /// The narrow-word (u64) datapath twin of evaluate_range; compiled to a
+  /// The narrow-word (u32) datapath twin of evaluate_range; compiled to a
   /// no-op for raw-ops policies without a narrow datapath.
   void narrow_evaluate_range(const PartialAssignment* batch, std::size_t begin,
                              std::size_t end, Workspace& ws);
@@ -193,29 +206,36 @@ class LowPrecBatchEvaluator {
 
   /// The specialised fanin-2 schedule executor for one block.
   void schedule_sweep(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w);
-  /// The generic CSR fold for one block (force_generic, and the fallback
-  /// segments of the schedule path reuse its shape).
+  /// The generic CSR fold over tape op positions [pbegin, pend) — the
+  /// force_generic backend (identity rows, whole-tape range).
   void generic_sweep(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w, std::uint32_t pbegin,
                      std::uint32_t pend);
+  /// The generic fallback of the schedule path: folds the schedule's
+  /// self-contained (row-mapped) generic ops [gbegin, gend).
+  void schedule_generic_run(Raw* buf, lowprec::ArithFlags* qflags, std::size_t w,
+                            std::uint32_t gbegin, std::uint32_t gend);
 
   const CircuitTape* tape_;
   RawOps ops_;
   Options options_;
   simd::Level level_ = simd::Level::kScalar;
   std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
-  bool narrow_ = false;                     ///< u64 datapath engaged
+  const std::int32_t* row_of_ = nullptr;    ///< node id -> row; null = identity
+  std::size_t rows_ = 0;                    ///< SoA buffer rows per block
+  std::size_t root_row_ = 0;                ///< row of the root under row_of_
+  bool narrow_ = false;                     ///< u32 datapath engaged
   bool use_leaf_image_ = false;             ///< leaf-image block init elected
-  simd::FixedSweepFn narrow_sweep_ = nullptr;  ///< per-ISA u64 schedule executor
+  simd::FixedSweepFn narrow_sweep_ = nullptr;  ///< per-ISA u32 schedule executor
   simd::FixedSweepParams narrow_params_;       ///< precomputed format constants
   lowprec::ArithFlags param_flags_;  ///< conversion flags the cached leaves would raise
   Raw one_{};                        ///< quantised indicator 1
   Raw zero_{};                       ///< quantised indicator 0
   std::vector<Raw> params_;          ///< SoA leaf cache, aligned with tape.param_ids()
-  std::uint64_t one_u64_ = 0;        ///< narrow copies of the leaf constants
-  std::uint64_t zero_u64_ = 0;
-  std::vector<std::uint64_t> params_u64_;  ///< narrow leaf cache (lossless narrowing)
+  std::uint32_t one_u32_ = 0;        ///< narrow copies of the leaf constants
+  std::uint32_t zero_u32_ = 0;
+  std::vector<std::uint32_t> params_u32_;  ///< narrow leaf cache (lossless narrowing)
   std::vector<Raw> leaf_image_;            ///< precomposed block-shaped leaves (wide)
-  std::vector<std::uint64_t> leaf_image_u64_;  ///< same, narrow datapath
+  std::vector<std::uint32_t> leaf_image_u32_;  ///< same, narrow datapath
   std::vector<Workspace> workspaces_;  ///< one per worker, reused across calls
   std::vector<double> roots_;
   std::vector<lowprec::ArithFlags> flags_;

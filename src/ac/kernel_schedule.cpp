@@ -1,5 +1,7 @@
 #include "ac/kernel_schedule.hpp"
 
+#include "ac/tape_layout.hpp"
+
 namespace problp::ac {
 
 namespace {
@@ -20,15 +22,30 @@ KernelSegment::Kind fanin2_kind(NodeKind kind) {
 }  // namespace
 
 KernelSchedule KernelSchedule::compile(const CircuitTape& tape) {
+  return compile_impl(tape, nullptr);
+}
+
+KernelSchedule KernelSchedule::compile(const CircuitTape& tape, const TapeLayout& layout) {
+  return compile_impl(tape, &layout);
+}
+
+KernelSchedule KernelSchedule::compile_impl(const CircuitTape& tape, const TapeLayout* layout) {
   const auto& kinds = tape.kinds();
   const auto& offsets = tape.child_offsets();
   const auto& children = tape.children();
-  const auto& ops = tape.op_ids();
+  const auto& ops = layout != nullptr ? layout->op_order() : tape.op_ids();
+  const std::int32_t* slot_of = layout != nullptr ? layout->slot_of().data() : nullptr;
+  const auto row = [slot_of](NodeId id) {
+    return slot_of == nullptr ? static_cast<std::int32_t>(id)
+                              : slot_of[static_cast<std::size_t>(id)];
+  };
 
   KernelSchedule schedule;
+  schedule.num_rows_ = layout != nullptr ? layout->num_slots() : tape.num_nodes();
   schedule.out_.reserve(ops.size());
   schedule.lhs_.reserve(ops.size());
   schedule.rhs_.reserve(ops.size());
+  schedule.gen_offsets_.push_back(0);
 
   for (std::size_t p = 0; p < ops.size(); ++p) {
     const std::size_t i = static_cast<std::size_t>(ops[p]);
@@ -40,24 +57,27 @@ KernelSchedule KernelSchedule::compile(const CircuitTape& tape) {
 
     if (fanin2) {
       const std::uint32_t at = static_cast<std::uint32_t>(schedule.out_.size());
-      schedule.out_.push_back(static_cast<std::int32_t>(ops[p]));
-      schedule.lhs_.push_back(static_cast<std::int32_t>(children[static_cast<std::size_t>(cb)]));
-      schedule.rhs_.push_back(
-          static_cast<std::int32_t>(children[static_cast<std::size_t>(cb) + 1]));
+      schedule.out_.push_back(row(ops[p]));
+      schedule.lhs_.push_back(row(children[static_cast<std::size_t>(cb)]));
+      schedule.rhs_.push_back(row(children[static_cast<std::size_t>(cb) + 1]));
       if (!schedule.segments_.empty() && schedule.segments_.back().kind == kind) {
         ++schedule.segments_.back().end;
       } else {
         schedule.segments_.push_back(KernelSegment{kind, at, at + 1});
       }
     } else {
-      ++schedule.num_generic_ops_;
+      const std::uint32_t at = static_cast<std::uint32_t>(schedule.gen_kinds_.size());
+      schedule.gen_kinds_.push_back(kinds[i]);
+      schedule.gen_out_.push_back(row(ops[p]));
+      for (std::int32_t k = cb; k < ce; ++k) {
+        schedule.gen_children_.push_back(row(children[static_cast<std::size_t>(k)]));
+      }
+      schedule.gen_offsets_.push_back(static_cast<std::int32_t>(schedule.gen_children_.size()));
       if (!schedule.segments_.empty() &&
           schedule.segments_.back().kind == KernelSegment::Kind::kGeneric) {
         ++schedule.segments_.back().end;
       } else {
-        const std::uint32_t at = static_cast<std::uint32_t>(p);
-        schedule.segments_.push_back(
-            KernelSegment{KernelSegment::Kind::kGeneric, at, at + 1});
+        schedule.segments_.push_back(KernelSegment{KernelSegment::Kind::kGeneric, at, at + 1});
       }
     }
   }

@@ -10,21 +10,26 @@
 // two rows.
 //
 // A KernelSchedule is compiled once per tape and segments the operator
-// schedule (tape.op_ids(), in order) into
+// schedule into
 //
 //   * homogeneous fanin-2 runs: maximal runs of consecutive ops that all
 //     have exactly two children and the same kind (SUM / PROD / MAX).  Their
-//     output and child node ids are laid out flat in out()/lhs()/rhs(), so a
+//     output and child rows are laid out flat in out()/lhs()/rhs(), so a
 //     sweep executes the whole run in one straight-line loop with no CSR
 //     lookups, no first-child copy and no per-op kind branch — the shape the
 //     W-wide SIMD kernels specialise;
-//   * generic fallback runs: everything else (fanin != 2), kept as position
-//     ranges into tape.op_ids() and executed by the classic CSR fold.
+//   * generic fallback runs: everything else (fanin != 2), re-emitted as a
+//     self-contained flat CSR (gen_kinds()/gen_out()/gen_offsets()/
+//     gen_children()) so the sweeps never touch the tape at run time.
 //
-// Concatenating the segments in order replays exactly the original operator
-// schedule, so any sweep over the schedule is op-for-op identical to the
-// generic sweep — bit-identical results by construction, on the exact and
-// the raw-word low-precision engines alike.  See docs/evaluation.md.
+// The schedule is compiled either over the tape's arena operator order
+// (compile(tape) — rows are node ids, the O(nodes) identity layout) or over
+// a TapeLayout (compile(tape, layout) — the re-ordered op schedule with
+// every row renamed through the layout's slot table, so value buffers need
+// only layout.num_slots() rows).  Either way, concatenating the segments in
+// order replays a dependency-respecting operator schedule computing the
+// exact same per-op results — bit-identical by construction, on the exact
+// and the raw-word low-precision engines alike.  See docs/evaluation.md.
 #pragma once
 
 #include <cstdint>
@@ -34,12 +39,15 @@
 
 namespace problp::ac {
 
+class TapeLayout;
+
 /// One homogeneous run of the operator schedule.
 struct KernelSegment {
   enum class Kind : std::uint8_t { kSum2, kProd2, kMax2, kGeneric };
   Kind kind;
   /// For fanin-2 kinds: index range into out()/lhs()/rhs().  For kGeneric:
-  /// position range into tape.op_ids().
+  /// index range into the generic-op arrays gen_kinds()/gen_out()/
+  /// gen_offsets().
   std::uint32_t begin = 0;
   std::uint32_t end = 0;
 
@@ -48,30 +56,55 @@ struct KernelSegment {
 
 class KernelSchedule {
  public:
-  /// Segments `tape`'s operator schedule.  O(num ops); the result is
-  /// immutable and shareable across evaluators of the same tape.
+  /// Segments `tape`'s operator schedule in arena order; rows are node ids
+  /// (the identity layout — value buffers need num_nodes rows).
+  /// O(num ops); the result is immutable and shareable across evaluators.
   static KernelSchedule compile(const CircuitTape& tape);
+
+  /// Segments the re-ordered schedule `layout.op_order()` with every row
+  /// renamed through `layout.slot_of()`; value buffers need only
+  /// layout.num_slots() rows.  `layout` must be the layout of `tape`.
+  static KernelSchedule compile(const CircuitTape& tape, const TapeLayout& layout);
 
   const std::vector<KernelSegment>& segments() const { return segments_; }
 
-  /// Flat per-op node ids of every fanin-2 segment, concatenated in
-  /// schedule order: op i computes  out()[i] = lhs()[i] OP rhs()[i].
+  /// Flat per-op rows of every fanin-2 segment, concatenated in schedule
+  /// order: op i computes  out()[i] = lhs()[i] OP rhs()[i].
   const std::vector<std::int32_t>& out() const { return out_; }
   const std::vector<std::int32_t>& lhs() const { return lhs_; }
   const std::vector<std::int32_t>& rhs() const { return rhs_; }
 
+  /// Self-contained generic-op arrays, concatenated in schedule order:
+  /// generic op g of kind gen_kinds()[g] folds the child rows
+  /// gen_children()[gen_offsets()[g] .. gen_offsets()[g+1]) into row
+  /// gen_out()[g].
+  const std::vector<NodeKind>& gen_kinds() const { return gen_kinds_; }
+  const std::vector<std::int32_t>& gen_out() const { return gen_out_; }
+  const std::vector<std::int32_t>& gen_offsets() const { return gen_offsets_; }
+  const std::vector<std::int32_t>& gen_children() const { return gen_children_; }
+
   std::size_t num_fanin2_ops() const { return out_.size(); }
-  std::size_t num_generic_ops() const { return num_generic_ops_; }
+  std::size_t num_generic_ops() const { return gen_kinds_.size(); }
   std::size_t num_ops() const { return num_fanin2_ops() + num_generic_ops(); }
+
+  /// Rows a value buffer evaluated under this schedule must hold:
+  /// layout.num_slots() when compiled over a layout, num_nodes otherwise.
+  std::size_t num_rows() const { return num_rows_; }
 
  private:
   KernelSchedule() = default;
+
+  static KernelSchedule compile_impl(const CircuitTape& tape, const TapeLayout* layout);
 
   std::vector<KernelSegment> segments_;
   std::vector<std::int32_t> out_;
   std::vector<std::int32_t> lhs_;
   std::vector<std::int32_t> rhs_;
-  std::size_t num_generic_ops_ = 0;
+  std::vector<NodeKind> gen_kinds_;
+  std::vector<std::int32_t> gen_out_;
+  std::vector<std::int32_t> gen_offsets_;
+  std::vector<std::int32_t> gen_children_;
+  std::size_t num_rows_ = 0;
 };
 
 }  // namespace problp::ac

@@ -15,15 +15,13 @@ struct ScalarTag {};
 // The scalar level: lane-serial schedule executor at the build's baseline
 // ISA.  W = 1 keeps the inner loops genuinely scalar-shaped; whatever the
 // baseline autovectoriser does to them is bit-identical anyway.
-void exact_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                        std::size_t w) {
-  detail::run_exact_schedule<1, ScalarTag>(tape, schedule, buf, w);
+void exact_sweep_scalar(const KernelSchedule& schedule, double* buf, std::size_t w) {
+  detail::run_exact_schedule<1, ScalarTag>(schedule, buf, w);
 }
 
-void fixed_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule,
-                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                        const FixedSweepParams& params) {
-  detail::run_fixed_schedule<1, ScalarTag>(tape, schedule, buf, ovf, w, params);
+void fixed_sweep_scalar(const KernelSchedule& schedule, std::uint32_t* buf,
+                        std::uint32_t* ovf, std::size_t w, const FixedSweepParams& params) {
+  detail::run_fixed_schedule<1, ScalarTag>(schedule, buf, ovf, w, params);
 }
 
 }  // namespace
@@ -31,25 +29,19 @@ void fixed_sweep_scalar(const CircuitTape& tape, const KernelSchedule& schedule,
 // Defined in the per-ISA translation units (present only when the build
 // enables them; the PROBLP_SIMD_TU_* macros come from CMakeLists.txt).
 #ifdef PROBLP_SIMD_TU_AVX2
-void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                      std::size_t w);
-void fixed_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule,
-                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                      const FixedSweepParams& params);
+void exact_sweep_avx2(const KernelSchedule& schedule, double* buf, std::size_t w);
+void fixed_sweep_avx2(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
+                      std::size_t w, const FixedSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_AVX512
-void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                        std::size_t w);
-void fixed_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule,
-                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                        const FixedSweepParams& params);
+void exact_sweep_avx512(const KernelSchedule& schedule, double* buf, std::size_t w);
+void fixed_sweep_avx512(const KernelSchedule& schedule, std::uint32_t* buf,
+                        std::uint32_t* ovf, std::size_t w, const FixedSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_NEON
-void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                      std::size_t w);
-void fixed_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule,
-                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                      const FixedSweepParams& params);
+void exact_sweep_neon(const KernelSchedule& schedule, double* buf, std::size_t w);
+void fixed_sweep_neon(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
+                      std::size_t w, const FixedSweepParams& params);
 #endif
 
 const char* level_name(Level level) {

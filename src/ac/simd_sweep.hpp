@@ -65,35 +65,39 @@ Level dispatch_level();
 Level dispatch_level(Level forced);
 
 /// Executes the whole kernel schedule for one SoA block: buf holds
-/// tape.num_nodes() rows of `w` doubles each (leaf rows pre-initialised,
-/// evidence pre-applied); on return every operator row is computed.
-using ExactSweepFn = void (*)(const CircuitTape& tape, const KernelSchedule& schedule,
-                              double* buf, std::size_t w);
+/// schedule.num_rows() rows of `w` doubles each (leaf rows pre-initialised,
+/// evidence pre-applied); on return every operator row is computed.  The
+/// schedule is self-contained (fanin-2 and generic ops alike carry their
+/// rows), so the sweep never touches the tape.
+using ExactSweepFn = void (*)(const KernelSchedule& schedule, double* buf, std::size_t w);
 
 /// The exact-double schedule executor for `level`; never null for a
 /// supported level.
 ExactSweepFn exact_sweep(Level level);
 
-/// Precomputed per-format constants of the narrow-word (u64) fixed-point
+/// Precomputed per-format constants of the narrow-word (u32) fixed-point
 /// datapath — engaged by the batched low-precision engine when
-/// FixedFormat::fits_narrow_word() (total width <= 30 bits, so the exact
-/// product closes over u64; see lowprec/fixed_point.hpp).
+/// FixedFormat::fits_narrow_word() (total width <= 30 bits, so every stored
+/// word fits u32 and the exact product closes over u64; see
+/// lowprec/fixed_point.hpp).
 struct FixedSweepParams {
-  std::uint64_t max_raw = 0;  ///< saturation point, fmt.max_raw() (< 2^30)
-  std::uint64_t half = 0;     ///< nearest midpoint 2^(F-1); 0 when F == 0
+  std::uint32_t max_raw = 0;  ///< saturation point, fmt.max_raw() (< 2^30)
+  std::uint32_t half = 0;     ///< nearest midpoint 2^(F-1); 0 when F == 0
   int fraction_bits = 0;      ///< the multiply right-shift F
   lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven;
 };
 
 /// Executes the whole kernel schedule for one narrow fixed-point SoA block:
-/// buf holds tape.num_nodes() rows of `w` u64 raw words (leaf rows
-/// pre-initialised, evidence pre-applied).  `ovf` is one sticky per-lane
-/// overflow mask (nonzero when that column ever saturated), OR-accumulated
-/// by every add/mul; the caller folds `ovf[j] != 0` into the per-column
-/// ArithFlags — overflow is the only flag fixed-point arithmetic can raise
-/// past quantisation.
-using FixedSweepFn = void (*)(const CircuitTape& tape, const KernelSchedule& schedule,
-                              std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
+/// buf holds schedule.num_rows() rows of `w` u32 raw words (leaf rows
+/// pre-initialised, evidence pre-applied) — u32 lanes halve the buffer
+/// traffic of the former u64 storage and double the lanes per vector (16
+/// per AVX-512 register).  `ovf` is one sticky per-lane overflow mask
+/// (nonzero when that column ever saturated), OR-accumulated by every
+/// add/mul; the caller folds `ovf[j] != 0` into the per-column ArithFlags —
+/// overflow is the only flag fixed-point arithmetic can raise past
+/// quantisation.
+using FixedSweepFn = void (*)(const KernelSchedule& schedule, std::uint32_t* buf,
+                              std::uint32_t* ovf, std::size_t w,
                               const FixedSweepParams& params);
 
 /// The narrow fixed-point schedule executor for `level`; never null for a

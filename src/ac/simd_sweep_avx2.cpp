@@ -14,15 +14,14 @@ namespace {
 struct Avx2Tag {};
 }  // namespace
 
-void exact_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                      std::size_t w) {
-  detail::run_exact_schedule<4, Avx2Tag>(tape, schedule, buf, w);
+void exact_sweep_avx2(const KernelSchedule& schedule, double* buf, std::size_t w) {
+  detail::run_exact_schedule<4, Avx2Tag>(schedule, buf, w);
 }
 
-void fixed_sweep_avx2(const CircuitTape& tape, const KernelSchedule& schedule,
-                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                      const FixedSweepParams& params) {
-  detail::run_fixed_schedule<4, Avx2Tag>(tape, schedule, buf, ovf, w, params);
+// The u32 fixed-point lanes pack 8 per ymm — twice the exact sweep's W.
+void fixed_sweep_avx2(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
+                      std::size_t w, const FixedSweepParams& params) {
+  detail::run_fixed_schedule<8, Avx2Tag>(schedule, buf, ovf, w, params);
 }
 
 }  // namespace problp::ac::simd

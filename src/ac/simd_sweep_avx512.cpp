@@ -5,6 +5,8 @@
 // runtime dispatch in simd_sweep.cpp, which gates on cpuid.
 #ifdef PROBLP_SIMD_TU_AVX512
 
+#include <immintrin.h>
+
 #include "ac/simd_sweep_impl.hpp"
 
 namespace problp::ac::simd {
@@ -13,15 +15,100 @@ namespace {
 struct Avx512Tag {};
 }  // namespace
 
-void exact_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                        std::size_t w) {
-  detail::run_exact_schedule<8, Avx512Tag>(tape, schedule, buf, w);
+namespace detail {
+
+/// Hand-scheduled Prod2 run for the u32 fixed lanes (see the FixedMulRun
+/// primary template for why): one vpmuludq per 8-lane half — the operands
+/// are zero-extended, so the 32x32 low-half product IS the exact u64
+/// product — instead of GCC 12's three-multiply 64x64 lowering.  Each step
+/// replays lowprec::fx_mul_raw_u32 exactly: the same carry-bias
+/// nearest-even sum, vpmovusqd for the saturating u32 clamp of `kept`, and
+/// min + xor-OR for the saturation value and the sticky overflow mask, so
+/// the lanes stay bit-identical to the scalar kernel at every width.
+template <lowprec::RoundingMode Mode>
+struct FixedMulRun<16, Mode, Avx512Tag> {
+  static __m512i rounded(__m512i prod, __m128i shift, __m512i bias, __m512i one64) {
+    if constexpr (Mode == lowprec::RoundingMode::kNearestEven) {
+      const __m512i parity = _mm512_and_si512(_mm512_srl_epi64(prod, shift), one64);
+      return _mm512_srl_epi64(_mm512_add_epi64(_mm512_add_epi64(prod, bias), parity), shift);
+    } else {
+      return _mm512_srl_epi64(prod, shift);
+    }
+  }
+
+  /// 16 lanes of o[j..j+16) = sat(round(a * b)): loads before stores, so
+  /// `o` aliasing `a` (the accumulating generic fold) is well-defined.
+  struct Consts {
+    __m128i shift;
+    __m512i bias, one64, max32;
+  };
+  static Consts consts(const FixedSweepParams& p) {
+    // half - 1 is the nearest-even carry bias; half >= 1 whenever that
+    // instantiation runs (run_fixed_schedule routes F == 0 to kTruncate).
+    return {_mm_cvtsi32_si128(p.fraction_bits),
+            _mm512_set1_epi64(static_cast<long long>(p.half) - 1), _mm512_set1_epi64(1),
+            _mm512_set1_epi32(static_cast<int>(p.max_raw))};
+  }
+  static void chunk16(std::uint32_t* o, const std::uint32_t* a, const std::uint32_t* b,
+                      std::uint32_t* ovf, const Consts& c) {
+    const __m512i a_lo =
+        _mm512_cvtepu32_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)));
+    const __m512i b_lo =
+        _mm512_cvtepu32_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)));
+    const __m512i a_hi =
+        _mm512_cvtepu32_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 8)));
+    const __m512i b_hi =
+        _mm512_cvtepu32_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 8)));
+    const __m512i kept_lo = rounded(_mm512_mul_epu32(a_lo, b_lo), c.shift, c.bias, c.one64);
+    const __m512i kept_hi = rounded(_mm512_mul_epu32(a_hi, b_hi), c.shift, c.bias, c.one64);
+    const __m512i kept32 =
+        _mm512_inserti64x4(_mm512_castsi256_si512(_mm512_cvtusepi64_epi32(kept_lo)),
+                           _mm512_cvtusepi64_epi32(kept_hi), 1);
+    const __m512i sat = _mm512_min_epu32(kept32, c.max32);
+    _mm512_storeu_si512(o, sat);
+    const __m512i mask = _mm512_loadu_si512(ovf);
+    _mm512_storeu_si512(ovf, _mm512_or_si512(mask, _mm512_xor_si512(kept32, sat)));
+  }
+
+  static void run(const std::int32_t* out, const std::int32_t* lhs, const std::int32_t* rhs,
+                  std::size_t n, std::uint32_t* buf, std::uint32_t* __restrict ovf,
+                  std::size_t w, const FixedSweepParams& p) {
+    const Consts c = consts(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t* __restrict o = buf + static_cast<std::size_t>(out[i]) * w;
+      const std::uint32_t* a = buf + static_cast<std::size_t>(lhs[i]) * w;
+      const std::uint32_t* b = buf + static_cast<std::size_t>(rhs[i]) * w;
+      std::size_t j = 0;
+      for (; j + 16 <= w; j += 16) chunk16(o + j, a + j, b + j, ovf + j, c);
+      for (; j < w; ++j) {
+        o[j] = lowprec::fx_mul_raw_u32<Mode>(a[j], b[j], p.fraction_bits, p.half, p.max_raw,
+                                             ovf[j]);
+      }
+    }
+  }
+
+  static void fold(std::uint32_t* o, const std::uint32_t* rhs, std::uint32_t* __restrict ovf,
+                   std::size_t w, const FixedSweepParams& p) {
+    const Consts c = consts(p);
+    std::size_t j = 0;
+    for (; j + 16 <= w; j += 16) chunk16(o + j, o + j, rhs + j, ovf + j, c);
+    for (; j < w; ++j) {
+      o[j] = lowprec::fx_mul_raw_u32<Mode>(o[j], rhs[j], p.fraction_bits, p.half, p.max_raw,
+                                           ovf[j]);
+    }
+  }
+};
+
+}  // namespace detail
+
+void exact_sweep_avx512(const KernelSchedule& schedule, double* buf, std::size_t w) {
+  detail::run_exact_schedule<8, Avx512Tag>(schedule, buf, w);
 }
 
-void fixed_sweep_avx512(const CircuitTape& tape, const KernelSchedule& schedule,
-                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                        const FixedSweepParams& params) {
-  detail::run_fixed_schedule<8, Avx512Tag>(tape, schedule, buf, ovf, w, params);
+// The u32 fixed-point lanes pack 16 per zmm — twice the exact sweep's W.
+void fixed_sweep_avx512(const KernelSchedule& schedule, std::uint32_t* buf,
+                        std::uint32_t* ovf, std::size_t w, const FixedSweepParams& params) {
+  detail::run_fixed_schedule<16, Avx512Tag>(schedule, buf, ovf, w, params);
 }
 
 }  // namespace problp::ac::simd

@@ -35,7 +35,8 @@ struct MaxOp {
 
 /// One homogeneous fanin-2 run: out[i] = lhs[i] OP rhs[i], rows of w lanes.
 /// Output rows never alias input rows (children strictly precede parents in
-/// the tape), hence the restrict on the destination.
+/// the tape; under a TapeLayout the allocator never hands an op the slot of
+/// one of its own operands), hence the restrict on the destination.
 template <int W, class Op, class Tag>
 void fanin2_run(const std::int32_t* out, const std::int32_t* lhs, const std::int32_t* rhs,
                 std::size_t n, double* buf, std::size_t w) {
@@ -52,21 +53,20 @@ void fanin2_run(const std::int32_t* out, const std::int32_t* lhs, const std::int
 }
 
 /// One generic fallback run: the classic CSR fold (first-child copy, then
-/// one fold per remaining child) over op positions [pbegin, pend) of the
-/// tape's operator schedule — same shape as the pre-schedule engine, with
-/// the inner lane loops W-chunked.
+/// one fold per remaining child) over generic ops [gbegin, gend) of the
+/// schedule's self-contained generic arrays — same shape as the
+/// pre-schedule engine, with the inner lane loops W-chunked.
 template <int W, class Tag>
-void generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pend,
+void generic_run(const KernelSchedule& schedule, std::uint32_t gbegin, std::uint32_t gend,
                  double* buf, std::size_t w) {
-  const auto& kinds = tape.kinds();
-  const auto& offsets = tape.child_offsets();
-  const auto& children = tape.children();
-  const auto& ops = tape.op_ids();
-  for (std::uint32_t p = pbegin; p < pend; ++p) {
-    const std::size_t i = static_cast<std::size_t>(ops[p]);
-    const std::int32_t cb = offsets[i];
-    const std::int32_t ce = offsets[i + 1];
-    double* __restrict out = buf + i * w;
+  const NodeKind* kinds = schedule.gen_kinds().data();
+  const std::int32_t* gout = schedule.gen_out().data();
+  const std::int32_t* offsets = schedule.gen_offsets().data();
+  const std::int32_t* children = schedule.gen_children().data();
+  for (std::uint32_t g = gbegin; g < gend; ++g) {
+    const std::int32_t cb = offsets[g];
+    const std::int32_t ce = offsets[g + 1];
+    double* __restrict out = buf + static_cast<std::size_t>(gout[g]) * w;
     const double* first =
         buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
     std::memcpy(out, first, w * sizeof(double));
@@ -74,7 +74,7 @@ void generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pe
       const double* rhs =
           buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
       std::size_t j = 0;
-      switch (kinds[i]) {
+      switch (kinds[g]) {
         case NodeKind::kSum:
           for (; j + W <= w; j += W)
             for (int l = 0; l < W; ++l) out[j + l] += rhs[j + l];
@@ -93,7 +93,7 @@ void generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pe
           for (; j < w; ++j) out[j] = out[j] < rhs[j] ? rhs[j] : out[j];
           break;
         default:
-          break;  // leaves never appear in op_ids
+          break;  // leaves never appear in the schedule
       }
     }
   }
@@ -102,8 +102,7 @@ void generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pe
 /// The full schedule for one block: segments in order, fanin-2 runs through
 /// the specialised kernels, everything else through the CSR fold.
 template <int W, class Tag>
-void run_exact_schedule(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                        std::size_t w) {
+void run_exact_schedule(const KernelSchedule& schedule, double* buf, std::size_t w) {
   const std::int32_t* out = schedule.out().data();
   const std::int32_t* lhs = schedule.lhs().data();
   const std::int32_t* rhs = schedule.rhs().data();
@@ -122,24 +121,26 @@ void run_exact_schedule(const CircuitTape& tape, const KernelSchedule& schedule,
                                   seg.size(), buf, w);
         break;
       case KernelSegment::Kind::kGeneric:
-        generic_run<W, Tag>(tape, seg.begin, seg.end, buf, w);
+        generic_run<W, Tag>(schedule, seg.begin, seg.end, buf, w);
         break;
     }
   }
 }
 
 // ---- narrow-word fixed-point schedule --------------------------------------
-// The same executor shape over u64 raw words of one narrow fixed format
+// The same executor shape over u32 raw words of one narrow fixed format
 // (lowprec/fixed_point.hpp documents the eligibility rule and the per-word
-// kernels).  Unlike the double kernels, every op also feeds the per-lane
-// sticky overflow mask `ovf` — a second streaming array the vectoriser
-// handles like any other lane output.
+// kernels; saturated narrow words are < 2^30, so u32 storage is exact and
+// each vector register carries twice the lanes of the former u64 layout).
+// Unlike the double kernels, every op also feeds the per-lane sticky
+// overflow mask `ovf` — a second streaming array the vectoriser handles
+// like any other lane output.
 
 /// Saturating lane add: carries the format's saturation point.
 struct FxAddOp {
-  std::uint64_t max_raw;
-  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t& ovf) const {
-    return lowprec::fx_add_raw_u64(a, b, max_raw, ovf);
+  std::uint32_t max_raw;
+  std::uint32_t apply(std::uint32_t a, std::uint32_t b, std::uint32_t& ovf) const {
+    return lowprec::fx_add_raw_u32(a, b, max_raw, ovf);
   }
 };
 
@@ -148,32 +149,32 @@ struct FxAddOp {
 /// where a shift-0 truncation is the exact product).
 template <lowprec::RoundingMode Mode>
 struct FxMulOp {
-  std::uint64_t max_raw;
-  std::uint64_t half;
+  std::uint32_t max_raw;
+  std::uint32_t half;
   int fraction_bits;
-  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t& ovf) const {
-    return lowprec::fx_mul_raw_u64<Mode>(a, b, fraction_bits, half, max_raw, ovf);
+  std::uint32_t apply(std::uint32_t a, std::uint32_t b, std::uint32_t& ovf) const {
+    return lowprec::fx_mul_raw_u32<Mode>(a, b, fraction_bits, half, max_raw, ovf);
   }
 };
 
 /// Exact lane max (never overflows).
 struct FxMaxOp {
-  std::uint64_t apply(std::uint64_t a, std::uint64_t b, std::uint64_t&) const {
-    return lowprec::fx_max_raw_u64(a, b);
+  std::uint32_t apply(std::uint32_t a, std::uint32_t b, std::uint32_t&) const {
+    return lowprec::fx_max_raw_u32(a, b);
   }
 };
 
-/// One homogeneous fanin-2 run on narrow fixed-point rows of w u64 lanes.
+/// One homogeneous fanin-2 run on narrow fixed-point rows of w u32 lanes.
 /// Output rows never alias input rows (children strictly precede parents),
 /// and `ovf` is a separate accumulator array, hence the restricts.
 template <int W, class Op, class Tag>
 void fixed_fanin2_run(const std::int32_t* out, const std::int32_t* lhs,
-                      const std::int32_t* rhs, std::size_t n, std::uint64_t* buf,
-                      std::uint64_t* __restrict ovf, std::size_t w, const Op& op) {
+                      const std::int32_t* rhs, std::size_t n, std::uint32_t* buf,
+                      std::uint32_t* __restrict ovf, std::size_t w, const Op& op) {
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t* __restrict o = buf + static_cast<std::size_t>(out[i]) * w;
-    const std::uint64_t* a = buf + static_cast<std::size_t>(lhs[i]) * w;
-    const std::uint64_t* b = buf + static_cast<std::size_t>(rhs[i]) * w;
+    std::uint32_t* __restrict o = buf + static_cast<std::size_t>(out[i]) * w;
+    const std::uint32_t* a = buf + static_cast<std::size_t>(lhs[i]) * w;
+    const std::uint32_t* b = buf + static_cast<std::size_t>(rhs[i]) * w;
     std::size_t j = 0;
     for (; j + W <= w; j += W) {
       for (int l = 0; l < W; ++l) o[j + l] = op.apply(a[j + l], b[j + l], ovf[j + l]);
@@ -182,22 +183,52 @@ void fixed_fanin2_run(const std::int32_t* out, const std::int32_t* lhs,
   }
 }
 
-/// One generic fallback run on narrow fixed-point rows: the classic CSR fold
-/// over op positions [pbegin, pend) — first-child copy, then one fold per
-/// remaining child — with the same lane kernels, so values and overflow
-/// verdicts replay the wide generic fold exactly.
+/// The Prod2 run is a customisation point: the primary template is the
+/// generic autovectorised lane loop, but an ISA unit may specialise it for
+/// its Tag when the compiler's codegen for the widening u32*u32 product is
+/// poor (GCC 12 lowers it through a full 64x64 multiply — three vpmuludq
+/// plus cross-term shifts per half — because the zero high halves of the
+/// zero-extended operands are invisible to the vectoriser).  Any
+/// specialisation must replay lowprec::fx_mul_raw_u32 step for step so the
+/// lanes stay bit-identical to the scalar kernel.
 template <int W, lowprec::RoundingMode Mode, class Tag>
-void fixed_generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint32_t pend,
-                       std::uint64_t* buf, std::uint64_t* __restrict ovf, std::size_t w,
-                       const FixedSweepParams& p) {
+struct FixedMulRun {
+  static void run(const std::int32_t* out, const std::int32_t* lhs, const std::int32_t* rhs,
+                  std::size_t n, std::uint32_t* buf, std::uint32_t* __restrict ovf,
+                  std::size_t w, const FixedSweepParams& p) {
+    const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
+    fixed_fanin2_run<W, FxMulOp<Mode>, Tag>(out, lhs, rhs, n, buf, ovf, w, mul);
+  }
+
+  /// One accumulating product fold o[j] = o[j] * rhs[j] for the generic CSR
+  /// path — `o` intentionally not restrict-qualified against itself.
+  static void fold(std::uint32_t* o, const std::uint32_t* rhs, std::uint32_t* __restrict ovf,
+                   std::size_t w, const FixedSweepParams& p) {
+    const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) o[j + l] = mul.apply(o[j + l], rhs[j + l], ovf[j + l]);
+    }
+    for (; j < w; ++j) o[j] = mul.apply(o[j], rhs[j], ovf[j]);
+  }
+};
+
+/// One generic fallback run on narrow fixed-point rows: the classic CSR fold
+/// over generic ops [gbegin, gend) of the schedule's self-contained generic
+/// arrays — first-child copy, then one fold per remaining child — with the
+/// same lane kernels, so values and overflow verdicts replay the wide
+/// generic fold exactly.
+template <int W, lowprec::RoundingMode Mode, class Tag>
+void fixed_generic_run(const KernelSchedule& schedule, std::uint32_t gbegin,
+                       std::uint32_t gend, std::uint32_t* buf, std::uint32_t* __restrict ovf,
+                       std::size_t w, const FixedSweepParams& p) {
   const FxAddOp add{p.max_raw};
-  const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
   const FxMaxOp mx{};
-  const auto& kinds = tape.kinds();
-  const auto& offsets = tape.child_offsets();
-  const auto& children = tape.children();
-  const auto& ops = tape.op_ids();
-  const auto fold = [&](std::uint64_t* __restrict o, const std::uint64_t* rhs,
+  const NodeKind* kinds = schedule.gen_kinds().data();
+  const std::int32_t* gout = schedule.gen_out().data();
+  const std::int32_t* offsets = schedule.gen_offsets().data();
+  const std::int32_t* children = schedule.gen_children().data();
+  const auto fold = [&](std::uint32_t* __restrict o, const std::uint32_t* rhs,
                         const auto& op) {
     std::size_t j = 0;
     for (; j + W <= w; j += W) {
@@ -205,29 +236,28 @@ void fixed_generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint3
     }
     for (; j < w; ++j) o[j] = op.apply(o[j], rhs[j], ovf[j]);
   };
-  for (std::uint32_t pos = pbegin; pos < pend; ++pos) {
-    const std::size_t i = static_cast<std::size_t>(ops[pos]);
-    const std::int32_t cb = offsets[i];
-    const std::int32_t ce = offsets[i + 1];
-    std::uint64_t* __restrict out = buf + i * w;
-    const std::uint64_t* first =
+  for (std::uint32_t g = gbegin; g < gend; ++g) {
+    const std::int32_t cb = offsets[g];
+    const std::int32_t ce = offsets[g + 1];
+    std::uint32_t* __restrict out = buf + static_cast<std::size_t>(gout[g]) * w;
+    const std::uint32_t* first =
         buf + static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
-    std::memcpy(out, first, w * sizeof(std::uint64_t));
+    std::memcpy(out, first, w * sizeof(std::uint32_t));
     for (std::int32_t k = cb + 1; k < ce; ++k) {
-      const std::uint64_t* rhs =
+      const std::uint32_t* rhs =
           buf + static_cast<std::size_t>(children[static_cast<std::size_t>(k)]) * w;
-      switch (kinds[i]) {
+      switch (kinds[g]) {
         case NodeKind::kSum:
           fold(out, rhs, add);
           break;
         case NodeKind::kProd:
-          fold(out, rhs, mul);
+          FixedMulRun<W, Mode, Tag>::fold(out, rhs, ovf, w, p);
           break;
         case NodeKind::kMax:
           fold(out, rhs, mx);
           break;
         default:
-          break;  // leaves never appear in op_ids
+          break;  // leaves never appear in the schedule
       }
     }
   }
@@ -236,14 +266,12 @@ void fixed_generic_run(const CircuitTape& tape, std::uint32_t pbegin, std::uint3
 /// The full narrow fixed-point schedule for one block, at one rounding
 /// instantiation.
 template <int W, lowprec::RoundingMode Mode, class Tag>
-void run_fixed_schedule_mode(const CircuitTape& tape, const KernelSchedule& schedule,
-                             std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                             const FixedSweepParams& p) {
+void run_fixed_schedule_mode(const KernelSchedule& schedule, std::uint32_t* buf,
+                             std::uint32_t* ovf, std::size_t w, const FixedSweepParams& p) {
   const std::int32_t* out = schedule.out().data();
   const std::int32_t* lhs = schedule.lhs().data();
   const std::int32_t* rhs = schedule.rhs().data();
   const FxAddOp add{p.max_raw};
-  const FxMulOp<Mode> mul{p.max_raw, p.half, p.fraction_bits};
   const FxMaxOp mx{};
   for (const KernelSegment& seg : schedule.segments()) {
     switch (seg.kind) {
@@ -252,15 +280,15 @@ void run_fixed_schedule_mode(const CircuitTape& tape, const KernelSchedule& sche
                                           seg.size(), buf, ovf, w, add);
         break;
       case KernelSegment::Kind::kProd2:
-        fixed_fanin2_run<W, FxMulOp<Mode>, Tag>(out + seg.begin, lhs + seg.begin,
-                                                rhs + seg.begin, seg.size(), buf, ovf, w, mul);
+        FixedMulRun<W, Mode, Tag>::run(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
+                                       seg.size(), buf, ovf, w, p);
         break;
       case KernelSegment::Kind::kMax2:
         fixed_fanin2_run<W, FxMaxOp, Tag>(out + seg.begin, lhs + seg.begin, rhs + seg.begin,
                                           seg.size(), buf, ovf, w, mx);
         break;
       case KernelSegment::Kind::kGeneric:
-        fixed_generic_run<W, Mode, Tag>(tape, seg.begin, seg.end, buf, ovf, w, p);
+        fixed_generic_run<W, Mode, Tag>(schedule, seg.begin, seg.end, buf, ovf, w, p);
         break;
     }
   }
@@ -271,15 +299,14 @@ void run_fixed_schedule_mode(const CircuitTape& tape, const KernelSchedule& sche
 /// the exact product (round_shift_right with shift <= 0), while the nearest
 /// tie-break would misfire on rem == half == 0.
 template <int W, class Tag>
-void run_fixed_schedule(const CircuitTape& tape, const KernelSchedule& schedule,
-                        std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                        const FixedSweepParams& p) {
+void run_fixed_schedule(const KernelSchedule& schedule, std::uint32_t* buf,
+                        std::uint32_t* ovf, std::size_t w, const FixedSweepParams& p) {
   if (p.mode == lowprec::RoundingMode::kNearestEven && p.fraction_bits > 0) {
-    run_fixed_schedule_mode<W, lowprec::RoundingMode::kNearestEven, Tag>(tape, schedule, buf,
-                                                                         ovf, w, p);
+    run_fixed_schedule_mode<W, lowprec::RoundingMode::kNearestEven, Tag>(schedule, buf, ovf,
+                                                                         w, p);
   } else {
-    run_fixed_schedule_mode<W, lowprec::RoundingMode::kTruncate, Tag>(tape, schedule, buf,
-                                                                      ovf, w, p);
+    run_fixed_schedule_mode<W, lowprec::RoundingMode::kTruncate, Tag>(schedule, buf, ovf, w,
+                                                                      p);
   }
 }
 

@@ -11,15 +11,15 @@ namespace {
 struct NeonTag {};
 }  // namespace
 
-void exact_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule, double* buf,
-                      std::size_t w) {
-  detail::run_exact_schedule<2, NeonTag>(tape, schedule, buf, w);
+void exact_sweep_neon(const KernelSchedule& schedule, double* buf, std::size_t w) {
+  detail::run_exact_schedule<2, NeonTag>(schedule, buf, w);
 }
 
-void fixed_sweep_neon(const CircuitTape& tape, const KernelSchedule& schedule,
-                      std::uint64_t* buf, std::uint64_t* ovf, std::size_t w,
-                      const FixedSweepParams& params) {
-  detail::run_fixed_schedule<2, NeonTag>(tape, schedule, buf, ovf, w, params);
+// The u32 fixed-point lanes pack 4 per 128-bit vector — twice the exact
+// sweep's W.
+void fixed_sweep_neon(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
+                      std::size_t w, const FixedSweepParams& params) {
+  detail::run_fixed_schedule<4, NeonTag>(schedule, buf, ovf, w, params);
 }
 
 }  // namespace problp::ac::simd

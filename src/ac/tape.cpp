@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ac/tape_layout.hpp"
+
 namespace problp::ac {
 
 CircuitTape CircuitTape::compile(const Circuit& circuit) {
@@ -70,6 +72,7 @@ CircuitTape CircuitTape::compile(const Circuit& circuit) {
     tape.child_offsets_[i + 1] =
         tape.child_offsets_[i] + static_cast<std::int32_t>(node.children.size());
   }
+  tape.layout_ = std::make_shared<const TapeLayout>(TapeLayout::compile(tape));
   return tape;
 }
 

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "ac/evaluator.hpp"
 
 namespace problp::ac {
+
+class TapeLayout;
 
 class CircuitTape {
  public:
@@ -78,9 +81,12 @@ class CircuitTape {
   /// (stride 1 == the single-query layout; column `column` of a batched
   /// buffer otherwise).  Generic over the slot type so the exact double
   /// engine and the raw-word low-precision engine share one walk.
+  /// `row_of` remaps node ids to buffer rows (the tape-layout slot table);
+  /// nullptr is the identity O(nodes) layout.
   template <class T>
   void zero_contradicted(const std::vector<std::int32_t>& observed, T* values,
-                         std::size_t stride, std::size_t column, const T& zero) const {
+                         std::size_t stride, std::size_t column, const T& zero,
+                         const std::int32_t* row_of = nullptr) const {
     for (std::size_t v = 0; v < observed.size(); ++v) {
       const std::int32_t obs = observed[v];
       if (obs < 0) continue;
@@ -88,15 +94,20 @@ class CircuitTape {
       for (int s = 0; s < card; ++s) {
         if (s == obs) continue;
         const NodeId id = indicator_index_[static_cast<std::size_t>(var_offsets_[v] + s)];
-        if (id != kInvalidNode) values[static_cast<std::size_t>(id) * stride + column] = zero;
+        if (id == kInvalidNode) continue;
+        const std::size_t row =
+            row_of == nullptr ? static_cast<std::size_t>(id)
+                              : static_cast<std::size_t>(row_of[static_cast<std::size_t>(id)]);
+        values[row * stride + column] = zero;
       }
     }
   }
 
   /// Double shorthand for the exact engines.
   void zero_contradicted(const std::vector<std::int32_t>& observed, double* values,
-                         std::size_t stride, std::size_t column) const {
-    zero_contradicted(observed, values, stride, column, 0.0);
+                         std::size_t stride, std::size_t column,
+                         const std::int32_t* row_of = nullptr) const {
+    zero_contradicted(observed, values, stride, column, 0.0, row_of);
   }
 
   /// Double fast path: values of all nodes into `values` (capacity reused
@@ -106,6 +117,11 @@ class CircuitTape {
 
   /// Double fast path, root value only (`values` is scratch, reused).
   double evaluate(const PartialAssignment& assignment, std::vector<double>& values) const;
+
+  /// The cache-shaped layout of this tape (op reordering + slot reuse),
+  /// computed eagerly by compile() and shared by every batched evaluator.
+  /// Engines opt in via Options::relayout; see ac/tape_layout.hpp.
+  const TapeLayout& layout() const { return *layout_; }
 
  private:
   CircuitTape() = default;
@@ -125,6 +141,7 @@ class CircuitTape {
   std::vector<NodeId> indicator_index_;     ///< (var, state) -> NodeId or kInvalidNode
   NodeId root_ = kInvalidNode;
   std::vector<int> cardinalities_;
+  std::shared_ptr<const TapeLayout> layout_;  ///< shared: CircuitTape is copyable
 };
 
 /// Generic forward sweep over a tape.  Same Ops contract as evaluate_all;

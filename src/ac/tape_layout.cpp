@@ -1,0 +1,299 @@
+#include "ac/tape_layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace problp::ac {
+
+namespace {
+
+/// Operator classes the kernel schedule segments by (ac/kernel_schedule.hpp):
+/// homogeneous fanin-2 SUM/PROD/MAX runs, everything else generic.
+enum KindClass : int { kClassSum2 = 0, kClassProd2, kClassMax2, kClassGeneric, kNumClasses };
+
+int kind_class(NodeKind kind, std::int32_t fanin) {
+  if (fanin != 2) return kClassGeneric;
+  switch (kind) {
+    case NodeKind::kSum:
+      return kClassSum2;
+    case NodeKind::kProd:
+      return kClassProd2;
+    case NodeKind::kMax:
+      return kClassMax2;
+    default:
+      return kClassGeneric;  // leaves never appear in op schedules
+  }
+}
+
+/// How far past the most-urgent ready op the scheduler may reach to extend
+/// the current homogeneous run.  0 reproduces pure DFS priority order — best
+/// liveness but the shortest runs (45k segments on the 96k-op synthetic VE
+/// tape, i.e. the per-segment dispatch overhead on every other op); unbounded
+/// drags whole layers of one kind together and blows max-live back toward the
+/// identity layout's footprint (46 segments but 23.8k slots on the same
+/// tape).  1024 sits on the measured knee: 1.2k segments at 9.9k slots — run
+/// lengths long enough to amortise the fanin-2 kernel set-up while the live
+/// frontier stays within ~2% of the liveness-optimal 9.7k.  Scaled down with
+/// the op count (num_ops / 8) so small tapes — cache-resident at any layout,
+/// with too few segments for dispatch overhead to matter — keep the tight
+/// liveness schedule instead of dragging whole layers together.
+constexpr std::int32_t kKindWindow = 1024;
+
+double mean_reuse_distance(const CircuitTape& tape, const std::vector<std::int32_t>& pos_of) {
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  double total = 0.0;
+  std::size_t edges = 0;
+  for (const NodeId id : tape.op_ids()) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    for (std::int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const NodeId c = children[static_cast<std::size_t>(k)];
+      if (pos_of[static_cast<std::size_t>(c)] < 0) continue;  // leaf operand
+      total += pos_of[static_cast<std::size_t>(i)] - pos_of[static_cast<std::size_t>(c)];
+      ++edges;
+    }
+  }
+  return edges == 0 ? 0.0 : total / static_cast<double>(edges);
+}
+
+/// Fanin-2 run statistics of one operator order: run count and a log2
+/// run-length histogram (runs break on kind changes and on generic ops).
+void fanin2_runs(const CircuitTape& tape, const std::vector<NodeId>& order,
+                 std::size_t& num_runs, std::vector<std::size_t>* hist) {
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  num_runs = 0;
+  int prev_class = kClassGeneric;
+  std::size_t run_len = 0;
+  const auto flush = [&] {
+    if (run_len == 0) return;
+    ++num_runs;
+    if (hist != nullptr) {
+      std::size_t bucket = 0;
+      while ((std::size_t{2} << bucket) <= run_len) ++bucket;
+      if (hist->size() <= bucket) hist->resize(bucket + 1, 0);
+      ++(*hist)[bucket];
+    }
+    run_len = 0;
+  };
+  for (const NodeId id : order) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    const int cls = kind_class(kinds[i], offsets[i + 1] - offsets[i]);
+    if (cls == kClassGeneric) {
+      flush();
+      prev_class = kClassGeneric;
+      continue;
+    }
+    if (cls != prev_class) flush();
+    ++run_len;
+    prev_class = cls;
+  }
+  flush();
+}
+
+}  // namespace
+
+TapeLayout TapeLayout::compile(const CircuitTape& tape) {
+  const auto& kinds = tape.kinds();
+  const auto& offsets = tape.child_offsets();
+  const auto& children = tape.children();
+  const auto& ops = tape.op_ids();
+  const std::size_t n = tape.num_nodes();
+  const std::size_t num_ops = ops.size();
+
+  TapeLayout layout;
+  layout.op_order_.reserve(num_ops);
+  layout.slot_of_.assign(n, -1);
+
+  // Node -> position in the original operator schedule (-1 for leaves).
+  std::vector<std::int32_t> orig_pos(n, -1);
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    orig_pos[static_cast<std::size_t>(ops[p])] = static_cast<std::int32_t>(p);
+  }
+
+  // ---- (a) DFS priorities ---------------------------------------------------
+  // Postorder from the root, visiting children in stored (fold) order:
+  // scheduling ready ops by ascending priority reproduces this postorder,
+  // which keeps each operand's consumers close behind its producer.
+  // Ops the root never reaches still execute (the generic engines run the
+  // whole schedule, and their sticky flags are observable) — they get
+  // trailing priorities in arena order.
+  std::vector<std::int32_t> prio(num_ops, -1);  // indexed by original position
+  std::int32_t next_prio = 0;
+  if (orig_pos[static_cast<std::size_t>(tape.root())] >= 0) {
+    // Iterative postorder; `cursor` is the next child edge to descend into.
+    std::vector<std::pair<NodeId, std::int32_t>> stack;
+    stack.emplace_back(tape.root(), 0);
+    while (!stack.empty()) {
+      auto& [id, cursor] = stack.back();
+      const std::size_t i = static_cast<std::size_t>(id);
+      if (cursor == 0 && prio[static_cast<std::size_t>(orig_pos[i])] >= 0) {
+        stack.pop_back();  // already numbered via another parent
+        continue;
+      }
+      bool descended = false;
+      while (cursor < offsets[i + 1] - offsets[i]) {
+        const NodeId c = children[static_cast<std::size_t>(offsets[i] + cursor)];
+        ++cursor;
+        const std::int32_t cp = orig_pos[static_cast<std::size_t>(c)];
+        if (cp >= 0 && prio[static_cast<std::size_t>(cp)] < 0) {
+          stack.emplace_back(c, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      prio[static_cast<std::size_t>(orig_pos[i])] = next_prio++;
+      stack.pop_back();
+    }
+  }
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    if (prio[p] < 0) prio[p] = next_prio++;
+  }
+
+  // ---- (b) list scheduling with a bounded same-kind preference --------------
+  // Dependency counts over operand occurrences (duplicate children count
+  // twice and are released twice — only the total matters) and a CSR of
+  // op -> consuming-op edges for the release walk.
+  std::vector<std::int32_t> pending(num_ops, 0);
+  std::vector<std::int32_t> consumer_offsets(num_ops + 1, 0);
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    const std::size_t i = static_cast<std::size_t>(ops[p]);
+    for (std::int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const std::int32_t cp = orig_pos[static_cast<std::size_t>(
+          children[static_cast<std::size_t>(k)])];
+      if (cp < 0) continue;  // leaf operand: always ready
+      ++pending[p];
+      ++consumer_offsets[static_cast<std::size_t>(cp) + 1];
+    }
+  }
+  for (std::size_t p = 0; p < num_ops; ++p) consumer_offsets[p + 1] += consumer_offsets[p];
+  std::vector<std::int32_t> consumers(static_cast<std::size_t>(consumer_offsets[num_ops]));
+  {
+    std::vector<std::int32_t> cursor(consumer_offsets.begin(), consumer_offsets.end() - 1);
+    for (std::size_t p = 0; p < num_ops; ++p) {
+      const std::size_t i = static_cast<std::size_t>(ops[p]);
+      for (std::int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        const std::int32_t cp = orig_pos[static_cast<std::size_t>(
+            children[static_cast<std::size_t>(k)])];
+        if (cp < 0) continue;
+        consumers[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cp)]++)] =
+            static_cast<std::int32_t>(p);
+      }
+    }
+  }
+
+  // One ready min-heap (by priority) per kernel class.  Entries are
+  // (priority, original position); each op is pushed exactly once.
+  using Entry = std::pair<std::int32_t, std::int32_t>;
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+  Heap ready[kNumClasses];
+  const auto class_of = [&](std::size_t p) {
+    const std::size_t i = static_cast<std::size_t>(ops[p]);
+    return kind_class(kinds[i], offsets[i + 1] - offsets[i]);
+  };
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    if (pending[p] == 0) ready[class_of(p)].emplace(prio[p], static_cast<std::int32_t>(p));
+  }
+
+  const std::int32_t window =
+      std::min<std::int32_t>(kKindWindow, static_cast<std::int32_t>(num_ops / 8));
+  int current_class = kClassGeneric;
+  while (layout.op_order_.size() < num_ops) {
+    // The most urgent ready op across all classes...
+    std::int32_t min_prio = std::numeric_limits<std::int32_t>::max();
+    int min_class = -1;
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (!ready[c].empty() && ready[c].top().first < min_prio) {
+        min_prio = ready[c].top().first;
+        min_class = c;
+      }
+    }
+    // ...unless the current run can continue within the priority window
+    // (generic runs too: fewer segments means fewer per-block loop set-ups).
+    int pick = min_class;
+    if (!ready[current_class].empty() &&
+        ready[current_class].top().first <= min_prio + window) {
+      pick = current_class;
+    }
+    const std::int32_t p = ready[pick].top().second;
+    ready[pick].pop();
+    current_class = pick;
+    layout.op_order_.push_back(ops[static_cast<std::size_t>(p)]);
+    for (std::int32_t k = consumer_offsets[static_cast<std::size_t>(p)];
+         k < consumer_offsets[static_cast<std::size_t>(p) + 1]; ++k) {
+      const std::size_t parent = static_cast<std::size_t>(consumers[static_cast<std::size_t>(k)]);
+      if (--pending[parent] == 0) {
+        ready[class_of(parent)].emplace(prio[parent], static_cast<std::int32_t>(parent));
+      }
+    }
+  }
+
+  // ---- (c) liveness + linear-scan slot allocation ---------------------------
+  // Leaves are all initialised before the sweep (parameter broadcast +
+  // indicator scatter), so they interfere pairwise and keep pinned slots
+  // [0, num_leaves) in id order.  Operator results get pool slots recycled
+  // the position after their last consumer — never at the consumer itself,
+  // so an op's output row can't alias its own operands (the kernels'
+  // __restrict contract).
+  std::int32_t num_leaves = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (orig_pos[i] < 0) layout.slot_of_[i] = num_leaves++;
+  }
+
+  std::vector<std::int32_t> new_pos(n, -1);
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    new_pos[static_cast<std::size_t>(layout.op_order_[p])] = static_cast<std::int32_t>(p);
+  }
+  // Last consumer position per op value, in the new order; the root is held
+  // past the end (its row is the output gather).
+  std::vector<std::int32_t> last_use(n, -1);
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    const std::size_t i = static_cast<std::size_t>(layout.op_order_[p]);
+    for (std::int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const std::size_t c = static_cast<std::size_t>(children[static_cast<std::size_t>(k)]);
+      last_use[c] = std::max(last_use[c], static_cast<std::int32_t>(p));
+    }
+  }
+  last_use[static_cast<std::size_t>(tape.root())] = static_cast<std::int32_t>(num_ops);
+
+  std::vector<std::vector<std::int32_t>> freed_at(num_ops + 1);
+  std::vector<std::int32_t> free_slots;  // LIFO: the hottest row is reused first
+  std::int32_t next_slot = num_leaves;
+  for (std::size_t p = 0; p < num_ops; ++p) {
+    for (const std::int32_t s : freed_at[p]) free_slots.push_back(s);
+    const std::size_t i = static_cast<std::size_t>(layout.op_order_[p]);
+    std::int32_t slot;
+    if (free_slots.empty()) {
+      slot = next_slot++;
+    } else {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    }
+    layout.slot_of_[i] = slot;
+    // Free position: one past the last consumer; a result nobody reads
+    // (an op the root never reaches) frees immediately after executing.
+    const std::int32_t free_pos = std::max(last_use[i], static_cast<std::int32_t>(p)) + 1;
+    if (free_pos <= static_cast<std::int32_t>(num_ops)) {
+      freed_at[static_cast<std::size_t>(free_pos)].push_back(slot);
+    }
+  }
+
+  // ---- stats ----------------------------------------------------------------
+  TapeLayoutStats& stats = layout.stats_;
+  stats.num_nodes = n;
+  stats.num_leaves = static_cast<std::size_t>(num_leaves);
+  stats.num_ops = num_ops;
+  stats.num_slots = static_cast<std::size_t>(next_slot);
+  stats.max_live = stats.num_slots;
+  stats.slots_saved = n - stats.num_slots;
+  stats.mean_reuse_distance = mean_reuse_distance(tape, new_pos);
+  stats.mean_reuse_distance_original = mean_reuse_distance(tape, orig_pos);
+  fanin2_runs(tape, layout.op_order_, stats.num_fanin2_runs, &stats.fanin2_run_hist);
+  fanin2_runs(tape, ops, stats.num_fanin2_runs_original, nullptr);
+  return layout;
+}
+
+}  // namespace problp::ac

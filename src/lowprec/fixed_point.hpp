@@ -176,4 +176,66 @@ constexpr std::uint64_t fx_max_raw_u64(std::uint64_t a, std::uint64_t b) {
   return a > b ? a : b;
 }
 
+// ---- narrow-word (u32) lane kernels ----------------------------------------
+// The storage-halved siblings of the u64 kernels above, and what the batched
+// narrow datapath actually executes: a saturated narrow word is < 2^30, so
+// the *stored* lanes fit u32 exactly — halving SoA buffer traffic and
+// doubling the lanes per vector register (16 per AVX-512 zmm) — while each
+// multiply still widens through the same exact u64 product before rounding
+// back.  Bit-identical to the u64 kernels by construction: the u32 sum
+// cannot wrap (a + b < 2^31), the product/round arithmetic is shared, and
+// the one extra step — clamping the rounded `kept` into u32 before the
+// saturation compare — preserves both the saturated value (max_raw < 2^30)
+// and the overflow verdict (kept > max_raw iff its u32 clamp is).
+
+namespace detail {
+/// u32 twin of fx_sat_raw_u64: unsigned-min saturation, nonzero OR-ed into
+/// the per-lane mask exactly when the lane saturated.
+inline std::uint32_t fx_sat_raw_u32(std::uint32_t v, std::uint32_t max_raw,
+                                    std::uint32_t& ovf_mask) {
+  const std::uint32_t sat = v < max_raw ? v : max_raw;
+  ovf_mask |= v ^ sat;
+  return sat;
+}
+}  // namespace detail
+
+/// u32 word of a + b, saturated at `max_raw`.  Operands are saturated narrow
+/// words (< 2^30), so the u32 sum is exact — no wrap to account for.
+inline std::uint32_t fx_add_raw_u32(std::uint32_t a, std::uint32_t b, std::uint32_t max_raw,
+                                    std::uint32_t& ovf_mask) {
+  return detail::fx_sat_raw_u32(a + b, max_raw, ovf_mask);
+}
+
+/// u32 word of a * b with the low `fraction_bits` bits rounded away per
+/// `Mode`, saturated at `max_raw`.  Same contract as fx_mul_raw_u64; the
+/// exact product widens to u64 per lane (one 32x32->64 vector multiply),
+/// and the rounded result re-narrows through a u32 clamp that cannot change
+/// the saturation outcome (see the section comment).
+template <RoundingMode Mode>
+inline std::uint32_t fx_mul_raw_u32(std::uint32_t a, std::uint32_t b, int fraction_bits,
+                                    [[maybe_unused]] std::uint32_t half,
+                                    std::uint32_t max_raw, std::uint32_t& ovf_mask) {
+  const std::uint64_t prod = static_cast<std::uint64_t>(a) * b;
+  std::uint64_t kept;
+  if constexpr (Mode == RoundingMode::kNearestEven) {
+    // Same carry-bias nearest-even as fx_mul_raw_u64; the bias cannot wrap
+    // (prod <= 2^60, half <= 2^29).
+    kept = (prod + (half - std::uint64_t{1}) + ((prod >> fraction_bits) & 1)) >>
+           fraction_bits;
+  } else {
+    kept = prod >> fraction_bits;
+  }
+  // `kept` may exceed 32 bits when fraction_bits is small; clamp into u32
+  // before the lane-width saturation compare.  max_raw < 2^30, so the clamp
+  // saturates to the same value and the same verdict as the u64 compare.
+  const std::uint32_t kept32 =
+      kept > 0xffffffffull ? 0xffffffffu : static_cast<std::uint32_t>(kept);
+  return detail::fx_sat_raw_u32(kept32, max_raw, ovf_mask);
+}
+
+/// Exact max on u32 narrow words (raw order == value order: same scale).
+constexpr std::uint32_t fx_max_raw_u32(std::uint32_t a, std::uint32_t b) {
+  return a > b ? a : b;
+}
+
 }  // namespace problp::lowprec

@@ -27,17 +27,18 @@ struct FixedFormat {
   int integer_bits = 1;   ///< I >= 0
   int fraction_bits = 8;  ///< F >= 0
 
-  /// Widest total width the lane-parallel narrow-word (u64) datapath of the
-  /// batched engine accepts: 30-bit operands keep the exact product within
-  /// 60 bits (plus headroom for the rounding increment) and within one
-  /// 32x32->64 vector multiply, so add/mul/round/saturate all close over
-  /// uint64_t.  See ac/simd_sweep.hpp and docs/evaluation.md.
+  /// Widest total width the lane-parallel narrow-word datapath of the
+  /// batched engine accepts: 30-bit operands fit u32 storage lanes outright,
+  /// and keep the exact product within 60 bits (plus headroom for the
+  /// rounding increment) and within one 32x32->64 vector multiply, so
+  /// add/mul/round/saturate all close over uint64_t intermediates.  See
+  /// ac/simd_sweep.hpp and docs/evaluation.md.
   static constexpr int kNarrowWordBits = 30;
 
   /// Total datapath width N = I + F (the N of the Table-1 energy models).
   int total_bits() const { return integer_bits + fraction_bits; }
 
-  /// Whether raw words of this format qualify for the narrow-word (u64)
+  /// Whether raw words of this format qualify for the narrow-word (u32)
   /// datapath; wider formats run on the 128-bit emulation path.
   bool fits_narrow_word() const { return total_bits() <= kNarrowWordBits; }
 

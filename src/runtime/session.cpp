@@ -100,8 +100,10 @@ const std::vector<double>& InferenceSession::eval_batch(
   // Batched low-precision emulation: the SoA raw-word sweep, bit-identical
   // (values and per-query flags) to the per-query engine behind eval_root.
   // Routing is transparent to the datapath choice: fixed formats narrow
-  // enough for the lane-parallel u64 kernels (fits_narrow_word()) ride them
+  // enough for the lane-parallel u32 kernels (fits_narrow_word()) ride them
   // automatically inside FixedBatchEvaluator; wide ones keep the u128 path.
+  // The engines also own the slot-remapped root/flag gathers under the tape
+  // relayout (options_.batch.relayout) — nothing here is layout-aware.
   LowPrecBatchEngine& eng = batch_engine(which);
   const std::vector<double>& out =
       eng.fixed ? eng.fixed->evaluate(batch) : eng.flt->evaluate(batch);

@@ -56,8 +56,13 @@ struct SessionOptions {
   std::optional<Representation> representation;
   lowprec::RoundingMode rounding = lowprec::RoundingMode::kNearestEven;
   /// Shape of the batched sweeps, exact and low-precision alike (SoA block
-  /// width, worker threads).  Validated at session construction so a
-  /// misconfigured serving stack fails at setup, not on its first batch.
+  /// width, worker threads, cache-shaped tape relayout).  Validated at
+  /// session construction so a misconfigured serving stack fails at setup,
+  /// not on its first batch.  With `batch.relayout` (the default) the
+  /// engines run on the liveness-compacted slot layout — roots and flag
+  /// gathers are slot-remapped internally, so session results are
+  /// byte-identical either way; flip it off only as a layout-ablation
+  /// reference (see docs/evaluation.md).
   ac::BatchEvaluator::Options batch;
 
   /// Options running every sweep under `repr` — the format-sweep callers'

@@ -234,9 +234,11 @@ TEST(FixedFormat, NarrowWordClassification) {
   EXPECT_EQ(FixedFormat::kNarrowWordBits, 30);
 }
 
-// The u64 lane kernels against their u128 siblings, one word pair at a
-// time: values AND overflow verdicts must agree bit for bit.  `mul_u64`
-// mirrors the executor's instantiation rule (truncate also serves F == 0,
+// The u64 and u32 lane kernels against their u128 siblings, one word pair
+// at a time: values AND overflow verdicts must agree bit for bit.  The u32
+// kernels are what the batched narrow datapath actually stores and
+// executes; the u64 ones remain the scalar reference.  `mul_u64`/`mul_u32`
+// mirror the executor's instantiation rule (truncate also serves F == 0,
 // where a shift-0 truncation is the exact product).
 void expect_word_kernel_parity(const FixedFormat& fmt, RoundingMode mode, std::uint64_t a,
                                std::uint64_t b) {
@@ -269,6 +271,30 @@ void expect_word_kernel_parity(const FixedFormat& fmt, RoundingMode mode, std::u
   ASSERT_EQ(mul_ovf != 0, mul_flags.overflow) << fmt.to_string() << " mul flag";
 
   ASSERT_EQ(fx_max_raw_u64(a, b), static_cast<std::uint64_t>(fx_max_raw(a, b)));
+
+  // The u32 storage kernels: narrow raw words are < 2^30, so the casts
+  // below are lossless and the wide results must re-narrow exactly.
+  const std::uint32_t a32 = static_cast<std::uint32_t>(a);
+  const std::uint32_t b32 = static_cast<std::uint32_t>(b);
+  const std::uint32_t max32 = static_cast<std::uint32_t>(max_raw);
+  const std::uint32_t half32 = static_cast<std::uint32_t>(half);
+  std::uint32_t add32_ovf = 0;
+  const std::uint32_t got_add32 = fx_add_raw_u32(a32, b32, max32, add32_ovf);
+  ASSERT_EQ(got_add32, static_cast<std::uint32_t>(want_add))
+      << fmt.to_string() << " add32 a=" << a << " b=" << b;
+  ASSERT_EQ(add32_ovf != 0, add_flags.overflow) << fmt.to_string() << " add32 flag";
+  std::uint32_t mul32_ovf = 0;
+  const std::uint32_t got_mul32 =
+      mode == RoundingMode::kNearestEven && fmt.fraction_bits > 0
+          ? fx_mul_raw_u32<RoundingMode::kNearestEven>(a32, b32, fmt.fraction_bits, half32,
+                                                       max32, mul32_ovf)
+          : fx_mul_raw_u32<RoundingMode::kTruncate>(a32, b32, fmt.fraction_bits, half32,
+                                                    max32, mul32_ovf);
+  ASSERT_EQ(got_mul32, static_cast<std::uint32_t>(want_mul))
+      << fmt.to_string() << " mul32 a=" << a << " b=" << b
+      << " mode=" << (mode == RoundingMode::kTruncate ? "trunc" : "nearest");
+  ASSERT_EQ(mul32_ovf != 0, mul_flags.overflow) << fmt.to_string() << " mul32 flag";
+  ASSERT_EQ(fx_max_raw_u32(a32, b32), static_cast<std::uint32_t>(fx_max_raw(a, b)));
 }
 
 TEST(FixedPoint, NarrowWordKernelsExhaustiveAtSmallWidths) {

@@ -17,6 +17,7 @@
 #include "ac/low_precision_eval.hpp"
 #include "ac/simd_sweep.hpp"
 #include "ac/tape.hpp"
+#include "ac/tape_layout.hpp"
 #include "ac/transform.hpp"
 #include "bn/random_network.hpp"
 #include "compile/naive_bayes_compiler.hpp"
@@ -318,11 +319,11 @@ TEST(Tape, BatchedLowPrecExhaustiveParity) {
     }
   }
 
-  // Narrow/wide boundary matrix: fixed widths straddling the u64
+  // Narrow/wide boundary matrix: fixed widths straddling the narrow-word
   // eligibility cutoff (29/30 narrow, 31/32 wide), each at a comfortable
   // and an overflow-saturating integer width, x rounding modes x every
   // supported kernel ISA (via the PROBLP_SIMD env hook) x thread counts.
-  // Three engines per cell — the default (lane-parallel u64 for narrow
+  // Three engines per cell — the default (lane-parallel u32 for narrow
   // formats), the forced-wide u128 schedule path and the u128 generic
   // fold — must all match the per-query evaluator bitwise, values and
   // per-query flags alike.
@@ -436,8 +437,10 @@ TEST(Tape, ContractViolationsRejected) {
 TEST(KernelSchedule, SegmentsReplayTheOperatorScheduleExactly) {
   // Random circuits (mixed fanin), their binarised forms (pure fanin-2) and
   // VE output: concatenating the segments in order must visit every op of
-  // tape.op_ids() exactly once, with fanin-2 ops in the flat out/lhs/rhs
-  // arrays and everything else in generic position ranges.
+  // the compiled-over schedule exactly once, with fanin-2 ops in the flat
+  // out/lhs/rhs arrays and everything else in the self-contained generic-op
+  // arrays — under both the identity layout (rows are node ids) and the
+  // tape layout (rows renamed through slot_of, op order re-emitted).
   Rng rng(31);
   std::vector<Circuit> circuits;
   for (int i = 0; i < 6; ++i) {
@@ -453,44 +456,68 @@ TEST(KernelSchedule, SegmentsReplayTheOperatorScheduleExactly) {
 
   for (const Circuit& circuit : circuits) {
     const CircuitTape tape = CircuitTape::compile(circuit);
-    const KernelSchedule schedule = KernelSchedule::compile(tape);
-    ASSERT_EQ(schedule.num_ops(), tape.op_ids().size());
-    ASSERT_EQ(schedule.num_fanin2_ops() + schedule.num_generic_ops(), schedule.num_ops());
-
     const auto& offsets = tape.child_offsets();
     const auto& children = tape.children();
-    std::size_t pos = 0;   // walk of tape.op_ids()
-    std::size_t flat = 0;  // walk of out()/lhs()/rhs()
-    for (const KernelSegment& seg : schedule.segments()) {
-      ASSERT_LT(seg.begin, seg.end);
-      if (seg.kind == KernelSegment::Kind::kGeneric) {
-        ASSERT_EQ(seg.begin, pos);
-        for (std::uint32_t p = seg.begin; p < seg.end; ++p, ++pos) {
-          const std::size_t i = static_cast<std::size_t>(tape.op_ids()[p]);
-          EXPECT_NE(offsets[i + 1] - offsets[i], 2) << "fanin-2 op left in generic segment";
+
+    const auto check = [&](const KernelSchedule& schedule, const std::vector<NodeId>& ops,
+                           const std::int32_t* slot_of, std::size_t want_rows) {
+      ASSERT_EQ(schedule.num_ops(), ops.size());
+      ASSERT_EQ(schedule.num_fanin2_ops() + schedule.num_generic_ops(), schedule.num_ops());
+      ASSERT_EQ(schedule.num_rows(), want_rows);
+      const auto row = [&](NodeId id) {
+        return slot_of == nullptr ? static_cast<std::int32_t>(id)
+                                  : slot_of[static_cast<std::size_t>(id)];
+      };
+      std::size_t pos = 0;   // walk of `ops`
+      std::size_t flat = 0;  // walk of out()/lhs()/rhs()
+      std::size_t gen = 0;   // walk of the generic-op arrays
+      for (const KernelSegment& seg : schedule.segments()) {
+        ASSERT_LT(seg.begin, seg.end);
+        if (seg.kind == KernelSegment::Kind::kGeneric) {
+          ASSERT_EQ(seg.begin, gen);
+          for (std::uint32_t g = seg.begin; g < seg.end; ++g, ++pos, ++gen) {
+            const NodeId id = ops[pos];
+            const std::size_t i = static_cast<std::size_t>(id);
+            const std::int32_t cb = offsets[i];
+            const std::int32_t ce = offsets[i + 1];
+            EXPECT_NE(ce - cb, 2) << "fanin-2 op left in generic segment";
+            EXPECT_EQ(schedule.gen_kinds()[g], tape.kinds()[i]);
+            EXPECT_EQ(schedule.gen_out()[g], row(id));
+            ASSERT_EQ(schedule.gen_offsets()[g + 1] - schedule.gen_offsets()[g], ce - cb);
+            for (std::int32_t k = cb; k < ce; ++k) {
+              EXPECT_EQ(schedule.gen_children()[static_cast<std::size_t>(
+                            schedule.gen_offsets()[g] + (k - cb))],
+                        row(children[static_cast<std::size_t>(k)]));
+            }
+          }
+          continue;
         }
-        continue;
+        ASSERT_EQ(seg.begin, flat);
+        for (std::uint32_t k = seg.begin; k < seg.end; ++k, ++pos, ++flat) {
+          const NodeId id = ops[pos];
+          const std::size_t i = static_cast<std::size_t>(id);
+          ASSERT_EQ(offsets[i + 1] - offsets[i], 2);
+          EXPECT_EQ(schedule.out()[k], row(id));
+          EXPECT_EQ(schedule.lhs()[k], row(children[static_cast<std::size_t>(offsets[i])]));
+          EXPECT_EQ(schedule.rhs()[k],
+                    row(children[static_cast<std::size_t>(offsets[i]) + 1]));
+          const KernelSegment::Kind want = tape.kinds()[i] == NodeKind::kSum
+                                               ? KernelSegment::Kind::kSum2
+                                               : tape.kinds()[i] == NodeKind::kProd
+                                                     ? KernelSegment::Kind::kProd2
+                                                     : KernelSegment::Kind::kMax2;
+          EXPECT_EQ(seg.kind, want);
+        }
       }
-      ASSERT_EQ(seg.begin, flat);
-      for (std::uint32_t k = seg.begin; k < seg.end; ++k, ++pos, ++flat) {
-        const NodeId id = tape.op_ids()[pos];
-        const std::size_t i = static_cast<std::size_t>(id);
-        ASSERT_EQ(offsets[i + 1] - offsets[i], 2);
-        EXPECT_EQ(schedule.out()[k], static_cast<std::int32_t>(id));
-        EXPECT_EQ(schedule.lhs()[k],
-                  static_cast<std::int32_t>(children[static_cast<std::size_t>(offsets[i])]));
-        EXPECT_EQ(schedule.rhs()[k],
-                  static_cast<std::int32_t>(children[static_cast<std::size_t>(offsets[i]) + 1]));
-        const KernelSegment::Kind want = tape.kinds()[i] == NodeKind::kSum
-                                             ? KernelSegment::Kind::kSum2
-                                             : tape.kinds()[i] == NodeKind::kProd
-                                                   ? KernelSegment::Kind::kProd2
-                                                   : KernelSegment::Kind::kMax2;
-        EXPECT_EQ(seg.kind, want);
-      }
-    }
-    EXPECT_EQ(pos, tape.op_ids().size());
-    EXPECT_EQ(flat, schedule.num_fanin2_ops());
+      EXPECT_EQ(pos, ops.size());
+      EXPECT_EQ(flat, schedule.num_fanin2_ops());
+      EXPECT_EQ(gen, schedule.num_generic_ops());
+    };
+
+    check(KernelSchedule::compile(tape), tape.op_ids(), nullptr, tape.num_nodes());
+    const TapeLayout& layout = tape.layout();
+    check(KernelSchedule::compile(tape, layout), layout.op_order(), layout.slot_of().data(),
+          layout.num_slots());
   }
 }
 
@@ -534,27 +561,48 @@ TEST(Simd, AutoBlockSizeIsCacheAwareAndOverridable) {
   EXPECT_EQ(auto_block_size(97311, sizeof(double)), 8u);      // ve36-sized: floor
   EXPECT_GE(auto_block_size(3312, 16), 8u);                   // raw-word slots
   EXPECT_EQ(auto_block_size(3312, 16) % 8, 0u);
+  // The relayout policy: doubled target, 32-lane floor (the compacted
+  // buffer shares cache with the schedule's index streams), min_block
+  // raises the floor further (the u32 narrow engine's 16).
+  EXPECT_EQ(auto_block_size(100, sizeof(double), true), 64u);
+  EXPECT_EQ(auto_block_size(9887, sizeof(double), true), 32u);   // ve36 post-layout
+  EXPECT_EQ(auto_block_size(97311, sizeof(double), true), 32u);  // floor even when huge
+  EXPECT_EQ(auto_block_size(97311, sizeof(std::uint32_t), false, 16), 16u);
 
   Rng rng(41);
   bn::RandomNetworkSpec spec;
   spec.num_variables = 5;
   const Circuit circuit = compile::compile_network(bn::make_random_network(spec, rng));
   const CircuitTape tape = CircuitTape::compile(circuit);
+  // Auto-sizing keys on the *post-layout* row footprint: max-live slots
+  // under the default relayout, the full node count when it is off.
   BatchEvaluator auto_sized(tape);
-  EXPECT_EQ(auto_sized.options().block, auto_block_size(tape.num_nodes(), sizeof(double)));
+  EXPECT_TRUE(auto_sized.relayout_engaged());
+  EXPECT_EQ(auto_sized.num_rows(), tape.layout().num_slots());
+  EXPECT_EQ(auto_sized.options().block,
+            auto_block_size(auto_sized.num_rows(), sizeof(double), /*relayout=*/true));
+  BatchEvaluator::Options no_relayout;
+  no_relayout.relayout = false;
+  BatchEvaluator identity_sized(tape, no_relayout);
+  EXPECT_FALSE(identity_sized.relayout_engaged());
+  EXPECT_EQ(identity_sized.num_rows(), tape.num_nodes());
+  EXPECT_EQ(identity_sized.options().block,
+            auto_block_size(tape.num_nodes(), sizeof(double)));
   BatchEvaluator::Options explicit_block;
   explicit_block.block = 7;
   EXPECT_EQ(BatchEvaluator(tape, explicit_block).options().block, 7u);
-  // Narrow fixed formats size their blocks for the 8-byte u64 slots of the
-  // lane-parallel datapath; wide ones (and forced-wide) for the u128 slots.
+  // Narrow fixed formats size their blocks for the 4-byte u32 slots of the
+  // lane-parallel datapath (with its 16-lane vector-fill floor); wide ones
+  // (and forced-wide) for the u128 slots.
   FixedBatchEvaluator lowprec_auto(tape, lowprec::FixedFormat{2, 10});
   EXPECT_TRUE(lowprec_auto.narrow_datapath());
   EXPECT_EQ(lowprec_auto.options().block,
-            auto_block_size(tape.num_nodes(), sizeof(std::uint64_t)));
+            auto_block_size(lowprec_auto.num_rows(), sizeof(std::uint32_t),
+                            /*relayout=*/true, /*min_block=*/16));
   FixedBatchEvaluator lowprec_wide_auto(tape, lowprec::FixedFormat{2, 40});
   EXPECT_FALSE(lowprec_wide_auto.narrow_datapath());
   EXPECT_EQ(lowprec_wide_auto.options().block,
-            auto_block_size(tape.num_nodes(), sizeof(u128)));
+            auto_block_size(lowprec_wide_auto.num_rows(), sizeof(u128), /*relayout=*/true));
 }
 
 TEST(Tape, LowPrecEvaluatorValidatesFormatAtConstruction) {
@@ -654,6 +702,111 @@ TEST(Simd, ForcedLevelParityMatrixExactAndLowPrec) {
             ASSERT_EQ(flt.flags()[i].overflow, want_fl_flags[i].overflow) << where;
             ASSERT_EQ(flt.flags()[i].underflow, want_fl_flags[i].underflow) << where;
             ASSERT_EQ(flt.flags()[i].invalid_input, want_fl_flags[i].invalid_input) << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, RelayoutParityMatrixAcrossCircuits) {
+  // Layout invariance: the cache-shaped re-layout (re-ordered op schedule +
+  // recycled slots) must be *bitwise* invisible in results.  Random mixed-
+  // fanin circuits, VE output and an NB circuit x {exact, fixed lowprec,
+  // float lowprec} x relayout {off, on} x every supported kernel ISA x
+  // threads {1, 4} x batch sizes {1, 17, 512} — values and per-query sticky
+  // flags all compared against the relayout-off O(nodes) reference.
+  Rng rng(59);
+  std::vector<Circuit> circuits;
+  {
+    test::RandomCircuitSpec spec;
+    spec.num_operators = 60;
+    spec.max_fanin = 4;
+    circuits.push_back(test::make_random_circuit(spec, rng));
+  }
+  {
+    bn::RandomNetworkSpec spec;
+    spec.num_variables = 7;
+    circuits.push_back(compile::compile_network(bn::make_random_network(spec, rng)));
+  }
+  circuits.push_back(compile::compile_naive_bayes(make_nb_network(4, rng), 0));
+
+  const lowprec::FixedFormat fx{2, 12};
+  const lowprec::FloatFormat fl{4, 6};
+  const std::vector<std::size_t> batch_sizes = {1, 17, 512};
+
+  for (const Circuit& circuit : circuits) {
+    const CircuitTape tape = CircuitTape::compile(circuit);
+    const auto assignments = random_assignments(circuit.cardinalities(), 512, 0.5, rng);
+
+    // Relayout-off references (identity O(nodes) layout), once per circuit.
+    BatchEvaluator::Options ref;
+    ref.relayout = false;
+    BatchEvaluator ref_exact(tape, ref);
+    const std::vector<double> want_exact = ref_exact.evaluate(assignments);
+    FixedBatchEvaluator ref_fx(tape, fx, lowprec::RoundingMode::kNearestEven, ref);
+    const std::vector<double> want_fx = ref_fx.evaluate(assignments);
+    const std::vector<lowprec::ArithFlags> want_fx_flags = ref_fx.flags();
+    FloatBatchEvaluator ref_fl(tape, fl, lowprec::RoundingMode::kNearestEven, ref);
+    const std::vector<double> want_fl = ref_fl.evaluate(assignments);
+    const std::vector<lowprec::ArithFlags> want_fl_flags = ref_fl.flags();
+
+    for (const simd::Level level : simd::supported_levels()) {
+      ScopedSimdEnv env(simd::level_name(level));
+      for (const bool relayout : {false, true}) {
+        for (const int threads : {1, 4}) {
+          for (const std::size_t count : batch_sizes) {
+            BatchEvaluator::Options opts;
+            opts.relayout = relayout;
+            opts.num_threads = threads;
+            const std::string where = std::string(" level=") + simd::level_name(level) +
+                                      " relayout=" + (relayout ? "on" : "off") +
+                                      " threads=" + std::to_string(threads) +
+                                      " count=" + std::to_string(count);
+
+            BatchEvaluator exact(tape, opts);
+            EXPECT_EQ(exact.relayout_engaged(), relayout);
+            if (relayout) EXPECT_LE(exact.num_rows(), tape.num_nodes());
+            const std::vector<double>& roots = exact.evaluate(assignments.data(), count);
+            ASSERT_EQ(roots.size(), count);
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(roots[i], want_exact[i]) << "exact query " << i << where;
+            }
+
+            FixedBatchEvaluator fixed(tape, fx, lowprec::RoundingMode::kNearestEven, opts);
+            const std::vector<double>& fx_roots = fixed.evaluate(assignments.data(), count);
+            ASSERT_EQ(fx_roots.size(), count);
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(fx_roots[i], want_fx[i]) << "fixed query " << i << where;
+              ASSERT_EQ(fixed.flags()[i].overflow, want_fx_flags[i].overflow) << where;
+              ASSERT_EQ(fixed.flags()[i].underflow, want_fx_flags[i].underflow) << where;
+              ASSERT_EQ(fixed.flags()[i].invalid_input, want_fx_flags[i].invalid_input)
+                  << where;
+            }
+
+            // The wide (u128) schedule path under the same layout matrix.
+            BatchEvaluator::Options wide = opts;
+            wide.force_wide_raw = true;
+            FixedBatchEvaluator fixed_wide(tape, fx, lowprec::RoundingMode::kNearestEven,
+                                           wide);
+            EXPECT_FALSE(fixed_wide.narrow_datapath());
+            const std::vector<double>& fxw_roots =
+                fixed_wide.evaluate(assignments.data(), count);
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(fxw_roots[i], want_fx[i]) << "fixed-wide query " << i << where;
+              ASSERT_EQ(fixed_wide.flags()[i].overflow, want_fx_flags[i].overflow) << where;
+            }
+
+            FloatBatchEvaluator flt(tape, fl, lowprec::RoundingMode::kNearestEven, opts);
+            const std::vector<double>& fl_roots = flt.evaluate(assignments.data(), count);
+            ASSERT_EQ(fl_roots.size(), count);
+            for (std::size_t i = 0; i < count; ++i) {
+              ASSERT_EQ(fl_roots[i], want_fl[i]) << "float query " << i << where;
+              ASSERT_EQ(flt.flags()[i].overflow, want_fl_flags[i].overflow) << where;
+              ASSERT_EQ(flt.flags()[i].underflow, want_fl_flags[i].underflow) << where;
+              ASSERT_EQ(flt.flags()[i].invalid_input, want_fl_flags[i].invalid_input)
+                  << where;
+            }
           }
         }
       }
