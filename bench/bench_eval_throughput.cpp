@@ -15,10 +15,14 @@
 //    "session_qps":...,"session_batched_qps":...,"lowprec_qps":...,
 //    "lowprec_batched_qps":...,"lowprec_batched_mt_qps":...,
 //    "simd_lowprec_qps":...,"simd_lowprec_narrow_qps":...,
+//    "lowprec_float_fmt":"8,23","lowprec_float_datapath":"lane32",
+//    "simd_lowprec_float_qps":...,"simd_lowprec_float_wide_qps":...,
 //    "speedup_tape":...,"speedup_batched":...,
 //    "speedup_simd":...,"speedup_session_batched":...,
 //    "speedup_lowprec_batched":...,"speedup_simd_lowprec":...,
-//    "parity_checksum":"...","lowprec_parity_checksum":"..."}
+//    "speedup_float_lane":...,
+//    "parity_checksum":"...","lowprec_parity_checksum":"...",
+//    "lowprec_float_parity_checksum":"..."}
 //
 // qps = evidence-set evaluations per second (full upward pass per query).
 // batched_qps / lowprec_batched_qps keep the pre-schedule engine shape
@@ -32,12 +36,21 @@
 // narrow-word kernels (fits_narrow_word(), <= 30 bits) or the u128 wide
 // path — simd_lowprec_narrow_qps is that default-dispatch engine measured
 // directly, and a force_wide_raw control run pins u32-vs-u128 checksum
-// equality in-process.  Acceptance for this engine generation: 24-bit
-// simd_lowprec_qps >= 3x the PR 4 ALARM/512 row.  Every engine is
-// bit-identical to the interpreter by construction, so the run fails loudly
-// on any checksum drift, and the checksums are printed so CI can diff a
-// PROBLP_SIMD=scalar run against auto dispatch — for a narrow and a wide
-// format alike, keeping both datapaths pinned.
+// equality in-process.  The float rows do the same for the SoftFloat
+// engine on the format passed as `--float=E,M` (default 8,23, the float32
+// shape): simd_lowprec_float_qps is the raw float engine at schedule
+// defaults — lane-eligible mantissas (`lowprec_float_datapath` "lane32" /
+// "lane64") ride the decomposed exponent/significand row kernels —
+// simd_lowprec_float_wide_qps the same format pinned to the interleaved
+// wide path (force_wide_raw), the lane-serial reference row, and the two
+// checksums must match bit for bit in-process.  Acceptance for this engine
+// generation: ALARM/512 simd_lowprec_float_qps >= 3x its wide row; the
+// prior generation's bar was 24-bit simd_lowprec_qps >= 3x the PR 4
+// ALARM/512 row.  Every engine is bit-identical to the interpreter by
+// construction, so the run fails loudly on any checksum drift, and the
+// checksums are printed so CI can diff a PROBLP_SIMD=scalar run against
+// auto dispatch — for a narrow and a wide format alike, keeping every
+// datapath pinned.
 //
 // `relayout` records whether the kernel-schedule rows (simd_qps, the
 // sessions, the raw low-precision engines) ran on the liveness-compacted
@@ -116,6 +129,8 @@ struct ThroughputResult {
   double lowprec_batched_mt_qps = 0.0;
   double simd_lowprec_qps = 0.0;
   double simd_lowprec_narrow_qps = 0.0;
+  double simd_lowprec_float_qps = 0.0;
+  double simd_lowprec_float_wide_qps = 0.0;
 };
 
 // The pre-schedule trajectory shape: the generic CSR fold over 16-lane
@@ -130,7 +145,8 @@ ac::BatchEvaluator::Options generic_options(int num_threads = 1) {
 
 ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                              const std::vector<ac::PartialAssignment>& assignments,
-                             double min_seconds, lowprec::FixedFormat lp_fmt, bool relayout) {
+                             double min_seconds, lowprec::FixedFormat lp_fmt,
+                             lowprec::FloatFormat fl_fmt, bool relayout) {
   const ac::CircuitTape tape = ac::CircuitTape::compile(circuit);
   const std::size_t batch_size = assignments.size();
 
@@ -266,6 +282,28 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   double lp_wide_checksum = 0.0;
   for (const double v : wide_eval.evaluate(assignments)) lp_wide_checksum += v;
 
+  // The decomposed SoftFloat datapath on the requested float format: the
+  // raw float engine at schedule defaults (lane-eligible mantissas split
+  // each FloatRaw block into an i32 exponent row and a u32/u64 significand
+  // row and run the branch-free lane kernels) against the same format
+  // pinned to the interleaved wide path — the lane-serial reference row
+  // the acceptance ratio is measured against.
+  ac::FloatBatchEvaluator float_eval(tape, fl_fmt, lowprec::RoundingMode::kNearestEven,
+                                     schedule_options);
+  double fl_lane_checksum = 0.0;
+  r.simd_lowprec_float_qps = measure_qps(batch_size, min_seconds, [&] {
+    fl_lane_checksum = 0.0;
+    for (const double v : float_eval.evaluate(assignments)) fl_lane_checksum += v;
+  });
+
+  ac::FloatBatchEvaluator float_wide_eval(tape, fl_fmt, lowprec::RoundingMode::kNearestEven,
+                                          wide_options);
+  double fl_wide_checksum = 0.0;
+  r.simd_lowprec_float_wide_qps = measure_qps(batch_size, min_seconds, [&] {
+    fl_wide_checksum = 0.0;
+    for (const double v : float_wide_eval.evaluate(assignments)) fl_wide_checksum += v;
+  });
+
   // The engines are bit-identical by construction; a drifting checksum
   // means the bench is measuring a broken engine.
   if (interp_checksum != tape_checksum || interp_checksum != batched_checksum ||
@@ -285,6 +323,11 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
                  lp_narrow_checksum, lp_wide_checksum);
     std::exit(1);
   }
+  if (fl_lane_checksum != fl_wide_checksum) {
+    std::fprintf(stderr, "FLOAT LANE-VS-WIDE PARITY VIOLATION on %s: %.17g %.17g\n", name,
+                 fl_lane_checksum, fl_wide_checksum);
+    std::exit(1);
+  }
 
   const ac::CircuitStats stats = circuit.stats();
   const ac::TapeLayoutStats& layout_stats = tape.layout().stats();
@@ -298,10 +341,14 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
       "\"session_qps\":%.0f,\"session_batched_qps\":%.0f,\"lowprec_qps\":%.0f,"
       "\"lowprec_batched_qps\":%.0f,\"lowprec_batched_mt_qps\":%.0f,"
       "\"simd_lowprec_qps\":%.0f,\"simd_lowprec_narrow_qps\":%.0f,"
+      "\"lowprec_float_fmt\":\"%d,%d\",\"lowprec_float_datapath\":\"%s\","
+      "\"simd_lowprec_float_qps\":%.0f,\"simd_lowprec_float_wide_qps\":%.0f,"
       "\"speedup_tape\":%.2f,\"speedup_batched\":%.2f,"
       "\"speedup_simd\":%.2f,\"speedup_session_batched\":%.2f,"
       "\"speedup_lowprec_batched\":%.2f,\"speedup_simd_lowprec\":%.2f,"
-      "\"parity_checksum\":\"%.17g\",\"lowprec_parity_checksum\":\"%.17g\"}\n",
+      "\"speedup_float_lane\":%.2f,"
+      "\"parity_checksum\":\"%.17g\",\"lowprec_parity_checksum\":\"%.17g\","
+      "\"lowprec_float_parity_checksum\":\"%.17g\"}\n",
       name, stats.num_nodes, stats.num_edges, batch_size, batched_mt.options().num_threads,
       ac::simd::level_name(simd_batched.simd_level()), relayout ? "true" : "false",
       simd_batched.num_rows(), layout_stats.max_live,
@@ -309,10 +356,16 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
       narrow_eval.narrow_datapath() ? "u32" : "u128", r.interpreter_qps, r.tape_qps,
       r.batched_qps, r.batched_mt_qps, r.simd_qps, r.session_qps, r.session_batched_qps,
       r.lowprec_qps, r.lowprec_batched_qps, r.lowprec_batched_mt_qps, r.simd_lowprec_qps,
-      r.simd_lowprec_narrow_qps, r.tape_qps / r.interpreter_qps,
-      r.batched_qps / r.interpreter_qps, r.simd_qps / r.batched_qps,
-      r.session_batched_qps / r.interpreter_qps, r.lowprec_batched_qps / r.lowprec_qps,
-      r.simd_lowprec_qps / r.lowprec_batched_qps, interp_checksum, lp_checksum);
+      r.simd_lowprec_narrow_qps, fl_fmt.exponent_bits, fl_fmt.mantissa_bits,
+      float_eval.float_lane_bits() == 32
+          ? "lane32"
+          : (float_eval.float_lane_bits() == 64 ? "lane64" : "wide"),
+      r.simd_lowprec_float_qps, r.simd_lowprec_float_wide_qps,
+      r.tape_qps / r.interpreter_qps, r.batched_qps / r.interpreter_qps,
+      r.simd_qps / r.batched_qps, r.session_batched_qps / r.interpreter_qps,
+      r.lowprec_batched_qps / r.lowprec_qps, r.simd_lowprec_qps / r.lowprec_batched_qps,
+      r.simd_lowprec_float_qps / r.simd_lowprec_float_wide_qps, interp_checksum,
+      lp_checksum, fl_lane_checksum);
   return r;
 }
 
@@ -329,14 +382,14 @@ bool wants(const std::vector<std::string>& selected, const char* canonical,
 }
 
 void run_all(const std::vector<std::string>& circuits, double min_seconds,
-             lowprec::FixedFormat lp_fmt, bool relayout) {
+             lowprec::FixedFormat lp_fmt, lowprec::FloatFormat fl_fmt, bool relayout) {
   bool ran_any = false;
   // ALARM: the paper's hardest benchmark, 512 sampled leaf-sensor evidence
   // sets (the acceptance setting asks for >= 256).
   if (wants(circuits, "alarm")) {
     const datasets::Benchmark alarm = datasets::make_alarm_benchmark(1, 512);
     run_circuit("alarm", alarm.circuit, bench::to_assignments(alarm.test_evidence),
-                min_seconds, lp_fmt, relayout);
+                min_seconds, lp_fmt, fl_fmt, relayout);
     ran_any = true;
   }
   // Synthetic: a VE-compiled random 36-variable network — denser operators
@@ -352,7 +405,7 @@ void run_all(const std::vector<std::string>& circuits, double min_seconds,
     const ac::Circuit circuit = compile::compile_network(network);
     run_circuit("synthetic_ve36", circuit,
                 sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds, lp_fmt,
-                relayout);
+                fl_fmt, relayout);
     ran_any = true;
   }
   if (!ran_any) {
@@ -386,6 +439,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> circuits;
   bool relayout = true;
   double min_seconds = 0.25;
+  // The float rows' format, overridable as --float=E,M (e.g. --float=8,30
+  // for a u64-lane mantissa, --float=8,35 for the wide interleaved path);
+  // the default is the float32 shape, which rides the u32 lanes.
+  problp::lowprec::FloatFormat fl_fmt{8, 23};
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -411,6 +468,18 @@ int main(int argc, char** argv) {
           item.push_back(*p);
         }
       }
+    } else if (std::strncmp(arg, "--float=", 8) == 0) {
+      // Exactly "E,M" — a malformed value must fail loudly, never record a
+      // float row for a format that was not requested.
+      const char* comma = std::strchr(arg + 8, ',');
+      if (comma == nullptr || comma == arg + 8 || comma[1] == '\0') {
+        std::fprintf(stderr, "bench_eval_throughput: bad --float value '%s' (want E,M)\n",
+                     arg);
+        return 2;
+      }
+      const std::string exp_bits(arg + 8, comma);
+      fl_fmt.exponent_bits = parse_bits(exp_bits.c_str());
+      fl_fmt.mantissa_bits = parse_bits(comma + 1);
     } else if (std::strcmp(arg, "--no-relayout") == 0) {
       relayout = false;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -429,10 +498,11 @@ int main(int argc, char** argv) {
   } else if (!positional.empty()) {
     std::fprintf(stderr,
                  "usage: bench_eval_throughput [--circuits=name,...] [--no-relayout] "
-                 "[--min-seconds=S] [integer_bits fraction_bits]\n");
+                 "[--min-seconds=S] [--float=E,M] [integer_bits fraction_bits]\n");
     return 2;
   }
   lp_fmt.validate();
-  problp::run_all(circuits, min_seconds, lp_fmt, relayout);
+  fl_fmt.validate();
+  problp::run_all(circuits, min_seconds, lp_fmt, fl_fmt, relayout);
   return 0;
 }

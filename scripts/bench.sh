@@ -16,6 +16,19 @@
 # kernels or the wide u128 path were dispatched (acceptance: 24-bit
 # simd_lowprec_qps >= 3x the PR 4 ALARM/512 row).
 #
+# The decomposed SoftFloat datapath adds float rows to every line, for both
+# circuits (alarm and synthetic_ve36): simd_lowprec_float_qps is the raw
+# float engine at schedule defaults on the --float=E,M format (default
+# 8,23 — lane-eligible mantissas split each block into exponent and
+# significand rows and run the branch-free lane kernels;
+# lowprec_float_datapath records lane32 / lane64 / wide),
+# simd_lowprec_float_wide_qps the same format pinned to the interleaved
+# wide path (force_wide_raw) — the lane-serial reference — and
+# speedup_float_lane their ratio (acceptance: ALARM/512
+# simd_lowprec_float_qps >= 3x its wide row).  The two paths are
+# checksum-pinned in-process and lowprec_float_parity_checksum is printed
+# for cross-run diffs.
+#
 # The cache-shaped tape relayout (ac/tape_layout.hpp) adds four fields:
 #   relayout                — whether the run used the slot-reuse layout
 #   slots                   — SoA value-buffer rows per block (max-live

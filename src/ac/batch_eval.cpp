@@ -92,6 +92,13 @@ BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
     // circuits with a small live frontier regain wide cache-fitting blocks.
     options_.block = auto_block_size(rows_, sizeof(double), relayout_engaged());
   }
+  // Evidence-template image election: caching a block-shaped composed image
+  // per worker doubles the working set exactly like the low-precision leaf
+  // image does, so it takes the same residency bar — value buffer + image
+  // together inside the cache target.  Past the bar uniform blocks still
+  // win from the whole-row evidence zeroing; only the memcpy re-init is
+  // skipped.
+  use_template_image_ = 2 * rows_ * options_.block * sizeof(double) <= kCacheTargetBytes;
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
 }
 
@@ -132,22 +139,54 @@ void BatchEvaluator::evaluate_range(const PartialAssignment* batch, std::size_t 
     ws.buffer.resize(n * w);
     double* buf = ws.buffer.data();
 
-    // Leaf rows from the base pattern (parameters at θ, indicators at 1);
-    // operator rows are overwritten by the sweep and need no initialisation.
-    const auto& base = tape.base_values();
-    for (const NodeId id : tape.param_ids()) {
-      const std::size_t r = row(id);
-      std::fill(buf + r * w, buf + r * w + w, base[static_cast<std::size_t>(id)]);
+    // Whole-block evidence template: when every column shares one
+    // assignment (coalesced conditional numerators, steady-state serving),
+    // the per-column zeroing collapses to one whole-row fill per
+    // contradicted slot — and when this worker already composed exactly
+    // this template at this width, the entire leaf init + zeroing is one
+    // memcpy of the cached image.
+    bool uniform = true;
+    for (std::size_t j = 1; j < w && uniform; ++j) {
+      uniform = batch[b0 + j] == batch[b0];
     }
-    for (const NodeId id : tape.indicator_ids()) {
-      const std::size_t r = row(id);
-      std::fill(buf + r * w, buf + r * w + w, 1.0);
-    }
-    for (std::size_t j = 0; j < w; ++j) {
-      const PartialAssignment& a = batch[b0 + j];
-      if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
-      prev = &a;
-      tape.zero_contradicted(ws.observed, buf, w, j, row_of);
+    if (uniform && ws.template_valid && ws.template_w == w &&
+        ws.template_key == batch[b0]) {
+      std::memcpy(buf, ws.template_image.data(), n * w * sizeof(double));
+      // ws.observed was not refreshed for this template — force the next
+      // non-template column to re-resolve rather than hoist stale evidence.
+      prev = nullptr;
+    } else {
+      // Leaf rows from the base pattern (parameters at θ, indicators at 1);
+      // operator rows are overwritten by the sweep and need no
+      // initialisation.
+      const auto& base = tape.base_values();
+      for (const NodeId id : tape.param_ids()) {
+        const std::size_t r = row(id);
+        std::fill(buf + r * w, buf + r * w + w, base[static_cast<std::size_t>(id)]);
+      }
+      for (const NodeId id : tape.indicator_ids()) {
+        const std::size_t r = row(id);
+        std::fill(buf + r * w, buf + r * w + w, 1.0);
+      }
+      if (uniform) {
+        const PartialAssignment& a = batch[b0];
+        if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+        prev = &batch[b0 + w - 1];
+        tape.zero_contradicted_rows(ws.observed, buf, w, 0.0, row_of);
+        if (use_template_image_ && w == options_.block) {
+          ws.template_image.assign(buf, buf + n * w);
+          ws.template_key = a;
+          ws.template_w = w;
+          ws.template_valid = true;
+        }
+      } else {
+        for (std::size_t j = 0; j < w; ++j) {
+          const PartialAssignment& a = batch[b0 + j];
+          if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+          prev = &a;
+          tape.zero_contradicted(ws.observed, buf, w, j, row_of);
+        }
+      }
     }
 
     if (sweep_ != nullptr) {

@@ -144,10 +144,25 @@ class BatchEvaluator {
   /// AND the kernel-schedule backend selected).
   bool relayout_engaged() const { return row_of_ != nullptr; }
 
+  /// Whether full blocks sharing one evidence template may re-initialise
+  /// from a per-worker precomposed template image (one memcpy) instead of
+  /// the leaf fill + evidence zeroing; elected at construction by the same
+  /// cache-residency bar as the low-precision leaf image.
+  bool uses_evidence_template() const { return use_template_image_; }
+
  private:
   struct Workspace {
     simd::AlignedBuffer<double> buffer;  ///< rows * W structure-of-arrays values
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
+    // Precomposed evidence-template image: the leaf-initialised, evidence-
+    // zeroed buffer state of the last whole-block-uniform evidence template
+    // this worker composed (operator rows ride along uninitialised — the
+    // sweep overwrites them).  A following uniform block with the same
+    // template restores it with one memcpy.
+    std::vector<double> template_image;
+    PartialAssignment template_key;  ///< template the image was composed for
+    std::size_t template_w = 0;      ///< block width the image is shaped for
+    bool template_valid = false;
   };
 
   /// Evaluates batch[begin, end) into roots_[begin, end) using `ws`.
@@ -165,6 +180,7 @@ class BatchEvaluator {
   const std::int32_t* row_of_ = nullptr;    ///< node id -> row; null = identity
   std::size_t rows_ = 0;                    ///< value-buffer rows per block
   std::size_t root_row_ = 0;                ///< row of the root under row_of_
+  bool use_template_image_ = false;         ///< evidence-template image elected
   std::vector<Workspace> workspaces_;       ///< one per worker, reused across calls
   std::vector<double> roots_;
 };

@@ -2,12 +2,30 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <type_traits>
 
 #include "ac/tape_layout.hpp"
 
 namespace problp::ac {
+
+void FloatRawOps::validate() const {
+  fmt.validate();
+  // Kernel-envelope re-assertions, independent of FloatFormat::validate()'s
+  // caps: the wide kernels take the exact significand product in 128-bit
+  // intermediates (2M+2 bits) and every datapath folds unbiased exponent
+  // sums in i32 (|exp| <= 2^(E-1), so E <= 30 keeps ea+eb far from wrap).
+  // A format outside either envelope is unemulatable on this engine; fail
+  // here with the engine's own message rather than inheriting the format
+  // cap silently.
+  require(2 * fmt.mantissa_bits + 2 <= 128,
+          "FloatRawOps: mantissa_bits " + std::to_string(fmt.mantissa_bits) +
+              " needs a significand product wider than 128 bits");
+  require(fmt.exponent_bits <= 30,
+          "FloatRawOps: exponent_bits " + std::to_string(fmt.exponent_bits) +
+              " would overflow i32 exponent arithmetic");
+}
 
 namespace {
 
@@ -32,6 +50,31 @@ void scatter_leaf_rows(const CircuitTape& tape, Slot* buf, std::size_t w,
   for (const NodeId id : tape.indicator_ids()) {
     const std::size_t r = row(id);
     std::fill(buf + r * w, buf + r * w + w, one);
+  }
+}
+
+/// The decomposed-float twin of scatter_leaf_rows: each leaf lands in a
+/// parallel pair of exponent / significand rows.
+template <class Sig>
+void scatter_leaf_rows_split(const CircuitTape& tape, std::int32_t* exps, Sig* sigs,
+                             std::size_t w, const std::vector<std::int32_t>& pexps,
+                             const std::vector<Sig>& psigs, std::int32_t one_exp,
+                             Sig one_sig, const std::int32_t* row_of) {
+  const auto row = [row_of](NodeId id) {
+    return row_of == nullptr ? static_cast<std::size_t>(id)
+                             : static_cast<std::size_t>(row_of[static_cast<std::size_t>(id)]);
+  };
+  std::size_t pi = 0;
+  for (const NodeId id : tape.param_ids()) {
+    const std::size_t r = row(id);
+    std::fill(exps + r * w, exps + r * w + w, pexps[pi]);
+    std::fill(sigs + r * w, sigs + r * w + w, psigs[pi]);
+    ++pi;
+  }
+  for (const NodeId id : tape.indicator_ids()) {
+    const std::size_t r = row(id);
+    std::fill(exps + r * w, exps + r * w + w, one_exp);
+    std::fill(sigs + r * w, sigs + r * w + w, one_sig);
   }
 }
 
@@ -79,14 +122,40 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
       narrow_params_.mode = ops_.mode;
     }
   }
+  if constexpr (RawOps::kLaneCapable) {
+    // The lane-parallel decomposed float datapath: lane-eligible mantissas
+    // under the schedule backend, unless the caller pins the interleaved
+    // FloatRaw reference path.
+    if (schedule_.has_value() && !options_.force_wide_raw) lane_bits_ = ops_.lane_sig_bits();
+    if (lane_bits_ == 32) {
+      float_sweep32_ = simd::float_sweep32(level_);
+    } else if (lane_bits_ == 64) {
+      float_sweep64_ = simd::float_sweep64(level_);
+    }
+    if (lane_bits_ != 0) {
+      float_params_.mantissa_bits = ops_.fmt.mantissa_bits;
+      float_params_.min_exp = ops_.fmt.min_exponent();
+      float_params_.max_exp = ops_.fmt.max_exponent();
+      float_params_.mode = ops_.mode;
+    }
+  }
   if (options_.block == 0) {
     // Post-layout footprint: max-live rows under the relayout, so big
     // circuits with a small live frontier regain wide cache-fitting blocks.
     // The u32 lanes floor the block at 16: at 8 lanes the wide vectors run
     // half-filled and the narrow path loses to the u64-word arithmetic it
-    // replaced.
-    options_.block = auto_block_size(rows_, narrow_ ? sizeof(std::uint32_t) : sizeof(Raw),
-                                     row_of_ != nullptr, narrow_ ? 16 : 8);
+    // replaced.  The decomposed float rows count one i32 exponent plus one
+    // significand lane per slot, with the same 16-lane floor on the u32-sig
+    // path.
+    std::size_t elem = narrow_ ? sizeof(std::uint32_t) : sizeof(Raw);
+    std::size_t min_block = narrow_ ? 16 : 8;
+    if constexpr (RawOps::kLaneCapable) {
+      if (lane_bits_ != 0) {
+        elem = sizeof(std::int32_t) + static_cast<std::size_t>(lane_bits_) / 8;
+        min_block = lane_bits_ == 32 ? 16 : 8;
+      }
+    }
+    options_.block = auto_block_size(rows_, elem, row_of_ != nullptr, min_block);
   }
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
   // Same conversion set (and flag sink) as the per-query TapeEvaluator:
@@ -108,6 +177,34 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
       params_.shrink_to_fit();
     }
   }
+  if constexpr (RawOps::kLaneCapable) {
+    if (lane_bits_ != 0) {
+      // Decomposition is exact: each quantised (exp, sig) pair splits into
+      // parallel exponent / significand caches (sig < 2^(M+1) fits the lane
+      // type by lane eligibility).  The quantised zero is sig == 0 on every
+      // path, so only `one` needs decomposed constants.  The interleaved
+      // cache is dead once split — release it.
+      one_exp_ = one_.exp;
+      params_exp_.reserve(params_.size());
+      if (lane_bits_ == 32) {
+        one_sig32_ = static_cast<std::uint32_t>(one_.sig);
+        params_sig32_.reserve(params_.size());
+        for (const Raw& r : params_) {
+          params_exp_.push_back(r.exp);
+          params_sig32_.push_back(static_cast<std::uint32_t>(r.sig));
+        }
+      } else {
+        one_sig64_ = one_.sig;
+        params_sig64_.reserve(params_.size());
+        for (const Raw& r : params_) {
+          params_exp_.push_back(r.exp);
+          params_sig64_.push_back(r.sig);
+        }
+      }
+      params_.clear();
+      params_.shrink_to_fit();
+    }
+  }
   init_leaf_image();
 }
 
@@ -123,13 +220,35 @@ void LowPrecBatchEvaluator<RawOps>::init_leaf_image() {
   // working set lose badly once the buffer alone is L2-sized (-21% on
   // ALARM/3.3k, whose image would add 848 KiB) — there the per-node scatter
   // writes only the leaf rows and reads nothing.
-  const std::size_t elem = narrow_ ? sizeof(std::uint32_t) : sizeof(Raw);
+  std::size_t elem = narrow_ ? sizeof(std::uint32_t) : sizeof(Raw);
+  if constexpr (RawOps::kLaneCapable) {
+    if (lane_bits_ != 0) {
+      elem = sizeof(std::int32_t) + static_cast<std::size_t>(lane_bits_) / 8;
+    }
+  }
   const CircuitTape& tape = *tape_;
   const std::size_t w = options_.block;
   // The election and the image are both sized to the post-layout rows, so
   // under the relayout more tapes clear the residency bar, not fewer.
   use_leaf_image_ = 2 * rows_ * w * elem <= kCacheTargetBytes;
   if (!use_leaf_image_) return;
+  if constexpr (RawOps::kLaneCapable) {
+    if (lane_bits_ != 0) {
+      // Two-row decomposed image: parallel exponent / significand planes
+      // the lane path restores with two memcpys.
+      leaf_image_exp_.assign(rows_ * w, 0);
+      if (lane_bits_ == 32) {
+        leaf_image_sig32_.assign(rows_ * w, 0);
+        scatter_leaf_rows_split(tape, leaf_image_exp_.data(), leaf_image_sig32_.data(), w,
+                                params_exp_, params_sig32_, one_exp_, one_sig32_, row_of_);
+      } else {
+        leaf_image_sig64_.assign(rows_ * w, 0);
+        scatter_leaf_rows_split(tape, leaf_image_exp_.data(), leaf_image_sig64_.data(), w,
+                                params_exp_, params_sig64_, one_exp_, one_sig64_, row_of_);
+      }
+      return;
+    }
+  }
   const auto compose = [&](auto& image, const auto& params, const auto& one) {
     using Slot = typename std::decay_t<decltype(image)>::value_type;
     image.assign(rows_ * w, Slot{});
@@ -177,6 +296,16 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
       return;
     }
   }
+  if constexpr (RawOps::kLaneCapable) {
+    if (lane_bits_ == 32) {
+      lane_evaluate_range<std::uint32_t>(batch, begin, end, ws);
+      return;
+    }
+    if (lane_bits_ == 64) {
+      lane_evaluate_range<std::uint64_t>(batch, begin, end, ws);
+      return;
+    }
+  }
   const CircuitTape& tape = *tape_;
   const std::size_t n = rows_;
 
@@ -190,25 +319,53 @@ void LowPrecBatchEvaluator<RawOps>::evaluate_range(const PartialAssignment* batc
     Raw* buf = ws.buffer.data();
     lowprec::ArithFlags* qflags = flags_.data() + b0;
 
-    // Leaf rows: one memcpy of the precomposed image when elected
-    // (parameters from the quantised SoA cache, indicators at the quantised
-    // 1; operator rows are overwritten by the sweep).  A partial tail block
-    // cannot reuse the image's full-block row stride and always takes the
-    // per-node scatter.
-    if (use_leaf_image_ && w == options_.block) {
-      std::memcpy(buf, leaf_image_.data(), n * w * sizeof(Raw));
+    // Whole-block evidence template (see BatchEvaluator::evaluate_range):
+    // a uniform block zeroes whole rows once, and a repeat of the last
+    // composed template restores the block with one memcpy.
+    bool uniform = true;
+    for (std::size_t j = 1; j < w && uniform; ++j) {
+      uniform = batch[b0 + j] == batch[b0];
+    }
+    if (uniform && ws.template_valid && ws.template_w == w &&
+        ws.template_key == batch[b0]) {
+      std::memcpy(buf, ws.template_image.data(), n * w * sizeof(Raw));
+      prev = nullptr;
     } else {
-      scatter_leaf_rows(tape, buf, w, params_, one_, row_of_);
+      // Leaf rows: one memcpy of the precomposed image when elected
+      // (parameters from the quantised SoA cache, indicators at the
+      // quantised 1; operator rows are overwritten by the sweep).  A partial
+      // tail block cannot reuse the image's full-block row stride and always
+      // takes the per-node scatter.
+      if (use_leaf_image_ && w == options_.block) {
+        std::memcpy(buf, leaf_image_.data(), n * w * sizeof(Raw));
+      } else {
+        scatter_leaf_rows(tape, buf, w, params_, one_, row_of_);
+      }
+      if (uniform) {
+        const PartialAssignment& a = batch[b0];
+        if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+        prev = &batch[b0 + w - 1];
+        tape.zero_contradicted_rows(ws.observed, buf, w, zero_, row_of_);
+        // The composed template doubles the worker's block footprint just
+        // like the leaf image — reuse its residency election.
+        if (use_leaf_image_ && w == options_.block) {
+          ws.template_image.assign(buf, buf + n * w);
+          ws.template_key = a;
+          ws.template_w = w;
+          ws.template_valid = true;
+        }
+      } else {
+        for (std::size_t j = 0; j < w; ++j) {
+          const PartialAssignment& a = batch[b0 + j];
+          if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+          prev = &a;
+          tape.zero_contradicted(ws.observed, buf, w, j, zero_, row_of_);
+        }
+      }
     }
     // Each column's sticky flags start from the conversion flags the cached
     // leaves would re-raise — the same fold the per-query evaluator applies.
-    for (std::size_t j = 0; j < w; ++j) {
-      const PartialAssignment& a = batch[b0 + j];
-      qflags[j] = param_flags_;
-      if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
-      prev = &a;
-      tape.zero_contradicted(ws.observed, buf, w, j, zero_, row_of_);
-    }
+    for (std::size_t j = 0; j < w; ++j) qflags[j] = param_flags_;
 
     if (schedule_) {
       schedule_sweep(buf, qflags, w);
@@ -238,19 +395,43 @@ void LowPrecBatchEvaluator<RawOps>::narrow_evaluate_range(const PartialAssignmen
       std::uint32_t* ovf = ws.overflow.data();
       lowprec::ArithFlags* qflags = flags_.data() + b0;
 
-      if (use_leaf_image_ && w == options_.block) {
-        std::memcpy(buf, leaf_image_u32_.data(), n * w * sizeof(std::uint32_t));
+      // Whole-block evidence template, as on the wide path.
+      bool uniform = true;
+      for (std::size_t j = 1; j < w && uniform; ++j) {
+        uniform = batch[b0 + j] == batch[b0];
+      }
+      if (uniform && ws.template_valid && ws.template_w == w &&
+          ws.template_key == batch[b0]) {
+        std::memcpy(buf, ws.template_image_u32.data(), n * w * sizeof(std::uint32_t));
+        prev = nullptr;
       } else {
-        scatter_leaf_rows(tape, buf, w, params_u32_, one_u32_, row_of_);
+        if (use_leaf_image_ && w == options_.block) {
+          std::memcpy(buf, leaf_image_u32_.data(), n * w * sizeof(std::uint32_t));
+        } else {
+          scatter_leaf_rows(tape, buf, w, params_u32_, one_u32_, row_of_);
+        }
+        if (uniform) {
+          const PartialAssignment& a = batch[b0];
+          if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+          prev = &batch[b0 + w - 1];
+          tape.zero_contradicted_rows(ws.observed, buf, w, zero_u32_, row_of_);
+          if (use_leaf_image_ && w == options_.block) {
+            ws.template_image_u32.assign(buf, buf + n * w);
+            ws.template_key = a;
+            ws.template_w = w;
+            ws.template_valid = true;
+          }
+        } else {
+          for (std::size_t j = 0; j < w; ++j) {
+            const PartialAssignment& a = batch[b0 + j];
+            if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+            prev = &a;
+            tape.zero_contradicted(ws.observed, buf, w, j, zero_u32_, row_of_);
+          }
+        }
       }
       std::fill(ovf, ovf + w, 0);
-      for (std::size_t j = 0; j < w; ++j) {
-        const PartialAssignment& a = batch[b0 + j];
-        qflags[j] = param_flags_;
-        if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
-        prev = &a;
-        tape.zero_contradicted(ws.observed, buf, w, j, zero_u32_, row_of_);
-      }
+      for (std::size_t j = 0; j < w; ++j) qflags[j] = param_flags_;
 
       narrow_sweep_(*schedule_, buf, ovf, w, narrow_params_);
 
@@ -261,6 +442,152 @@ void LowPrecBatchEvaluator<RawOps>::narrow_evaluate_range(const PartialAssignmen
       for (std::size_t j = 0; j < w; ++j) {
         qflags[j].overflow |= ovf[j] != 0;
         roots_[b0 + j] = lowprec::fx_raw_to_double(root_row[j], ops_.fmt);
+      }
+    }
+  } else {
+    (void)batch;
+    (void)begin;
+    (void)end;
+    (void)ws;
+  }
+}
+
+template <class RawOps>
+template <class Sig>
+void LowPrecBatchEvaluator<RawOps>::lane_evaluate_range(const PartialAssignment* batch,
+                                                        std::size_t begin, std::size_t end,
+                                                        Workspace& ws) {
+  if constexpr (RawOps::kLaneCapable) {
+    constexpr bool kU32 = std::is_same_v<Sig, std::uint32_t>;
+    const CircuitTape& tape = *tape_;
+    const std::size_t n = rows_;
+    // One set of per-width buffers / caches per instantiation; the other
+    // width's members stay empty for this evaluator's lifetime.
+    auto& sig_buffer = [&]() -> auto& {
+      if constexpr (kU32) {
+        return ws.sig32_buffer;
+      } else {
+        return ws.sig64_buffer;
+      }
+    }();
+    auto& ovf_buffer = [&]() -> auto& {
+      if constexpr (kU32) {
+        return ws.overflow;
+      } else {
+        return ws.overflow64;
+      }
+    }();
+    auto& und_buffer = [&]() -> auto& {
+      if constexpr (kU32) {
+        return ws.underflow;
+      } else {
+        return ws.underflow64;
+      }
+    }();
+    auto& template_sigs = [&]() -> auto& {
+      if constexpr (kU32) {
+        return ws.template_image_sig32;
+      } else {
+        return ws.template_image_sig64;
+      }
+    }();
+    const auto& psigs = [&]() -> const auto& {
+      if constexpr (kU32) {
+        return params_sig32_;
+      } else {
+        return params_sig64_;
+      }
+    }();
+    const auto& image_sigs = [&]() -> const auto& {
+      if constexpr (kU32) {
+        return leaf_image_sig32_;
+      } else {
+        return leaf_image_sig64_;
+      }
+    }();
+    Sig one_sig;
+    if constexpr (kU32) {
+      one_sig = one_sig32_;
+    } else {
+      one_sig = one_sig64_;
+    }
+
+    const PartialAssignment* prev = nullptr;
+
+    for (std::size_t b0 = begin; b0 < end; b0 += options_.block) {
+      const std::size_t w = std::min(options_.block, end - b0);
+      ws.exp_buffer.resize(n * w);
+      sig_buffer.resize(n * w);
+      ovf_buffer.resize(w);
+      und_buffer.resize(w);
+      std::int32_t* exps = ws.exp_buffer.data();
+      Sig* sigs = sig_buffer.data();
+      Sig* ovf = ovf_buffer.data();
+      Sig* und = und_buffer.data();
+      lowprec::ArithFlags* qflags = flags_.data() + b0;
+
+      // Whole-block evidence template, as on the wide path — both planes
+      // restore by memcpy on a template repeat.
+      bool uniform = true;
+      for (std::size_t j = 1; j < w && uniform; ++j) {
+        uniform = batch[b0 + j] == batch[b0];
+      }
+      if (uniform && ws.template_valid && ws.template_w == w &&
+          ws.template_key == batch[b0]) {
+        std::memcpy(exps, ws.template_image_exp.data(), n * w * sizeof(std::int32_t));
+        std::memcpy(sigs, template_sigs.data(), n * w * sizeof(Sig));
+        prev = nullptr;
+      } else {
+        if (use_leaf_image_ && w == options_.block) {
+          std::memcpy(exps, leaf_image_exp_.data(), n * w * sizeof(std::int32_t));
+          std::memcpy(sigs, image_sigs.data(), n * w * sizeof(Sig));
+        } else {
+          scatter_leaf_rows_split(tape, exps, sigs, w, params_exp_, psigs, one_exp_, one_sig,
+                                  row_of_);
+        }
+        // Evidence zeroing touches only the significand plane: sig == 0 IS
+        // the encoded zero, and the kernels never read the exponent of a
+        // zero lane.
+        if (uniform) {
+          const PartialAssignment& a = batch[b0];
+          if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+          prev = &batch[b0 + w - 1];
+          tape.zero_contradicted_rows(ws.observed, sigs, w, Sig{0}, row_of_);
+          if (use_leaf_image_ && w == options_.block) {
+            ws.template_image_exp.assign(exps, exps + n * w);
+            template_sigs.assign(sigs, sigs + n * w);
+            ws.template_key = a;
+            ws.template_w = w;
+            ws.template_valid = true;
+          }
+        } else {
+          for (std::size_t j = 0; j < w; ++j) {
+            const PartialAssignment& a = batch[b0 + j];
+            if (prev == nullptr || !(a == *prev)) tape.resolve_observed(a, ws.observed);
+            prev = &a;
+            tape.zero_contradicted(ws.observed, sigs, w, j, Sig{0}, row_of_);
+          }
+        }
+      }
+      std::fill(ovf, ovf + w, Sig{0});
+      std::fill(und, und + w, Sig{0});
+      for (std::size_t j = 0; j < w; ++j) qflags[j] = param_flags_;
+
+      if constexpr (kU32) {
+        float_sweep32_(*schedule_, exps, sigs, ovf, und, w, float_params_);
+      } else {
+        float_sweep64_(*schedule_, exps, sigs, ovf, und, w, float_params_);
+      }
+
+      // OR-reduce the per-lane sticky masks into the per-column flags —
+      // exactly the saturation / flush events the wide kernels raise inline.
+      const std::int32_t* root_exp = exps + root_row_ * w;
+      const Sig* root_sig = sigs + root_row_ * w;
+      for (std::size_t j = 0; j < w; ++j) {
+        qflags[j].overflow |= ovf[j] != 0;
+        qflags[j].underflow |= und[j] != 0;
+        roots_[b0 + j] =
+            lowprec::fl_raw_to_double(lowprec::FloatRaw{root_exp[j], root_sig[j]}, ops_.fmt);
       }
     }
   } else {

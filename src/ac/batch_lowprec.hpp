@@ -45,22 +45,36 @@
 // per-column flags after the sweep.  The u32 kernels are bit-identical to
 // the u128 ones by construction (same rounding arithmetic through the
 // exact u64 product, same saturation point, same flag stickiness; see
-// lowprec/fixed_point.hpp).  Wide formats — and the float datapath, whose
-// (exp, sig) renormalisation does not map onto vector lanes — keep the
-// lane-serial wide path, where the schedule is what ISA dispatch cannot buy
-// and the fixed-point kernels are inlined at the call site.
-// Options::force_generic keeps the original wide fold as the parity
-// reference; Options::force_wide_raw pins the u128 schedule path on narrow
-// formats.
+// lowprec/fixed_point.hpp).
 //
-// Both datapaths can initialise each block from a **precomposed leaf
+// The float datapath rides its own **lane-parallel decomposed path**: the
+// interleaved (exp, sig) FloatRaw block splits into a separate i32 exponent
+// row and an unsigned significand row per slot — u32 significand lanes when
+// FloatFormat::fits_narrow_word() (M <= 27), u64 lanes when
+// fits_lane_word() (M <= 31) — and the schedule executes through the
+// branch-free float lane kernels of lowprec/soft_float.hpp, compiled into
+// the same per-ISA translation units under the same dispatch.  The kernels
+// replay fl_add_raw / fl_mul_raw / fl_max_raw bit for bit (mask-select
+// alignment with a guard/round/sticky shift-OR, nearest-even via the
+// carry-bias identity, saturation and flush-to-zero as per-lane sticky
+// masks OR-reduced into the per-column flags after the sweep).  Mantissas
+// past 31 bits keep the lane-serial interleaved path, where the schedule is
+// what ISA dispatch cannot buy.  Options::force_generic keeps the original
+// wide fold as the parity reference; Options::force_wide_raw pins the
+// interleaved schedule path (u128 words for fixed, FloatRaw pairs for
+// float) on lane-eligible formats.
+//
+// Every datapath can initialise each block from a **precomposed leaf
 // image**: a block-shaped copy of the quantised leaf cache (parameters
 // broadcast over their rows, indicators at the quantised one) laid out at
 // construction, so steady-state per-block init is a single memcpy instead
 // of a per-node scatter, followed only by the per-column evidence zeroing.
 // The image is elected cache-aware: it wins while buffer + image stay
 // L2-resident and reverts to the scatter on larger tapes (measured; see
-// init_leaf_image).
+// init_leaf_image).  Blocks whose every column shares one evidence
+// template additionally collapse the per-column zeroing to whole-row fills
+// and, under the same residency bar, re-initialise from a per-worker
+// composed template image with one memcpy (mirroring BatchEvaluator).
 //
 // An optional thread partition mirrors BatchEvaluator: the batch dimension
 // splits into block-aligned contiguous chunks, each worker owns its buffer,
@@ -88,11 +102,14 @@ struct FixedRawOps {
   using Raw = u128;
   /// Narrow formats may switch this policy's storage to u32 lanes.
   static constexpr bool kNarrowCapable = true;
+  /// The decomposed (exp, sig) lane datapath is float-only.
+  static constexpr bool kLaneCapable = false;
 
   /// Fail an unemulatable format (total width > 62 bits would silently wrap
   /// the u128 product in fx_mul_raw) at construction, with a clear error.
   void validate() const { fmt.validate(); }
   bool narrow_eligible() const { return fmt.fits_narrow_word(); }
+  int lane_sig_bits() const { return 0; }
 
   Raw quantize(double v, lowprec::ArithFlags& flags) const {
     return lowprec::FixedPoint::from_double(v, fmt, flags, mode).raw();
@@ -116,12 +133,24 @@ struct FloatRawOps {
   lowprec::RoundingMode mode;
 
   using Raw = lowprec::FloatRaw;
-  /// (exp, sig) renormalisation stays lane-serial; no narrow datapath.
+  /// The fixed-point u32 narrow path does not apply to (exp, sig) pairs...
   static constexpr bool kNarrowCapable = false;
+  /// ...but lane-eligible mantissas decompose into separate exponent and
+  /// significand rows for the lane-parallel float datapath.
+  static constexpr bool kLaneCapable = true;
 
-  /// Fail an unemulatable format at construction, with a clear error.
-  void validate() const { fmt.validate(); }
+  /// Fail an unemulatable format at construction, with a clear error:
+  /// beyond FloatFormat::validate(), re-asserts the kernel envelopes the
+  /// engine's raw-word sweeps depend on (see the definition).
+  void validate() const;
   bool narrow_eligible() const { return false; }
+  /// Significand lane width of the decomposed datapath for this format —
+  /// 32 when M <= 27 (the add path's guard-extended sum closes over u32),
+  /// 64 when M <= 31 (the exact product closes over one u64 multiply), and
+  /// 0 for wider mantissas (lane-serial interleaved path).
+  int lane_sig_bits() const {
+    return fmt.fits_narrow_word() ? 32 : (fmt.fits_lane_word() ? 64 : 0);
+  }
 
   Raw quantize(double v, lowprec::ArithFlags& flags) const {
     return lowprec::SoftFloat::from_double(v, fmt, flags, mode).raw();
@@ -173,6 +202,10 @@ class LowPrecBatchEvaluator {
   /// datapath — fixed formats with fits_narrow_word(), unless
   /// force_generic / force_wide_raw pins the u128 reference path.
   bool narrow_datapath() const { return narrow_; }
+  /// Significand lane width (32 or 64) of the decomposed float datapath
+  /// this evaluator runs, or 0 on the interleaved path (fixed datapath,
+  /// force_generic / force_wide_raw, or a mantissa past 31 bits).
+  int float_lane_bits() const { return lane_bits_; }
   /// Whether full blocks initialise from the precomposed leaf image (one
   /// memcpy) instead of the per-node scatter; elected at construction by
   /// cache residency (see init_leaf_image).
@@ -189,7 +222,25 @@ class LowPrecBatchEvaluator {
     simd::AlignedBuffer<Raw> buffer;     ///< rows * W structure-of-arrays raw words
     simd::AlignedBuffer<std::uint32_t> narrow_buffer;  ///< u32 rows (narrow datapath)
     simd::AlignedBuffer<std::uint32_t> overflow;  ///< per-lane sticky overflow masks
+    simd::AlignedBuffer<std::int32_t> exp_buffer;  ///< i32 exponent rows (float lanes)
+    simd::AlignedBuffer<std::uint32_t> sig32_buffer;  ///< u32 significand rows
+    simd::AlignedBuffer<std::uint64_t> sig64_buffer;  ///< u64 significand rows
+    simd::AlignedBuffer<std::uint32_t> underflow;     ///< u32-lane underflow masks
+    simd::AlignedBuffer<std::uint64_t> overflow64;    ///< u64-lane sticky masks
+    simd::AlignedBuffer<std::uint64_t> underflow64;
     std::vector<std::int32_t> observed;  ///< per-query resolved evidence scratch
+    // Precomposed evidence-template image of the engaged datapath: the
+    // leaf-initialised, evidence-zeroed block state of the last
+    // whole-block-uniform template this worker composed; a following
+    // uniform block with the same template restores it by memcpy.
+    std::vector<Raw> template_image;
+    std::vector<std::uint32_t> template_image_u32;
+    std::vector<std::int32_t> template_image_exp;
+    std::vector<std::uint32_t> template_image_sig32;
+    std::vector<std::uint64_t> template_image_sig64;
+    PartialAssignment template_key;  ///< template the image was composed for
+    std::size_t template_w = 0;      ///< block width the image is shaped for
+    bool template_valid = false;
   };
 
   /// Evaluates batch[begin, end) into roots_/flags_[begin, end) using `ws`.
@@ -199,6 +250,12 @@ class LowPrecBatchEvaluator {
   /// no-op for raw-ops policies without a narrow datapath.
   void narrow_evaluate_range(const PartialAssignment* batch, std::size_t begin,
                              std::size_t end, Workspace& ws);
+  /// The decomposed float-lane twin of evaluate_range (Sig = the engaged
+  /// significand lane type); compiled to a no-op for raw-ops policies
+  /// without a lane datapath.
+  template <class Sig>
+  void lane_evaluate_range(const PartialAssignment* batch, std::size_t begin,
+                           std::size_t end, Workspace& ws);
   /// Elects and lays out the block-shaped precomposed leaf image of the
   /// engaged datapath (one memcpy per full block instead of a per-node
   /// scatter, while cache residency makes that a win).
@@ -224,9 +281,13 @@ class LowPrecBatchEvaluator {
   std::size_t rows_ = 0;                    ///< SoA buffer rows per block
   std::size_t root_row_ = 0;                ///< row of the root under row_of_
   bool narrow_ = false;                     ///< u32 datapath engaged
+  int lane_bits_ = 0;                       ///< float sig lane width; 0 = interleaved
   bool use_leaf_image_ = false;             ///< leaf-image block init elected
   simd::FixedSweepFn narrow_sweep_ = nullptr;  ///< per-ISA u32 schedule executor
   simd::FixedSweepParams narrow_params_;       ///< precomputed format constants
+  simd::FloatSweepFn32 float_sweep32_ = nullptr;  ///< per-ISA float lane executors
+  simd::FloatSweepFn64 float_sweep64_ = nullptr;
+  simd::FloatSweepParams float_params_;           ///< precomputed format constants
   lowprec::ArithFlags param_flags_;  ///< conversion flags the cached leaves would raise
   Raw one_{};                        ///< quantised indicator 1
   Raw zero_{};                       ///< quantised indicator 0
@@ -234,8 +295,17 @@ class LowPrecBatchEvaluator {
   std::uint32_t one_u32_ = 0;        ///< narrow copies of the leaf constants
   std::uint32_t zero_u32_ = 0;
   std::vector<std::uint32_t> params_u32_;  ///< narrow leaf cache (lossless narrowing)
+  std::int32_t one_exp_ = 0;               ///< decomposed copies of the leaf constants
+  std::uint32_t one_sig32_ = 0;            ///< (zero is sig == 0 on every lane path)
+  std::uint64_t one_sig64_ = 0;
+  std::vector<std::int32_t> params_exp_;   ///< decomposed leaf caches (float lanes)
+  std::vector<std::uint32_t> params_sig32_;
+  std::vector<std::uint64_t> params_sig64_;
   std::vector<Raw> leaf_image_;            ///< precomposed block-shaped leaves (wide)
   std::vector<std::uint32_t> leaf_image_u32_;  ///< same, narrow datapath
+  std::vector<std::int32_t> leaf_image_exp_;   ///< same, decomposed float lanes
+  std::vector<std::uint32_t> leaf_image_sig32_;
+  std::vector<std::uint64_t> leaf_image_sig64_;
   std::vector<Workspace> workspaces_;  ///< one per worker, reused across calls
   std::vector<double> roots_;
   std::vector<lowprec::ArithFlags> flags_;

@@ -24,6 +24,20 @@ void fixed_sweep_scalar(const KernelSchedule& schedule, std::uint32_t* buf,
   detail::run_fixed_schedule<1, ScalarTag>(schedule, buf, ovf, w, params);
 }
 
+void float_sweep32_scalar(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                          std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<1, std::uint32_t, ScalarTag>(schedule, exps, sigs, ovf, und, w,
+                                                          params);
+}
+
+void float_sweep64_scalar(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                          std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<1, std::uint64_t, ScalarTag>(schedule, exps, sigs, ovf, und, w,
+                                                          params);
+}
+
 }  // namespace
 
 // Defined in the per-ISA translation units (present only when the build
@@ -32,16 +46,34 @@ void fixed_sweep_scalar(const KernelSchedule& schedule, std::uint32_t* buf,
 void exact_sweep_avx2(const KernelSchedule& schedule, double* buf, std::size_t w);
 void fixed_sweep_avx2(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
                       std::size_t w, const FixedSweepParams& params);
+void float_sweep32_avx2(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                        std::size_t w, const FloatSweepParams& params);
+void float_sweep64_avx2(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                        std::size_t w, const FloatSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_AVX512
 void exact_sweep_avx512(const KernelSchedule& schedule, double* buf, std::size_t w);
 void fixed_sweep_avx512(const KernelSchedule& schedule, std::uint32_t* buf,
                         std::uint32_t* ovf, std::size_t w, const FixedSweepParams& params);
+void float_sweep32_avx512(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                          std::size_t w, const FloatSweepParams& params);
+void float_sweep64_avx512(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                          std::size_t w, const FloatSweepParams& params);
 #endif
 #ifdef PROBLP_SIMD_TU_NEON
 void exact_sweep_neon(const KernelSchedule& schedule, double* buf, std::size_t w);
 void fixed_sweep_neon(const KernelSchedule& schedule, std::uint32_t* buf, std::uint32_t* ovf,
                       std::size_t w, const FixedSweepParams& params);
+void float_sweep32_neon(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                        std::size_t w, const FloatSweepParams& params);
+void float_sweep64_neon(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                        std::size_t w, const FloatSweepParams& params);
 #endif
 
 const char* level_name(Level level) {
@@ -186,6 +218,52 @@ FixedSweepFn fixed_sweep(Level level) {
 #ifdef PROBLP_SIMD_TU_AVX512
     case Level::kAvx512:
       return &fixed_sweep_avx512;
+#endif
+    default:
+      break;
+  }
+  throw InvalidArgument(std::string("simd level '") + level_name(level) +
+                        "' not compiled into this binary");
+}
+
+FloatSweepFn32 float_sweep32(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &float_sweep32_scalar;
+#ifdef PROBLP_SIMD_TU_NEON
+    case Level::kNeon:
+      return &float_sweep32_neon;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX2
+    case Level::kAvx2:
+      return &float_sweep32_avx2;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX512
+    case Level::kAvx512:
+      return &float_sweep32_avx512;
+#endif
+    default:
+      break;
+  }
+  throw InvalidArgument(std::string("simd level '") + level_name(level) +
+                        "' not compiled into this binary");
+}
+
+FloatSweepFn64 float_sweep64(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &float_sweep64_scalar;
+#ifdef PROBLP_SIMD_TU_NEON
+    case Level::kNeon:
+      return &float_sweep64_neon;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX2
+    case Level::kAvx2:
+      return &float_sweep64_avx2;
+#endif
+#ifdef PROBLP_SIMD_TU_AVX512
+    case Level::kAvx512:
+      return &float_sweep64_avx512;
 #endif
     default:
       break;

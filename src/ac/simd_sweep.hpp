@@ -104,6 +104,38 @@ using FixedSweepFn = void (*)(const KernelSchedule& schedule, std::uint32_t* buf
 /// supported level.
 FixedSweepFn fixed_sweep(Level level);
 
+/// Precomputed per-format constants of the decomposed (exp, sig) float lane
+/// datapath — engaged by the batched low-precision engine when
+/// FloatFormat::fits_lane_word() (significand lanes are u32 when
+/// fits_narrow_word(), u64 otherwise; exponent lanes are always i32; see
+/// lowprec/soft_float.hpp for the lane kernels and their parity argument).
+struct FloatSweepParams {
+  int mantissa_bits = 0;       ///< M; lane significands carry M+1 bits
+  std::int32_t min_exp = 0;    ///< fmt.min_exponent(): mul flushes below it
+  std::int32_t max_exp = 0;    ///< fmt.max_exponent(): add/mul saturate above it
+  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven;
+};
+
+/// Executes the whole kernel schedule for one decomposed float SoA block:
+/// `exps` and `sigs` each hold schedule.num_rows() rows of `w` lanes (leaf
+/// rows pre-initialised, evidence pre-applied by zeroing significands —
+/// sig == 0 encodes zero, so exponent lanes of zero slots are don't-cares).
+/// `ovf` / `und` are per-lane sticky overflow / underflow masks (nonzero
+/// when that column ever saturated / flushed), OR-accumulated by every
+/// add/mul; the caller folds them into the per-column ArithFlags after the
+/// sweep.
+using FloatSweepFn32 = void (*)(const KernelSchedule& schedule, std::int32_t* exps,
+                                std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                                std::size_t w, const FloatSweepParams& params);
+using FloatSweepFn64 = void (*)(const KernelSchedule& schedule, std::int32_t* exps,
+                                std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                                std::size_t w, const FloatSweepParams& params);
+
+/// The decomposed float schedule executors for `level`; never null for a
+/// supported level.
+FloatSweepFn32 float_sweep32(Level level);
+FloatSweepFn64 float_sweep64(Level level);
+
 /// SoA row alignment (bytes): one full AVX-512 vector, which also makes
 /// every row of an 8-lane-multiple block start on its own cache line.
 inline constexpr std::size_t kRowAlignment = 64;

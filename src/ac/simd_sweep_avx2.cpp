@@ -24,6 +24,23 @@ void fixed_sweep_avx2(const KernelSchedule& schedule, std::uint32_t* buf, std::u
   detail::run_fixed_schedule<8, Avx2Tag>(schedule, buf, ovf, w, params);
 }
 
+// Decomposed float lanes: i32 exponents + u32/u64 significands, W matching
+// the significand lane count per ymm (AVX2 brings the vpsrlvd/vpsrlvq
+// variable shifts the lane kernels' alignment step leans on).
+void float_sweep32_avx2(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                        std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<8, std::uint32_t, Avx2Tag>(schedule, exps, sigs, ovf, und, w,
+                                                        params);
+}
+
+void float_sweep64_avx2(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                        std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<4, std::uint64_t, Avx2Tag>(schedule, exps, sigs, ovf, und, w,
+                                                        params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_AVX2

@@ -111,6 +111,24 @@ void fixed_sweep_avx512(const KernelSchedule& schedule, std::uint32_t* buf,
   detail::run_fixed_schedule<16, Avx512Tag>(schedule, buf, ovf, w, params);
 }
 
+// Decomposed float lanes: i32 exponents + u32/u64 significands, W matching
+// the significand lane count per zmm.  The branch-free lane kernels
+// (lowprec/soft_float.hpp) are all blends, variable shifts (vpsrlvd /
+// vpsrlvq) and compares, which -mavx512f autovectorises directly.
+void float_sweep32_avx512(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                          std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<16, std::uint32_t, Avx512Tag>(schedule, exps, sigs, ovf, und, w,
+                                                           params);
+}
+
+void float_sweep64_avx512(const KernelSchedule& schedule, std::int32_t* exps,
+                          std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                          std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<8, std::uint64_t, Avx512Tag>(schedule, exps, sigs, ovf, und, w,
+                                                          params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_AVX512

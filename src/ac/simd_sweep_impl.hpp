@@ -18,6 +18,7 @@
 #include "ac/simd_sweep.hpp"
 #include "ac/tape.hpp"
 #include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
 
 namespace problp::ac::simd::detail {
 
@@ -307,6 +308,187 @@ void run_fixed_schedule(const KernelSchedule& schedule, std::uint32_t* buf,
   } else {
     run_fixed_schedule_mode<W, lowprec::RoundingMode::kTruncate, Tag>(schedule, buf, ovf, w,
                                                                       p);
+  }
+}
+
+// ---- decomposed float schedule ---------------------------------------------
+// The same executor shape over decomposed (exp, sig) rows of one lane-word
+// float format (lowprec/soft_float.hpp documents the eligibility rule and
+// the branch-free per-word kernels; FloatFormat::fits_narrow_word() formats
+// store u32 significand lanes, fits_lane_word() u64 ones, exponents always
+// i32).  Every op streams two value rows per operand plus the two per-lane
+// sticky mask arrays — all plain lane arithmetic the vectoriser handles.
+
+/// Saturating lane add on decomposed rows.
+template <class Sig, lowprec::RoundingMode Mode>
+struct FlAddOp {
+  int m;
+  std::int32_t max_exp;
+  void apply(std::int32_t ae, Sig as, std::int32_t be, Sig bs, std::int32_t& oe, Sig& os,
+             Sig& ovf, Sig&) const {
+    lowprec::detail::fl_add_raw_lane<Sig, Mode>(ae, as, be, bs, m, max_exp, oe, os, ovf);
+  }
+};
+
+/// Rounding lane multiply; Mode is a template parameter so the rounding
+/// branch is hoisted out of every lane loop (M >= 1 keeps half >= 1 in both
+/// modes, so unlike the fixed path there is no F == 0 special case).
+template <class Sig, lowprec::RoundingMode Mode>
+struct FlMulOp {
+  int m;
+  std::int32_t min_exp;
+  std::int32_t max_exp;
+  void apply(std::int32_t ae, Sig as, std::int32_t be, Sig bs, std::int32_t& oe, Sig& os,
+             Sig& ovf, Sig& und) const {
+    lowprec::detail::fl_mul_raw_lane<Sig, Mode>(ae, as, be, bs, m, min_exp, max_exp, oe, os,
+                                                ovf, und);
+  }
+};
+
+/// Exact lane max (never flags).
+template <class Sig>
+struct FlMaxOp {
+  void apply(std::int32_t ae, Sig as, std::int32_t be, Sig bs, std::int32_t& oe, Sig& os,
+             Sig&, Sig&) const {
+    lowprec::detail::fl_max_raw_lane<Sig>(ae, as, be, bs, oe, os);
+  }
+};
+
+/// One homogeneous fanin-2 run on decomposed float rows of w lanes.  Output
+/// rows never alias input rows (children strictly precede parents; the slot
+/// allocator never hands an op an operand's slot), and the masks are
+/// separate accumulator arrays, hence the restricts.
+template <int W, class Sig, class Op, class Tag>
+void float_fanin2_run(const std::int32_t* out, const std::int32_t* lhs,
+                      const std::int32_t* rhs, std::size_t n, std::int32_t* exps, Sig* sigs,
+                      Sig* __restrict ovf, Sig* __restrict und, std::size_t w, const Op& op) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ro = static_cast<std::size_t>(out[i]) * w;
+    const std::size_t ra = static_cast<std::size_t>(lhs[i]) * w;
+    const std::size_t rb = static_cast<std::size_t>(rhs[i]) * w;
+    std::int32_t* __restrict oe = exps + ro;
+    Sig* __restrict os = sigs + ro;
+    const std::int32_t* ae = exps + ra;
+    const Sig* as = sigs + ra;
+    const std::int32_t* be = exps + rb;
+    const Sig* bs = sigs + rb;
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) {
+        op.apply(ae[j + l], as[j + l], be[j + l], bs[j + l], oe[j + l], os[j + l],
+                 ovf[j + l], und[j + l]);
+      }
+    }
+    for (; j < w; ++j) op.apply(ae[j], as[j], be[j], bs[j], oe[j], os[j], ovf[j], und[j]);
+  }
+}
+
+/// One generic fallback run on decomposed float rows: the classic CSR fold
+/// (first-child copy of both rows, then one fold per remaining child) with
+/// the same lane kernels, so values and flag verdicts replay the wide
+/// generic fold exactly.
+template <int W, class Sig, lowprec::RoundingMode Mode, class Tag>
+void float_generic_run(const KernelSchedule& schedule, std::uint32_t gbegin,
+                       std::uint32_t gend, std::int32_t* exps, Sig* sigs,
+                       Sig* __restrict ovf, Sig* __restrict und, std::size_t w,
+                       const FloatSweepParams& p) {
+  const FlAddOp<Sig, Mode> add{p.mantissa_bits, p.max_exp};
+  const FlMulOp<Sig, Mode> mul{p.mantissa_bits, p.min_exp, p.max_exp};
+  const FlMaxOp<Sig> mx{};
+  const NodeKind* kinds = schedule.gen_kinds().data();
+  const std::int32_t* gout = schedule.gen_out().data();
+  const std::int32_t* offsets = schedule.gen_offsets().data();
+  const std::int32_t* children = schedule.gen_children().data();
+  const auto fold = [&](std::int32_t* oe, Sig* os, const std::int32_t* be, const Sig* bs,
+                        const auto& op) {
+    std::size_t j = 0;
+    for (; j + W <= w; j += W) {
+      for (int l = 0; l < W; ++l) {
+        op.apply(oe[j + l], os[j + l], be[j + l], bs[j + l], oe[j + l], os[j + l],
+                 ovf[j + l], und[j + l]);
+      }
+    }
+    for (; j < w; ++j) op.apply(oe[j], os[j], be[j], bs[j], oe[j], os[j], ovf[j], und[j]);
+  };
+  for (std::uint32_t g = gbegin; g < gend; ++g) {
+    const std::int32_t cb = offsets[g];
+    const std::int32_t ce = offsets[g + 1];
+    const std::size_t ro = static_cast<std::size_t>(gout[g]) * w;
+    const std::size_t rf =
+        static_cast<std::size_t>(children[static_cast<std::size_t>(cb)]) * w;
+    std::int32_t* oe = exps + ro;
+    Sig* os = sigs + ro;
+    std::memcpy(oe, exps + rf, w * sizeof(std::int32_t));
+    std::memcpy(os, sigs + rf, w * sizeof(Sig));
+    for (std::int32_t k = cb + 1; k < ce; ++k) {
+      const std::size_t rc = static_cast<std::size_t>(
+                                 children[static_cast<std::size_t>(k)]) *
+                             w;
+      switch (kinds[g]) {
+        case NodeKind::kSum:
+          fold(oe, os, exps + rc, sigs + rc, add);
+          break;
+        case NodeKind::kProd:
+          fold(oe, os, exps + rc, sigs + rc, mul);
+          break;
+        case NodeKind::kMax:
+          fold(oe, os, exps + rc, sigs + rc, mx);
+          break;
+        default:
+          break;  // leaves never appear in the schedule
+      }
+    }
+  }
+}
+
+/// The full decomposed float schedule for one block, at one rounding
+/// instantiation.
+template <int W, class Sig, lowprec::RoundingMode Mode, class Tag>
+void run_float_schedule_mode(const KernelSchedule& schedule, std::int32_t* exps, Sig* sigs,
+                             Sig* ovf, Sig* und, std::size_t w, const FloatSweepParams& p) {
+  const std::int32_t* out = schedule.out().data();
+  const std::int32_t* lhs = schedule.lhs().data();
+  const std::int32_t* rhs = schedule.rhs().data();
+  const FlAddOp<Sig, Mode> add{p.mantissa_bits, p.max_exp};
+  const FlMulOp<Sig, Mode> mul{p.mantissa_bits, p.min_exp, p.max_exp};
+  const FlMaxOp<Sig> mx{};
+  for (const KernelSegment& seg : schedule.segments()) {
+    switch (seg.kind) {
+      case KernelSegment::Kind::kSum2:
+        float_fanin2_run<W, Sig, FlAddOp<Sig, Mode>, Tag>(
+            out + seg.begin, lhs + seg.begin, rhs + seg.begin, seg.size(), exps, sigs, ovf,
+            und, w, add);
+        break;
+      case KernelSegment::Kind::kProd2:
+        float_fanin2_run<W, Sig, FlMulOp<Sig, Mode>, Tag>(
+            out + seg.begin, lhs + seg.begin, rhs + seg.begin, seg.size(), exps, sigs, ovf,
+            und, w, mul);
+        break;
+      case KernelSegment::Kind::kMax2:
+        float_fanin2_run<W, Sig, FlMaxOp<Sig>, Tag>(out + seg.begin, lhs + seg.begin,
+                                                    rhs + seg.begin, seg.size(), exps, sigs,
+                                                    ovf, und, w, mx);
+        break;
+      case KernelSegment::Kind::kGeneric:
+        float_generic_run<W, Sig, Mode, Tag>(schedule, seg.begin, seg.end, exps, sigs, ovf,
+                                             und, w, p);
+        break;
+    }
+  }
+}
+
+/// Rounding-mode dispatch, once per block.  Both modes are valid at every
+/// M >= 1 (the carry-bias halves are >= 4 for adds and >= 1 for multiplies).
+template <int W, class Sig, class Tag>
+void run_float_schedule(const KernelSchedule& schedule, std::int32_t* exps, Sig* sigs,
+                        Sig* ovf, Sig* und, std::size_t w, const FloatSweepParams& p) {
+  if (p.mode == lowprec::RoundingMode::kNearestEven) {
+    run_float_schedule_mode<W, Sig, lowprec::RoundingMode::kNearestEven, Tag>(
+        schedule, exps, sigs, ovf, und, w, p);
+  } else {
+    run_float_schedule_mode<W, Sig, lowprec::RoundingMode::kTruncate, Tag>(schedule, exps,
+                                                                           sigs, ovf, und, w,
+                                                                           p);
   }
 }
 

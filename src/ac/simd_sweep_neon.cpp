@@ -22,6 +22,23 @@ void fixed_sweep_neon(const KernelSchedule& schedule, std::uint32_t* buf, std::u
   detail::run_fixed_schedule<4, NeonTag>(schedule, buf, ovf, w, params);
 }
 
+// Decomposed float lanes: i32 exponents + u32/u64 significands, W matching
+// the significand lane count per 128-bit vector (NEON's ushl-by-register
+// covers the kernels' variable shifts).
+void float_sweep32_neon(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint32_t* sigs, std::uint32_t* ovf, std::uint32_t* und,
+                        std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<4, std::uint32_t, NeonTag>(schedule, exps, sigs, ovf, und, w,
+                                                        params);
+}
+
+void float_sweep64_neon(const KernelSchedule& schedule, std::int32_t* exps,
+                        std::uint64_t* sigs, std::uint64_t* ovf, std::uint64_t* und,
+                        std::size_t w, const FloatSweepParams& params) {
+  detail::run_float_schedule<2, std::uint64_t, NeonTag>(schedule, exps, sigs, ovf, und, w,
+                                                        params);
+}
+
 }  // namespace problp::ac::simd
 
 #endif  // PROBLP_SIMD_TU_NEON

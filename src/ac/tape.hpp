@@ -29,6 +29,7 @@
 // and the range analyses all run on the same tape.  See docs/evaluation.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -108,6 +109,30 @@ class CircuitTape {
                          std::size_t stride, std::size_t column,
                          const std::int32_t* row_of = nullptr) const {
     zero_contradicted(observed, values, stride, column, 0.0, row_of);
+  }
+
+  /// Whole-row variant for batched blocks whose every column shares one
+  /// evidence template: writes `zero` across the full `stride`-wide row of
+  /// each contradicted indicator, so a uniform block zeroes each slot once
+  /// with a contiguous fill instead of `stride` separate column walks.
+  template <class T>
+  void zero_contradicted_rows(const std::vector<std::int32_t>& observed, T* values,
+                              std::size_t stride, const T& zero,
+                              const std::int32_t* row_of = nullptr) const {
+    for (std::size_t v = 0; v < observed.size(); ++v) {
+      const std::int32_t obs = observed[v];
+      if (obs < 0) continue;
+      const int card = cardinalities_[v];
+      for (int s = 0; s < card; ++s) {
+        if (s == obs) continue;
+        const NodeId id = indicator_index_[static_cast<std::size_t>(var_offsets_[v] + s)];
+        if (id == kInvalidNode) continue;
+        const std::size_t row =
+            row_of == nullptr ? static_cast<std::size_t>(id)
+                              : static_cast<std::size_t>(row_of[static_cast<std::size_t>(id)]);
+        std::fill(values + row * stride, values + row * stride + stride, zero);
+      }
+    }
   }
 
   /// Double fast path: values of all nodes into `values` (capacity reused

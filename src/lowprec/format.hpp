@@ -67,6 +67,29 @@ struct FloatFormat {
   int exponent_bits = 8;  ///< E >= 2
   int mantissa_bits = 8;  ///< M >= 1 (explicit fraction bits; hidden leading 1)
 
+  /// Widest mantissa the u32-significand lane datapath of the batched float
+  /// engine accepts: the add path's guard-extended sum carries M+5 bits
+  /// (two (M+1)-bit significands shifted up by 3 guard bits plus one carry),
+  /// which must close over the u32 storage lane, so M <= 27.  Exponent rows
+  /// are always i32 lanes.  See lowprec/soft_float.hpp and
+  /// docs/evaluation.md.
+  static constexpr int kNarrowSigMantissaBits = 27;
+
+  /// Widest mantissa any decomposed lane datapath accepts: the exact
+  /// significand product carries 2M+2 bits, which must close over one u64
+  /// lane multiply, so M <= 31.  Wider formats stay on the lane-serial
+  /// interleaved FloatRaw path (u128 intermediates).
+  static constexpr int kLaneSigMantissaBits = 31;
+
+  /// Whether significands of this format fit u32 storage lanes in the
+  /// decomposed (exp, sig) SoA datapath — the float analogue of
+  /// FixedFormat::fits_narrow_word().
+  bool fits_narrow_word() const { return mantissa_bits <= kNarrowSigMantissaBits; }
+
+  /// Whether the decomposed lane datapath applies at all (u32 or u64
+  /// significand lanes); false keeps the wide interleaved path.
+  bool fits_lane_word() const { return mantissa_bits <= kLaneSigMantissaBits; }
+
   /// IEEE-style bias.
   int bias() const { return (1 << (exponent_bits - 1)) - 1; }
 

@@ -118,4 +118,187 @@ inline FloatRaw fl_max_raw(const FloatRaw& a, const FloatRaw& b) {
 /// Widens a raw word back to double — identical to SoftFloat::to_double.
 double fl_raw_to_double(const FloatRaw& raw, const FloatFormat& fmt);
 
+// ---- decomposed lane kernels ------------------------------------------------
+// The same operators on *decomposed* (exp, sig) words — exponent in an i32
+// lane, significand in a u32 lane when FloatFormat::fits_narrow_word()
+// (M <= 27) or a u64 lane when fits_lane_word() (M <= 31).  These are the
+// per-word semantics of the lane-parallel float datapath: the batched SoA
+// engine stores separate exponent and significand rows and
+// ac/simd_sweep_impl.hpp executes these kernels over contiguous lane arrays
+// inside the per-ISA translation units.  They are written branch-free —
+// every select is a ternary the vectoriser turns into a blend, every shift
+// count is clamped below the lane width so no input (including the garbage
+// a masked-off zero-operand path computes on) invokes UB, and
+// overflow/underflow are reported as 0/1 values OR-ed into per-lane mask
+// accumulators, never sticky bool stores — so the surrounding lane loops
+// vectorise.
+//
+// Each kernel replays fl_add_raw / fl_mul_raw / fl_max_raw bit for bit:
+//
+//  * the smaller addend aligns with 3 guard bits and the dropped bits fold
+//    into a sticky OR, exactly the wide path's GRS alignment (an exponent
+//    gap clamped at the lane width only ever lands in the "pure sticky"
+//    region d > M+4, where the wide path also contributes exactly 1);
+//  * since both operands are normalised, the guard-extended sum has its msb
+//    at M+3 or M+4 and the exact product at 2M or 2M+1, so make_normalized's
+//    msb scan collapses to one carry bit and the variable-shift rounding
+//    (shift 3+carry for add, M+carry for mul) is the wide path's
+//    round_shift_right at the same shift;
+//  * nearest-even rounds via the carry-bias identity
+//    kept = (v + (half-1) + ((v>>s)&1)) >> s, whose bias cannot wrap the
+//    lane (sum <= 2^(M+5)-15 with bias <= 8 at M <= 27; product
+//    <= 2^(2M+2)-2^(M+2)+1 with bias <= 2^M at M <= 31);
+//  * overflow saturates to (emax, 2^(M+1)-1) and a non-zero product below
+//    2^emin flushes to zero, each OR-ing a nonzero value into its mask
+//    exactly when the wide path would raise the flag (adds never underflow:
+//    the sum's exponent is >= the larger operand's).
+//
+// sig == 0 encodes zero throughout; the exponent lane of a zero result is
+// unspecified (consumers select on sig, and FloatRaw equality ignores exp
+// when sig == 0).  tests/soft_float_test.cpp proves parity exhaustively at
+// small widths and randomized at the u32/u64 lane boundaries.
+
+namespace detail {
+
+/// a + b on decomposed lanes; Sig is the significand lane type.  Results
+/// land in (re, rs); an overflowing lane ORs a nonzero value into
+/// `ovf_mask`.  `m` is FloatFormat::mantissa_bits, `max_exp` the format's
+/// largest unbiased exponent.
+template <class Sig, RoundingMode Mode>
+inline void fl_add_raw_lane(std::int32_t ea, Sig sa, std::int32_t eb, Sig sb, int m,
+                            std::int32_t max_exp, std::int32_t& re, Sig& rs,
+                            Sig& ovf_mask) {
+  constexpr std::int32_t kShiftMax = static_cast<std::int32_t>(sizeof(Sig) * 8) - 1;
+  // Mask-select the larger-exponent operand (ties keep `a`, like the wide
+  // path — the d == 0 sum is symmetric anyway).
+  const bool a_big = ea >= eb;
+  const std::int32_t be = a_big ? ea : eb;
+  const Sig bigs = a_big ? sa : sb;
+  const Sig smalls = a_big ? sb : sa;
+  const std::int32_t d = a_big ? ea - eb : eb - ea;
+  // Align the smaller addend with 3 guard bits, folding every dropped bit
+  // into a sticky OR.  The shift clamp at the lane width is exact: for
+  // d > M+4 the kept bits are already 0 and the sticky contributes the same
+  // 1 the wide path's "entirely below the guard bits" branch does.
+  const Sig sdd = static_cast<Sig>(d > kShiftMax ? kShiftMax : d);
+  const Sig asig3 = bigs << 3;
+  const Sig shifted = smalls << 3;
+  const Sig keptb = shifted >> sdd;
+  const Sig bsig3 = keptb | static_cast<Sig>((shifted ^ (keptb << sdd)) != 0);
+  const Sig sum = asig3 + bsig3;
+  // Both operands normalised => msb(sum) is M+3 or M+4: one carry bit
+  // replaces the wide path's msb scan, and the rounding shift is 3+carry.
+  const Sig carry = sum >> (m + 4);
+  const Sig shift = static_cast<Sig>(3) + carry;
+  Sig kept;
+  if constexpr (Mode == RoundingMode::kNearestEven) {
+    const Sig half = static_cast<Sig>(4) << carry;
+    kept = (sum + (half - 1) + ((sum >> shift) & 1)) >> shift;
+  } else {
+    kept = sum >> shift;
+  }
+  // Rounding may carry into a new binade (kept == 2^(M+1)): renormalise.
+  const Sig rc = kept >> (m + 1);
+  kept >>= rc;
+  const std::int32_t exp = be + static_cast<std::int32_t>(carry + rc);
+  // Overflow saturation (adds never underflow: exp >= be >= emin).
+  const bool ovf = exp > max_exp;
+  const Sig sig_max = (static_cast<Sig>(1) << (m + 1)) - 1;
+  // Zero-operand end-select: x + 0 = x exactly, no flags.
+  const bool a_zero = sa == 0;
+  const bool b_zero = sb == 0;
+  rs = a_zero ? sb : (b_zero ? sa : (ovf ? sig_max : kept));
+  re = a_zero ? eb : (b_zero ? ea : (ovf ? max_exp : exp));
+  ovf_mask |= static_cast<Sig>(ovf & !a_zero & !b_zero);
+}
+
+/// a * b on decomposed lanes.  The exact significand product widens through
+/// u64 (one 32x32->64 lane multiply on the u32 path; 2M+2 <= 64 bits on the
+/// u64 path).  `min_exp`/`max_exp` bound the format's unbiased exponents;
+/// overflowing / underflowing lanes OR nonzero values into their masks.
+template <class Sig, RoundingMode Mode>
+inline void fl_mul_raw_lane(std::int32_t ea, Sig sa, std::int32_t eb, Sig sb, int m,
+                            std::int32_t min_exp, std::int32_t max_exp, std::int32_t& re,
+                            Sig& rs, Sig& ovf_mask, Sig& und_mask) {
+  const std::uint64_t prod = static_cast<std::uint64_t>(sa) * sb;
+  // Normalised operands => msb(prod) is 2M or 2M+1: the rounding shift is
+  // M+carry, the wide path's msb - M.
+  const std::uint64_t carry = prod >> (2 * m + 1);
+  const std::uint64_t shift = static_cast<std::uint64_t>(m) + carry;
+  std::uint64_t kept;
+  if constexpr (Mode == RoundingMode::kNearestEven) {
+    const std::uint64_t half = (std::uint64_t{1} << (m - 1)) << carry;
+    kept = (prod + (half - 1) + ((prod >> shift) & 1)) >> shift;
+  } else {
+    kept = prod >> shift;
+  }
+  const std::uint64_t rc = kept >> (m + 1);
+  kept >>= rc;
+  const std::int32_t exp = ea + eb + static_cast<std::int32_t>(carry + rc);
+  const bool ovf = exp > max_exp;
+  const bool und = exp < min_exp;
+  const Sig sig_max = (static_cast<Sig>(1) << (m + 1)) - 1;
+  // kept < 2^(M+1) fits Sig; a zero operand or an underflow flushes to 0.
+  const bool active = (sa != 0) & (sb != 0);
+  const Sig sig = ovf ? sig_max : (und ? static_cast<Sig>(0) : static_cast<Sig>(kept));
+  rs = active ? sig : static_cast<Sig>(0);
+  re = ovf ? max_exp : exp;
+  ovf_mask |= static_cast<Sig>(ovf & active);
+  und_mask |= static_cast<Sig>(und & active);
+}
+
+/// Exact max on decomposed lanes — fl_less_raw's zero-lowest lexicographic
+/// (exp, sig) order, as straight-line selects.
+template <class Sig>
+inline void fl_max_raw_lane(std::int32_t ea, Sig sa, std::int32_t eb, Sig sb,
+                            std::int32_t& re, Sig& rs) {
+  const bool a_nz = sa != 0;
+  const bool b_nz = sb != 0;
+  const bool lt = (!a_nz & b_nz) | (a_nz & b_nz & ((ea < eb) | ((ea == eb) & (sa < sb))));
+  re = lt ? eb : ea;
+  rs = lt ? sb : sa;
+}
+
+}  // namespace detail
+
+/// u32-significand lane kernels (FloatFormat::fits_narrow_word(), M <= 27).
+template <RoundingMode Mode>
+inline void fl_add_raw_u32(std::int32_t ea, std::uint32_t sa, std::int32_t eb,
+                           std::uint32_t sb, int m, std::int32_t max_exp, std::int32_t& re,
+                           std::uint32_t& rs, std::uint32_t& ovf_mask) {
+  detail::fl_add_raw_lane<std::uint32_t, Mode>(ea, sa, eb, sb, m, max_exp, re, rs, ovf_mask);
+}
+template <RoundingMode Mode>
+inline void fl_mul_raw_u32(std::int32_t ea, std::uint32_t sa, std::int32_t eb,
+                           std::uint32_t sb, int m, std::int32_t min_exp, std::int32_t max_exp,
+                           std::int32_t& re, std::uint32_t& rs, std::uint32_t& ovf_mask,
+                           std::uint32_t& und_mask) {
+  detail::fl_mul_raw_lane<std::uint32_t, Mode>(ea, sa, eb, sb, m, min_exp, max_exp, re, rs,
+                                               ovf_mask, und_mask);
+}
+inline void fl_max_raw_u32(std::int32_t ea, std::uint32_t sa, std::int32_t eb,
+                           std::uint32_t sb, std::int32_t& re, std::uint32_t& rs) {
+  detail::fl_max_raw_lane<std::uint32_t>(ea, sa, eb, sb, re, rs);
+}
+
+/// u64-significand lane kernels (FloatFormat::fits_lane_word(), M <= 31).
+template <RoundingMode Mode>
+inline void fl_add_raw_u64(std::int32_t ea, std::uint64_t sa, std::int32_t eb,
+                           std::uint64_t sb, int m, std::int32_t max_exp, std::int32_t& re,
+                           std::uint64_t& rs, std::uint64_t& ovf_mask) {
+  detail::fl_add_raw_lane<std::uint64_t, Mode>(ea, sa, eb, sb, m, max_exp, re, rs, ovf_mask);
+}
+template <RoundingMode Mode>
+inline void fl_mul_raw_u64(std::int32_t ea, std::uint64_t sa, std::int32_t eb,
+                           std::uint64_t sb, int m, std::int32_t min_exp, std::int32_t max_exp,
+                           std::int32_t& re, std::uint64_t& rs, std::uint64_t& ovf_mask,
+                           std::uint64_t& und_mask) {
+  detail::fl_mul_raw_lane<std::uint64_t, Mode>(ea, sa, eb, sb, m, min_exp, max_exp, re, rs,
+                                               ovf_mask, und_mask);
+}
+inline void fl_max_raw_u64(std::int32_t ea, std::uint64_t sa, std::int32_t eb,
+                           std::uint64_t sb, std::int32_t& re, std::uint64_t& rs) {
+  detail::fl_max_raw_lane<std::uint64_t>(ea, sa, eb, sb, re, rs);
+}
+
 }  // namespace problp::lowprec

@@ -249,5 +249,151 @@ TEST_P(FloatFormatSweep, SingleOpRelativeError) {
 INSTANTIATE_TEST_SUITE_P(Mantissas, FloatFormatSweep,
                          ::testing::Values(2, 4, 8, 13, 16, 23, 32, 40, 52));
 
+// ---- decomposed lane-kernel parity ------------------------------------------
+// The branch-free (exp, sig) lane kernels must replay the wide FloatRaw
+// kernels bit for bit — values AND flag verdicts — at every eligible width.
+// Exhaustive at small widths (every representable pair), randomized plus
+// corners at the u32/u64 lane-width boundaries.
+
+/// Runs add/mul/max through the u32 or u64 lane kernels and checks each
+/// result word and sticky mask against the wide kernel's result and flags.
+template <class Sig, RoundingMode Mode>
+void expect_lane_kernel_parity_mode(const FloatFormat& fmt, const FloatRaw& a,
+                                    const FloatRaw& b) {
+  const int m = fmt.mantissa_bits;
+  const auto ea = a.exp;
+  const auto eb = b.exp;
+  const Sig sa = static_cast<Sig>(a.sig);
+  const Sig sb = static_cast<Sig>(b.sig);
+  constexpr bool kU32 = sizeof(Sig) == sizeof(std::uint32_t);
+
+  ArithFlags wf;
+  const FloatRaw wadd = fl_add_raw(a, b, fmt, wf, Mode);
+  std::int32_t re = 0;
+  Sig rs = 0;
+  Sig ovf = 0;
+  Sig und = 0;
+  if constexpr (kU32) {
+    fl_add_raw_u32<Mode>(ea, sa, eb, sb, m, fmt.max_exponent(), re, rs, ovf);
+  } else {
+    fl_add_raw_u64<Mode>(ea, sa, eb, sb, m, fmt.max_exponent(), re, rs, ovf);
+  }
+  EXPECT_TRUE((FloatRaw{re, rs} == wadd))
+      << "add (" << ea << "," << sa << ") + (" << eb << "," << sb << ") M=" << m;
+  EXPECT_EQ(ovf != 0, wf.overflow) << "add ovf mask";
+  EXPECT_FALSE(wf.underflow);  // adds cannot underflow
+
+  wf = {};
+  const FloatRaw wmul = fl_mul_raw(a, b, fmt, wf, Mode);
+  ovf = 0;
+  if constexpr (kU32) {
+    fl_mul_raw_u32<Mode>(ea, sa, eb, sb, m, fmt.min_exponent(), fmt.max_exponent(), re, rs,
+                         ovf, und);
+  } else {
+    fl_mul_raw_u64<Mode>(ea, sa, eb, sb, m, fmt.min_exponent(), fmt.max_exponent(), re, rs,
+                         ovf, und);
+  }
+  EXPECT_TRUE((FloatRaw{re, rs} == wmul))
+      << "mul (" << ea << "," << sa << ") * (" << eb << "," << sb << ") M=" << m;
+  EXPECT_EQ(ovf != 0, wf.overflow) << "mul ovf mask";
+  EXPECT_EQ(und != 0, wf.underflow) << "mul und mask";
+
+  const FloatRaw wmax = fl_max_raw(a, b);
+  if constexpr (kU32) {
+    fl_max_raw_u32(ea, sa, eb, sb, re, rs);
+  } else {
+    fl_max_raw_u64(ea, sa, eb, sb, re, rs);
+  }
+  EXPECT_TRUE((FloatRaw{re, rs} == wmax)) << "max";
+}
+
+template <class Sig>
+void expect_lane_kernel_parity(const FloatFormat& fmt, const FloatRaw& a, const FloatRaw& b) {
+  expect_lane_kernel_parity_mode<Sig, RoundingMode::kNearestEven>(fmt, a, b);
+  expect_lane_kernel_parity_mode<Sig, RoundingMode::kTruncate>(fmt, a, b);
+}
+
+TEST(SoftFloatLanes, Classification) {
+  EXPECT_TRUE((FloatFormat{8, 23}.fits_narrow_word()));
+  EXPECT_TRUE((FloatFormat{8, 27}.fits_narrow_word()));
+  EXPECT_FALSE((FloatFormat{8, 28}.fits_narrow_word()));
+  EXPECT_TRUE((FloatFormat{8, 28}.fits_lane_word()));
+  EXPECT_TRUE((FloatFormat{8, 31}.fits_lane_word()));
+  EXPECT_FALSE((FloatFormat{8, 32}.fits_lane_word()));
+  EXPECT_FALSE((FloatFormat{11, 52}.fits_lane_word()));
+}
+
+TEST(SoftFloatLanes, ExhaustiveParityAtSmallWidths) {
+  // Every representable (a, b) pair of each format, both rounding modes,
+  // both lane widths: zero plus all (exp, sig) with exp in [emin, emax] and
+  // sig in [2^M, 2^(M+1)).
+  for (const FloatFormat fmt : {FloatFormat{2, 1}, FloatFormat{3, 2}, FloatFormat{2, 3}}) {
+    std::vector<FloatRaw> values{FloatRaw{}};
+    const std::uint64_t lo = std::uint64_t{1} << fmt.mantissa_bits;
+    for (int e = fmt.min_exponent(); e <= fmt.max_exponent(); ++e) {
+      for (std::uint64_t s = lo; s < 2 * lo; ++s) values.push_back(FloatRaw{e, s});
+    }
+    for (const FloatRaw& a : values) {
+      for (const FloatRaw& b : values) {
+        expect_lane_kernel_parity<std::uint32_t>(fmt, a, b);
+        expect_lane_kernel_parity<std::uint64_t>(fmt, a, b);
+      }
+    }
+  }
+}
+
+TEST(SoftFloatLanes, RandomizedParityAtLaneBoundaries) {
+  // M = 27 is the last u32-significand width (the guard-extended sum carries
+  // M+5 = 32 bits), M = 31 the last u64 one (the exact product carries
+  // 2M+2 = 64); M = 28 straddles the cutover.  Random in-range pairs plus
+  // exponent gaps around the sticky threshold d = M+4 and saturation /
+  // flush corners at the exponent rails.
+  Rng rng(91);
+  for (const int m : {27, 28, 31}) {
+    for (const int e : {4, 8}) {
+      const FloatFormat fmt{e, m};
+      const std::uint64_t lo = std::uint64_t{1} << m;
+      const auto random_raw = [&](int emin, int emax) {
+        // lo - 1 <= INT_MAX for every M <= 31, so one inclusive draw covers
+        // the full significand range.
+        const auto frac = static_cast<std::uint64_t>(
+            rng.uniform_int(0, static_cast<int>(lo - 1)));
+        return FloatRaw{rng.uniform_int(emin, emax), lo + frac};
+      };
+      std::vector<FloatRaw> corners{
+          FloatRaw{},
+          FloatRaw{fmt.min_exponent(), lo},
+          FloatRaw{fmt.min_exponent(), 2 * lo - 1},
+          FloatRaw{fmt.max_exponent(), lo},
+          FloatRaw{fmt.max_exponent(), 2 * lo - 1},
+          FloatRaw{0, lo},
+          FloatRaw{0, 2 * lo - 1},
+          FloatRaw{1, lo + 1},
+      };
+      for (const FloatRaw& a : corners) {
+        for (const FloatRaw& b : corners) {
+          if (m <= FloatFormat::kNarrowSigMantissaBits) {
+            expect_lane_kernel_parity<std::uint32_t>(fmt, a, b);
+          }
+          expect_lane_kernel_parity<std::uint64_t>(fmt, a, b);
+        }
+      }
+      for (int i = 0; i < 400; ++i) {
+        const FloatRaw a = random_raw(fmt.min_exponent(), fmt.max_exponent());
+        // Half the pairs probe the alignment/sticky ladder around d = M+4.
+        FloatRaw b = random_raw(fmt.min_exponent(), fmt.max_exponent());
+        if (i % 2 == 0) {
+          const int d = rng.uniform_int(m + 2, m + 6);
+          b.exp = std::max(fmt.min_exponent(), a.exp - d);
+        }
+        if (m <= FloatFormat::kNarrowSigMantissaBits) {
+          expect_lane_kernel_parity<std::uint32_t>(fmt, a, b);
+        }
+        expect_lane_kernel_parity<std::uint64_t>(fmt, a, b);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace problp::lowprec

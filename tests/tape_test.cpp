@@ -374,6 +374,90 @@ TEST(Tape, BatchedLowPrecExhaustiveParity) {
   }
 }
 
+TEST(Tape, BatchedFloatLaneBoundaryParity) {
+  // The decomposed float datapath's boundary matrix: mantissas straddling
+  // the u32-significand eligibility cutoff (27/28) and the u64 cutoff
+  // (31/32), each at a comfortable and a one-binade-tight exponent width
+  // (the tight one saturates sums and flushes products to zero, so the flag
+  // half of the parity is not vacuous), x rounding modes x every supported
+  // kernel ISA x thread counts.  Three engines per cell — the default
+  // (decomposed lanes where eligible), the forced interleaved FloatRaw
+  // schedule path and the generic fold — must all match the per-query
+  // evaluator bitwise, values and per-query sticky flags alike.
+  Rng rng(47);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = 6;
+  const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
+  const BinarizeResult bin = binarize(compile::compile_network(network));
+  const CircuitTape tape = CircuitTape::compile(bin.circuit);
+  const auto assignments = random_assignments(bin.circuit.cardinalities(), 512, 0.5, rng);
+  const std::vector<std::size_t> counts = {1, 17, 512};
+
+  const auto check_counts = [&](auto& batch_eval, const std::vector<LowPrecisionResult>& ref,
+                                const std::string& what) {
+    for (const std::size_t count : counts) {
+      const std::vector<double>& roots = batch_eval.evaluate(assignments.data(), count);
+      ASSERT_EQ(roots.size(), count);
+      ASSERT_EQ(batch_eval.flags().size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(roots[i], ref[i].value) << what << " query=" << i;
+        const lowprec::ArithFlags& got = batch_eval.flags()[i];
+        ASSERT_EQ(got.overflow, ref[i].flags.overflow) << what << " query=" << i;
+        ASSERT_EQ(got.underflow, ref[i].flags.underflow) << what << " query=" << i;
+        ASSERT_EQ(got.invalid_input, ref[i].flags.invalid_input) << what << " query=" << i;
+      }
+    }
+  };
+
+  for (const auto mode :
+       {lowprec::RoundingMode::kNearestEven, lowprec::RoundingMode::kTruncate}) {
+    for (const int mantissa : {27, 28, 31, 32}) {
+      for (const int exponent : {6, 2}) {
+        const lowprec::FloatFormat fmt{exponent, mantissa};
+        FloatTapeEvaluator single(tape, fmt, mode);
+        std::vector<LowPrecisionResult> ref;
+        ref.reserve(assignments.size());
+        for (const auto& a : assignments) ref.push_back(single.evaluate(a));
+        if (exponent == 2) {
+          // One binade of headroom: the reference sweep must actually raise
+          // saturation / flush flags somewhere in the 512 queries.
+          lowprec::ArithFlags seen;
+          for (const auto& r : ref) seen.merge(r.flags);
+          ASSERT_TRUE(seen.overflow || seen.underflow);
+        }
+        const int want_lanes = mantissa <= 27 ? 32 : (mantissa <= 31 ? 64 : 0);
+        const std::string what =
+            fmt.to_string() + (mode == lowprec::RoundingMode::kTruncate ? " trunc" : "");
+        for (const simd::Level level : simd::supported_levels()) {
+          ScopedSimdEnv env(simd::level_name(level));
+          for (const int threads : {1, 4}) {
+            BatchEvaluator::Options opts;
+            opts.num_threads = threads;
+
+            FloatBatchEvaluator dflt(tape, fmt, mode, opts);
+            EXPECT_EQ(dflt.float_lane_bits(), want_lanes);
+            EXPECT_EQ(dflt.simd_level(), level);
+            check_counts(dflt, ref, what + " default");
+
+            BatchEvaluator::Options wide_opts = opts;
+            wide_opts.force_wide_raw = true;
+            FloatBatchEvaluator wide(tape, fmt, mode, wide_opts);
+            EXPECT_EQ(wide.float_lane_bits(), 0);
+            check_counts(wide, ref, what + " wide");
+
+            BatchEvaluator::Options generic_opts = opts;
+            generic_opts.force_generic = true;
+            generic_opts.block = 16;
+            FloatBatchEvaluator generic(tape, fmt, mode, generic_opts);
+            EXPECT_EQ(generic.float_lane_bits(), 0);
+            check_counts(generic, ref, what + " generic");
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Tape, RangeAnalysisRunsOnTape) {
   // Max analysis == ExactOps sweep, min analysis == MinValueOps sweep, both
   // with all indicators at 1 — on the tape, node for node.
@@ -625,9 +709,19 @@ TEST(Tape, LowPrecEvaluatorValidatesFormatAtConstruction) {
                    tape, FloatRawOps{lowprec::FloatFormat{1, 4},
                                      lowprec::RoundingMode::kNearestEven}),
                InvalidArgument);
-  // The widest emulatable format still constructs (and is wide-path).
+  // Unrepresentable float widths on either axis fail identically.
+  EXPECT_THROW(FloatBatchEvaluator(tape, lowprec::FloatFormat{8, 61}), InvalidArgument);
+  EXPECT_THROW(FloatBatchEvaluator(tape, lowprec::FloatFormat{29, 8}), InvalidArgument);
+  // The widest emulatable formats still construct (and are wide-path).
   FixedBatchEvaluator widest(tape, lowprec::FixedFormat{2, 60});
   EXPECT_FALSE(widest.narrow_datapath());
+  FloatBatchEvaluator widest_fl(tape, lowprec::FloatFormat{28, 60});
+  EXPECT_EQ(widest_fl.float_lane_bits(), 0);
+  // Lane-width election straddles both significand cutoffs.
+  EXPECT_EQ(FloatBatchEvaluator(tape, lowprec::FloatFormat{8, 27}).float_lane_bits(), 32);
+  EXPECT_EQ(FloatBatchEvaluator(tape, lowprec::FloatFormat{8, 28}).float_lane_bits(), 64);
+  EXPECT_EQ(FloatBatchEvaluator(tape, lowprec::FloatFormat{8, 31}).float_lane_bits(), 64);
+  EXPECT_EQ(FloatBatchEvaluator(tape, lowprec::FloatFormat{8, 32}).float_lane_bits(), 0);
 }
 
 TEST(Simd, ForcedLevelParityMatrixExactAndLowPrec) {
@@ -815,9 +909,13 @@ TEST(Simd, RelayoutParityMatrixAcrossCircuits) {
 }
 
 TEST(Simd, SharedEvidenceTemplateBatches) {
-  // The shared-evidence hoist: batches repeating one template (and batches
-  // alternating between two) must agree bitwise with the interpreter — the
-  // cached resolution may only ever be reused for an identical assignment.
+  // The shared-evidence hoist and the whole-block evidence-template fast
+  // path: batches repeating one template across whole blocks (composing,
+  // then memcpy-restoring, the per-worker template image — across evaluate
+  // calls too), switching templates, and alternating within a block must
+  // agree bitwise with the per-query references on every engine — the
+  // cached resolution and the cached image may only ever be reused for an
+  // identical assignment at an identical block width.
   Rng rng(37);
   bn::RandomNetworkSpec spec;
   spec.num_variables = 6;
@@ -825,23 +923,67 @@ TEST(Simd, SharedEvidenceTemplateBatches) {
   const CircuitTape tape = CircuitTape::compile(circuit);
   const auto distinct = random_assignments(circuit.cardinalities(), 4, 0.6, rng);
 
+  // At block 8: three full uniform blocks of template 0 (compose once,
+  // restore twice), a partial uniform tail, alternating blocks, then a full
+  // uniform block of a *different* template (must invalidate, not reuse).
   std::vector<PartialAssignment> batch;
-  for (int rep = 0; rep < 11; ++rep) batch.push_back(distinct[0]);
+  for (int rep = 0; rep < 27; ++rep) batch.push_back(distinct[0]);
   for (int rep = 0; rep < 9; ++rep) {
     batch.push_back(distinct[1]);
     batch.push_back(distinct[2]);
   }
   batch.push_back(distinct[3]);
+  for (int rep = 0; rep < 8; ++rep) batch.push_back(distinct[1]);
 
   for (const bool force_generic : {false, true}) {
     BatchEvaluator::Options opts;
     opts.force_generic = force_generic;
     opts.block = 8;
     BatchEvaluator batched(tape, opts);
-    const std::vector<double>& roots = batched.evaluate(batch);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      ASSERT_EQ(roots[i], evaluate(circuit, batch[i]))
-          << "force_generic=" << force_generic << " query=" << i;
+    EXPECT_TRUE(batched.uses_evidence_template());
+    for (int round = 0; round < 2; ++round) {
+      const std::vector<double>& roots = batched.evaluate(batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(roots[i], evaluate(circuit, batch[i]))
+            << "force_generic=" << force_generic << " round=" << round << " query=" << i;
+      }
+    }
+  }
+
+  // The low-precision engines share the same fast path on every datapath:
+  // fixed narrow u32, float u32/u64 lanes and the wide interleaved float.
+  const auto check_lowprec = [&](auto& batched, auto& single, const std::string& what) {
+    for (int round = 0; round < 2; ++round) {
+      const std::vector<double>& roots = batched.evaluate(batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const LowPrecisionResult want = single.evaluate(batch[i]);
+        ASSERT_EQ(roots[i], want.value) << what << " round=" << round << " query=" << i;
+        ASSERT_EQ(batched.flags()[i].overflow, want.flags.overflow) << what << " query=" << i;
+        ASSERT_EQ(batched.flags()[i].underflow, want.flags.underflow)
+            << what << " query=" << i;
+      }
+    }
+  };
+  for (const int threads : {1, 2}) {
+    BatchEvaluator::Options opts;
+    opts.block = 8;
+    opts.num_threads = threads;
+    const std::string where = " threads=" + std::to_string(threads);
+
+    const lowprec::FixedFormat fx{2, 12};
+    FixedTapeEvaluator fx_single(tape, fx);
+    FixedBatchEvaluator fx_batched(tape, fx, lowprec::RoundingMode::kNearestEven, opts);
+    EXPECT_TRUE(fx_batched.narrow_datapath());
+    check_lowprec(fx_batched, fx_single, "fixed" + where);
+
+    for (const lowprec::FloatFormat fl :
+         {lowprec::FloatFormat{5, 7}, lowprec::FloatFormat{8, 30},
+          lowprec::FloatFormat{8, 35}}) {
+      FloatTapeEvaluator fl_single(tape, fl);
+      FloatBatchEvaluator fl_batched(tape, fl, lowprec::RoundingMode::kNearestEven, opts);
+      EXPECT_EQ(fl_batched.float_lane_bits(),
+                fl.mantissa_bits <= 27 ? 32 : (fl.mantissa_bits <= 31 ? 64 : 0));
+      check_lowprec(fl_batched, fl_single, fl.to_string() + where);
     }
   }
 }
