@@ -6,6 +6,7 @@
 //              [--evidence var=state,...] [--query-var <name>]
 //              [--infer] [--batch N]
 //              [--save-model out.pm] [--load-model in.pm]
+//              [--registry dir --model name]
 //              [--verilog out.v] [--testbench out_tb.v]
 //              [--dot out.dot] [--circuit out.ac]
 //
@@ -15,7 +16,9 @@
 // through runtime::InferenceSession, both in exact double and under the
 // representation the analysis selected.  --batch N samples N evidence sets
 // and reports session throughput.  --save-model/--load-model persist the
-// compiled artifact so repeated invocations skip BN compilation.
+// compiled artifact (binary, mmap-able) so repeated invocations skip BN
+// compilation; --registry serves <dir>/<name>.pm through a
+// runtime::ModelRegistry (content-hash keyed, shared mappings).
 //
 // Try it on the bundled ALARM export:
 //   ./build/examples/patient_monitoring            # writes /tmp/problp_alarm.bif
@@ -35,6 +38,7 @@
 #include "bn/sampling.hpp"
 #include "compile/ve_compiler.hpp"
 #include "hw/testbench.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/session.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -48,6 +52,7 @@ void usage(const char* argv0) {
                "          [--evidence var=state,...] [--query-var <name>]\n"
                "          [--infer] [--batch <N>]\n"
                "          [--save-model <out.pm>] [--load-model <in.pm>]\n"
+               "          [--registry <dir> --model <name>]\n"
                "          [--verilog <out.v>] [--testbench <out_tb.v>]\n"
                "          [--dot <out.dot>] [--circuit <out.ac>]\n",
                argv0);
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
   std::string circuit_path;
   std::string save_model_path;
   std::string load_model_path;
+  std::string registry_dir;
+  std::string model_name;
   std::string evidence_spec;
   std::string query_var_name;
   bool infer = false;
@@ -183,6 +190,10 @@ int main(int argc, char** argv) {
         save_model_path = next();
       } else if (arg == "--load-model") {
         load_model_path = next();
+      } else if (arg == "--registry") {
+        registry_dir = next();
+      } else if (arg == "--model") {
+        model_name = next();
       } else if (arg == "--verilog") {
         verilog_path = next();
       } else if (arg == "--testbench") {
@@ -204,28 +215,52 @@ int main(int argc, char** argv) {
 
     // The one compile (or artifact load) every query below shares.
     std::shared_ptr<const runtime::CompiledModel> model;
-    if (!load_model_path.empty()) {
+    if (!registry_dir.empty() || !model_name.empty()) {
+      require(!registry_dir.empty() && !model_name.empty(),
+              "--registry and --model must be given together");
+      runtime::ModelRegistry registry;
+      model = registry.get(registry_dir + "/" + model_name + ".pm");
+      std::printf("registry: serving '%s' (%s, artifact v%u)\n", model_name.c_str(),
+                  model->memory_mapped() ? "mmap" : "in-memory", model->artifact_version());
+    } else if (!load_model_path.empty()) {
       model = runtime::CompiledModel::load(load_model_path);
+      std::printf("loaded compiled model from %s (%s, recompilation skipped)\n",
+                  load_model_path.c_str(), model->memory_mapped() ? "mmap" : "parsed");
+    } else {
+      model = runtime::CompiledModel::compile(network);
+    }
+    if (!registry_dir.empty() || !load_model_path.empty()) {
       // Evidence/query names resolve against the BIF network, so a model
       // compiled from a different network would silently answer the wrong
-      // queries — reject anything whose variable layout disagrees.
+      // queries — reject anything whose variable layout disagrees, naming
+      // both sides so the operator can see *which* artifact was wrong.
       std::vector<int> network_cards;
       for (int v = 0; v < network.num_variables(); ++v) {
         network_cards.push_back(network.cardinality(v));
       }
+      const std::string artifact_name = model->name().empty() ? "<unnamed>" : model->name();
+      const std::string network_name = network.name().empty() ? "<unnamed>" : network.name();
       require(model->cardinalities() == network_cards,
-              "--load-model: artifact does not match the network (different "
-              "variable count or cardinalities)");
-      std::printf("loaded compiled model from %s (recompilation skipped)\n",
-                  load_model_path.c_str());
-    } else {
-      model = runtime::CompiledModel::compile(network);
+              str_format("loaded artifact does not match the network: artifact holds model "
+                         "'%s' (format v%u, %d variables) but the BIF declares network '%s' "
+                         "(%d variables) — different variable count or cardinalities",
+                         artifact_name.c_str(), model->artifact_version(),
+                         model->num_variables(), network_name.c_str(),
+                         network.num_variables()));
     }
-    std::printf("compiled AC (binarised): %s\n",
-                model->binary_circuit().stats().to_string().c_str());
-    if (!save_model_path.empty()) write_file(save_model_path, model->to_text());
+
+    if (model->artifact_version() == 0) {
+      std::printf("compiled AC (binarised): %s\n",
+                  model->binary_circuit().stats().to_string().c_str());
+    }
 
     const AnalysisReport report = model->analyze(spec);
+    if (!save_model_path.empty()) {
+      // Saved after analyze() so the artifact carries this spec's report and
+      // the quantised leaf cache of its selected format.
+      model->save(save_model_path);
+      std::printf("wrote %s (binary model artifact)\n", save_model_path.c_str());
+    }
     std::printf("\n%s\n\n", report.to_string().c_str());
     if (!report.any_feasible) {
       std::printf("no representation meets the tolerance within the search caps\n");

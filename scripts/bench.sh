@@ -48,6 +48,15 @@
 # run against --no-relayout, for a narrow and a wide format alike (the
 # bench takes an optional `I F` fixed-format override).
 #
+# The model-artifact layer (runtime/artifact.hpp) adds a second output
+# file, BENCH_load.json: bench_model_load writes one line per run with the
+# cold-load latency and VmRSS growth of the legacy text artifact (parse +
+# recompile) versus the binary mmap container (map + validate + adopt
+# views) on the ALARM model, plus exact/fixed/float parity checksums that
+# must match the in-memory model bit for bit (acceptance: load_speedup
+# >= 20x; the bench exits non-zero on any checksum drift before a line is
+# appended).
+#
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail
 
@@ -58,7 +67,7 @@ build_dir="${1:-$repo_root/build}"
 circuits="alarm,synthetic_ve36"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j --target bench_eval_throughput
+cmake --build "$build_dir" -j --target bench_eval_throughput bench_model_load
 
 out="$repo_root/BENCH_eval.json"
 # The bench prints one JSON object per circuit on stdout; keep only those.
@@ -76,3 +85,9 @@ done
 
 echo "appended results to $out:"
 tail -n 4 "$out"
+
+# Cold-load latency + resident cost of the two model artifact formats.
+load_out="$repo_root/BENCH_load.json"
+"$build_dir/bench/bench_model_load" | grep '^{' >> "$load_out"
+echo "appended results to $load_out:"
+tail -n 1 "$load_out"

@@ -77,13 +77,14 @@ BatchEvaluator::BatchEvaluator(const CircuitTape& tape, Options options)
   if (!options_.force_generic) {
     if (options_.relayout) {
       const TapeLayout& layout = tape.layout();
-      schedule_.emplace(KernelSchedule::compile(tape, layout));
+      // Slot-space schedule precompiled once per tape; shared, not rebuilt.
+      schedule_ = tape.layout_schedule();
       row_of_ = layout.slot_of().data();
       rows_ = layout.num_slots();
       root_row_ = static_cast<std::size_t>(
           row_of_[static_cast<std::size_t>(tape.root())]);
     } else {
-      schedule_.emplace(KernelSchedule::compile(tape));
+      schedule_ = std::make_shared<const KernelSchedule>(KernelSchedule::compile(tape));
     }
     sweep_ = simd::exact_sweep(level_);
   }

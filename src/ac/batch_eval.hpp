@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -175,7 +176,9 @@ class BatchEvaluator {
   const CircuitTape* tape_;
   Options options_;
   simd::Level level_ = simd::Level::kScalar;
-  std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
+  /// Engaged unless force_generic; shares the tape's precompiled schedule
+  /// on the relayout path.
+  std::shared_ptr<const KernelSchedule> schedule_;
   simd::ExactSweepFn sweep_ = nullptr;      ///< null when force_generic
   const std::int32_t* row_of_ = nullptr;    ///< node id -> row; null = identity
   std::size_t rows_ = 0;                    ///< value-buffer rows per block

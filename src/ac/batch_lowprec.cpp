@@ -6,6 +6,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "ac/leaf_cache.hpp"
 #include "ac/tape_layout.hpp"
 
 namespace problp::ac {
@@ -100,18 +101,19 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
   if (!options_.force_generic) {
     if (options_.relayout) {
       const TapeLayout& layout = tape.layout();
-      schedule_.emplace(KernelSchedule::compile(tape, layout));
+      // Slot-space schedule precompiled once per tape; shared, not rebuilt.
+      schedule_ = tape.layout_schedule();
       row_of_ = layout.slot_of().data();
       rows_ = layout.num_slots();
       root_row_ = static_cast<std::size_t>(row_of_[static_cast<std::size_t>(tape.root())]);
     } else {
-      schedule_.emplace(KernelSchedule::compile(tape));
+      schedule_ = std::make_shared<const KernelSchedule>(KernelSchedule::compile(tape));
     }
   }
   if constexpr (RawOps::kNarrowCapable) {
     // The lane-parallel u32 datapath: narrow formats under the schedule
     // backend, unless the caller pins the u128 reference path.
-    narrow_ = schedule_.has_value() && !options_.force_wide_raw && ops_.narrow_eligible();
+    narrow_ = schedule_ != nullptr && !options_.force_wide_raw && ops_.narrow_eligible();
     if (narrow_) {
       narrow_sweep_ = simd::fixed_sweep(level_);
       narrow_params_.max_raw = static_cast<std::uint32_t>(ops_.fmt.max_raw());
@@ -126,7 +128,7 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
     // The lane-parallel decomposed float datapath: lane-eligible mantissas
     // under the schedule backend, unless the caller pins the interleaved
     // FloatRaw reference path.
-    if (schedule_.has_value() && !options_.force_wide_raw) lane_bits_ = ops_.lane_sig_bits();
+    if (schedule_ != nullptr && !options_.force_wide_raw) lane_bits_ = ops_.lane_sig_bits();
     if (lane_bits_ == 32) {
       float_sweep32_ = simd::float_sweep32(level_);
     } else if (lane_bits_ == 64) {
@@ -159,11 +161,40 @@ LowPrecBatchEvaluator<RawOps>::LowPrecBatchEvaluator(const CircuitTape& tape, Ra
   }
   workspaces_.resize(static_cast<std::size_t>(options_.num_threads));
   // Same conversion set (and flag sink) as the per-query TapeEvaluator:
-  // indicator constants plus every parameter, exactly once.
-  one_ = ops_.quantize(1.0, param_flags_);
-  zero_ = ops_.quantize(0.0, param_flags_);
-  params_.reserve(tape.param_values().size());
-  for (double v : tape.param_values()) params_.push_back(ops_.quantize(v, param_flags_));
+  // indicator constants plus every parameter, exactly once.  A matching
+  // pre-quantised leaf cache attached to the tape (restored from a model
+  // artifact, ac/leaf_cache.hpp) is adopted verbatim — same words, same
+  // sticky conversion flags — skipping the per-parameter emulation.
+  const LeafCacheSet* caches = tape.leaf_caches().get();
+  bool adopted = false;
+  if constexpr (std::is_same_v<Raw, u128>) {
+    const FixedLeafCache* hit = caches != nullptr ? caches->find(ops_.fmt, ops_.mode) : nullptr;
+    if (hit != nullptr && hit->params.size() == tape.param_values().size()) {
+      param_flags_.merge(hit->param_flags);
+      one_ = hit->one;
+      zero_ = hit->zero;
+      params_.assign(hit->params.begin(), hit->params.end());
+      adopted = true;
+    }
+  } else {
+    const FloatLeafCache* hit = caches != nullptr ? caches->find(ops_.fmt, ops_.mode) : nullptr;
+    if (hit != nullptr && hit->params_exp.size() == tape.param_values().size()) {
+      param_flags_.merge(hit->param_flags);
+      one_ = Raw{hit->one_exp, hit->one_sig};
+      zero_ = Raw{hit->zero_exp, hit->zero_sig};
+      params_.reserve(hit->params_exp.size());
+      for (std::size_t i = 0; i < hit->params_exp.size(); ++i) {
+        params_.push_back(Raw{hit->params_exp[i], hit->params_sig[i]});
+      }
+      adopted = true;
+    }
+  }
+  if (!adopted) {
+    one_ = ops_.quantize(1.0, param_flags_);
+    zero_ = ops_.quantize(0.0, param_flags_);
+    params_.reserve(tape.param_values().size());
+    for (double v : tape.param_values()) params_.push_back(ops_.quantize(v, param_flags_));
+  }
   if constexpr (RawOps::kNarrowCapable) {
     if (narrow_) {
       // Narrowing is lossless: every quantised word is saturated at

@@ -84,6 +84,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ac/batch_eval.hpp"
@@ -276,7 +277,9 @@ class LowPrecBatchEvaluator {
   RawOps ops_;
   Options options_;
   simd::Level level_ = simd::Level::kScalar;
-  std::optional<KernelSchedule> schedule_;  ///< engaged unless force_generic
+  /// Engaged unless force_generic; shares the tape's precompiled schedule
+  /// on the relayout path.
+  std::shared_ptr<const KernelSchedule> schedule_;
   const std::int32_t* row_of_ = nullptr;    ///< node id -> row; null = identity
   std::size_t rows_ = 0;                    ///< SoA buffer rows per block
   std::size_t root_row_ = 0;                ///< row of the root under row_of_

@@ -42,10 +42,14 @@ KernelSchedule KernelSchedule::compile_impl(const CircuitTape& tape, const TapeL
 
   KernelSchedule schedule;
   schedule.num_rows_ = layout != nullptr ? layout->num_slots() : tape.num_nodes();
-  schedule.out_.reserve(ops.size());
-  schedule.lhs_.reserve(ops.size());
-  schedule.rhs_.reserve(ops.size());
-  schedule.gen_offsets_.push_back(0);
+  // Built in owned vectors, moved into the (possibly view-backed elsewhere)
+  // ArrayStore members at the end.
+  std::vector<std::int32_t> out, lhs, rhs, gen_out, gen_offsets, gen_children;
+  std::vector<NodeKind> gen_kinds;
+  out.reserve(ops.size());
+  lhs.reserve(ops.size());
+  rhs.reserve(ops.size());
+  gen_offsets.push_back(0);
 
   for (std::size_t p = 0; p < ops.size(); ++p) {
     const std::size_t i = static_cast<std::size_t>(ops[p]);
@@ -56,23 +60,23 @@ KernelSchedule KernelSchedule::compile_impl(const CircuitTape& tape, const TapeL
         fanin2 ? fanin2_kind(kinds[i]) : KernelSegment::Kind::kGeneric;
 
     if (fanin2) {
-      const std::uint32_t at = static_cast<std::uint32_t>(schedule.out_.size());
-      schedule.out_.push_back(row(ops[p]));
-      schedule.lhs_.push_back(row(children[static_cast<std::size_t>(cb)]));
-      schedule.rhs_.push_back(row(children[static_cast<std::size_t>(cb) + 1]));
+      const std::uint32_t at = static_cast<std::uint32_t>(out.size());
+      out.push_back(row(ops[p]));
+      lhs.push_back(row(children[static_cast<std::size_t>(cb)]));
+      rhs.push_back(row(children[static_cast<std::size_t>(cb) + 1]));
       if (!schedule.segments_.empty() && schedule.segments_.back().kind == kind) {
         ++schedule.segments_.back().end;
       } else {
         schedule.segments_.push_back(KernelSegment{kind, at, at + 1});
       }
     } else {
-      const std::uint32_t at = static_cast<std::uint32_t>(schedule.gen_kinds_.size());
-      schedule.gen_kinds_.push_back(kinds[i]);
-      schedule.gen_out_.push_back(row(ops[p]));
+      const std::uint32_t at = static_cast<std::uint32_t>(gen_kinds.size());
+      gen_kinds.push_back(kinds[i]);
+      gen_out.push_back(row(ops[p]));
       for (std::int32_t k = cb; k < ce; ++k) {
-        schedule.gen_children_.push_back(row(children[static_cast<std::size_t>(k)]));
+        gen_children.push_back(row(children[static_cast<std::size_t>(k)]));
       }
-      schedule.gen_offsets_.push_back(static_cast<std::int32_t>(schedule.gen_children_.size()));
+      gen_offsets.push_back(static_cast<std::int32_t>(gen_children.size()));
       if (!schedule.segments_.empty() &&
           schedule.segments_.back().kind == KernelSegment::Kind::kGeneric) {
         ++schedule.segments_.back().end;
@@ -81,6 +85,55 @@ KernelSchedule KernelSchedule::compile_impl(const CircuitTape& tape, const TapeL
       }
     }
   }
+  schedule.out_ = std::move(out);
+  schedule.lhs_ = std::move(lhs);
+  schedule.rhs_ = std::move(rhs);
+  schedule.gen_kinds_ = std::move(gen_kinds);
+  schedule.gen_out_ = std::move(gen_out);
+  schedule.gen_offsets_ = std::move(gen_offsets);
+  schedule.gen_children_ = std::move(gen_children);
+  return schedule;
+}
+
+KernelSchedule KernelSchedule::adopt(std::vector<KernelSegment> segments,
+                                     util::ArrayStore<std::int32_t> out,
+                                     util::ArrayStore<std::int32_t> lhs,
+                                     util::ArrayStore<std::int32_t> rhs,
+                                     util::ArrayStore<NodeKind> gen_kinds,
+                                     util::ArrayStore<std::int32_t> gen_out,
+                                     util::ArrayStore<std::int32_t> gen_offsets,
+                                     util::ArrayStore<std::int32_t> gen_children,
+                                     std::size_t num_rows) {
+  require(out.size() == lhs.size() && out.size() == rhs.size(),
+          "KernelSchedule::adopt: fanin-2 row arrays disagree in size");
+  require(gen_kinds.size() == gen_out.size() &&
+              gen_offsets.size() == gen_kinds.size() + 1,
+          "KernelSchedule::adopt: generic-op arrays disagree in size");
+  // Segment ranges must tile exactly the fanin-2 and generic index spaces —
+  // the sweeps index out()/gen_*() straight off these ranges.
+  std::uint32_t flat = 0, gen = 0;
+  for (const KernelSegment& seg : segments) {
+    require(seg.begin < seg.end, "KernelSchedule::adopt: empty segment");
+    if (seg.kind == KernelSegment::Kind::kGeneric) {
+      require(seg.begin == gen, "KernelSchedule::adopt: generic segments not contiguous");
+      gen = seg.end;
+    } else {
+      require(seg.begin == flat, "KernelSchedule::adopt: fanin-2 segments not contiguous");
+      flat = seg.end;
+    }
+  }
+  require(flat == out.size() && gen == gen_kinds.size(),
+          "KernelSchedule::adopt: segments do not cover the op arrays");
+  KernelSchedule schedule;
+  schedule.segments_ = std::move(segments);
+  schedule.out_ = std::move(out);
+  schedule.lhs_ = std::move(lhs);
+  schedule.rhs_ = std::move(rhs);
+  schedule.gen_kinds_ = std::move(gen_kinds);
+  schedule.gen_out_ = std::move(gen_out);
+  schedule.gen_offsets_ = std::move(gen_offsets);
+  schedule.gen_children_ = std::move(gen_children);
+  schedule.num_rows_ = num_rows;
   return schedule;
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "ac/tape.hpp"
+#include "util/array_store.hpp"
 
 namespace problp::ac {
 
@@ -66,22 +67,37 @@ class KernelSchedule {
   /// layout.num_slots() rows.  `layout` must be the layout of `tape`.
   static KernelSchedule compile(const CircuitTape& tape, const TapeLayout& layout);
 
+  /// Rehydrates a schedule from already-computed arrays — the zero-copy
+  /// artifact seam (runtime/artifact.hpp): the stores may be views into a
+  /// mapped file, which the caller keeps alive for the schedule's lifetime.
+  /// Segment geometry is re-checked; the row arrays are trusted to be a
+  /// compile() result (the artifact layer checksums them).
+  static KernelSchedule adopt(std::vector<KernelSegment> segments,
+                              util::ArrayStore<std::int32_t> out,
+                              util::ArrayStore<std::int32_t> lhs,
+                              util::ArrayStore<std::int32_t> rhs,
+                              util::ArrayStore<NodeKind> gen_kinds,
+                              util::ArrayStore<std::int32_t> gen_out,
+                              util::ArrayStore<std::int32_t> gen_offsets,
+                              util::ArrayStore<std::int32_t> gen_children,
+                              std::size_t num_rows);
+
   const std::vector<KernelSegment>& segments() const { return segments_; }
 
   /// Flat per-op rows of every fanin-2 segment, concatenated in schedule
   /// order: op i computes  out()[i] = lhs()[i] OP rhs()[i].
-  const std::vector<std::int32_t>& out() const { return out_; }
-  const std::vector<std::int32_t>& lhs() const { return lhs_; }
-  const std::vector<std::int32_t>& rhs() const { return rhs_; }
+  const util::ArrayStore<std::int32_t>& out() const { return out_; }
+  const util::ArrayStore<std::int32_t>& lhs() const { return lhs_; }
+  const util::ArrayStore<std::int32_t>& rhs() const { return rhs_; }
 
   /// Self-contained generic-op arrays, concatenated in schedule order:
   /// generic op g of kind gen_kinds()[g] folds the child rows
   /// gen_children()[gen_offsets()[g] .. gen_offsets()[g+1]) into row
   /// gen_out()[g].
-  const std::vector<NodeKind>& gen_kinds() const { return gen_kinds_; }
-  const std::vector<std::int32_t>& gen_out() const { return gen_out_; }
-  const std::vector<std::int32_t>& gen_offsets() const { return gen_offsets_; }
-  const std::vector<std::int32_t>& gen_children() const { return gen_children_; }
+  const util::ArrayStore<NodeKind>& gen_kinds() const { return gen_kinds_; }
+  const util::ArrayStore<std::int32_t>& gen_out() const { return gen_out_; }
+  const util::ArrayStore<std::int32_t>& gen_offsets() const { return gen_offsets_; }
+  const util::ArrayStore<std::int32_t>& gen_children() const { return gen_children_; }
 
   std::size_t num_fanin2_ops() const { return out_.size(); }
   std::size_t num_generic_ops() const { return gen_kinds_.size(); }
@@ -96,14 +112,17 @@ class KernelSchedule {
 
   static KernelSchedule compile_impl(const CircuitTape& tape, const TapeLayout* layout);
 
+  /// Segment descriptors stay owned: they are tiny, and rebuilding them
+  /// from the artifact's flat (kind, begin, end) triples avoids persisting
+  /// struct padding.
   std::vector<KernelSegment> segments_;
-  std::vector<std::int32_t> out_;
-  std::vector<std::int32_t> lhs_;
-  std::vector<std::int32_t> rhs_;
-  std::vector<NodeKind> gen_kinds_;
-  std::vector<std::int32_t> gen_out_;
-  std::vector<std::int32_t> gen_offsets_;
-  std::vector<std::int32_t> gen_children_;
+  util::ArrayStore<std::int32_t> out_;
+  util::ArrayStore<std::int32_t> lhs_;
+  util::ArrayStore<std::int32_t> rhs_;
+  util::ArrayStore<NodeKind> gen_kinds_;
+  util::ArrayStore<std::int32_t> gen_out_;
+  util::ArrayStore<std::int32_t> gen_offsets_;
+  util::ArrayStore<std::int32_t> gen_children_;
   std::size_t num_rows_ = 0;
 };
 

@@ -1,0 +1,53 @@
+#include "ac/leaf_cache.hpp"
+
+#include "ac/tape.hpp"
+#include "lowprec/fixed_point.hpp"
+#include "lowprec/soft_float.hpp"
+
+namespace problp::ac {
+
+FixedLeafCache build_fixed_leaf_cache(const CircuitTape& tape, lowprec::FixedFormat format,
+                                      lowprec::RoundingMode mode) {
+  FixedLeafCache cache;
+  cache.format = format;
+  cache.mode = mode;
+  cache.one = lowprec::FixedPoint::from_double(1.0, format, cache.param_flags, mode).raw();
+  cache.zero = lowprec::FixedPoint::from_double(0.0, format, cache.param_flags, mode).raw();
+  std::vector<u128> params;
+  params.reserve(tape.param_values().size());
+  for (double v : tape.param_values()) {
+    params.push_back(lowprec::FixedPoint::from_double(v, format, cache.param_flags, mode).raw());
+  }
+  cache.params = std::move(params);
+  return cache;
+}
+
+FloatLeafCache build_float_leaf_cache(const CircuitTape& tape, lowprec::FloatFormat format,
+                                      lowprec::RoundingMode mode) {
+  FloatLeafCache cache;
+  cache.format = format;
+  cache.mode = mode;
+  const lowprec::FloatRaw one =
+      lowprec::SoftFloat::from_double(1.0, format, cache.param_flags, mode).raw();
+  const lowprec::FloatRaw zero =
+      lowprec::SoftFloat::from_double(0.0, format, cache.param_flags, mode).raw();
+  cache.one_exp = one.exp;
+  cache.one_sig = one.sig;
+  cache.zero_exp = zero.exp;
+  cache.zero_sig = zero.sig;
+  std::vector<std::int32_t> exps;
+  std::vector<std::uint64_t> sigs;
+  exps.reserve(tape.param_values().size());
+  sigs.reserve(tape.param_values().size());
+  for (double v : tape.param_values()) {
+    const lowprec::FloatRaw r =
+        lowprec::SoftFloat::from_double(v, format, cache.param_flags, mode).raw();
+    exps.push_back(r.exp);
+    sigs.push_back(r.sig);
+  }
+  cache.params_exp = std::move(exps);
+  cache.params_sig = std::move(sigs);
+  return cache;
+}
+
+}  // namespace problp::ac

@@ -1,0 +1,102 @@
+// Pre-quantised leaf caches — the low-precision leaf state of one tape
+// under one (format, rounding mode), computed once and shared.
+//
+// A LowPrecBatchEvaluator's construction cost is dominated by quantising
+// every parameter leaf through the emulated datapath (FixedPoint /
+// SoftFloat from_double).  That work depends only on (tape, format, mode) —
+// not on the evaluator instance — so a model artifact can persist the
+// quantised words next to the tape and a loaded model can serve its first
+// low-precision batch without touching the double parameters at all.
+//
+// A LeafCacheSet holds the caches of the formats a model was analysed /
+// saved with, attached to the tape (CircuitTape::attach_leaf_caches).  The
+// evaluator probes the set at construction and adopts a hit verbatim
+// (words, indicator constants, and the sticky conversion flags every query
+// folds in); a miss falls back to quantising in-process, exactly as before.
+// Bit-identity is structural: the cached words are the same from_double
+// results the evaluator would have produced.
+//
+// Float caches store decomposed exponent / significand planes rather than
+// FloatRaw structs: the planes are pure primitive arrays (no padding), so
+// the artifact layer can map them zero-copy.  The evaluator re-interleaves
+// on its wide path and adopts the planes directly on the lane paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lowprec/format.hpp"
+#include "util/array_store.hpp"
+#include "util/int_math.hpp"
+
+namespace problp::ac {
+
+class CircuitTape;
+
+/// Quantised leaf state of one tape under one fixed-point format: one u128
+/// scaled-integer word per parameter (aligned with tape.param_ids()), plus
+/// the quantised indicator constants and the conversion flags quantisation
+/// raised.
+struct FixedLeafCache {
+  lowprec::FixedFormat format;
+  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven;
+  lowprec::ArithFlags param_flags;
+  u128 one = 0;
+  u128 zero = 0;
+  util::ArrayStore<u128> params;
+};
+
+/// Quantised leaf state of one tape under one float format, stored as
+/// decomposed exponent / significand planes (FloatRaw has struct padding;
+/// the planes are mappable primitive arrays).
+struct FloatLeafCache {
+  lowprec::FloatFormat format;
+  lowprec::RoundingMode mode = lowprec::RoundingMode::kNearestEven;
+  lowprec::ArithFlags param_flags;
+  std::int32_t one_exp = 0;
+  std::uint64_t one_sig = 0;
+  std::int32_t zero_exp = 0;
+  std::uint64_t zero_sig = 0;
+  util::ArrayStore<std::int32_t> params_exp;
+  util::ArrayStore<std::uint64_t> params_sig;
+};
+
+/// The leaf caches attached to one tape — typically the formats the model's
+/// cached analysis reports selected.  Attached via shared_ptr (tapes are
+/// copyable); lookups are linear over a handful of entries.
+struct LeafCacheSet {
+  std::vector<FixedLeafCache> fixed;
+  std::vector<FloatLeafCache> flt;
+
+  const FixedLeafCache* find(const lowprec::FixedFormat& format,
+                             lowprec::RoundingMode mode) const {
+    for (const FixedLeafCache& c : fixed) {
+      if (c.format.integer_bits == format.integer_bits &&
+          c.format.fraction_bits == format.fraction_bits && c.mode == mode) {
+        return &c;
+      }
+    }
+    return nullptr;
+  }
+
+  const FloatLeafCache* find(const lowprec::FloatFormat& format,
+                             lowprec::RoundingMode mode) const {
+    for (const FloatLeafCache& c : flt) {
+      if (c.format.exponent_bits == format.exponent_bits &&
+          c.format.mantissa_bits == format.mantissa_bits && c.mode == mode) {
+        return &c;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Quantises `tape`'s leaves under (format, mode) — the exact conversion
+/// set (and flag sink) the low-precision evaluators apply at construction.
+FixedLeafCache build_fixed_leaf_cache(const CircuitTape& tape, lowprec::FixedFormat format,
+                                      lowprec::RoundingMode mode);
+FloatLeafCache build_float_leaf_cache(const CircuitTape& tape, lowprec::FloatFormat format,
+                                      lowprec::RoundingMode mode);
+
+}  // namespace problp::ac

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "ac/kernel_schedule.hpp"
 #include "ac/tape_layout.hpp"
 
 namespace problp::ac {
@@ -14,42 +15,46 @@ CircuitTape CircuitTape::compile(const Circuit& circuit) {
   tape.root_ = circuit.root();
   tape.cardinalities_ = circuit.cardinalities();
 
-  tape.kinds_.resize(n);
-  tape.child_offsets_.resize(n + 1, 0);
-  tape.base_values_.resize(n, 0.0);
-  tape.ind_var_.resize(n, -1);
-  tape.ind_state_.resize(n, -1);
+  // Built in owned vectors, moved into the (possibly view-backed elsewhere)
+  // ArrayStore members at the end.
+  std::vector<NodeKind> kinds(n);
+  std::vector<std::int32_t> child_offsets(n + 1, 0);
+  std::vector<NodeId> children;
+  std::vector<double> base_values(n, 0.0);
+  std::vector<std::int32_t> ind_var(n, -1);
+  std::vector<std::int32_t> ind_state(n, -1);
+  std::vector<NodeId> op_ids, param_ids, indicator_ids;
+  std::vector<double> param_values;
 
   // (var, state) -> NodeId index, dense over the cardinalities.
-  tape.var_offsets_.resize(tape.cardinalities_.size() + 1, 0);
+  std::vector<std::int32_t> var_offsets(tape.cardinalities_.size() + 1, 0);
   for (std::size_t v = 0; v < tape.cardinalities_.size(); ++v) {
-    tape.var_offsets_[v + 1] = tape.var_offsets_[v] + tape.cardinalities_[v];
+    var_offsets[v + 1] = var_offsets[v] + tape.cardinalities_[v];
   }
-  tape.indicator_index_.assign(
-      static_cast<std::size_t>(tape.var_offsets_[tape.cardinalities_.size()]), kInvalidNode);
+  std::vector<NodeId> indicator_index(
+      static_cast<std::size_t>(var_offsets[tape.cardinalities_.size()]), kInvalidNode);
 
   std::size_t num_edges = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const Node& node = circuit.node(static_cast<NodeId>(i));
-    tape.kinds_[i] = node.kind;
+    kinds[i] = node.kind;
     switch (node.kind) {
       case NodeKind::kIndicator: {
         const std::size_t slot =
-            static_cast<std::size_t>(tape.var_offsets_[static_cast<std::size_t>(node.var)] +
-                                     node.state);
-        require(tape.indicator_index_[slot] == kInvalidNode,
+            static_cast<std::size_t>(var_offsets[static_cast<std::size_t>(node.var)] + node.state);
+        require(indicator_index[slot] == kInvalidNode,
                 "CircuitTape: duplicate indicator leaf for one (var, state)");
-        tape.indicator_index_[slot] = static_cast<NodeId>(i);
-        tape.ind_var_[i] = node.var;
-        tape.ind_state_[i] = node.state;
-        tape.base_values_[i] = 1.0;
-        tape.indicator_ids_.push_back(static_cast<NodeId>(i));
+        indicator_index[slot] = static_cast<NodeId>(i);
+        ind_var[i] = node.var;
+        ind_state[i] = node.state;
+        base_values[i] = 1.0;
+        indicator_ids.push_back(static_cast<NodeId>(i));
         break;
       }
       case NodeKind::kParameter:
-        tape.base_values_[i] = node.value;
-        tape.param_ids_.push_back(static_cast<NodeId>(i));
-        tape.param_values_.push_back(node.value);
+        base_values[i] = node.value;
+        param_ids.push_back(static_cast<NodeId>(i));
+        param_values.push_back(node.value);
         break;
       case NodeKind::kSum:
       case NodeKind::kProd:
@@ -60,19 +65,84 @@ CircuitTape CircuitTape::compile(const Circuit& circuit) {
                   "CircuitTape: children must precede parents");
         }
         num_edges += node.children.size();
-        tape.op_ids_.push_back(static_cast<NodeId>(i));
+        op_ids.push_back(static_cast<NodeId>(i));
         break;
     }
   }
 
-  tape.children_.reserve(num_edges);
+  children.reserve(num_edges);
   for (std::size_t i = 0; i < n; ++i) {
     const Node& node = circuit.node(static_cast<NodeId>(i));
-    for (NodeId c : node.children) tape.children_.push_back(c);
-    tape.child_offsets_[i + 1] =
-        tape.child_offsets_[i] + static_cast<std::int32_t>(node.children.size());
+    for (NodeId c : node.children) children.push_back(c);
+    child_offsets[i + 1] = child_offsets[i] + static_cast<std::int32_t>(node.children.size());
   }
+
+  tape.kinds_ = std::move(kinds);
+  tape.child_offsets_ = std::move(child_offsets);
+  tape.children_ = std::move(children);
+  tape.base_values_ = std::move(base_values);
+  tape.ind_var_ = std::move(ind_var);
+  tape.ind_state_ = std::move(ind_state);
+  tape.op_ids_ = std::move(op_ids);
+  tape.param_ids_ = std::move(param_ids);
+  tape.param_values_ = std::move(param_values);
+  tape.indicator_ids_ = std::move(indicator_ids);
+  tape.var_offsets_ = std::move(var_offsets);
+  tape.indicator_index_ = std::move(indicator_index);
+
   tape.layout_ = std::make_shared<const TapeLayout>(TapeLayout::compile(tape));
+  tape.schedule_ =
+      std::make_shared<const KernelSchedule>(KernelSchedule::compile(tape, *tape.layout_));
+  return tape;
+}
+
+CircuitTape CircuitTape::adopt(Arrays arrays, NodeId root, std::vector<int> cardinalities,
+                               std::shared_ptr<const TapeLayout> layout,
+                               std::shared_ptr<const KernelSchedule> layout_schedule) {
+  const std::size_t n = arrays.kinds.size();
+  require(n > 0, "CircuitTape::adopt: empty tape");
+  require(root >= 0 && static_cast<std::size_t>(root) < n,
+          "CircuitTape::adopt: root out of range");
+  require(arrays.child_offsets.size() == n + 1 && arrays.base_values.size() == n &&
+              arrays.ind_var.size() == n && arrays.ind_state.size() == n,
+          "CircuitTape::adopt: per-node arrays disagree in size");
+  require(arrays.children.size() ==
+              static_cast<std::size_t>(arrays.child_offsets[arrays.child_offsets.size() - 1]),
+          "CircuitTape::adopt: child offsets do not cover the edge array");
+  require(arrays.param_ids.size() == arrays.param_values.size(),
+          "CircuitTape::adopt: parameter arrays disagree in size");
+  require(arrays.op_ids.size() + arrays.param_ids.size() + arrays.indicator_ids.size() == n,
+          "CircuitTape::adopt: id partitions do not cover the tape");
+  require(arrays.var_offsets.size() == cardinalities.size() + 1,
+          "CircuitTape::adopt: variable offsets disagree with cardinalities");
+  require(arrays.indicator_index.size() ==
+              static_cast<std::size_t>(arrays.var_offsets[cardinalities.size()]),
+          "CircuitTape::adopt: indicator index does not cover the state space");
+  require(layout != nullptr && layout_schedule != nullptr,
+          "CircuitTape::adopt: layout and layout schedule are required");
+  require(layout->slot_of().size() == n && layout->op_order().size() == arrays.op_ids.size(),
+          "CircuitTape::adopt: layout does not match the tape shape");
+  require(layout_schedule->num_ops() == arrays.op_ids.size() &&
+              layout_schedule->num_rows() == layout->num_slots(),
+          "CircuitTape::adopt: kernel schedule does not match the layout");
+
+  CircuitTape tape;
+  tape.kinds_ = std::move(arrays.kinds);
+  tape.child_offsets_ = std::move(arrays.child_offsets);
+  tape.children_ = std::move(arrays.children);
+  tape.base_values_ = std::move(arrays.base_values);
+  tape.ind_var_ = std::move(arrays.ind_var);
+  tape.ind_state_ = std::move(arrays.ind_state);
+  tape.op_ids_ = std::move(arrays.op_ids);
+  tape.param_ids_ = std::move(arrays.param_ids);
+  tape.param_values_ = std::move(arrays.param_values);
+  tape.indicator_ids_ = std::move(arrays.indicator_ids);
+  tape.var_offsets_ = std::move(arrays.var_offsets);
+  tape.indicator_index_ = std::move(arrays.indicator_index);
+  tape.root_ = root;
+  tape.cardinalities_ = std::move(cardinalities);
+  tape.layout_ = std::move(layout);
+  tape.schedule_ = std::move(layout_schedule);
   return tape;
 }
 
@@ -85,7 +155,8 @@ void CircuitTape::evaluate_all_double(const PartialAssignment& assignment,
                                       std::vector<double>& values) const {
   thread_local std::vector<std::int32_t> observed;
   resolve_observed(assignment, observed);
-  values = base_values_;  // vector assign reuses capacity: a memcpy, no alloc
+  // assign reuses capacity: a memcpy, no alloc in steady state
+  values.assign(base_values_.begin(), base_values_.end());
   zero_contradicted(observed, values.data(), 1, 0);
   for (const NodeId id : op_ids_) {
     const std::size_t i = static_cast<std::size_t>(id);

@@ -37,10 +37,13 @@
 
 #include "ac/circuit.hpp"
 #include "ac/evaluator.hpp"
+#include "util/array_store.hpp"
 
 namespace problp::ac {
 
 class TapeLayout;
+class KernelSchedule;
+struct LeafCacheSet;
 
 class CircuitTape {
  public:
@@ -49,21 +52,49 @@ class CircuitTape {
   /// precede parents, and each (var, state) names at most one indicator.
   static CircuitTape compile(const Circuit& circuit);
 
+  /// The flat arrays of one tape, as one movable bundle — the zero-copy
+  /// artifact seam (runtime/artifact.hpp).  Each store is either an owned
+  /// vector or a view into a mapped file the caller keeps alive.
+  struct Arrays {
+    util::ArrayStore<NodeKind> kinds;
+    util::ArrayStore<std::int32_t> child_offsets;
+    util::ArrayStore<NodeId> children;
+    util::ArrayStore<double> base_values;
+    util::ArrayStore<std::int32_t> ind_var;
+    util::ArrayStore<std::int32_t> ind_state;
+    util::ArrayStore<NodeId> op_ids;
+    util::ArrayStore<NodeId> param_ids;
+    util::ArrayStore<double> param_values;
+    util::ArrayStore<NodeId> indicator_ids;
+    util::ArrayStore<std::int32_t> var_offsets;
+    util::ArrayStore<NodeId> indicator_index;
+  };
+
+  /// Rehydrates a tape from already-flattened arrays plus its precompiled
+  /// layout and layout-schedule (which compile() would otherwise rebuild).
+  /// Cheap shape invariants are re-checked; element contents are trusted to
+  /// be a compile() result (the artifact layer checksums them).
+  static CircuitTape adopt(Arrays arrays, NodeId root, std::vector<int> cardinalities,
+                           std::shared_ptr<const TapeLayout> layout,
+                           std::shared_ptr<const KernelSchedule> layout_schedule);
+
   std::size_t num_nodes() const { return kinds_.size(); }
   NodeId root() const { return root_; }
   int num_variables() const { return static_cast<int>(cardinalities_.size()); }
   const std::vector<int>& cardinalities() const { return cardinalities_; }
 
-  const std::vector<NodeKind>& kinds() const { return kinds_; }
-  const std::vector<std::int32_t>& child_offsets() const { return child_offsets_; }
-  const std::vector<NodeId>& children() const { return children_; }
-  const std::vector<double>& base_values() const { return base_values_; }
-  const std::vector<std::int32_t>& ind_var() const { return ind_var_; }
-  const std::vector<std::int32_t>& ind_state() const { return ind_state_; }
-  const std::vector<NodeId>& op_ids() const { return op_ids_; }
-  const std::vector<NodeId>& param_ids() const { return param_ids_; }
-  const std::vector<double>& param_values() const { return param_values_; }
-  const std::vector<NodeId>& indicator_ids() const { return indicator_ids_; }
+  const util::ArrayStore<NodeKind>& kinds() const { return kinds_; }
+  const util::ArrayStore<std::int32_t>& child_offsets() const { return child_offsets_; }
+  const util::ArrayStore<NodeId>& children() const { return children_; }
+  const util::ArrayStore<double>& base_values() const { return base_values_; }
+  const util::ArrayStore<std::int32_t>& ind_var() const { return ind_var_; }
+  const util::ArrayStore<std::int32_t>& ind_state() const { return ind_state_; }
+  const util::ArrayStore<NodeId>& op_ids() const { return op_ids_; }
+  const util::ArrayStore<NodeId>& param_ids() const { return param_ids_; }
+  const util::ArrayStore<double>& param_values() const { return param_values_; }
+  const util::ArrayStore<NodeId>& indicator_ids() const { return indicator_ids_; }
+  const util::ArrayStore<std::int32_t>& var_offsets() const { return var_offsets_; }
+  const util::ArrayStore<NodeId>& indicator_index() const { return indicator_index_; }
 
   /// NodeId of λ_{var=state}, or kInvalidNode when the circuit has no such
   /// leaf (compilers drop indicators that never influence the root).
@@ -148,25 +179,41 @@ class CircuitTape {
   /// Engines opt in via Options::relayout; see ac/tape_layout.hpp.
   const TapeLayout& layout() const { return *layout_; }
 
+  /// The layout-based kernel schedule (KernelSchedule::compile(tape,
+  /// layout())), compiled eagerly by compile() and shared by every batched
+  /// evaluator running with Options::relayout on — evaluators no longer
+  /// recompile it per instance.
+  const std::shared_ptr<const KernelSchedule>& layout_schedule() const { return schedule_; }
+
+  /// Pre-quantised leaf caches restored from a model artifact, or nullptr
+  /// when the tape was compiled in-process.  Low-precision evaluators probe
+  /// this before re-quantising tape.param_values(); see ac/leaf_cache.hpp.
+  const std::shared_ptr<const LeafCacheSet>& leaf_caches() const { return leaf_caches_; }
+  void attach_leaf_caches(std::shared_ptr<const LeafCacheSet> caches) {
+    leaf_caches_ = std::move(caches);
+  }
+
  private:
   CircuitTape() = default;
 
-  std::vector<NodeKind> kinds_;
-  std::vector<std::int32_t> child_offsets_;
-  std::vector<NodeId> children_;
-  std::vector<double> base_values_;
-  std::vector<std::int32_t> ind_var_;
-  std::vector<std::int32_t> ind_state_;
-  std::vector<NodeId> op_ids_;
-  std::vector<NodeId> param_ids_;
-  std::vector<double> param_values_;
-  std::vector<NodeId> indicator_ids_;
+  util::ArrayStore<NodeKind> kinds_;
+  util::ArrayStore<std::int32_t> child_offsets_;
+  util::ArrayStore<NodeId> children_;
+  util::ArrayStore<double> base_values_;
+  util::ArrayStore<std::int32_t> ind_var_;
+  util::ArrayStore<std::int32_t> ind_state_;
+  util::ArrayStore<NodeId> op_ids_;
+  util::ArrayStore<NodeId> param_ids_;
+  util::ArrayStore<double> param_values_;
+  util::ArrayStore<NodeId> indicator_ids_;
 
-  std::vector<std::int32_t> var_offsets_;   ///< prefix sums of cardinalities
-  std::vector<NodeId> indicator_index_;     ///< (var, state) -> NodeId or kInvalidNode
+  util::ArrayStore<std::int32_t> var_offsets_;  ///< prefix sums of cardinalities
+  util::ArrayStore<NodeId> indicator_index_;    ///< (var, state) -> NodeId or kInvalidNode
   NodeId root_ = kInvalidNode;
   std::vector<int> cardinalities_;
   std::shared_ptr<const TapeLayout> layout_;  ///< shared: CircuitTape is copyable
+  std::shared_ptr<const KernelSchedule> schedule_;    ///< layout-based, shared
+  std::shared_ptr<const LeafCacheSet> leaf_caches_;   ///< artifact-restored, may be null
 };
 
 /// Generic forward sweep over a tape.  Same Ops contract as evaluate_all;

@@ -60,7 +60,9 @@ double mean_reuse_distance(const CircuitTape& tape, const std::vector<std::int32
 
 /// Fanin-2 run statistics of one operator order: run count and a log2
 /// run-length histogram (runs break on kind changes and on generic ops).
-void fanin2_runs(const CircuitTape& tape, const std::vector<NodeId>& order,
+/// Order is any contiguous NodeId range (vector or ArrayStore).
+template <class Order>
+void fanin2_runs(const CircuitTape& tape, const Order& order,
                  std::size_t& num_runs, std::vector<std::size_t>* hist) {
   const auto& kinds = tape.kinds();
   const auto& offsets = tape.child_offsets();
@@ -104,8 +106,12 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
   const std::size_t num_ops = ops.size();
 
   TapeLayout layout;
-  layout.op_order_.reserve(num_ops);
-  layout.slot_of_.assign(n, -1);
+  // Built in owned vectors, moved into the (possibly view-backed elsewhere)
+  // ArrayStore members at the end.
+  std::vector<NodeId> op_order;
+  std::vector<std::int32_t> slot_of;
+  op_order.reserve(num_ops);
+  slot_of.assign(n, -1);
 
   // Node -> position in the original operator schedule (-1 for leaves).
   std::vector<std::int32_t> orig_pos(n, -1);
@@ -201,7 +207,7 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
   const std::int32_t window =
       std::min<std::int32_t>(kKindWindow, static_cast<std::int32_t>(num_ops / 8));
   int current_class = kClassGeneric;
-  while (layout.op_order_.size() < num_ops) {
+  while (op_order.size() < num_ops) {
     // The most urgent ready op across all classes...
     std::int32_t min_prio = std::numeric_limits<std::int32_t>::max();
     int min_class = -1;
@@ -221,7 +227,7 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
     const std::int32_t p = ready[pick].top().second;
     ready[pick].pop();
     current_class = pick;
-    layout.op_order_.push_back(ops[static_cast<std::size_t>(p)]);
+    op_order.push_back(ops[static_cast<std::size_t>(p)]);
     for (std::int32_t k = consumer_offsets[static_cast<std::size_t>(p)];
          k < consumer_offsets[static_cast<std::size_t>(p) + 1]; ++k) {
       const std::size_t parent = static_cast<std::size_t>(consumers[static_cast<std::size_t>(k)]);
@@ -240,18 +246,18 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
   // __restrict contract).
   std::int32_t num_leaves = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (orig_pos[i] < 0) layout.slot_of_[i] = num_leaves++;
+    if (orig_pos[i] < 0) slot_of[i] = num_leaves++;
   }
 
   std::vector<std::int32_t> new_pos(n, -1);
   for (std::size_t p = 0; p < num_ops; ++p) {
-    new_pos[static_cast<std::size_t>(layout.op_order_[p])] = static_cast<std::int32_t>(p);
+    new_pos[static_cast<std::size_t>(op_order[p])] = static_cast<std::int32_t>(p);
   }
   // Last consumer position per op value, in the new order; the root is held
   // past the end (its row is the output gather).
   std::vector<std::int32_t> last_use(n, -1);
   for (std::size_t p = 0; p < num_ops; ++p) {
-    const std::size_t i = static_cast<std::size_t>(layout.op_order_[p]);
+    const std::size_t i = static_cast<std::size_t>(op_order[p]);
     for (std::int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
       const std::size_t c = static_cast<std::size_t>(children[static_cast<std::size_t>(k)]);
       last_use[c] = std::max(last_use[c], static_cast<std::int32_t>(p));
@@ -264,7 +270,7 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
   std::int32_t next_slot = num_leaves;
   for (std::size_t p = 0; p < num_ops; ++p) {
     for (const std::int32_t s : freed_at[p]) free_slots.push_back(s);
-    const std::size_t i = static_cast<std::size_t>(layout.op_order_[p]);
+    const std::size_t i = static_cast<std::size_t>(op_order[p]);
     std::int32_t slot;
     if (free_slots.empty()) {
       slot = next_slot++;
@@ -272,7 +278,7 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
       slot = free_slots.back();
       free_slots.pop_back();
     }
-    layout.slot_of_[i] = slot;
+    slot_of[i] = slot;
     // Free position: one past the last consumer; a result nobody reads
     // (an op the root never reaches) frees immediately after executing.
     const std::int32_t free_pos = std::max(last_use[i], static_cast<std::int32_t>(p)) + 1;
@@ -291,8 +297,25 @@ TapeLayout TapeLayout::compile(const CircuitTape& tape) {
   stats.slots_saved = n - stats.num_slots;
   stats.mean_reuse_distance = mean_reuse_distance(tape, new_pos);
   stats.mean_reuse_distance_original = mean_reuse_distance(tape, orig_pos);
-  fanin2_runs(tape, layout.op_order_, stats.num_fanin2_runs, &stats.fanin2_run_hist);
+  fanin2_runs(tape, op_order, stats.num_fanin2_runs, &stats.fanin2_run_hist);
   fanin2_runs(tape, ops, stats.num_fanin2_runs_original, nullptr);
+  layout.op_order_ = std::move(op_order);
+  layout.slot_of_ = std::move(slot_of);
+  return layout;
+}
+
+TapeLayout TapeLayout::adopt(util::ArrayStore<NodeId> op_order,
+                             util::ArrayStore<std::int32_t> slot_of, TapeLayoutStats stats) {
+  require(op_order.size() == stats.num_ops,
+          "TapeLayout::adopt: op_order size disagrees with stats.num_ops");
+  require(slot_of.size() == stats.num_nodes,
+          "TapeLayout::adopt: slot_of size disagrees with stats.num_nodes");
+  require(stats.num_slots == stats.max_live && stats.num_slots <= stats.num_nodes,
+          "TapeLayout::adopt: inconsistent slot counts");
+  TapeLayout layout;
+  layout.op_order_ = std::move(op_order);
+  layout.slot_of_ = std::move(slot_of);
+  layout.stats_ = std::move(stats);
   return layout;
 }
 

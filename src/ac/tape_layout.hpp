@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "ac/tape.hpp"
+#include "util/array_store.hpp"
 
 namespace problp::ac {
 
@@ -82,14 +83,22 @@ class TapeLayout {
   /// the result is immutable and shared by every evaluator of the tape.
   static TapeLayout compile(const CircuitTape& tape);
 
+  /// Rehydrates a layout from already-computed arrays — the zero-copy
+  /// artifact seam (runtime/artifact.hpp): the stores may be views into a
+  /// mapped file, which the caller keeps alive for the layout's lifetime.
+  /// Only cheap shape invariants are re-checked; the arrays are trusted to
+  /// be a compile() result (the artifact layer checksums them).
+  static TapeLayout adopt(util::ArrayStore<NodeId> op_order,
+                          util::ArrayStore<std::int32_t> slot_of, TapeLayoutStats stats);
+
   /// The re-ordered operator schedule: node ids, a dependency-respecting
   /// permutation of tape.op_ids().
-  const std::vector<NodeId>& op_order() const { return op_order_; }
+  const util::ArrayStore<NodeId>& op_order() const { return op_order_; }
 
   /// Node id -> SoA row (slot).  Total function over the tape's nodes;
   /// leaves map to [0, num_leaves) in id order, operators share the
   /// recycled pool above it.
-  const std::vector<std::int32_t>& slot_of() const { return slot_of_; }
+  const util::ArrayStore<std::int32_t>& slot_of() const { return slot_of_; }
 
   /// Rows a batched value buffer needs under this layout (== max-live).
   std::size_t num_slots() const { return stats_.num_slots; }
@@ -99,8 +108,8 @@ class TapeLayout {
  private:
   TapeLayout() = default;
 
-  std::vector<NodeId> op_order_;
-  std::vector<std::int32_t> slot_of_;
+  util::ArrayStore<NodeId> op_order_;
+  util::ArrayStore<std::int32_t> slot_of_;
   TapeLayoutStats stats_;
 };
 

@@ -64,7 +64,7 @@ class Parser {
     while (!at_end()) {
       const Token& t = peek();
       if (t.text == "network") {
-        skip_block_after_keyword();
+        parse_network_decl(network);
       } else if (t.text == "variable") {
         parse_variable(network);
       } else if (t.text == "probability") {
@@ -104,10 +104,16 @@ class Parser {
     }
   }
 
-  // `network foo { ... }` — skip the name and the brace block.
-  void skip_block_after_keyword() {
+  // `network foo { ... }` — keep the declared name, skip the brace block
+  // (its properties carry no probabilistic content).
+  void parse_network_decl(BayesianNetwork& network) {
     next();  // keyword
-    while (!at_end() && peek().text != "{") next();
+    std::string name;
+    while (!at_end() && peek().text != "{") {
+      if (!name.empty()) name += ' ';
+      name += next().text;
+    }
+    network.set_name(name);
     expect("{");
     int depth = 1;
     while (depth > 0) {

@@ -86,7 +86,14 @@ class BayesianNetwork {
   /// An all-unobserved evidence vector sized for this network.
   Evidence empty_evidence() const { return Evidence(static_cast<std::size_t>(num_variables())); }
 
+  /// Network name as declared in the source (e.g. BIF `network alarm {`);
+  /// empty when the source carried none.  Compiled models persist it so
+  /// artifact/network mismatches can be reported by name.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
  private:
+  std::string name_;
   std::vector<Variable> variables_;
   std::vector<Cpt> cpts_;  // indexed by child id; child == -1 means unset
 };

@@ -26,10 +26,16 @@
 // scratch state lives in runtime::InferenceSession (one per thread), never
 // here.
 //
-// Persistence: save()/load() write a versioned plain-text artifact that
-// embeds both binarised circuits through the ac/serialize layer, so a model
-// registry can hand a process the evaluation-ready circuits without
-// re-running BN compilation or the hardware decomposition.
+// Persistence: save() writes the *binary* mmap-able artifact
+// (runtime/artifact.hpp) persisting the compiled flat arrays — both tapes,
+// their layouts and kernel schedules, cached analysis reports and the
+// quantised leaf caches of the selected formats — next to the circuit
+// texts.  load() sniffs the format: a binary artifact is mapped and its
+// tapes rebuilt as zero-copy views over the file (the circuits themselves
+// are parsed lazily, only when a caller actually needs arena objects —
+// analyze() on an uncached spec, hardware generation, re-serialisation);
+// the legacy versioned text artifact (to_text()/from_text()) loads through
+// the same entry point.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,7 @@
 #include "ac/circuit.hpp"
 #include "ac/tape.hpp"
 #include "problp/report.hpp"
+#include "runtime/artifact.hpp"
 
 namespace problp::bn {
 class BayesianNetwork;
@@ -59,6 +66,8 @@ class CompiledModel {
                                                       FrameworkOptions options = {});
 
   /// Full front-to-back compile: BN -> AC (ve_compiler) -> binarise -> tape.
+  /// The network's declared name (bn::BayesianNetwork::name) is carried
+  /// into the model and its saved artifacts.
   static std::shared_ptr<const CompiledModel> compile(const bn::BayesianNetwork& network,
                                                       FrameworkOptions options = {});
 
@@ -74,14 +83,20 @@ class CompiledModel {
   /// Versioned plain-text artifact embedding both binarised circuits
   /// (forces the lazy max circuit, so a loaded model never re-derives it).
   std::string to_text() const;
+  /// Binary mmap-able artifact (runtime/artifact.hpp): compiled tapes,
+  /// layouts, kernel schedules, cached reports and the leaf caches of the
+  /// cached reports' selected formats.  Written atomically (temp file +
+  /// rename); readers never observe a half-written file.
   void save(const std::string& path) const;
   static std::shared_ptr<const CompiledModel> from_text(const std::string& text,
                                                         FrameworkOptions options = {});
+  /// Loads either artifact format, sniffed by magic: binary artifacts map
+  /// zero-copy, text artifacts parse-and-recompile.
   static std::shared_ptr<const CompiledModel> load(const std::string& path,
                                                    FrameworkOptions options = {});
 
   // ---- structure -----------------------------------------------------------
-  const ac::Circuit& binary_circuit() const { return binary_; }
+  const ac::Circuit& binary_circuit() const;
   const ac::CircuitTape& tape() const { return tape_; }
   const ac::Circuit& binary_max_circuit() const;
   const ac::CircuitTape& max_tape() const;
@@ -89,15 +104,26 @@ class CompiledModel {
   const ac::Circuit& circuit_for(errormodel::QueryType q) const;
   const ac::CircuitTape& tape_for(errormodel::QueryType q) const;
 
-  int num_variables() const { return binary_.num_variables(); }
-  const std::vector<int>& cardinalities() const { return binary_.cardinalities(); }
+  int num_variables() const { return tape_.num_variables(); }
+  const std::vector<int>& cardinalities() const { return tape_.cardinalities(); }
   const FrameworkOptions& options() const { return options_; }
+
+  /// Model name: the source network's declared name, or the name stored in
+  /// a loaded artifact; empty when neither carried one.
+  const std::string& name() const { return name_; }
+  /// Artifact format version this model was loaded from; 0 when the model
+  /// was compiled in-process (or loaded from the legacy text artifact).
+  std::uint32_t artifact_version() const { return artifact_version_; }
+  /// Whether this model serves zero-copy views over a mapped artifact.
+  bool memory_mapped() const { return mapping_ != nullptr && mapping_->mapped(); }
 
   // ---- analysis ------------------------------------------------------------
   /// Format-independent error model for the circuit `q` evaluates.
   const errormodel::CircuitErrorModel& error_model(errormodel::QueryType q) const;
   /// Table-2 row for one (query, tolerance); cached, so repeated sessions
-  /// asking for the same spec pay the bit-width search once.
+  /// asking for the same spec pay the bit-width search once.  Loaded binary
+  /// artifacts pre-populate this cache with the reports cached at save
+  /// time, so re-analysing a persisted spec is a map lookup, not a search.
   AnalysisReport analyze(const errormodel::QuerySpec& spec) const;
   /// Datapath for the representation `report` selected.
   HardwareReport generate_hardware(const AnalysisReport& report) const;
@@ -107,19 +133,40 @@ class CompiledModel {
 
  private:
   struct MaxArtifact {
-    ac::Circuit circuit;
+    /// Absent on the mmap load path until an arena consumer needs it; the
+    /// tape alone serves MPE evaluation.
+    std::optional<ac::Circuit> circuit;
     ac::CircuitTape tape;
   };
 
   CompiledModel(std::optional<ac::Circuit> source, ac::Circuit binary, FrameworkOptions options);
+  /// The mmap load path: tapes adopted as views over `mapping`; circuits
+  /// stay unparsed text sections until needed.
+  CompiledModel(std::shared_ptr<MappedArtifact> mapping, ac::CircuitTape tape,
+                FrameworkOptions options);
 
-  /// Builds the max artifact if absent; call with mutex_ held.
+  static std::shared_ptr<CompiledModel> load_binary(const std::string& path,
+                                                    FrameworkOptions options);
+
+  /// Parses the marginal circuit from the mapped artifact if absent; call
+  /// with mutex_ held.
+  const ac::Circuit& ensure_binary_locked() const;
+  /// Builds the max artifact if absent; call with mutex_ held.  On the
+  /// mmap path the artifact exists up-front (adopted tape) but its circuit
+  /// may still be unparsed.
   const MaxArtifact& ensure_max_locked() const;
+  /// The max circuit itself, parsed/derived if needed; call with mutex_ held.
+  const ac::Circuit& ensure_max_circuit_locked() const;
   /// Builds the error model for `q` if absent; call with mutex_ held.
   const errormodel::CircuitErrorModel& ensure_model_locked(errormodel::QueryType q) const;
 
+  /// Mapped artifact backing the view-backed tapes.  Declared first so it
+  /// is destroyed last — every view member below must die before the
+  /// mapping does.  Null for in-process / text-loaded models.
+  std::shared_ptr<MappedArtifact> mapping_;
   FrameworkOptions options_;
-  ac::Circuit binary_;
+  std::string name_;
+  std::uint32_t artifact_version_ = 0;
   ac::CircuitTape tape_;
   /// The circuit the maximiser is derived from: the n-ary compiler output
   /// on the compile() path (the maximiser must come from binarize(to_max(
@@ -132,6 +179,9 @@ class CompiledModel {
   mutable std::optional<ac::Circuit> source_;
 
   mutable std::mutex mutex_;
+  /// The binarised marginal circuit; absent on the mmap load path until an
+  /// arena consumer (analysis, hardware, re-serialisation) needs it.
+  mutable std::optional<ac::Circuit> binary_;
   mutable std::unique_ptr<MaxArtifact> max_;  ///< lazily built, then immutable
   mutable std::optional<errormodel::CircuitErrorModel> model_;
   mutable std::optional<errormodel::CircuitErrorModel> max_model_;

@@ -1,0 +1,93 @@
+// ModelRegistry — multi-model serving over mmap-able artifacts.
+//
+// A ProbLP deployment rarely serves one network: a diagnosis box keeps
+// ALARM, HEPAR and a handful of site-specific models warm at once, and the
+// per-model cost model ("one offline analysis licenses many cheap online
+// queries") only holds if switching models does not mean re-parsing and
+// re-compiling.  The registry closes that gap on top of the binary artifact
+// (runtime/artifact.hpp):
+//
+//   * get(path) maps the artifact lazily and returns a shared CompiledModel.
+//     Models are keyed by *content hash* (peeked from the header without
+//     mapping the payload), so the same artifact reached through two paths
+//     — or re-registered after a rename — is one resident model.
+//   * Live models are refcounted by their sessions: the registry holds a
+//     weak reference plus, while the model is "resident", a pinning strong
+//     reference.  Eviction drops only the pin; sessions still holding the
+//     shared_ptr keep querying safely and the mapping is unmapped when the
+//     last session releases it.
+//   * Residency is bounded by Options::max_resident_bytes (sum of artifact
+//     file sizes, i.e. mapped bytes — the dominant cost of a mapped model).
+//     When an insert pushes the total over the cap, pins are dropped in LRU
+//     order until it fits; the just-requested model is never evicted.
+//
+// Thread-safety: all public methods are safe to call concurrently; the
+// registry serialises its table with an internal mutex.  Artifact loading
+// happens under the lock (cold loads are mmap-cheap by design), so two
+// threads racing get() on the same path map it once.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runtime/compiled_model.hpp"
+
+namespace problp::runtime {
+
+class ModelRegistry {
+ public:
+  struct Options {
+    /// Pinned-residency budget in bytes of mapped artifact; 0 = unlimited.
+    /// Models above the cap are evicted LRU but stay alive while sessions
+    /// reference them.
+    std::uint64_t max_resident_bytes = 0;
+    /// Options forwarded to CompiledModel::load for every artifact.
+    FrameworkOptions model_options;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< get() served from a live model
+    std::uint64_t misses = 0;      ///< get() had to load the artifact
+    std::uint64_t evictions = 0;   ///< pins dropped by the residency cap
+    std::uint64_t resident_bytes = 0;  ///< sum of pinned artifact sizes
+    std::size_t live_models = 0;   ///< distinct models currently alive
+  };
+
+  ModelRegistry() = default;
+  explicit ModelRegistry(Options options) : options_(options) {}
+
+  /// Returns the model stored in the artifact at `path`, loading (mapping)
+  /// it only if no live model with the same content hash exists.  Throws
+  /// util Error / ParseError on unreadable or invalid artifacts.
+  std::shared_ptr<const CompiledModel> get(const std::string& path);
+
+  /// Drops the pin of every resident model (sessions keep theirs alive).
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::weak_ptr<const CompiledModel> model;
+    std::shared_ptr<const CompiledModel> pin;  ///< null once evicted
+    std::uint64_t bytes = 0;                   ///< artifact file size
+    std::uint64_t lru_tick = 0;
+  };
+
+  /// Drops LRU pins until resident bytes fit the cap; `keep` is exempt.
+  void enforce_cap_locked(std::uint64_t keep_hash);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> entries_;  ///< keyed by artifact content hash
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace problp::runtime

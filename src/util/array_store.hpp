@@ -1,0 +1,90 @@
+// ArrayStore<T> — owned-or-borrowed flat array storage, the seam behind the
+// zero-copy model artifact (runtime/artifact.hpp).
+//
+// The runtime structures the artifact persists (CircuitTape, TapeLayout,
+// KernelSchedule, quantised leaf caches) are all flat arrays of trivially
+// copyable words.  Compiled in-process they own their storage as today's
+// std::vector; loaded from a mapped artifact the same arrays are *views*
+// into read-only mapped pages — no parse, no copy, no per-element work.
+// ArrayStore abstracts that ownership behind the subset of the vector API
+// the sweeps and analyses actually use (data/size/operator[]/iteration), so
+// one structure definition serves both paths.
+//
+// A view does not own the mapped pages: whoever constructs view-backed
+// structures must keep the mapping alive for their lifetime (CompiledModel
+// holds the mapping as its first member, so it outlives every view into
+// it).  Copying a view copies the pointer, not the bytes — cheap, and safe
+// under the same lifetime contract.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace problp::util {
+
+template <class T>
+class ArrayStore {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArrayStore views raw mapped bytes; T must be trivially copyable");
+
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  ArrayStore() = default;
+  /*implicit*/ ArrayStore(std::vector<T> owned) : owned_(std::move(owned)) {}
+
+  /// Borrow [data, data + size) without owning it.  The caller guarantees
+  /// the storage outlives every copy of this store.
+  static ArrayStore view(const T* data, std::size_t size) {
+    ArrayStore s;
+    s.view_ = data;
+    s.view_size_ = size;
+    return s;
+  }
+
+  const T* data() const { return view_ != nullptr ? view_ : owned_.data(); }
+  std::size_t size() const { return view_ != nullptr ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size(); }
+
+  bool is_view() const { return view_ != nullptr; }
+
+  /// Owned copy of the contents (tests and mutating consumers).
+  std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;  ///< non-null: borrowed storage of view_size_ elements
+  std::size_t view_size_ = 0;
+};
+
+template <class T>
+bool operator==(const ArrayStore<T>& a, const ArrayStore<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <class T>
+bool operator==(const ArrayStore<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <class T>
+bool operator==(const std::vector<T>& a, const ArrayStore<T>& b) {
+  return b == a;
+}
+
+}  // namespace problp::util

@@ -37,8 +37,8 @@ void expect_valid_layout(const CircuitTape& tape) {
 
   // op_order is a permutation of op_ids.
   {
-    std::vector<NodeId> sorted_order = order;
-    std::vector<NodeId> sorted_ops = tape.op_ids();
+    std::vector<NodeId> sorted_order(order.begin(), order.end());
+    std::vector<NodeId> sorted_ops(tape.op_ids().begin(), tape.op_ids().end());
     std::sort(sorted_order.begin(), sorted_order.end());
     std::sort(sorted_ops.begin(), sorted_ops.end());
     EXPECT_EQ(sorted_order, sorted_ops);

@@ -543,7 +543,7 @@ TEST(KernelSchedule, SegmentsReplayTheOperatorScheduleExactly) {
     const auto& offsets = tape.child_offsets();
     const auto& children = tape.children();
 
-    const auto check = [&](const KernelSchedule& schedule, const std::vector<NodeId>& ops,
+    const auto check = [&](const KernelSchedule& schedule, const auto& ops,
                            const std::int32_t* slot_of, std::size_t want_rows) {
       ASSERT_EQ(schedule.num_ops(), ops.size());
       ASSERT_EQ(schedule.num_fanin2_ops() + schedule.num_generic_ops(), schedule.num_ops());
