@@ -68,6 +68,7 @@
 #include <cstdlib>
 
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -369,6 +370,126 @@ ThroughputResult run_circuit(const char* name, const ac::Circuit& circuit,
   return r;
 }
 
+// The precision-escalation serving row (--escalation=E,M): one batch served
+// three ways — the narrow float format with fallback off, the exact double
+// backend, and the narrow format with escalate-to-exact fallback — printing
+// one JSON line
+//
+//   {"bench":"eval_escalation","circuit":"alarm","batch":512,
+//    "float_fmt":"6,4","natural_flagged_fraction":...,"flagged":...,
+//    "flagged_fraction":...,"fallback_off_qps":...,"exact_qps":...,
+//    "escalated_qps":...,"overhead_pct":...}
+//
+// Under-/overflow status correlates across a circuit's queries (they share
+// subcircuits, so the smallest intermediate magnitudes cluster), which
+// makes the *natural* flagged fraction of a batch jump with the exponent
+// width — on ALARM, E=7 flags nothing and E=6 flags ~76%.  The acceptance
+// regime is a mostly-clean serving mix, so when the natural fraction
+// exceeds 10% the bench composes one: every clean query (cycled to fill),
+// plus flagged queries capped at 10% of the batch.
+// `natural_flagged_fraction` records the untouched batch's fraction,
+// `flagged`/`flagged_fraction` the mix actually measured.
+//
+// The serving contract is checked in-process on the measured mix: every
+// flagged query's escalated answer must be bitwise the exact backend's,
+// every clean query's bitwise the fallback-off engine's, and the per-query
+// provenance must record the climb — the bench exits non-zero on any
+// violation, so a recorded row is also a passed acceptance check.
+// overhead_pct is the wall-time cost of escalation relative to
+// fallback-off serving (off_qps / escalated_qps - 1); the acceptance bar
+// is <= 30% at a flagged fraction <= 10%.
+void run_escalation(const char* name, const ac::Circuit& circuit,
+                    const std::vector<ac::PartialAssignment>& natural, double min_seconds,
+                    lowprec::FloatFormat fmt) {
+  const std::size_t batch_size = natural.size();
+  const auto model = runtime::CompiledModel::wrap(circuit);
+  const Representation repr = Representation::of(fmt);
+
+  runtime::InferenceSession off_session(model,
+                                        runtime::SessionOptions::low_precision(repr));
+
+  // Flag census of the natural batch, then the measured serving mix.
+  off_session.marginal(natural);
+  std::vector<std::size_t> clean_idx, flagged_idx;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    (off_session.last_query_flags()[i].any() ? flagged_idx : clean_idx).push_back(i);
+  }
+  const double natural_fraction =
+      static_cast<double>(flagged_idx.size()) / static_cast<double>(batch_size);
+
+  std::vector<ac::PartialAssignment> assignments;
+  if (flagged_idx.size() * 10 <= batch_size || clean_idx.empty()) {
+    assignments = natural;  // already in the acceptance regime (or unmixable)
+  } else {
+    const std::size_t take_flagged = batch_size / 10;
+    for (std::size_t i = 0; i < take_flagged; ++i) {
+      assignments.push_back(natural[flagged_idx[i % flagged_idx.size()]]);
+    }
+    for (std::size_t i = 0; assignments.size() < batch_size; ++i) {
+      assignments.push_back(natural[clean_idx[i % clean_idx.size()]]);
+    }
+  }
+
+  double off_checksum = 0.0;
+  const double off_qps = measure_qps(batch_size, min_seconds, [&] {
+    off_checksum = 0.0;
+    for (const double v : off_session.marginal(assignments)) off_checksum += v;
+  });
+  const std::vector<double> base_values = off_session.marginal(assignments);
+  const std::vector<lowprec::ArithFlags> base_flags = off_session.last_query_flags();
+  std::size_t flagged = 0;
+  for (const auto& f : base_flags) flagged += f.any() ? 1u : 0u;
+
+  runtime::InferenceSession exact_session(model);
+  double exact_checksum = 0.0;
+  const double exact_qps = measure_qps(batch_size, min_seconds, [&] {
+    exact_checksum = 0.0;
+    for (const double v : exact_session.marginal(assignments)) exact_checksum += v;
+  });
+  const std::vector<double> exact_values = exact_session.marginal(assignments);
+
+  runtime::SessionOptions esc_options = runtime::SessionOptions::low_precision(repr);
+  esc_options.fallback = runtime::FallbackPolicy::to_exact();
+  runtime::InferenceSession esc_session(model, esc_options);
+  double esc_checksum = 0.0;
+  const double esc_qps = measure_qps(batch_size, min_seconds, [&] {
+    esc_checksum = 0.0;
+    for (const double v : esc_session.marginal(assignments)) esc_checksum += v;
+  });
+
+  // The serving contract, checked on the answers actually served: flagged
+  // queries are bitwise the exact backend's, clean ones bitwise the
+  // fallback-off engine's, and provenance records exactly one climb.
+  const std::vector<double>& served = esc_session.marginal(assignments);
+  const auto& provenance = esc_session.last_provenance();
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const bool was_flagged = base_flags[i].any();
+    const double want = was_flagged ? exact_values[i] : base_values[i];
+    if (std::memcmp(&served[i], &want, sizeof(double)) != 0 ||
+        provenance[i].escalations != (was_flagged ? 1 : 0)) {
+      std::fprintf(stderr,
+                   "ESCALATION PARITY VIOLATION on %s query %zu (flagged=%d): "
+                   "served %.17g want %.17g escalations %d\n",
+                   name, i, was_flagged ? 1 : 0, served[i], want, provenance[i].escalations);
+      std::exit(1);
+    }
+  }
+  if (esc_session.last_flags().any()) {
+    std::fprintf(stderr, "ESCALATION left surviving flags on %s\n", name);
+    std::exit(1);
+  }
+
+  std::printf(
+      "{\"bench\":\"eval_escalation\",\"circuit\":\"%s\",\"batch\":%zu,"
+      "\"float_fmt\":\"%d,%d\",\"natural_flagged_fraction\":%.4f,"
+      "\"flagged\":%zu,\"flagged_fraction\":%.4f,"
+      "\"fallback_off_qps\":%.0f,\"exact_qps\":%.0f,\"escalated_qps\":%.0f,"
+      "\"overhead_pct\":%.1f}\n",
+      name, batch_size, fmt.exponent_bits, fmt.mantissa_bits, natural_fraction, flagged,
+      static_cast<double>(flagged) / static_cast<double>(batch_size), off_qps, exact_qps,
+      esc_qps, (off_qps / esc_qps - 1.0) * 100.0);
+}
+
 // The single circuit list: every runnable circuit by canonical name (the
 // JSON `circuit` field), plus accepted aliases.  scripts/bench.sh and CI
 // select from this list via --circuits; adding a circuit here is the whole
@@ -382,14 +503,19 @@ bool wants(const std::vector<std::string>& selected, const char* canonical,
 }
 
 void run_all(const std::vector<std::string>& circuits, double min_seconds,
-             lowprec::FixedFormat lp_fmt, lowprec::FloatFormat fl_fmt, bool relayout) {
+             lowprec::FixedFormat lp_fmt, lowprec::FloatFormat fl_fmt, bool relayout,
+             const lowprec::FloatFormat* escalation) {
   bool ran_any = false;
   // ALARM: the paper's hardest benchmark, 512 sampled leaf-sensor evidence
   // sets (the acceptance setting asks for >= 256).
   if (wants(circuits, "alarm")) {
     const datasets::Benchmark alarm = datasets::make_alarm_benchmark(1, 512);
-    run_circuit("alarm", alarm.circuit, bench::to_assignments(alarm.test_evidence),
-                min_seconds, lp_fmt, fl_fmt, relayout);
+    const auto assignments = bench::to_assignments(alarm.test_evidence);
+    if (escalation != nullptr) {
+      run_escalation("alarm", alarm.circuit, assignments, min_seconds, *escalation);
+    } else {
+      run_circuit("alarm", alarm.circuit, assignments, min_seconds, lp_fmt, fl_fmt, relayout);
+    }
     ran_any = true;
   }
   // Synthetic: a VE-compiled random 36-variable network — denser operators
@@ -403,9 +529,13 @@ void run_all(const std::vector<std::string>& circuits, double min_seconds,
     spec.edge_probability = 0.25;
     const bn::BayesianNetwork network = bn::make_random_network(spec, rng);
     const ac::Circuit circuit = compile::compile_network(network);
-    run_circuit("synthetic_ve36", circuit,
-                sample_evidence(circuit.cardinalities(), 512, 0.4, rng), min_seconds, lp_fmt,
-                fl_fmt, relayout);
+    const auto assignments = sample_evidence(circuit.cardinalities(), 512, 0.4, rng);
+    if (escalation != nullptr) {
+      run_escalation("synthetic_ve36", circuit, assignments, min_seconds, *escalation);
+    } else {
+      run_circuit("synthetic_ve36", circuit, assignments, min_seconds, lp_fmt, fl_fmt,
+                  relayout);
+    }
     ran_any = true;
   }
   if (!ran_any) {
@@ -443,6 +573,9 @@ int main(int argc, char** argv) {
   // for a u64-lane mantissa, --float=8,35 for the wide interleaved path);
   // the default is the float32 shape, which rides the u32 lanes.
   problp::lowprec::FloatFormat fl_fmt{8, 23};
+  // Engaged by --escalation=E,M: run escalation serving rows instead of the
+  // throughput rows.
+  std::optional<problp::lowprec::FloatFormat> escalation_fmt;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -480,6 +613,22 @@ int main(int argc, char** argv) {
       const std::string exp_bits(arg + 8, comma);
       fl_fmt.exponent_bits = parse_bits(exp_bits.c_str());
       fl_fmt.mantissa_bits = parse_bits(comma + 1);
+    } else if (std::strncmp(arg, "--escalation=", 13) == 0) {
+      // Escalation serving mode: run the eval_escalation row (instead of
+      // the throughput row) on the selected circuits, with E,M as the
+      // overflow/underflow-prone base format the escalating session serves
+      // from.  Same strict parse as --float.
+      const char* comma = std::strchr(arg + 13, ',');
+      if (comma == nullptr || comma == arg + 13 || comma[1] == '\0') {
+        std::fprintf(stderr,
+                     "bench_eval_throughput: bad --escalation value '%s' (want E,M)\n", arg);
+        return 2;
+      }
+      const std::string exp_bits(arg + 13, comma);
+      problp::lowprec::FloatFormat fmt;
+      fmt.exponent_bits = parse_bits(exp_bits.c_str());
+      fmt.mantissa_bits = parse_bits(comma + 1);
+      escalation_fmt = fmt;
     } else if (std::strcmp(arg, "--no-relayout") == 0) {
       relayout = false;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -498,11 +647,14 @@ int main(int argc, char** argv) {
   } else if (!positional.empty()) {
     std::fprintf(stderr,
                  "usage: bench_eval_throughput [--circuits=name,...] [--no-relayout] "
-                 "[--min-seconds=S] [--float=E,M] [integer_bits fraction_bits]\n");
+                 "[--min-seconds=S] [--float=E,M] [--escalation=E,M] "
+                 "[integer_bits fraction_bits]\n");
     return 2;
   }
   lp_fmt.validate();
   fl_fmt.validate();
-  problp::run_all(circuits, min_seconds, lp_fmt, fl_fmt, relayout);
+  if (escalation_fmt) escalation_fmt->validate();
+  problp::run_all(circuits, min_seconds, lp_fmt, fl_fmt, relayout,
+                  escalation_fmt ? &*escalation_fmt : nullptr);
   return 0;
 }

@@ -4,7 +4,7 @@
 //   problp_cli <network.bif> [--query marginal|conditional|mpe]
 //              [--tolerance-kind abs|rel] [--tolerance 0.01]
 //              [--evidence var=state,...] [--query-var <name>]
-//              [--infer] [--batch N]
+//              [--infer] [--batch N] [--fallback off|exact]
 //              [--save-model out.pm] [--load-model in.pm]
 //              [--registry dir --model name]
 //              [--verilog out.v] [--testbench out_tb.v]
@@ -20,11 +20,20 @@
 // compilation; --registry serves <dir>/<name>.pm through a
 // runtime::ModelRegistry (content-hash keyed, shared mappings).
 //
+// --fallback exact arms the session's precision-escalation fallback: flagged
+// low-precision queries re-serve on the exact double backend, and the CLI
+// prints a per-query flag/escalation summary.  Scripted deployments can
+// gate on the exit status: 3 means sticky flags survived on at least one
+// served answer (flags raised with --fallback off, or — impossible with the
+// exact rung — surviving the ladder), 0 means every served answer was
+// computed flag-clean.
+//
 // Try it on the bundled ALARM export:
 //   ./build/examples/patient_monitoring            # writes /tmp/problp_alarm.bif
 //   ./build/examples/problp_cli /tmp/problp_alarm.bif --query conditional
 //       --tolerance-kind rel --query-var HYPOVOLEMIA
 //       --evidence HRBP=HIGH,HREKG=HIGH --infer --batch 512   (one line)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -50,7 +59,7 @@ void usage(const char* argv0) {
                "usage: %s <network.bif> [--query marginal|conditional|mpe]\n"
                "          [--tolerance-kind abs|rel] [--tolerance <float>]\n"
                "          [--evidence var=state,...] [--query-var <name>]\n"
-               "          [--infer] [--batch <N>]\n"
+               "          [--infer] [--batch <N>] [--fallback off|exact]\n"
                "          [--save-model <out.pm>] [--load-model <in.pm>]\n"
                "          [--registry <dir> --model <name>]\n"
                "          [--verilog <out.v>] [--testbench <out_tb.v>]\n"
@@ -142,6 +151,8 @@ int main(int argc, char** argv) {
   std::string query_var_name;
   bool infer = false;
   long batch = 0;
+  bool fallback_exact = false;
+  int exit_code = 0;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -185,6 +196,13 @@ int main(int argc, char** argv) {
           batch = std::stol(next());
         } catch (const std::exception&) {
           throw InvalidArgument("--batch expects an integer");
+        }
+      } else if (arg == "--fallback") {
+        const std::string mode = next();
+        if (mode == "exact") {
+          fallback_exact = true;
+        } else if (mode != "off") {
+          throw InvalidArgument("--fallback expects off or exact");
         }
       } else if (arg == "--save-model") {
         save_model_path = next();
@@ -282,7 +300,34 @@ int main(int argc, char** argv) {
       }
 
       runtime::InferenceSession exact(model);
-      runtime::InferenceSession lowprec(model, report);
+      runtime::SessionOptions lp_options = runtime::SessionOptions::low_precision(
+          report.selected, report.selected.kind == Representation::Kind::kFixed
+                               ? model->options().search.fixed_options.rounding
+                               : model->options().search.float_rounding);
+      if (fallback_exact) lp_options.fallback = runtime::FallbackPolicy::to_exact();
+      runtime::InferenceSession lowprec(model, lp_options);
+
+      // One per-query summary shape for both the single and the batched
+      // paths; flips the exit status to 3 when flags survived on any served
+      // answer so scripts can gate deployments on it.
+      auto flag_summary = [&] {
+        const std::vector<runtime::QueryProvenance>& prov = lowprec.last_provenance();
+        std::size_t escalated = 0;
+        std::size_t served_exact = 0;
+        std::size_t survived = 0;
+        int max_escalations = 0;
+        for (const runtime::QueryProvenance& p : prov) {
+          if (p.escalations > 0) ++escalated;
+          if (!p.served_format) ++served_exact;
+          if (p.flags.any()) ++survived;
+          max_escalations = std::max(max_escalations, p.escalations);
+        }
+        std::printf("low-precision flag summary: %zu quer%s, %zu escalated, %zu served exact, "
+                    "%zu with surviving flags (fallback %s)\n",
+                    prov.size(), prov.size() == 1 ? "y" : "ies", escalated, served_exact,
+                    survived, fallback_exact ? "exact" : "off");
+        if (survived > 0) exit_code = 3;
+      };
 
       if (infer) {
         std::printf("evidence: %s\n", describe_evidence(network, evidence).c_str());
@@ -317,6 +362,7 @@ int main(int argc, char** argv) {
         if (lowprec.last_flags().any()) {
           std::printf("  low-precision flags RAISED (overflow/underflow observed)\n");
         }
+        flag_summary();
       }
 
       if (batch > 0) {
@@ -353,6 +399,7 @@ int main(int argc, char** argv) {
         std::printf("throughput over %zu sampled evidence sets: exact %.0f q/s, %s %.0f q/s\n",
                     batch_evidence.size(), exact_qps, report.selected.to_string().c_str(),
                     lp_qps);
+        flag_summary();
       }
     }
 
@@ -390,5 +437,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return exit_code;
 }

@@ -48,6 +48,18 @@
 # run against --no-relayout, for a narrow and a wide format alike (the
 # bench takes an optional `I F` fixed-format override).
 #
+# The precision-escalation serving row (--escalation=E,M, one extra
+# invocation below) measures the flag-driven fallback of the serving
+# runtime (runtime/session.hpp FallbackPolicy): the same ALARM batch served
+# in the overflow/underflow-prone E=6,M=4 float format with fallback off,
+# on the exact backend, and with escalate-to-exact fallback.  Because flag
+# status correlates across a circuit's queries, the bench composes a
+# serving mix capped at 10% flagged (natural_flagged_fraction records the
+# raw batch) and checks the serving contract in-process — flagged answers
+# bitwise the exact backend's, clean answers bitwise the fallback-off
+# engine's — exiting non-zero on any violation (acceptance: overhead_pct
+# <= 30 at flagged_fraction <= 0.10; see docs/runtime.md "Robustness").
+#
 # The model-artifact layer (runtime/artifact.hpp) adds a second output
 # file, BENCH_load.json: bench_model_load writes one line per run with the
 # cold-load latency and VmRSS growth of the legacy text artifact (parse +
@@ -83,8 +95,13 @@ for flags in "--no-relayout" ""; do
     done
 done
 
+# The escalation serving row: ALARM only (the acceptance circuit), on the
+# flag-prone narrow float format.
+"$build_dir/bench/bench_eval_throughput" --circuits=alarm --min-seconds=1 --escalation=6,4 |
+  grep '^{' >> "$out"
+
 echo "appended results to $out:"
-tail -n 4 "$out"
+tail -n 5 "$out"
 
 # Cold-load latency + resident cost of the two model artifact formats.
 load_out="$repo_root/BENCH_load.json"

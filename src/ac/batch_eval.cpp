@@ -5,8 +5,31 @@
 #include <thread>
 
 #include "ac/tape_layout.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace problp::ac {
+
+namespace {
+
+/// Re-throws a worker exception as a member of the problp::Error family:
+/// sessions and servers catch that family at the API boundary, so a foreign
+/// exception escaping a worker thread (an allocator failure, an injected
+/// fault, a bug) must be wrapped, not leaked raw — and never allowed to
+/// reach std::terminate.
+[[noreturn]] void rethrow_worker_error(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const Error&) {
+    throw;  // already the family the API documents
+  } catch (const std::exception& ex) {
+    throw Error(std::string("batched evaluation worker failed: ") + ex.what());
+  } catch (...) {
+    throw Error("batched evaluation worker failed with a non-standard exception");
+  }
+}
+
+}  // namespace
 
 void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
@@ -14,7 +37,13 @@ void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
       std::min<std::size_t>(static_cast<std::size_t>(num_threads),
                             std::max<std::size_t>(count / block, 1));
   if (threads <= 1) {
-    fn(0, count, 0);
+    // Same error contract as the threaded path: the inline worker's
+    // exceptions surface wrapped as problp::Error too.
+    try {
+      fn(0, count, 0);
+    } catch (...) {
+      rethrow_worker_error(std::current_exception());
+    }
     return;
   }
   // Contiguous chunks, block-aligned so no block straddles two workers.
@@ -37,7 +66,7 @@ void parallel_blocks(std::size_t count, std::size_t block, int num_threads,
   }
   for (auto& th : pool) th.join();
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) rethrow_worker_error(e);
   }
 }
 
@@ -113,6 +142,12 @@ const std::vector<double>& BatchEvaluator::evaluate(const PartialAssignment* bat
   roots_.resize(count);
   parallel_blocks(count, options_.block, options_.num_threads,
                   [this, batch](std::size_t begin, std::size_t end, std::size_t worker) {
+                    // Fault site: a worker thread throws a foreign (non-
+                    // problp) exception; parallel_blocks must surface it on
+                    // the caller as problp::Error, never std::terminate.
+                    if (util::fault_point("batch.worker")) {
+                      throw std::runtime_error("injected worker fault");
+                    }
                     evaluate_range(batch, begin, end, workspaces_[worker]);
                   });
   return roots_;

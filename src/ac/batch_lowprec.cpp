@@ -8,6 +8,7 @@
 
 #include "ac/leaf_cache.hpp"
 #include "ac/tape_layout.hpp"
+#include "util/fault_injection.hpp"
 
 namespace problp::ac {
 
@@ -305,6 +306,12 @@ const std::vector<double>& LowPrecBatchEvaluator<RawOps>::evaluate(
   flags_.resize(count);
   parallel_blocks(count, options_.block, options_.num_threads,
                   [this, batch](std::size_t begin, std::size_t end, std::size_t worker) {
+                    // Fault site: a worker thread throws a foreign (non-
+                    // problp) exception; parallel_blocks must surface it on
+                    // the caller as problp::Error, never std::terminate.
+                    if (util::fault_point("batch.worker")) {
+                      throw std::runtime_error("injected worker fault");
+                    }
                     evaluate_range(batch, begin, end, workspaces_[worker]);
                   });
   return roots_;

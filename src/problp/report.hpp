@@ -25,6 +25,13 @@ struct FrameworkOptions {
   errormodel::SearchOptions search;
   ac::DecompositionStyle decomposition = ac::DecompositionStyle::kBalanced;
   hw::NetlistEnergyOptions netlist_energy;
+  /// Binary model artifacts load via a private heap copy instead of mmap:
+  /// slower cold load, no cross-process page sharing, but the loaded model
+  /// is immune to the artifact file being truncated or rewritten after
+  /// open (the mmap path only re-checks the size at open time — see
+  /// runtime/artifact.hpp).  Set it on ModelRegistry::Options::model_options
+  /// for a registry that owns every resident byte.
+  bool artifact_read_copy = false;
 };
 
 /// The representation ProbLP selected (fixed xor float).

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fault_injection.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -47,6 +49,18 @@ std::uint64_t get_u64(const unsigned char* p) {
 std::size_t align_up(std::size_t v) {
   return (v + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
 }
+
+#if PROBLP_HAVE_MMAP
+/// Keeps the artifact fd open across the whole of open()-time validation so
+/// the final truncation re-check stats the same file the mapping came from
+/// (a path re-open could race a rename).  Closes on every exit path.
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+#endif
 
 }  // namespace
 
@@ -152,8 +166,16 @@ void ArtifactWriter::write(const std::string& path) const {
     }
     static const char zeros[kSectionAlign] = {};
     out.write(zeros, static_cast<std::streamsize>(static_cast<std::size_t>(file_size) - written));
+    // Fault site: a failed payload stream (disk full, I/O error) must leave
+    // the destination untouched — the fired site poisons the stream so the
+    // real short-write error path below runs.
+    if (util::fault_point("artifact.write")) out.setstate(std::ios::failbit);
     out.flush();
-    require(out.good(), "artifact: write failed for " + tmp);
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("artifact: write failed for " + tmp);
+    }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -226,7 +248,7 @@ void MappedArtifact::reset() noexcept {
   fallback_.clear();
 }
 
-MappedArtifact MappedArtifact::open(const std::string& path) {
+MappedArtifact MappedArtifact::open(const std::string& path, bool read_copy) {
   MappedArtifact art;
   art.info_ = peek(path);  // header checks: magic, endianness
 
@@ -235,28 +257,33 @@ MappedArtifact MappedArtifact::open(const std::string& path) {
               ", this build reads version " + std::to_string(kArtifactVersion));
 
 #if PROBLP_HAVE_MMAP
-  {
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    require(fd >= 0, "artifact: cannot open " + path);
+  FdGuard guard;
+  if (!read_copy) {
+    guard.fd = ::open(path.c_str(), O_RDONLY);
+    require(guard.fd >= 0, "artifact: cannot open " + path);
     struct stat st;
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      throw Error("artifact: cannot stat " + path);
-    }
+    require(::fstat(guard.fd, &st) == 0, "artifact: cannot stat " + path);
     art.size_ = static_cast<std::size_t>(st.st_size);
     if (art.size_ > 0) {
-      void* map = ::mmap(nullptr, art.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      // Fault site: a failed mapping (address-space pressure, an fs without
+      // mmap) must fall through to the heap-read path, not error out.
+      void* map = util::fault_point("artifact.mmap")
+                      ? MAP_FAILED
+                      : ::mmap(nullptr, art.size_, PROT_READ, MAP_PRIVATE, guard.fd, 0);
       if (map != MAP_FAILED) {
         art.base_ = static_cast<const unsigned char*>(map);
         art.mapped_ = true;
       }
     }
-    ::close(fd);
   }
+#else
+  (void)read_copy;  // no mapping to opt out of
 #endif
   if (!art.mapped_) {
-    // Portable fallback: read the whole file into an owned buffer.  Same
-    // views, same validation — only the sharing/laziness is lost.
+    // Portable fallback — and the read_copy mode: read the whole file into
+    // an owned buffer.  Same views, same validation — only the sharing /
+    // laziness is lost, and in exchange the model is immune to the file
+    // being truncated or rewritten after open (nothing aliases the pages).
     std::ifstream in(path, std::ios::binary);
     require(in.good(), "artifact: cannot open " + path);
     in.seekg(0, std::ios::end);
@@ -265,8 +292,10 @@ MappedArtifact MappedArtifact::open(const std::string& path) {
     art.fallback_.resize(art.size_);
     in.read(reinterpret_cast<char*>(art.fallback_.data()),
             static_cast<std::streamsize>(art.size_));
-    require(static_cast<std::size_t>(in.gcount()) == art.size_,
-            "artifact: short read of " + path);
+    std::size_t got = static_cast<std::size_t>(in.gcount());
+    // Fault site: the stream delivers fewer bytes than the file claimed.
+    if (util::fault_point("artifact.short_read")) got /= 2;
+    require(got == art.size_, "artifact: short read of " + path);
     art.base_ = art.fallback_.data();
   }
 
@@ -293,7 +322,10 @@ MappedArtifact MappedArtifact::open(const std::string& path) {
     require(entry.offset <= art.size_ && entry.length <= art.size_ - entry.offset,
             "artifact: section " + std::to_string(entry.id) + " exceeds the file (offset " +
                 std::to_string(entry.offset) + ", length " + std::to_string(entry.length) + ")");
-    const std::uint64_t got = fnv1a64(art.base_ + entry.offset, entry.length);
+    std::uint64_t got = fnv1a64(art.base_ + entry.offset, entry.length);
+    // Fault site: one flipped bit in a payload, as a bit rot / torn write
+    // would produce — exercises the real mismatch path below.
+    if (util::fault_point("artifact.checksum")) got ^= 1;
     require(got == checksums[i], "artifact: section " + std::to_string(entry.id) +
                                      " checksum mismatch (corrupt payload)");
     art.entries_.push_back(entry);
@@ -303,6 +335,26 @@ MappedArtifact MappedArtifact::open(const std::string& path) {
   require(fnv1a64(checksums.data(), checksums.size() * sizeof(std::uint64_t)) ==
               art.info_.content_hash,
           "artifact: " + path + " content hash mismatch (corrupt or inconsistent file)");
+#if PROBLP_HAVE_MMAP
+  if (guard.fd >= 0) {
+    // Truncation re-check: every byte above was validated through the
+    // mapping, but a writer that truncates the file *after* our fstat
+    // leaves the tail of the mapping backed by nothing — later lazy
+    // touches would SIGBUS, long past this validation.  Re-stat the same
+    // fd and refuse the artifact if its size moved under us.  (This closes
+    // the open()-time window only; for full immunity against concurrent
+    // truncation use the read_copy mode, which owns its bytes.)
+    struct stat st;
+    require(::fstat(guard.fd, &st) == 0, "artifact: cannot re-stat " + path);
+    std::uint64_t size_now = static_cast<std::uint64_t>(st.st_size);
+    // Fault site: the file shrank between validation and the re-check.
+    if (util::fault_point("artifact.size_recheck")) size_now /= 2;
+    require(size_now == art.info_.file_size,
+            "artifact: " + path + " changed size during open (now " +
+                std::to_string(size_now) + " bytes, validated " +
+                std::to_string(art.info_.file_size) + ") — concurrent truncation");
+  }
+#endif
   return art;
 }
 

@@ -122,9 +122,15 @@ class MappedArtifact {
   static ArtifactInfo peek(const std::string& path);
 
   /// Maps and fully validates `path`: magic, version, endianness, file
-  /// size, per-section bounds + alignment + checksum, whole-content hash.
-  /// Throws util Error with a found-vs-expected message on any mismatch.
-  static MappedArtifact open(const std::string& path);
+  /// size, per-section bounds + alignment + checksum, whole-content hash,
+  /// and (on the mmap path) a final fstat re-check that the file did not
+  /// change size during validation — the defence against a writer
+  /// truncating the artifact after we mapped it.  Throws util Error with a
+  /// found-vs-expected message on any mismatch.  `read_copy` skips mmap and
+  /// reads the file into an owned heap buffer: slower cold load and no
+  /// page-cache sharing, but the model is immune to the backing file being
+  /// truncated or rewritten after open.
+  static MappedArtifact open(const std::string& path, bool read_copy = false);
 
   MappedArtifact(MappedArtifact&& other) noexcept { *this = std::move(other); }
   MappedArtifact& operator=(MappedArtifact&& other) noexcept;

@@ -664,7 +664,8 @@ std::shared_ptr<const CompiledModel> CompiledModel::from_text(const std::string&
 
 std::shared_ptr<CompiledModel> CompiledModel::load_binary(const std::string& path,
                                                           FrameworkOptions options) {
-  auto mapping = std::make_shared<MappedArtifact>(MappedArtifact::open(path));
+  auto mapping =
+      std::make_shared<MappedArtifact>(MappedArtifact::open(path, options.artifact_read_copy));
   const MappedArtifact& art = *mapping;
 
   {

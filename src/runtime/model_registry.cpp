@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "runtime/artifact.hpp"
+#include "util/fault_injection.hpp"
 
 namespace problp::runtime {
 
@@ -39,6 +40,13 @@ std::shared_ptr<const CompiledModel> ModelRegistry::get(const std::string& path)
   }
 
   ++misses_;
+  // Fault site: the cold load fails mid-get (unreadable file, corrupt
+  // artifact).  It throws before any entry is inserted, so the table — and
+  // every resident model — is untouched; a later get() of the same path
+  // simply retries the load.
+  if (util::fault_point("registry.load")) {
+    throw Error("model registry: injected load failure for " + path);
+  }
   std::shared_ptr<const CompiledModel> model = CompiledModel::load(path, options_.model_options);
   Entry entry;
   entry.model = model;

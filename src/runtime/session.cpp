@@ -1,5 +1,6 @@
 #include "runtime/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace problp::runtime {
@@ -27,6 +28,15 @@ SessionOptions options_from_report(const CompiledModel* model, const AnalysisRep
   return options;
 }
 
+/// Folds a second pass's provenance into a conditional query's entry: the
+/// query's served format is the widest rung any pass needed, its escalation
+/// count the deepest climb, its flags the union.
+void fold_provenance(QueryProvenance& into, const QueryProvenance& other) {
+  if (other.escalations > into.escalations) into.served_format = other.served_format;
+  into.escalations = std::max(into.escalations, other.escalations);
+  into.flags.merge(other.flags);
+}
+
 }  // namespace
 
 InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
@@ -44,6 +54,17 @@ InferenceSession::InferenceSession(std::shared_ptr<const CompiledModel> model,
     require(ac::simd::level_supported(*options_.batch.simd),
             "InferenceSession: requested SIMD level not supported by this build/CPU");
   }
+  // Ladder formats are validated here for the same reason: a rung is only
+  // constructed on the first escalation that reaches it, which may be days
+  // into a deployment.
+  for (const Representation& step : options_.fallback.ladder) {
+    if (step.kind == Representation::Kind::kFixed) {
+      step.fixed.validate();
+    } else {
+      step.flt.validate();
+    }
+  }
+  rungs_.resize(options_.fallback.ladder.size());
   tapes_[kMarginalTape] = &model_->tape();
 }
 
@@ -56,46 +77,93 @@ const ac::CircuitTape& InferenceSession::tape(Which which) {
   return *tapes_[which];
 }
 
-InferenceSession::LowPrecEngine& InferenceSession::engine(Which which) {
-  LowPrecEngine& engine = lowprec_[which];
-  if (!engine.fixed && !engine.flt) {
-    const Representation& repr = *options_.representation;
+InferenceSession::LowPrecEngine& InferenceSession::engine_for(LowPrecEngine& slot,
+                                                              const Representation& repr,
+                                                              Which which) {
+  if (!slot.fixed && !slot.flt) {
     if (repr.kind == Representation::Kind::kFixed) {
-      engine.fixed.emplace(tape(which), repr.fixed, options_.rounding);
+      slot.fixed.emplace(tape(which), repr.fixed, options_.rounding);
     } else {
-      engine.flt.emplace(tape(which), repr.flt, options_.rounding);
+      slot.flt.emplace(tape(which), repr.flt, options_.rounding);
     }
   }
-  return engine;
+  return slot;
 }
 
-double InferenceSession::eval_root(Which which, const ac::PartialAssignment& assignment) {
-  if (!options_.representation) return tape(which).evaluate(assignment, scratch_);
-  LowPrecEngine& eng = engine(which);
-  const ac::LowPrecisionResult result =
-      eng.fixed ? eng.fixed->evaluate(assignment) : eng.flt->evaluate(assignment);
-  last_flags_.merge(result.flags);
-  return result.value;
+InferenceSession::LowPrecBatchEngine& InferenceSession::batch_engine_for(
+    LowPrecBatchEngine& slot, const Representation& repr, Which which) {
+  if (!slot.fixed && !slot.flt) {
+    if (repr.kind == Representation::Kind::kFixed) {
+      slot.fixed.emplace(tape(which), repr.fixed, options_.rounding, options_.batch);
+    } else {
+      slot.flt.emplace(tape(which), repr.flt, options_.rounding, options_.batch);
+    }
+  }
+  return slot;
+}
+
+InferenceSession::LowPrecEngine& InferenceSession::engine(Which which) {
+  return engine_for(lowprec_[which], *options_.representation, which);
 }
 
 InferenceSession::LowPrecBatchEngine& InferenceSession::batch_engine(Which which) {
-  LowPrecBatchEngine& engine = lowprec_batch_[which];
-  if (!engine.fixed && !engine.flt) {
-    const Representation& repr = *options_.representation;
-    if (repr.kind == Representation::Kind::kFixed) {
-      engine.fixed.emplace(tape(which), repr.fixed, options_.rounding, options_.batch);
-    } else {
-      engine.flt.emplace(tape(which), repr.flt, options_.rounding, options_.batch);
+  return batch_engine_for(lowprec_batch_[which], *options_.representation, which);
+}
+
+InferenceSession::Rung& InferenceSession::rung(std::size_t index) {
+  if (!rungs_[index]) rungs_[index] = std::make_unique<Rung>();
+  return *rungs_[index];
+}
+
+double InferenceSession::eval_root(Which which, const ac::PartialAssignment& assignment) {
+  if (!options_.representation) {
+    query_flags_.emplace_back();
+    provenance_.emplace_back();
+    return tape(which).evaluate(assignment, scratch_);
+  }
+  LowPrecEngine& eng = engine(which);
+  ac::LowPrecisionResult result =
+      eng.fixed ? eng.fixed->evaluate(assignment) : eng.flt->evaluate(assignment);
+  Representation served = *options_.representation;
+  int escalations = 0;
+  if (options_.fallback.enabled() && result.flags.any()) {
+    const std::vector<Representation>& ladder = options_.fallback.ladder;
+    for (std::size_t i = 0; i < ladder.size() && result.flags.any(); ++i) {
+      LowPrecEngine& wider = engine_for(rung(i).single[which], ladder[i], which);
+      result = wider.fixed ? wider.fixed->evaluate(assignment) : wider.flt->evaluate(assignment);
+      served = ladder[i];
+      ++escalations;
+    }
+    if (result.flags.any() && options_.fallback.escalate_to_exact) {
+      const double value = tape(which).evaluate(assignment, scratch_);
+      ++escalations;
+      query_flags_.emplace_back();  // exact double: clean by construction
+      QueryProvenance prov;
+      prov.escalations = escalations;
+      provenance_.push_back(prov);
+      return value;
     }
   }
-  return engine;
+  last_flags_.merge(result.flags);
+  query_flags_.push_back(result.flags);
+  QueryProvenance prov;
+  prov.served_format = served;
+  prov.escalations = escalations;
+  prov.flags = result.flags;
+  provenance_.push_back(std::move(prov));
+  return result.value;
 }
 
 const std::vector<double>& InferenceSession::eval_batch(
     Which which, const std::vector<ac::PartialAssignment>& batch) {
+  query_flags_.clear();
+  provenance_.clear();
   if (!options_.representation) {
     if (!exact_batch_[which]) exact_batch_[which].emplace(tape(which), options_.batch);
-    return exact_batch_[which]->evaluate(batch);
+    const std::vector<double>& out = exact_batch_[which]->evaluate(batch);
+    query_flags_.resize(batch.size());
+    provenance_.resize(batch.size());
+    return out;
   }
   // Batched low-precision emulation: the SoA raw-word sweep, bit-identical
   // (values and per-query flags) to the per-query engine behind eval_root.
@@ -107,8 +175,73 @@ const std::vector<double>& InferenceSession::eval_batch(
   LowPrecBatchEngine& eng = batch_engine(which);
   const std::vector<double>& out =
       eng.fixed ? eng.fixed->evaluate(batch) : eng.flt->evaluate(batch);
-  last_flags_.merge(eng.fixed ? eng.fixed->merged_flags() : eng.flt->merged_flags());
+  const std::vector<lowprec::ArithFlags>& flags =
+      eng.fixed ? eng.fixed->flags() : eng.flt->flags();
+  query_flags_.assign(flags.begin(), flags.end());
+  provenance_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    provenance_[i].served_format = *options_.representation;
+    provenance_[i].flags = flags[i];
+  }
+  if (options_.fallback.enabled()) {
+    // Served values move to the session-owned buffer so escalation can
+    // scatter wider-rung answers over exactly the flagged indices; clean
+    // queries keep their base answers bit for bit.
+    batch_values_.assign(out.begin(), out.end());
+    escalate_batch(which, batch);
+    for (const lowprec::ArithFlags& f : query_flags_) last_flags_.merge(f);
+    return batch_values_;
+  }
+  for (const lowprec::ArithFlags& f : query_flags_) last_flags_.merge(f);
   return out;
+}
+
+void InferenceSession::escalate_batch(Which which,
+                                      const std::vector<ac::PartialAssignment>& batch) {
+  std::vector<std::size_t> flagged;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (query_flags_[i].any()) flagged.push_back(i);
+  }
+  if (flagged.empty()) return;
+  const std::vector<Representation>& ladder = options_.fallback.ladder;
+  std::vector<ac::PartialAssignment> sub;
+  std::vector<std::size_t> still;
+  for (std::size_t r = 0; r < ladder.size() && !flagged.empty(); ++r) {
+    sub.clear();
+    sub.reserve(flagged.size());
+    for (const std::size_t idx : flagged) sub.push_back(batch[idx]);
+    LowPrecBatchEngine& eng = batch_engine_for(rung(r).batch[which], ladder[r], which);
+    const std::vector<double>& values =
+        eng.fixed ? eng.fixed->evaluate(sub) : eng.flt->evaluate(sub);
+    const std::vector<lowprec::ArithFlags>& flags =
+        eng.fixed ? eng.fixed->flags() : eng.flt->flags();
+    still.clear();
+    for (std::size_t j = 0; j < flagged.size(); ++j) {
+      const std::size_t idx = flagged[j];
+      batch_values_[idx] = values[j];
+      query_flags_[idx] = flags[j];
+      provenance_[idx].served_format = ladder[r];
+      provenance_[idx].flags = flags[j];
+      ++provenance_[idx].escalations;
+      if (flags[j].any()) still.push_back(idx);
+    }
+    flagged.swap(still);
+  }
+  if (flagged.empty() || !options_.fallback.escalate_to_exact) return;
+  // Final rung: the exact double backend, flags clean by construction.
+  sub.clear();
+  sub.reserve(flagged.size());
+  for (const std::size_t idx : flagged) sub.push_back(batch[idx]);
+  if (!exact_batch_[which]) exact_batch_[which].emplace(tape(which), options_.batch);
+  const std::vector<double>& values = exact_batch_[which]->evaluate(sub);
+  for (std::size_t j = 0; j < flagged.size(); ++j) {
+    const std::size_t idx = flagged[j];
+    batch_values_[idx] = values[j];
+    query_flags_[idx] = {};
+    provenance_[idx].served_format.reset();
+    provenance_[idx].flags = {};
+    ++provenance_[idx].escalations;
+  }
 }
 
 void InferenceSession::posterior_into(int query_var, const ac::PartialAssignment& evidence,
@@ -135,6 +268,8 @@ void InferenceSession::posterior_into(int query_var, const ac::PartialAssignment
 
 double InferenceSession::marginal(const ac::PartialAssignment& evidence) {
   last_flags_ = {};
+  query_flags_.clear();
+  provenance_.clear();
   return eval_root(kMarginalTape, evidence);
 }
 
@@ -147,8 +282,24 @@ const std::vector<double>& InferenceSession::marginal(
 std::vector<double> InferenceSession::conditional(int query_var,
                                                   const ac::PartialAssignment& evidence) {
   last_flags_ = {};
+  query_flags_.clear();
+  provenance_.clear();
   std::vector<double> out;
   posterior_into(query_var, evidence, out);
+  // One conditional query is one served answer: fold the denominator and
+  // numerator passes' entries into a single per-query flags/provenance slot.
+  lowprec::ArithFlags folded_flags;
+  QueryProvenance folded;
+  for (std::size_t k = 0; k < provenance_.size(); ++k) {
+    folded_flags.merge(query_flags_[k]);
+    if (k == 0) {
+      folded = provenance_[k];
+    } else {
+      fold_provenance(folded, provenance_[k]);
+    }
+  }
+  query_flags_.assign(1, folded_flags);
+  provenance_.assign(1, folded);
   return out;
 }
 
@@ -170,6 +321,13 @@ std::vector<std::vector<double>> InferenceSession::conditional(
   }
   std::vector<std::vector<double>> out(evidence.size());
   const std::vector<double> pr_evidence = eval_batch(kMarginalTape, evidence);
+  // The denominator pass's per-query attribution, copied aside before the
+  // numerator pass resets the channels.  Note an evidence set whose
+  // posterior comes back empty can still carry `underflow` here: Pr(e)
+  // flushed to zero in the format rather than being structurally zero —
+  // the caller-visible distinction between "undefined" and "underflowed".
+  std::vector<lowprec::ArithFlags> denom_flags(std::move(query_flags_));
+  std::vector<QueryProvenance> denom_prov(std::move(provenance_));
   const int card = model_->cardinalities()[static_cast<std::size_t>(query_var)];
   std::vector<ac::PartialAssignment> numerators;
   std::vector<std::size_t> surviving;  ///< evidence index per numerator group
@@ -181,16 +339,26 @@ std::vector<std::vector<double>> InferenceSession::conditional(
       numerators.back()[static_cast<std::size_t>(query_var)] = q;
     }
   }
-  if (surviving.empty()) return out;
+  if (surviving.empty()) {
+    query_flags_ = std::move(denom_flags);
+    provenance_ = std::move(denom_prov);
+    return out;
+  }
   const std::vector<double>& roots = eval_batch(kMarginalTape, numerators);
+  std::vector<lowprec::ArithFlags> num_flags(std::move(query_flags_));
+  std::vector<QueryProvenance> num_prov(std::move(provenance_));
+  query_flags_ = std::move(denom_flags);
+  provenance_ = std::move(denom_prov);
   for (std::size_t g = 0; g < surviving.size(); ++g) {
     const std::size_t i = surviving[g];
     out[i].reserve(static_cast<std::size_t>(card));
     for (int q = 0; q < card; ++q) {
+      const std::size_t k = g * static_cast<std::size_t>(card) + static_cast<std::size_t>(q);
+      query_flags_[i].merge(num_flags[k]);
+      fold_provenance(provenance_[i], num_prov[k]);
       // The ratio is taken in double: ProbLP's datapath computes the two
       // passes, the host divides (paper footnote 2).
-      out[i].push_back(roots[g * static_cast<std::size_t>(card) + static_cast<std::size_t>(q)] /
-                       pr_evidence[i]);
+      out[i].push_back(roots[k] / pr_evidence[i]);
     }
   }
   return out;
@@ -198,6 +366,8 @@ std::vector<std::vector<double>> InferenceSession::conditional(
 
 double InferenceSession::mpe(const ac::PartialAssignment& evidence) {
   last_flags_ = {};
+  query_flags_.clear();
+  provenance_.clear();
   return eval_root(kMaxTape, evidence);
 }
 

@@ -32,7 +32,24 @@
 //
 // Flags.  last_flags() surfaces the sticky ArithFlags raised by the most
 // recent query call, merged across the whole batch for batched overloads —
-// always clean on the exact backend.
+// always clean on the exact backend.  last_query_flags() breaks the same
+// information out per query (aligned with the batched results), and
+// last_provenance() records, per query, which datapath actually served the
+// answer.
+//
+// Fallback.  With SessionOptions::fallback enabled, a batched sweep whose
+// per-query flags are raised does not stop at reporting: the session
+// gathers exactly the flagged indices, re-evaluates that sub-batch on the
+// next rung (a wider low-precision format from FallbackPolicy::ladder, or
+// the exact double backend), scatters the results back, and repeats until
+// every flag is clean or the ladder is exhausted.  Per-query results of the
+// batched engines are independent of batch composition, so an escalated
+// answer is bitwise what the wider backend would have served stand-alone,
+// and clean queries keep their base-format answers untouched.  The cost is
+// proportional to the flagged fraction only.  last_flags() /
+// last_query_flags() then report the *serving* rung's flags — clean when
+// escalation cured the query, still raised only when flags survived the
+// whole ladder.
 //
 // Thread-safety: a session is single-threaded by contract (it is the
 // scratch state); share the CompiledModel, not the session.
@@ -49,6 +66,50 @@
 
 namespace problp::runtime {
 
+/// What to do when a low-precision query raises sticky flags: nothing (off,
+/// the default — flags are only reported), or re-evaluate exactly the
+/// flagged queries on wider rungs until their flags come back clean.
+struct FallbackPolicy {
+  /// Wider low-precision formats tried in order on still-flagged queries.
+  /// Each rung's engines are constructed lazily on first escalation and
+  /// reused for the session's lifetime.
+  std::vector<Representation> ladder;
+  /// Final rung: queries whose flags survive the ladder (all flagged
+  /// queries when the ladder is empty) re-serve on the exact double
+  /// backend, whose flags are clean by construction.
+  bool escalate_to_exact = false;
+
+  bool enabled() const { return escalate_to_exact || !ladder.empty(); }
+
+  static FallbackPolicy off() { return {}; }
+  static FallbackPolicy to_exact() {
+    FallbackPolicy policy;
+    policy.escalate_to_exact = true;
+    return policy;
+  }
+  static FallbackPolicy via_ladder(std::vector<Representation> rungs, bool exact_final = true) {
+    FallbackPolicy policy;
+    policy.ladder = std::move(rungs);
+    policy.escalate_to_exact = exact_final;
+    return policy;
+  }
+};
+
+/// Where one served answer came from: the datapath that computed it and how
+/// many escalation rungs it climbed to get there.
+struct QueryProvenance {
+  /// Format the served answer was computed in; nullopt = exact IEEE double
+  /// (the exact backend, or the final escalate_to_exact rung).  For a
+  /// conditional query this is the widest rung any of its passes needed.
+  std::optional<Representation> served_format;
+  /// Rungs this query was re-evaluated on (0 = the base backend's answer
+  /// was served as-is).
+  int escalations = 0;
+  /// Sticky flags of the serving rung — clean when escalation cured the
+  /// query, raised only when flags survived every rung (or fallback is off).
+  lowprec::ArithFlags flags;
+};
+
 struct SessionOptions {
   /// Arithmetic the sweeps run in: nullopt = exact IEEE double (ground
   /// truth); a Representation = the emulated low-precision datapath the
@@ -64,6 +125,9 @@ struct SessionOptions {
   /// byte-identical either way; flip it off only as a layout-ablation
   /// reference (see docs/evaluation.md).
   ac::BatchEvaluator::Options batch;
+  /// Precision-escalation fallback for flagged low-precision queries (no
+  /// effect on the exact backend, whose flags are clean by construction).
+  FallbackPolicy fallback;
 
   /// Options running every sweep under `repr` — the format-sweep callers'
   /// shorthand for picking a representation the analysis did not select.
@@ -112,9 +176,23 @@ class InferenceSession {
   /// Maximiser root per evidence set, in input order.
   const std::vector<double>& mpe(const std::vector<ac::PartialAssignment>& evidence);
 
-  /// Sticky flags raised by the most recent query call (merged across the
-  /// batch for batched overloads).  Clean on the exact backend.
+  /// Sticky flags of the most recent query call's *served* answers (merged
+  /// across the batch for batched overloads).  Clean on the exact backend;
+  /// with fallback enabled, clean whenever escalation cured every flagged
+  /// query.
   const lowprec::ArithFlags& last_flags() const { return last_flags_; }
+
+  /// Per-query sticky flags of the most recent query call, aligned with the
+  /// results (one entry for single queries; one per evidence set for the
+  /// conditional overloads, folding the denominator pass — so an
+  /// "undefined" empty posterior with `underflow` set means Pr(e) flushed
+  /// to zero in the format, not that the evidence is structurally
+  /// impossible).  Like last_flags(), these are the serving rung's flags.
+  const std::vector<lowprec::ArithFlags>& last_query_flags() const { return query_flags_; }
+
+  /// Per-query provenance of the most recent query call (served format and
+  /// escalation count), aligned with last_query_flags().
+  const std::vector<QueryProvenance>& last_provenance() const { return provenance_; }
 
   bool low_precision() const { return options_.representation.has_value(); }
   const CompiledModel& model() const { return *model_; }
@@ -139,13 +217,35 @@ class InferenceSession {
     std::optional<ac::FloatBatchEvaluator> flt;
   };
 
+  /// Lazily-built engines of one fallback-ladder rung (the evaluators pin
+  /// their flag sinks, so rungs live behind stable unique_ptrs).
+  struct Rung {
+    LowPrecEngine single[2];
+    LowPrecBatchEngine batch[2];
+  };
+
   const ac::CircuitTape& tape(Which which);
   LowPrecEngine& engine(Which which);
   LowPrecBatchEngine& batch_engine(Which which);
-  /// One upward pass on the selected backend; merges flags into last_flags_.
+  /// Engages `slot` with the engine for `repr` if not yet constructed.
+  LowPrecEngine& engine_for(LowPrecEngine& slot, const Representation& repr, Which which);
+  LowPrecBatchEngine& batch_engine_for(LowPrecBatchEngine& slot, const Representation& repr,
+                                       Which which);
+  Rung& rung(std::size_t index);
+  /// One upward pass on the selected backend; appends one entry to
+  /// query_flags_/provenance_ (escalating through the fallback ladder when
+  /// flags are raised) and merges the served flags into last_flags_.
   double eval_root(Which which, const ac::PartialAssignment& assignment);
+  /// Batched upward pass: resets query_flags_/provenance_ to one entry per
+  /// batch element, escalates flagged indices per the fallback policy, and
+  /// merges served flags into last_flags_.  The returned reference is the
+  /// engine's buffer with fallback off and batch_values_ with it on; either
+  /// way it stays valid until the next eval_batch call.
   const std::vector<double>& eval_batch(Which which,
                                         const std::vector<ac::PartialAssignment>& batch);
+  /// Re-evaluates the still-flagged indices of `batch` rung by rung,
+  /// scattering served values/flags/provenance back in place.
+  void escalate_batch(Which which, const std::vector<ac::PartialAssignment>& batch);
   /// Posterior of `query_var` under `evidence` into `out` (cleared; left
   /// empty when Pr(e) is not positive).
   void posterior_into(int query_var, const ac::PartialAssignment& evidence,
@@ -154,12 +254,16 @@ class InferenceSession {
   std::shared_ptr<const CompiledModel> model_;
   SessionOptions options_;
   lowprec::ArithFlags last_flags_;
+  std::vector<lowprec::ArithFlags> query_flags_;  ///< per-query served flags
+  std::vector<QueryProvenance> provenance_;       ///< per-query served provenance
 
   const ac::CircuitTape* tapes_[2] = {nullptr, nullptr};  ///< max resolved on first use
   std::vector<double> scratch_;                       ///< exact single-query value buffer
   std::optional<ac::BatchEvaluator> exact_batch_[2];  ///< exact batched engines, lazy
   LowPrecEngine lowprec_[2];                          ///< low-precision engines, lazy
   LowPrecBatchEngine lowprec_batch_[2];               ///< batched low-precision, lazy
+  std::vector<std::unique_ptr<Rung>> rungs_;          ///< ladder engines, lazy per rung
+  std::vector<double> batch_values_;  ///< served batch values under fallback
   ac::PartialAssignment query_scratch_;               ///< conditional (q, e) assignment
 };
 

@@ -1,0 +1,104 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+
+namespace problp::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  // PROBLP_FAULTS="site[=nth][,site[=nth]...]" — malformed entries are
+  // ignored rather than fatal: the injector must never take the process
+  // down on its own, only through an armed site's real error path.
+  const char* env = std::getenv("PROBLP_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    std::uint64_t nth = 1;
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      char* parse_end = nullptr;
+      const unsigned long long v = std::strtoull(item.c_str() + eq + 1, &parse_end, 10);
+      if (parse_end == item.c_str() + eq + 1 || *parse_end != '\0' || v == 0) continue;
+      nth = static_cast<std::uint64_t>(v);
+      item.resize(eq);
+    }
+    if (item.empty()) continue;
+    Site& site = sites_[item];
+    site.arm_at = nth;
+    site.hits = 0;
+    site.fired = false;
+  }
+  recompute_enabled_locked();
+}
+
+void FaultInjector::arm(const std::string& site, std::uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[site];
+  s.arm_at = nth == 0 ? 1 : nth;
+  s.hits = 0;
+  s.fired = false;
+  recompute_enabled_locked();
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.arm_at = 0;
+  recompute_enabled_locked();
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  recompute_enabled_locked();
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() && it->second.fired;
+}
+
+bool FaultInjector::should_fire(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;  // only armed (or counted) sites track hits
+  Site& s = it->second;
+  ++s.hits;
+  if (s.arm_at != 0 && !s.fired && s.hits >= s.arm_at) {
+    s.fired = true;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::recompute_enabled_locked() {
+  bool any = false;
+  for (const auto& [name, site] : sites_) {
+    if (site.arm_at != 0 && !site.fired) any = true;
+  }
+  // Sites stay countable (hits()) after firing, but the fast path can go
+  // back to the one-load guard only when nothing armed remains.  Keep the
+  // injector enabled while any site entry exists so hit counts of armed-
+  // with-huge-nth "tracer" sites keep accumulating.
+  any = any || !sites_.empty();
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+}  // namespace problp::util

@@ -1,0 +1,591 @@
+// The robustness layer (ISSUE 9): fault injection + precision escalation.
+//
+// Contract under test: every registered fault site fires deterministically
+// and drives its *real* error path — a failed artifact write leaves no
+// debris, a failed mmap falls back to the heap read with identical views, a
+// short read / flipped checksum / post-open truncation is rejected with a
+// problp::Error (never UB), a registry load failure leaves the registry
+// table untouched and the next get() succeeds, and an exception escaping a
+// batched worker thread surfaces as problp::Error, never std::terminate.
+// On top: the precision-escalation fallback re-serves exactly the flagged
+// queries on wider rungs, bitwise-equal to what the wider backend computes
+// stand-alone, while clean queries keep their base-format answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bn/random_network.hpp"
+#include "compile/ve_compiler.hpp"
+#include "helpers.hpp"
+#include "runtime/artifact.hpp"
+#include "runtime/model_registry.hpp"
+#include "runtime/session.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace problp {
+namespace {
+
+using runtime::ArtifactWriter;
+using runtime::CompiledModel;
+using runtime::FallbackPolicy;
+using runtime::InferenceSession;
+using runtime::MappedArtifact;
+using runtime::ModelRegistry;
+using runtime::QueryProvenance;
+using runtime::SessionOptions;
+using util::FaultInjector;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "problp_fault_test_" + name;
+}
+
+ac::Circuit test_circuit(std::uint64_t seed, int num_variables = 8) {
+  Rng rng(seed);
+  bn::RandomNetworkSpec spec;
+  spec.num_variables = num_variables;
+  return compile::compile_network(bn::make_random_network(spec, rng));
+}
+
+std::vector<ac::PartialAssignment> sampled_assignments(const std::vector<int>& cards,
+                                                       std::size_t count, double p_observe,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ac::PartialAssignment> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    ac::PartialAssignment a(cards.size());
+    for (std::size_t v = 0; v < cards.size(); ++v) {
+      if (rng.coin(p_observe)) a[v] = rng.uniform_int(0, cards[v] - 1);
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::size_t flagged_count(const std::vector<lowprec::ArithFlags>& flags) {
+  std::size_t n = 0;
+  for (const auto& f : flags) n += f.any() ? 1u : 0u;
+  return n;
+}
+
+// A float format under which `batch` on `model` raises flags for some but
+// not all queries — the interesting regime for escalation (an all-flagged
+// or all-clean batch would vacuously pass the scatter checks).
+std::optional<Representation> mixed_flag_format(const std::shared_ptr<const CompiledModel>& model,
+                                                const std::vector<ac::PartialAssignment>& batch) {
+  for (int exponent_bits : {4, 5, 6, 7}) {
+    lowprec::FloatFormat format;
+    format.exponent_bits = exponent_bits;
+    format.mantissa_bits = 4;
+    const Representation repr = Representation::of(format);
+    InferenceSession probe(model, SessionOptions::low_precision(repr));
+    probe.marginal(batch);
+    const std::size_t flagged = flagged_count(probe.last_query_flags());
+    if (flagged > 0 && flagged < batch.size()) return repr;
+  }
+  return std::nullopt;
+}
+
+// Every fault-site test arms through this fixture so a failing assertion
+// can never leak an armed site into the next test.
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+// ---- the injector itself ---------------------------------------------------
+
+TEST_F(FaultInjection, ArmedSiteFiresOnNthHitExactlyOnce) {
+  FaultInjector& inj = FaultInjector::instance();
+  EXPECT_FALSE(util::fault_point("unit.test"));  // unarmed: never fires
+  EXPECT_EQ(inj.hits("unit.test"), 0u);          // ...and unarmed hits don't count
+
+  inj.arm("unit.test", 3);
+  EXPECT_FALSE(util::fault_point("unit.test"));
+  EXPECT_FALSE(util::fault_point("unit.test"));
+  EXPECT_TRUE(util::fault_point("unit.test"));   // the 3rd hit
+  EXPECT_FALSE(util::fault_point("unit.test"));  // single-shot
+  EXPECT_TRUE(inj.fired("unit.test"));
+  EXPECT_EQ(inj.hits("unit.test"), 4u);
+
+  inj.arm("unit.test");  // re-arming resets the counter
+  EXPECT_EQ(inj.hits("unit.test"), 0u);
+  EXPECT_FALSE(inj.fired("unit.test"));
+  EXPECT_TRUE(util::fault_point("unit.test"));
+
+  inj.reset();
+  EXPECT_FALSE(util::fault_point("unit.test"));
+  EXPECT_EQ(inj.hits("unit.test"), 0u);
+}
+
+TEST_F(FaultInjection, DisarmStopsFiringKeepsHistory) {
+  FaultInjector& inj = FaultInjector::instance();
+  inj.arm("unit.disarm", 2);
+  EXPECT_FALSE(util::fault_point("unit.disarm"));
+  inj.disarm("unit.disarm");
+  EXPECT_FALSE(util::fault_point("unit.disarm"));  // would have been the 2nd hit
+  EXPECT_FALSE(inj.fired("unit.disarm"));
+}
+
+// ---- artifact sites --------------------------------------------------------
+
+TEST_F(FaultInjection, ArtifactWriteFailureLeavesNoDebris) {
+  const std::string path = temp_path("write_fault.pm");
+  std::filesystem::remove(path);
+  ArtifactWriter writer("write-fault");
+  const std::vector<std::int32_t> payload = {1, 2, 3};
+  writer.add_array(7, payload);
+
+  FaultInjector::instance().arm("artifact.write");
+  EXPECT_THROW(writer.write(path), Error);
+  EXPECT_TRUE(FaultInjector::instance().fired("artifact.write"));
+
+  // The failed save left nothing behind — no target, no temp debris.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  const std::string stem = std::filesystem::path(path).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().rfind(stem, 0), std::string::npos)
+        << "debris: " << entry.path();
+  }
+
+  // The writer is still usable once the fault clears.
+  FaultInjector::instance().reset();
+  writer.write(path);
+  const MappedArtifact art = MappedArtifact::open(path);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), art.array<std::int32_t>(7).begin()));
+}
+
+TEST_F(FaultInjection, MmapFailureFallsBackToHeapReadWithIdenticalViews) {
+  const std::string path = temp_path("mmap_fault.pm");
+  ArtifactWriter writer("mmap-fault");
+  const std::vector<double> payload = {0.25, -1e300, 3.5};
+  writer.add_array(9, payload);
+  writer.write(path);
+  if (!MappedArtifact::open(path).mapped()) GTEST_SKIP() << "no mmap on this platform";
+
+  FaultInjector::instance().arm("artifact.mmap");
+  const MappedArtifact art = MappedArtifact::open(path);
+  EXPECT_TRUE(FaultInjector::instance().fired("artifact.mmap"));
+  EXPECT_FALSE(art.mapped());  // heap fallback engaged...
+  EXPECT_TRUE(                 // ...with the same validated views
+      std::equal(payload.begin(), payload.end(), art.array<double>(9).begin()));
+}
+
+TEST_F(FaultInjection, ShortReadRejected) {
+  const std::string path = temp_path("short_read.pm");
+  ArtifactWriter writer("short-read");
+  writer.add_text(11, "payload");
+  writer.write(path);
+
+  // Force the heap-read path (mmap fault), then come up short on the read.
+  FaultInjector::instance().arm("artifact.mmap");
+  FaultInjector::instance().arm("artifact.short_read");
+  EXPECT_THROW(MappedArtifact::open(path), Error);
+  EXPECT_TRUE(FaultInjector::instance().fired("artifact.short_read"));
+}
+
+TEST_F(FaultInjection, ChecksumFlipRejected) {
+  const std::string path = temp_path("checksum.pm");
+  ArtifactWriter writer("checksum");
+  writer.add_text(11, "payload");
+  writer.write(path);
+
+  FaultInjector::instance().arm("artifact.checksum");
+  EXPECT_THROW(MappedArtifact::open(path), Error);
+  EXPECT_TRUE(FaultInjector::instance().fired("artifact.checksum"));
+  FaultInjector::instance().reset();
+  EXPECT_NO_THROW(MappedArtifact::open(path));  // the file itself is fine
+}
+
+TEST_F(FaultInjection, SizeRecheckRejectsPostOpenTruncation) {
+  const std::string path = temp_path("size_recheck.pm");
+  ArtifactWriter writer("size-recheck");
+  writer.add_text(11, "payload");
+  writer.write(path);
+  if (!MappedArtifact::open(path).mapped()) GTEST_SKIP() << "no mmap on this platform";
+
+  FaultInjector::instance().arm("artifact.size_recheck");
+  try {
+    MappedArtifact::open(path);
+    FAIL() << "truncation-after-open must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("changed size"), std::string::npos) << e.what();
+  }
+
+  // read_copy mode never reaches the re-check — it holds no fd to re-stat
+  // and no mapping to be torn; the armed site stays cold.
+  FaultInjector::instance().arm("artifact.size_recheck");
+  const MappedArtifact copy = MappedArtifact::open(path, /*read_copy=*/true);
+  EXPECT_FALSE(copy.mapped());
+  EXPECT_FALSE(FaultInjector::instance().fired("artifact.size_recheck"));
+  EXPECT_EQ(FaultInjector::instance().hits("artifact.size_recheck"), 0u);
+}
+
+// ---- read-copy mode --------------------------------------------------------
+
+TEST_F(FaultInjection, ReadCopyModelLoadsUnmappedWithBitwiseParity) {
+  const std::string path = temp_path("read_copy.pm");
+  const ac::Circuit circuit = test_circuit(91);
+  CompiledModel::compile(circuit)->save(path);
+
+  const auto mapped = CompiledModel::load(path);
+  FrameworkOptions copy_options;
+  copy_options.artifact_read_copy = true;
+  const auto copied = CompiledModel::load(path, copy_options);
+  EXPECT_FALSE(copied->memory_mapped());
+
+  const auto batch = sampled_assignments(circuit.cardinalities(), 32, 0.5, 92);
+  InferenceSession a(mapped), b(copied);
+  const std::vector<double> va = a.marginal(batch);
+  const std::vector<double> vb = b.marginal(batch);
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(bits(va[i]), bits(vb[i]));
+
+  // A registry configured for read-copy owns every resident byte.
+  ModelRegistry::Options options;
+  options.model_options.artifact_read_copy = true;
+  ModelRegistry registry(options);
+  EXPECT_FALSE(registry.get(path)->memory_mapped());
+}
+
+// ---- registry sites --------------------------------------------------------
+
+TEST_F(FaultInjection, RegistryLoadFailureLeavesTableUnchanged) {
+  const std::string path = temp_path("registry_load.pm");
+  CompiledModel::compile(test_circuit(101))->save(path);
+
+  ModelRegistry registry;
+  FaultInjector::instance().arm("registry.load");
+  EXPECT_THROW(registry.get(path), Error);
+
+  // The failed load counted as a miss but inserted nothing.
+  ModelRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.live_models, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+
+  // The next get() recovers: a clean cold load, then hits.
+  const auto model = registry.get(path);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(registry.get(path), model);
+  stats = registry.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.live_models, 1u);
+}
+
+TEST_F(FaultInjection, RegistryEvictionRaceSurvivesInjectedLoadFailure) {
+  const std::string path_a = temp_path("race_a.pm");
+  const std::string path_b = temp_path("race_b.pm");
+  const ac::Circuit circuit_a = test_circuit(111);
+  const ac::Circuit circuit_b = test_circuit(112);
+  CompiledModel::compile(circuit_a)->save(path_a);
+  CompiledModel::compile(circuit_b)->save(path_b);
+
+  // A cap below two artifacts keeps the registry evicting, so gets alternate
+  // between hits on live weak refs and cold re-loads under contention.
+  ModelRegistry::Options options;
+  options.max_resident_bytes = std::filesystem::file_size(path_a) + 1;
+  ModelRegistry registry(options);
+
+  // One of the cold loads — whichever thread gets there — fails by
+  // injection; everything else must stay coherent.
+  FaultInjector::instance().arm("registry.load", 3);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 24;
+  std::atomic<int> injected_errors{0};
+  std::atomic<int> wrong_errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string& path = ((t + i) % 2 == 0) ? path_a : path_b;
+        try {
+          const auto model = registry.get(path);
+          InferenceSession session(model);
+          ac::PartialAssignment empty(static_cast<std::size_t>(model->num_variables()));
+          session.marginal(empty);
+        } catch (const Error&) {
+          injected_errors.fetch_add(1);
+        } catch (...) {
+          wrong_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(injected_errors.load(), 1);  // the armed site fired exactly once
+  EXPECT_EQ(wrong_errors.load(), 0);     // ...and only as problp::Error
+
+  // Invariants hold afterwards: both models still load and serve.
+  const auto model_a = registry.get(path_a);
+  const auto model_b = registry.get(path_b);
+  EXPECT_NE(model_a, model_b);
+  const ModelRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.live_models, 2u);
+}
+
+// ---- batched worker site ---------------------------------------------------
+
+TEST_F(FaultInjection, WorkerThrowSurfacesAsErrorAcrossBackendsAndThreadCounts) {
+  const ac::Circuit circuit = test_circuit(121);
+  const auto model = CompiledModel::compile(circuit);
+  const auto batch = sampled_assignments(circuit.cardinalities(), 48, 0.5, 122);
+
+  lowprec::FloatFormat format;
+  format.exponent_bits = 8;
+  format.mantissa_bits = 10;
+
+  for (const int num_threads : {1, 4}) {
+    // Exact batched engine.
+    SessionOptions exact_options;
+    exact_options.batch.num_threads = num_threads;
+    InferenceSession exact(model, exact_options);
+    FaultInjector::instance().arm("batch.worker");
+    EXPECT_THROW(exact.marginal(batch), Error) << "threads=" << num_threads;
+    EXPECT_TRUE(FaultInjector::instance().fired("batch.worker"));
+
+    // The session survives the failed sweep: the next batch serves answers
+    // bit-identical to the single-query path.
+    FaultInjector::instance().reset();
+    const std::vector<double> batched = exact.marginal(batch);
+    InferenceSession singles(model);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(bits(batched[i]), bits(singles.marginal(batch[i])));
+    }
+
+    // Low-precision batched engine (the other parallel_blocks caller).
+    SessionOptions lp_options = SessionOptions::low_precision(Representation::of(format));
+    lp_options.batch.num_threads = num_threads;
+    InferenceSession lowprec(model, lp_options);
+    FaultInjector::instance().arm("batch.worker");
+    EXPECT_THROW(lowprec.marginal(batch), Error) << "threads=" << num_threads;
+    FaultInjector::instance().reset();
+    EXPECT_NO_THROW(lowprec.marginal(batch));
+  }
+}
+
+// ---- precision escalation --------------------------------------------------
+
+TEST(Escalation, ToExactServesFlaggedQueriesBitwiseExact) {
+  const ac::Circuit circuit = test_circuit(131);
+  const auto model = CompiledModel::compile(circuit);
+  const auto batch = sampled_assignments(circuit.cardinalities(), 64, 0.5, 132);
+  const auto repr = mixed_flag_format(model, batch);
+  ASSERT_TRUE(repr.has_value()) << "no probe format produced a mixed-flag batch";
+
+  // Three references: the base format with fallback off, the exact backend,
+  // and the base format with escalate-to-exact.
+  InferenceSession base(model, SessionOptions::low_precision(*repr));
+  const std::vector<double> base_values = base.marginal(batch);
+  const std::vector<lowprec::ArithFlags> base_flags = base.last_query_flags();
+
+  InferenceSession exact(model);
+  const std::vector<double> exact_values = exact.marginal(batch);
+
+  SessionOptions options = SessionOptions::low_precision(*repr);
+  options.fallback = FallbackPolicy::to_exact();
+  InferenceSession escalating(model, options);
+  const std::vector<double>& served = escalating.marginal(batch);
+  const auto& flags = escalating.last_query_flags();
+  const auto& provenance = escalating.last_provenance();
+  ASSERT_EQ(served.size(), batch.size());
+  ASSERT_EQ(flags.size(), batch.size());
+  ASSERT_EQ(provenance.size(), batch.size());
+
+  std::size_t escalated = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (base_flags[i].any()) {
+      // Flagged at base: served from the exact backend, bitwise.
+      ++escalated;
+      EXPECT_EQ(bits(served[i]), bits(exact_values[i])) << "query " << i;
+      EXPECT_EQ(provenance[i].escalations, 1) << "query " << i;
+      EXPECT_FALSE(provenance[i].served_format.has_value()) << "query " << i;
+      EXPECT_FALSE(flags[i].any()) << "query " << i;
+    } else {
+      // Clean at base: untouched by escalation, bitwise the base answer.
+      EXPECT_EQ(bits(served[i]), bits(base_values[i])) << "query " << i;
+      EXPECT_EQ(provenance[i].escalations, 0) << "query " << i;
+      ASSERT_TRUE(provenance[i].served_format.has_value()) << "query " << i;
+      EXPECT_EQ(provenance[i].served_format->flt, repr->flt) << "query " << i;
+    }
+  }
+  EXPECT_GT(escalated, 0u);
+  EXPECT_LT(escalated, batch.size());
+  EXPECT_FALSE(escalating.last_flags().any());  // every flag was cured
+}
+
+TEST(Escalation, LadderRungServesWhatTheRungWouldServeStandAlone) {
+  const ac::Circuit circuit = test_circuit(141);
+  const auto model = CompiledModel::compile(circuit);
+  const auto batch = sampled_assignments(circuit.cardinalities(), 64, 0.5, 142);
+  const auto repr = mixed_flag_format(model, batch);
+  ASSERT_TRUE(repr.has_value());
+
+  lowprec::FloatFormat wide;
+  wide.exponent_bits = 8;
+  wide.mantissa_bits = 10;
+  const Representation rung = Representation::of(wide);
+
+  // Stand-alone references for every rung of the ladder.
+  InferenceSession base(model, SessionOptions::low_precision(*repr));
+  const std::vector<double> base_values = base.marginal(batch);
+  const std::vector<lowprec::ArithFlags> base_flags = base.last_query_flags();
+  InferenceSession at_rung(model, SessionOptions::low_precision(rung));
+  const std::vector<double> rung_values = at_rung.marginal(batch);
+  const std::vector<lowprec::ArithFlags> rung_flags = at_rung.last_query_flags();
+  InferenceSession exact(model);
+  const std::vector<double> exact_values = exact.marginal(batch);
+
+  SessionOptions options = SessionOptions::low_precision(*repr);
+  options.fallback = FallbackPolicy::via_ladder({rung}, /*exact_final=*/true);
+  InferenceSession escalating(model, options);
+  const std::vector<double>& served = escalating.marginal(batch);
+  const auto& provenance = escalating.last_provenance();
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!base_flags[i].any()) {
+      EXPECT_EQ(bits(served[i]), bits(base_values[i])) << "query " << i;
+      EXPECT_EQ(provenance[i].escalations, 0) << "query " << i;
+    } else if (!rung_flags[i].any()) {
+      // Cured on the ladder rung: the answer is what that format computes
+      // stand-alone (batched per-query results are composition-independent).
+      EXPECT_EQ(bits(served[i]), bits(rung_values[i])) << "query " << i;
+      EXPECT_EQ(provenance[i].escalations, 1) << "query " << i;
+      ASSERT_TRUE(provenance[i].served_format.has_value()) << "query " << i;
+      EXPECT_EQ(provenance[i].served_format->flt, wide) << "query " << i;
+    } else {
+      // Survived the rung: the exact final serves it.
+      EXPECT_EQ(bits(served[i]), bits(exact_values[i])) << "query " << i;
+      EXPECT_EQ(provenance[i].escalations, 2) << "query " << i;
+      EXPECT_FALSE(provenance[i].served_format.has_value()) << "query " << i;
+    }
+  }
+  EXPECT_FALSE(escalating.last_flags().any());
+}
+
+TEST(Escalation, SingleQueryAndMpeEscalate) {
+  const ac::Circuit circuit = test_circuit(151);
+  const auto model = CompiledModel::compile(circuit);
+  const auto batch = sampled_assignments(circuit.cardinalities(), 64, 0.5, 152);
+  const auto repr = mixed_flag_format(model, batch);
+  ASSERT_TRUE(repr.has_value());
+
+  InferenceSession base(model, SessionOptions::low_precision(*repr));
+  base.marginal(batch);
+  const std::vector<lowprec::ArithFlags> base_flags = base.last_query_flags();
+  std::size_t flagged_index = batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (base_flags[i].any()) {
+      flagged_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(flagged_index, batch.size());
+
+  SessionOptions options = SessionOptions::low_precision(*repr);
+  options.fallback = FallbackPolicy::to_exact();
+  InferenceSession escalating(model, options);
+  InferenceSession exact(model);
+
+  // Single-query escalation goes through the tape evaluators, not the
+  // batched engines — same contract.
+  const double served = escalating.marginal(batch[flagged_index]);
+  EXPECT_EQ(bits(served), bits(exact.marginal(batch[flagged_index])));
+  ASSERT_EQ(escalating.last_provenance().size(), 1u);
+  EXPECT_EQ(escalating.last_provenance()[0].escalations, 1);
+  EXPECT_FALSE(escalating.last_flags().any());
+
+  // MPE runs the maximiser tape through the same escalation machinery.
+  const std::vector<double>& mpe_served = escalating.mpe(batch);
+  const std::vector<double> mpe_exact = exact.mpe(batch);
+  const auto& provenance = escalating.last_provenance();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (provenance[i].escalations > 0) {
+      EXPECT_EQ(bits(mpe_served[i]), bits(mpe_exact[i])) << "query " << i;
+    }
+  }
+  EXPECT_FALSE(escalating.last_flags().any());
+}
+
+TEST(Escalation, ConditionalMarksDenominatorUnderflowAndCuresIt) {
+  const ac::Circuit circuit = test_circuit(161, 10);
+  const auto model = CompiledModel::compile(circuit);
+  const std::vector<int>& cards = circuit.cardinalities();
+
+  // Dense evidence over a deeper circuit drives Pr(e) below the format's
+  // smallest magnitude for some evidence sets: the posterior comes back
+  // empty ("undefined") with the underflow flag distinguishing "flushed to
+  // zero in this format" from "structurally zero".
+  auto batch = sampled_assignments(cards, 48, 0.8, 162);
+  const int query_var = 0;
+  for (auto& a : batch) a[0] = std::nullopt;  // query var must be unobserved
+
+  std::optional<Representation> repr;
+  std::size_t underflowed = batch.size();
+  for (int exponent_bits : {4, 5, 6, 7}) {
+    lowprec::FloatFormat format;
+    format.exponent_bits = exponent_bits;
+    format.mantissa_bits = 4;
+    const Representation candidate = Representation::of(format);
+    InferenceSession probe(model, SessionOptions::low_precision(candidate));
+    const auto posterior = probe.conditional(query_var, batch);
+    const auto& flags = probe.last_query_flags();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (posterior[i].empty() && flags[i].underflow) {
+        repr = candidate;
+        underflowed = i;
+        break;
+      }
+    }
+    if (repr) break;
+  }
+  ASSERT_TRUE(repr.has_value()) << "no probe format underflowed a denominator";
+
+  // Exact reference: the evidence is not structurally impossible — its
+  // posterior exists, the narrow format just flushed Pr(e) to zero.
+  InferenceSession exact(model);
+  const auto exact_posterior = exact.conditional(query_var, batch);
+  ASSERT_FALSE(exact_posterior[underflowed].empty());
+  for (const auto& f : exact.last_query_flags()) EXPECT_FALSE(f.any());
+  for (const auto& p : exact.last_provenance()) {
+    EXPECT_FALSE(p.served_format.has_value());
+    EXPECT_EQ(p.escalations, 0);
+  }
+
+  // With escalation the underflowed evidence set is re-served exactly:
+  // the posterior reappears, bitwise the exact backend's.
+  SessionOptions options = SessionOptions::low_precision(*repr);
+  options.fallback = FallbackPolicy::to_exact();
+  InferenceSession escalating(model, options);
+  const auto served = escalating.conditional(query_var, batch);
+  const auto& provenance = escalating.last_provenance();
+  ASSERT_EQ(served.size(), batch.size());
+  ASSERT_EQ(provenance.size(), batch.size());
+  ASSERT_FALSE(served[underflowed].empty());
+  ASSERT_EQ(served[underflowed].size(), exact_posterior[underflowed].size());
+  for (std::size_t s = 0; s < served[underflowed].size(); ++s) {
+    EXPECT_EQ(bits(served[underflowed][s]), bits(exact_posterior[underflowed][s]));
+  }
+  EXPECT_GT(provenance[underflowed].escalations, 0);
+  EXPECT_FALSE(escalating.last_flags().any());
+}
+
+}  // namespace
+}  // namespace problp
