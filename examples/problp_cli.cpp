@@ -7,6 +7,8 @@
 //              [--infer] [--batch N] [--fallback off|exact]
 //              [--save-model out.pm] [--load-model in.pm]
 //              [--registry dir --model name]
+//              [--serve N] [--serve-capacity K] [--serve-batch B]
+//              [--serve-workers W]
 //              [--verilog out.v] [--testbench out_tb.v]
 //              [--dot out.dot] [--circuit out.ac]
 //
@@ -28,6 +30,17 @@
 // exact rung — surviving the ladder), 0 means every served answer was
 // computed flag-clean.
 //
+// --serve N pushes N sampled requests through the overload-safe async
+// front-end (src/serve/, docs/serving.md): a bounded queue, a coalescing
+// batcher, worker session pools, and an overload controller whose degrade
+// rung is the analysis' selected representation — degraded answers carry
+// that format and its analytic error bound.  Exit codes follow the same
+// contract as the rest of the CLI: any typed rejection/timeout/error among
+// the completions exits 3 (like surviving flags), a misconfigured queue
+// (e.g. --serve-batch larger than --serve-capacity) exits 2 with a
+// found-vs-expected message in the artifact-mismatch style, and a clean
+// run exits 0.
+//
 // Try it on the bundled ALARM export:
 //   ./build/examples/patient_monitoring            # writes /tmp/problp_alarm.bif
 //   ./build/examples/problp_cli /tmp/problp_alarm.bif --query conditional
@@ -35,8 +48,12 @@
 //       --evidence HRBP=HIGH,HREKG=HIGH --infer --batch 512   (one line)
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +66,7 @@
 #include "hw/testbench.hpp"
 #include "runtime/model_registry.hpp"
 #include "runtime/session.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -62,6 +80,8 @@ void usage(const char* argv0) {
                "          [--infer] [--batch <N>] [--fallback off|exact]\n"
                "          [--save-model <out.pm>] [--load-model <in.pm>]\n"
                "          [--registry <dir> --model <name>]\n"
+               "          [--serve <N>] [--serve-capacity <K>] [--serve-batch <B>]\n"
+               "          [--serve-workers <W>]\n"
                "          [--verilog <out.v>] [--testbench <out_tb.v>]\n"
                "          [--dot <out.dot>] [--circuit <out.ac>]\n",
                argv0);
@@ -152,6 +172,10 @@ int main(int argc, char** argv) {
   bool infer = false;
   long batch = 0;
   bool fallback_exact = false;
+  long serve_requests = 0;
+  long serve_capacity = 256;
+  long serve_batch = 64;
+  long serve_workers = 2;
   int exit_code = 0;
   try {
     for (int i = 2; i < argc; ++i) {
@@ -203,6 +227,23 @@ int main(int argc, char** argv) {
           fallback_exact = true;
         } else if (mode != "off") {
           throw InvalidArgument("--fallback expects off or exact");
+        }
+      } else if (arg == "--serve" || arg == "--serve-capacity" || arg == "--serve-batch" ||
+                 arg == "--serve-workers") {
+        long value = 0;
+        try {
+          value = std::stol(next());
+        } catch (const std::exception&) {
+          throw InvalidArgument(arg + " expects an integer");
+        }
+        if (arg == "--serve") {
+          serve_requests = value;
+        } else if (arg == "--serve-capacity") {
+          serve_capacity = value;
+        } else if (arg == "--serve-batch") {
+          serve_batch = value;
+        } else {
+          serve_workers = value;
         }
       } else if (arg == "--save-model") {
         save_model_path = next();
@@ -400,6 +441,132 @@ int main(int argc, char** argv) {
                     batch_evidence.size(), exact_qps, report.selected.to_string().c_str(),
                     lp_qps);
         flag_summary();
+      }
+    }
+
+    // ---- overload-safe serving smoke ---------------------------------------
+    if (serve_requests > 0) {
+      int query_var = -1;
+      if (spec.query == errormodel::QueryType::kConditional) {
+        require(!query_var_name.empty(), "--query conditional needs --query-var <name>");
+        query_var = resolve_variable(network, query_var_name);
+      }
+
+      serve::ServerOptions sopts;
+      sopts.capacity = static_cast<std::size_t>(serve_capacity);
+      sopts.batch_max = static_cast<std::size_t>(serve_batch);
+      sopts.workers = static_cast<int>(serve_workers);
+      sopts.flush_deadline = std::chrono::milliseconds(1);
+      sopts.full_policy = serve::ServerOptions::FullPolicy::kBlock;
+      // The analysis' selected rung is the degrade tier: under pressure the
+      // tail of a burst is served low-precision, and every degraded answer
+      // carries the rung's format and analytic bound in its provenance.
+      sopts.overload.degraded = serve::DegradedTier::from_report(*model, report);
+      sopts.overload.degrade_depth = std::max<std::size_t>(1, sopts.capacity / 2);
+      sopts.overload.shed_depth = std::max<std::size_t>(2, sopts.capacity * 3 / 4);
+
+      std::unique_ptr<serve::Server> server;
+      try {
+        server = std::make_unique<serve::Server>(model, sopts);
+      } catch (const InvalidArgument& e) {
+        // Queue misconfiguration mirrors the artifact-mismatch contract: a
+        // found-vs-expected message and exit 2, before any request queues.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      std::printf("serve: capacity %zu, batch_max %zu, %d worker(s), degrade rung %s "
+                  "(analytic bound <= %.3g)\n",
+                  sopts.capacity, sopts.batch_max, sopts.workers,
+                  sopts.overload.degraded->repr.to_string().c_str(),
+                  sopts.overload.degraded->error_bound);
+
+      Rng rng(11);
+      std::vector<ac::PartialAssignment> serve_evidence;
+      serve_evidence.reserve(static_cast<std::size_t>(serve_requests));
+      for (const auto& sample :
+           bn::sample_dataset(network, static_cast<int>(serve_requests), rng)) {
+        ac::PartialAssignment a(sample.begin(), sample.end());
+        if (query_var >= 0) a[static_cast<std::size_t>(query_var)].reset();
+        serve_evidence.push_back(std::move(a));
+      }
+
+      // Closed loop with a 64-wide window: below the default capacity's
+      // degrade threshold, so a clean run exits 0 — while shrinking the
+      // queue (e.g. --serve-capacity 8 --serve-batch 8) pushes the same
+      // window across the degrade/shed depths, demonstrating the controller
+      // (any typed rejection flips the exit status to 3).
+      const std::size_t window = std::min<std::size_t>(sopts.capacity, 64);
+      std::deque<std::future<serve::Response>> in_flight;
+      std::uint64_t ok = 0;
+      std::uint64_t degraded = 0;
+      std::uint64_t timeouts = 0;
+      std::uint64_t rejected = 0;
+      std::uint64_t worker_errors = 0;
+      std::optional<Representation> degraded_format;
+      const auto consume = [&](serve::Response response) {
+        switch (response.status) {
+          case serve::Status::kOk:
+            ++ok;
+            if (response.tier == serve::Tier::kDegraded) {
+              ++degraded;
+              if (!degraded_format && response.served_format) {
+                degraded_format = response.served_format;
+              }
+            }
+            break;
+          case serve::Status::kTimeout:
+            ++timeouts;
+            break;
+          case serve::Status::kError:
+            ++worker_errors;
+            break;
+          default:
+            ++rejected;
+            break;
+        }
+      };
+      const auto t0 = std::chrono::steady_clock::now();
+      for (ac::PartialAssignment& evidence : serve_evidence) {
+        serve::Request request;
+        request.query = spec.query;
+        request.query_var = query_var;
+        request.evidence = std::move(evidence);
+        request.timeout = std::chrono::seconds(1);
+        in_flight.push_back(server->submit(std::move(request)));
+        while (in_flight.size() >= window) {
+          consume(in_flight.front().get());
+          in_flight.pop_front();
+        }
+      }
+      while (!in_flight.empty()) {
+        consume(in_flight.front().get());
+        in_flight.pop_front();
+      }
+      server->shutdown(/*drain=*/true);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      const serve::StatsSnapshot stats = server->stats();
+      std::printf("serve: %ld requests in %.3f s (%.0f q/s): %llu ok (%llu degraded), "
+                  "%llu timeout, %llu rejected, %llu error; flushes %llu by size / %llu by "
+                  "deadline, double completions %llu\n",
+                  serve_requests, secs, static_cast<double>(serve_requests) / secs,
+                  static_cast<unsigned long long>(ok), static_cast<unsigned long long>(degraded),
+                  static_cast<unsigned long long>(timeouts),
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(worker_errors),
+                  static_cast<unsigned long long>(stats.flushes_by_size),
+                  static_cast<unsigned long long>(stats.flushes_by_deadline),
+                  static_cast<unsigned long long>(stats.double_completions));
+      if (degraded_format) {
+        std::printf("serve: degraded answers served on %s (analytic bound <= %.3g)\n",
+                    degraded_format->to_string().c_str(),
+                    sopts.overload.degraded->error_bound);
+      }
+      if (timeouts + rejected + worker_errors > 0) {
+        // Typed non-ok completions gate scripts exactly like surviving
+        // flags do: exit 3, with the counts above naming what happened.
+        exit_code = 3;
       }
     }
 

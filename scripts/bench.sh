@@ -69,6 +69,18 @@
 # >= 20x; the bench exits non-zero on any checksum drift before a line is
 # appended).
 #
+# The async serving front-end (src/serve/) adds a third output file,
+# BENCH_serve.json: bench_serve_load writes one line per run with the raw
+# batched engine reference (median of 5 rounds), closed-loop qps + p50/p99
+# rows at 1..N clients across 1..2 worker shards, the headline
+# throughput_ratio (acceptance: >= 0.85 — coalescing within 15% of the raw
+# engine at saturation), and an open-loop overload row at 2x the measured
+# saturation rate with degradation and shedding armed.  The bench exits
+# non-zero before printing its line unless every submitted request
+# completed exactly once (the accounting identity the serve tests pin
+# down), so a BENCH_serve.json row doubles as overload-safety evidence —
+# see docs/serving.md.
+#
 # Usage: scripts/bench.sh [build-dir]
 set -euo pipefail
 
@@ -79,7 +91,7 @@ build_dir="${1:-$repo_root/build}"
 circuits="alarm,synthetic_ve36"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j --target bench_eval_throughput bench_model_load
+cmake --build "$build_dir" -j --target bench_eval_throughput bench_model_load bench_serve_load
 
 out="$repo_root/BENCH_eval.json"
 # The bench prints one JSON object per circuit on stdout; keep only those.
@@ -108,3 +120,12 @@ load_out="$repo_root/BENCH_load.json"
 "$build_dir/bench/bench_model_load" | grep '^{' >> "$load_out"
 echo "appended results to $load_out:"
 tail -n 1 "$load_out"
+
+# Saturation + overload row for the async serving front-end.  A longer
+# window than the smoke default keeps scheduler noise out of the
+# throughput_ratio; the bench fails closed (non-zero, no line) if any
+# request completes twice or never.
+serve_out="$repo_root/BENCH_serve.json"
+"$build_dir/bench/bench_serve_load" --min-seconds=1 --clients=8 | grep '^{' >> "$serve_out"
+echo "appended results to $serve_out:"
+tail -n 1 "$serve_out"

@@ -1,0 +1,113 @@
+// Serving-layer observability: lock-free counters for every completion
+// class, plus a small sliding latency window the overload controller reads
+// its p99 from.
+//
+// The accounting identity the drain tests pin down:
+//
+//   submitted == completed_ok + timed_out + rejected_queue_full
+//              + rejected_overload + rejected_shutdown + errors
+//
+// holds after shutdown() returns — every request completes exactly once
+// (double_completions counts violations of "exactly once"; it must stay 0,
+// and the stress/drain tests assert it).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace problp::serve {
+
+/// A point-in-time copy of the server's counters.
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t timed_out = 0;           ///< expired in queue, never evaluated
+  std::uint64_t timed_out_after_flush = 0;  ///< subset of timed_out: expired between flush and eval
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t degraded_admitted = 0;  ///< admitted onto the degraded tier
+  std::uint64_t flushes_by_size = 0;
+  std::uint64_t flushes_by_deadline = 0;
+  std::uint64_t batches_evaluated = 0;
+  std::uint64_t double_completions = 0;  ///< exactly-once violations; must be 0
+  std::uint64_t producers_blocked = 0;   ///< currently blocked in submit()
+  std::uint64_t queue_depth = 0;         ///< current
+  std::uint64_t total_completed() const {
+    return completed_ok + timed_out + rejected_queue_full + rejected_overload +
+           rejected_shutdown + errors;
+  }
+};
+
+/// The mutable counters (one relaxed atomic each — serving-path increments
+/// never contend on a lock).
+struct Counters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed_ok{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> timed_out_after_flush{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> degraded_admitted{0};
+  std::atomic<std::uint64_t> flushes_by_size{0};
+  std::atomic<std::uint64_t> flushes_by_deadline{0};
+  std::atomic<std::uint64_t> batches_evaluated{0};
+  std::atomic<std::uint64_t> double_completions{0};
+  std::atomic<std::uint64_t> producers_blocked{0};
+};
+
+/// Sliding window of recent completion latencies; p99() feeds the overload
+/// controller's latency trigger.  Writers (workers) and readers (admission)
+/// share one small mutex — the window is 256 entries, the critical sections
+/// a few loads/stores.
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t size = 256) : ring_(size) {}
+
+  void record(util::Clock::Duration d) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_[next_++ % ring_.size()] = d;
+    if (count_ < ring_.size()) ++count_;
+  }
+
+  /// One lock for a whole batch of completions (a worker finishing a group
+  /// records every member at once — per-request locking would cost more
+  /// than the stores).
+  void record_many(const std::vector<util::Clock::Duration>& ds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (util::Clock::Duration d : ds) {
+      ring_[next_++ % ring_.size()] = d;
+      if (count_ < ring_.size()) ++count_;
+    }
+  }
+
+  /// Quantile over the window (0 when empty).  q in [0, 1].
+  util::Clock::Duration quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return util::Clock::Duration::zero();
+    std::vector<util::Clock::Duration> sorted(ring_.begin(),
+                                              ring_.begin() + static_cast<long>(count_));
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx = std::min(
+        count_ - 1, static_cast<std::size_t>(q * static_cast<double>(count_)));
+    return sorted[idx];
+  }
+
+  util::Clock::Duration p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<util::Clock::Duration> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace problp::serve

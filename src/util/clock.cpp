@@ -1,0 +1,62 @@
+#include "util/clock.hpp"
+
+#include <algorithm>
+
+namespace problp::util {
+
+const std::shared_ptr<Clock>& Clock::steady() {
+  static const std::shared_ptr<Clock> clock = std::make_shared<SteadyClock>();
+  return clock;
+}
+
+void SteadyClock::wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                             TimePoint deadline) {
+  // wait_until with time_point::max() overflows in some libstdc++ versions;
+  // "no deadline" waits for a notify outright.
+  if (deadline == TimePoint::max()) {
+    cv.wait(lock);
+  } else {
+    cv.wait_until(lock, deadline);
+  }
+}
+
+Clock::TimePoint ManualClock::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void ManualClock::wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                             TimePoint deadline) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (now_ >= deadline) return;  // already expired: no wait
+    waiters_.push_back({&cv, lock.mutex()});
+  }
+  // The caller still holds `lock` here, so advance() cannot slip its
+  // notification between registration and the wait: it must acquire
+  // lock.mutex() first, which only becomes possible once cv.wait() has
+  // atomically released it (see the header's lost-wakeup note).
+  cv.wait(lock);
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                               [&](const Waiter& w) { return w.cv == &cv; });
+  if (it != waiters_.end()) waiters_.erase(it);
+}
+
+void ManualClock::advance(Duration d) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += d;
+    waiters = waiters_;
+  }
+  for (const Waiter& w : waiters) {
+    // Acquire-and-release the waiter's mutex: after this, the waiter is
+    // either blocked inside cv.wait (the notify below wakes it) or past its
+    // registration's critical section entirely.
+    { std::lock_guard<std::mutex> guard(*w.mutex); }
+    w.cv->notify_all();
+  }
+}
+
+}  // namespace problp::util

@@ -1,0 +1,92 @@
+// Injectable monotonic clock for deadline-driven code.
+//
+// The serving layer (src/serve/) flushes batches on deadlines, expires
+// requests past their per-request deadline, and times out blocked producers.
+// Testing those paths against std::chrono::steady_clock means sleeping and
+// hoping — the classic recipe for flaky timing tests.  Instead, every
+// deadline consumer takes a `Clock`:
+//
+//   * SteadyClock  — the production clock: now() is steady_clock::now() and
+//     wait_until() is condition_variable::wait_until.
+//
+//   * ManualClock  — the test clock: time only moves when the test calls
+//     advance(), and wait_until() blocks with *no real timeout* until
+//     someone notifies the condition variable — which advance() does for
+//     every registered waiter.  A deadline test becomes: submit, advance
+//     past the deadline, assert the typed timeout; no sleeps anywhere.
+//
+// Lost-wakeup safety: wait_until() registers the (cv, mutex) pair while the
+// caller still holds its lock, and advance() acquires each registered
+// waiter's mutex before notifying.  A waiter therefore either registers
+// before advance() can acquire the mutex (and is woken from cv.wait), or
+// registers after advance() released it (and re-reads the already-advanced
+// now()).  Either way no advance is missed.
+//
+// Contract for callers: wait_until() may return spuriously (both clocks);
+// always re-check the predicate and now() in a loop.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace problp::util {
+
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+  using Duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  /// The current time in this clock's domain.
+  virtual TimePoint now() const = 0;
+
+  /// Blocks on `cv` (releasing `lock`) until notified or — for real clocks —
+  /// `deadline` passes in this clock's domain.  TimePoint::max() means "no
+  /// deadline".  May return spuriously; callers loop on their predicate.
+  virtual void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                          TimePoint deadline) = 0;
+
+  /// The process-wide production clock (steady_clock semantics).
+  static const std::shared_ptr<Clock>& steady();
+};
+
+/// Production clock: real monotonic time.
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override { return std::chrono::steady_clock::now(); }
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  TimePoint deadline) override;
+};
+
+/// Test clock: time is a counter the test advances by hand.  Deterministic —
+/// a waiter blocked in wait_until() is woken by advance() (or any direct
+/// notify), never by wall-clock time.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+
+  TimePoint now() const override;
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  TimePoint deadline) override;
+
+  /// Moves time forward and wakes every thread currently blocked in
+  /// wait_until() so it can re-check its deadline.  Must not be called
+  /// while holding a mutex some waiter waits on (advance acquires it).
+  void advance(Duration d);
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv;
+    std::mutex* mutex;
+  };
+
+  mutable std::mutex mutex_;
+  TimePoint now_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace problp::util

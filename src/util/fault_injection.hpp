@@ -21,6 +21,12 @@
 //   registry.load         ModelRegistry::get: the cold load throws
 //   batch.worker          batched engines: a worker thread throws a foreign
 //                         (non-problp) exception
+//   serve.enqueue         serve::Server::submit: forces the queue-full
+//                         rejection path (typed kRejectedQueueFull)
+//   serve.flush           serve::Server batcher: batch dispatch fails; every
+//                         member completes with a typed kError
+//   serve.worker          serve::Server worker: evaluation throws mid-batch;
+//                         the group completes kError, the worker survives
 //
 // Determinism: arming is per-site and single-shot ("fire on the nth hit"),
 // hit counting is globally serialised, and nothing fires unless armed — the
